@@ -1,0 +1,268 @@
+//! The per-host blockchain daemon, including the Multichain stall model.
+//!
+//! The paper wraps Multichain in a Golang daemon; requests serialize
+//! through it. We model the daemon as a single-server queue: every piece
+//! of work *starts* no earlier than the daemon's `busy_until` and pushes
+//! `busy_until` forward by its processing cost. Block arrival with
+//! verification enabled charges the sampled stall duration — the §5.2
+//! observation that the daemon becomes "unresponsive for extended
+//! periods upon each block arrival", which separates Fig. 5 from Fig. 6.
+
+use crate::costs::CostModel;
+use bcwan_chain::{
+    Block, BlockAction, Chain, ChainError, Mempool, MempoolError, Transaction,
+};
+use bcwan_p2p::RelayState;
+use bcwan_sim::{SimDuration, SimRng, SimTime};
+
+/// Statistics the daemon accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DaemonStats {
+    /// Blocks accepted onto the main chain.
+    pub blocks_accepted: u64,
+    /// Transactions admitted to the mempool.
+    pub txs_accepted: u64,
+    /// Number of verification stalls suffered.
+    pub stalls: u64,
+    /// Total simulated time spent stalled.
+    pub total_stall: SimDuration,
+}
+
+/// A host's chain daemon.
+pub struct Daemon {
+    /// The host's view of the chain.
+    pub chain: Chain,
+    /// The host's mempool.
+    pub mempool: Mempool,
+    /// Gossip dedup state.
+    pub relay: RelayState,
+    busy_until: SimTime,
+    stats: DaemonStats,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("height", &self.chain.height())
+            .field("mempool", &self.mempool.len())
+            .field("busy_until", &self.busy_until)
+            .finish()
+    }
+}
+
+impl Daemon {
+    /// Wraps a chain into a fresh daemon.
+    pub fn new(chain: Chain) -> Self {
+        Daemon {
+            chain,
+            mempool: Mempool::new(),
+            relay: RelayState::new(),
+            busy_until: SimTime::ZERO,
+            stats: DaemonStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DaemonStats {
+        self.stats
+    }
+
+    /// When the daemon can next start work.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Charges `cost` of daemon time starting no earlier than `now`;
+    /// returns the completion instant.
+    pub fn occupy(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done = start + cost;
+        self.busy_until = done;
+        done
+    }
+
+    /// Processes an incoming transaction at `now`. Returns the completion
+    /// time (when downstream reactions may fire) and the admission result.
+    pub fn accept_transaction(
+        &mut self,
+        now: SimTime,
+        tx: Transaction,
+        costs: &CostModel,
+    ) -> (SimTime, Result<u64, MempoolError>) {
+        let done = self.occupy(now, costs.tx_validate);
+        let height = self.chain.height();
+        let result = self
+            .mempool
+            .insert(tx, self.chain.utxo(), height + 1, self.chain.params());
+        if result.is_ok() {
+            self.stats.txs_accepted += 1;
+        }
+        (done, result)
+    }
+
+    /// Processes an incoming block at `now`: chain acceptance, mempool
+    /// cleanup, and — when the chain's stall model is enabled — the
+    /// verification freeze. Returns the completion time and the action.
+    pub fn accept_block(
+        &mut self,
+        now: SimTime,
+        block: Block,
+        rng: &mut SimRng,
+    ) -> (SimTime, Result<BlockAction, ChainError>) {
+        // The stall models the verification work itself, so it is charged
+        // whether or not the block extends the chain.
+        let stall = self
+            .chain
+            .params()
+            .stall
+            .clone()
+            .sample(block.transactions.len(), rng);
+        if stall > SimDuration::ZERO {
+            self.stats.stalls += 1;
+            self.stats.total_stall += stall;
+        }
+        let done = self.occupy(now, stall);
+        let transactions = block.transactions.clone();
+        let result = self.chain.add_block(block);
+        if matches!(
+            result,
+            Ok(BlockAction::Extended(_)) | Ok(BlockAction::Reorganized { .. })
+        ) {
+            self.stats.blocks_accepted += 1;
+            self.mempool.remove_confirmed(&transactions);
+        }
+        (done, result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcwan_chain::{ChainParams, StallModel, TxOut, Wallet};
+    use bcwan_script::Script;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_daemon(stall: bool) -> (Daemon, Wallet) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let wallet = Wallet::generate(&mut rng);
+        let mut params = ChainParams::fast_test();
+        if stall {
+            params.stall = StallModel::multichain_observed();
+        }
+        let genesis = Chain::make_genesis(&params, &[(wallet.address(), 10_000)]);
+        (Daemon::new(Chain::new(params, genesis)), wallet)
+    }
+
+    fn next_block(daemon: &Daemon, tag: &[u8]) -> Block {
+        let height = daemon.chain.height() + 1;
+        let cb = Transaction::coinbase(
+            height,
+            tag,
+            vec![TxOut {
+                value: daemon.chain.params().coinbase_reward,
+                script_pubkey: Script::new(),
+            }],
+        );
+        Block::mine(
+            daemon.chain.tip(),
+            height,
+            daemon.chain.params().difficulty_bits,
+            vec![cb],
+        )
+    }
+
+    #[test]
+    fn occupy_serializes_work() {
+        let (mut daemon, _) = make_daemon(false);
+        let t0 = SimTime::ZERO;
+        let d1 = daemon.occupy(t0, SimDuration::from_secs(2));
+        assert_eq!(d1.as_secs(), 2);
+        // Work arriving during the busy period queues.
+        let d2 = daemon.occupy(SimTime::from_micros(1), SimDuration::from_secs(1));
+        assert_eq!(d2.as_secs(), 3);
+        // Work arriving after idle starts immediately.
+        let late = SimTime::from_micros(10_000_000);
+        let d3 = daemon.occupy(late, SimDuration::from_secs(1));
+        assert_eq!(d3.as_secs(), 11);
+    }
+
+    #[test]
+    fn block_without_stall_completes_instantly() {
+        let (mut daemon, _) = make_daemon(false);
+        let mut rng = SimRng::seed_from_u64(1);
+        let block = next_block(&daemon, b"a");
+        let (done, action) = daemon.accept_block(SimTime::ZERO, block, &mut rng);
+        assert_eq!(done, SimTime::ZERO);
+        assert!(matches!(action, Ok(BlockAction::Extended(1))));
+        assert_eq!(daemon.stats().stalls, 0);
+        assert_eq!(daemon.stats().blocks_accepted, 1);
+    }
+
+    #[test]
+    fn block_with_stall_freezes_daemon() {
+        let (mut daemon, _) = make_daemon(true);
+        let mut rng = SimRng::seed_from_u64(2);
+        let block = next_block(&daemon, b"a");
+        let (done, action) = daemon.accept_block(SimTime::ZERO, block, &mut rng);
+        assert!(matches!(action, Ok(BlockAction::Extended(1))));
+        assert!(done.as_secs_f64() > 5.0, "stall should freeze, got {done}");
+        assert_eq!(daemon.stats().stalls, 1);
+        // A transaction arriving during the freeze waits it out.
+        let (mut d2, wallet) = make_daemon(false);
+        let _ = d2;
+        let _ = wallet;
+        assert!(daemon.busy_until() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn transaction_flow_through_daemon() {
+        let (mut daemon, wallet) = make_daemon(false);
+        // Mature the genesis coin.
+        let mut rng = SimRng::seed_from_u64(3);
+        for i in 0..daemon.chain.params().coinbase_maturity {
+            let block = next_block(&daemon, &[i as u8]);
+            daemon.accept_block(SimTime::ZERO, block, &mut rng).1.unwrap();
+        }
+        let coin = {
+            let cb = &daemon.chain.block_at(0).unwrap().transactions[0];
+            bcwan_chain::OutPoint { txid: cb.txid(), vout: 0 }
+        };
+        let tx = wallet.build_payment(
+            vec![(coin, wallet.locking_script())],
+            vec![TxOut { value: 9_990, script_pubkey: Script::new() }],
+            0,
+        );
+        let (_, result) = daemon.accept_transaction(SimTime::ZERO, tx, &CostModel::pi_class());
+        assert_eq!(result.unwrap(), 10);
+        assert_eq!(daemon.stats().txs_accepted, 1);
+        assert_eq!(daemon.mempool.len(), 1);
+    }
+
+    #[test]
+    fn stall_applies_even_for_side_blocks() {
+        let (mut daemon, _) = make_daemon(true);
+        let mut rng = SimRng::seed_from_u64(4);
+        let b1 = next_block(&daemon, b"main");
+        daemon.accept_block(SimTime::ZERO, b1, &mut rng).1.unwrap();
+        // A competing block at height 1: still verified, still stalls.
+        let stalls_before = daemon.stats().stalls;
+        let alt = {
+            let cb = Transaction::coinbase(1, b"alt", vec![TxOut {
+                value: daemon.chain.params().coinbase_reward,
+                script_pubkey: Script::new(),
+            }]);
+            Block::mine(
+                daemon.chain.block_at(0).unwrap().hash(),
+                1,
+                daemon.chain.params().difficulty_bits,
+                vec![cb],
+            )
+        };
+        let (_, action) = daemon.accept_block(SimTime::ZERO, alt, &mut rng);
+        assert!(matches!(action, Ok(BlockAction::SideChain)));
+        assert_eq!(daemon.stats().stalls, stalls_before + 1);
+        // But it does not count as accepted.
+        assert_eq!(daemon.stats().blocks_accepted, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Master-gateway election (paper §4.2, footnote 3).
+//!
+//! "With several gateways per actor, each actor will have to elect one of
+//! his gateways as the master gateway" — the gateway all the actor's
+//! devices address their data to, and the one that publishes the actor's
+//! IP in the directory.
+//!
+//! The election must be computable by every gateway of the actor without
+//! coordination, deterministic for a given chain state (so all gateways
+//! agree), and rotate over time (so a dead master eventually loses the
+//! role). We hash `(actor address ‖ gateway id ‖ epoch)` and pick the
+//! minimum — a rendezvous-hash election keyed on the chain's epoch.
+
+use bcwan_chain::Address;
+use bcwan_crypto::sha256;
+
+/// One gateway belonging to an actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GatewayId(pub u32);
+
+/// The deterministic election over an actor's gateways.
+///
+/// `epoch` is derived from chain height (e.g. `height / epoch_len`), so
+/// every correctly-synced gateway computes the same winner, and the
+/// winner rotates as the chain advances.
+pub fn elect_master(actor: &Address, gateways: &[GatewayId], epoch: u64) -> Option<GatewayId> {
+    gateways
+        .iter()
+        .min_by_key(|gw| election_score(actor, **gw, epoch))
+        .copied()
+}
+
+/// The rendezvous score; lowest wins.
+fn election_score(actor: &Address, gateway: GatewayId, epoch: u64) -> [u8; 32] {
+    let mut material = Vec::with_capacity(20 + 4 + 8);
+    material.extend_from_slice(&actor.0);
+    material.extend_from_slice(&gateway.0.to_le_bytes());
+    material.extend_from_slice(&epoch.to_le_bytes());
+    sha256(&material)
+}
+
+/// Epoch for a chain height with the given epoch length in blocks.
+///
+/// # Panics
+///
+/// Panics if `epoch_len` is zero.
+pub fn epoch_of(height: u64, epoch_len: u64) -> u64 {
+    assert!(epoch_len > 0, "epoch length must be positive");
+    height / epoch_len
+}
+
+/// Fraction of epochs in `[0, horizon)` for which `gateway` is master —
+/// used to check the election is fair across a fleet.
+pub fn mastership_share(
+    actor: &Address,
+    gateways: &[GatewayId],
+    gateway: GatewayId,
+    horizon: u64,
+) -> f64 {
+    if horizon == 0 {
+        return 0.0;
+    }
+    let won = (0..horizon)
+        .filter(|&e| elect_master(actor, gateways, e) == Some(gateway))
+        .count();
+    won as f64 / horizon as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: u32) -> Vec<GatewayId> {
+        (0..n).map(GatewayId).collect()
+    }
+
+    #[test]
+    fn empty_fleet_elects_nobody() {
+        assert_eq!(elect_master(&Address([1; 20]), &[], 0), None);
+    }
+
+    #[test]
+    fn single_gateway_always_master() {
+        let gws = fleet(1);
+        for epoch in 0..10 {
+            assert_eq!(
+                elect_master(&Address([1; 20]), &gws, epoch),
+                Some(GatewayId(0))
+            );
+        }
+    }
+
+    #[test]
+    fn election_is_deterministic_and_order_independent() {
+        let actor = Address([7; 20]);
+        let gws = fleet(5);
+        let mut reversed = gws.clone();
+        reversed.reverse();
+        for epoch in 0..20 {
+            let a = elect_master(&actor, &gws, epoch);
+            let b = elect_master(&actor, &reversed, epoch);
+            assert_eq!(a, b, "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn master_rotates_across_epochs() {
+        let actor = Address([9; 20]);
+        let gws = fleet(4);
+        let winners: std::collections::HashSet<_> = (0..50)
+            .filter_map(|e| elect_master(&actor, &gws, e))
+            .collect();
+        assert!(winners.len() >= 3, "rotation too static: {winners:?}");
+    }
+
+    #[test]
+    fn mastership_roughly_uniform() {
+        let actor = Address([3; 20]);
+        let gws = fleet(4);
+        for gw in &gws {
+            let share = mastership_share(&actor, &gws, *gw, 2000);
+            assert!((0.15..0.35).contains(&share), "{gw:?} share {share}");
+        }
+    }
+
+    #[test]
+    fn different_actors_have_independent_schedules() {
+        let gws = fleet(6);
+        let schedule_a: Vec<_> = (0..30)
+            .map(|e| elect_master(&Address([1; 20]), &gws, e))
+            .collect();
+        let schedule_b: Vec<_> = (0..30)
+            .map(|e| elect_master(&Address([2; 20]), &gws, e))
+            .collect();
+        assert_ne!(schedule_a, schedule_b);
+    }
+
+    #[test]
+    fn removing_dead_master_changes_only_its_epochs() {
+        // Rendezvous hashing: dropping one gateway only reassigns the
+        // epochs it was winning.
+        let actor = Address([4; 20]);
+        let all = fleet(5);
+        let without_last: Vec<_> = all[..4].to_vec();
+        for epoch in 0..100 {
+            let full = elect_master(&actor, &all, epoch).unwrap();
+            let reduced = elect_master(&actor, &without_last, epoch).unwrap();
+            if full != GatewayId(4) {
+                assert_eq!(full, reduced, "epoch {epoch} must be undisturbed");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_arithmetic() {
+        assert_eq!(epoch_of(0, 100), 0);
+        assert_eq!(epoch_of(99, 100), 0);
+        assert_eq!(epoch_of(100, 100), 1);
+        assert_eq!(mastership_share(&Address([0; 20]), &fleet(2), GatewayId(0), 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length")]
+    fn zero_epoch_len_panics() {
+        epoch_of(5, 0);
+    }
+}

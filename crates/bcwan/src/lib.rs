@@ -1,0 +1,65 @@
+//! # bcwan
+//!
+//! A from-scratch reproduction of **BcWAN: A Federated Low-Power WAN for
+//! the Internet of Things** (Bezahaf, Cathelain, Ducrocq — Middleware '18
+//! Industry). BcWAN replaces the LoRaWAN network server with a blockchain:
+//! sensors deliver data to their home network through *foreign* gateways,
+//! gateways find recipients through an on-chain IP directory, and a
+//! fair-exchange contract (a custom `OP_CHECKRSA512PAIR` script) pays the
+//! gateway if and only if it discloses the ephemeral decryption key.
+//!
+//! Modules, by paper section:
+//!
+//! - [`provisioning`] — the shared-key setup of §4.4 (`K`, `Sk`/`Pk`),
+//! - [`exchange`] — the double encryption and signatures of Fig. 3
+//!   steps 3–4, 8 and 10,
+//! - [`directory`] — the `OP_RETURN` IP directory of §4.3/§5.1,
+//! - [`app_server`] — the final hop of Figs. 1–2: device→application-server
+//!   routing at the recipient,
+//! - [`escrow`] — the Listing 1 escrow, claim and refund transactions,
+//! - [`daemon`] — the per-host chain daemon with the Multichain
+//!   block-verification **stall model** (§5.2),
+//! - [`costs`] — CPU cost table for Nucleo/Pi/VM-class hardware,
+//! - [`world`] — the full §5.2 testbed simulation (Figs. 5 and 6),
+//! - [`reputation`] — the §4.4 reputation-only baseline,
+//! - [`attack`] — the §6 double-spend attack and the confirmation-depth
+//!   counter-measure,
+//! - [`election`] — master-gateway election among an actor's gateways
+//!   (§4.2 footnote 3),
+//! - [`sync`] — the §5.1 start-up block synchronization,
+//! - [`wire`] — the host-to-host message vocabulary.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use bcwan::world::{WorkloadConfig, World};
+//!
+//! // The paper's Fig. 5 experiment (block verification disabled).
+//! let result = World::new(WorkloadConfig::paper_fig5()).run();
+//! println!("mean latency: {:.3}s", result.latencies.summary().unwrap().mean);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod app_server;
+pub mod attack;
+pub mod costs;
+pub mod election;
+pub mod daemon;
+pub mod directory;
+pub mod escrow;
+pub mod exchange;
+pub mod provisioning;
+pub mod reputation;
+pub mod sync;
+pub mod wire;
+pub mod world;
+
+pub use costs::CostModel;
+pub use daemon::{Daemon, DaemonStats};
+pub use directory::{Directory, IpAnnouncement, NetAddr};
+pub use escrow::{build_claim, build_escrow, build_refund, Escrow};
+pub use exchange::{open_reading, seal_reading, verify_uplink, ExchangeError, SealedUplink};
+pub use provisioning::{DeviceCredentials, DeviceId, DeviceRecord, DeviceRegistry};
+pub use wire::WanMessage;
+pub use world::{ExperimentResult, WorkloadConfig, World};

@@ -1,0 +1,165 @@
+//! Device provisioning.
+//!
+//! Paper §4.4: "the node and the recipient share a symmetric key (K). …
+//! The node and the recipient must also share a secret key (Sk), on the
+//! node, and a public key (Pk), on the recipient. A provisioning phase is
+//! therefore needed in order to load the necessary keys on the node."
+
+use bcwan_chain::Address;
+use bcwan_crypto::rsa::{generate_keypair, RsaKeySize, RsaPrivateKey, RsaPublicKey};
+use rand::RngCore;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A sensor identifier, unique network-wide in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Key material loaded onto the node during provisioning.
+pub struct DeviceCredentials {
+    /// The device.
+    pub device_id: DeviceId,
+    /// Shared AES-256 key `K`.
+    pub aes_key: [u8; 32],
+    /// The node's signing key `Sk` (RSA, per paper §5.1).
+    pub signing_key: RsaPrivateKey,
+    /// Blockchain address of the home recipient (`@R`).
+    pub recipient: Address,
+}
+
+impl fmt::Debug for DeviceCredentials {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Key material stays out of logs.
+        write!(f, "DeviceCredentials({}, @R {})", self.device_id, self.recipient)
+    }
+}
+
+/// What the recipient keeps per provisioned device.
+pub struct DeviceRecord {
+    /// The device.
+    pub device_id: DeviceId,
+    /// Shared AES-256 key `K`.
+    pub aes_key: [u8; 32],
+    /// Verification key `Pk` matching the node's `Sk`.
+    pub verify_key: RsaPublicKey,
+}
+
+impl fmt::Debug for DeviceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DeviceRecord({})", self.device_id)
+    }
+}
+
+/// The recipient-side registry of provisioned devices.
+#[derive(Debug, Default)]
+pub struct DeviceRegistry {
+    records: HashMap<DeviceId, DeviceRecord>,
+}
+
+impl DeviceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DeviceRegistry::default()
+    }
+
+    /// Provisions a new device for the recipient at `recipient_address`:
+    /// generates `K` and the `Sk`/`Pk` pair, stores the recipient half,
+    /// and returns the node half.
+    pub fn provision<R: RngCore>(
+        &mut self,
+        rng: &mut R,
+        device_id: DeviceId,
+        recipient_address: Address,
+    ) -> DeviceCredentials {
+        let mut aes_key = [0u8; 32];
+        rng.fill_bytes(&mut aes_key);
+        let (verify_key, signing_key) = generate_keypair(rng, RsaKeySize::Rsa512);
+        self.records.insert(
+            device_id,
+            DeviceRecord {
+                device_id,
+                aes_key,
+                verify_key,
+            },
+        );
+        DeviceCredentials {
+            device_id,
+            aes_key,
+            signing_key,
+            recipient: recipient_address,
+        }
+    }
+
+    /// Looks up a device record.
+    pub fn get(&self, device_id: &DeviceId) -> Option<&DeviceRecord> {
+        self.records.get(device_id)
+    }
+
+    /// Number of provisioned devices.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no devices are provisioned.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn provision_creates_matching_halves() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut registry = DeviceRegistry::new();
+        let recipient = Address([3; 20]);
+        let creds = registry.provision(&mut rng, DeviceId(7), recipient);
+        assert_eq!(creds.device_id, DeviceId(7));
+        assert_eq!(creds.recipient, recipient);
+
+        let record = registry.get(&DeviceId(7)).unwrap();
+        assert_eq!(record.aes_key, creds.aes_key);
+        // Pk verifies what Sk signs.
+        let sig = creds.signing_key.sign(b"probe");
+        assert!(record.verify_key.verify(b"probe", &sig));
+    }
+
+    #[test]
+    fn devices_have_distinct_keys() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut registry = DeviceRegistry::new();
+        let a = registry.provision(&mut rng, DeviceId(1), Address([0; 20]));
+        let b = registry.provision(&mut rng, DeviceId(2), Address([0; 20]));
+        assert_ne!(a.aes_key, b.aes_key);
+        let sig = a.signing_key.sign(b"x");
+        assert!(!registry.get(&DeviceId(2)).unwrap().verify_key.verify(b"x", &sig));
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn unknown_device_absent() {
+        let registry = DeviceRegistry::new();
+        assert!(registry.get(&DeviceId(9)).is_none());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn debug_output_hides_keys() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut registry = DeviceRegistry::new();
+        let creds = registry.provision(&mut rng, DeviceId(1), Address([0; 20]));
+        let text = format!("{creds:?}");
+        assert!(text.contains("dev1"));
+        assert!(text.len() < 80);
+    }
+}

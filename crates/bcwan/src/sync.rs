@@ -1,0 +1,211 @@
+//! Start-up chain synchronization (paper §5.1).
+//!
+//! "On start-up, each node retrieves the recent blocks from other nodes
+//! and scans their content for foreign gateways IPs." A joining gateway
+//! asks a peer for everything above its own tip
+//! (`ChainMessage::GetBlocksFrom`), applies the response, and rebuilds
+//! its directory view.
+
+use crate::directory::Directory;
+use bcwan_chain::{Block, BlockAction, Chain};
+
+/// Serves a `GetBlocksFrom(height)` request: all main-chain blocks
+/// strictly above `height`, in order.
+pub fn serve_blocks_from(chain: &Chain, height: u64) -> Vec<Block> {
+    let mut out = Vec::new();
+    let mut h = height + 1;
+    while let Some(block) = chain.block_at(h) {
+        out.push(block.clone());
+        h += 1;
+    }
+    out
+}
+
+/// Outcome of a catch-up attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// Blocks connected to the main chain (including via reorg).
+    pub connected: usize,
+    /// Blocks rejected (invalid or orphaned off an unknown parent).
+    pub rejected: usize,
+    /// Final chain height.
+    pub height: u64,
+}
+
+/// Applies a batch of blocks from a peer, tolerating duplicates and
+/// invalid entries (a malicious peer cannot corrupt the chain — only
+/// waste our time).
+pub fn catch_up(chain: &mut Chain, blocks: Vec<Block>) -> SyncOutcome {
+    let mut connected = 0;
+    let mut rejected = 0;
+    for block in blocks {
+        match chain.add_block(block) {
+            Ok(BlockAction::Extended(_)) | Ok(BlockAction::Reorganized { .. }) => connected += 1,
+            Ok(BlockAction::SideChain) | Ok(BlockAction::AlreadyKnown) => {}
+            Err(_) => rejected += 1,
+        }
+    }
+    SyncOutcome {
+        connected,
+        rejected,
+        height: chain.height(),
+    }
+}
+
+/// Full §5.1 start-up: sync from a peer's chain, then scan for IPs.
+pub fn bootstrap_from_peer(local: &mut Chain, peer: &Chain) -> (SyncOutcome, Directory) {
+    let blocks = serve_blocks_from(peer, local.height());
+    let outcome = catch_up(local, blocks);
+    let directory = Directory::from_chain(local);
+    (outcome, directory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::{IpAnnouncement, NetAddr};
+    use bcwan_chain::{ChainParams, OutPoint, Transaction, TxOut, Wallet};
+    use bcwan_script::Script;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mine_empty(chain: &mut Chain, tag: &[u8]) {
+        let params = chain.params().clone();
+        let height = chain.height() + 1;
+        let cb = Transaction::coinbase(
+            height,
+            tag,
+            vec![TxOut {
+                value: params.coinbase_reward,
+                script_pubkey: Script::new(),
+            }],
+        );
+        let block = bcwan_chain::Block::mine(
+            chain.tip(),
+            height,
+            params.difficulty_bits,
+            vec![cb],
+        );
+        chain.add_block(block).unwrap();
+    }
+
+    fn two_chains(seed: u64) -> (Chain, Chain, Wallet, ChainParams) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ChainParams::multichain_like();
+        params.coinbase_maturity = 0;
+        let wallet = Wallet::generate(&mut rng);
+        let genesis = Chain::make_genesis(&params, &[(wallet.address(), 1_000)]);
+        let veteran = Chain::new(params.clone(), genesis.clone());
+        let newcomer = Chain::new(params.clone(), genesis);
+        (veteran, newcomer, wallet, params)
+    }
+
+    #[test]
+    fn newcomer_catches_up_fully() {
+        let (mut veteran, mut newcomer, _, _) = two_chains(1);
+        for i in 0..8u8 {
+            mine_empty(&mut veteran, &[i]);
+        }
+        assert_eq!(newcomer.height(), 0);
+        let (outcome, _) = bootstrap_from_peer(&mut newcomer, &veteran);
+        assert_eq!(outcome.connected, 8);
+        assert_eq!(outcome.rejected, 0);
+        assert_eq!(newcomer.height(), veteran.height());
+        assert_eq!(newcomer.tip(), veteran.tip());
+    }
+
+    #[test]
+    fn partial_sync_resumes_where_it_left_off() {
+        let (mut veteran, mut newcomer, _, _) = two_chains(2);
+        for i in 0..4u8 {
+            mine_empty(&mut veteran, &[i]);
+        }
+        bootstrap_from_peer(&mut newcomer, &veteran);
+        // The veteran advances again; only the delta transfers.
+        for i in 4..9u8 {
+            mine_empty(&mut veteran, &[i]);
+        }
+        let blocks = serve_blocks_from(&veteran, newcomer.height());
+        assert_eq!(blocks.len(), 5);
+        let outcome = catch_up(&mut newcomer, blocks);
+        assert_eq!(outcome.connected, 5);
+        assert_eq!(newcomer.tip(), veteran.tip());
+    }
+
+    #[test]
+    fn sync_rebuilds_the_directory() {
+        let (mut veteran, mut newcomer, wallet, params) = two_chains(3);
+        let coin = OutPoint {
+            txid: veteran.block_at(0).unwrap().transactions[0].txid(),
+            vout: 0,
+        };
+        let endpoint = NetAddr { ip: [10, 1, 2, 3], port: 7000 };
+        let ann = IpAnnouncement {
+            address: wallet.address(),
+            endpoint,
+            seq: 0,
+        };
+        let tx = wallet.build_payment(
+            vec![(coin, wallet.locking_script())],
+            vec![
+                ann.to_output(),
+                TxOut { value: 990, script_pubkey: wallet.locking_script() },
+            ],
+            0,
+        );
+        let height = veteran.height() + 1;
+        let cb = Transaction::coinbase(
+            height,
+            b"a",
+            vec![TxOut {
+                value: params.coinbase_reward,
+                script_pubkey: Script::new(),
+            }],
+        );
+        let block = bcwan_chain::Block::mine(
+            veteran.tip(),
+            height,
+            params.difficulty_bits,
+            vec![cb, tx],
+        );
+        veteran.add_block(block).unwrap();
+
+        let (outcome, directory) = bootstrap_from_peer(&mut newcomer, &veteran);
+        assert_eq!(outcome.connected, 1);
+        assert_eq!(directory.lookup(&wallet.address()), Some(endpoint));
+    }
+
+    #[test]
+    fn garbage_blocks_are_counted_not_fatal() {
+        let (mut veteran, mut newcomer, _, params) = two_chains(4);
+        mine_empty(&mut veteran, b"good");
+        let mut blocks = serve_blocks_from(&veteran, 0);
+        // A block from nowhere (unknown parent).
+        let junk = bcwan_chain::Block::mine(
+            bcwan_chain::BlockHash([0xee; 32]),
+            9,
+            params.difficulty_bits,
+            vec![Transaction::coinbase(9, b"junk", vec![TxOut {
+                value: 1,
+                script_pubkey: Script::new(),
+            }])],
+        );
+        blocks.push(junk);
+        let outcome = catch_up(&mut newcomer, blocks);
+        assert_eq!(outcome.connected, 1);
+        assert_eq!(outcome.rejected, 1);
+        assert_eq!(newcomer.height(), 1);
+    }
+
+    #[test]
+    fn duplicate_blocks_are_harmless() {
+        let (mut veteran, mut newcomer, _, _) = two_chains(5);
+        mine_empty(&mut veteran, b"x");
+        let blocks = serve_blocks_from(&veteran, 0);
+        catch_up(&mut newcomer, blocks.clone());
+        let outcome = catch_up(&mut newcomer, blocks);
+        assert_eq!(outcome.connected, 0);
+        assert_eq!(outcome.rejected, 0);
+        assert_eq!(newcomer.height(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Messages BcWAN hosts exchange over TCP/IP (the overlay).
+
+use crate::exchange::SealedUplink;
+use crate::provisioning::DeviceId;
+use bcwan_p2p::ChainMessage;
+
+/// A wide-area message between BcWAN hosts.
+#[derive(Debug, Clone)]
+pub enum WanMessage {
+    /// Chain gossip (transactions, blocks, sync traffic).
+    Chain(ChainMessage),
+    /// Step 7: the gateway forwards `(Em, ePk, Sig)` to the recipient it
+    /// looked up in the directory.
+    Deliver {
+        /// Which provisioned device produced the data.
+        device_id: DeviceId,
+        /// Serialized ephemeral public key `ePk`.
+        e_pk_bytes: Vec<u8>,
+        /// The sealed payload and node signature.
+        uplink: SealedUplink,
+    },
+}
+
+impl WanMessage {
+    /// Short label for logs/metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WanMessage::Chain(ChainMessage::Tx(_)) => "tx",
+            WanMessage::Chain(ChainMessage::Block(_)) => "block",
+            WanMessage::Chain(_) => "sync",
+            WanMessage::Deliver { .. } => "deliver",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        let deliver = WanMessage::Deliver {
+            device_id: DeviceId(1),
+            e_pk_bytes: vec![],
+            uplink: SealedUplink {
+                em: vec![],
+                sig: vec![],
+            },
+        };
+        assert_eq!(deliver.kind(), "deliver");
+        assert_eq!(WanMessage::Chain(ChainMessage::GetBlocksFrom(0)).kind(), "sync");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests over the protocol layer: sealing/opening, escrow
+//! construction, and the directory codec.
+
+use bcwan::directory::{IpAnnouncement, NetAddr};
+use bcwan::escrow::{build_claim, build_escrow, extract_key_from_claim, find_escrow_for_key};
+use bcwan::exchange::{open_reading, seal_reading, verify_uplink};
+use bcwan::provisioning::{DeviceId, DeviceRegistry};
+use bcwan_chain::{Address, OutPoint, TxId, Wallet};
+use bcwan_crypto::rsa::{generate_keypair, RsaKeySize};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+
+// RSA keygen is the expensive part; share one environment per process.
+thread_local! {
+    static ENV: RefCell<Option<Env>> = const { RefCell::new(None) };
+}
+
+struct Env {
+    registry: DeviceRegistry,
+    creds: bcwan::provisioning::DeviceCredentials,
+    e_pk: bcwan_crypto::RsaPublicKey,
+    e_sk: bcwan_crypto::RsaPrivateKey,
+    recipient: Wallet,
+    gateway: Wallet,
+}
+
+fn with_env<T>(f: impl FnOnce(&mut Env) -> T) -> T {
+    ENV.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let env = slot.get_or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(0xE0);
+            let mut registry = DeviceRegistry::new();
+            let creds = registry.provision(&mut rng, DeviceId(1), Address([9; 20]));
+            let (e_pk, e_sk) = generate_keypair(&mut rng, RsaKeySize::Rsa512);
+            Env {
+                registry,
+                creds,
+                e_pk,
+                e_sk,
+                recipient: Wallet::generate(&mut rng),
+                gateway: Wallet::generate(&mut rng),
+            }
+        });
+        f(env)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any reading within the RSA capacity survives the full seal → open
+    /// path, and its signature verifies.
+    #[test]
+    fn seal_open_round_trip(reading in proptest::collection::vec(any::<u8>(), 0..32), seed in any::<u64>()) {
+        with_env(|env| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sealed = seal_reading(&mut rng, &env.creds, &env.e_pk, &reading).unwrap();
+            let record = env.registry.get(&DeviceId(1)).unwrap();
+            prop_assert!(verify_uplink(record, &env.e_pk, &sealed));
+            prop_assert_eq!(open_reading(record, &env.e_sk, &sealed.em).unwrap(), reading);
+            Ok(())
+        })?;
+    }
+
+    /// Any single corrupted byte in Em breaks the signature.
+    #[test]
+    fn any_tamper_detected(
+        reading in proptest::collection::vec(any::<u8>(), 1..16),
+        byte in 0usize..64,
+        flip in 1u8..=255,
+        seed in any::<u64>(),
+    ) {
+        with_env(|env| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sealed = seal_reading(&mut rng, &env.creds, &env.e_pk, &reading).unwrap();
+            let idx = byte % sealed.em.len();
+            sealed.em[idx] ^= flip;
+            let record = env.registry.get(&DeviceId(1)).unwrap();
+            prop_assert!(!verify_uplink(record, &env.e_pk, &sealed));
+            Ok(())
+        })?;
+    }
+
+    /// Escrow construction balances value for arbitrary reward/fee/coins,
+    /// and the claim always recovers a matching key.
+    #[test]
+    fn escrow_value_balance(
+        coin_value in 20u64..100_000,
+        reward_frac in 1u64..100,
+        fee in 0u64..10,
+        height in 0u64..10_000,
+    ) {
+        with_env(|env| {
+            let reward = (coin_value - fee).min(reward_frac.max(1));
+            prop_assume!(coin_value >= reward + fee);
+            let coin = (
+                OutPoint { txid: TxId([3; 32]), vout: 0 },
+                env.recipient.locking_script(),
+                coin_value,
+            );
+            let escrow = build_escrow(
+                &env.recipient,
+                &[coin],
+                &env.e_pk,
+                &env.gateway.address(),
+                reward,
+                fee,
+                height,
+            );
+            // Outputs: escrow + optional change; total = coin - fee.
+            prop_assert_eq!(escrow.tx.total_output(), coin_value - fee);
+            prop_assert_eq!(escrow.tx.outputs[0].value, reward);
+            prop_assert_eq!(escrow.refund_height, height + bcwan::escrow::REFUND_DELTA);
+            let found = find_escrow_for_key(&escrow.tx, &env.e_pk);
+            prop_assert_eq!(found, Some((0, reward)));
+
+            let claim = build_claim(
+                &env.gateway,
+                escrow.outpoint(),
+                &escrow.script,
+                reward,
+                &env.e_sk,
+                fee.min(reward),
+            );
+            let revealed = extract_key_from_claim(&claim, &escrow.outpoint()).unwrap();
+            prop_assert!(env.e_pk.matches_private(&revealed));
+            Ok(())
+        })?;
+    }
+
+    /// The directory announcement codec round-trips any field values.
+    #[test]
+    fn announcement_codec_round_trip(
+        addr in any::<[u8; 20]>(),
+        ip in any::<[u8; 4]>(),
+        port in any::<u16>(),
+        seq in any::<u32>(),
+    ) {
+        let ann = IpAnnouncement {
+            address: Address(addr),
+            endpoint: NetAddr { ip, port },
+            seq,
+        };
+        prop_assert_eq!(IpAnnouncement::from_payload(&ann.to_payload()), Some(ann));
+        // And through the script embedding.
+        let script = ann.to_script();
+        prop_assert_eq!(
+            IpAnnouncement::from_payload(script.op_return_data().unwrap()),
+            Some(ann)
+        );
+    }
+
+    /// Garbage never parses as an announcement (wrong magic/length).
+    #[test]
+    fn garbage_announcements_rejected(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(bytes.len() != 34 || &bytes[..4] != b"BCIP");
+        prop_assert_eq!(IpAnnouncement::from_payload(&bytes), None);
+    }
+}

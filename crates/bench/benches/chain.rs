@@ -1,0 +1,175 @@
+//! Criterion benchmarks for the blockchain substrate: transaction
+//! validation, block assembly/connection, merkle trees, and the mempool —
+//! the work a gateway daemon performs per gossip message.
+
+use bcwan_chain::{
+    validate_transaction, Block, Chain, ChainParams, Mempool, OutPoint, Transaction, TxOut,
+    Wallet,
+};
+use bcwan_chain::merkle::{merkle_proof, merkle_root};
+use bcwan_chain::tx::TxId;
+use bcwan_script::Script;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Fixture {
+    params: ChainParams,
+    chain: Chain,
+    wallet: Wallet,
+    coins: Vec<(OutPoint, Script, u64)>,
+}
+
+fn fixture(n_coins: usize) -> Fixture {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut params = ChainParams::multichain_like();
+    params.coinbase_maturity = 1;
+    let wallet = Wallet::generate(&mut rng);
+    let allocations: Vec<_> = (0..n_coins)
+        .map(|_| (wallet.address(), 1_000u64))
+        .collect();
+    let genesis = Chain::make_genesis(&params, &allocations);
+    let mut chain = Chain::new(params.clone(), genesis);
+    // One empty block to mature the genesis coinbase.
+    let cb = Transaction::coinbase(
+        1,
+        b"w",
+        vec![TxOut {
+            value: params.coinbase_reward,
+            script_pubkey: Script::new(),
+        }],
+    );
+    let block = Block::mine(chain.tip(), 1, params.difficulty_bits, vec![cb]);
+    chain.add_block(block).unwrap();
+    let genesis_txid = chain.block_at(0).unwrap().transactions[0].txid();
+    let coins = (0..n_coins as u32)
+        .map(|vout| {
+            (
+                OutPoint {
+                    txid: genesis_txid,
+                    vout,
+                },
+                wallet.locking_script(),
+                1_000u64,
+            )
+        })
+        .collect();
+    Fixture {
+        params,
+        chain,
+        wallet,
+        coins,
+    }
+}
+
+fn payment(f: &Fixture, coin: usize) -> Transaction {
+    f.wallet.build_payment(
+        vec![(f.coins[coin].0, f.coins[coin].1.clone())],
+        vec![TxOut {
+            value: 990,
+            script_pubkey: Script::new(),
+        }],
+        0,
+    )
+}
+
+fn bench_tx(c: &mut Criterion) {
+    let f = fixture(4);
+    let tx = payment(&f, 0);
+    c.bench_function("tx_build_and_sign_p2pkh", |b| {
+        b.iter(|| payment(black_box(&f), 0))
+    });
+    c.bench_function("tx_validate_p2pkh (daemon hot path)", |b| {
+        b.iter(|| {
+            validate_transaction(
+                black_box(&tx),
+                f.chain.utxo(),
+                f.chain.height() + 1,
+                &f.params,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("txid_serialize_hash", |b| b.iter(|| black_box(&tx).txid()));
+}
+
+fn bench_mempool(c: &mut Criterion) {
+    let f = fixture(64);
+    c.bench_function("mempool_insert_64", |b| {
+        b.iter(|| {
+            let mut pool = Mempool::new();
+            for i in 0..64 {
+                pool.insert(
+                    payment(&f, i),
+                    f.chain.utxo(),
+                    f.chain.height() + 1,
+                    &f.params,
+                )
+                .unwrap();
+            }
+            pool.len()
+        })
+    });
+    let mut pool = Mempool::new();
+    for i in 0..64 {
+        pool.insert(payment(&f, i), f.chain.utxo(), f.chain.height() + 1, &f.params)
+            .unwrap();
+    }
+    c.bench_function("mempool_block_template_64", |b| {
+        b.iter(|| black_box(&pool).block_template(1 << 20))
+    });
+}
+
+fn bench_block(c: &mut Criterion) {
+    let f = fixture(32);
+    let mut txs = vec![Transaction::coinbase(
+        2,
+        b"bench",
+        vec![TxOut {
+            value: f.params.coinbase_reward,
+            script_pubkey: Script::new(),
+        }],
+    )];
+    for i in 0..32 {
+        txs.push(payment(&f, i));
+    }
+    c.bench_function("block_mine_12bits_33txs", |b| {
+        b.iter(|| Block::mine(f.chain.tip(), 2, f.params.difficulty_bits, txs.clone()))
+    });
+    let block = Block::mine(f.chain.tip(), 2, f.params.difficulty_bits, txs);
+    c.bench_function("block_connect_33txs (stall-free verification)", |b| {
+        b.iter(|| {
+            let mut chain = clone_for_bench(&f);
+            chain.add_block(black_box(block.clone())).unwrap()
+        })
+    });
+}
+
+fn clone_for_bench(f: &Fixture) -> Chain {
+    let blocks: Vec<Block> = f.chain.iter_main().cloned().collect();
+    let mut chain = Chain::new(f.params.clone(), blocks[0].clone());
+    for b in blocks.into_iter().skip(1) {
+        chain.add_block(b).unwrap();
+    }
+    chain
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let ids: Vec<TxId> = (0..255u8).map(|i| TxId([i; 32])).collect();
+    c.bench_function("merkle_root_255", |b| {
+        b.iter(|| merkle_root(black_box(&ids)))
+    });
+    let root = merkle_root(&ids);
+    let proof = merkle_proof(&ids, 100).unwrap();
+    c.bench_function("merkle_proof_verify_255", |b| {
+        b.iter(|| black_box(&proof).verify(black_box(&root)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tx, bench_mempool, bench_block, bench_merkle
+}
+criterion_main!(benches);

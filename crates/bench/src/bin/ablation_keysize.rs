@@ -1,0 +1,70 @@
+//! Ablation A2 (§6): RSA key size versus LoRa cost.
+//!
+//! "We chose RSA-512 as method to encrypt our data due to the size limit
+//! of the payload that can be sent on the LoRa network… For application
+//! where this may be a problem it is possible to use higher levels of
+//! encryption but messages will be lengthier on the LoRa network."
+//!
+//! For each modulus size this prints the data-uplink PHY size (Em + Sig
+//! are one RSA block each), its airtime per spreading factor, the
+//! duty-cycle message budget, and whether the frame fits the regional
+//! payload caps at all.
+//!
+//! Usage: `ablation_keysize [--json PATH]`.
+
+use bcwan_bench::{parse_harness_args, write_json};
+use bcwan_lora::airtime::{max_messages_per_hour, time_on_air};
+use bcwan_lora::params::{RadioConfig, SpreadingFactor};
+use bcwan_crypto::rsa::RsaKeySize;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    rsa_bits: usize,
+    uplink_phy_bytes: usize,
+    spreading_factor: u32,
+    fits: bool,
+    airtime_ms: f64,
+    msgs_per_hour_1pct: f64,
+}
+
+fn main() {
+    let (_, json) = parse_harness_args();
+    let mut rows = Vec::new();
+    println!("RSA    frame(B)  SF    fits  airtime(ms)  msgs/h@1%");
+    for size in [RsaKeySize::Rsa512, RsaKeySize::Rsa1024, RsaKeySize::Rsa2048] {
+        // DataUplink wire: 4 header + 4 device + 20 @R + 2+Em + 2+Sig.
+        let phy = 4 + 4 + 20 + 2 + size.block_len() + 2 + size.block_len();
+        for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf9, SpreadingFactor::Sf12] {
+            let cfg = RadioConfig::with_sf(sf);
+            let fits = phy <= sf.max_payload() + 4;
+            let airtime = time_on_air(&cfg, phy);
+            let rate = max_messages_per_hour(&cfg, phy, 0.01);
+            println!(
+                "{:>5}  {:>8}  SF{:<3} {:>4}  {:>11.1}  {:>9.1}",
+                size.bits(),
+                phy,
+                sf.value(),
+                if fits { "yes" } else { "NO" },
+                airtime.as_secs_f64() * 1e3,
+                rate,
+            );
+            rows.push(Row {
+                rsa_bits: size.bits(),
+                uplink_phy_bytes: phy,
+                spreading_factor: sf.value(),
+                fits,
+                airtime_ms: airtime.as_secs_f64() * 1e3,
+                msgs_per_hour_1pct: rate,
+            });
+        }
+    }
+    println!();
+    println!("shape check: doubling the modulus roughly doubles the frame and halves");
+    println!("the duty-cycle budget; RSA-2048 no longer fits SF9+ payload caps at all —");
+    println!("the paper's §6 justification for accepting RSA-512's weakness.");
+    if let Some(path) = json {
+        write_json(&path, &rows).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

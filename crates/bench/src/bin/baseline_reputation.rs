@@ -1,0 +1,69 @@
+//! Ablation A3 (§4.4): the reputation-only baseline versus BcWAN's fair
+//! exchange.
+//!
+//! "This solution reduces the probability of misbehavior but does not
+//! eliminate the problem." The sweep varies the malicious-gateway
+//! fraction and reports the residual loss under pay-first + reputation;
+//! BcWAN's structural loss is zero by construction (the escrow releases
+//! only against the key).
+//!
+//! Usage: `baseline_reputation [MESSAGES] [--json PATH]`.
+
+use bcwan::reputation::{run_reputation_baseline, ReputationConfig};
+use bcwan_bench::{parse_harness_args, write_json};
+use bcwan_sim::SimRng;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    malicious_fraction: f64,
+    attempted: usize,
+    delivered: usize,
+    stolen: usize,
+    stolen_value: u64,
+    loss_rate: f64,
+    banned_gateways: usize,
+    bcwan_loss_rate: f64,
+}
+
+fn main() {
+    let (messages, json) = parse_harness_args();
+    let messages = messages.unwrap_or(20_000);
+    let mut rng = SimRng::seed_from_u64(11);
+    let mut rows = Vec::new();
+    println!("malicious%  delivered   stolen  value-lost  loss-rate  banned   bcwan");
+    for pct in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let cfg = ReputationConfig {
+            malicious_fraction: pct,
+            ..ReputationConfig::default()
+        };
+        let out = run_reputation_baseline(&cfg, messages, &mut rng);
+        println!(
+            "{:>9.0}%  {:>9}  {:>7}  {:>10}  {:>9.4}  {:>6}  {:>6.4}",
+            pct * 100.0,
+            out.delivered,
+            out.stolen,
+            out.stolen_value,
+            out.loss_rate(),
+            out.banned_gateways,
+            0.0,
+        );
+        rows.push(Row {
+            malicious_fraction: pct,
+            attempted: out.attempted,
+            delivered: out.delivered,
+            stolen: out.stolen,
+            stolen_value: out.stolen_value,
+            loss_rate: out.loss_rate(),
+            banned_gateways: out.banned_gateways,
+            bcwan_loss_rate: 0.0,
+        });
+    }
+    println!();
+    println!("BcWAN column is structural: the Listing 1 escrow cannot pay without");
+    println!("revealing the key, so pay-without-delivery is impossible (§4.4).");
+    if let Some(path) = json {
+        write_json(&path, &rows).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Reproduces **paper Fig. 5**: BcWAN full-exchange latency with block
+//! verification disabled. Paper setup: 5 PlanetLab hosts × 30 sensors,
+//! SF7, 1 % duty cycle, 128-byte payload + 4-byte header, AWS master
+//! mining, 2000 exchanges. Paper result: **mean 1.604 s**.
+//!
+//! Usage: `fig5_latency [N] [--json PATH]` (N overrides 2000 exchanges).
+
+use bcwan::world::{WorkloadConfig, World};
+use bcwan_bench::{parse_harness_args, write_json, LatencyReport};
+
+fn main() {
+    let (target, json) = parse_harness_args();
+    let mut cfg = WorkloadConfig::paper_fig5();
+    if let Some(n) = target {
+        cfg.target_exchanges = n;
+    }
+    eprintln!(
+        "running Fig. 5: {} exchanges, {} hosts × {} sensors, SF7, 1% duty…",
+        cfg.target_exchanges, cfg.actor_hosts, cfg.sensors_per_host
+    );
+    let result = World::new(cfg).run();
+    let report = LatencyReport::from_series(
+        "Fig. 5 — exchange latency, block verification disabled",
+        Some(1.604),
+        &result.latencies,
+        result.completed,
+        result.failed,
+        result.sim_time.as_secs_f64(),
+        result.blocks_mined,
+        result.stalls,
+        4.0,
+        20,
+    )
+    .expect("at least one exchange completed");
+    report.print();
+    // Phase breakdown (means): where the latency lives.
+    if let (Some(r), Some(f), Some(s)) = (
+        result.phase_radio.summary(),
+        result.phase_forward.summary(),
+        result.phase_settlement.summary(),
+    ) {
+        println!(
+            "phases (mean): radio+node {:.3}s | forward+verify {:.3}s | escrow+claim+open {:.3}s",
+            r.mean, f.mean, s.mean
+        );
+    }
+    if let Some(path) = json {
+        write_json(&path, &report).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

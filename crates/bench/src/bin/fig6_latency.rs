@@ -1,0 +1,52 @@
+//! Reproduces **paper Fig. 6**: BcWAN full-exchange latency with block
+//! verification enabled — every block arrival stalls the Multichain-like
+//! daemon ("the block verification made the Multichain daemon stall and
+//! become unresponsive for extended periods upon each block arrival").
+//! Paper result: **mean 30.241 s**.
+//!
+//! Usage: `fig6_latency [N] [--json PATH]`.
+
+use bcwan::world::{WorkloadConfig, World};
+use bcwan_bench::{parse_harness_args, write_json, LatencyReport};
+
+fn main() {
+    let (target, json) = parse_harness_args();
+    let mut cfg = WorkloadConfig::paper_fig6();
+    if let Some(n) = target {
+        cfg.target_exchanges = n;
+    }
+    eprintln!(
+        "running Fig. 6: {} exchanges with verification stalls…",
+        cfg.target_exchanges
+    );
+    let result = World::new(cfg).run();
+    let report = LatencyReport::from_series(
+        "Fig. 6 — exchange latency, block verification enabled",
+        Some(30.241),
+        &result.latencies,
+        result.completed,
+        result.failed,
+        result.sim_time.as_secs_f64(),
+        result.blocks_mined,
+        result.stalls,
+        120.0,
+        24,
+    )
+    .expect("at least one exchange completed");
+    report.print();
+    // Phase breakdown (means): where the latency lives.
+    if let (Some(r), Some(f), Some(s)) = (
+        result.phase_radio.summary(),
+        result.phase_forward.summary(),
+        result.phase_settlement.summary(),
+    ) {
+        println!(
+            "phases (mean): radio+node {:.3}s | forward+verify {:.3}s | escrow+claim+open {:.3}s",
+            r.mean, f.mean, s.mean
+        );
+    }
+    if let Some(path) = json {
+        write_json(&path, &report).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Reproduces the §5.2 workload arithmetic (experiment T-SF): airtime and
+//! duty-cycle-limited message rate for the BcWAN frame across spreading
+//! factors. The paper quotes "a theoretical maximum of 183 messages per
+//! sensor per hour" at SF7/1 % for 128 payload + 4 header bytes; the full
+//! AN1200.13 airtime model lands at 163 msg/h for the same numbers (the
+//! paper's figure matches the nominal-bitrate approximation — both rows
+//! are printed).
+//!
+//! Usage: `lora_capacity [--json PATH]`.
+
+use bcwan_bench::{parse_harness_args, write_json};
+use bcwan_lora::airtime::{max_messages_per_hour, time_on_air};
+use bcwan_lora::params::{RadioConfig, SpreadingFactor};
+use serde::Serialize;
+
+/// One row of the capacity table.
+#[derive(Debug, Serialize)]
+struct Row {
+    spreading_factor: u32,
+    airtime_ms: f64,
+    max_per_hour_duty1pct: f64,
+    nominal_bitrate_bps: f64,
+    nominal_per_hour: f64,
+    fits_payload: bool,
+}
+
+fn main() {
+    let (_, json) = parse_harness_args();
+    // The paper's frame: 128-byte payload + 4-byte length header.
+    const PHY_LEN: usize = 132;
+    const DUTY: f64 = 0.01;
+
+    let mut rows = Vec::new();
+    println!("SF   airtime(ms)  msgs/h@1%  nominal-bps  nominal-msgs/h  fits");
+    for sf in SpreadingFactor::ALL {
+        let cfg = RadioConfig::with_sf(sf);
+        let fits = PHY_LEN <= sf.max_payload() + 4;
+        let airtime = time_on_air(&cfg, PHY_LEN);
+        let per_hour = max_messages_per_hour(&cfg, PHY_LEN, DUTY);
+        // Nominal-bitrate approximation (SF · BW / 2^SF · CR) the paper's
+        // 183/h figure matches.
+        let cr = 4.0 / (4.0 + cfg.coding_rate.denominator_offset() as f64);
+        let bitrate =
+            sf.value() as f64 * cfg.bandwidth.hz() as f64 / (1u64 << sf.value()) as f64 * cr;
+        let nominal_airtime = (PHY_LEN * 8) as f64 / bitrate;
+        let nominal_per_hour = 3600.0 * DUTY / nominal_airtime;
+        println!(
+            "SF{:<2} {:>10.1}  {:>9.1}  {:>11.0}  {:>14.1}  {}",
+            sf.value(),
+            airtime.as_secs_f64() * 1e3,
+            per_hour,
+            bitrate,
+            nominal_per_hour,
+            if fits { "yes" } else { "NO (payload cap)" },
+        );
+        rows.push(Row {
+            spreading_factor: sf.value(),
+            airtime_ms: airtime.as_secs_f64() * 1e3,
+            max_per_hour_duty1pct: per_hour,
+            nominal_bitrate_bps: bitrate,
+            nominal_per_hour,
+            fits_payload: fits,
+        });
+    }
+    println!();
+    println!(
+        "paper (§5.2): \"theoretical maximum of 183 messages per sensor per hour\" at SF7/1%"
+    );
+    println!(
+        "nominal-bitrate model gives {:.0}/h, full AN1200.13 model {:.0}/h — same order, see EXPERIMENTS.md",
+        rows[0].nominal_per_hour, rows[0].max_per_hour_duty1pct
+    );
+    if let Some(path) = json {
+        write_json(&path, &rows).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

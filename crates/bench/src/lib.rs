@@ -1,0 +1,199 @@
+//! # bcwan-bench
+//!
+//! Figure-reproduction harnesses and Criterion micro-benchmarks for the
+//! BcWAN paper. Each `--bin` target regenerates one artefact of the
+//! evaluation (see DESIGN.md's experiment index):
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `fig5_latency` | Fig. 5 — exchange latency, verification off |
+//! | `fig6_latency` | Fig. 6 — exchange latency, verification on |
+//! | `lora_capacity` | §5.2's "183 messages per sensor per hour" (T-SF) |
+//! | `ablation_confirmations` | §6 double-spend vs confirmation depth (A1) |
+//! | `ablation_keysize` | §6 RSA size vs LoRa airtime (A2) |
+//! | `baseline_reputation` | §4.4 reputation-only baseline (A3) |
+//! | `ablation_consensus` | §6 PoW vs PoS (A4) |
+//! | `ablation_colocation` | §6 co-located gateways vs WAN latency (A5) |
+//! | `chain_throughput` | §5.2 Multichain "1000 tx/s" context (T-TP) |
+//!
+//! Every binary prints a human-readable table and, with `--json PATH`,
+//! writes machine-readable rows for replotting.
+
+#![warn(missing_docs)]
+
+use bcwan_sim::{Bucket, Series};
+use serde::Serialize;
+
+/// One experiment's latency distribution, ready for serialization.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyReport {
+    /// Which figure/config this is.
+    pub label: String,
+    /// The paper's reported mean for comparison (seconds).
+    pub paper_mean_s: Option<f64>,
+    /// Completed exchanges.
+    pub completed: usize,
+    /// Failed exchanges.
+    pub failed: usize,
+    /// Measured mean (s).
+    pub mean_s: f64,
+    /// Standard deviation (s).
+    pub std_s: f64,
+    /// Minimum (s).
+    pub min_s: f64,
+    /// Median (s).
+    pub p50_s: f64,
+    /// 95th percentile (s).
+    pub p95_s: f64,
+    /// 99th percentile (s).
+    pub p99_s: f64,
+    /// Maximum (s).
+    pub max_s: f64,
+    /// Histogram rows `(lo, hi, count)` matching the figure's x-axis.
+    pub histogram: Vec<(f64, f64, usize)>,
+    /// Simulated seconds consumed.
+    pub sim_time_s: f64,
+    /// Blocks mined during the run.
+    pub blocks_mined: u64,
+    /// Verification stalls observed.
+    pub stalls: u64,
+}
+
+impl LatencyReport {
+    /// Builds a report from a latency series plus run counters.
+    #[allow(clippy::too_many_arguments)] // flat experiment-counter list
+    pub fn from_series(
+        label: &str,
+        paper_mean_s: Option<f64>,
+        series: &Series,
+        completed: usize,
+        failed: usize,
+        sim_time_s: f64,
+        blocks_mined: u64,
+        stalls: u64,
+        hist_max_s: f64,
+        buckets: usize,
+    ) -> Option<Self> {
+        let summary = series.summary()?;
+        let histogram = series
+            .histogram(0.0, hist_max_s, buckets)
+            .into_iter()
+            .map(|Bucket { lo, hi, count }| (lo, hi, count))
+            .collect();
+        Some(LatencyReport {
+            label: label.to_string(),
+            paper_mean_s,
+            completed,
+            failed,
+            mean_s: summary.mean,
+            std_s: summary.std_dev,
+            min_s: summary.min,
+            p50_s: summary.median,
+            p95_s: summary.p95,
+            p99_s: summary.p99,
+            max_s: summary.max,
+            histogram,
+            sim_time_s,
+            blocks_mined,
+            stalls,
+        })
+    }
+
+    /// Prints the report as the text figure: summary line plus an ASCII
+    /// histogram shaped like the paper's latency plots.
+    pub fn print(&self) {
+        println!("== {} ==", self.label);
+        match self.paper_mean_s {
+            Some(p) => println!(
+                "paper mean {:.3}s | measured mean {:.3}s (std {:.3}, n={})",
+                p, self.mean_s, self.std_s, self.completed
+            ),
+            None => println!(
+                "measured mean {:.3}s (std {:.3}, n={})",
+                self.mean_s, self.std_s, self.completed
+            ),
+        }
+        println!(
+            "min {:.3}  p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}  (failed {})",
+            self.min_s, self.p50_s, self.p95_s, self.p99_s, self.max_s, self.failed
+        );
+        println!(
+            "sim time {:.1}s, {} blocks, {} stalls",
+            self.sim_time_s, self.blocks_mined, self.stalls
+        );
+        let peak = self
+            .histogram
+            .iter()
+            .map(|&(_, _, c)| c)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        for &(lo, hi, count) in &self.histogram {
+            let bar = "#".repeat(count * 50 / peak);
+            println!("{lo:7.2}–{hi:<7.2} {count:6} {bar}");
+        }
+    }
+}
+
+/// Parses `--json PATH` and `N` (positional exchange-count override) from
+/// `std::env::args`. Returns `(target_override, json_path)`.
+pub fn parse_harness_args() -> (Option<usize>, Option<String>) {
+    let mut target = None;
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            json = args.next();
+        } else if let Ok(n) = arg.parse::<usize>() {
+            target = Some(n);
+        }
+    }
+    (target, json)
+}
+
+/// Writes any serializable report to a JSON file.
+///
+/// # Errors
+///
+/// I/O or serialization failure.
+pub fn write_json<T: Serialize>(path: &str, value: &T) -> std::io::Result<()> {
+    let text = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_from_series() {
+        let series: Series = vec![1.0, 2.0, 3.0].into_iter().collect();
+        let report = LatencyReport::from_series(
+            "test", Some(1.6), &series, 3, 0, 100.0, 5, 0, 5.0, 5,
+        )
+        .unwrap();
+        assert_eq!(report.completed, 3);
+        assert!((report.mean_s - 2.0).abs() < 1e-12);
+        assert_eq!(report.histogram.len(), 5);
+        assert_eq!(
+            report.histogram.iter().map(|&(_, _, c)| c).sum::<usize>(),
+            3
+        );
+    }
+
+    #[test]
+    fn empty_series_no_report() {
+        let series = Series::new();
+        assert!(LatencyReport::from_series("x", None, &series, 0, 0, 0.0, 0, 0, 1.0, 2).is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let series: Series = vec![1.0].into_iter().collect();
+        let report =
+            LatencyReport::from_series("j", None, &series, 1, 0, 1.0, 1, 0, 2.0, 2).unwrap();
+        let text = serde_json::to_string(&report).unwrap();
+        assert!(text.contains("\"label\":\"j\""));
+    }
+}

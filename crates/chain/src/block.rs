@@ -1,0 +1,221 @@
+//! Blocks, headers, and proof-of-work.
+
+use crate::merkle::merkle_root;
+use crate::tx::Transaction;
+use bcwan_crypto::sha256d;
+use std::fmt;
+
+/// A block hash (double-SHA256 of the serialized header).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BlockHash(pub [u8; 32]);
+
+impl BlockHash {
+    /// The all-zero hash that the genesis block's header points at.
+    pub const GENESIS_PREV: BlockHash = BlockHash([0; 32]);
+
+    /// Number of leading zero bits — the proof-of-work measure.
+    pub fn leading_zero_bits(&self) -> u32 {
+        let mut bits = 0;
+        for &b in &self.0 {
+            if b == 0 {
+                bits += 8;
+            } else {
+                bits += b.leading_zeros();
+                break;
+            }
+        }
+        bits
+    }
+
+    /// Full lowercase hex.
+    pub fn to_hex(&self) -> String {
+        bcwan_crypto::hex::encode(&self.0)
+    }
+}
+
+impl fmt::Debug for BlockHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockHash({self})")
+    }
+}
+
+impl fmt::Display for BlockHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex = self.to_hex();
+        write!(f, "{}…{}", &hex[..8], &hex[56..])
+    }
+}
+
+/// A block header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Format version.
+    pub version: u32,
+    /// Hash of the previous block.
+    pub prev_hash: BlockHash,
+    /// Merkle root over the block's transaction ids.
+    pub merkle_root: [u8; 32],
+    /// Simulation timestamp (microseconds) when the block was mined.
+    pub time_us: u64,
+    /// Required leading-zero bits (difficulty target, compact form).
+    pub bits: u32,
+    /// Proof-of-work nonce.
+    pub nonce: u64,
+}
+
+impl BlockHeader {
+    /// Serializes the header for hashing.
+    pub fn serialize(&self) -> [u8; 88] {
+        let mut out = [0u8; 88];
+        out[0..4].copy_from_slice(&self.version.to_le_bytes());
+        out[4..36].copy_from_slice(&self.prev_hash.0);
+        out[36..68].copy_from_slice(&self.merkle_root);
+        out[68..76].copy_from_slice(&self.time_us.to_le_bytes());
+        out[76..80].copy_from_slice(&self.bits.to_le_bytes());
+        out[80..88].copy_from_slice(&self.nonce.to_le_bytes());
+        out
+    }
+
+    /// The header (block) hash.
+    pub fn hash(&self) -> BlockHash {
+        BlockHash(sha256d(&self.serialize()))
+    }
+
+    /// Whether the hash meets this header's own difficulty claim.
+    pub fn meets_target(&self) -> bool {
+        self.hash().leading_zero_bits() >= self.bits
+    }
+}
+
+/// A block: header plus ordered transactions (first must be coinbase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The header.
+    pub header: BlockHeader,
+    /// The transactions.
+    pub transactions: Vec<Transaction>,
+}
+
+impl Block {
+    /// Assembles a block and solves its proof of work by nonce search.
+    ///
+    /// With the small difficulties of a Multichain-like permissioned chain
+    /// this takes microseconds; the *block schedule* comes from the
+    /// simulator, not from hash grinding (see `bcwan-p2p`'s miner driver).
+    pub fn mine(
+        prev_hash: BlockHash,
+        time_us: u64,
+        bits: u32,
+        transactions: Vec<Transaction>,
+    ) -> Block {
+        let txids: Vec<_> = transactions.iter().map(|t| t.txid()).collect();
+        let mut header = BlockHeader {
+            version: 1,
+            prev_hash,
+            merkle_root: merkle_root(&txids),
+            time_us,
+            bits,
+            nonce: 0,
+        };
+        while !header.meets_target() {
+            header.nonce += 1;
+        }
+        Block {
+            header,
+            transactions,
+        }
+    }
+
+    /// The block hash.
+    pub fn hash(&self) -> BlockHash {
+        self.header.hash()
+    }
+
+    /// Serialized size in bytes (header + transactions).
+    pub fn size(&self) -> usize {
+        88 + self
+            .transactions
+            .iter()
+            .map(Transaction::size)
+            .sum::<usize>()
+    }
+
+    /// Recomputes the merkle root from the transactions and compares with
+    /// the header.
+    pub fn merkle_root_valid(&self) -> bool {
+        let txids: Vec<_> = self.transactions.iter().map(|t| t.txid()).collect();
+        merkle_root(&txids) == self.header.merkle_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::TxOut;
+    use bcwan_script::Script;
+
+    fn coinbase(height: u64) -> Transaction {
+        Transaction::coinbase(
+            height,
+            b"test",
+            vec![TxOut {
+                value: 50_000,
+                script_pubkey: Script::new(),
+            }],
+        )
+    }
+
+    #[test]
+    fn mine_finds_valid_pow() {
+        let block = Block::mine(BlockHash::GENESIS_PREV, 0, 8, vec![coinbase(0)]);
+        assert!(block.header.meets_target());
+        assert!(block.hash().leading_zero_bits() >= 8);
+        assert!(block.merkle_root_valid());
+    }
+
+    #[test]
+    fn hash_changes_with_nonce() {
+        let block = Block::mine(BlockHash::GENESIS_PREV, 0, 4, vec![coinbase(0)]);
+        let mut header2 = block.header.clone();
+        header2.nonce += 1;
+        assert_ne!(block.hash(), header2.hash());
+    }
+
+    #[test]
+    fn leading_zero_bits_math() {
+        assert_eq!(BlockHash([0xff; 32]).leading_zero_bits(), 0);
+        assert_eq!(BlockHash([0; 32]).leading_zero_bits(), 256);
+        let mut h = [0u8; 32];
+        h[0] = 0x0f;
+        assert_eq!(BlockHash(h).leading_zero_bits(), 4);
+        let mut h2 = [0u8; 32];
+        h2[1] = 0x80;
+        assert_eq!(BlockHash(h2).leading_zero_bits(), 8);
+    }
+
+    #[test]
+    fn merkle_root_detects_tx_swap() {
+        let mut block = Block::mine(
+            BlockHash::GENESIS_PREV,
+            0,
+            4,
+            vec![coinbase(0), coinbase(1)],
+        );
+        assert!(block.merkle_root_valid());
+        block.transactions.swap(0, 1);
+        assert!(!block.merkle_root_valid());
+    }
+
+    #[test]
+    fn size_accounts_header_and_txs() {
+        let block = Block::mine(BlockHash::GENESIS_PREV, 0, 4, vec![coinbase(0)]);
+        assert_eq!(block.size(), 88 + block.transactions[0].size());
+    }
+
+    #[test]
+    fn display_forms() {
+        let h = BlockHash([0xab; 32]);
+        assert!(h.to_string().contains('…'));
+        assert_eq!(h.to_hex().len(), 64);
+    }
+}

@@ -1,0 +1,515 @@
+//! The block chain: storage, best-chain selection, and reorganization.
+
+use crate::block::{Block, BlockHash};
+use crate::params::ChainParams;
+use crate::tx::{Transaction, TxOut};
+use crate::utxo::{UndoData, UtxoSet};
+use crate::validate::{validate_block, BlockError};
+use crate::wallet::Address;
+use bcwan_script::templates::p2pkh;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What happened when a block was submitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockAction {
+    /// Extended the main chain; the new height.
+    Extended(u64),
+    /// Stored on a side chain (not best).
+    SideChain,
+    /// Triggered a reorganization.
+    Reorganized {
+        /// Blocks disconnected from the old main chain.
+        disconnected: usize,
+        /// Blocks connected from the new branch.
+        connected: usize,
+    },
+    /// Already known.
+    AlreadyKnown,
+}
+
+/// Why a block was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The parent block is unknown (caller should fetch it first).
+    Orphan(BlockHash),
+    /// The block body failed validation.
+    Invalid(BlockError),
+    /// A block on a would-be-best branch failed validation during reorg;
+    /// the chain state was restored.
+    BranchInvalid(BlockError),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::Orphan(h) => write!(f, "orphan block, parent {h} unknown"),
+            ChainError::Invalid(e) => write!(f, "invalid block: {e}"),
+            ChainError::BranchInvalid(e) => write!(f, "invalid branch block: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+struct StoredBlock {
+    block: Block,
+    height: u64,
+}
+
+/// The chain state: all known blocks, the best chain, and its UTXO set.
+pub struct Chain {
+    params: ChainParams,
+    blocks: HashMap<BlockHash, StoredBlock>,
+    /// Main-chain hashes indexed by height.
+    main: Vec<BlockHash>,
+    /// Undo data for connected main-chain blocks.
+    undo: HashMap<BlockHash, UndoData>,
+    utxo: UtxoSet,
+}
+
+impl fmt::Debug for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Chain")
+            .field("height", &self.height())
+            .field("blocks", &self.blocks.len())
+            .field("utxos", &self.utxo.len())
+            .finish()
+    }
+}
+
+impl Chain {
+    /// Creates a chain from a genesis block.
+    ///
+    /// Genesis is accepted as-is (exempt from PoW/coinbase-value rules, as
+    /// in Bitcoin, where genesis is hard-coded).
+    pub fn new(params: ChainParams, genesis: Block) -> Self {
+        let hash = genesis.hash();
+        let mut utxo = UtxoSet::new();
+        let undo_data = utxo
+            .apply_block(&genesis.transactions, 0)
+            .expect("genesis applies to empty set");
+        let mut blocks = HashMap::new();
+        blocks.insert(
+            hash,
+            StoredBlock {
+                block: genesis,
+                height: 0,
+            },
+        );
+        let mut undo = HashMap::new();
+        undo.insert(hash, undo_data);
+        Chain {
+            params,
+            blocks,
+            main: vec![hash],
+            undo,
+            utxo,
+        }
+    }
+
+    /// Builds a standard genesis block carrying one coinbase that
+    /// allocates initial funds — the paper's AWS master "bootstraps the
+    /// nodes"; these outputs are the bootstrap allocations.
+    pub fn make_genesis(params: &ChainParams, allocations: &[(Address, u64)]) -> Block {
+        let outputs: Vec<TxOut> = allocations
+            .iter()
+            .map(|(addr, value)| TxOut {
+                value: *value,
+                script_pubkey: p2pkh(&addr.0),
+            })
+            .collect();
+        let coinbase = Transaction::coinbase(0, b"bcwan-genesis", outputs);
+        Block::mine(
+            BlockHash::GENESIS_PREV,
+            0,
+            params.difficulty_bits,
+            vec![coinbase],
+        )
+    }
+
+    /// The consensus parameters.
+    pub fn params(&self) -> &ChainParams {
+        &self.params
+    }
+
+    /// Current best height (genesis = 0).
+    pub fn height(&self) -> u64 {
+        (self.main.len() - 1) as u64
+    }
+
+    /// Hash of the best block.
+    pub fn tip(&self) -> BlockHash {
+        *self.main.last().expect("chain never empty")
+    }
+
+    /// The UTXO set of the best chain.
+    pub fn utxo(&self) -> &UtxoSet {
+        &self.utxo
+    }
+
+    /// Fetches a block by hash.
+    pub fn block(&self, hash: &BlockHash) -> Option<&Block> {
+        self.blocks.get(hash).map(|s| &s.block)
+    }
+
+    /// Height of a block if it is on the main chain.
+    pub fn main_chain_height(&self, hash: &BlockHash) -> Option<u64> {
+        let stored = self.blocks.get(hash)?;
+        (self.main.get(stored.height as usize) == Some(hash)).then_some(stored.height)
+    }
+
+    /// Number of confirmations of a main-chain block (tip = 1).
+    pub fn confirmations(&self, hash: &BlockHash) -> Option<u64> {
+        self.main_chain_height(hash)
+            .map(|h| self.height() - h + 1)
+    }
+
+    /// The main-chain block at `height`.
+    pub fn block_at(&self, height: u64) -> Option<&Block> {
+        let hash = self.main.get(height as usize)?;
+        self.block(hash)
+    }
+
+    /// Iterates main-chain blocks from genesis to tip.
+    pub fn iter_main(&self) -> impl Iterator<Item = &Block> {
+        self.main
+            .iter()
+            .map(move |h| &self.blocks.get(h).expect("main blocks stored").block)
+    }
+
+    /// Whether a transaction is confirmed on the main chain, and at which
+    /// height. Linear scan — fine at simulation scale.
+    pub fn find_transaction(&self, txid: &crate::tx::TxId) -> Option<(u64, &Transaction)> {
+        for (height, hash) in self.main.iter().enumerate() {
+            let block = &self.blocks.get(hash).expect("stored").block;
+            for tx in &block.transactions {
+                if tx.txid() == *txid {
+                    return Some((height as u64, tx));
+                }
+            }
+        }
+        None
+    }
+
+    /// Submits a block.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Orphan`] when the parent is unknown,
+    /// [`ChainError::Invalid`] when the block fails validation on the main
+    /// tip, [`ChainError::BranchInvalid`] when a reorg target is bad.
+    pub fn add_block(&mut self, block: Block) -> Result<BlockAction, ChainError> {
+        let hash = block.hash();
+        if self.blocks.contains_key(&hash) {
+            return Ok(BlockAction::AlreadyKnown);
+        }
+        let parent_hash = block.header.prev_hash;
+        let Some(parent) = self.blocks.get(&parent_hash) else {
+            return Err(ChainError::Orphan(parent_hash));
+        };
+        let height = parent.height + 1;
+
+        if parent_hash == self.tip() {
+            // Fast path: extending the best chain.
+            validate_block(&block, &self.utxo, height, &self.params)
+                .map_err(ChainError::Invalid)?;
+            let undo = self
+                .utxo
+                .apply_block(&block.transactions, height)
+                .expect("validated block applies");
+            self.undo.insert(hash, undo);
+            self.main.push(hash);
+            self.blocks.insert(hash, StoredBlock { block, height });
+            return Ok(BlockAction::Extended(height));
+        }
+
+        // Side-chain block: store, then check whether its branch is now
+        // strictly longer than the main chain (same per-block work, so
+        // longest = most work).
+        self.blocks.insert(hash, StoredBlock { block, height });
+        if height <= self.height() {
+            return Ok(BlockAction::SideChain);
+        }
+        self.reorganize_to(hash)
+    }
+
+    /// Reorganizes the main chain to end at `new_tip` (must be stored and
+    /// strictly higher than the current tip).
+    fn reorganize_to(&mut self, new_tip: BlockHash) -> Result<BlockAction, ChainError> {
+        // Collect the new branch back to the fork point.
+        let mut branch = Vec::new(); // new blocks, tip-first
+        let mut cursor = new_tip;
+        let fork_height = loop {
+            let stored = self.blocks.get(&cursor).expect("branch stored");
+            if self.main_chain_height(&cursor).is_some() {
+                break stored.height;
+            }
+            branch.push(cursor);
+            cursor = stored.block.header.prev_hash;
+            if cursor == BlockHash::GENESIS_PREV {
+                break 0; // branch from before genesis cannot happen; safety
+            }
+        };
+        branch.reverse();
+
+        // Disconnect main-chain blocks above the fork point.
+        let mut disconnected: Vec<BlockHash> = Vec::new();
+        while self.height() > fork_height {
+            let hash = self.main.pop().expect("non-empty");
+            let stored = self.blocks.get(&hash).expect("stored");
+            let undo = self.undo.remove(&hash).expect("undo kept for main blocks");
+            self.utxo.undo_block(&stored.block.transactions, &undo);
+            disconnected.push(hash);
+        }
+
+        // Connect the new branch, validating each block.
+        let mut connected = 0usize;
+        for (i, hash) in branch.iter().enumerate() {
+            let height = fork_height + 1 + i as u64;
+            let block = self.blocks.get(hash).expect("stored").block.clone();
+            match validate_block(&block, &self.utxo, height, &self.params) {
+                Ok(()) => {
+                    let undo = self
+                        .utxo
+                        .apply_block(&block.transactions, height)
+                        .expect("validated block applies");
+                    self.undo.insert(*hash, undo);
+                    self.main.push(*hash);
+                    connected += 1;
+                }
+                Err(e) => {
+                    // Roll back the partial branch and restore the old chain.
+                    for _ in 0..connected {
+                        let h = self.main.pop().expect("non-empty");
+                        let stored = self.blocks.get(&h).expect("stored");
+                        let undo = self.undo.remove(&h).expect("undo");
+                        self.utxo.undo_block(&stored.block.transactions, &undo);
+                    }
+                    for hash in disconnected.iter().rev() {
+                        let stored = self.blocks.get(hash).expect("stored");
+                        let block = stored.block.clone();
+                        let height = stored.height;
+                        let undo = self
+                            .utxo
+                            .apply_block(&block.transactions, height)
+                            .expect("previously valid block re-applies");
+                        self.undo.insert(*hash, undo);
+                        self.main.push(*hash);
+                    }
+                    // Drop the bad block so it cannot be retried forever.
+                    self.blocks.remove(&new_tip);
+                    return Err(ChainError::BranchInvalid(e));
+                }
+            }
+        }
+        Ok(BlockAction::Reorganized {
+            disconnected: disconnected.len(),
+            connected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wallet::Wallet;
+    use bcwan_script::Script;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Chain, Wallet) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let params = ChainParams::fast_test();
+        let wallet = Wallet::generate(&mut rng);
+        let genesis = Chain::make_genesis(&params, &[(wallet.address(), 10_000)]);
+        (Chain::new(params, genesis), wallet)
+    }
+
+    fn empty_block(chain: &Chain, parent: BlockHash, height: u64, tag: &[u8]) -> Block {
+        let cb = Transaction::coinbase(
+            height,
+            tag,
+            vec![TxOut {
+                value: chain.params().coinbase_reward,
+                script_pubkey: Script::new(),
+            }],
+        );
+        Block::mine(parent, height * 1_000_000, chain.params().difficulty_bits, vec![cb])
+    }
+
+    #[test]
+    fn genesis_initializes_chain() {
+        let (chain, wallet) = setup();
+        assert_eq!(chain.height(), 0);
+        assert_eq!(chain.utxo().total_value(), 10_000);
+        // The allocation is spendable by the wallet's script.
+        let found = chain
+            .utxo()
+            .find(|e| e.output.script_pubkey == wallet.locking_script())
+            .count();
+        assert_eq!(found, 1);
+    }
+
+    #[test]
+    fn extend_main_chain() {
+        let (mut chain, _) = setup();
+        let b1 = empty_block(&chain, chain.tip(), 1, b"a");
+        assert_eq!(chain.add_block(b1.clone()), Ok(BlockAction::Extended(1)));
+        assert_eq!(chain.height(), 1);
+        assert_eq!(chain.tip(), b1.hash());
+        assert_eq!(chain.confirmations(&b1.hash()), Some(1));
+        assert_eq!(chain.add_block(b1), Ok(BlockAction::AlreadyKnown));
+    }
+
+    #[test]
+    fn orphan_rejected() {
+        let (mut chain, _) = setup();
+        let orphan = empty_block(&chain, BlockHash([0xee; 32]), 5, b"o");
+        assert!(matches!(
+            chain.add_block(orphan),
+            Err(ChainError::Orphan(_))
+        ));
+    }
+
+    #[test]
+    fn side_chain_stored_without_switch() {
+        let (mut chain, _) = setup();
+        let genesis_hash = chain.tip();
+        let b1 = empty_block(&chain, genesis_hash, 1, b"main");
+        chain.add_block(b1.clone()).unwrap();
+        // Competing block at the same height.
+        let b1_alt = empty_block(&chain, genesis_hash, 1, b"alt");
+        assert_eq!(chain.add_block(b1_alt.clone()), Ok(BlockAction::SideChain));
+        assert_eq!(chain.tip(), b1.hash());
+        assert_eq!(chain.confirmations(&b1_alt.hash()), None);
+    }
+
+    #[test]
+    fn longer_side_chain_triggers_reorg() {
+        let (mut chain, _) = setup();
+        let genesis_hash = chain.tip();
+        let b1 = empty_block(&chain, genesis_hash, 1, b"main");
+        chain.add_block(b1.clone()).unwrap();
+
+        let a1 = empty_block(&chain, genesis_hash, 1, b"alt1");
+        chain.add_block(a1.clone()).unwrap();
+        let a2 = empty_block(&chain, a1.hash(), 2, b"alt2");
+        let action = chain.add_block(a2.clone()).unwrap();
+        assert_eq!(
+            action,
+            BlockAction::Reorganized {
+                disconnected: 1,
+                connected: 2
+            }
+        );
+        assert_eq!(chain.tip(), a2.hash());
+        assert_eq!(chain.height(), 2);
+        // The old main block lost its confirmations.
+        assert_eq!(chain.confirmations(&b1.hash()), None);
+        assert_eq!(chain.confirmations(&a1.hash()), Some(2));
+    }
+
+    #[test]
+    fn reorg_updates_utxo_set() {
+        let (mut chain, wallet) = setup();
+        let genesis_hash = chain.tip();
+        let genesis_coin = {
+            let cb = &chain.block_at(0).unwrap().transactions[0];
+            crate::tx::OutPoint {
+                txid: cb.txid(),
+                vout: 0,
+            }
+        };
+        // Build main blocks until the genesis coin matures, then spend it.
+        let mut parent = genesis_hash;
+        for h in 1..=chain.params().coinbase_maturity {
+            let b = empty_block(&chain, parent, h, b"m");
+            parent = b.hash();
+            chain.add_block(b).unwrap();
+        }
+        let spend_height = chain.height() + 1;
+        let spend = wallet.build_payment(
+            vec![(genesis_coin, wallet.locking_script())],
+            vec![TxOut {
+                value: 9_000,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        );
+        let cb = Transaction::coinbase(
+            spend_height,
+            b"sp",
+            vec![TxOut {
+                value: chain.params().coinbase_reward + 1_000,
+                script_pubkey: Script::new(),
+            }],
+        );
+        let spend_block = Block::mine(
+            parent,
+            spend_height * 1_000_000,
+            chain.params().difficulty_bits,
+            vec![cb, spend],
+        );
+        chain.add_block(spend_block.clone()).unwrap();
+        assert!(!chain.utxo().contains(&genesis_coin), "coin spent on main");
+
+        // Build a longer empty branch from `parent` — the spend unconfirms.
+        let mut alt_parent = parent;
+        for i in 0..2 {
+            let b = empty_block(&chain, alt_parent, spend_height + i, b"alt");
+            alt_parent = b.hash();
+            chain.add_block(b).unwrap();
+        }
+        assert!(
+            chain.utxo().contains(&genesis_coin),
+            "reorg must restore the spent coin"
+        );
+        assert!(chain.find_transaction(&spend_block.transactions[1].txid()).is_none());
+    }
+
+    #[test]
+    fn invalid_block_rejected_and_state_intact() {
+        let (mut chain, _) = setup();
+        let bad_cb = Transaction::coinbase(
+            1,
+            b"greedy",
+            vec![TxOut {
+                value: chain.params().coinbase_reward * 10,
+                script_pubkey: Script::new(),
+            }],
+        );
+        let bad = Block::mine(chain.tip(), 1, chain.params().difficulty_bits, vec![bad_cb]);
+        assert!(matches!(
+            chain.add_block(bad),
+            Err(ChainError::Invalid(BlockError::ExcessiveCoinbase { .. }))
+        ));
+        assert_eq!(chain.height(), 0);
+        assert_eq!(chain.utxo().total_value(), 10_000);
+    }
+
+    #[test]
+    fn find_transaction_reports_height() {
+        let (mut chain, _) = setup();
+        let b1 = empty_block(&chain, chain.tip(), 1, b"x");
+        let cb_txid = b1.transactions[0].txid();
+        chain.add_block(b1).unwrap();
+        let (height, tx) = chain.find_transaction(&cb_txid).unwrap();
+        assert_eq!(height, 1);
+        assert!(tx.is_coinbase());
+        assert!(chain.find_transaction(&crate::tx::TxId([1; 32])).is_none());
+    }
+
+    #[test]
+    fn iter_main_yields_in_order() {
+        let (mut chain, _) = setup();
+        let b1 = empty_block(&chain, chain.tip(), 1, b"1");
+        chain.add_block(b1.clone()).unwrap();
+        let b2 = empty_block(&chain, chain.tip(), 2, b"2");
+        chain.add_block(b2.clone()).unwrap();
+        let hashes: Vec<_> = chain.iter_main().map(|b| b.hash()).collect();
+        assert_eq!(hashes.len(), 3);
+        assert_eq!(hashes[1], b1.hash());
+        assert_eq!(hashes[2], b2.hash());
+    }
+}

@@ -1,0 +1,60 @@
+//! # bcwan-chain
+//!
+//! The blockchain substrate: a UTXO chain with Bitcoin-style transactions
+//! and Multichain-style tunable consensus, standing in for the Multichain
+//! daemon the paper's proof of concept ran (§5.1).
+//!
+//! - [`tx`] — transactions, txids, SIGHASH_ALL signature hashes,
+//! - [`wallet`] — single-key wallets and `HASH160` addresses (the BcWAN
+//!   blockchain identity `@R`),
+//! - [`merkle`] — merkle roots and inclusion proofs,
+//! - [`block`] — headers, proof-of-work, block assembly,
+//! - [`params`] — the tunable consensus knobs Multichain advertises
+//!   (block interval, block size) and the **block-verification stall
+//!   model** behind the paper's Fig. 6,
+//! - [`utxo`] — the UTXO set with reorg-grade undo data,
+//! - [`validate`] — transaction and block validation (full script
+//!   verification, BIP-65 lock-time finality, coinbase maturity),
+//! - [`mempool`] — first-seen transaction pool with fee-ordered templates,
+//! - [`chainstate`] — best-chain selection and reorganization,
+//! - [`pos`] — stake-weighted leader election for the §6 consensus
+//!   ablation.
+//!
+//! ## Example
+//!
+//! ```
+//! use bcwan_chain::chainstate::Chain;
+//! use bcwan_chain::params::ChainParams;
+//! use bcwan_chain::wallet::Wallet;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let wallet = Wallet::generate(&mut rng);
+//! let params = ChainParams::multichain_like();
+//! let genesis = Chain::make_genesis(&params, &[(wallet.address(), 1_000_000)]);
+//! let chain = Chain::new(params, genesis);
+//! assert_eq!(chain.height(), 0);
+//! assert_eq!(chain.utxo().total_value(), 1_000_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod chainstate;
+pub mod mempool;
+pub mod merkle;
+pub mod params;
+pub mod pos;
+pub mod tx;
+pub mod utxo;
+pub mod validate;
+pub mod wallet;
+
+pub use block::{Block, BlockHash, BlockHeader};
+pub use chainstate::{BlockAction, Chain, ChainError};
+pub use mempool::{Mempool, MempoolError};
+pub use params::{ChainParams, StallModel};
+pub use tx::{OutPoint, Transaction, TxId, TxIn, TxOut, SEQUENCE_FINAL};
+pub use utxo::{UtxoEntry, UtxoSet};
+pub use validate::{validate_block, validate_transaction, BlockError, TxError};
+pub use wallet::{Address, Wallet};

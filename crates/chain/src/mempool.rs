@@ -1,0 +1,520 @@
+//! The transaction memory pool.
+//!
+//! First-seen policy: a transaction conflicting with one already pooled is
+//! rejected, which is exactly the window the paper's §6 double-spend
+//! discussion turns on — whichever conflicting transaction reaches the
+//! miner's pool first wins the block.
+
+use crate::params::ChainParams;
+use crate::tx::{OutPoint, Transaction, TxId};
+use crate::utxo::UtxoSet;
+use crate::validate::{validate_transaction, TxError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why the pool refused a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MempoolError {
+    /// Already pooled.
+    Duplicate(TxId),
+    /// Conflicts with a pooled transaction spending the same output.
+    Conflict {
+        /// The output contested.
+        outpoint: OutPoint,
+        /// The transaction already holding it.
+        existing: TxId,
+    },
+    /// Failed stateless/stateful validation.
+    Invalid(TxError),
+}
+
+impl fmt::Display for MempoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MempoolError::Duplicate(id) => write!(f, "duplicate transaction {id}"),
+            MempoolError::Conflict { outpoint, existing } => {
+                write!(f, "conflicts on {outpoint} with {existing}")
+            }
+            MempoolError::Invalid(e) => write!(f, "invalid transaction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MempoolError {}
+
+struct PoolEntry {
+    tx: Transaction,
+    fee: u64,
+}
+
+/// The UTXO state as the pool sees it: base set plus pooled outputs minus
+/// pooled spends. A borrow-only overlay — no cloning.
+struct PoolView<'a> {
+    base: &'a UtxoSet,
+    created: &'a HashMap<OutPoint, crate::utxo::UtxoEntry>,
+    spent: &'a HashMap<OutPoint, TxId>,
+}
+
+impl crate::utxo::UtxoView for PoolView<'_> {
+    fn view_get(&self, outpoint: &OutPoint) -> Option<&crate::utxo::UtxoEntry> {
+        if self.spent.contains_key(outpoint) {
+            return None;
+        }
+        self.created
+            .get(outpoint)
+            .or_else(|| self.base.view_get(outpoint))
+    }
+}
+
+/// The memory pool.
+///
+/// Chained unconfirmed transactions are accepted (a child may spend a
+/// pooled parent's output) — BcWAN's claim transaction spends the escrow
+/// before it confirms, exactly the paper's §6 zero-confirmation choice.
+#[derive(Default)]
+pub struct Mempool {
+    entries: HashMap<TxId, PoolEntry>,
+    by_outpoint: HashMap<OutPoint, TxId>,
+    /// Outputs created by pooled transactions, for the overlay view.
+    created: HashMap<OutPoint, crate::utxo::UtxoEntry>,
+    next_seq: u64,
+}
+
+impl fmt::Debug for Mempool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mempool")
+            .field("transactions", &self.entries.len())
+            .finish()
+    }
+}
+
+impl Mempool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Mempool::default()
+    }
+
+    /// Number of pooled transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a transaction is pooled.
+    pub fn contains(&self, txid: &TxId) -> bool {
+        self.entries.contains_key(txid)
+    }
+
+    /// Fetches a pooled transaction.
+    pub fn get(&self, txid: &TxId) -> Option<&Transaction> {
+        self.entries.get(txid).map(|e| &e.tx)
+    }
+
+    /// Admits a transaction after validating it against `utxo` at `height`.
+    /// Returns the fee on success.
+    ///
+    /// # Errors
+    ///
+    /// [`MempoolError`] on duplicates, conflicts, or validation failure.
+    pub fn insert(
+        &mut self,
+        tx: Transaction,
+        utxo: &UtxoSet,
+        height: u64,
+        params: &ChainParams,
+    ) -> Result<u64, MempoolError> {
+        let txid = tx.txid();
+        if self.entries.contains_key(&txid) {
+            return Err(MempoolError::Duplicate(txid));
+        }
+        for input in &tx.inputs {
+            if let Some(existing) = self.by_outpoint.get(&input.prevout) {
+                return Err(MempoolError::Conflict {
+                    outpoint: input.prevout,
+                    existing: *existing,
+                });
+            }
+        }
+        // Validate against the UTXO view extended with pooled outputs, so
+        // children of unconfirmed parents are admissible.
+        let view = PoolView {
+            base: utxo,
+            created: &self.created,
+            spent: &self.by_outpoint,
+        };
+        let fee = validate_transaction(&tx, &view, height, params)
+            .map_err(MempoolError::Invalid)?;
+        for input in &tx.inputs {
+            self.by_outpoint.insert(input.prevout, txid);
+        }
+        for (vout, output) in tx.outputs.iter().enumerate() {
+            self.created.insert(
+                OutPoint {
+                    txid,
+                    vout: vout as u32,
+                },
+                crate::utxo::UtxoEntry {
+                    output: output.clone(),
+                    height,
+                    coinbase: false,
+                },
+            );
+        }
+        self.next_seq += 1;
+        self.entries.insert(txid, PoolEntry { tx, fee });
+        Ok(fee)
+    }
+
+    /// Selects transactions for a block template, highest fee-rate first,
+    /// within `max_bytes` (which should leave room for the coinbase).
+    ///
+    /// A dependent transaction is only selected once its pooled parents
+    /// are, keeping the template topologically valid.
+    pub fn block_template(&self, max_bytes: usize) -> Vec<Transaction> {
+        let mut candidates: Vec<&PoolEntry> = self.entries.values().collect();
+        candidates.sort_by(|a, b| {
+            let rate_a = a.fee as f64 / a.tx.size() as f64;
+            let rate_b = b.fee as f64 / b.tx.size() as f64;
+            rate_b
+                .partial_cmp(&rate_a)
+                .expect("finite rates")
+                .then_with(|| a.tx.txid().cmp(&b.tx.txid()))
+        });
+        let mut out: Vec<Transaction> = Vec::new();
+        let mut selected: std::collections::HashSet<TxId> = std::collections::HashSet::new();
+        let mut used = 0usize;
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for entry in &candidates {
+                let txid = entry.tx.txid();
+                if selected.contains(&txid) {
+                    continue;
+                }
+                // Parents must be confirmed (not pooled) or already chosen.
+                let deps_ok = entry.tx.inputs.iter().all(|i| {
+                    !self.entries.contains_key(&i.prevout.txid)
+                        || selected.contains(&i.prevout.txid)
+                });
+                if !deps_ok {
+                    continue;
+                }
+                let size = entry.tx.size();
+                if used + size > max_bytes {
+                    continue;
+                }
+                used += size;
+                selected.insert(txid);
+                out.push(entry.tx.clone());
+                progressed = true;
+            }
+        }
+        out
+    }
+
+    /// Total fees of all pooled transactions.
+    pub fn total_fees(&self) -> u64 {
+        self.entries.values().map(|e| e.fee).sum()
+    }
+
+    /// Removes transactions confirmed in a block, plus any pooled
+    /// transaction conflicting with them and, recursively, the
+    /// descendants of evicted conflicts. Returns how many left the pool.
+    pub fn remove_confirmed(&mut self, confirmed: &[Transaction]) -> usize {
+        let mut evicted = 0;
+        for tx in confirmed {
+            // Direct removal: descendants stay — they remain valid now
+            // that the parent is confirmed.
+            if self.remove_one(&tx.txid()) {
+                evicted += 1;
+            }
+            // Conflict eviction: anything spending the same outputs, and
+            // everything built on top of it.
+            for input in &tx.inputs {
+                if let Some(loser) = self.by_outpoint.get(&input.prevout).copied() {
+                    evicted += self.remove_recursive(&loser);
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Removes a transaction and every pooled descendant.
+    fn remove_recursive(&mut self, txid: &TxId) -> usize {
+        let Some(entry) = self.entries.remove(txid) else {
+            return 0;
+        };
+        for input in &entry.tx.inputs {
+            self.by_outpoint.remove(&input.prevout);
+        }
+        let mut removed = 1;
+        // Children spend this tx's outputs.
+        for vout in 0..entry.tx.outputs.len() as u32 {
+            let op = OutPoint { txid: *txid, vout };
+            self.created.remove(&op);
+            if let Some(child) = self.by_outpoint.get(&op).copied() {
+                removed += self.remove_recursive(&child);
+            }
+        }
+        removed
+    }
+
+    fn remove_one(&mut self, txid: &TxId) -> bool {
+        match self.entries.remove(txid) {
+            Some(entry) => {
+                for input in &entry.tx.inputs {
+                    self.by_outpoint.remove(&input.prevout);
+                }
+                for vout in 0..entry.tx.outputs.len() as u32 {
+                    self.created.remove(&OutPoint { txid: *txid, vout });
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over pooled transactions (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.entries.values().map(|e| &e.tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::TxOut;
+    use crate::wallet::Wallet;
+    use bcwan_script::Script;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        params: ChainParams,
+        utxo: UtxoSet,
+        wallet: Wallet,
+        coins: Vec<(OutPoint, Script)>,
+        height: u64,
+    }
+
+    fn fixture(n_coins: usize) -> Fixture {
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = ChainParams::fast_test();
+        let wallet = Wallet::generate(&mut rng);
+        let cb = Transaction::coinbase(
+            0,
+            b"m",
+            (0..n_coins)
+                .map(|_| TxOut {
+                    value: 1000,
+                    script_pubkey: wallet.locking_script(),
+                })
+                .collect(),
+        );
+        let mut utxo = UtxoSet::new();
+        utxo.apply_block(&[cb.clone()], 0).unwrap();
+        let coins = (0..n_coins as u32)
+            .map(|vout| {
+                (
+                    OutPoint {
+                        txid: cb.txid(),
+                        vout,
+                    },
+                    wallet.locking_script(),
+                )
+            })
+            .collect();
+        Fixture {
+            height: params.coinbase_maturity,
+            params,
+            utxo,
+            wallet,
+            coins,
+        }
+    }
+
+    fn payment(f: &Fixture, coin: usize, fee: u64) -> Transaction {
+        f.wallet.build_payment(
+            vec![f.coins[coin].clone()],
+            vec![TxOut {
+                value: 1000 - fee,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn insert_and_report_fee() {
+        let f = fixture(1);
+        let mut pool = Mempool::new();
+        let tx = payment(&f, 0, 25);
+        let fee = pool.insert(tx.clone(), &f.utxo, f.height, &f.params).unwrap();
+        assert_eq!(fee, 25);
+        assert!(pool.contains(&tx.txid()));
+        assert_eq!(pool.total_fees(), 25);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let f = fixture(1);
+        let mut pool = Mempool::new();
+        let tx = payment(&f, 0, 10);
+        pool.insert(tx.clone(), &f.utxo, f.height, &f.params).unwrap();
+        assert!(matches!(
+            pool.insert(tx, &f.utxo, f.height, &f.params),
+            Err(MempoolError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn conflicting_double_spend_rejected_first_seen_wins() {
+        let f = fixture(1);
+        let mut pool = Mempool::new();
+        let tx1 = payment(&f, 0, 10);
+        let tx2 = payment(&f, 0, 500); // higher fee — still loses: first-seen
+        pool.insert(tx1.clone(), &f.utxo, f.height, &f.params).unwrap();
+        let err = pool.insert(tx2, &f.utxo, f.height, &f.params).unwrap_err();
+        assert!(matches!(err, MempoolError::Conflict { existing, .. } if existing == tx1.txid()));
+    }
+
+    #[test]
+    fn invalid_transaction_rejected() {
+        let f = fixture(1);
+        let mut pool = Mempool::new();
+        let mut tx = payment(&f, 0, 10);
+        tx.outputs[0].value = 10_000; // overspend (also breaks the signature)
+        assert!(matches!(
+            pool.insert(tx, &f.utxo, f.height, &f.params),
+            Err(MempoolError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn block_template_orders_by_fee_rate() {
+        let f = fixture(3);
+        let mut pool = Mempool::new();
+        let cheap = payment(&f, 0, 1);
+        let rich = payment(&f, 1, 300);
+        let mid = payment(&f, 2, 50);
+        for tx in [&cheap, &rich, &mid] {
+            pool.insert(tx.clone(), &f.utxo, f.height, &f.params).unwrap();
+        }
+        let template = pool.block_template(1 << 20);
+        assert_eq!(template.len(), 3);
+        assert_eq!(template[0].txid(), rich.txid());
+        assert_eq!(template[1].txid(), mid.txid());
+        assert_eq!(template[2].txid(), cheap.txid());
+    }
+
+    #[test]
+    fn block_template_respects_size() {
+        let f = fixture(3);
+        let mut pool = Mempool::new();
+        for i in 0..3 {
+            pool.insert(payment(&f, i, 10), &f.utxo, f.height, &f.params)
+                .unwrap();
+        }
+        let one_tx_size = pool.iter().next().unwrap().size();
+        let template = pool.block_template(one_tx_size + 10);
+        assert_eq!(template.len(), 1);
+    }
+
+    #[test]
+    fn remove_confirmed_evicts_tx_and_conflicts() {
+        let f = fixture(2);
+        let mut pool = Mempool::new();
+        let tx_a = payment(&f, 0, 10);
+        let tx_b = payment(&f, 1, 10);
+        pool.insert(tx_a.clone(), &f.utxo, f.height, &f.params).unwrap();
+        pool.insert(tx_b.clone(), &f.utxo, f.height, &f.params).unwrap();
+
+        // A block confirms a *conflicting* spend of coin 0 plus tx_b itself.
+        let conflict = f.wallet.build_payment(
+            vec![f.coins[0].clone()],
+            vec![TxOut { value: 500, script_pubkey: Script::new() }],
+            0,
+        );
+        let evicted = pool.remove_confirmed(&[conflict, tx_b.clone()]);
+        assert_eq!(evicted, 2);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn unconfirmed_chains_accepted_and_templated_in_order() {
+        let f = fixture(1);
+        let mut pool = Mempool::new();
+        let parent = f.wallet.build_payment(
+            vec![f.coins[0].clone()],
+            vec![TxOut {
+                value: 900,
+                script_pubkey: f.wallet.locking_script(),
+            }],
+            0,
+        );
+        pool.insert(parent.clone(), &f.utxo, f.height, &f.params).unwrap();
+        // Child spends the parent's unconfirmed output — the BcWAN claim
+        // transaction does exactly this to the unconfirmed escrow.
+        let child = f.wallet.build_payment(
+            vec![(
+                OutPoint {
+                    txid: parent.txid(),
+                    vout: 0,
+                },
+                f.wallet.locking_script(),
+            )],
+            vec![TxOut {
+                value: 800,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        );
+        let fee = pool.insert(child.clone(), &f.utxo, f.height, &f.params).unwrap();
+        assert_eq!(fee, 100);
+        // The template includes both, parent before child, despite the
+        // parent's lower fee rate.
+        let template = pool.block_template(1 << 20);
+        assert_eq!(template.len(), 2);
+        let parent_pos = template.iter().position(|t| t.txid() == parent.txid()).unwrap();
+        let child_pos = template.iter().position(|t| t.txid() == child.txid()).unwrap();
+        assert!(parent_pos < child_pos);
+    }
+
+    #[test]
+    fn conflict_eviction_takes_descendants() {
+        let f = fixture(1);
+        let mut pool = Mempool::new();
+        let parent = f.wallet.build_payment(
+            vec![f.coins[0].clone()],
+            vec![TxOut {
+                value: 900,
+                script_pubkey: f.wallet.locking_script(),
+            }],
+            0,
+        );
+        pool.insert(parent.clone(), &f.utxo, f.height, &f.params).unwrap();
+        let child = f.wallet.build_payment(
+            vec![(
+                OutPoint { txid: parent.txid(), vout: 0 },
+                f.wallet.locking_script(),
+            )],
+            vec![TxOut { value: 800, script_pubkey: Script::new() }],
+            0,
+        );
+        pool.insert(child, &f.utxo, f.height, &f.params).unwrap();
+        // A block confirms a conflicting spend of the original coin: the
+        // parent is evicted and the now-orphaned child with it.
+        let conflict = f.wallet.build_payment(
+            vec![f.coins[0].clone()],
+            vec![TxOut { value: 1, script_pubkey: Script::new() }],
+            0,
+        );
+        let evicted = pool.remove_confirmed(&[conflict]);
+        assert_eq!(evicted, 2);
+        assert!(pool.is_empty());
+    }
+}

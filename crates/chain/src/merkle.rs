@@ -1,0 +1,174 @@
+//! Merkle trees over transaction ids (Bitcoin-style: double-SHA256,
+//! odd levels duplicate the last node).
+
+use crate::tx::TxId;
+use bcwan_crypto::sha256d;
+
+/// Computes the merkle root of a list of transaction ids.
+///
+/// An empty list yields the all-zero root (only legal for a block with no
+/// transactions, which validation rejects anyway).
+pub fn merkle_root(txids: &[TxId]) -> [u8; 32] {
+    if txids.is_empty() {
+        return [0; 32];
+    }
+    let mut level: Vec<[u8; 32]> = txids.iter().map(|t| t.0).collect();
+    while level.len() > 1 {
+        level = combine_level(&level);
+    }
+    level[0]
+}
+
+fn combine_level(level: &[[u8; 32]]) -> Vec<[u8; 32]> {
+    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+    for pair in level.chunks(2) {
+        let left = pair[0];
+        let right = if pair.len() == 2 { pair[1] } else { pair[0] };
+        next.push(hash_pair(&left, &right));
+    }
+    next
+}
+
+fn hash_pair(left: &[u8; 32], right: &[u8; 32]) -> [u8; 32] {
+    let mut buf = [0u8; 64];
+    buf[..32].copy_from_slice(left);
+    buf[32..].copy_from_slice(right);
+    sha256d(&buf)
+}
+
+/// One step of a merkle proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The sibling hash at this level.
+    pub sibling: [u8; 32],
+    /// Whether the sibling is on the right of the running hash.
+    pub sibling_right: bool,
+}
+
+/// A merkle inclusion proof for one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// The proved transaction id.
+    pub txid: TxId,
+    /// Steps from leaf to root.
+    pub steps: Vec<ProofStep>,
+}
+
+/// Builds an inclusion proof for the transaction at `index`.
+///
+/// Returns `None` if `index` is out of range.
+pub fn merkle_proof(txids: &[TxId], index: usize) -> Option<MerkleProof> {
+    if index >= txids.len() {
+        return None;
+    }
+    let mut steps = Vec::new();
+    let mut level: Vec<[u8; 32]> = txids.iter().map(|t| t.0).collect();
+    let mut pos = index;
+    while level.len() > 1 {
+        let sibling_pos = if pos.is_multiple_of(2) { pos + 1 } else { pos - 1 };
+        let sibling = if sibling_pos < level.len() {
+            level[sibling_pos]
+        } else {
+            level[pos] // odd level: duplicated self
+        };
+        steps.push(ProofStep {
+            sibling,
+            sibling_right: pos.is_multiple_of(2),
+        });
+        level = combine_level(&level);
+        pos /= 2;
+    }
+    Some(MerkleProof {
+        txid: txids[index],
+        steps,
+    })
+}
+
+impl MerkleProof {
+    /// Verifies the proof against a root.
+    pub fn verify(&self, root: &[u8; 32]) -> bool {
+        let mut running = self.txid.0;
+        for step in &self.steps {
+            running = if step.sibling_right {
+                hash_pair(&running, &step.sibling)
+            } else {
+                hash_pair(&step.sibling, &running)
+            };
+        }
+        running == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u8) -> Vec<TxId> {
+        (0..n).map(|i| TxId([i; 32])).collect()
+    }
+
+    #[test]
+    fn single_tx_root_is_its_id() {
+        let t = ids(1);
+        assert_eq!(merkle_root(&t), t[0].0);
+    }
+
+    #[test]
+    fn empty_root_is_zero() {
+        assert_eq!(merkle_root(&[]), [0; 32]);
+    }
+
+    #[test]
+    fn root_changes_with_any_tx() {
+        let a = ids(4);
+        let mut b = a.clone();
+        b[2] = TxId([0xff; 32]);
+        assert_ne!(merkle_root(&a), merkle_root(&b));
+    }
+
+    #[test]
+    fn root_depends_on_order() {
+        let a = ids(4);
+        let mut b = a.clone();
+        b.swap(0, 1);
+        assert_ne!(merkle_root(&a), merkle_root(&b));
+    }
+
+    #[test]
+    fn odd_count_duplicates_last() {
+        // Root of [a, b, c] = H(H(a,b), H(c,c)).
+        let t = ids(3);
+        let left = hash_pair(&t[0].0, &t[1].0);
+        let right = hash_pair(&t[2].0, &t[2].0);
+        assert_eq!(merkle_root(&t), hash_pair(&left, &right));
+    }
+
+    #[test]
+    fn proofs_verify_for_every_position_and_size() {
+        for n in 1..=9u8 {
+            let t = ids(n);
+            let root = merkle_root(&t);
+            for i in 0..n as usize {
+                let proof = merkle_proof(&t, i).unwrap();
+                assert!(proof.verify(&root), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_root_or_txid() {
+        let t = ids(5);
+        let root = merkle_root(&t);
+        let mut proof = merkle_proof(&t, 2).unwrap();
+        assert!(proof.verify(&root));
+        proof.txid = TxId([0xee; 32]);
+        assert!(!proof.verify(&root));
+        let proof2 = merkle_proof(&t, 2).unwrap();
+        assert!(!proof2.verify(&[1; 32]));
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        assert!(merkle_proof(&ids(3), 3).is_none());
+    }
+}

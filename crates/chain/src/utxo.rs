@@ -1,0 +1,341 @@
+//! The unspent-transaction-output set with per-block undo data for reorgs.
+
+use crate::tx::{OutPoint, Transaction, TxOut};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One unspent output plus the metadata validation needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UtxoEntry {
+    /// The output itself.
+    pub output: TxOut,
+    /// Height of the block that created it.
+    pub height: u64,
+    /// Whether it came from a coinbase (maturity rules apply).
+    pub coinbase: bool,
+}
+
+/// Undo data for one connected block: the entries its transactions spent,
+/// in spend order.
+#[derive(Debug, Clone, Default)]
+pub struct UndoData {
+    spent: Vec<(OutPoint, UtxoEntry)>,
+}
+
+/// Read access to an unspent-output state: the concrete [`UtxoSet`] or a
+/// cheap overlay such as the mempool's pool-extended view.
+pub trait UtxoView {
+    /// Looks up an unspent output.
+    fn view_get(&self, outpoint: &OutPoint) -> Option<&UtxoEntry>;
+}
+
+/// The UTXO set.
+#[derive(Debug, Clone, Default)]
+pub struct UtxoSet {
+    map: HashMap<OutPoint, UtxoEntry>,
+}
+
+impl UtxoView for UtxoSet {
+    fn view_get(&self, outpoint: &OutPoint) -> Option<&UtxoEntry> {
+        self.map.get(outpoint)
+    }
+}
+
+/// Errors applying transactions to the UTXO set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UtxoError {
+    /// Input refers to a missing (unknown or already spent) output.
+    MissingInput(OutPoint),
+    /// A transaction tried to create an output that already exists.
+    DuplicateOutput(OutPoint),
+}
+
+impl fmt::Display for UtxoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UtxoError::MissingInput(op) => write!(f, "missing input {op}"),
+            UtxoError::DuplicateOutput(op) => write!(f, "duplicate output {op}"),
+        }
+    }
+}
+
+impl std::error::Error for UtxoError {}
+
+impl UtxoSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        UtxoSet::default()
+    }
+
+    /// Number of unspent outputs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up an unspent output.
+    pub fn get(&self, outpoint: &OutPoint) -> Option<&UtxoEntry> {
+        self.map.get(outpoint)
+    }
+
+    /// Whether an output is unspent.
+    pub fn contains(&self, outpoint: &OutPoint) -> bool {
+        self.map.contains_key(outpoint)
+    }
+
+    /// Total value of all unspent outputs.
+    pub fn total_value(&self) -> u64 {
+        self.map.values().map(|e| e.output.value).sum()
+    }
+
+    /// Iterates over all entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&OutPoint, &UtxoEntry)> {
+        self.map.iter()
+    }
+
+    /// All outpoints locked by scripts matching `predicate` — used by
+    /// wallets to find their spendable coins.
+    pub fn find<'a>(
+        &'a self,
+        mut predicate: impl FnMut(&UtxoEntry) -> bool + 'a,
+    ) -> impl Iterator<Item = (&'a OutPoint, &'a UtxoEntry)> {
+        self.map.iter().filter(move |(_, e)| predicate(e))
+    }
+
+    /// Applies one transaction, recording what it spent into `undo`.
+    ///
+    /// # Errors
+    ///
+    /// [`UtxoError`] if an input is missing or an output collides; the set
+    /// is left unchanged on error.
+    pub fn apply_transaction(
+        &mut self,
+        tx: &Transaction,
+        height: u64,
+        undo: &mut UndoData,
+    ) -> Result<(), UtxoError> {
+        let txid = tx.txid();
+        // Validate fully before mutating.
+        if !tx.is_coinbase() {
+            for input in &tx.inputs {
+                if !self.map.contains_key(&input.prevout) {
+                    return Err(UtxoError::MissingInput(input.prevout));
+                }
+            }
+        }
+        for vout in 0..tx.outputs.len() as u32 {
+            let op = OutPoint { txid, vout };
+            if self.map.contains_key(&op) {
+                return Err(UtxoError::DuplicateOutput(op));
+            }
+        }
+        // Spend.
+        if !tx.is_coinbase() {
+            for input in &tx.inputs {
+                let entry = self.map.remove(&input.prevout).expect("checked above");
+                undo.spent.push((input.prevout, entry));
+            }
+        }
+        // Create.
+        let coinbase = tx.is_coinbase();
+        for (vout, output) in tx.outputs.iter().enumerate() {
+            self.map.insert(
+                OutPoint {
+                    txid,
+                    vout: vout as u32,
+                },
+                UtxoEntry {
+                    output: output.clone(),
+                    height,
+                    coinbase,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Applies a whole block (transactions in order), returning its undo
+    /// data.
+    ///
+    /// # Errors
+    ///
+    /// On failure the set is restored to its pre-block state.
+    pub fn apply_block(
+        &mut self,
+        transactions: &[Transaction],
+        height: u64,
+    ) -> Result<UndoData, UtxoError> {
+        let mut undo = UndoData::default();
+        let mut applied = 0;
+        for tx in transactions {
+            match self.apply_transaction(tx, height, &mut undo) {
+                Ok(()) => applied += 1,
+                Err(e) => {
+                    // Roll back the partially applied prefix.
+                    self.undo_transactions(&transactions[..applied], &undo);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(undo)
+    }
+
+    /// Disconnects a block previously applied with [`UtxoSet::apply_block`].
+    ///
+    /// `transactions` must be the same list, and `undo` its undo data.
+    pub fn undo_block(&mut self, transactions: &[Transaction], undo: &UndoData) {
+        self.undo_transactions(transactions, undo);
+    }
+
+    fn undo_transactions(&mut self, transactions: &[Transaction], undo: &UndoData) {
+        // Remove created outputs.
+        for tx in transactions.iter().rev() {
+            let txid = tx.txid();
+            for vout in 0..tx.outputs.len() as u32 {
+                self.map.remove(&OutPoint { txid, vout });
+            }
+        }
+        // Restore spent entries.
+        for (outpoint, entry) in undo.spent.iter().rev() {
+            self.map.insert(*outpoint, entry.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{TxId, TxIn, SEQUENCE_FINAL};
+    use bcwan_script::Script;
+
+    fn coinbase(height: u64, value: u64) -> Transaction {
+        Transaction::coinbase(
+            height,
+            b"t",
+            vec![TxOut {
+                value,
+                script_pubkey: Script::new(),
+            }],
+        )
+    }
+
+    fn spend(prev: OutPoint, values: &[u64]) -> Transaction {
+        Transaction {
+            version: 1,
+            inputs: vec![TxIn {
+                prevout: prev,
+                script_sig: Script::new(),
+                sequence: SEQUENCE_FINAL,
+            }],
+            outputs: values
+                .iter()
+                .map(|&value| TxOut {
+                    value,
+                    script_pubkey: Script::new(),
+                })
+                .collect(),
+            lock_time: 0,
+        }
+    }
+
+    #[test]
+    fn apply_coinbase_creates_outputs() {
+        let mut set = UtxoSet::new();
+        let cb = coinbase(0, 100);
+        let undo = set.apply_block(&[cb.clone()], 0).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.total_value(), 100);
+        let entry = set
+            .get(&OutPoint {
+                txid: cb.txid(),
+                vout: 0,
+            })
+            .unwrap();
+        assert!(entry.coinbase);
+        assert_eq!(entry.height, 0);
+        assert!(undo.spent.is_empty());
+    }
+
+    #[test]
+    fn spend_moves_value() {
+        let mut set = UtxoSet::new();
+        let cb = coinbase(0, 100);
+        set.apply_block(&[cb.clone()], 0).unwrap();
+        let tx = spend(OutPoint { txid: cb.txid(), vout: 0 }, &[60, 40]);
+        set.apply_block(&[tx.clone()], 1).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_value(), 100);
+        assert!(!set.contains(&OutPoint { txid: cb.txid(), vout: 0 }));
+    }
+
+    #[test]
+    fn double_spend_rejected() {
+        let mut set = UtxoSet::new();
+        let cb = coinbase(0, 100);
+        set.apply_block(&[cb.clone()], 0).unwrap();
+        let prev = OutPoint { txid: cb.txid(), vout: 0 };
+        set.apply_block(&[spend(prev, &[100])], 1).unwrap();
+        let err = set.apply_block(&[spend(prev, &[1])], 2).unwrap_err();
+        assert_eq!(err, UtxoError::MissingInput(prev));
+    }
+
+    #[test]
+    fn failed_block_leaves_set_unchanged() {
+        let mut set = UtxoSet::new();
+        let cb = coinbase(0, 100);
+        set.apply_block(&[cb.clone()], 0).unwrap();
+        let before: Vec<_> = set.iter().map(|(k, _)| *k).collect();
+        let good = spend(OutPoint { txid: cb.txid(), vout: 0 }, &[100]);
+        let bad = spend(
+            OutPoint {
+                txid: TxId([0xde; 32]),
+                vout: 0,
+            },
+            &[5],
+        );
+        assert!(set.apply_block(&[good, bad], 1).is_err());
+        let after: Vec<_> = set.iter().map(|(k, _)| *k).collect();
+        assert_eq!(before.len(), after.len());
+        assert_eq!(set.total_value(), 100);
+    }
+
+    #[test]
+    fn undo_block_restores_exactly() {
+        let mut set = UtxoSet::new();
+        let cb = coinbase(0, 100);
+        set.apply_block(&[cb.clone()], 0).unwrap();
+        let snapshot_value = set.total_value();
+        let snapshot_len = set.len();
+
+        let txs = vec![spend(OutPoint { txid: cb.txid(), vout: 0 }, &[70, 30])];
+        let undo = set.apply_block(&txs, 1).unwrap();
+        assert_eq!(set.len(), 2);
+
+        set.undo_block(&txs, &undo);
+        assert_eq!(set.len(), snapshot_len);
+        assert_eq!(set.total_value(), snapshot_value);
+        assert!(set.contains(&OutPoint { txid: cb.txid(), vout: 0 }));
+    }
+
+    #[test]
+    fn value_conservation_across_chain() {
+        let mut set = UtxoSet::new();
+        let mut minted = 0u64;
+        let mut prev: Option<OutPoint> = None;
+        for h in 0..10 {
+            let cb = coinbase(h, 50);
+            minted += 50;
+            let mut txs = vec![cb.clone()];
+            if let Some(p) = prev {
+                txs.push(spend(p, &[25, 25]));
+            }
+            set.apply_block(&txs, h).unwrap();
+            prev = Some(OutPoint { txid: cb.txid(), vout: 0 });
+            assert_eq!(set.total_value(), minted, "height {h}");
+        }
+    }
+}

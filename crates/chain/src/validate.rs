@@ -1,0 +1,651 @@
+//! Transaction and block validation rules.
+
+use crate::block::Block;
+use crate::params::ChainParams;
+use crate::tx::Transaction;
+use crate::utxo::{UtxoSet, UtxoView};
+use bcwan_script::interpreter::{verify_spend, DigestChecker, ExecContext};
+use bcwan_script::ScriptError;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Why a transaction was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// No inputs or no outputs.
+    Empty,
+    /// Unexpected coinbase outside a block context.
+    UnexpectedCoinbase,
+    /// An input's referenced output is unknown or spent.
+    MissingInput(crate::tx::OutPoint),
+    /// The same output is spent twice within the transaction.
+    DuplicateInput(crate::tx::OutPoint),
+    /// Outputs exceed inputs.
+    ValueOutOfRange {
+        /// Sum of spent input values.
+        input: u64,
+        /// Sum of created output values.
+        output: u64,
+    },
+    /// A coinbase output was spent before maturity.
+    ImmatureCoinbase {
+        /// Height the coinbase was created at.
+        created: u64,
+        /// Height of the attempted spend.
+        spend: u64,
+    },
+    /// The transaction's lock time has not yet been reached.
+    NotFinal {
+        /// Transaction lock time.
+        lock_time: u64,
+        /// Current chain height.
+        height: u64,
+    },
+    /// Script execution failed or evaluated false.
+    ScriptFailed {
+        /// The failing input index.
+        input: usize,
+        /// The underlying script error (`None` = clean false).
+        error: Option<ScriptError>,
+    },
+    /// An OP_RETURN output carries a non-zero value (burns are banned to
+    /// keep directory announcements free of accounting surprises).
+    ValueInOpReturn,
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Empty => write!(f, "transaction has no inputs or outputs"),
+            TxError::UnexpectedCoinbase => write!(f, "coinbase not allowed here"),
+            TxError::MissingInput(op) => write!(f, "missing input {op}"),
+            TxError::DuplicateInput(op) => write!(f, "duplicate input {op}"),
+            TxError::ValueOutOfRange { input, output } => {
+                write!(f, "outputs {output} exceed inputs {input}")
+            }
+            TxError::ImmatureCoinbase { created, spend } => {
+                write!(f, "coinbase from height {created} spent at {spend}")
+            }
+            TxError::NotFinal { lock_time, height } => {
+                write!(f, "lock time {lock_time} not reached at height {height}")
+            }
+            TxError::ScriptFailed { input, error } => match error {
+                Some(e) => write!(f, "script failed on input {input}: {e}"),
+                None => write!(f, "script evaluated false on input {input}"),
+            },
+            TxError::ValueInOpReturn => write!(f, "op_return output carries value"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Why a block was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockError {
+    /// Block has no transactions.
+    Empty,
+    /// First transaction is not a coinbase, or a later one is.
+    BadCoinbasePlacement,
+    /// Header does not meet the required difficulty.
+    InsufficientWork {
+        /// Bits achieved by the header hash.
+        achieved: u32,
+        /// Bits required by consensus.
+        required: u32,
+    },
+    /// Header difficulty field does not match consensus parameters.
+    WrongBits {
+        /// Bits claimed in the header.
+        claimed: u32,
+        /// Bits required by consensus.
+        required: u32,
+    },
+    /// Merkle root mismatch.
+    BadMerkleRoot,
+    /// Serialized size exceeds the consensus limit.
+    TooLarge {
+        /// Serialized block size.
+        size: usize,
+        /// Consensus limit.
+        limit: usize,
+    },
+    /// Coinbase pays more than subsidy + fees.
+    ExcessiveCoinbase {
+        /// Coinbase output total.
+        paid: u64,
+        /// Subsidy plus collected fees.
+        allowed: u64,
+    },
+    /// A transaction in the block is invalid.
+    BadTransaction {
+        /// Index within the block.
+        index: usize,
+        /// The underlying error.
+        error: TxError,
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::Empty => write!(f, "block has no transactions"),
+            BlockError::BadCoinbasePlacement => write!(f, "bad coinbase placement"),
+            BlockError::InsufficientWork { achieved, required } => {
+                write!(f, "pow {achieved} bits, need {required}")
+            }
+            BlockError::WrongBits { claimed, required } => {
+                write!(f, "header claims {claimed} bits, consensus requires {required}")
+            }
+            BlockError::BadMerkleRoot => write!(f, "merkle root mismatch"),
+            BlockError::TooLarge { size, limit } => {
+                write!(f, "block of {size} bytes exceeds {limit}")
+            }
+            BlockError::ExcessiveCoinbase { paid, allowed } => {
+                write!(f, "coinbase pays {paid}, allowed {allowed}")
+            }
+            BlockError::BadTransaction { index, error } => {
+                write!(f, "transaction {index} invalid: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// Validates a non-coinbase transaction against the UTXO set at `height`
+/// and returns its fee.
+///
+/// Checks: structure, finality, input existence, coinbase maturity, value
+/// balance, and full script verification on every input.
+///
+/// # Errors
+///
+/// The specific [`TxError`].
+pub fn validate_transaction<V: UtxoView>(
+    tx: &Transaction,
+    utxo: &V,
+    height: u64,
+    params: &ChainParams,
+) -> Result<u64, TxError> {
+    if tx.inputs.is_empty() || tx.outputs.is_empty() {
+        return Err(TxError::Empty);
+    }
+    if tx.is_coinbase() {
+        return Err(TxError::UnexpectedCoinbase);
+    }
+    if !tx.is_final_at(height) {
+        return Err(TxError::NotFinal {
+            lock_time: tx.lock_time,
+            height,
+        });
+    }
+    for output in &tx.outputs {
+        if output.script_pubkey.is_op_return() && output.value != 0 {
+            return Err(TxError::ValueInOpReturn);
+        }
+    }
+
+    let mut seen = HashSet::new();
+    let mut input_value: u64 = 0;
+    for input in &tx.inputs {
+        if !seen.insert(input.prevout) {
+            return Err(TxError::DuplicateInput(input.prevout));
+        }
+        let entry = utxo
+            .view_get(&input.prevout)
+            .ok_or(TxError::MissingInput(input.prevout))?;
+        if entry.coinbase && height < entry.height + params.coinbase_maturity {
+            return Err(TxError::ImmatureCoinbase {
+                created: entry.height,
+                spend: height,
+            });
+        }
+        input_value += entry.output.value;
+    }
+    let output_value = tx.total_output();
+    if output_value > input_value {
+        return Err(TxError::ValueOutOfRange {
+            input: input_value,
+            output: output_value,
+        });
+    }
+
+    // Script verification per input.
+    for (i, input) in tx.inputs.iter().enumerate() {
+        let entry = utxo.view_get(&input.prevout).expect("checked above");
+        let digest = tx.sighash(i, &entry.output.script_pubkey);
+        let checker = DigestChecker { digest };
+        let ctx = ExecContext {
+            checker: &checker,
+            lock_time: tx.lock_time,
+            input_final: input.is_final(),
+        };
+        match verify_spend(&input.script_sig, &entry.output.script_pubkey, &ctx) {
+            Ok(true) => {}
+            Ok(false) => {
+                return Err(TxError::ScriptFailed {
+                    input: i,
+                    error: None,
+                })
+            }
+            Err(e) => {
+                return Err(TxError::ScriptFailed {
+                    input: i,
+                    error: Some(e),
+                })
+            }
+        }
+    }
+
+    Ok(input_value - output_value)
+}
+
+/// Validates a block body against the UTXO state at `height` (the height
+/// this block would occupy). Header linkage is the chain's job; this
+/// checks PoW, merkle, size, coinbase rules and every transaction.
+///
+/// # Errors
+///
+/// The specific [`BlockError`].
+pub fn validate_block(
+    block: &Block,
+    utxo: &UtxoSet,
+    height: u64,
+    params: &ChainParams,
+) -> Result<(), BlockError> {
+    if block.transactions.is_empty() {
+        return Err(BlockError::Empty);
+    }
+    if block.header.bits != params.difficulty_bits {
+        return Err(BlockError::WrongBits {
+            claimed: block.header.bits,
+            required: params.difficulty_bits,
+        });
+    }
+    let achieved = block.hash().leading_zero_bits();
+    if achieved < params.difficulty_bits {
+        return Err(BlockError::InsufficientWork {
+            achieved,
+            required: params.difficulty_bits,
+        });
+    }
+    if !block.merkle_root_valid() {
+        return Err(BlockError::BadMerkleRoot);
+    }
+    let size = block.size();
+    if size > params.max_block_size {
+        return Err(BlockError::TooLarge {
+            size,
+            limit: params.max_block_size,
+        });
+    }
+    if !block.transactions[0].is_coinbase() {
+        return Err(BlockError::BadCoinbasePlacement);
+    }
+    if block.transactions[1..].iter().any(Transaction::is_coinbase) {
+        return Err(BlockError::BadCoinbasePlacement);
+    }
+
+    // Validate body transactions against a rolling view so intra-block
+    // chains (tx B spends tx A's output) work.
+    let mut view = utxo.clone();
+    let mut undo = crate::utxo::UndoData::default();
+    let mut fees: u64 = 0;
+    for (index, tx) in block.transactions.iter().enumerate().skip(1) {
+        match validate_transaction(tx, &view, height, params) {
+            Ok(fee) => fees += fee,
+            Err(error) => return Err(BlockError::BadTransaction { index, error }),
+        }
+        view.apply_transaction(tx, height, &mut undo)
+            .expect("validated transaction applies");
+    }
+
+    let allowed = params.coinbase_reward + fees;
+    let paid = block.transactions[0].total_output();
+    if paid > allowed {
+        return Err(BlockError::ExcessiveCoinbase { paid, allowed });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BlockHash};
+    use crate::tx::{OutPoint, TxIn, TxOut};
+    use crate::wallet::Wallet;
+    use bcwan_script::Script;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        params: ChainParams,
+        utxo: UtxoSet,
+        wallet: Wallet,
+        coin: OutPoint,
+        coin_script: Script,
+    }
+
+    /// UTXO with one mature 1000-value coin owned by `wallet`.
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(42);
+        let params = ChainParams::fast_test();
+        let wallet = Wallet::generate(&mut rng);
+        let cb = Transaction::coinbase(
+            0,
+            b"f",
+            vec![TxOut {
+                value: 1000,
+                script_pubkey: wallet.locking_script(),
+            }],
+        );
+        let mut utxo = UtxoSet::new();
+        utxo.apply_block(&[cb.clone()], 0).unwrap();
+        Fixture {
+            params,
+            utxo,
+            coin: OutPoint {
+                txid: cb.txid(),
+                vout: 0,
+            },
+            coin_script: wallet.locking_script(),
+            wallet,
+        }
+    }
+
+    fn spend_height(f: &Fixture) -> u64 {
+        f.params.coinbase_maturity // first height the coin is mature
+    }
+
+    #[test]
+    fn valid_spend_passes_and_reports_fee() {
+        let f = fixture();
+        let tx = f.wallet.build_payment(
+            vec![(f.coin, f.coin_script.clone())],
+            vec![TxOut {
+                value: 990,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        );
+        let fee = validate_transaction(&tx, &f.utxo, spend_height(&f), &f.params).unwrap();
+        assert_eq!(fee, 10);
+    }
+
+    #[test]
+    fn immature_coinbase_rejected() {
+        let f = fixture();
+        let tx = f.wallet.build_payment(
+            vec![(f.coin, f.coin_script.clone())],
+            vec![TxOut {
+                value: 1000,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        );
+        let err = validate_transaction(&tx, &f.utxo, 1, &f.params).unwrap_err();
+        assert!(matches!(err, TxError::ImmatureCoinbase { created: 0, spend: 1 }));
+    }
+
+    #[test]
+    fn overspend_rejected() {
+        let f = fixture();
+        let tx = f.wallet.build_payment(
+            vec![(f.coin, f.coin_script.clone())],
+            vec![TxOut {
+                value: 2000,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        );
+        assert!(matches!(
+            validate_transaction(&tx, &f.utxo, spend_height(&f), &f.params),
+            Err(TxError::ValueOutOfRange { input: 1000, output: 2000 })
+        ));
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let f = fixture();
+        let ghost = OutPoint {
+            txid: crate::tx::TxId([9; 32]),
+            vout: 0,
+        };
+        let tx = f.wallet.build_payment(
+            vec![(ghost, f.coin_script.clone())],
+            vec![TxOut {
+                value: 1,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        );
+        assert!(matches!(
+            validate_transaction(&tx, &f.utxo, spend_height(&f), &f.params),
+            Err(TxError::MissingInput(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_signature_rejected() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let f = fixture();
+        let thief = Wallet::generate(&mut rng);
+        let tx = thief.build_payment(
+            vec![(f.coin, f.coin_script.clone())],
+            vec![TxOut {
+                value: 1000,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        );
+        assert!(matches!(
+            validate_transaction(&tx, &f.utxo, spend_height(&f), &f.params),
+            Err(TxError::ScriptFailed { input: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn non_final_transaction_rejected() {
+        let f = fixture();
+        let tx = f.wallet.build_payment(
+            vec![(f.coin, f.coin_script.clone())],
+            vec![TxOut {
+                value: 1000,
+                script_pubkey: Script::new(),
+            }],
+            1_000, // lock_time in the future
+        );
+        assert!(matches!(
+            validate_transaction(&tx, &f.utxo, spend_height(&f), &f.params),
+            Err(TxError::NotFinal { lock_time: 1000, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_input_rejected() {
+        let f = fixture();
+        let mut tx = f.wallet.build_payment(
+            vec![
+                (f.coin, f.coin_script.clone()),
+                (f.coin, f.coin_script.clone()),
+            ],
+            vec![TxOut {
+                value: 100,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        );
+        // keep both inputs identical
+        tx.inputs[1] = TxIn {
+            prevout: f.coin,
+            script_sig: tx.inputs[0].script_sig.clone(),
+            sequence: 0,
+        };
+        assert!(matches!(
+            validate_transaction(&tx, &f.utxo, spend_height(&f), &f.params),
+            Err(TxError::DuplicateInput(_))
+        ));
+    }
+
+    #[test]
+    fn op_return_with_value_rejected() {
+        let f = fixture();
+        let tx = f.wallet.build_payment(
+            vec![(f.coin, f.coin_script.clone())],
+            vec![TxOut {
+                value: 5,
+                script_pubkey: bcwan_script::templates::op_return(b"data"),
+            }],
+            0,
+        );
+        assert!(matches!(
+            validate_transaction(&tx, &f.utxo, spend_height(&f), &f.params),
+            Err(TxError::ValueInOpReturn)
+        ));
+    }
+
+    #[test]
+    fn valid_block_accepted() {
+        let f = fixture();
+        let height = spend_height(&f);
+        let spend = f.wallet.build_payment(
+            vec![(f.coin, f.coin_script.clone())],
+            vec![TxOut {
+                value: 980,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        );
+        let cb = Transaction::coinbase(
+            height,
+            b"miner",
+            vec![TxOut {
+                value: f.params.coinbase_reward + 20,
+                script_pubkey: Script::new(),
+            }],
+        );
+        let block = Block::mine(
+            BlockHash::GENESIS_PREV,
+            0,
+            f.params.difficulty_bits,
+            vec![cb, spend],
+        );
+        assert_eq!(validate_block(&block, &f.utxo, height, &f.params), Ok(()));
+    }
+
+    #[test]
+    fn coinbase_overpay_rejected() {
+        let f = fixture();
+        let height = spend_height(&f);
+        let cb = Transaction::coinbase(
+            height,
+            b"miner",
+            vec![TxOut {
+                value: f.params.coinbase_reward + 1, // no fees collected
+                script_pubkey: Script::new(),
+            }],
+        );
+        let block = Block::mine(
+            BlockHash::GENESIS_PREV,
+            0,
+            f.params.difficulty_bits,
+            vec![cb],
+        );
+        assert!(matches!(
+            validate_block(&block, &f.utxo, height, &f.params),
+            Err(BlockError::ExcessiveCoinbase { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_difficulty_rejected() {
+        let f = fixture();
+        let cb = Transaction::coinbase(
+            0,
+            b"m",
+            vec![TxOut {
+                value: 1,
+                script_pubkey: Script::new(),
+            }],
+        );
+        let block = Block::mine(BlockHash::GENESIS_PREV, 0, 2, vec![cb]);
+        assert!(matches!(
+            validate_block(&block, &f.utxo, 0, &f.params),
+            Err(BlockError::WrongBits { claimed: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_merkle_rejected() {
+        let f = fixture();
+        let cb = Transaction::coinbase(
+            0,
+            b"m",
+            vec![TxOut {
+                value: 1,
+                script_pubkey: Script::new(),
+            }],
+        );
+        let mut block = Block::mine(
+            BlockHash::GENESIS_PREV,
+            0,
+            f.params.difficulty_bits,
+            vec![cb.clone()],
+        );
+        block
+            .transactions
+            .push(Transaction::coinbase(1, b"x", vec![TxOut {
+                value: 1,
+                script_pubkey: Script::new(),
+            }]));
+        let result = validate_block(&block, &f.utxo, 0, &f.params);
+        assert!(
+            matches!(result, Err(BlockError::BadMerkleRoot)),
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn intra_block_chains_validate() {
+        let f = fixture();
+        let height = spend_height(&f);
+        let first = f.wallet.build_payment(
+            vec![(f.coin, f.coin_script.clone())],
+            vec![TxOut {
+                value: 1000,
+                script_pubkey: f.wallet.locking_script(),
+            }],
+            0,
+        );
+        let second = f.wallet.build_payment(
+            vec![(
+                OutPoint {
+                    txid: first.txid(),
+                    vout: 0,
+                },
+                f.wallet.locking_script(),
+            )],
+            vec![TxOut {
+                value: 1000,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        );
+        let cb = Transaction::coinbase(
+            height,
+            b"m",
+            vec![TxOut {
+                value: f.params.coinbase_reward,
+                script_pubkey: Script::new(),
+            }],
+        );
+        let block = Block::mine(
+            BlockHash::GENESIS_PREV,
+            0,
+            f.params.difficulty_bits,
+            vec![cb, first, second],
+        );
+        assert_eq!(validate_block(&block, &f.utxo, height, &f.params), Ok(()));
+    }
+}

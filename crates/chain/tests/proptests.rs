@@ -1,0 +1,140 @@
+//! Property tests: UTXO conservation, merkle soundness, mempool/undo
+//! invariants under randomized workloads.
+
+use bcwan_chain::merkle::{merkle_proof, merkle_root};
+use bcwan_chain::tx::TxId;
+use bcwan_chain::{OutPoint, Transaction, TxIn, TxOut, UtxoSet, SEQUENCE_FINAL};
+use bcwan_script::Script;
+use proptest::prelude::*;
+
+fn coinbase(height: u64, values: &[u64]) -> Transaction {
+    Transaction::coinbase(
+        height,
+        b"prop",
+        values
+            .iter()
+            .map(|&value| TxOut {
+                value,
+                script_pubkey: Script::new(),
+            })
+            .collect(),
+    )
+}
+
+fn spend_all(prev: &[(OutPoint, u64)], outs: usize) -> Transaction {
+    let total: u64 = prev.iter().map(|(_, v)| v).sum();
+    let outs = outs.max(1);
+    let share = total / outs as u64;
+    let mut outputs: Vec<TxOut> = (0..outs)
+        .map(|_| TxOut {
+            value: share,
+            script_pubkey: Script::new(),
+        })
+        .collect();
+    outputs[0].value += total - share * outs as u64; // remainder
+    Transaction {
+        version: 1,
+        inputs: prev
+            .iter()
+            .map(|(op, _)| TxIn {
+                prevout: *op,
+                script_sig: Script::new(),
+                sequence: SEQUENCE_FINAL,
+            })
+            .collect(),
+        outputs,
+        lock_time: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Applying random full-value spends never changes total UTXO value,
+    /// and undoing blocks restores the exact pre-block state.
+    #[test]
+    fn utxo_value_conserved_and_undo_exact(
+        initial in proptest::collection::vec(1u64..10_000, 1..8),
+        splits in proptest::collection::vec(1usize..5, 1..10),
+    ) {
+        let mut set = UtxoSet::new();
+        let cb = coinbase(0, &initial);
+        set.apply_block(&[cb.clone()], 0).unwrap();
+        let minted: u64 = initial.iter().sum();
+        prop_assert_eq!(set.total_value(), minted);
+
+        let mut height = 1u64;
+        let mut history: Vec<(Vec<Transaction>, bcwan_chain::utxo::UndoData)> = Vec::new();
+        for outs in splits {
+            // Spend every currently-unspent output into `outs` new ones.
+            let prev: Vec<(OutPoint, u64)> = set
+                .iter()
+                .map(|(op, e)| (*op, e.output.value))
+                .collect();
+            let tx = spend_all(&prev, outs);
+            let undo = set.apply_block(std::slice::from_ref(&tx), height).unwrap();
+            history.push((vec![tx], undo));
+            prop_assert_eq!(set.total_value(), minted, "conservation at height {}", height);
+            height += 1;
+        }
+        // Unwind everything.
+        for (txs, undo) in history.iter().rev() {
+            set.undo_block(txs, undo);
+            prop_assert_eq!(set.total_value(), minted);
+        }
+        // Exactly the genesis outputs remain.
+        prop_assert_eq!(set.len(), initial.len());
+        for vout in 0..initial.len() as u32 {
+            let outpoint = OutPoint { txid: cb.txid(), vout };
+            let present = set.contains(&outpoint);
+            prop_assert!(present, "genesis output {} missing after undo", vout);
+        }
+    }
+
+    /// Every merkle proof verifies against the root; any single-bit txid
+    /// perturbation breaks it.
+    #[test]
+    fn merkle_proofs_sound(
+        seeds in proptest::collection::vec(any::<[u8; 32]>(), 1..20),
+        flip_bit in 0usize..256,
+    ) {
+        let ids: Vec<TxId> = seeds.into_iter().map(TxId).collect();
+        let root = merkle_root(&ids);
+        for i in 0..ids.len() {
+            let proof = merkle_proof(&ids, i).unwrap();
+            prop_assert!(proof.verify(&root));
+            let mut corrupt = proof.clone();
+            corrupt.txid.0[flip_bit / 8] ^= 1 << (flip_bit % 8);
+            prop_assert!(!corrupt.verify(&root), "corrupted txid must not verify");
+        }
+    }
+
+    /// The root is order-sensitive for distinct id lists.
+    #[test]
+    fn merkle_root_order_sensitive(
+        seeds in proptest::collection::vec(any::<[u8; 32]>(), 2..12),
+        i in any::<prop::sample::Index>(),
+        j in any::<prop::sample::Index>(),
+    ) {
+        let ids: Vec<TxId> = seeds.into_iter().map(TxId).collect();
+        let a = i.index(ids.len());
+        let b = j.index(ids.len());
+        prop_assume!(a != b && ids[a] != ids[b]);
+        let mut swapped = ids.clone();
+        swapped.swap(a, b);
+        prop_assert_ne!(merkle_root(&ids), merkle_root(&swapped));
+    }
+
+    /// Transaction ids commit to every byte of the serialization.
+    #[test]
+    fn txid_sensitive_to_value_changes(
+        values in proptest::collection::vec(1u64..1000, 1..6),
+        which in any::<prop::sample::Index>(),
+    ) {
+        let tx = coinbase(3, &values);
+        let idx = which.index(values.len());
+        let mut modified = tx.clone();
+        modified.outputs[idx].value += 1;
+        prop_assert_ne!(tx.txid(), modified.txid());
+    }
+}

@@ -1,0 +1,823 @@
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! [`BigUint`] backs every public-key primitive in this crate (RSA-512 key
+//! generation and the secp256k1 field/scalar arithmetic). It stores
+//! little-endian `u64` limbs with `u128` intermediates, is always kept
+//! normalized (no trailing zero limbs), and implements the handful of
+//! number-theoretic operations the crate needs: modular exponentiation,
+//! modular inverse, and gcd.
+//!
+//! The implementation favours clarity and testability over raw speed;
+//! schoolbook multiplication and binary long division are entirely adequate
+//! for 256–2048-bit operands at the call rates of the BcWAN simulator.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use bcwan_crypto::bignum::BigUint;
+///
+/// let a = BigUint::from_u64(1 << 40);
+/// let b = &a * &a;
+/// assert_eq!(b, BigUint::from_hex("100000000000000000000").unwrap());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: no trailing zero limbs (zero == empty).
+    limbs: Vec<u64>,
+}
+
+/// Error returned when parsing a [`BigUint`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    offending: char,
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid digit {:?} in big integer literal", self.offending)
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from a single `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Builds a value from big-endian bytes (the natural wire order for
+    /// cryptographic material). Leading zero bytes are accepted.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut chunk_iter = bytes.rchunks(8);
+        for chunk in &mut chunk_iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | u64::from(b);
+            }
+            limbs.push(limb);
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (empty for `0`).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let first = bytes.iter().position(|&b| b != 0).unwrap_or(7);
+                out.extend_from_slice(&bytes[first..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, left-padding with zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Option<Vec<u8>> {
+        let raw = self.to_bytes_be();
+        if raw.len() > len {
+            return None;
+        }
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        Some(out)
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] on any non-hex character.
+    pub fn from_hex(s: &str) -> Result<Self, ParseBigUintError> {
+        let mut nibbles = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            let v = c.to_digit(16).ok_or(ParseBigUintError { offending: c })?;
+            nibbles.push(v as u8);
+        }
+        // Pack big-endian nibbles into bytes.
+        if nibbles.len() % 2 == 1 {
+            nibbles.insert(0, 0);
+        }
+        let bytes: Vec<u8> = nibbles.chunks(2).map(|p| (p[0] << 4) | p[1]).collect();
+        Ok(Self::from_bytes_be(&bytes))
+    }
+
+    /// Formats as lowercase hex with no leading zeros (`"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Whether the low bit is set.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Whether the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        !self.is_odd()
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of bit `i` (zero-indexed from the least significant bit).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to one, growing as needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let (limb, off) = (i / 64, i % 64);
+        if self.limbs.len() <= limb {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << off;
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`; use [`BigUint::checked_sub`] when underflow
+    /// is a legal outcome.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
+    }
+
+    /// `self - other`, or `None` on underflow.
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut out = BigUint { limbs };
+        out.normalize();
+        Some(out)
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut limbs = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u128::from(limbs[i + j])
+                    + u128::from(a) * u128::from(b)
+                    + carry;
+                limbs[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = u128::from(limbs[k]) + carry;
+                limbs[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                limbs.push(carry);
+            }
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> Self {
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let mut limbs: Vec<u64> = self.limbs[limb_shift..].to_vec();
+        if bit_shift > 0 {
+            let mut carry = 0u64;
+            for l in limbs.iter_mut().rev() {
+                let new = (*l >> bit_shift) | carry;
+                carry = *l << (64 - bit_shift);
+                *l = new;
+            }
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Quotient and remainder of `self / divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (Self::zero(), self.clone()),
+            Ordering::Equal => return (Self::one(), Self::zero()),
+            Ordering::Greater => {}
+        }
+        // Fast path for single-limb divisors.
+        if divisor.limbs.len() == 1 {
+            let d = u128::from(divisor.limbs[0]);
+            let mut rem = 0u128;
+            let mut q = vec![0u64; self.limbs.len()];
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 64) | u128::from(self.limbs[i]);
+                q[i] = (cur / d) as u64;
+                rem = cur % d;
+            }
+            let mut quot = BigUint { limbs: q };
+            quot.normalize();
+            return (quot, Self::from_u64(rem as u64));
+        }
+        // Knuth Algorithm D (TAOCP vol. 2, 4.3.1) on u64 limbs.
+        let n = divisor.limbs.len();
+        let m = self.limbs.len() - n;
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs[n - 1].leading_zeros() as usize;
+        let v = divisor.shl(shift).limbs;
+        let mut u = self.shl(shift).limbs;
+        u.resize(self.limbs.len() + 1, 0); // room for the extra high limb
+
+        let b = 1u128 << 64;
+        let mut q = vec![0u64; m + 1];
+
+        // D2–D7: compute one quotient limb per iteration, high to low.
+        for j in (0..=m).rev() {
+            // D3: estimate qhat from the top two dividend limbs.
+            let top = (u128::from(u[j + n]) << 64) | u128::from(u[j + n - 1]);
+            let mut qhat = top / u128::from(v[n - 1]);
+            let mut rhat = top % u128::from(v[n - 1]);
+            while qhat >= b
+                || qhat * u128::from(v[n - 2])
+                    > (rhat << 64) + u128::from(u[j + n - 2])
+            {
+                qhat -= 1;
+                rhat += u128::from(v[n - 1]);
+                if rhat >= b {
+                    break;
+                }
+            }
+
+            // D4: multiply-and-subtract qhat * v from u[j..=j+n].
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let product = qhat * u128::from(v[i]) + carry;
+                carry = product >> 64;
+                let sub = i128::from(u[j + i]) - (product as u64 as i128) + borrow;
+                u[j + i] = sub as u64; // wraps mod 2^64
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = i128::from(u[j + n]) - (carry as i128) + borrow;
+            u[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            // D5/D6: if we subtracted too much (rare), add one v back.
+            if borrow < 0 {
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let sum = u128::from(u[j + i]) + u128::from(v[i]) + carry;
+                    u[j + i] = sum as u64;
+                    carry = sum >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qhat as u64;
+        }
+
+        // D8: denormalize the remainder.
+        let mut quotient = BigUint { limbs: q };
+        quotient.normalize();
+        let mut rem = BigUint { limbs: u[..n].to_vec() };
+        rem.normalize();
+        (quotient, rem.shr(shift))
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &Self) -> Self {
+        self.div_rem(m).1
+    }
+
+    /// `(self * other) mod m`.
+    pub fn mul_mod(&self, other: &Self, m: &Self) -> Self {
+        self.mul(other).rem(m)
+    }
+
+    /// `(self + other) mod m`; operands must already be `< m`.
+    pub fn add_mod(&self, other: &Self, m: &Self) -> Self {
+        let s = self.add(other);
+        if s >= *m {
+            s.sub(m)
+        } else {
+            s
+        }
+    }
+
+    /// `(self - other) mod m`; operands must already be `< m`.
+    pub fn sub_mod(&self, other: &Self, m: &Self) -> Self {
+        if self >= other {
+            self.sub(other)
+        } else {
+            self.add(m).sub(other)
+        }
+    }
+
+    /// `self^exp mod m` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_pow(&self, exp: &Self, m: &Self) -> Self {
+        assert!(!m.is_zero(), "modulus must be non-zero");
+        if m.is_one() {
+            return Self::zero();
+        }
+        let mut base = self.rem(m);
+        let mut result = Self::one();
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mul_mod(&base, m);
+            }
+            base = base.mul_mod(&base, m);
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary-free Euclid; divisions dominate but
+    /// operand sizes here are small).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular multiplicative inverse: `self^-1 mod m`, if it exists.
+    ///
+    /// Uses the extended Euclidean algorithm over signed cofactors.
+    pub fn mod_inverse(&self, m: &Self) -> Option<Self> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        let a = self.rem(m);
+        if a.is_zero() {
+            return None;
+        }
+        // Track (old_r, r) and the coefficient of `a` as (sign, magnitude).
+        let mut old_r = a;
+        let mut r = m.clone();
+        let mut old_s = (false, Self::one()); // (negative?, |s|)
+        let mut s = (false, Self::zero());
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            // new_s = old_s - q * s  (signed arithmetic on magnitudes)
+            let qs = q.mul(&s.1);
+            let new_s = signed_sub(&old_s, &(s.0, qs));
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+        if !old_r.is_one() {
+            return None; // not coprime
+        }
+        let (neg, mag) = old_s;
+        let mag = mag.rem(m);
+        Some(if neg && !mag.is_zero() { m.sub(&mag) } else { mag })
+    }
+
+    /// Uniform random value in `[0, bound)` using the supplied RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: rand::RngCore>(rng: &mut R, bound: &Self) -> Self {
+        assert!(!bound.is_zero(), "bound must be positive");
+        let bytes = bound.bit_len().div_ceil(8);
+        loop {
+            let mut buf = vec![0u8; bytes];
+            rng.fill_bytes(&mut buf);
+            // Mask excess high bits so rejection is cheap.
+            let excess = bytes * 8 - bound.bit_len();
+            if excess > 0 {
+                buf[0] &= 0xff >> excess;
+            }
+            let candidate = Self::from_bytes_be(&buf);
+            if candidate < *bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Random value with exactly `bits` significant bits (top bit set).
+    pub fn random_bits<R: rand::RngCore>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits > 0, "bit count must be positive");
+        let bytes = bits.div_ceil(8);
+        let mut buf = vec![0u8; bytes];
+        rng.fill_bytes(&mut buf);
+        let excess = bytes * 8 - bits;
+        buf[0] &= 0xff >> excess;
+        let mut v = Self::from_bytes_be(&buf);
+        v.set_bit(bits - 1);
+        v
+    }
+}
+
+/// Computes `a - b` over sign-magnitude pairs.
+fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        // a - (-b) = a + b ; (-a) - b = -(a + b)
+        (false, true) => (false, a.1.add(&b.1)),
+        (true, false) => (true, a.1.add(&b.1)),
+        // same sign: magnitude subtraction with possible sign flip
+        (sa, _) => {
+            if a.1 >= b.1 {
+                (sa, a.1.sub(&b.1))
+            } else {
+                (!sa, b.1.sub(&a.1))
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        Self::from_u64(u64::from(v))
+    }
+}
+
+impl std::ops::Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        BigUint::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        BigUint::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint::mul(self, rhs)
+    }
+}
+
+impl std::ops::Rem for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        BigUint::rem(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(BigUint::zero().is_even());
+        assert!(BigUint::one().is_odd());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+        assert_eq!(BigUint::default(), BigUint::zero());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let v = BigUint::from_bytes_be(&[0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(v.to_bytes_be(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(
+            v.to_bytes_be_padded(11).unwrap(),
+            vec![0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+        );
+        assert!(v.to_bytes_be_padded(3).is_none());
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let cases = ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"];
+        for c in cases {
+            assert_eq!(BigUint::from_hex(c).unwrap().to_hex(), c);
+        }
+        // Leading zeros and uppercase are accepted on parse, normalized on print.
+        assert_eq!(BigUint::from_hex("00FF").unwrap().to_hex(), "ff");
+        assert!(BigUint::from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = BigUint::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        let b = BigUint::from_hex("1").unwrap();
+        let s = a.add(&b);
+        assert_eq!(s.to_hex(), "100000000000000000000000000000000");
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(b.checked_sub(&a), None);
+    }
+
+    #[test]
+    fn mul_known_values() {
+        let a = BigUint::from_hex("ffffffffffffffff").unwrap();
+        let sq = a.mul(&a);
+        assert_eq!(sq.to_hex(), "fffffffffffffffe0000000000000001");
+        assert_eq!(BigUint::zero().mul(&a), BigUint::zero());
+        assert_eq!(BigUint::one().mul(&a), a);
+    }
+
+    #[test]
+    fn div_rem_known_values() {
+        let a = BigUint::from_hex("deadbeefdeadbeefdeadbeef").unwrap();
+        let b = BigUint::from_hex("12345").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+
+        // Single-limb fast path.
+        let (q2, r2) = a.div_rem(&BigUint::from_u64(7));
+        assert_eq!(q2.mul(&BigUint::from_u64(7)).add(&r2), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_hex("1f").unwrap();
+        assert_eq!(a.shl(4).to_hex(), "1f0");
+        assert_eq!(a.shl(64).to_hex(), "1f0000000000000000");
+        assert_eq!(a.shl(64).shr(64), a);
+        assert_eq!(a.shr(5).to_hex(), "0");
+        assert_eq!(BigUint::zero().shl(100), BigUint::zero());
+    }
+
+    #[test]
+    fn mod_pow_small() {
+        // 3^4 mod 5 = 1
+        let r = BigUint::from_u64(3).mod_pow(&BigUint::from_u64(4), &BigUint::from_u64(5));
+        assert_eq!(r, BigUint::one());
+        // Fermat: 2^(p-1) mod p = 1 for prime p
+        let p = BigUint::from_u64(1_000_000_007);
+        let r = BigUint::from_u64(2).mod_pow(&p.sub(&BigUint::one()), &p);
+        assert_eq!(r, BigUint::one());
+        // mod 1 is always 0
+        assert_eq!(
+            BigUint::from_u64(5).mod_pow(&BigUint::from_u64(5), &BigUint::one()),
+            BigUint::zero()
+        );
+    }
+
+    #[test]
+    fn mod_inverse_known() {
+        // 3 * 4 = 12 = 1 mod 11
+        let inv = BigUint::from_u64(3).mod_inverse(&BigUint::from_u64(11)).unwrap();
+        assert_eq!(inv, BigUint::from_u64(4));
+        // Not coprime -> None
+        assert!(BigUint::from_u64(6).mod_inverse(&BigUint::from_u64(9)).is_none());
+        // Zero has no inverse
+        assert!(BigUint::zero().mod_inverse(&BigUint::from_u64(7)).is_none());
+    }
+
+    #[test]
+    fn gcd_known() {
+        let a = BigUint::from_u64(48);
+        let b = BigUint::from_u64(36);
+        assert_eq!(a.gcd(&b), BigUint::from_u64(12));
+        assert_eq!(a.gcd(&BigUint::zero()), a);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from_hex("100000000000000000").unwrap();
+        let b = BigUint::from_hex("ff").unwrap();
+        assert!(a > b);
+        assert!(b < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let bound = BigUint::from_hex("10000000000000001").unwrap();
+        for _ in 0..50 {
+            let v = BigUint::random_below(&mut rng, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in [1, 8, 63, 64, 65, 256] {
+            let v = BigUint::random_bits(&mut rng, bits);
+            assert_eq!(v.bit_len(), bits);
+        }
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        assert_eq!(format!("{}", BigUint::zero()), "0x0");
+        assert_eq!(format!("{:?}", BigUint::from_u64(255)), "BigUint(0xff)");
+        assert_eq!(format!("{:x}", BigUint::from_u64(255)), "ff");
+    }
+
+    #[test]
+    fn set_and_get_bits() {
+        let mut v = BigUint::zero();
+        v.set_bit(100);
+        assert!(v.bit(100));
+        assert!(!v.bit(99));
+        assert_eq!(v.bit_len(), 101);
+    }
+}

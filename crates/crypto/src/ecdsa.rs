@@ -1,0 +1,388 @@
+//! ECDSA over secp256k1 with RFC 6979 deterministic nonces.
+//!
+//! Every blockchain actor (gateway, recipient, miner wallet) holds an ECDSA
+//! keypair; transactions are authorized by `OP_CHECKSIG` over these
+//! signatures, as in Bitcoin/Multichain.
+
+use crate::bignum::BigUint;
+use crate::hmac::hmac_sha256;
+use crate::secp256k1::{curve, scalar_mul_base, AffinePoint, JacobianPoint};
+use crate::sha256::sha256;
+use rand::RngCore;
+use std::fmt;
+
+/// A secp256k1 private key (a scalar in `[1, n-1]`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct EcdsaPrivateKey {
+    d: BigUint,
+}
+
+/// A secp256k1 public key (a curve point).
+#[derive(Clone, PartialEq, Eq)]
+pub struct EcdsaPublicKey {
+    point: AffinePoint,
+}
+
+/// An ECDSA signature `(r, s)`, serialized as 64 bytes `r || s`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Signature {
+    r: BigUint,
+    s: BigUint,
+}
+
+/// Errors from ECDSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcdsaError {
+    /// Key bytes were out of range or malformed.
+    InvalidKey,
+    /// Signature bytes were malformed.
+    InvalidSignature,
+}
+
+impl fmt::Display for EcdsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcdsaError::InvalidKey => write!(f, "invalid ecdsa key encoding"),
+            EcdsaError::InvalidSignature => write!(f, "invalid ecdsa signature encoding"),
+        }
+    }
+}
+
+impl std::error::Error for EcdsaError {}
+
+impl fmt::Debug for EcdsaPrivateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("EcdsaPrivateKey { .. }")
+    }
+}
+
+impl fmt::Debug for EcdsaPublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EcdsaPublicKey({})", crate::hex::encode(&self.to_bytes()))
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature(r={:x}…, s={:x}…)", self.r, self.s)
+    }
+}
+
+impl EcdsaPrivateKey {
+    /// Generates a random private key.
+    pub fn generate<R: RngCore>(rng: &mut R) -> Self {
+        let n = &curve().n;
+        loop {
+            let d = BigUint::random_below(rng, n);
+            if !d.is_zero() {
+                return EcdsaPrivateKey { d };
+            }
+        }
+    }
+
+    /// Builds a key from 32 big-endian bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`EcdsaError::InvalidKey`] if out of `[1, n-1]` or not 32 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EcdsaError> {
+        if bytes.len() != 32 {
+            return Err(EcdsaError::InvalidKey);
+        }
+        let d = BigUint::from_bytes_be(bytes);
+        if d.is_zero() || d >= curve().n {
+            return Err(EcdsaError::InvalidKey);
+        }
+        Ok(EcdsaPrivateKey { d })
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.d
+            .to_bytes_be_padded(32)
+            .expect("d < n fits")
+            .try_into()
+            .expect("exactly 32")
+    }
+
+    /// Derives the public key `d·G`.
+    pub fn public_key(&self) -> EcdsaPublicKey {
+        EcdsaPublicKey {
+            point: scalar_mul_base(&self.d),
+        }
+    }
+
+    /// Signs `message` (hashed with SHA-256 internally) using an RFC 6979
+    /// deterministic nonce. The low-S normalization matches Bitcoin.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let digest = sha256(message);
+        self.sign_digest(&digest)
+    }
+
+    /// Signs a precomputed 32-byte digest.
+    pub fn sign_digest(&self, digest: &[u8; 32]) -> Signature {
+        let n = &curve().n;
+        let z = BigUint::from_bytes_be(digest).rem(n);
+        let mut extra: u32 = 0;
+        loop {
+            let k = rfc6979_nonce(&self.d, digest, extra);
+            extra = extra.wrapping_add(1);
+            if k.is_zero() || k >= *n {
+                continue;
+            }
+            let point = scalar_mul_base(&k);
+            let AffinePoint::Coords { x, .. } = point else {
+                continue;
+            };
+            let r = x.rem(n);
+            if r.is_zero() {
+                continue;
+            }
+            let k_inv = k.mod_inverse(n).expect("k in [1,n-1]");
+            // s = k⁻¹ (z + r·d) mod n
+            let s = k_inv.mul_mod(&z.add_mod(&r.mul_mod(&self.d, n), n), n);
+            if s.is_zero() {
+                continue;
+            }
+            // Low-S normalization.
+            let half_n = n.shr(1);
+            let s = if s > half_n { n.sub(&s) } else { s };
+            return Signature { r, s };
+        }
+    }
+}
+
+impl EcdsaPublicKey {
+    /// SEC1 compressed bytes (33).
+    pub fn to_bytes(&self) -> [u8; 33] {
+        self.point.to_compressed()
+    }
+
+    /// Parses SEC1 compressed bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`EcdsaError::InvalidKey`] if not a valid curve point.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EcdsaError> {
+        AffinePoint::from_compressed(bytes)
+            .map(|point| EcdsaPublicKey { point })
+            .ok_or(EcdsaError::InvalidKey)
+    }
+
+    /// Verifies a signature over `message` (SHA-256 applied internally).
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        self.verify_digest(&sha256(message), sig)
+    }
+
+    /// Verifies a signature over a precomputed digest.
+    pub fn verify_digest(&self, digest: &[u8; 32], sig: &Signature) -> bool {
+        let n = &curve().n;
+        if sig.r.is_zero() || sig.r >= *n || sig.s.is_zero() || sig.s >= *n {
+            return false;
+        }
+        let z = BigUint::from_bytes_be(digest).rem(n);
+        let Some(s_inv) = sig.s.mod_inverse(n) else {
+            return false;
+        };
+        let u1 = z.mul_mod(&s_inv, n);
+        let u2 = sig.r.mul_mod(&s_inv, n);
+        let point = JacobianPoint::from_affine(&scalar_mul_base(&u1))
+            .add(&JacobianPoint::from_affine(
+                &JacobianPoint::from_affine(&self.point)
+                    .scalar_mul(&u2)
+                    .to_affine(),
+            ))
+            .to_affine();
+        match point {
+            AffinePoint::Infinity => false,
+            AffinePoint::Coords { x, .. } => x.rem(n) == sig.r,
+        }
+    }
+}
+
+impl Signature {
+    /// Serializes as 64 bytes `r || s` (compact form).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_bytes_be_padded(32).expect("r < n"));
+        out[32..].copy_from_slice(&self.s.to_bytes_be_padded(32).expect("s < n"));
+        out
+    }
+
+    /// Parses the 64-byte compact form.
+    ///
+    /// # Errors
+    ///
+    /// [`EcdsaError::InvalidSignature`] on bad length or out-of-range values.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EcdsaError> {
+        if bytes.len() != 64 {
+            return Err(EcdsaError::InvalidSignature);
+        }
+        let r = BigUint::from_bytes_be(&bytes[..32]);
+        let s = BigUint::from_bytes_be(&bytes[32..]);
+        let n = &curve().n;
+        if r.is_zero() || r >= *n || s.is_zero() || s >= *n {
+            return Err(EcdsaError::InvalidSignature);
+        }
+        Ok(Signature { r, s })
+    }
+}
+
+/// RFC 6979 §3.2 nonce derivation (HMAC-SHA256), with an extra counter so
+/// the rare rejected candidates advance deterministically.
+fn rfc6979_nonce(d: &BigUint, digest: &[u8; 32], extra: u32) -> BigUint {
+    let n = &curve().n;
+    let x = d.to_bytes_be_padded(32).expect("d < n");
+    let h1 = BigUint::from_bytes_be(digest).rem(n);
+    let h1_bytes = h1.to_bytes_be_padded(32).expect("reduced digest");
+
+    let mut v = [0x01u8; 32];
+    let mut k = [0x00u8; 32];
+
+    // K = HMAC_K(V || 0x00 || x || h1 [|| extra])
+    let mut msg = Vec::with_capacity(32 + 1 + 32 + 32 + 4);
+    msg.extend_from_slice(&v);
+    msg.push(0x00);
+    msg.extend_from_slice(&x);
+    msg.extend_from_slice(&h1_bytes);
+    if extra > 0 {
+        msg.extend_from_slice(&extra.to_be_bytes());
+    }
+    k = hmac_sha256(&k, &msg);
+    v = hmac_sha256(&k, &v);
+
+    // K = HMAC_K(V || 0x01 || x || h1 [|| extra])
+    let mut msg = Vec::with_capacity(32 + 1 + 32 + 32 + 4);
+    msg.extend_from_slice(&v);
+    msg.push(0x01);
+    msg.extend_from_slice(&x);
+    msg.extend_from_slice(&h1_bytes);
+    if extra > 0 {
+        msg.extend_from_slice(&extra.to_be_bytes());
+    }
+    k = hmac_sha256(&k, &msg);
+    v = hmac_sha256(&k, &v);
+
+    loop {
+        v = hmac_sha256(&k, &v);
+        let candidate = BigUint::from_bytes_be(&v);
+        if !candidate.is_zero() && candidate < *n {
+            return candidate;
+        }
+        let mut msg = v.to_vec();
+        msg.push(0x00);
+        k = hmac_sha256(&k, &msg);
+        v = hmac_sha256(&k, &v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2018)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut r = rng();
+        let private = EcdsaPrivateKey::generate(&mut r);
+        let public = private.public_key();
+        let msg = b"pay 10 units to gateway";
+        let sig = private.sign(msg);
+        assert!(public.verify(msg, &sig));
+        assert!(!public.verify(b"pay 1000 units to gateway", &sig));
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let mut r = rng();
+        let private = EcdsaPrivateKey::generate(&mut r);
+        let sig1 = private.sign(b"same message");
+        let sig2 = private.sign(b"same message");
+        assert_eq!(sig1.to_bytes(), sig2.to_bytes(), "RFC 6979 is deterministic");
+    }
+
+    #[test]
+    fn rfc6979_test_vector() {
+        // RFC 6979 A.2.5-style vector for secp256k1 (community standard):
+        // key = 1, message "Satoshi Nakamoto".
+        let private = EcdsaPrivateKey::from_bytes(
+            &crate::hex::decode(
+                "0000000000000000000000000000000000000000000000000000000000000001",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let sig = private.sign(b"Satoshi Nakamoto");
+        let bytes = sig.to_bytes();
+        assert_eq!(
+            crate::hex::encode(&bytes[..32]),
+            "934b1ea10a4b3c1757e2b0c017d0b6143ce3c9a7e6a4a49860d7a6ab210ee3d8"
+        );
+        assert_eq!(
+            crate::hex::encode(&bytes[32..]),
+            "2442ce9d2b916064108014783e923ec36b49743e2ffa1c4496f01a512aafd9e5"
+        );
+    }
+
+    #[test]
+    fn wrong_public_key_rejects() {
+        let mut r = rng();
+        let alice = EcdsaPrivateKey::generate(&mut r);
+        let eve = EcdsaPrivateKey::generate(&mut r);
+        let sig = alice.sign(b"message");
+        assert!(!eve.public_key().verify(b"message", &sig));
+    }
+
+    #[test]
+    fn signature_serialization_round_trip() {
+        let mut r = rng();
+        let private = EcdsaPrivateKey::generate(&mut r);
+        let sig = private.sign(b"serialize me");
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(sig, parsed);
+        assert!(Signature::from_bytes(&[0u8; 64]).is_err()); // r = s = 0
+        assert!(Signature::from_bytes(&[1u8; 63]).is_err()); // bad length
+    }
+
+    #[test]
+    fn key_serialization_round_trip() {
+        let mut r = rng();
+        let private = EcdsaPrivateKey::generate(&mut r);
+        let restored = EcdsaPrivateKey::from_bytes(&private.to_bytes()).unwrap();
+        assert_eq!(private, restored);
+        let public = private.public_key();
+        let restored_pub = EcdsaPublicKey::from_bytes(&public.to_bytes()).unwrap();
+        assert_eq!(public, restored_pub);
+    }
+
+    #[test]
+    fn invalid_keys_rejected() {
+        assert!(EcdsaPrivateKey::from_bytes(&[0u8; 32]).is_err()); // zero
+        assert!(EcdsaPrivateKey::from_bytes(&[0xffu8; 32]).is_err()); // >= n
+        assert!(EcdsaPrivateKey::from_bytes(&[1u8; 31]).is_err()); // short
+        assert!(EcdsaPublicKey::from_bytes(&[0u8; 33]).is_err());
+    }
+
+    #[test]
+    fn low_s_normalization() {
+        let mut r = rng();
+        let private = EcdsaPrivateKey::generate(&mut r);
+        let half_n = curve().n.shr(1);
+        for i in 0..8u8 {
+            let sig = private.sign(&[i]);
+            assert!(sig.s <= half_n, "signature must be low-S");
+        }
+    }
+
+    #[test]
+    fn debug_hides_private_scalar() {
+        let mut r = rng();
+        let private = EcdsaPrivateKey::generate(&mut r);
+        assert_eq!(format!("{private:?}"), "EcdsaPrivateKey { .. }");
+    }
+}

@@ -1,0 +1,80 @@
+//! Minimal hex encode/decode helpers (the workspace avoids pulling a hex
+//! crate for two ten-line functions).
+
+use std::fmt;
+
+/// Error returned by [`decode`] on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeHexError {
+    /// Input length was odd.
+    OddLength,
+    /// A character was not a hexadecimal digit.
+    InvalidDigit(char),
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeHexError::OddLength => write!(f, "hex string has odd length"),
+            DecodeHexError::InvalidDigit(c) => write!(f, "invalid hex digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeHexError {}
+
+/// Encodes bytes as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes a hex string (case-insensitive) into bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] for odd-length input or non-hex characters.
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeHexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let chars: Vec<char> = s.chars().collect();
+    for pair in chars.chunks(2) {
+        let hi = pair[0]
+            .to_digit(16)
+            .ok_or(DecodeHexError::InvalidDigit(pair[0]))?;
+        let lo = pair[1]
+            .to_digit(16)
+            .ok_or(DecodeHexError::InvalidDigit(pair[1]))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(decode("DeadBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode("abc"), Err(DecodeHexError::OddLength));
+        assert_eq!(decode("zz"), Err(DecodeHexError::InvalidDigit('z')));
+    }
+}

@@ -1,0 +1,587 @@
+//! RSA with small moduli (512-bit by default), mirroring the paper's choice.
+//!
+//! BcWAN gateways generate an **ephemeral RSA-512 keypair** per message
+//! (paper §4.4/§5.1): the public key `ePk` travels to the node over LoRa,
+//! the node wraps its AES output under `ePk`, and the fair-exchange script
+//! (`OP_CHECKRSA512PAIR`) pays whoever reveals the matching private key
+//! `eSk`. Nodes also sign `(Em, ePk)` with a provisioned RSA key.
+//!
+//! The paper explicitly accepts RSA-512's weakness as a payload-size
+//! trade-off (§6); [`RsaKeySize`] exposes 1024/2048 for the key-size
+//! ablation bench.
+
+use crate::bignum::BigUint;
+use crate::sha256::sha256;
+use rand::RngCore;
+use std::fmt;
+
+/// Supported modulus sizes.
+///
+/// RSA-512 is the paper's choice (64-byte blocks fit LoRa payload limits);
+/// the larger sizes exist for the §6 key-size/airtime ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RsaKeySize {
+    /// 512-bit modulus, 64-byte blocks — the paper's parameter.
+    Rsa512,
+    /// 1024-bit modulus, 128-byte blocks.
+    Rsa1024,
+    /// 2048-bit modulus, 256-byte blocks.
+    Rsa2048,
+}
+
+impl RsaKeySize {
+    /// Modulus size in bits.
+    pub fn bits(self) -> usize {
+        match self {
+            RsaKeySize::Rsa512 => 512,
+            RsaKeySize::Rsa1024 => 1024,
+            RsaKeySize::Rsa2048 => 2048,
+        }
+    }
+
+    /// Modulus (and ciphertext/signature block) size in bytes.
+    pub fn block_len(self) -> usize {
+        self.bits() / 8
+    }
+}
+
+impl fmt::Display for RsaKeySize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RSA-{}", self.bits())
+    }
+}
+
+/// An RSA public key `(n, e)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+/// An RSA private key; retains `n` and both exponents.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RsaPrivateKey {
+    n: BigUint,
+    e: BigUint,
+    d: BigUint,
+}
+
+/// Errors from RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// Plaintext too long for the modulus (must leave padding room).
+    MessageTooLong {
+        /// Attempted message length.
+        len: usize,
+        /// Maximum allowed for this modulus.
+        max: usize,
+    },
+    /// Ciphertext/signature block is not exactly the modulus size.
+    BadBlockLength {
+        /// Supplied block length.
+        len: usize,
+        /// Required block length.
+        expected: usize,
+    },
+    /// Decrypted block had malformed padding.
+    BadPadding,
+    /// Serialized key bytes were malformed.
+    MalformedKey,
+}
+
+impl fmt::Display for RsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsaError::MessageTooLong { len, max } => {
+                write!(f, "message of {len} bytes exceeds maximum {max}")
+            }
+            RsaError::BadBlockLength { len, expected } => {
+                write!(f, "block of {len} bytes, expected {expected}")
+            }
+            RsaError::BadPadding => write!(f, "invalid rsa padding"),
+            RsaError::MalformedKey => write!(f, "malformed rsa key encoding"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+impl fmt::Debug for RsaPublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RsaPublicKey(n={}…, e={})", &self.n.to_hex()[..8.min(self.n.to_hex().len())], self.e)
+    }
+}
+
+impl fmt::Debug for RsaPrivateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print d.
+        write!(f, "RsaPrivateKey(n={}…)", &self.n.to_hex()[..8.min(self.n.to_hex().len())])
+    }
+}
+
+/// Generates an RSA keypair of the given size.
+///
+/// Primes come from Miller–Rabin with a small-prime sieve; `e = 65537`.
+/// Determinism: pass a seeded RNG to get reproducible keys in simulations.
+pub fn generate_keypair<R: RngCore>(rng: &mut R, size: RsaKeySize) -> (RsaPublicKey, RsaPrivateKey) {
+    let half = size.bits() / 2;
+    let e = BigUint::from_u64(65537);
+    loop {
+        let p = generate_prime(rng, half);
+        let q = generate_prime(rng, half);
+        if p == q {
+            continue;
+        }
+        let n = p.mul(&q);
+        if n.bit_len() != size.bits() {
+            continue;
+        }
+        let one = BigUint::one();
+        let phi = p.sub(&one).mul(&q.sub(&one));
+        let Some(d) = e.mod_inverse(&phi) else {
+            continue;
+        };
+        let public = RsaPublicKey { n: n.clone(), e: e.clone() };
+        let private = RsaPrivateKey { n, e, d };
+        return (public, private);
+    }
+}
+
+impl RsaPublicKey {
+    /// The modulus size in bytes (ciphertexts and signatures have this length).
+    pub fn block_len(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The public exponent.
+    pub fn exponent(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// Encrypts `plaintext` with PKCS#1-v1.5-style random padding
+    /// (`00 02 <nonzero random> 00 <message>`).
+    ///
+    /// # Errors
+    ///
+    /// [`RsaError::MessageTooLong`] if the message exceeds `block_len - 11`.
+    pub fn encrypt<R: RngCore>(&self, rng: &mut R, plaintext: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let k = self.block_len();
+        if plaintext.len() + 11 > k {
+            return Err(RsaError::MessageTooLong {
+                len: plaintext.len(),
+                max: k - 11,
+            });
+        }
+        let mut block = Vec::with_capacity(k);
+        block.push(0x00);
+        block.push(0x02);
+        for _ in 0..(k - 3 - plaintext.len()) {
+            loop {
+                let mut b = [0u8; 1];
+                rng.fill_bytes(&mut b);
+                if b[0] != 0 {
+                    block.push(b[0]);
+                    break;
+                }
+            }
+        }
+        block.push(0x00);
+        block.extend_from_slice(plaintext);
+        let m = BigUint::from_bytes_be(&block);
+        let c = m.mod_pow(&self.e, &self.n);
+        Ok(c.to_bytes_be_padded(k).expect("c < n fits"))
+    }
+
+    /// Verifies a signature over `message` (SHA-256 digest, type-1 padding).
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> bool {
+        let k = self.block_len();
+        if signature.len() != k {
+            return false;
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s >= self.n {
+            return false;
+        }
+        let m = s.mod_pow(&self.e, &self.n);
+        let Some(block) = m.to_bytes_be_padded(k) else {
+            return false;
+        };
+        let expected = signature_block(&sha256(message), k);
+        // Length-constant comparison is irrelevant in a simulator, but cheap.
+        block
+            .iter()
+            .zip(expected.iter())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+            == 0
+    }
+
+    /// Checks that `private` is the private half of this public key —
+    /// the semantic of the paper's `OP_CHECKRSA512PAIR` operator
+    /// ("implemented using the VerifyPubKey method … from OpenSSL").
+    ///
+    /// Validates both the shared modulus and the exponent relation
+    /// `e·d ≡ 1` by a random encrypt/decrypt probe, so a forged `d` for the
+    /// right `n` is rejected.
+    pub fn matches_private(&self, private: &RsaPrivateKey) -> bool {
+        if self.n != private.n || self.e != private.e {
+            return false;
+        }
+        // Probe with a fixed small value: (v^e)^d mod n == v.
+        let v = BigUint::from_u64(0x42);
+        let c = v.mod_pow(&self.e, &self.n);
+        c.mod_pow(&private.d, &private.n) == v
+    }
+
+    /// Serializes as `len(n) (2 bytes BE) || n || len(e) (2 bytes BE) || e`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.n.to_bytes_be();
+        let e = self.e.to_bytes_be();
+        let mut out = Vec::with_capacity(4 + n.len() + e.len());
+        out.extend_from_slice(&(n.len() as u16).to_be_bytes());
+        out.extend_from_slice(&n);
+        out.extend_from_slice(&(e.len() as u16).to_be_bytes());
+        out.extend_from_slice(&e);
+        out
+    }
+
+    /// Parses the [`RsaPublicKey::to_bytes`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`RsaError::MalformedKey`] on truncated or trailing data.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RsaError> {
+        let (n, rest) = read_chunk(bytes)?;
+        let (e, rest) = read_chunk(rest)?;
+        if !rest.is_empty() {
+            return Err(RsaError::MalformedKey);
+        }
+        Ok(RsaPublicKey {
+            n: BigUint::from_bytes_be(n),
+            e: BigUint::from_bytes_be(e),
+        })
+    }
+}
+
+impl RsaPrivateKey {
+    /// The modulus size in bytes.
+    pub fn block_len(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> RsaPublicKey {
+        RsaPublicKey {
+            n: self.n.clone(),
+            e: self.e.clone(),
+        }
+    }
+
+    /// Decrypts a ciphertext produced by [`RsaPublicKey::encrypt`].
+    ///
+    /// # Errors
+    ///
+    /// [`RsaError::BadBlockLength`] or [`RsaError::BadPadding`].
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let k = self.block_len();
+        if ciphertext.len() != k {
+            return Err(RsaError::BadBlockLength {
+                len: ciphertext.len(),
+                expected: k,
+            });
+        }
+        let c = BigUint::from_bytes_be(ciphertext);
+        let m = c.mod_pow(&self.d, &self.n);
+        let block = m.to_bytes_be_padded(k).ok_or(RsaError::BadPadding)?;
+        if block[0] != 0x00 || block[1] != 0x02 {
+            return Err(RsaError::BadPadding);
+        }
+        let sep = block[2..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(RsaError::BadPadding)?;
+        if sep < 8 {
+            return Err(RsaError::BadPadding); // require ≥8 padding bytes
+        }
+        Ok(block[2 + sep + 1..].to_vec())
+    }
+
+    /// Signs `message` (SHA-256 digest under type-1 padding).
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        let k = self.block_len();
+        let block = signature_block(&sha256(message), k);
+        let m = BigUint::from_bytes_be(&block);
+        let s = m.mod_pow(&self.d, &self.n);
+        s.to_bytes_be_padded(k).expect("s < n fits")
+    }
+
+    /// Serializes as three length-prefixed chunks `n || e || d`.
+    ///
+    /// The BcWAN claim transaction publishes exactly this encoding in its
+    /// unlocking script to reveal the ephemeral private key.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.n.to_bytes_be();
+        let e = self.e.to_bytes_be();
+        let d = self.d.to_bytes_be();
+        let mut out = Vec::with_capacity(6 + n.len() + e.len() + d.len());
+        for chunk in [&n, &e, &d] {
+            out.extend_from_slice(&(chunk.len() as u16).to_be_bytes());
+            out.extend_from_slice(chunk);
+        }
+        out
+    }
+
+    /// Parses the [`RsaPrivateKey::to_bytes`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`RsaError::MalformedKey`] on truncated or trailing data.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RsaError> {
+        let (n, rest) = read_chunk(bytes)?;
+        let (e, rest) = read_chunk(rest)?;
+        let (d, rest) = read_chunk(rest)?;
+        if !rest.is_empty() {
+            return Err(RsaError::MalformedKey);
+        }
+        Ok(RsaPrivateKey {
+            n: BigUint::from_bytes_be(n),
+            e: BigUint::from_bytes_be(e),
+            d: BigUint::from_bytes_be(d),
+        })
+    }
+}
+
+fn read_chunk(bytes: &[u8]) -> Result<(&[u8], &[u8]), RsaError> {
+    if bytes.len() < 2 {
+        return Err(RsaError::MalformedKey);
+    }
+    let len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+    if bytes.len() < 2 + len {
+        return Err(RsaError::MalformedKey);
+    }
+    Ok((&bytes[2..2 + len], &bytes[2 + len..]))
+}
+
+/// Deterministic type-1 block: `00 01 ff..ff 00 <sha256 digest>`.
+fn signature_block(digest: &[u8; 32], k: usize) -> Vec<u8> {
+    assert!(k >= 32 + 11, "modulus too small for signature block");
+    let mut block = Vec::with_capacity(k);
+    block.push(0x00);
+    block.push(0x01);
+    block.extend(std::iter::repeat_n(0xff, k - 3 - 32));
+    block.push(0x00);
+    block.extend_from_slice(digest);
+    block
+}
+
+/// First few hundred odd primes for trial division before Miller–Rabin.
+fn small_primes() -> &'static [u64] {
+    const SMALL: [u64; 54] = [
+        3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+        97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+        191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257,
+    ];
+    &SMALL
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+pub fn is_probable_prime<R: RngCore>(rng: &mut R, n: &BigUint, rounds: usize) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    let two = BigUint::from_u64(2);
+    if *n == two {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in small_primes() {
+        let sp = BigUint::from_u64(p);
+        if *n == sp {
+            return true;
+        }
+        if n.rem(&sp).is_zero() {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+    'witness: for _ in 0..rounds {
+        // Random base in [2, n-2].
+        let bound = n.sub(&BigUint::from_u64(3));
+        let a = BigUint::random_below(rng, &bound).add(&two);
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random prime with exactly `bits` bits.
+pub fn generate_prime<R: RngCore>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 16, "prime size too small");
+    loop {
+        let mut candidate = BigUint::random_bits(rng, bits);
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        if is_probable_prime(rng, &candidate, 20) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xbc1a2018)
+    }
+
+    #[test]
+    fn miller_rabin_known_primes_and_composites() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 65537, 1_000_000_007, 2_147_483_647] {
+            assert!(is_probable_prime(&mut r, &BigUint::from_u64(p), 20), "{p}");
+        }
+        for c in [0u64, 1, 4, 9, 561, 41041, 1_000_000_008, 25326001] {
+            // 561, 41041, 25326001 are Carmichael numbers.
+            assert!(!is_probable_prime(&mut r, &BigUint::from_u64(c), 20), "{c}");
+        }
+    }
+
+    #[test]
+    fn generated_prime_has_requested_size() {
+        let mut r = rng();
+        let p = generate_prime(&mut r, 64);
+        assert_eq!(p.bit_len(), 64);
+        assert!(p.is_odd());
+    }
+
+    #[test]
+    fn keypair_512_round_trip() {
+        let mut r = rng();
+        let (public, private) = generate_keypair(&mut r, RsaKeySize::Rsa512);
+        assert_eq!(public.block_len(), 64);
+        let msg = b"sensor reading 21.5C";
+        let ct = public.encrypt(&mut r, msg).unwrap();
+        assert_eq!(ct.len(), 64);
+        assert_eq!(private.decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut r = rng();
+        let (public, private) = generate_keypair(&mut r, RsaKeySize::Rsa512);
+        let msg = b"Em || ePk as in paper step 4";
+        let sig = private.sign(msg);
+        assert_eq!(sig.len(), 64);
+        assert!(public.verify(msg, &sig));
+        assert!(!public.verify(b"tampered", &sig));
+        let mut bad = sig.clone();
+        bad[10] ^= 1;
+        assert!(!public.verify(msg, &bad));
+        assert!(!public.verify(msg, &sig[..63])); // wrong length
+    }
+
+    #[test]
+    fn message_too_long_rejected() {
+        let mut r = rng();
+        let (public, _) = generate_keypair(&mut r, RsaKeySize::Rsa512);
+        let too_long = vec![0u8; 64 - 10];
+        assert!(matches!(
+            public.encrypt(&mut r, &too_long),
+            Err(RsaError::MessageTooLong { .. })
+        ));
+        // 53 bytes = 64 - 11 is the maximum.
+        let max = vec![0u8; 53];
+        assert!(public.encrypt(&mut r, &max).is_ok());
+    }
+
+    #[test]
+    fn pair_check_detects_mismatch() {
+        let mut r = rng();
+        let (pub1, prv1) = generate_keypair(&mut r, RsaKeySize::Rsa512);
+        let (pub2, prv2) = generate_keypair(&mut r, RsaKeySize::Rsa512);
+        assert!(pub1.matches_private(&prv1));
+        assert!(pub2.matches_private(&prv2));
+        assert!(!pub1.matches_private(&prv2));
+        assert!(!pub2.matches_private(&prv1));
+    }
+
+    #[test]
+    fn key_serialization_round_trip() {
+        let mut r = rng();
+        let (public, private) = generate_keypair(&mut r, RsaKeySize::Rsa512);
+        let p2 = RsaPublicKey::from_bytes(&public.to_bytes()).unwrap();
+        assert_eq!(public, p2);
+        let s2 = RsaPrivateKey::from_bytes(&private.to_bytes()).unwrap();
+        assert_eq!(private, s2);
+        assert!(p2.matches_private(&s2));
+    }
+
+    #[test]
+    fn malformed_key_bytes_rejected() {
+        assert!(matches!(RsaPublicKey::from_bytes(&[]), Err(RsaError::MalformedKey)));
+        assert!(matches!(RsaPublicKey::from_bytes(&[0, 5, 1]), Err(RsaError::MalformedKey)));
+        let mut r = rng();
+        let (public, _) = generate_keypair(&mut r, RsaKeySize::Rsa512);
+        let mut bytes = public.to_bytes();
+        bytes.push(0); // trailing garbage
+        assert!(matches!(RsaPublicKey::from_bytes(&bytes), Err(RsaError::MalformedKey)));
+    }
+
+    #[test]
+    fn corrupted_ciphertext_fails_cleanly() {
+        let mut r = rng();
+        let (public, private) = generate_keypair(&mut r, RsaKeySize::Rsa512);
+        let mut ct = public.encrypt(&mut r, b"data").unwrap();
+        ct[0] ^= 0xff;
+        // Either padding fails or the plaintext differs; never the original.
+        match private.decrypt(&ct) {
+            Ok(pt) => assert_ne!(pt, b"data".to_vec()),
+            Err(RsaError::BadPadding) | Err(RsaError::BadBlockLength { .. }) => {}
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn key_sizes_block_lengths() {
+        assert_eq!(RsaKeySize::Rsa512.block_len(), 64);
+        assert_eq!(RsaKeySize::Rsa1024.block_len(), 128);
+        assert_eq!(RsaKeySize::Rsa2048.block_len(), 256);
+        assert_eq!(RsaKeySize::Rsa512.to_string(), "RSA-512");
+    }
+
+    #[test]
+    fn debug_never_reveals_private_exponent() {
+        let mut r = rng();
+        let (_, private) = generate_keypair(&mut r, RsaKeySize::Rsa512);
+        let dbg = format!("{private:?}");
+        assert!(dbg.starts_with("RsaPrivateKey("));
+        assert!(dbg.len() < 40);
+    }
+}

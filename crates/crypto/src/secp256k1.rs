@@ -1,0 +1,403 @@
+//! secp256k1 elliptic-curve group arithmetic (`y² = x³ + 7` over F_p).
+//!
+//! The blockchain substrate signs transactions with ECDSA over this curve,
+//! exactly as Bitcoin (and therefore Multichain, the paper's blockchain)
+//! does. Points use Jacobian projective coordinates internally so scalar
+//! multiplication needs a single field inversion at the end.
+
+use crate::bignum::BigUint;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Curve parameters, computed once.
+pub struct CurveParams {
+    /// Field prime `p = 2^256 - 2^32 - 977`.
+    pub p: BigUint,
+    /// Group order `n`.
+    pub n: BigUint,
+    /// Generator point.
+    pub g: AffinePoint,
+}
+
+static PARAMS: OnceLock<CurveParams> = OnceLock::new();
+
+/// Returns the shared curve parameters.
+pub fn curve() -> &'static CurveParams {
+    PARAMS.get_or_init(|| {
+        let p = BigUint::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .expect("const");
+        let n = BigUint::from_hex(
+            "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141",
+        )
+        .expect("const");
+        let gx = BigUint::from_hex(
+            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+        )
+        .expect("const");
+        let gy = BigUint::from_hex(
+            "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
+        )
+        .expect("const");
+        CurveParams {
+            p,
+            n,
+            g: AffinePoint::Coords { x: gx, y: gy },
+        }
+    })
+}
+
+/// A point in affine coordinates, or the point at infinity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AffinePoint {
+    /// The identity element.
+    Infinity,
+    /// A finite point `(x, y)`.
+    Coords {
+        /// x-coordinate.
+        x: BigUint,
+        /// y-coordinate.
+        y: BigUint,
+    },
+}
+
+impl AffinePoint {
+    /// Whether the point satisfies the curve equation (or is infinity).
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            AffinePoint::Infinity => true,
+            AffinePoint::Coords { x, y } => {
+                let p = &curve().p;
+                let y2 = y.mul_mod(y, p);
+                let x3 = x.mul_mod(x, p).mul_mod(x, p);
+                let rhs = x3.add_mod(&BigUint::from_u64(7), p);
+                y2 == rhs
+            }
+        }
+    }
+
+    /// SEC1 compressed encoding: `02/03 || x` (33 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the point at infinity, which has no SEC1 encoding here.
+    pub fn to_compressed(&self) -> [u8; 33] {
+        match self {
+            AffinePoint::Infinity => panic!("cannot encode point at infinity"),
+            AffinePoint::Coords { x, y } => {
+                let mut out = [0u8; 33];
+                out[0] = if y.is_odd() { 0x03 } else { 0x02 };
+                let xb = x.to_bytes_be_padded(32).expect("x < p fits 32 bytes");
+                out[1..].copy_from_slice(&xb);
+                out
+            }
+        }
+    }
+
+    /// Parses a SEC1 compressed encoding, checking curve membership.
+    pub fn from_compressed(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 33 || (bytes[0] != 0x02 && bytes[0] != 0x03) {
+            return None;
+        }
+        let p = &curve().p;
+        let x = BigUint::from_bytes_be(&bytes[1..]);
+        if x >= *p {
+            return None;
+        }
+        // y² = x³ + 7; sqrt via exponent (p+1)/4 since p ≡ 3 (mod 4).
+        let rhs = x
+            .mul_mod(&x, p)
+            .mul_mod(&x, p)
+            .add_mod(&BigUint::from_u64(7), p);
+        let exp = p.add(&BigUint::one()).shr(2);
+        let mut y = rhs.mod_pow(&exp, p);
+        if y.mul_mod(&y, p) != rhs {
+            return None; // x not on curve
+        }
+        let want_odd = bytes[0] == 0x03;
+        if y.is_odd() != want_odd {
+            y = p.sub(&y);
+        }
+        let point = AffinePoint::Coords { x, y };
+        debug_assert!(point.is_on_curve());
+        Some(point)
+    }
+}
+
+/// Jacobian-coordinate point: `(X, Y, Z)` with `x = X/Z²`, `y = Y/Z³`.
+#[derive(Debug, Clone)]
+pub struct JacobianPoint {
+    x: BigUint,
+    y: BigUint,
+    z: BigUint,
+}
+
+impl JacobianPoint {
+    /// The identity element.
+    pub fn infinity() -> Self {
+        JacobianPoint {
+            x: BigUint::one(),
+            y: BigUint::one(),
+            z: BigUint::zero(),
+        }
+    }
+
+    /// Whether this is the identity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Lifts an affine point.
+    pub fn from_affine(p: &AffinePoint) -> Self {
+        match p {
+            AffinePoint::Infinity => Self::infinity(),
+            AffinePoint::Coords { x, y } => JacobianPoint {
+                x: x.clone(),
+                y: y.clone(),
+                z: BigUint::one(),
+            },
+        }
+    }
+
+    /// Projects back to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> AffinePoint {
+        if self.is_infinity() {
+            return AffinePoint::Infinity;
+        }
+        let p = &curve().p;
+        let z_inv = self.z.mod_inverse(p).expect("z != 0 invertible mod prime");
+        let z2 = z_inv.mul_mod(&z_inv, p);
+        let z3 = z2.mul_mod(&z_inv, p);
+        AffinePoint::Coords {
+            x: self.x.mul_mod(&z2, p),
+            y: self.y.mul_mod(&z3, p),
+        }
+    }
+
+    /// Point doubling (handles the identity and 2-torsion edge cases).
+    pub fn double(&self) -> Self {
+        let p = &curve().p;
+        if self.is_infinity() || self.y.is_zero() {
+            return Self::infinity();
+        }
+        // Standard dbl-2007-bl-style formulas for a = 0.
+        let xx = self.x.mul_mod(&self.x, p); // X²
+        let yy = self.y.mul_mod(&self.y, p); // Y²
+        let yyyy = yy.mul_mod(&yy, p); // Y⁴
+        // S = 4·X·Y²
+        let s = self
+            .x
+            .mul_mod(&yy, p)
+            .mul_mod(&BigUint::from_u64(4), p);
+        // M = 3·X²
+        let m = xx.mul_mod(&BigUint::from_u64(3), p);
+        // X' = M² − 2·S
+        let two_s = s.add_mod(&s, p);
+        let x3 = m.mul_mod(&m, p).sub_mod(&two_s, p);
+        // Y' = M·(S − X') − 8·Y⁴
+        let eight_yyyy = yyyy.mul_mod(&BigUint::from_u64(8), p);
+        let y3 = m.mul_mod(&s.sub_mod(&x3, p), p).sub_mod(&eight_yyyy, p);
+        // Z' = 2·Y·Z
+        let z3 = self
+            .y
+            .mul_mod(&self.z, p)
+            .mul_mod(&BigUint::from_u64(2), p);
+        JacobianPoint { x: x3, y: y3, z: z3 }
+    }
+
+    /// Point addition.
+    pub fn add(&self, other: &Self) -> Self {
+        let p = &curve().p;
+        if self.is_infinity() {
+            return other.clone();
+        }
+        if other.is_infinity() {
+            return self.clone();
+        }
+        // add-2007-bl
+        let z1z1 = self.z.mul_mod(&self.z, p);
+        let z2z2 = other.z.mul_mod(&other.z, p);
+        let u1 = self.x.mul_mod(&z2z2, p);
+        let u2 = other.x.mul_mod(&z1z1, p);
+        let s1 = self.y.mul_mod(&other.z, p).mul_mod(&z2z2, p);
+        let s2 = other.y.mul_mod(&self.z, p).mul_mod(&z1z1, p);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::infinity(); // P + (−P)
+        }
+        let h = u2.sub_mod(&u1, p);
+        let i = h.add_mod(&h, p);
+        let i = i.mul_mod(&i, p);
+        let j = h.mul_mod(&i, p);
+        let r = s2.sub_mod(&s1, p);
+        let r = r.add_mod(&r, p);
+        let v = u1.mul_mod(&i, p);
+        // X3 = r² − J − 2·V
+        let x3 = r
+            .mul_mod(&r, p)
+            .sub_mod(&j, p)
+            .sub_mod(&v.add_mod(&v, p), p);
+        // Y3 = r·(V − X3) − 2·S1·J
+        let s1j = s1.mul_mod(&j, p);
+        let y3 = r
+            .mul_mod(&v.sub_mod(&x3, p), p)
+            .sub_mod(&s1j.add_mod(&s1j, p), p);
+        // Z3 = ((Z1+Z2)² − Z1Z1 − Z2Z2)·H
+        let z_sum = self.z.add_mod(&other.z, p);
+        let z3 = z_sum
+            .mul_mod(&z_sum, p)
+            .sub_mod(&z1z1, p)
+            .sub_mod(&z2z2, p)
+            .mul_mod(&h, p);
+        JacobianPoint { x: x3, y: y3, z: z3 }
+    }
+
+    /// Scalar multiplication by double-and-add (MSB first).
+    pub fn scalar_mul(&self, k: &BigUint) -> Self {
+        let mut acc = Self::infinity();
+        for i in (0..k.bit_len()).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Display for AffinePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffinePoint::Infinity => write!(f, "∞"),
+            AffinePoint::Coords { x, .. } => write!(f, "({x}…)"),
+        }
+    }
+}
+
+/// `k·G` for the curve generator.
+pub fn scalar_mul_base(k: &BigUint) -> AffinePoint {
+    JacobianPoint::from_affine(&curve().g)
+        .scalar_mul(k)
+        .to_affine()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(curve().g.is_on_curve());
+    }
+
+    #[test]
+    fn generator_has_order_n() {
+        let n = curve().n.clone();
+        let ng = scalar_mul_base(&n);
+        assert_eq!(ng, AffinePoint::Infinity);
+        // (n-1)·G = −G (same x, opposite y).
+        let n1g = scalar_mul_base(&n.sub(&BigUint::one()));
+        match (&curve().g, &n1g) {
+            (
+                AffinePoint::Coords { x: gx, y: gy },
+                AffinePoint::Coords { x, y },
+            ) => {
+                assert_eq!(gx, x);
+                assert_eq!(curve().p.sub(gy), *y);
+            }
+            _ => panic!("unexpected infinity"),
+        }
+    }
+
+    #[test]
+    fn small_multiples_known_values() {
+        // 2G — standard test vector.
+        let two_g = scalar_mul_base(&BigUint::from_u64(2));
+        match two_g {
+            AffinePoint::Coords { x, .. } => assert_eq!(
+                x.to_hex(),
+                "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+            ),
+            _ => panic!("infinity"),
+        }
+        // 1G = G
+        assert_eq!(scalar_mul_base(&BigUint::one()), curve().g);
+        // 0G = infinity
+        assert_eq!(scalar_mul_base(&BigUint::zero()), AffinePoint::Infinity);
+    }
+
+    #[test]
+    fn add_matches_scalar_mul() {
+        let g = JacobianPoint::from_affine(&curve().g);
+        let three_by_add = g.add(&g).add(&g).to_affine();
+        let three_by_mul = scalar_mul_base(&BigUint::from_u64(3));
+        assert_eq!(three_by_add, three_by_mul);
+    }
+
+    #[test]
+    fn addition_with_infinity() {
+        let g = JacobianPoint::from_affine(&curve().g);
+        let inf = JacobianPoint::infinity();
+        assert_eq!(inf.add(&g).to_affine(), curve().g);
+        assert_eq!(g.add(&inf).to_affine(), curve().g);
+        assert_eq!(inf.add(&inf).to_affine(), AffinePoint::Infinity);
+        assert_eq!(inf.double().to_affine(), AffinePoint::Infinity);
+    }
+
+    #[test]
+    fn p_plus_minus_p_is_infinity() {
+        let g = JacobianPoint::from_affine(&curve().g);
+        let neg = match curve().g.clone() {
+            AffinePoint::Coords { x, y } => JacobianPoint::from_affine(&AffinePoint::Coords {
+                x,
+                y: curve().p.sub(&y),
+            }),
+            _ => unreachable!(),
+        };
+        assert_eq!(g.add(&neg).to_affine(), AffinePoint::Infinity);
+    }
+
+    #[test]
+    fn compressed_round_trip() {
+        for k in [1u64, 2, 3, 12345, 0xffff_ffff] {
+            let p = scalar_mul_base(&BigUint::from_u64(k));
+            let enc = p.to_compressed();
+            let dec = AffinePoint::from_compressed(&enc).unwrap();
+            assert_eq!(p, dec, "k={k}");
+        }
+    }
+
+    #[test]
+    fn compressed_generator_known_bytes() {
+        let enc = curve().g.to_compressed();
+        assert_eq!(
+            crate::hex::encode(&enc),
+            "0279be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"
+        );
+    }
+
+    #[test]
+    fn from_compressed_rejects_garbage() {
+        assert!(AffinePoint::from_compressed(&[0u8; 33]).is_none());
+        assert!(AffinePoint::from_compressed(&[2u8; 10]).is_none());
+        // x >= p
+        let mut bytes = [0xffu8; 33];
+        bytes[0] = 0x02;
+        assert!(AffinePoint::from_compressed(&bytes).is_none());
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        // (a+b)G == aG + bG
+        let a = BigUint::from_u64(0xdead_beef);
+        let b = BigUint::from_u64(0x1234_5678);
+        let lhs = scalar_mul_base(&a.add(&b));
+        let rhs = JacobianPoint::from_affine(&scalar_mul_base(&a))
+            .add(&JacobianPoint::from_affine(&scalar_mul_base(&b)))
+            .to_affine();
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the cryptographic primitives.
+
+use bcwan_crypto::aes::{cbc_decrypt, cbc_encrypt};
+use bcwan_crypto::bignum::BigUint;
+use bcwan_crypto::ecdsa::EcdsaPrivateKey;
+use bcwan_crypto::hex;
+use bcwan_crypto::secp256k1::{curve, scalar_mul_base, JacobianPoint};
+use proptest::prelude::*;
+
+fn arb_biguint(max_bytes: usize) -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..=max_bytes)
+        .prop_map(|bytes| BigUint::from_bytes_be(&bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bignum_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let v = BigUint::from_bytes_be(&bytes);
+        let round = BigUint::from_bytes_be(&v.to_bytes_be());
+        prop_assert_eq!(v, round);
+    }
+
+    #[test]
+    fn bignum_hex_round_trip(a in arb_biguint(48)) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn bignum_add_commutes(a in arb_biguint(40), b in arb_biguint(40)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn bignum_add_sub_inverse(a in arb_biguint(40), b in arb_biguint(40)) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn bignum_mul_commutes(a in arb_biguint(32), b in arb_biguint(32)) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn bignum_mul_distributes(a in arb_biguint(24), b in arb_biguint(24), c in arb_biguint(24)) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn bignum_div_rem_identity(a in arb_biguint(64), b in arb_biguint(32)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn bignum_shift_round_trip(a in arb_biguint(32), n in 0usize..200) {
+        prop_assert_eq!(a.shl(n).shr(n), a);
+    }
+
+    #[test]
+    fn bignum_mod_pow_matches_naive(base in 0u64..1000, exp in 0u64..24, m in 2u64..10_000) {
+        let naive = (0..exp).fold(1u128, |acc, _| acc * u128::from(base) % u128::from(m)) as u64;
+        let got = BigUint::from_u64(base)
+            .mod_pow(&BigUint::from_u64(exp), &BigUint::from_u64(m));
+        prop_assert_eq!(got, BigUint::from_u64(naive));
+    }
+
+    #[test]
+    fn bignum_mod_inverse_is_inverse(a in arb_biguint(24), m in arb_biguint(24)) {
+        prop_assume!(m > BigUint::one());
+        if let Some(inv) = a.mod_inverse(&m) {
+            prop_assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+            prop_assert!(inv < m);
+        }
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_injective_in_practice(
+        a in proptest::collection::vec(any::<u8>(), 0..128),
+        b in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let ha = bcwan_crypto::sha256(&a);
+        prop_assert_eq!(ha, bcwan_crypto::sha256(&a));
+        if a != b {
+            prop_assert_ne!(ha, bcwan_crypto::sha256(&b));
+        }
+    }
+
+    #[test]
+    fn cbc_round_trip(
+        key in proptest::array::uniform32(any::<u8>()),
+        iv in proptest::array::uniform16(any::<u8>()),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let ct = cbc_encrypt(&key, &iv, &plaintext);
+        prop_assert_eq!(ct.len() % 16, 0);
+        prop_assert!(ct.len() > plaintext.len());
+        prop_assert_eq!(cbc_decrypt(&key, &iv, &ct).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn hex_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn ecdsa_sign_verify(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Reject out-of-range seeds instead of looping.
+        if let Ok(private) = EcdsaPrivateKey::from_bytes(&seed) {
+            let public = private.public_key();
+            let sig = private.sign(&msg);
+            prop_assert!(public.verify(&msg, &sig));
+            let mut tampered = msg.clone();
+            tampered.push(0x55);
+            prop_assert!(!public.verify(&tampered, &sig));
+        }
+    }
+
+    #[test]
+    fn ec_group_associativity(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+        let pa = JacobianPoint::from_affine(&scalar_mul_base(&BigUint::from_u64(a)));
+        let pb = JacobianPoint::from_affine(&scalar_mul_base(&BigUint::from_u64(b)));
+        let g = JacobianPoint::from_affine(&curve().g);
+        let left = pa.add(&pb).add(&g).to_affine();
+        let right = pa.add(&pb.add(&g)).to_affine();
+        prop_assert_eq!(left, right);
+    }
+}
+
+proptest! {
+    // RSA keygen is expensive; use a handful of cases with shared key reuse.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn rsa_encrypt_decrypt_round_trip(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..53),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (public, private) =
+            bcwan_crypto::generate_keypair(&mut rng, bcwan_crypto::RsaKeySize::Rsa512);
+        let ct = public.encrypt(&mut rng, &msg).unwrap();
+        prop_assert_eq!(private.decrypt(&ct).unwrap(), msg.clone());
+        let sig = private.sign(&msg);
+        prop_assert!(public.verify(&msg, &sig));
+        prop_assert!(public.matches_private(&private));
+    }
+}

@@ -1,0 +1,109 @@
+//! ALOHA-style collision model for the shared radio channel.
+//!
+//! LoRaWAN uplinks are unslotted ALOHA: two frames overlapping in time on
+//! the same channel and spreading factor destroy each other (ignoring
+//! capture). The §5.2 workload — 150 sensors pushing towards their duty
+//! limit through 5 gateways — makes channel contention a real effect the
+//! paper's small testbed glosses over; this module supplies the standard
+//! analytic model and a sampling helper for the simulator.
+
+use crate::airtime::time_on_air;
+use crate::params::RadioConfig;
+use bcwan_sim::SimRng;
+
+/// Normalized offered load `G`: mean number of frame-airtimes' worth of
+/// traffic offered per airtime, for `senders` nodes each sending
+/// `rate_per_s` frames of `airtime_s` seconds.
+pub fn offered_load(senders: u32, rate_per_s: f64, airtime_s: f64) -> f64 {
+    assert!(rate_per_s >= 0.0 && airtime_s >= 0.0, "negative load inputs");
+    f64::from(senders) * rate_per_s * airtime_s
+}
+
+/// Pure-ALOHA success probability for offered load `G`: `e^(−2G)`
+/// (a frame survives if no other frame starts within ±1 airtime).
+pub fn aloha_success_probability(g: f64) -> f64 {
+    assert!(g >= 0.0, "offered load must be non-negative");
+    (-2.0 * g).exp()
+}
+
+/// Goodput (successful frame-airtimes per airtime): `G · e^(−2G)`,
+/// maximized at `G = 0.5` with ≈ 0.184.
+pub fn aloha_goodput(g: f64) -> f64 {
+    g * aloha_success_probability(g)
+}
+
+/// Convenience: success probability for the §5.2-style workload.
+pub fn workload_success_probability(
+    config: &RadioConfig,
+    frame_len: usize,
+    senders: u32,
+    per_sender_rate_per_s: f64,
+) -> f64 {
+    let airtime = time_on_air(config, frame_len).as_secs_f64();
+    aloha_success_probability(offered_load(senders, per_sender_rate_per_s, airtime))
+}
+
+/// Samples whether a single frame survives contention at load `g`.
+pub fn frame_survives(g: f64, rng: &mut SimRng) -> bool {
+    rng.chance(aloha_success_probability(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_load_always_succeeds() {
+        assert_eq!(aloha_success_probability(0.0), 1.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        assert!(frame_survives(0.0, &mut rng));
+    }
+
+    #[test]
+    fn goodput_peaks_at_half() {
+        let peak = aloha_goodput(0.5);
+        assert!((peak - 0.5 * (-1.0f64).exp()).abs() < 1e-12);
+        for g in [0.1, 0.3, 0.7, 1.0, 2.0] {
+            assert!(aloha_goodput(g) <= peak + 1e-12, "g={g}");
+        }
+    }
+
+    #[test]
+    fn success_decreases_with_load() {
+        let mut prev = 1.1;
+        for g in [0.0, 0.1, 0.5, 1.0, 2.0, 5.0] {
+            let p = aloha_success_probability(g);
+            assert!(p < prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn paper_workload_is_collision_tolerant_per_gateway() {
+        // 30 sensors per gateway sending the 160 B data frame at the
+        // (throttled) Fig. 5 rate of ~1 frame/50 s each.
+        let cfg = RadioConfig::paper_sf7();
+        let p = workload_success_probability(&cfg, 160, 30, 1.0 / 50.0);
+        assert!(p > 0.6, "per-gateway success {p:.3}");
+        // All 150 sensors sharing ONE channel/gateway would hurt badly.
+        let p_all = workload_success_probability(&cfg, 160, 150, 1.0 / 50.0);
+        assert!(p_all < p - 0.2, "{p_all} vs {p}");
+    }
+
+    #[test]
+    fn sampling_matches_analytic_rate() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let g = 0.35;
+        let n = 20_000;
+        let survived = (0..n).filter(|_| frame_survives(g, &mut rng)).count();
+        let rate = survived as f64 / n as f64;
+        let expect = aloha_success_probability(g);
+        assert!((rate - expect).abs() < 0.02, "{rate} vs {expect}");
+    }
+
+    #[test]
+    fn offered_load_math() {
+        assert_eq!(offered_load(10, 0.1, 0.25), 0.25);
+        assert_eq!(offered_load(0, 1.0, 1.0), 0.0);
+    }
+}

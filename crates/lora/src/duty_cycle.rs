@@ -1,0 +1,168 @@
+//! ETSI-style duty-cycle enforcement.
+//!
+//! EU868 sub-bands cap a device at (typically) 1 % airtime: after
+//! transmitting for `T`, the device must stay silent for `T·(1/d − 1)`.
+//! The paper's workload ("30 sensors per node at a 1 % duty cycle") is
+//! generated under exactly this governor.
+
+use bcwan_sim::{SimDuration, SimTime};
+
+/// Per-device duty-cycle governor.
+///
+/// # Examples
+///
+/// ```
+/// use bcwan_lora::duty_cycle::DutyCycleGovernor;
+/// use bcwan_sim::{SimDuration, SimTime};
+///
+/// let mut gov = DutyCycleGovernor::new(0.01);
+/// let t0 = SimTime::ZERO;
+/// assert!(gov.try_transmit(t0, SimDuration::from_millis(100)).is_ok());
+/// // 100 ms on air at 1 % ⇒ 9.9 s off-time.
+/// let retry = t0 + SimDuration::from_secs(5);
+/// assert!(gov.try_transmit(retry, SimDuration::from_millis(100)).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DutyCycleGovernor {
+    duty: f64,
+    next_allowed: SimTime,
+    total_airtime: SimDuration,
+    transmissions: u64,
+}
+
+impl DutyCycleGovernor {
+    /// Creates a governor for duty fraction `duty` (e.g. `0.01`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < duty <= 1`.
+    pub fn new(duty: f64) -> Self {
+        assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
+        DutyCycleGovernor {
+            duty,
+            next_allowed: SimTime::ZERO,
+            total_airtime: SimDuration::ZERO,
+            transmissions: 0,
+        }
+    }
+
+    /// The configured duty fraction.
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+
+    /// Earliest instant the next transmission may start.
+    pub fn next_allowed(&self) -> SimTime {
+        self.next_allowed
+    }
+
+    /// Cumulative on-air time granted so far.
+    pub fn total_airtime(&self) -> SimDuration {
+        self.total_airtime
+    }
+
+    /// Number of granted transmissions.
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+
+    /// Requests a transmission of length `airtime` starting at `now`.
+    ///
+    /// # Errors
+    ///
+    /// If the off-time from the previous transmission has not elapsed,
+    /// returns the instant at which transmission becomes legal.
+    pub fn try_transmit(
+        &mut self,
+        now: SimTime,
+        airtime: SimDuration,
+    ) -> Result<(), SimTime> {
+        if now < self.next_allowed {
+            return Err(self.next_allowed);
+        }
+        let off_time =
+            SimDuration::from_secs_f64(airtime.as_secs_f64() * (1.0 / self.duty - 1.0));
+        self.next_allowed = now + airtime + off_time;
+        self.total_airtime += airtime;
+        self.transmissions += 1;
+        Ok(())
+    }
+
+    /// Verifies the long-run invariant: granted airtime never exceeds the
+    /// duty fraction of elapsed time (plus one transmission of slack for
+    /// the in-flight window).
+    pub fn within_budget(&self, now: SimTime, max_single_airtime: SimDuration) -> bool {
+        let elapsed = now.saturating_duration_since(SimTime::ZERO).as_secs_f64();
+        let budget = elapsed * self.duty + max_single_airtime.as_secs_f64();
+        self.total_airtime.as_secs_f64() <= budget + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_transmission_always_allowed() {
+        let mut gov = DutyCycleGovernor::new(0.01);
+        assert!(gov
+            .try_transmit(SimTime::ZERO, SimDuration::from_millis(200))
+            .is_ok());
+        assert_eq!(gov.transmissions(), 1);
+    }
+
+    #[test]
+    fn off_time_is_99x_at_one_percent() {
+        let mut gov = DutyCycleGovernor::new(0.01);
+        gov.try_transmit(SimTime::ZERO, SimDuration::from_millis(100))
+            .unwrap();
+        // next allowed = 100ms airtime + 9900ms off = 10s
+        assert_eq!(gov.next_allowed().as_micros(), 10_000_000);
+    }
+
+    #[test]
+    fn premature_retry_rejected_with_deadline() {
+        let mut gov = DutyCycleGovernor::new(0.1);
+        gov.try_transmit(SimTime::ZERO, SimDuration::from_secs(1)).unwrap();
+        let deadline = gov.next_allowed();
+        let err = gov
+            .try_transmit(SimTime::from_micros(1), SimDuration::from_secs(1))
+            .unwrap_err();
+        assert_eq!(err, deadline);
+        // At the deadline it succeeds.
+        assert!(gov.try_transmit(deadline, SimDuration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn full_duty_never_blocks_back_to_back() {
+        let mut gov = DutyCycleGovernor::new(1.0);
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            gov.try_transmit(now, SimDuration::from_secs(1)).unwrap();
+            now = gov.next_allowed();
+        }
+        assert_eq!(gov.transmissions(), 10);
+        assert_eq!(now.as_secs(), 10);
+    }
+
+    #[test]
+    fn budget_invariant_holds_under_greedy_sender() {
+        let mut gov = DutyCycleGovernor::new(0.01);
+        let airtime = SimDuration::from_millis(220); // ≈ paper frame at SF7
+        let mut now = SimTime::ZERO;
+        for _ in 0..50 {
+            gov.try_transmit(now, airtime).unwrap();
+            now = gov.next_allowed();
+            assert!(gov.within_budget(now, airtime));
+        }
+        // Greedy sender at 1 %: each message occupies airtime/duty = 22 s,
+        // so 50 messages take 1100 s (≈ 164 msg/h, the paper-scale ceiling).
+        assert!((now.as_secs_f64() - 1100.0).abs() < 0.5, "{now}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in")]
+    fn zero_duty_rejected() {
+        DutyCycleGovernor::new(0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: frame codecs, duty-cycle budget, airtime monotonicity.
+
+use bcwan_lora::airtime::time_on_air;
+use bcwan_lora::duty_cycle::DutyCycleGovernor;
+use bcwan_lora::frame::{EncryptedReading, LoraFrame, ADDRESS_LEN};
+use bcwan_lora::params::{RadioConfig, SpreadingFactor};
+use bcwan_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = LoraFrame> {
+    prop_oneof![
+        (any::<u32>(), any::<[u8; ADDRESS_LEN]>()).prop_map(|(device_id, recipient)| {
+            LoraFrame::UplinkRequest { device_id, recipient }
+        }),
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(
+            |(device_id, public_key)| LoraFrame::DownlinkEphemeralKey { device_id, public_key }
+        ),
+        (
+            any::<u32>(),
+            any::<[u8; ADDRESS_LEN]>(),
+            proptest::collection::vec(any::<u8>(), 0..128),
+            proptest::collection::vec(any::<u8>(), 0..128),
+        )
+            .prop_map(|(device_id, recipient, em, sig)| LoraFrame::DataUplink {
+                device_id,
+                recipient,
+                em,
+                sig,
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frame_codec_round_trip(frame in arb_frame()) {
+        let bytes = frame.encode();
+        prop_assert_eq!(LoraFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = LoraFrame::decode(&bytes);
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic(frame in arb_frame(), cut in any::<prop::sample::Index>()) {
+        let bytes = frame.encode();
+        let cut = cut.index(bytes.len());
+        prop_assume!(cut < bytes.len());
+        prop_assert!(LoraFrame::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn encrypted_reading_round_trip(
+        iv in any::<[u8; 16]>(),
+        blocks in 1usize..8,
+        fill in any::<u8>(),
+    ) {
+        let reading = EncryptedReading { iv, ciphertext: vec![fill; blocks * 16] };
+        prop_assert_eq!(
+            EncryptedReading::decode(&reading.encode()).unwrap(),
+            reading
+        );
+    }
+
+    /// The governor never grants more airtime than the duty fraction of
+    /// elapsed time (plus one frame of slack).
+    #[test]
+    fn duty_budget_never_exceeded(
+        duty_pct in 1u32..100,
+        attempts in proptest::collection::vec((0u64..60_000_000, 1u64..500_000), 1..80),
+    ) {
+        let duty = f64::from(duty_pct) / 100.0;
+        let mut gov = DutyCycleGovernor::new(duty);
+        let mut now_us = 0u64;
+        let mut max_air = SimDuration::ZERO;
+        for (advance, air_us) in attempts {
+            now_us += advance;
+            let airtime = SimDuration::from_micros(air_us);
+            max_air = max_air.max(airtime);
+            let _ = gov.try_transmit(SimTime::from_micros(now_us), airtime);
+            prop_assert!(
+                gov.within_budget(SimTime::from_micros(now_us + air_us), max_air),
+                "budget exceeded at t={now_us}"
+            );
+        }
+    }
+
+    /// Airtime is monotone in payload length for every SF.
+    #[test]
+    fn airtime_monotone_in_payload(
+        len_a in 0usize..220,
+        len_b in 0usize..220,
+    ) {
+        prop_assume!(len_a < len_b);
+        for sf in SpreadingFactor::ALL {
+            let cfg = RadioConfig::with_sf(sf);
+            prop_assert!(
+                time_on_air(&cfg, len_a) <= time_on_air(&cfg, len_b),
+                "{sf}: airtime({len_a}) > airtime({len_b})"
+            );
+        }
+    }
+
+    /// Airtime is monotone in spreading factor for every payload.
+    #[test]
+    fn airtime_monotone_in_sf(len in 0usize..220) {
+        let mut prev = SimDuration::ZERO;
+        for sf in SpreadingFactor::ALL {
+            let t = time_on_air(&RadioConfig::with_sf(sf), len);
+            prop_assert!(t >= prev, "{sf} not slower for len {len}");
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Chain gossip messages and relay bookkeeping.
+//!
+//! In BcWAN each gateway runs a full node: transactions and blocks flood
+//! the overlay, and "on start-up, each node retrieves the recent blocks
+//! from other nodes" (paper §5.1). [`ChainMessage`] is the wire
+//! vocabulary; [`RelayState`] decides what to re-flood.
+
+use crate::network::SeenFilter;
+use bcwan_chain::{Block, BlockHash, Transaction, TxId};
+
+/// Messages gateways exchange about the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainMessage {
+    /// A new transaction for the mempool.
+    Tx(Transaction),
+    /// A freshly mined block.
+    Block(Block),
+    /// Request a block by hash (orphan-parent fetch or initial sync).
+    GetBlock(BlockHash),
+    /// Request all main-chain blocks above a height (initial sync).
+    GetBlocksFrom(u64),
+    /// Inventory announcement of the sender's tip.
+    TipAnnounce {
+        /// Sender's best hash.
+        hash: BlockHash,
+        /// Sender's best height.
+        height: u64,
+    },
+}
+
+impl ChainMessage {
+    /// A 32-byte relay-dedup id for floodable messages (`None` for
+    /// request/response traffic, which is never re-flooded).
+    pub fn flood_id(&self) -> Option<[u8; 32]> {
+        match self {
+            ChainMessage::Tx(tx) => Some(tx.txid().0),
+            ChainMessage::Block(block) => Some(block.hash().0),
+            _ => None,
+        }
+    }
+}
+
+/// Per-node relay state: which transactions/blocks it already saw.
+#[derive(Debug, Clone, Default)]
+pub struct RelayState {
+    seen: SeenFilter,
+}
+
+impl RelayState {
+    /// Fresh state.
+    pub fn new() -> Self {
+        RelayState::default()
+    }
+
+    /// Whether `msg` is new to this node and should be processed and
+    /// re-flooded. Request/response messages always process, never flood.
+    pub fn should_relay(&mut self, msg: &ChainMessage) -> bool {
+        match msg.flood_id() {
+            Some(id) => self.seen.first_sighting(id),
+            None => false,
+        }
+    }
+
+    /// Marks an id as seen without receiving it (e.g. self-originated
+    /// messages), returning whether it was new.
+    pub fn mark_seen(&mut self, id: [u8; 32]) -> bool {
+        self.seen.first_sighting(id)
+    }
+
+    /// Whether a transaction id was seen.
+    pub fn saw_tx(&mut self, txid: &TxId) -> bool {
+        !self.seen.first_sighting(txid.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcwan_chain::{ChainParams, Wallet};
+    use rand::SeedableRng;
+
+    fn sample_block() -> Block {
+        let params = ChainParams::fast_test();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let w = Wallet::generate(&mut rng);
+        bcwan_chain::Chain::make_genesis(&params, &[(w.address(), 10)])
+    }
+
+    #[test]
+    fn flood_ids_for_tx_and_block() {
+        let block = sample_block();
+        let tx = block.transactions[0].clone();
+        assert_eq!(
+            ChainMessage::Tx(tx.clone()).flood_id(),
+            Some(tx.txid().0)
+        );
+        assert_eq!(
+            ChainMessage::Block(block.clone()).flood_id(),
+            Some(block.hash().0)
+        );
+        assert_eq!(ChainMessage::GetBlock(block.hash()).flood_id(), None);
+        assert_eq!(ChainMessage::GetBlocksFrom(0).flood_id(), None);
+    }
+
+    #[test]
+    fn relay_state_floods_once() {
+        let block = sample_block();
+        let msg = ChainMessage::Block(block);
+        let mut relay = RelayState::new();
+        assert!(relay.should_relay(&msg));
+        assert!(!relay.should_relay(&msg));
+    }
+
+    #[test]
+    fn requests_never_flood() {
+        let mut relay = RelayState::new();
+        let msg = ChainMessage::GetBlocksFrom(3);
+        assert!(!relay.should_relay(&msg));
+    }
+
+    #[test]
+    fn self_originated_marking() {
+        let block = sample_block();
+        let mut relay = RelayState::new();
+        assert!(relay.mark_seen(block.hash().0));
+        assert!(!relay.should_relay(&ChainMessage::Block(block)));
+    }
+
+    #[test]
+    fn saw_tx_tracks() {
+        let block = sample_block();
+        let txid = block.transactions[0].txid();
+        let mut relay = RelayState::new();
+        assert!(!relay.saw_tx(&txid), "first sighting returns 'not seen before'");
+        assert!(relay.saw_tx(&txid));
+    }
+}

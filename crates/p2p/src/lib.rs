@@ -1,0 +1,40 @@
+//! # bcwan-p2p
+//!
+//! The gateway-to-gateway overlay. BcWAN "removes the central core
+//! network … any gateway in the system can communicate directly with
+//! another gateway in a peer-to-peer manner"; this crate supplies that
+//! fabric in two forms:
+//!
+//! - a **simulated** overlay for experiments: [`topology`] (mesh/ring/
+//!   custom graphs), [`network`] (latency, loss, duplication, partitions —
+//!   calibrated to the paper's PlanetLab deployment via
+//!   `bcwan_sim::LatencyModel::planetlab`), and [`chain_msg`] (the block/
+//!   transaction gossip vocabulary with flood dedup),
+//! - a **live** thread-backed bus ([`live`]) so examples can run each
+//!   gateway as an OS thread exchanging real messages, mirroring the
+//!   paper's daemons listening on TCP ports.
+//!
+//! ## Example
+//!
+//! ```
+//! use bcwan_p2p::network::Network;
+//! use bcwan_p2p::topology::{NodeId, Topology};
+//! use bcwan_sim::{LatencyModel, SimRng};
+//!
+//! let network = Network::new(Topology::full_mesh(5), LatencyModel::planetlab());
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let deliveries = network.broadcast(&mut rng, NodeId(0), &"new block");
+//! assert_eq!(deliveries.len(), 4); // every other PlanetLab node
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chain_msg;
+pub mod live;
+pub mod network;
+pub mod topology;
+
+pub use chain_msg::{ChainMessage, RelayState};
+pub use live::{BusError, Envelope, Inbox, LiveBus};
+pub use network::{Delivery, FaultModel, Network, SeenFilter};
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,245 @@
+//! A thread-backed message bus for running gateways as real OS threads.
+//!
+//! The discrete-event simulator covers the experiments; this bus exists
+//! so the examples can also demonstrate the protocol running *live* — one
+//! thread per gateway, crossbeam channels as sockets — closer in spirit
+//! to the paper's Golang daemons listening on TCP ports.
+
+use crate::topology::NodeId;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An addressed message on the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: NodeId,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Errors from bus operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// The target node is not registered (or has hung up).
+    Unreachable(NodeId),
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::Unreachable(n) => write!(f, "node {n} unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+struct Registry<M> {
+    senders: HashMap<NodeId, Sender<Envelope<M>>>,
+}
+
+/// A clonable handle to the shared bus.
+pub struct LiveBus<M> {
+    registry: Arc<RwLock<Registry<M>>>,
+}
+
+impl<M> Clone for LiveBus<M> {
+    fn clone(&self) -> Self {
+        LiveBus {
+            registry: Arc::clone(&self.registry),
+        }
+    }
+}
+
+impl<M> fmt::Debug for LiveBus<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LiveBus({} nodes)", self.registry.read().senders.len())
+    }
+}
+
+impl<M> Default for LiveBus<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A node's inbox.
+pub struct Inbox<M> {
+    receiver: Receiver<Envelope<M>>,
+}
+
+impl<M> fmt::Debug for Inbox<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Inbox({} queued)", self.receiver.len())
+    }
+}
+
+impl<M> Inbox<M> {
+    /// Blocks until a message arrives (or every sender hung up).
+    pub fn recv(&self) -> Option<Envelope<M>> {
+        self.receiver.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.receiver.try_recv() {
+            Ok(env) => Some(env),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks with a timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Envelope<M>> {
+        self.receiver.recv_timeout(timeout).ok()
+    }
+}
+
+impl<M> LiveBus<M> {
+    /// An empty bus.
+    pub fn new() -> Self {
+        LiveBus {
+            registry: Arc::new(RwLock::new(Registry {
+                senders: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Registers a node and returns its inbox. Re-registering replaces the
+    /// previous inbox (the old receiver starts draining nothing).
+    pub fn register(&self, node: NodeId) -> Inbox<M> {
+        let (tx, rx) = unbounded();
+        self.registry.write().senders.insert(node, tx);
+        Inbox { receiver: rx }
+    }
+
+    /// Removes a node from the bus.
+    pub fn unregister(&self, node: NodeId) {
+        self.registry.write().senders.remove(&node);
+    }
+
+    /// Registered node count.
+    pub fn len(&self) -> usize {
+        self.registry.read().senders.len()
+    }
+
+    /// Whether no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.registry.read().senders.is_empty()
+    }
+
+    /// Sends a message to one node.
+    ///
+    /// # Errors
+    ///
+    /// [`BusError::Unreachable`] when the target is unknown or gone.
+    pub fn send(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), BusError> {
+        let registry = self.registry.read();
+        let sender = registry
+            .senders
+            .get(&to)
+            .ok_or(BusError::Unreachable(to))?;
+        sender
+            .send(Envelope { from, msg })
+            .map_err(|_| BusError::Unreachable(to))
+    }
+}
+
+impl<M: Clone> LiveBus<M> {
+    /// Broadcasts to every registered node except the sender; returns how
+    /// many inboxes accepted it.
+    pub fn broadcast(&self, from: NodeId, msg: &M) -> usize {
+        let registry = self.registry.read();
+        let mut delivered = 0;
+        for (&node, sender) in &registry.senders {
+            if node == from {
+                continue;
+            }
+            if sender
+                .send(Envelope {
+                    from,
+                    msg: msg.clone(),
+                })
+                .is_ok()
+            {
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let bus: LiveBus<&str> = LiveBus::new();
+        let inbox = bus.register(NodeId(1));
+        bus.register(NodeId(0));
+        bus.send(NodeId(0), NodeId(1), "hi").unwrap();
+        let env = inbox.recv().unwrap();
+        assert_eq!(env.from, NodeId(0));
+        assert_eq!(env.msg, "hi");
+    }
+
+    #[test]
+    fn unknown_target_errors() {
+        let bus: LiveBus<()> = LiveBus::new();
+        assert_eq!(
+            bus.send(NodeId(0), NodeId(9), ()),
+            Err(BusError::Unreachable(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn broadcast_skips_sender() {
+        let bus: LiveBus<u32> = LiveBus::new();
+        let a = bus.register(NodeId(0));
+        let b = bus.register(NodeId(1));
+        let c = bus.register(NodeId(2));
+        let delivered = bus.broadcast(NodeId(0), &7);
+        assert_eq!(delivered, 2);
+        assert!(a.try_recv().is_none());
+        assert_eq!(b.recv().unwrap().msg, 7);
+        assert_eq!(c.recv().unwrap().msg, 7);
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let bus: LiveBus<u64> = LiveBus::new();
+        let server_inbox = bus.register(NodeId(0));
+        let client_inbox = bus.register(NodeId(1));
+        let bus2 = bus.clone();
+        let server = std::thread::spawn(move || {
+            // Echo doubled values back.
+            for _ in 0..10 {
+                let env = server_inbox.recv().unwrap();
+                bus2.send(NodeId(0), env.from, env.msg * 2).unwrap();
+            }
+        });
+        for i in 0..10u64 {
+            bus.send(NodeId(1), NodeId(0), i).unwrap();
+            let reply = client_inbox
+                .recv_timeout(Duration::from_secs(5))
+                .expect("echo reply");
+            assert_eq!(reply.msg, i * 2);
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unregister_makes_unreachable() {
+        let bus: LiveBus<()> = LiveBus::new();
+        bus.register(NodeId(3));
+        assert_eq!(bus.len(), 1);
+        bus.unregister(NodeId(3));
+        assert!(bus.is_empty());
+        assert!(bus.send(NodeId(0), NodeId(3), ()).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! The simulated wide-area network: latency, loss, duplication, partitions.
+//!
+//! [`Network::transmit`] is *passive*: it computes the deliveries a send
+//! produces (zero on loss, two on duplication) and hands back their
+//! arrival delays; the caller owns the event queue and schedules them.
+//! This keeps the network model independent of any particular event type.
+
+use crate::topology::{NodeId, Topology};
+use bcwan_sim::{LatencyModel, SimDuration, SimRng};
+
+/// An in-flight message headed to `to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Link fault model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModel {
+    /// Probability a message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate_probability: f64,
+}
+
+impl FaultModel {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultModel {
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+        }
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The overlay network simulator.
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: Topology,
+    latency: LatencyModel,
+    faults: FaultModel,
+}
+
+impl Network {
+    /// Builds a network over `topology` with one latency model for every
+    /// link (the paper's PlanetLab sites are statistically exchangeable).
+    pub fn new(topology: Topology, latency: LatencyModel) -> Self {
+        Network {
+            topology,
+            latency,
+            faults: FaultModel::none(),
+        }
+    }
+
+    /// Enables the fault model.
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The topology (for partition injection, use
+    /// [`Network::topology_mut`]).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable topology access.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Computes the deliveries for a unicast send. Empty when the link is
+    /// down/partitioned or the message is dropped; two entries on
+    /// duplication.
+    pub fn transmit<M: Clone>(
+        &self,
+        rng: &mut SimRng,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    ) -> Vec<(SimDuration, Delivery<M>)> {
+        if !self.topology.linked(from, to) {
+            return Vec::new();
+        }
+        if rng.chance(self.faults.drop_probability) {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(2);
+        let delay = self.latency.sample(rng);
+        out.push((delay, Delivery { from, to, msg: msg.clone() }));
+        if rng.chance(self.faults.duplicate_probability) {
+            let delay2 = self.latency.sample(rng);
+            out.push((delay2, Delivery { from, to, msg }));
+        }
+        out
+    }
+
+    /// Like [`Network::transmit`] but immune to the drop/duplicate fault
+    /// model — models a TCP connection (the paper's gateway→recipient
+    /// leg), which retransmits below our abstraction. Partitions still
+    /// apply: TCP cannot cross a cut link.
+    pub fn transmit_reliable<M>(
+        &self,
+        rng: &mut SimRng,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    ) -> Option<(SimDuration, Delivery<M>)> {
+        if !self.topology.linked(from, to) {
+            return None;
+        }
+        let delay = self.latency.sample(rng);
+        Some((delay, Delivery { from, to, msg }))
+    }
+
+    /// Computes deliveries for a broadcast to every peer of `from`.
+    pub fn broadcast<M: Clone>(
+        &self,
+        rng: &mut SimRng,
+        from: NodeId,
+        msg: &M,
+    ) -> Vec<(SimDuration, Delivery<M>)> {
+        let mut out = Vec::new();
+        for peer in self.topology.peers_of(from) {
+            out.extend(self.transmit(rng, from, peer, msg.clone()));
+        }
+        out
+    }
+}
+
+/// Gossip relay dedupe: tracks message ids a node has already seen so
+/// flooded broadcasts terminate.
+#[derive(Debug, Clone, Default)]
+pub struct SeenFilter {
+    seen: std::collections::HashSet<[u8; 32]>,
+}
+
+impl SeenFilter {
+    /// A fresh filter.
+    pub fn new() -> Self {
+        SeenFilter::default()
+    }
+
+    /// Returns `true` the first time `id` is offered, `false` afterwards.
+    pub fn first_sighting(&mut self, id: [u8; 32]) -> bool {
+        self.seen.insert(id)
+    }
+
+    /// Number of distinct ids seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether nothing has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(drop: f64, dup: f64) -> Network {
+        Network::new(Topology::full_mesh(4), LatencyModel::Constant(SimDuration::from_millis(10)))
+            .with_faults(FaultModel {
+                drop_probability: drop,
+                duplicate_probability: dup,
+            })
+    }
+
+    #[test]
+    fn transmit_delivers_with_latency() {
+        let network = net(0.0, 0.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let deliveries = network.transmit(&mut rng, NodeId(0), NodeId(1), "hello");
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].0, SimDuration::from_millis(10));
+        assert_eq!(deliveries[0].1.msg, "hello");
+        assert_eq!(deliveries[0].1.to, NodeId(1));
+    }
+
+    #[test]
+    fn unlinked_nodes_cannot_talk() {
+        let mut network = net(0.0, 0.0);
+        network.topology_mut().disconnect(NodeId(0), NodeId(1));
+        let mut rng = SimRng::seed_from_u64(2);
+        assert!(network.transmit(&mut rng, NodeId(0), NodeId(1), ()).is_empty());
+        // Other links unaffected.
+        assert_eq!(network.transmit(&mut rng, NodeId(0), NodeId(2), ()).len(), 1);
+    }
+
+    #[test]
+    fn drops_happen_at_configured_rate() {
+        let network = net(0.5, 0.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        let delivered = (0..1000)
+            .map(|_| network.transmit(&mut rng, NodeId(0), NodeId(1), ()).len())
+            .sum::<usize>();
+        assert!((380..620).contains(&delivered), "{delivered}/1000");
+    }
+
+    #[test]
+    fn duplicates_happen_at_configured_rate() {
+        let network = net(0.0, 0.5);
+        let mut rng = SimRng::seed_from_u64(4);
+        let delivered = (0..1000)
+            .map(|_| network.transmit(&mut rng, NodeId(0), NodeId(1), ()).len())
+            .sum::<usize>();
+        assert!((1380..1620).contains(&delivered), "{delivered}/1000");
+    }
+
+    #[test]
+    fn broadcast_reaches_all_peers() {
+        let network = net(0.0, 0.0);
+        let mut rng = SimRng::seed_from_u64(5);
+        let deliveries = network.broadcast(&mut rng, NodeId(2), &"block");
+        assert_eq!(deliveries.len(), 3);
+        let targets: Vec<_> = deliveries.iter().map(|(_, d)| d.to).collect();
+        assert!(targets.contains(&NodeId(0)));
+        assert!(targets.contains(&NodeId(1)));
+        assert!(targets.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn reliable_transmit_ignores_drops_not_partitions() {
+        let mut network = net(1.0, 0.0); // every unreliable frame drops
+        let mut rng = SimRng::seed_from_u64(6);
+        assert!(network.transmit(&mut rng, NodeId(0), NodeId(1), ()).is_empty());
+        assert!(network
+            .transmit_reliable(&mut rng, NodeId(0), NodeId(1), ())
+            .is_some());
+        network.topology_mut().disconnect(NodeId(0), NodeId(1));
+        assert!(network
+            .transmit_reliable(&mut rng, NodeId(0), NodeId(1), ())
+            .is_none());
+    }
+
+    #[test]
+    fn seen_filter_dedupes() {
+        let mut filter = SeenFilter::new();
+        assert!(filter.first_sighting([1; 32]));
+        assert!(!filter.first_sighting([1; 32]));
+        assert!(filter.first_sighting([2; 32]));
+        assert_eq!(filter.len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Node identities and overlay topology.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A peer identifier on the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Which peers can talk to which.
+///
+/// BcWAN gateways "communicate directly with another gateway in a
+/// peer-to-peer manner"; the paper's five-node PlanetLab deployment is a
+/// full mesh, but sparse topologies are useful for gossip experiments.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    adjacency: HashMap<NodeId, HashSet<NodeId>>,
+}
+
+impl Topology {
+    /// A full mesh over `n` nodes with ids `0..n`.
+    pub fn full_mesh(n: u32) -> Self {
+        let mut adjacency = HashMap::new();
+        for i in 0..n {
+            let peers: HashSet<NodeId> =
+                (0..n).filter(|&j| j != i).map(NodeId).collect();
+            adjacency.insert(NodeId(i), peers);
+        }
+        Topology { adjacency }
+    }
+
+    /// A ring over `n` nodes (each node sees its two neighbours).
+    pub fn ring(n: u32) -> Self {
+        let mut adjacency: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+        for i in 0..n {
+            let mut peers = HashSet::new();
+            if n > 1 {
+                peers.insert(NodeId((i + 1) % n));
+                peers.insert(NodeId((i + n - 1) % n));
+            }
+            adjacency.insert(NodeId(i), peers);
+        }
+        Topology { adjacency }
+    }
+
+    /// An empty topology to build up with [`Topology::connect`].
+    pub fn empty(n: u32) -> Self {
+        Topology {
+            adjacency: (0..n).map(|i| (NodeId(i), HashSet::new())).collect(),
+        }
+    }
+
+    /// Adds a bidirectional link.
+    pub fn connect(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            return;
+        }
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// Removes a bidirectional link (partition injection).
+    pub fn disconnect(&mut self, a: NodeId, b: NodeId) {
+        if let Some(peers) = self.adjacency.get_mut(&a) {
+            peers.remove(&b);
+        }
+        if let Some(peers) = self.adjacency.get_mut(&b) {
+            peers.remove(&a);
+        }
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Whether there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Peers of `node` (empty for unknown nodes).
+    pub fn peers_of(&self, node: NodeId) -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = self
+            .adjacency
+            .get(&node)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        peers.sort_unstable(); // deterministic iteration for the simulator
+        peers
+    }
+
+    /// Whether a direct link exists.
+    pub fn linked(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency
+            .get(&a)
+            .is_some_and(|peers| peers.contains(&b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mesh_links_everyone() {
+        let t = Topology::full_mesh(5);
+        assert_eq!(t.len(), 5);
+        for i in 0..5 {
+            assert_eq!(t.peers_of(NodeId(i)).len(), 4);
+            for j in 0..5 {
+                assert_eq!(t.linked(NodeId(i), NodeId(j)), i != j);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_has_two_neighbours() {
+        let t = Topology::ring(6);
+        for i in 0..6 {
+            assert_eq!(t.peers_of(NodeId(i)).len(), 2, "node {i}");
+        }
+        assert!(t.linked(NodeId(0), NodeId(5)));
+        assert!(!t.linked(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn connect_disconnect() {
+        let mut t = Topology::empty(3);
+        assert!(t.peers_of(NodeId(0)).is_empty());
+        t.connect(NodeId(0), NodeId(1));
+        assert!(t.linked(NodeId(0), NodeId(1)));
+        assert!(t.linked(NodeId(1), NodeId(0)));
+        t.disconnect(NodeId(0), NodeId(1));
+        assert!(!t.linked(NodeId(0), NodeId(1)));
+        // Self-links ignored.
+        t.connect(NodeId(2), NodeId(2));
+        assert!(!t.linked(NodeId(2), NodeId(2)));
+    }
+
+    #[test]
+    fn peers_sorted_for_determinism() {
+        let t = Topology::full_mesh(10);
+        let peers = t.peers_of(NodeId(3));
+        let mut sorted = peers.clone();
+        sorted.sort_unstable();
+        assert_eq!(peers, sorted);
+    }
+}

@@ -1,0 +1,819 @@
+//! The script interpreter.
+//!
+//! Evaluation follows Bitcoin's model: the unlocking script (scriptSig)
+//! runs first on an empty stack, then the locking script (scriptPubKey)
+//! runs on the resulting stack; the spend is authorized iff execution
+//! succeeds and the final top-of-stack is truthy.
+//!
+//! Two operators need transaction context, supplied via [`ExecContext`]:
+//! `OP_CHECKSIG` (the signature hash of the spending transaction) and
+//! `OP_CHECKLOCKTIMEVERIFY` (the spending transaction's lock time, per
+//! BIP-65). `OP_CHECKRSA512PAIR` is self-contained: it parses the two
+//! stack items as RSA keys and verifies the pair relation.
+
+use crate::opcode::Opcode;
+use crate::script::{decode_num, Instruction, Script};
+use bcwan_crypto::ecdsa::{EcdsaPublicKey, Signature};
+use bcwan_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use bcwan_crypto::{hash160, ripemd160, sha256, sha256d};
+use std::fmt;
+
+/// Stack item limit (Bitcoin's is 1000).
+const MAX_STACK: usize = 1000;
+/// Executed non-push operation limit (Bitcoin's is 201).
+const MAX_OPS: usize = 201;
+/// Maximum script size in bytes (Bitcoin's is 10000).
+const MAX_SCRIPT_BYTES: usize = 10_000;
+/// Maximum pushed element size (Bitcoin's is 520) — relaxed enough for a
+/// serialized RSA-2048 private key in the key-size ablation.
+const MAX_ELEMENT_BYTES: usize = 1600;
+
+/// Verifies ECDSA signatures against the spending transaction.
+///
+/// The chain crate implements this over its signature-hash algorithm; unit
+/// tests use simple closures via [`DigestChecker`].
+pub trait SignatureChecker {
+    /// Returns whether `sig` by `pubkey` authorizes the spending
+    /// transaction. Both arguments arrive as raw stack bytes.
+    fn check_signature(&self, pubkey: &[u8], sig: &[u8]) -> bool;
+}
+
+/// A [`SignatureChecker`] that validates signatures over a fixed digest —
+/// the common case, where the digest is the transaction sighash.
+#[derive(Debug, Clone)]
+pub struct DigestChecker {
+    /// The 32-byte message digest signatures must cover.
+    pub digest: [u8; 32],
+}
+
+impl SignatureChecker for DigestChecker {
+    fn check_signature(&self, pubkey: &[u8], sig: &[u8]) -> bool {
+        let Ok(pk) = EcdsaPublicKey::from_bytes(pubkey) else {
+            return false;
+        };
+        let Ok(sig) = Signature::from_bytes(sig) else {
+            return false;
+        };
+        pk.verify_digest(&self.digest, &sig)
+    }
+}
+
+/// A checker that rejects everything (for scripts without signatures).
+#[derive(Debug, Clone, Default)]
+pub struct RejectAllChecker;
+
+impl SignatureChecker for RejectAllChecker {
+    fn check_signature(&self, _pubkey: &[u8], _sig: &[u8]) -> bool {
+        false
+    }
+}
+
+/// Transaction context for context-dependent operators.
+pub struct ExecContext<'a> {
+    /// Signature verification against the spending transaction.
+    pub checker: &'a dyn SignatureChecker,
+    /// The spending transaction's lock time (block height in this chain).
+    pub lock_time: u64,
+    /// Whether the spending input's sequence is final (`0xffffffff`), which
+    /// disables lock-time semantics per BIP-65.
+    pub input_final: bool,
+}
+
+impl fmt::Debug for ExecContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("lock_time", &self.lock_time)
+            .field("input_final", &self.input_final)
+            .finish()
+    }
+}
+
+/// Script execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptError {
+    /// An operation needed more stack items than present.
+    StackUnderflow(Opcode),
+    /// The stack grew beyond the 1000-item limit.
+    StackOverflow,
+    /// More than the 201-operation limit executed.
+    TooManyOps,
+    /// Script exceeds the 10 000-byte limit.
+    ScriptTooLarge(usize),
+    /// A pushed element exceeds the 1600-byte limit.
+    ElementTooLarge(usize),
+    /// `OP_VERIFY`/`OP_EQUALVERIFY`/… failed.
+    VerifyFailed(Opcode),
+    /// `OP_RETURN` executed (output is unspendable by design).
+    OpReturn,
+    /// Unbalanced `OP_IF`/`OP_ELSE`/`OP_ENDIF`.
+    UnbalancedConditional,
+    /// A stack item was not a valid script number.
+    BadNumber,
+    /// `OP_CHECKLOCKTIMEVERIFY` requirements not met.
+    LockTimeNotSatisfied {
+        /// Height required by the script.
+        required: i64,
+        /// Lock time carried by the spending transaction.
+        actual: u64,
+    },
+    /// Unlocking scripts may only contain pushes (Bitcoin's `SIGPUSHONLY`).
+    SigScriptNotPushOnly,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::StackUnderflow(op) => write!(f, "stack underflow at {op}"),
+            ScriptError::StackOverflow => write!(f, "stack overflow"),
+            ScriptError::TooManyOps => write!(f, "operation limit exceeded"),
+            ScriptError::ScriptTooLarge(n) => write!(f, "script of {n} bytes too large"),
+            ScriptError::ElementTooLarge(n) => write!(f, "element of {n} bytes too large"),
+            ScriptError::VerifyFailed(op) => write!(f, "{op} failed"),
+            ScriptError::OpReturn => write!(f, "op_return executed"),
+            ScriptError::UnbalancedConditional => write!(f, "unbalanced conditional"),
+            ScriptError::BadNumber => write!(f, "malformed script number"),
+            ScriptError::LockTimeNotSatisfied { required, actual } => {
+                write!(f, "lock time {required} not satisfied by {actual}")
+            }
+            ScriptError::SigScriptNotPushOnly => {
+                write!(f, "unlocking script contains non-push operations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+fn truthy(item: &[u8]) -> bool {
+    // Bitcoin semantics: all-zero (with optional sign bit on last byte) is false.
+    for (i, &b) in item.iter().enumerate() {
+        if b != 0 {
+            return !(i == item.len() - 1 && b == 0x80);
+        }
+    }
+    false
+}
+
+fn bool_item(b: bool) -> Vec<u8> {
+    if b {
+        vec![1]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Verifies a spend: runs `script_sig` then `script_pubkey`.
+///
+/// # Errors
+///
+/// Any [`ScriptError`] raised during execution; a clean run that leaves a
+/// falsy top-of-stack returns `Ok(false)`.
+pub fn verify_spend(
+    script_sig: &Script,
+    script_pubkey: &Script,
+    ctx: &ExecContext<'_>,
+) -> Result<bool, ScriptError> {
+    if script_sig
+        .instructions()
+        .iter()
+        .any(|i| matches!(i, Instruction::Op(_)))
+    {
+        return Err(ScriptError::SigScriptNotPushOnly);
+    }
+    let mut machine = Machine::new(ctx);
+    machine.execute(script_sig)?;
+    machine.execute(script_pubkey)?;
+    Ok(machine.stack.last().map(|top| truthy(top)).unwrap_or(false))
+}
+
+/// Executes a single script on an empty stack and reports the final truth
+/// value (useful for tests and diagnostics).
+pub fn run_script(script: &Script, ctx: &ExecContext<'_>) -> Result<bool, ScriptError> {
+    let mut machine = Machine::new(ctx);
+    machine.execute(script)?;
+    Ok(machine.stack.last().map(|top| truthy(top)).unwrap_or(false))
+}
+
+struct Machine<'a, 'c> {
+    stack: Vec<Vec<u8>>,
+    ops_executed: usize,
+    ctx: &'a ExecContext<'c>,
+}
+
+impl<'a, 'c> Machine<'a, 'c> {
+    fn new(ctx: &'a ExecContext<'c>) -> Self {
+        Machine {
+            stack: Vec::new(),
+            ops_executed: 0,
+            ctx,
+        }
+    }
+
+    fn pop(&mut self, op: Opcode) -> Result<Vec<u8>, ScriptError> {
+        self.stack.pop().ok_or(ScriptError::StackUnderflow(op))
+    }
+
+    fn pop_num(&mut self, op: Opcode) -> Result<i64, ScriptError> {
+        let item = self.pop(op)?;
+        decode_num(&item).ok_or(ScriptError::BadNumber)
+    }
+
+    fn push(&mut self, item: Vec<u8>) -> Result<(), ScriptError> {
+        if item.len() > MAX_ELEMENT_BYTES {
+            return Err(ScriptError::ElementTooLarge(item.len()));
+        }
+        if self.stack.len() >= MAX_STACK {
+            return Err(ScriptError::StackOverflow);
+        }
+        self.stack.push(item);
+        Ok(())
+    }
+
+    fn execute(&mut self, script: &Script) -> Result<(), ScriptError> {
+        let size = script.byte_len();
+        if size > MAX_SCRIPT_BYTES {
+            return Err(ScriptError::ScriptTooLarge(size));
+        }
+        // Conditional execution state: one bool per nested OP_IF; an entry
+        // is true when the current branch executes.
+        let mut cond: Vec<bool> = Vec::new();
+
+        for instr in script.instructions() {
+            let executing = cond.iter().all(|&c| c);
+            match instr {
+                Instruction::Push(data) => {
+                    if executing {
+                        self.push(data.clone())?;
+                    }
+                }
+                Instruction::Op(op) => {
+                    // Flow control ops run even in skipped branches to keep
+                    // nesting balanced.
+                    match op {
+                        Opcode::If | Opcode::NotIf => {
+                            if executing {
+                                let v = self.pop(*op)?;
+                                let taken = truthy(&v);
+                                cond.push(if *op == Opcode::If { taken } else { !taken });
+                            } else {
+                                cond.push(false);
+                            }
+                            continue;
+                        }
+                        Opcode::Else => {
+                            if cond.is_empty() {
+                                return Err(ScriptError::UnbalancedConditional);
+                            }
+                            // Only flip if the enclosing scope executes.
+                            let outer = cond.len() - 1;
+                            if cond[..outer].iter().all(|&c| c) {
+                                cond[outer] = !cond[outer];
+                            }
+                            continue;
+                        }
+                        Opcode::EndIf => {
+                            if cond.pop().is_none() {
+                                return Err(ScriptError::UnbalancedConditional);
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    if !executing {
+                        continue;
+                    }
+                    self.ops_executed += 1;
+                    if self.ops_executed > MAX_OPS {
+                        return Err(ScriptError::TooManyOps);
+                    }
+                    self.execute_op(*op)?;
+                }
+            }
+        }
+        if !cond.is_empty() {
+            return Err(ScriptError::UnbalancedConditional);
+        }
+        Ok(())
+    }
+
+    fn execute_op(&mut self, op: Opcode) -> Result<(), ScriptError> {
+        match op {
+            // Flow control handled by the caller.
+            Opcode::If | Opcode::NotIf | Opcode::Else | Opcode::EndIf => unreachable!(),
+
+            Opcode::Op0 => self.push(Vec::new())?,
+            Opcode::Op1 | Opcode::Op2 | Opcode::Op3 | Opcode::Op16 => {
+                let n = op.small_int().expect("small int opcode");
+                self.push(crate::script::encode_num(n))?;
+            }
+            Opcode::Nop => {}
+            Opcode::Verify => {
+                let v = self.pop(op)?;
+                if !truthy(&v) {
+                    return Err(ScriptError::VerifyFailed(op));
+                }
+            }
+            Opcode::Return => return Err(ScriptError::OpReturn),
+
+            Opcode::Dup => {
+                let top = self.pop(op)?;
+                self.push(top.clone())?;
+                self.push(top)?;
+            }
+            Opcode::Drop => {
+                self.pop(op)?;
+            }
+            Opcode::Nip => {
+                let top = self.pop(op)?;
+                self.pop(op)?;
+                self.push(top)?;
+            }
+            Opcode::Over => {
+                let a = self.pop(op)?;
+                let b = self.pop(op)?;
+                self.push(b.clone())?;
+                self.push(a)?;
+                self.push(b)?;
+            }
+            Opcode::Swap => {
+                let a = self.pop(op)?;
+                let b = self.pop(op)?;
+                self.push(a)?;
+                self.push(b)?;
+            }
+            Opcode::Rot => {
+                let c = self.pop(op)?;
+                let b = self.pop(op)?;
+                let a = self.pop(op)?;
+                self.push(b)?;
+                self.push(c)?;
+                self.push(a)?;
+            }
+            Opcode::Depth => {
+                let n = self.stack.len() as i64;
+                self.push(crate::script::encode_num(n))?;
+            }
+            Opcode::Size => {
+                let top = self.stack.last().ok_or(ScriptError::StackUnderflow(op))?;
+                let n = top.len() as i64;
+                self.push(crate::script::encode_num(n))?;
+            }
+
+            Opcode::Equal | Opcode::EqualVerify => {
+                let a = self.pop(op)?;
+                let b = self.pop(op)?;
+                let eq = a == b;
+                if op == Opcode::EqualVerify {
+                    if !eq {
+                        return Err(ScriptError::VerifyFailed(op));
+                    }
+                } else {
+                    self.push(bool_item(eq))?;
+                }
+            }
+
+            Opcode::Add1 => {
+                let a = self.pop_num(op)?;
+                self.push(crate::script::encode_num(a + 1))?;
+            }
+            Opcode::Sub1 => {
+                let a = self.pop_num(op)?;
+                self.push(crate::script::encode_num(a - 1))?;
+            }
+            Opcode::Not => {
+                let a = self.pop(op)?;
+                self.push(bool_item(!truthy(&a)))?;
+            }
+            Opcode::Add => {
+                let b = self.pop_num(op)?;
+                let a = self.pop_num(op)?;
+                self.push(crate::script::encode_num(a + b))?;
+            }
+            Opcode::Sub => {
+                let b = self.pop_num(op)?;
+                let a = self.pop_num(op)?;
+                self.push(crate::script::encode_num(a - b))?;
+            }
+            Opcode::BoolAnd => {
+                let b = self.pop(op)?;
+                let a = self.pop(op)?;
+                self.push(bool_item(truthy(&a) && truthy(&b)))?;
+            }
+            Opcode::BoolOr => {
+                let b = self.pop(op)?;
+                let a = self.pop(op)?;
+                self.push(bool_item(truthy(&a) || truthy(&b)))?;
+            }
+            Opcode::NumEqual | Opcode::NumEqualVerify => {
+                let b = self.pop_num(op)?;
+                let a = self.pop_num(op)?;
+                let eq = a == b;
+                if op == Opcode::NumEqualVerify {
+                    if !eq {
+                        return Err(ScriptError::VerifyFailed(op));
+                    }
+                } else {
+                    self.push(bool_item(eq))?;
+                }
+            }
+            Opcode::LessThan => {
+                let b = self.pop_num(op)?;
+                let a = self.pop_num(op)?;
+                self.push(bool_item(a < b))?;
+            }
+            Opcode::GreaterThan => {
+                let b = self.pop_num(op)?;
+                let a = self.pop_num(op)?;
+                self.push(bool_item(a > b))?;
+            }
+            Opcode::Min => {
+                let b = self.pop_num(op)?;
+                let a = self.pop_num(op)?;
+                self.push(crate::script::encode_num(a.min(b)))?;
+            }
+            Opcode::Max => {
+                let b = self.pop_num(op)?;
+                let a = self.pop_num(op)?;
+                self.push(crate::script::encode_num(a.max(b)))?;
+            }
+            Opcode::Within => {
+                let max = self.pop_num(op)?;
+                let min = self.pop_num(op)?;
+                let x = self.pop_num(op)?;
+                self.push(bool_item(min <= x && x < max))?;
+            }
+
+            Opcode::Ripemd160 => {
+                let a = self.pop(op)?;
+                self.push(ripemd160(&a).to_vec())?;
+            }
+            Opcode::Sha256 => {
+                let a = self.pop(op)?;
+                self.push(sha256(&a).to_vec())?;
+            }
+            Opcode::Hash160 => {
+                let a = self.pop(op)?;
+                self.push(hash160(&a).to_vec())?;
+            }
+            Opcode::Hash256 => {
+                let a = self.pop(op)?;
+                self.push(sha256d(&a).to_vec())?;
+            }
+
+            Opcode::CheckSig | Opcode::CheckSigVerify => {
+                let pubkey = self.pop(op)?;
+                let sig = self.pop(op)?;
+                let ok = self.ctx.checker.check_signature(&pubkey, &sig);
+                if op == Opcode::CheckSigVerify {
+                    if !ok {
+                        return Err(ScriptError::VerifyFailed(op));
+                    }
+                } else {
+                    self.push(bool_item(ok))?;
+                }
+            }
+
+            Opcode::CheckLockTimeVerify => {
+                // BIP-65: peek (do not pop) the required height.
+                let item = self
+                    .stack
+                    .last()
+                    .ok_or(ScriptError::StackUnderflow(op))?
+                    .clone();
+                let required = decode_num(&item).ok_or(ScriptError::BadNumber)?;
+                if required < 0
+                    || self.ctx.input_final
+                    || (self.ctx.lock_time as i64) < required
+                {
+                    return Err(ScriptError::LockTimeNotSatisfied {
+                        required,
+                        actual: self.ctx.lock_time,
+                    });
+                }
+            }
+
+            Opcode::CheckRsa512Pair => {
+                // Stack: ... <rsaPrivKey> <rsaPubKey> (pubkey pushed last by
+                // the locking script, per paper Listing 1 line 1-2).
+                let pub_bytes = self.pop(op)?;
+                let priv_bytes = self.pop(op)?;
+                let matches = match (
+                    RsaPublicKey::from_bytes(&pub_bytes),
+                    RsaPrivateKey::from_bytes(&priv_bytes),
+                ) {
+                    (Ok(pk), Ok(sk)) => pk.matches_private(&sk),
+                    _ => false,
+                };
+                self.push(bool_item(matches))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::Script;
+
+    fn ctx_with<'a>(checker: &'a dyn SignatureChecker) -> ExecContext<'a> {
+        ExecContext {
+            checker,
+            lock_time: 0,
+            input_final: false,
+        }
+    }
+
+    fn reject() -> RejectAllChecker {
+        RejectAllChecker
+    }
+
+    #[test]
+    fn truthiness_rules() {
+        assert!(!truthy(&[]));
+        assert!(!truthy(&[0]));
+        assert!(!truthy(&[0, 0]));
+        assert!(!truthy(&[0, 0x80])); // negative zero
+        assert!(truthy(&[1]));
+        assert!(truthy(&[0, 1]));
+        assert!(truthy(&[0x80, 0]));
+    }
+
+    #[test]
+    fn push_and_equal() {
+        let checker = reject();
+        let s = Script::builder()
+            .push(vec![1, 2])
+            .push(vec![1, 2])
+            .op(Opcode::Equal)
+            .build();
+        assert_eq!(run_script(&s, &ctx_with(&checker)), Ok(true));
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let checker = reject();
+        let s = Script::builder()
+            .push_num(5)
+            .push_num(3)
+            .op(Opcode::Sub) // 2
+            .push_num(2)
+            .op(Opcode::NumEqual)
+            .build();
+        assert_eq!(run_script(&s, &ctx_with(&checker)), Ok(true));
+    }
+
+    #[test]
+    fn within_bounds() {
+        let checker = reject();
+        for (x, lo, hi, expect) in [(5, 1, 10, true), (1, 1, 10, true), (10, 1, 10, false)] {
+            let s = Script::builder()
+                .push_num(x)
+                .push_num(lo)
+                .push_num(hi)
+                .op(Opcode::Within)
+                .build();
+            assert_eq!(run_script(&s, &ctx_with(&checker)), Ok(expect), "{x}");
+        }
+    }
+
+    #[test]
+    fn conditionals_take_correct_branch() {
+        let checker = reject();
+        // IF … pushes 0xAA, ELSE pushes 0xBB.
+        for (guard, expect) in [(1i64, vec![0xaa]), (0, vec![0xbb])] {
+            let s = Script::builder()
+                .push_num(guard)
+                .op(Opcode::If)
+                .push(vec![0xaa])
+                .op(Opcode::Else)
+                .push(vec![0xbb])
+                .op(Opcode::EndIf)
+                .push(expect.clone())
+                .op(Opcode::Equal)
+                .build();
+            assert_eq!(run_script(&s, &ctx_with(&checker)), Ok(true), "guard={guard}");
+        }
+    }
+
+    #[test]
+    fn nested_conditionals() {
+        let checker = reject();
+        let s = Script::builder()
+            .push_num(1)
+            .op(Opcode::If)
+            .push_num(0)
+            .op(Opcode::If)
+            .push(vec![0x01])
+            .op(Opcode::Else)
+            .push(vec![0x02])
+            .op(Opcode::EndIf)
+            .op(Opcode::Else)
+            .push(vec![0x03])
+            .op(Opcode::EndIf)
+            .push(vec![0x02])
+            .op(Opcode::Equal)
+            .build();
+        assert_eq!(run_script(&s, &ctx_with(&checker)), Ok(true));
+    }
+
+    #[test]
+    fn unbalanced_conditionals_rejected() {
+        let checker = reject();
+        let dangling_if = Script::builder().push_num(1).op(Opcode::If).build();
+        assert_eq!(
+            run_script(&dangling_if, &ctx_with(&checker)),
+            Err(ScriptError::UnbalancedConditional)
+        );
+        let stray_endif = Script::builder().op(Opcode::EndIf).build();
+        assert_eq!(
+            run_script(&stray_endif, &ctx_with(&checker)),
+            Err(ScriptError::UnbalancedConditional)
+        );
+        let stray_else = Script::builder().op(Opcode::Else).build();
+        assert_eq!(
+            run_script(&stray_else, &ctx_with(&checker)),
+            Err(ScriptError::UnbalancedConditional)
+        );
+    }
+
+    #[test]
+    fn op_return_fails_execution() {
+        let checker = reject();
+        let s = Script::builder().op(Opcode::Return).push(vec![1]).build();
+        assert_eq!(run_script(&s, &ctx_with(&checker)), Err(ScriptError::OpReturn));
+    }
+
+    #[test]
+    fn stack_underflow_reported() {
+        let checker = reject();
+        let s = Script::builder().op(Opcode::Dup).build();
+        assert_eq!(
+            run_script(&s, &ctx_with(&checker)),
+            Err(ScriptError::StackUnderflow(Opcode::Dup))
+        );
+    }
+
+    #[test]
+    fn hash_opcodes() {
+        let checker = reject();
+        let s = Script::builder()
+            .push(b"abc".to_vec())
+            .op(Opcode::Sha256)
+            .push(
+                bcwan_crypto::hex::decode(
+                    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+                )
+                .unwrap(),
+            )
+            .op(Opcode::Equal)
+            .build();
+        assert_eq!(run_script(&s, &ctx_with(&checker)), Ok(true));
+    }
+
+    #[test]
+    fn checksig_uses_context() {
+        struct AlwaysOk;
+        impl SignatureChecker for AlwaysOk {
+            fn check_signature(&self, _p: &[u8], _s: &[u8]) -> bool {
+                true
+            }
+        }
+        let ok = AlwaysOk;
+        let s = Script::builder()
+            .push(vec![1; 64])
+            .push(vec![2; 33])
+            .op(Opcode::CheckSig)
+            .build();
+        assert_eq!(run_script(&s, &ctx_with(&ok)), Ok(true));
+        let no = reject();
+        assert_eq!(run_script(&s, &ctx_with(&no)), Ok(false));
+    }
+
+    #[test]
+    fn cltv_semantics() {
+        let checker = reject();
+        let script = Script::builder()
+            .push_num(100)
+            .op(Opcode::CheckLockTimeVerify)
+            .op(Opcode::Verify)
+            .push_num(1)
+            .build();
+        // Lock time too small → error.
+        let early = ExecContext { checker: &checker, lock_time: 99, input_final: false };
+        assert!(matches!(
+            run_script(&script, &early),
+            Err(ScriptError::LockTimeNotSatisfied { required: 100, actual: 99 })
+        ));
+        // Exactly at the height → OK (CLTV leaves the number; Verify pops it).
+        let at = ExecContext { checker: &checker, lock_time: 100, input_final: false };
+        assert_eq!(run_script(&script, &at), Ok(true));
+        // Final input disables lock time.
+        let final_input = ExecContext { checker: &checker, lock_time: 500, input_final: true };
+        assert!(run_script(&script, &final_input).is_err());
+    }
+
+    #[test]
+    fn checkrsa512pair_accepts_matching_pair() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (pk, sk) = bcwan_crypto::generate_keypair(&mut rng, bcwan_crypto::RsaKeySize::Rsa512);
+        let checker = reject();
+        let good = Script::builder()
+            .push(sk.to_bytes())
+            .push(pk.to_bytes())
+            .op(Opcode::CheckRsa512Pair)
+            .build();
+        assert_eq!(run_script(&good, &ctx_with(&checker)), Ok(true));
+
+        // Wrong private key.
+        let (_, other_sk) =
+            bcwan_crypto::generate_keypair(&mut rng, bcwan_crypto::RsaKeySize::Rsa512);
+        let bad = Script::builder()
+            .push(other_sk.to_bytes())
+            .push(pk.to_bytes())
+            .op(Opcode::CheckRsa512Pair)
+            .build();
+        assert_eq!(run_script(&bad, &ctx_with(&checker)), Ok(false));
+
+        // Garbage bytes → false, not an execution error.
+        let garbage = Script::builder()
+            .push(vec![0xff; 8])
+            .push(pk.to_bytes())
+            .op(Opcode::CheckRsa512Pair)
+            .build();
+        assert_eq!(run_script(&garbage, &ctx_with(&checker)), Ok(false));
+    }
+
+    #[test]
+    fn verify_spend_requires_push_only_sig() {
+        let checker = reject();
+        let bad_sig = Script::builder().op(Opcode::Dup).build();
+        let pubkey = Script::builder().push_num(1).build();
+        assert_eq!(
+            verify_spend(&bad_sig, &pubkey, &ctx_with(&checker)),
+            Err(ScriptError::SigScriptNotPushOnly)
+        );
+    }
+
+    #[test]
+    fn verify_spend_joins_stacks() {
+        let checker = reject();
+        let sig = Script::builder().push(vec![7; 4]).build();
+        let pubkey = Script::builder().push(vec![7; 4]).op(Opcode::Equal).build();
+        assert_eq!(verify_spend(&sig, &pubkey, &ctx_with(&checker)), Ok(true));
+    }
+
+    #[test]
+    fn empty_scripts_fail_cleanly() {
+        let checker = reject();
+        assert_eq!(
+            verify_spend(&Script::new(), &Script::new(), &ctx_with(&checker)),
+            Ok(false)
+        );
+    }
+
+    #[test]
+    fn ops_limit_enforced() {
+        let checker = reject();
+        let mut builder = Script::builder().push_num(1);
+        for _ in 0..300 {
+            builder = builder.op(Opcode::Dup).op(Opcode::Drop);
+        }
+        let s = builder.build();
+        assert_eq!(run_script(&s, &ctx_with(&checker)), Err(ScriptError::TooManyOps));
+    }
+
+    #[test]
+    fn stack_ops() {
+        let checker = reject();
+        // 1 2 3 ROT  → 2 3 1 ; SWAP → 2 1 3 ; DROP → 2 1 ; NIP → 1
+        let s = Script::builder()
+            .push_num(1)
+            .push_num(2)
+            .push_num(3)
+            .op(Opcode::Rot)
+            .op(Opcode::Swap)
+            .op(Opcode::Drop)
+            .op(Opcode::Nip)
+            .push_num(1)
+            .op(Opcode::NumEqual)
+            .build();
+        assert_eq!(run_script(&s, &ctx_with(&checker)), Ok(true));
+    }
+
+    #[test]
+    fn depth_and_size() {
+        let checker = reject();
+        let s = Script::builder()
+            .push(vec![0xaa; 5])
+            .op(Opcode::Size) // pushes 5
+            .push_num(5)
+            .op(Opcode::NumEqualVerify)
+            .op(Opcode::Depth) // stack: [aa×5] → depth 1
+            .push_num(1)
+            .op(Opcode::NumEqual)
+            .build();
+        assert_eq!(run_script(&s, &ctx_with(&checker)), Ok(true));
+    }
+}

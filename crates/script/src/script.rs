@@ -1,0 +1,402 @@
+//! Script representation, builder, and wire serialization.
+
+use crate::opcode::Opcode;
+use std::fmt;
+
+/// One element of a script: a data push or an operator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Pushes literal bytes onto the stack.
+    Push(Vec<u8>),
+    /// Executes an operator.
+    Op(Opcode),
+}
+
+/// A script: an ordered list of instructions.
+///
+/// # Examples
+///
+/// Building the paper's Listing 1 manually (the canonical constructor is
+/// [`crate::templates::ephemeral_key_release`]):
+///
+/// ```
+/// use bcwan_script::{Opcode, Script};
+///
+/// let script = Script::builder()
+///     .push(vec![1, 2, 3])          // <rsaPubKey>
+///     .op(Opcode::CheckRsa512Pair)
+///     .op(Opcode::If)
+///     // ...
+///     .op(Opcode::EndIf)
+///     .op(Opcode::CheckSig)
+///     .build();
+/// assert_eq!(script.instructions().len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Script {
+    instructions: Vec<Instruction>,
+}
+
+/// Error from parsing script bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseScriptError {
+    /// A push declared more bytes than remained.
+    TruncatedPush {
+        /// Bytes declared by the push prefix.
+        declared: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// An undefined opcode byte.
+    UnknownOpcode(u8),
+    /// Input ended inside a length prefix.
+    TruncatedPrefix,
+}
+
+impl fmt::Display for ParseScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseScriptError::TruncatedPush { declared, available } => {
+                write!(f, "push of {declared} bytes but only {available} remain")
+            }
+            ParseScriptError::UnknownOpcode(b) => write!(f, "unknown opcode 0x{b:02x}"),
+            ParseScriptError::TruncatedPrefix => write!(f, "truncated push length prefix"),
+        }
+    }
+}
+
+impl std::error::Error for ParseScriptError {}
+
+// Direct pushes cover 1..=75 bytes, as in Bitcoin.
+const MAX_DIRECT_PUSH: usize = 75;
+const OP_PUSHDATA1: u8 = 0x4c;
+const OP_PUSHDATA2: u8 = 0x4d;
+
+impl Script {
+    /// An empty script.
+    pub fn new() -> Self {
+        Script::default()
+    }
+
+    /// Starts a builder.
+    pub fn builder() -> ScriptBuilder {
+        ScriptBuilder {
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Builds a script from instructions.
+    pub fn from_instructions(instructions: Vec<Instruction>) -> Self {
+        Script { instructions }
+    }
+
+    /// The instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Whether the script starts with `OP_RETURN` (an unspendable data
+    /// carrier — BcWAN's IP-directory announcements use this form).
+    pub fn is_op_return(&self) -> bool {
+        matches!(self.instructions.first(), Some(Instruction::Op(Opcode::Return)))
+    }
+
+    /// Extracts the data payload of an `OP_RETURN` script, if it is one.
+    pub fn op_return_data(&self) -> Option<&[u8]> {
+        match self.instructions.as_slice() {
+            [Instruction::Op(Opcode::Return), Instruction::Push(data)] => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Serializes to wire bytes (Bitcoin-style push prefixes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for instr in &self.instructions {
+            match instr {
+                Instruction::Op(op) => out.push(op.to_byte()),
+                Instruction::Push(data) => {
+                    if data.is_empty() {
+                        out.push(Opcode::Op0.to_byte());
+                    } else if data.len() <= MAX_DIRECT_PUSH {
+                        out.push(data.len() as u8);
+                        out.extend_from_slice(data);
+                    } else if data.len() <= u8::MAX as usize {
+                        out.push(OP_PUSHDATA1);
+                        out.push(data.len() as u8);
+                        out.extend_from_slice(data);
+                    } else {
+                        out.push(OP_PUSHDATA2);
+                        out.extend_from_slice(&(data.len() as u16).to_le_bytes());
+                        out.extend_from_slice(data);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseScriptError`] on truncated pushes or unknown opcodes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ParseScriptError> {
+        let mut instructions = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            i += 1;
+            let push_len = match b {
+                1..=75 => Some(b as usize),
+                OP_PUSHDATA1 => {
+                    if i >= bytes.len() {
+                        return Err(ParseScriptError::TruncatedPrefix);
+                    }
+                    let len = bytes[i] as usize;
+                    i += 1;
+                    Some(len)
+                }
+                OP_PUSHDATA2 => {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseScriptError::TruncatedPrefix);
+                    }
+                    let len = u16::from_le_bytes([bytes[i], bytes[i + 1]]) as usize;
+                    i += 2;
+                    Some(len)
+                }
+                _ => None,
+            };
+            match push_len {
+                Some(len) => {
+                    if i + len > bytes.len() {
+                        return Err(ParseScriptError::TruncatedPush {
+                            declared: len,
+                            available: bytes.len() - i,
+                        });
+                    }
+                    instructions.push(Instruction::Push(bytes[i..i + len].to_vec()));
+                    i += len;
+                }
+                None => match Opcode::from_byte(b) {
+                    Some(Opcode::Op0) => instructions.push(Instruction::Push(Vec::new())),
+                    Some(op) => instructions.push(Instruction::Op(op)),
+                    None => return Err(ParseScriptError::UnknownOpcode(b)),
+                },
+            }
+        }
+        Ok(Script { instructions })
+    }
+
+    /// Wire size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Concatenates two scripts (scriptSig ‖ scriptPubKey evaluation order
+    /// is handled by the interpreter; this is for assembling templates).
+    pub fn concat(&self, other: &Script) -> Script {
+        let mut instructions = self.instructions.clone();
+        instructions.extend(other.instructions.iter().cloned());
+        Script { instructions }
+    }
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for instr in &self.instructions {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            match instr {
+                Instruction::Op(op) => write!(f, "{op}")?,
+                Instruction::Push(data) => {
+                    write!(f, "<{}>", bcwan_crypto::hex::encode(data))?
+                }
+            }
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental script builder.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptBuilder {
+    instructions: Vec<Instruction>,
+}
+
+impl ScriptBuilder {
+    /// Appends a data push.
+    pub fn push(mut self, data: Vec<u8>) -> Self {
+        self.instructions.push(Instruction::Push(data));
+        self
+    }
+
+    /// Appends a minimal push of a script number (Bitcoin CScriptNum).
+    pub fn push_num(mut self, n: i64) -> Self {
+        self.instructions.push(Instruction::Push(encode_num(n)));
+        self
+    }
+
+    /// Appends an operator.
+    pub fn op(mut self, op: Opcode) -> Self {
+        self.instructions.push(Instruction::Op(op));
+        self
+    }
+
+    /// Finishes the script.
+    pub fn build(self) -> Script {
+        Script {
+            instructions: self.instructions,
+        }
+    }
+}
+
+/// Encodes a script number: little-endian, minimal, sign-magnitude top bit.
+pub fn encode_num(n: i64) -> Vec<u8> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let negative = n < 0;
+    let mut abs = n.unsigned_abs();
+    let mut out = Vec::new();
+    while abs > 0 {
+        out.push((abs & 0xff) as u8);
+        abs >>= 8;
+    }
+    if out.last().expect("non-zero") & 0x80 != 0 {
+        out.push(if negative { 0x80 } else { 0x00 });
+    } else if negative {
+        *out.last_mut().expect("non-zero") |= 0x80;
+    }
+    out
+}
+
+/// Decodes a script number (inverse of [`encode_num`]); `None` if longer
+/// than 8 bytes.
+pub fn decode_num(bytes: &[u8]) -> Option<i64> {
+    if bytes.is_empty() {
+        return Some(0);
+    }
+    if bytes.len() > 8 {
+        return None;
+    }
+    let mut value: i64 = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let byte = if i == bytes.len() - 1 { b & 0x7f } else { b };
+        value |= (byte as i64) << (8 * i);
+    }
+    if bytes.last().expect("non-empty") & 0x80 != 0 {
+        value = -value;
+    }
+    Some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_script_round_trip() {
+        let s = Script::new();
+        assert!(s.is_empty());
+        assert_eq!(Script::from_bytes(&s.to_bytes()).unwrap(), s);
+        assert_eq!(s.to_string(), "(empty)");
+    }
+
+    #[test]
+    fn serialize_round_trip_with_all_push_sizes() {
+        let s = Script::builder()
+            .push(vec![])
+            .push(vec![1])
+            .push(vec![2; 75])
+            .push(vec![3; 76])
+            .push(vec![4; 255])
+            .push(vec![5; 256])
+            .op(Opcode::Dup)
+            .op(Opcode::CheckRsa512Pair)
+            .build();
+        let round = Script::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(round, s);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            Script::from_bytes(&[5, 1, 2]),
+            Err(ParseScriptError::TruncatedPush { declared: 5, available: 2 })
+        ));
+        assert!(matches!(
+            Script::from_bytes(&[0x4c]),
+            Err(ParseScriptError::TruncatedPrefix)
+        ));
+        assert!(matches!(
+            Script::from_bytes(&[0xfe]),
+            Err(ParseScriptError::UnknownOpcode(0xfe))
+        ));
+    }
+
+    #[test]
+    fn op_return_detection() {
+        let data = b"ip=192.168.1.10:9000".to_vec();
+        let s = Script::builder()
+            .op(Opcode::Return)
+            .push(data.clone())
+            .build();
+        assert!(s.is_op_return());
+        assert_eq!(s.op_return_data(), Some(data.as_slice()));
+        let not = Script::builder().op(Opcode::Dup).build();
+        assert!(!not.is_op_return());
+        assert_eq!(not.op_return_data(), None);
+    }
+
+    #[test]
+    fn script_num_round_trip() {
+        for n in [0i64, 1, -1, 127, 128, -128, 255, 256, 0x7fffffff, -0x7fffffff, 100_000] {
+            let enc = encode_num(n);
+            assert_eq!(decode_num(&enc), Some(n), "n={n}, enc={enc:?}");
+        }
+    }
+
+    #[test]
+    fn script_num_encoding_is_minimal() {
+        assert_eq!(encode_num(0), Vec::<u8>::new());
+        assert_eq!(encode_num(1), vec![1]);
+        assert_eq!(encode_num(127), vec![0x7f]);
+        assert_eq!(encode_num(128), vec![0x80, 0x00]); // needs sign-clear byte
+        assert_eq!(encode_num(-1), vec![0x81]);
+        assert_eq!(encode_num(520), vec![0x08, 0x02]);
+    }
+
+    #[test]
+    fn decode_num_rejects_oversized() {
+        assert_eq!(decode_num(&[0u8; 9]), None);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Script::builder()
+            .push(vec![0xde, 0xad])
+            .op(Opcode::Hash160)
+            .build();
+        assert_eq!(s.to_string(), "<dead> OP_HASH160");
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = Script::builder().op(Opcode::Dup).build();
+        let b = Script::builder().op(Opcode::Drop).build();
+        let c = a.concat(&b);
+        assert_eq!(c.instructions().len(), 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests: codec round trips and interpreter robustness.
+
+use bcwan_script::interpreter::{run_script, verify_spend, ExecContext, RejectAllChecker};
+use bcwan_script::{decode_num, encode_num, Instruction, Opcode, Script};
+use proptest::prelude::*;
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    // OP_0 is canonically an empty push: the codec normalizes Op(Op0) to
+    // Push([]), so it is generated via the push arm instead.
+    let ops: Vec<Opcode> = Opcode::ALL
+        .into_iter()
+        .filter(|op| *op != Opcode::Op0)
+        .collect();
+    proptest::sample::select(ops)
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..80).prop_map(Instruction::Push),
+        arb_opcode().prop_map(Instruction::Op),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn script_wire_round_trip(instrs in proptest::collection::vec(arb_instruction(), 0..24)) {
+        let script = Script::from_instructions(instrs);
+        let bytes = script.to_bytes();
+        let parsed = Script::from_bytes(&bytes).unwrap();
+        // Push(empty) encodes as OP_0 and parses back to Push(empty), so
+        // equality holds including that case.
+        prop_assert_eq!(parsed, script);
+    }
+
+    #[test]
+    fn script_num_round_trip(n in any::<i64>()) {
+        // Full 8-byte range round-trips except i64::MIN (whose magnitude
+        // overflows); Bitcoin's CScriptNum has the same carve-out.
+        prop_assume!(n != i64::MIN);
+        prop_assert_eq!(decode_num(&encode_num(n)), Some(n));
+    }
+
+    #[test]
+    fn script_num_encoding_is_minimal(n in any::<i32>()) {
+        let n = i64::from(n);
+        let enc = encode_num(n);
+        if n == 0 {
+            prop_assert!(enc.is_empty());
+        } else {
+            // No redundant trailing byte: the encoding of n must be the
+            // shortest that still round-trips.
+            prop_assert!(enc.len() <= 5);
+            let shorter = &enc[..enc.len() - 1];
+            prop_assert_ne!(decode_num(shorter), Some(n));
+        }
+    }
+
+    #[test]
+    fn interpreter_never_panics(instrs in proptest::collection::vec(arb_instruction(), 0..32)) {
+        let script = Script::from_instructions(instrs);
+        let checker = RejectAllChecker;
+        let ctx = ExecContext { checker: &checker, lock_time: 50, input_final: false };
+        // Result content is arbitrary; absence of panic is the property.
+        let _ = run_script(&script, &ctx);
+    }
+
+    #[test]
+    fn verify_spend_never_panics(
+        sig_pushes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..6),
+        lock in proptest::collection::vec(arb_instruction(), 0..24),
+        lock_time in any::<u64>(),
+    ) {
+        let script_sig = Script::from_instructions(
+            sig_pushes.into_iter().map(Instruction::Push).collect(),
+        );
+        let script_pubkey = Script::from_instructions(lock);
+        let checker = RejectAllChecker;
+        let ctx = ExecContext { checker: &checker, lock_time, input_final: false };
+        let _ = verify_spend(&script_sig, &script_pubkey, &ctx);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Script::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn arithmetic_ops_match_reference(a in -100_000i64..100_000, b in -100_000i64..100_000) {
+        let checker = RejectAllChecker;
+        let ctx = ExecContext { checker: &checker, lock_time: 0, input_final: false };
+        for (op, expect) in [
+            (Opcode::Add, a + b),
+            (Opcode::Sub, a - b),
+            (Opcode::Min, a.min(b)),
+            (Opcode::Max, a.max(b)),
+        ] {
+            let script = Script::builder()
+                .push_num(a)
+                .push_num(b)
+                .op(op)
+                .push_num(expect)
+                .op(Opcode::NumEqual)
+                .build();
+            prop_assert_eq!(run_script(&script, &ctx), Ok(true), "{} {} {}", a, op, b);
+        }
+    }
+}

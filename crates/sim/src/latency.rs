@@ -1,0 +1,151 @@
+//! Network latency models.
+//!
+//! The paper's evaluation ran on five PlanetLab hosts spread across the
+//! wide area plus an AWS master; one-way delays between such sites are
+//! tens of milliseconds with a heavy right tail. [`LatencyModel`] captures
+//! the distributions we need, and [`LatencyModel::planetlab`] is the
+//! calibrated preset the figure harnesses use.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A one-way network delay distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Always exactly this delay.
+    Constant(SimDuration),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Lower bound.
+        min: SimDuration,
+        /// Upper bound.
+        max: SimDuration,
+    },
+    /// Normal with a floor (samples below `min` clamp up).
+    Normal {
+        /// Mean delay in seconds.
+        mean_s: f64,
+        /// Standard deviation in seconds.
+        std_s: f64,
+        /// Minimum physically-possible delay.
+        min: SimDuration,
+    },
+    /// Log-normal (µ/σ of the underlying normal, in ln-seconds) with floor.
+    LogNormal {
+        /// Underlying normal mean (ln seconds).
+        mu: f64,
+        /// Underlying normal std dev (ln seconds).
+        sigma: f64,
+        /// Minimum physically-possible delay.
+        min: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// Zero-delay model (useful in unit tests).
+    pub fn instant() -> Self {
+        LatencyModel::Constant(SimDuration::ZERO)
+    }
+
+    /// Calibrated WAN preset shaped like PlanetLab inter-site one-way
+    /// delays: median ≈ 40 ms, mean ≈ 50 ms, occasional 200 ms+ stragglers.
+    pub fn planetlab() -> Self {
+        // ln-median = ln(0.040 s), sigma chosen for a moderate heavy tail.
+        LatencyModel::LogNormal {
+            mu: (0.040f64).ln(),
+            sigma: 0.6,
+            min: SimDuration::from_millis(5),
+        }
+    }
+
+    /// LAN preset: sub-millisecond, tight.
+    pub fn lan() -> Self {
+        LatencyModel::Normal {
+            mean_s: 0.0004,
+            std_s: 0.0001,
+            min: SimDuration::from_micros(50),
+        }
+    }
+
+    /// Draws one delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                let lo = min.as_micros();
+                let hi = max.as_micros().max(lo);
+                SimDuration::from_micros(
+                    lo + (rng.uniform() * (hi - lo + 1) as f64) as u64,
+                )
+            }
+            LatencyModel::Normal { mean_s, std_s, min } => {
+                let s = rng.normal(*mean_s, *std_s);
+                SimDuration::from_secs_f64(s).max(*min)
+            }
+            LatencyModel::LogNormal { mu, sigma, min } => {
+                let s = rng.log_normal(*mu, *sigma);
+                SimDuration::from_secs_f64(s).max(*min)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let m = LatencyModel::Constant(SimDuration::from_millis(10));
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng).as_millis(), 10);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_millis(10),
+            max: SimDuration::from_millis(20),
+        };
+        for _ in 0..200 {
+            let d = m.sample(&mut rng);
+            assert!(d >= SimDuration::from_millis(10), "{d}");
+            assert!(d <= SimDuration::from_millis(21), "{d}");
+        }
+    }
+
+    #[test]
+    fn normal_clamps_to_min() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let m = LatencyModel::Normal {
+            mean_s: 0.001,
+            std_s: 0.1, // huge spread: many negative raw samples
+            min: SimDuration::from_millis(1),
+        };
+        for _ in 0..100 {
+            assert!(m.sample(&mut rng) >= SimDuration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn planetlab_preset_plausible() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let m = LatencyModel::planetlab();
+        let n = 10_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample(&mut rng).as_secs_f64()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((0.03..0.08).contains(&mean), "mean one-way {mean}s");
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 0.1, "should have heavy tail, max {max}");
+        assert!(samples.iter().all(|&s| s >= 0.005));
+    }
+
+    #[test]
+    fn instant_is_zero() {
+        let mut rng = SimRng::seed_from_u64(5);
+        assert_eq!(LatencyModel::instant().sample(&mut rng), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,217 @@
+//! Measurement collection for experiments.
+//!
+//! [`Series`] accumulates scalar samples (latencies, counts) and computes
+//! the summary statistics and histogram rows that the figure harnesses
+//! print — mean/percentiles for the text in EXPERIMENTS.md and fixed-width
+//! buckets mirroring the paper's Fig. 5/6 latency histograms.
+
+use std::fmt;
+
+/// An append-only series of `f64` samples with summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    samples: Vec<f64>,
+}
+
+/// Summary statistics over a [`Series`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for < 2 samples).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// One histogram bucket: `[lo, hi)` with a count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound (last bucket is inclusive).
+    pub hi: f64,
+    /// Samples in the bucket.
+    pub count: usize,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Series::default()
+    }
+
+    /// Appends one sample.
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Read-only view of the raw samples in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Computes summary statistics.
+    ///
+    /// Returns `None` for an empty series.
+    pub fn summary(&self) -> Option<Summary> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let count = self.samples.len();
+        let mean = self.samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let pct = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        Some(Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: sorted[count - 1],
+        })
+    }
+
+    /// Fixed-width histogram over `[min, max]` with `n` buckets.
+    ///
+    /// Samples outside the range clamp into the first/last bucket, so the
+    /// bucket counts always sum to `len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `max <= min`.
+    pub fn histogram(&self, min: f64, max: f64, n: usize) -> Vec<Bucket> {
+        assert!(n > 0, "need at least one bucket");
+        assert!(max > min, "empty histogram range");
+        let width = (max - min) / n as f64;
+        let mut buckets: Vec<Bucket> = (0..n)
+            .map(|i| Bucket {
+                lo: min + i as f64 * width,
+                hi: min + (i + 1) as f64 * width,
+                count: 0,
+            })
+            .collect();
+        for &s in &self.samples {
+            let idx = (((s - min) / width).floor() as i64).clamp(0, n as i64 - 1) as usize;
+            buckets[idx].count += 1;
+        }
+        buckets
+    }
+}
+
+impl Extend<f64> for Series {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+impl FromIterator<f64> for Series {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Series {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} std={:.3} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.std_dev, self.min, self.median, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_has_no_summary() {
+        assert!(Series::new().summary().is_none());
+        assert!(Series::new().is_empty());
+    }
+
+    #[test]
+    fn summary_of_known_values() {
+        let s: Series = (1..=5).map(|x| x as f64).collect();
+        let sum = s.summary().unwrap();
+        assert_eq!(sum.count, 5);
+        assert!((sum.mean - 3.0).abs() < 1e-12);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 5.0);
+        assert_eq!(sum.median, 3.0);
+        // Sample std of 1..5 = sqrt(2.5)
+        assert!((sum.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let mut s = Series::new();
+        s.record(7.0);
+        let sum = s.summary().unwrap();
+        assert_eq!(sum.std_dev, 0.0);
+        assert_eq!(sum.median, 7.0);
+        assert_eq!(sum.p99, 7.0);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_len() {
+        let s: Series = (0..100).map(|x| x as f64 / 10.0).collect();
+        let h = s.histogram(0.0, 10.0, 5);
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.iter().map(|b| b.count).sum::<usize>(), 100);
+        assert_eq!(h[0].count, 20);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let mut s = Series::new();
+        s.record(-100.0);
+        s.record(0.25);
+        s.record(1e9);
+        let h = s.histogram(0.0, 1.0, 2);
+        assert_eq!(h[0].count, 2); // -100 clamps into first bucket, 0.25 lands there
+        assert_eq!(h[1].count, 1); // 1e9 clamps into last
+    }
+
+    #[test]
+    fn display_summary() {
+        let s: Series = vec![1.0, 2.0].into_iter().collect();
+        let text = s.summary().unwrap().to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=1.500"));
+    }
+}

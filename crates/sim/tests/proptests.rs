@@ -1,0 +1,90 @@
+//! Property tests for the discrete-event kernel and metrics.
+
+use bcwan_sim::{Bucket, EventQueue, Series, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events always pop in non-decreasing time order, with FIFO ties.
+    #[test]
+    fn queue_pops_in_order(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_micros(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut popped = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t >= last_time, "time went backwards");
+            last_time = t;
+            popped.push((t, id));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        // FIFO among equal timestamps: ids at the same time are ascending.
+        for w in popped.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broke out of order");
+            }
+        }
+    }
+
+    /// The clock equals the timestamp of the last popped event and
+    /// scheduling in the past clamps to now.
+    #[test]
+    fn clock_monotone_under_mixed_scheduling(
+        script in proptest::collection::vec((0u64..1000, any::<bool>()), 1..50),
+    ) {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(10), 0);
+        let mut last = SimTime::ZERO;
+        let mut i = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            if let Some(&(delta, past)) = script.get(i) {
+                if past {
+                    // Past-time schedule clamps to now.
+                    q.schedule_at(SimTime::ZERO, i as u32);
+                } else {
+                    q.schedule_in(SimDuration::from_micros(delta), i as u32);
+                }
+            }
+            i += 1;
+            if i > script.len() {
+                break;
+            }
+        }
+    }
+
+    /// Summary statistics are internally consistent for any sample set.
+    #[test]
+    fn summary_invariants(samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let series: Series = samples.iter().copied().collect();
+        let s = series.summary().unwrap();
+        prop_assert_eq!(s.count, samples.len());
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.median <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    /// Histogram counts always total the sample count, over any range.
+    #[test]
+    fn histogram_total_invariant(
+        samples in proptest::collection::vec(-100f64..100.0, 0..100),
+        lo in -50f64..0.0,
+        width in 1f64..100.0,
+        buckets in 1usize..20,
+    ) {
+        let series: Series = samples.iter().copied().collect();
+        let hist = series.histogram(lo, lo + width, buckets);
+        prop_assert_eq!(hist.len(), buckets);
+        let total: usize = hist.iter().map(|b: &Bucket| b.count).sum();
+        prop_assert_eq!(total, samples.len());
+        // Buckets tile the range contiguously.
+        for w in hist.windows(2) {
+            prop_assert!((w[0].hi - w[1].lo).abs() < 1e-9);
+        }
+    }
+}

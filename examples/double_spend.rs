@@ -1,0 +1,49 @@
+//! The §6 double-spend attack, step by step, against the real chain.
+//!
+//! A malicious recipient wants the data without paying: it hands the
+//! escrow transaction to the gateway alone while racing a conflicting
+//! spend of the same coin straight to the miner. A zero-confirmation
+//! gateway (the paper's PoC policy) reveals the ephemeral key
+//! immediately — and loses its reward when the conflict confirms.
+//!
+//! Run with: `cargo run --release --example double_spend`
+
+use bcwan::attack::{play_double_spend_mechanics, simulate_attack_rates, AttackConfig};
+use bcwan::costs::CostModel;
+use bcwan_sim::{LatencyModel, SimRng};
+
+fn main() {
+    println!("=== zero-confirmation double spend, played on the real substrate ===\n");
+    let m = play_double_spend_mechanics(2018);
+    let tick = |b: bool| if b { "✔" } else { "✘" };
+    println!(" {} recipient sends the escrow ONLY to the gateway", tick(m.gateway_accepted_escrow));
+    println!(" {} …and a conflicting spend of the same coin to the miner", tick(m.miner_accepted_conflict));
+    println!(" {} the relayed escrow is refused at the miner (first-seen rule)", tick(m.miner_rejected_escrow));
+    println!(" {} the gateway, at zero confirmations, claims and reveals eSk", tick(m.recipient_got_key));
+    println!(" {} the claim is an orphan at the miner — it can never be mined", tick(m.claim_orphaned_at_miner));
+    println!(" {} after the next block, the gateway holds nothing", tick(m.gateway_unpaid));
+    println!("\n attack succeeded: {}", m.attack_succeeded());
+
+    println!("\n=== the counter-measure: wait for confirmations (§6) ===\n");
+    println!("depth  theft-rate  honest extra latency");
+    let mut rng = SimRng::seed_from_u64(9);
+    for depth in [0u64, 1, 2, 6] {
+        let out = simulate_attack_rates(
+            &AttackConfig {
+                latency: LatencyModel::planetlab(),
+                costs: CostModel::pi_class(),
+                block_interval_s: 15.0,
+                confirmation_depth: depth,
+            },
+            10_000,
+            &mut rng,
+        );
+        println!(
+            "{:>5}  {:>10.3}  {:>12.1}s",
+            depth, out.theft_rate, out.honest_extra_latency_s
+        );
+    }
+    println!("\nThe paper keeps depth 0 in its PoC to separate BcWAN's own overhead");
+    println!("from the blockchain's, and notes Bitcoin's 6-conf advice would cost an");
+    println!("hour there; on this 15 s chain the same safety costs ~90 s.");
+}

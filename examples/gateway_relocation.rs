@@ -1,0 +1,118 @@
+//! Gateway relocation and the on-chain IP directory (§4.3).
+//!
+//! "The node may not directly know the IP address of the recipient,
+//! mainly because the latter can change if the recipient gateway is moved
+//! on another network." The recipient's fixed identity is its blockchain
+//! address `@R`; this example moves a recipient to a new IP, republishes
+//! the `OP_RETURN` announcement, mines it, and shows a foreign gateway's
+//! lookup following the move.
+//!
+//! Run with: `cargo run --release --example gateway_relocation`
+
+use bcwan::directory::{Directory, IpAnnouncement, NetAddr};
+use bcwan_chain::{Block, Chain, ChainParams, OutPoint, Transaction, TxOut, Wallet};
+use bcwan_script::Script;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mine_with(chain: &mut Chain, txs: Vec<Transaction>) {
+    let params = chain.params().clone();
+    let height = chain.height() + 1;
+    let mut all = vec![Transaction::coinbase(
+        height,
+        b"miner",
+        vec![TxOut {
+            value: params.coinbase_reward,
+            script_pubkey: Script::new(),
+        }],
+    )];
+    all.extend(txs);
+    let block = Block::mine(chain.tip(), height, params.difficulty_bits, all);
+    chain.add_block(block).expect("valid block");
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut params = ChainParams::multichain_like();
+    params.coinbase_maturity = 0;
+    let recipient = Wallet::generate(&mut rng);
+
+    // Genesis gives the recipient coins and a first announcement.
+    let first_home = NetAddr { ip: [203, 0, 113, 10], port: 7000 };
+    let genesis = {
+        let ann = IpAnnouncement {
+            address: recipient.address(),
+            endpoint: first_home,
+            seq: 0,
+        };
+        let cb = Transaction::coinbase(
+            0,
+            b"genesis",
+            vec![
+                TxOut { value: 1_000, script_pubkey: recipient.locking_script() },
+                ann.to_output(),
+            ],
+        );
+        Block::mine(
+            bcwan_chain::BlockHash::GENESIS_PREV,
+            0,
+            params.difficulty_bits,
+            vec![cb],
+        )
+    };
+    let mut chain = Chain::new(params, genesis);
+
+    // A foreign gateway boots and scans the chain (§5.1 start-up).
+    let mut directory = Directory::from_chain(&chain);
+    println!(
+        "gateway's directory after start-up scan:\n  @R {} → {}",
+        recipient.address(),
+        directory.lookup(&recipient.address()).expect("announced")
+    );
+
+    // The recipient's master gateway moves to another network.
+    let new_home = NetAddr { ip: [198, 51, 100, 42], port: 7000 };
+    println!("\nrecipient relocates: {first_home} → {new_home}");
+    let coin = OutPoint {
+        txid: chain.block_at(0).unwrap().transactions[0].txid(),
+        vout: 0,
+    };
+    let announcement = IpAnnouncement {
+        address: recipient.address(),
+        endpoint: new_home,
+        seq: 1, // supersedes seq 0
+    };
+    let tx = recipient.build_payment(
+        vec![(coin, recipient.locking_script())],
+        vec![
+            announcement.to_output(),
+            TxOut { value: 990, script_pubkey: recipient.locking_script() },
+        ],
+        0,
+    );
+    mine_with(&mut chain, vec![tx]);
+    println!("announcement mined at height {}", chain.height());
+
+    // The gateway absorbs the new block.
+    for tx in &chain.block_at(chain.height()).unwrap().transactions {
+        for ann in IpAnnouncement::all_from_transaction(tx) {
+            directory.absorb(ann);
+        }
+    }
+    println!(
+        "\ngateway lookup now resolves:\n  @R {} → {} (seq {})",
+        recipient.address(),
+        directory.lookup(&recipient.address()).expect("still announced"),
+        directory.seq_of(&recipient.address()).unwrap(),
+    );
+
+    // A stale announcement replayed later cannot roll the directory back.
+    directory.absorb(IpAnnouncement {
+        address: recipient.address(),
+        endpoint: first_home,
+        seq: 0,
+    });
+    assert_eq!(directory.lookup(&recipient.address()), Some(new_home));
+    println!("\nreplaying the old announcement does not roll the entry back ✔");
+    println!("the node never changed anything: it still addresses @R, not an IP.");
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the BcWAN reproduction workspace.
+//!
+//! Re-exports the member crates so the examples and integration tests can
+//! use a single dependency root. See the individual crates for the real
+//! APIs: [`bcwan`] (protocol), [`bcwan_chain`], [`bcwan_script`],
+//! [`bcwan_crypto`], [`bcwan_lora`], [`bcwan_p2p`], [`bcwan_sim`].
+
+pub use bcwan;
+pub use bcwan_chain;
+pub use bcwan_crypto;
+pub use bcwan_lora;
+pub use bcwan_p2p;
+pub use bcwan_script;
+pub use bcwan_sim;

@@ -1,0 +1,236 @@
+//! Integration test L1: the Listing 1 escrow driven through real mined
+//! blocks — claim path, refund path, and theft attempts.
+
+use bcwan::escrow::{build_claim, build_escrow, build_refund, Escrow};
+use bcwan_chain::{
+    Block, BlockAction, Chain, ChainParams, OutPoint, Transaction, TxOut, Wallet,
+};
+use bcwan_crypto::rsa::{generate_keypair, RsaKeySize, RsaPrivateKey, RsaPublicKey};
+use bcwan_script::Script;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct OnChain {
+    params: ChainParams,
+    chain: Chain,
+    recipient: Wallet,
+    gateway: Wallet,
+    e_pk: RsaPublicKey,
+    e_sk: RsaPrivateKey,
+    escrow: Escrow,
+}
+
+fn mine(chain: &mut Chain, txs: Vec<Transaction>) -> BlockAction {
+    let params = chain.params().clone();
+    let height = chain.height() + 1;
+    let mut all = vec![Transaction::coinbase(
+        height,
+        b"it",
+        vec![TxOut {
+            value: params.coinbase_reward,
+            script_pubkey: Script::new(),
+        }],
+    )];
+    all.extend(txs);
+    let block = Block::mine(chain.tip(), height, params.difficulty_bits, all);
+    chain.add_block(block).expect("block valid")
+}
+
+/// Builds a chain with the escrow already mined.
+fn setup(seed: u64) -> OnChain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut params = ChainParams::multichain_like();
+    params.coinbase_maturity = 0;
+    let recipient = Wallet::generate(&mut rng);
+    let gateway = Wallet::generate(&mut rng);
+    let genesis = Chain::make_genesis(&params, &[(recipient.address(), 1_000)]);
+    let mut chain = Chain::new(params.clone(), genesis);
+    let (e_pk, e_sk) = generate_keypair(&mut rng, RsaKeySize::Rsa512);
+    let coin = (
+        OutPoint {
+            txid: chain.block_at(0).unwrap().transactions[0].txid(),
+            vout: 0,
+        },
+        recipient.locking_script(),
+        1_000u64,
+    );
+    let escrow = build_escrow(
+        &recipient,
+        &[coin],
+        &e_pk,
+        &gateway.address(),
+        100,
+        10,
+        chain.height(),
+    );
+    assert_eq!(
+        mine(&mut chain, vec![escrow.tx.clone()]),
+        BlockAction::Extended(1)
+    );
+    OnChain {
+        params,
+        chain,
+        recipient,
+        gateway,
+        e_pk,
+        e_sk,
+        escrow,
+    }
+}
+
+#[test]
+fn claim_confirms_and_pays_gateway() {
+    let mut t = setup(1);
+    let claim = build_claim(
+        &t.gateway,
+        t.escrow.outpoint(),
+        &t.escrow.script,
+        100,
+        &t.e_sk,
+        5,
+    );
+    assert_eq!(mine(&mut t.chain, vec![claim]), BlockAction::Extended(2));
+    // The gateway now owns a 95-unit coin.
+    let gateway_script = t.gateway.locking_script();
+    let paid: u64 = t
+        .chain
+        .utxo()
+        .find(|e| e.output.script_pubkey == gateway_script)
+        .map(|(_, e)| e.output.value)
+        .sum();
+    assert_eq!(paid, 95);
+    // The escrow output is gone.
+    assert!(!t.chain.utxo().contains(&t.escrow.outpoint()));
+}
+
+#[test]
+fn claim_with_wrong_key_cannot_be_mined() {
+    let mut t = setup(2);
+    let mut rng = StdRng::seed_from_u64(999);
+    let (_, wrong_sk) = generate_keypair(&mut rng, RsaKeySize::Rsa512);
+    let bad_claim = build_claim(
+        &t.gateway,
+        t.escrow.outpoint(),
+        &t.escrow.script,
+        100,
+        &wrong_sk,
+        5,
+    );
+    // Mining a block containing the bad claim must fail validation.
+    let height = t.chain.height() + 1;
+    let cb = Transaction::coinbase(
+        height,
+        b"bad",
+        vec![TxOut {
+            value: t.params.coinbase_reward,
+            script_pubkey: Script::new(),
+        }],
+    );
+    let block = Block::mine(
+        t.chain.tip(),
+        height,
+        t.params.difficulty_bits,
+        vec![cb, bad_claim],
+    );
+    assert!(t.chain.add_block(block).is_err());
+    assert!(t.chain.utxo().contains(&t.escrow.outpoint()), "escrow untouched");
+}
+
+#[test]
+fn refund_respects_the_time_lock_on_chain() {
+    let mut t = setup(3);
+    let refund = build_refund(&t.recipient, &t.escrow, 100, 5);
+
+    // Far too early: the refund tx is non-final until the lock height.
+    let height = t.chain.height() + 1;
+    let cb = Transaction::coinbase(
+        height,
+        b"early",
+        vec![TxOut {
+            value: t.params.coinbase_reward,
+            script_pubkey: Script::new(),
+        }],
+    );
+    let early_block = Block::mine(
+        t.chain.tip(),
+        height,
+        t.params.difficulty_bits,
+        vec![cb, refund.clone()],
+    );
+    assert!(t.chain.add_block(early_block).is_err(), "premature refund rejected");
+
+    // Advance the chain past the lock height with empty blocks.
+    while t.chain.height() < t.escrow.refund_height {
+        mine(&mut t.chain, vec![]);
+    }
+    assert_eq!(
+        mine(&mut t.chain, vec![refund]),
+        BlockAction::Extended(t.escrow.refund_height + 1)
+    );
+    // The recipient recovered the escrow (minus fee).
+    let recipient_script = t.recipient.locking_script();
+    let refunded: u64 = t
+        .chain
+        .utxo()
+        .find(|e| e.output.script_pubkey == recipient_script)
+        .map(|(_, e)| e.output.value)
+        .sum();
+    // 890 change from the escrow + 95 refund.
+    assert_eq!(refunded, 890 + 95);
+}
+
+#[test]
+fn gateway_cannot_steal_via_refund_branch() {
+    let mut t = setup(4);
+    // Advance past the lock height, then the gateway tries the refund
+    // path signed with its own key.
+    while t.chain.height() < t.escrow.refund_height + 1 {
+        mine(&mut t.chain, vec![]);
+    }
+    let fake_escrow = Escrow {
+        tx: t.escrow.tx.clone(),
+        vout: t.escrow.vout,
+        script: t.escrow.script.clone(),
+        refund_height: t.escrow.refund_height,
+    };
+    let theft = build_refund(&t.gateway, &fake_escrow, 100, 5);
+    let height = t.chain.height() + 1;
+    let cb = Transaction::coinbase(
+        height,
+        b"thief",
+        vec![TxOut {
+            value: t.params.coinbase_reward,
+            script_pubkey: Script::new(),
+        }],
+    );
+    let block = Block::mine(
+        t.chain.tip(),
+        height,
+        t.params.difficulty_bits,
+        vec![cb, theft],
+    );
+    assert!(t.chain.add_block(block).is_err());
+}
+
+#[test]
+fn key_revealed_on_chain_is_readable_by_anyone() {
+    // The whole point of the design: once the claim is mined, the
+    // ephemeral private key is public data on the ledger.
+    let mut t = setup(5);
+    let claim = build_claim(
+        &t.gateway,
+        t.escrow.outpoint(),
+        &t.escrow.script,
+        100,
+        &t.e_sk,
+        5,
+    );
+    let claim_txid = claim.txid();
+    mine(&mut t.chain, vec![claim]);
+    let (height, mined_claim) = t.chain.find_transaction(&claim_txid).expect("mined");
+    assert_eq!(height, 2);
+    let revealed =
+        bcwan::escrow::extract_key_from_claim(mined_claim, &t.escrow.outpoint())
+            .expect("readable from the chain");
+    assert!(t.e_pk.matches_private(&revealed));
+}

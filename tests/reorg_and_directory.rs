@@ -1,0 +1,176 @@
+//! Integration: chain reorganizations interacting with the protocol
+//! state — escrows unconfirming, the IP directory following the chain.
+
+use bcwan::directory::{Directory, IpAnnouncement, NetAddr};
+use bcwan::escrow::build_escrow;
+use bcwan_chain::{
+    Block, BlockAction, Chain, ChainParams, OutPoint, Transaction, TxOut, Wallet,
+};
+use bcwan_crypto::rsa::{generate_keypair, RsaKeySize};
+use bcwan_script::Script;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mine_on(
+    chain: &Chain,
+    parent: bcwan_chain::BlockHash,
+    height: u64,
+    tag: &[u8],
+    txs: Vec<Transaction>,
+) -> Block {
+    let params = chain.params().clone();
+    let mut all = vec![Transaction::coinbase(
+        height,
+        tag,
+        vec![TxOut {
+            value: params.coinbase_reward,
+            script_pubkey: Script::new(),
+        }],
+    )];
+    all.extend(txs);
+    Block::mine(parent, height * 1_000, params.difficulty_bits, all)
+}
+
+#[test]
+fn reorg_unconfirms_escrow_and_restores_funding_coin() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut params = ChainParams::multichain_like();
+    params.coinbase_maturity = 0;
+    let recipient = Wallet::generate(&mut rng);
+    let gateway = Wallet::generate(&mut rng);
+    let genesis = Chain::make_genesis(&params, &[(recipient.address(), 1_000)]);
+    let mut chain = Chain::new(params, genesis);
+    let genesis_hash = chain.tip();
+    let coin = OutPoint {
+        txid: chain.block_at(0).unwrap().transactions[0].txid(),
+        vout: 0,
+    };
+
+    let (e_pk, _) = generate_keypair(&mut rng, RsaKeySize::Rsa512);
+    let escrow = build_escrow(
+        &recipient,
+        &[(coin, recipient.locking_script(), 1_000)],
+        &e_pk,
+        &gateway.address(),
+        100,
+        10,
+        0,
+    );
+    let escrow_block = mine_on(&chain, genesis_hash, 1, b"escrow", vec![escrow.tx.clone()]);
+    chain.add_block(escrow_block).unwrap();
+    assert!(chain.utxo().contains(&escrow.outpoint()));
+    assert!(!chain.utxo().contains(&coin));
+
+    // A longer competing branch without the escrow.
+    let a1 = mine_on(&chain, genesis_hash, 1, b"alt1", vec![]);
+    chain.add_block(a1.clone()).unwrap();
+    let a2 = mine_on(&chain, a1.hash(), 2, b"alt2", vec![]);
+    let action = chain.add_block(a2).unwrap();
+    assert!(matches!(action, BlockAction::Reorganized { disconnected: 1, connected: 2 }));
+
+    // The escrow no longer exists; the recipient's coin is spendable again.
+    assert!(!chain.utxo().contains(&escrow.outpoint()));
+    assert!(chain.utxo().contains(&coin));
+    assert!(chain.find_transaction(&escrow.tx.txid()).is_none());
+}
+
+#[test]
+fn directory_follows_the_winning_branch() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut params = ChainParams::multichain_like();
+    params.coinbase_maturity = 0;
+    let recipient = Wallet::generate(&mut rng);
+    let genesis = Chain::make_genesis(&params, &[(recipient.address(), 1_000)]);
+    let mut chain = Chain::new(params, genesis);
+    let coin = OutPoint {
+        txid: chain.block_at(0).unwrap().transactions[0].txid(),
+        vout: 0,
+    };
+
+    let addr_a = NetAddr { ip: [10, 0, 0, 1], port: 7000 };
+    let announce = |endpoint: NetAddr, seq: u32| IpAnnouncement {
+        address: recipient.address(),
+        endpoint,
+        seq,
+    };
+    let tx_a = recipient.build_payment(
+        vec![(coin, recipient.locking_script())],
+        vec![
+            announce(addr_a, 1).to_output(),
+            TxOut { value: 990, script_pubkey: recipient.locking_script() },
+        ],
+        0,
+    );
+    let b1 = mine_on(&chain, chain.tip(), 1, b"ann", vec![tx_a]);
+    chain.add_block(b1).unwrap();
+
+    // A rescanning gateway sees the announcement.
+    let dir = Directory::from_chain(&chain);
+    assert_eq!(dir.lookup(&recipient.address()), Some(addr_a));
+    assert_eq!(dir.seq_of(&recipient.address()), Some(1));
+
+    // Scanning only main-chain blocks means a reorg that drops the block
+    // also drops the entry on a fresh scan.
+    let genesis_hash = chain.block_at(0).unwrap().hash();
+    let a1 = mine_on(&chain, genesis_hash, 1, b"alt1", vec![]);
+    chain.add_block(a1.clone()).unwrap();
+    let a2 = mine_on(&chain, a1.hash(), 2, b"alt2", vec![]);
+    chain.add_block(a2).unwrap();
+    let dir_after = Directory::from_chain(&chain);
+    assert_eq!(dir_after.lookup(&recipient.address()), None);
+}
+
+#[test]
+fn deep_reorg_replays_transactions_correctly() {
+    // Build two branches that both spend the same coin into different
+    // destinations; whichever branch wins decides the UTXO contents.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut params = ChainParams::multichain_like();
+    params.coinbase_maturity = 0;
+    let owner = Wallet::generate(&mut rng);
+    let heir_a = Wallet::generate(&mut rng);
+    let heir_b = Wallet::generate(&mut rng);
+    let genesis = Chain::make_genesis(&params, &[(owner.address(), 500)]);
+    let mut chain = Chain::new(params, genesis);
+    let genesis_hash = chain.tip();
+    let coin = OutPoint {
+        txid: chain.block_at(0).unwrap().transactions[0].txid(),
+        vout: 0,
+    };
+
+    let to_a = owner.build_payment(
+        vec![(coin, owner.locking_script())],
+        vec![TxOut { value: 500, script_pubkey: heir_a.locking_script() }],
+        0,
+    );
+    let to_b = owner.build_payment(
+        vec![(coin, owner.locking_script())],
+        vec![TxOut { value: 500, script_pubkey: heir_b.locking_script() }],
+        0,
+    );
+
+    // Main branch: pay A at height 1, then two empty blocks.
+    let m1 = mine_on(&chain, genesis_hash, 1, b"m1", vec![to_a]);
+    chain.add_block(m1.clone()).unwrap();
+    let m2 = mine_on(&chain, m1.hash(), 2, b"m2", vec![]);
+    chain.add_block(m2.clone()).unwrap();
+
+    // Competing branch: pay B at height 1 and outgrow the main chain.
+    let b1 = mine_on(&chain, genesis_hash, 1, b"b1", vec![to_b]);
+    chain.add_block(b1.clone()).unwrap();
+    let b2 = mine_on(&chain, b1.hash(), 2, b"b2", vec![]);
+    chain.add_block(b2.clone()).unwrap();
+    let b3 = mine_on(&chain, b2.hash(), 3, b"b3", vec![]);
+    let action = chain.add_block(b3).unwrap();
+    assert!(matches!(action, BlockAction::Reorganized { disconnected: 2, connected: 3 }));
+
+    let has = |w: &Wallet| {
+        let script = w.locking_script();
+        chain
+            .utxo()
+            .find(move |e| e.output.script_pubkey == script)
+            .count()
+    };
+    assert_eq!(has(&heir_a), 0, "branch A's payment must be unwound");
+    assert_eq!(has(&heir_b), 1, "branch B's payment must be live");
+}
