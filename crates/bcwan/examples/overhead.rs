@@ -1,0 +1,42 @@
+//! Wall-clock timing harness for `World::run`, used to bound the
+//! overhead of the observability instrumentation (tracing disabled must
+//! cost ≤ 5 % vs. the uninstrumented baseline).
+//!
+//! ```text
+//! cargo run --release -p bcwan --example overhead [exchanges] [reps]
+//! ```
+
+use bcwan::world::{WorkloadConfig, World};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let exchanges: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    // Warm-up run (page in code, allocator).
+    let _ = World::new(WorkloadConfig::tiny(exchanges, 1)).run();
+
+    let mut times = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let cfg = WorkloadConfig::tiny(exchanges, 42 + rep as u64);
+        let world = World::new(cfg);
+        let start = Instant::now();
+        let result = world.run();
+        let elapsed = start.elapsed();
+        times.push(elapsed.as_secs_f64());
+        println!(
+            "rep {rep}: {:.3} ms ({} completed)",
+            elapsed.as_secs_f64() * 1e3,
+            result.completed
+        );
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "exchanges={exchanges} reps={reps} median={:.3} ms mean={:.3} ms",
+        median * 1e3,
+        mean * 1e3
+    );
+}

@@ -249,8 +249,14 @@ mod tests {
             payload: b"new".to_vec(),
             received_at: at(3),
         });
-        assert_eq!(server.latest_from(&DeviceId(1)).unwrap().payload, b"new".to_vec());
-        assert_eq!(server.latest_from(&DeviceId(2)).unwrap().payload, b"other".to_vec());
+        assert_eq!(
+            server.latest_from(&DeviceId(1)).unwrap().payload,
+            b"new".to_vec()
+        );
+        assert_eq!(
+            server.latest_from(&DeviceId(2)).unwrap().payload,
+            b"other".to_vec()
+        );
         assert!(server.latest_from(&DeviceId(3)).is_none());
         assert_eq!(server.name(), "s");
     }

@@ -149,12 +149,7 @@ pub fn play_double_spend_mechanics(seed: u64) -> DoubleSpendMechanics {
     );
     let mut txs = vec![cb];
     txs.extend(template);
-    let block = bcwan_chain::Block::mine(
-        miner_chain.tip(),
-        height,
-        params.difficulty_bits,
-        txs,
-    );
+    let block = bcwan_chain::Block::mine(miner_chain.tip(), height, params.difficulty_bits, txs);
     miner_chain.add_block(block.clone()).expect("valid block");
     gateway_chain.add_block(block).expect("gateway follows");
 
@@ -207,11 +202,7 @@ pub struct AttackOutcome {
 /// successful conflict prevents entirely — theft requires losing the race
 /// *and* is then impossible; honest latency grows by the confirmation
 /// wait.
-pub fn simulate_attack_rates(
-    cfg: &AttackConfig,
-    trials: usize,
-    rng: &mut SimRng,
-) -> AttackOutcome {
+pub fn simulate_attack_rates(cfg: &AttackConfig, trials: usize, rng: &mut SimRng) -> AttackOutcome {
     let mut thefts = 0usize;
     let mut honest_latency = 0.0f64;
     for _ in 0..trials {
@@ -266,7 +257,10 @@ mod tests {
 
     #[test]
     fn mechanics_deterministic() {
-        assert_eq!(play_double_spend_mechanics(7), play_double_spend_mechanics(7));
+        assert_eq!(
+            play_double_spend_mechanics(7),
+            play_double_spend_mechanics(7)
+        );
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! periods upon each block arrival", which separates Fig. 5 from Fig. 6.
 
 use crate::costs::CostModel;
-use bcwan_chain::{
-    Block, BlockAction, Chain, ChainError, Mempool, MempoolError, Transaction,
-};
+use bcwan_chain::{Block, BlockAction, Chain, ChainError, Mempool, MempoolError, Transaction};
 use bcwan_p2p::RelayState;
 use bcwan_sim::{SimDuration, SimRng, SimTime};
 
@@ -206,12 +204,11 @@ mod tests {
         let block = next_block(&daemon, b"a");
         let (done, action) = daemon.accept_block(SimTime::ZERO, block, &mut rng);
         assert!(matches!(action, Ok(BlockAction::Extended(1))));
-        assert!(done.as_secs_f64() > 5.0, "stall should freeze, got {done}");
+        // The stall base is ~5.5 s with log-normal jitter; any draw is
+        // well over the no-stall cost, which is what this test pins.
+        assert!(done.as_secs_f64() > 3.0, "stall should freeze, got {done}");
         assert_eq!(daemon.stats().stalls, 1);
         // A transaction arriving during the freeze waits it out.
-        let (mut d2, wallet) = make_daemon(false);
-        let _ = d2;
-        let _ = wallet;
         assert!(daemon.busy_until() > SimTime::ZERO);
     }
 
@@ -222,15 +219,24 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(3);
         for i in 0..daemon.chain.params().coinbase_maturity {
             let block = next_block(&daemon, &[i as u8]);
-            daemon.accept_block(SimTime::ZERO, block, &mut rng).1.unwrap();
+            daemon
+                .accept_block(SimTime::ZERO, block, &mut rng)
+                .1
+                .unwrap();
         }
         let coin = {
             let cb = &daemon.chain.block_at(0).unwrap().transactions[0];
-            bcwan_chain::OutPoint { txid: cb.txid(), vout: 0 }
+            bcwan_chain::OutPoint {
+                txid: cb.txid(),
+                vout: 0,
+            }
         };
         let tx = wallet.build_payment(
             vec![(coin, wallet.locking_script())],
-            vec![TxOut { value: 9_990, script_pubkey: Script::new() }],
+            vec![TxOut {
+                value: 9_990,
+                script_pubkey: Script::new(),
+            }],
             0,
         );
         let (_, result) = daemon.accept_transaction(SimTime::ZERO, tx, &CostModel::pi_class());
@@ -248,10 +254,14 @@ mod tests {
         // A competing block at height 1: still verified, still stalls.
         let stalls_before = daemon.stats().stalls;
         let alt = {
-            let cb = Transaction::coinbase(1, b"alt", vec![TxOut {
-                value: daemon.chain.params().coinbase_reward,
-                script_pubkey: Script::new(),
-            }]);
+            let cb = Transaction::coinbase(
+                1,
+                b"alt",
+                vec![TxOut {
+                    value: daemon.chain.params().coinbase_reward,
+                    script_pubkey: Script::new(),
+                }],
+            );
             Block::mine(
                 daemon.chain.block_at(0).unwrap().hash(),
                 1,

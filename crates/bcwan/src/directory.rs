@@ -221,7 +221,10 @@ mod tests {
         dir.absorb(ann(1, 30, 2)); // stale, ignored
         assert_eq!(
             dir.lookup(&Address([1; 20])).unwrap(),
-            NetAddr { ip: [10, 0, 0, 20], port: 7000 }
+            NetAddr {
+                ip: [10, 0, 0, 20],
+                port: 7000
+            }
         );
         assert_eq!(dir.seq_of(&Address([1; 20])), Some(3));
         assert_eq!(dir.len(), 1);
@@ -245,15 +248,22 @@ mod tests {
         // Announce via a transaction in block 1 that also pays change.
         let coin = {
             let cb = &chain.block_at(0).unwrap().transactions[0];
-            bcwan_chain::OutPoint { txid: cb.txid(), vout: 0 }
+            bcwan_chain::OutPoint {
+                txid: cb.txid(),
+                vout: 0,
+            }
         };
         // Mature the coinbase first.
         let mut parent = chain.tip();
         for h in 1..=params.coinbase_maturity {
-            let cb = Transaction::coinbase(h, b"m", vec![TxOut {
-                value: params.coinbase_reward,
-                script_pubkey: Script::new(),
-            }]);
+            let cb = Transaction::coinbase(
+                h,
+                b"m",
+                vec![TxOut {
+                    value: params.coinbase_reward,
+                    script_pubkey: Script::new(),
+                }],
+            );
             let b = bcwan_chain::Block::mine(parent, h, params.difficulty_bits, vec![cb]);
             parent = b.hash();
             chain.add_block(b).unwrap();
@@ -263,15 +273,22 @@ mod tests {
             vec![(coin, wallet.locking_script())],
             vec![
                 announcement.to_output(),
-                TxOut { value: 9_000, script_pubkey: wallet.locking_script() },
+                TxOut {
+                    value: 9_000,
+                    script_pubkey: wallet.locking_script(),
+                },
             ],
             0,
         );
         let height = chain.height() + 1;
-        let cb = Transaction::coinbase(height, b"m", vec![TxOut {
-            value: params.coinbase_reward + 1_000,
-            script_pubkey: Script::new(),
-        }]);
+        let cb = Transaction::coinbase(
+            height,
+            b"m",
+            vec![TxOut {
+                value: params.coinbase_reward + 1_000,
+                script_pubkey: Script::new(),
+            }],
+        );
         let block = bcwan_chain::Block::mine(parent, height, params.difficulty_bits, vec![cb, tx]);
         chain.add_block(block).unwrap();
 
@@ -279,13 +296,19 @@ mod tests {
         assert_eq!(dir.len(), 1);
         assert_eq!(
             dir.lookup(&Address([0xaa; 20])),
-            Some(NetAddr { ip: [10, 0, 0, 77], port: 7000 })
+            Some(NetAddr {
+                ip: [10, 0, 0, 77],
+                port: 7000
+            })
         );
     }
 
     #[test]
     fn netaddr_display() {
-        let n = NetAddr { ip: [192, 168, 1, 10], port: 9000 };
+        let n = NetAddr {
+            ip: [192, 168, 1, 10],
+            port: 9000,
+        };
         assert_eq!(n.to_string(), "192.168.1.10:9000");
     }
 }

@@ -156,7 +156,10 @@ mod tests {
         assert_eq!(epoch_of(0, 100), 0);
         assert_eq!(epoch_of(99, 100), 0);
         assert_eq!(epoch_of(100, 100), 1);
-        assert_eq!(mastership_share(&Address([0; 20]), &fleet(2), GatewayId(0), 0), 0.0);
+        assert_eq!(
+            mastership_share(&Address([0; 20]), &fleet(2), GatewayId(0), 0),
+            0.0
+        );
     }
 
     #[test]

@@ -62,12 +62,8 @@ pub fn build_escrow(
         "escrow coins {total} cannot cover reward {reward} + fee {fee}"
     );
     let refund_height = current_height + REFUND_DELTA;
-    let script = ephemeral_key_release(
-        e_pk,
-        &gateway_address.0,
-        &wallet.address().0,
-        refund_height,
-    );
+    let script =
+        ephemeral_key_release(e_pk, &gateway_address.0, &wallet.address().0, refund_height);
     let mut outputs = vec![TxOut {
         value: reward,
         script_pubkey: script.clone(),
@@ -156,16 +152,12 @@ pub fn find_escrow_for_key(tx: &Transaction, e_pk: &RsaPublicKey) -> Option<(u32
         if let Some(bcwan_script::Instruction::Push(first)) =
             output.script_pubkey.instructions().first()
         {
-            let has_pair_op = output
-                .script_pubkey
-                .instructions()
-                .get(1)
-                .is_some_and(|i| {
-                    matches!(
-                        i,
-                        bcwan_script::Instruction::Op(bcwan_script::Opcode::CheckRsa512Pair)
-                    )
-                });
+            let has_pair_op = output.script_pubkey.instructions().get(1).is_some_and(|i| {
+                matches!(
+                    i,
+                    bcwan_script::Instruction::Op(bcwan_script::Opcode::CheckRsa512Pair)
+                )
+            });
             if has_pair_op && *first == needle {
                 return Some((vout as u32, output.value));
             }
@@ -213,7 +205,10 @@ mod tests {
         let chain = Chain::new(params.clone(), genesis);
         let cb = &chain.block_at(0).unwrap().transactions[0];
         let coin = (
-            OutPoint { txid: cb.txid(), vout: 0 },
+            OutPoint {
+                txid: cb.txid(),
+                vout: 0,
+            },
             recipient.locking_script(),
             10_000,
         );
@@ -239,7 +234,7 @@ mod tests {
         let s = setup();
         let escrow = build_escrow(
             &s.recipient,
-            &[s.coin.clone()],
+            std::slice::from_ref(&s.coin),
             &s.e_pk,
             &s.gateway.address(),
             100,
@@ -260,7 +255,7 @@ mod tests {
         let s = setup();
         let escrow = build_escrow(
             &s.recipient,
-            &[s.coin.clone()],
+            std::slice::from_ref(&s.coin),
             &s.e_pk,
             &s.gateway.address(),
             100,
@@ -270,9 +265,17 @@ mod tests {
         // Put the escrow into the UTXO view.
         let mut utxo = s.chain.utxo().clone();
         let mut undo = bcwan_chain::utxo::UndoData::default();
-        utxo.apply_transaction(&escrow.tx, mature(&s), &mut undo).unwrap();
+        utxo.apply_transaction(&escrow.tx, mature(&s), &mut undo)
+            .unwrap();
 
-        let claim = build_claim(&s.gateway, escrow.outpoint(), &escrow.script, 100, &s.e_sk, 5);
+        let claim = build_claim(
+            &s.gateway,
+            escrow.outpoint(),
+            &escrow.script,
+            100,
+            &s.e_sk,
+            5,
+        );
         let fee = validate_transaction(&claim, &utxo, mature(&s), &s.params)
             .expect("claim valid without any lock time");
         assert_eq!(fee, 5);
@@ -288,7 +291,7 @@ mod tests {
         let s = setup();
         let escrow = build_escrow(
             &s.recipient,
-            &[s.coin.clone()],
+            std::slice::from_ref(&s.coin),
             &s.e_pk,
             &s.gateway.address(),
             100,
@@ -297,10 +300,18 @@ mod tests {
         );
         let mut utxo = s.chain.utxo().clone();
         let mut undo = bcwan_chain::utxo::UndoData::default();
-        utxo.apply_transaction(&escrow.tx, mature(&s), &mut undo).unwrap();
+        utxo.apply_transaction(&escrow.tx, mature(&s), &mut undo)
+            .unwrap();
 
         let (_, wrong_sk) = generate_keypair(&mut rng, RsaKeySize::Rsa512);
-        let claim = build_claim(&s.gateway, escrow.outpoint(), &escrow.script, 100, &wrong_sk, 5);
+        let claim = build_claim(
+            &s.gateway,
+            escrow.outpoint(),
+            &escrow.script,
+            100,
+            &wrong_sk,
+            5,
+        );
         assert!(validate_transaction(&claim, &utxo, mature(&s), &s.params).is_err());
     }
 
@@ -309,7 +320,7 @@ mod tests {
         let s = setup();
         let escrow = build_escrow(
             &s.recipient,
-            &[s.coin.clone()],
+            std::slice::from_ref(&s.coin),
             &s.e_pk,
             &s.gateway.address(),
             100,
@@ -318,7 +329,8 @@ mod tests {
         );
         let mut utxo = s.chain.utxo().clone();
         let mut undo = bcwan_chain::utxo::UndoData::default();
-        utxo.apply_transaction(&escrow.tx, mature(&s), &mut undo).unwrap();
+        utxo.apply_transaction(&escrow.tx, mature(&s), &mut undo)
+            .unwrap();
 
         let refund = build_refund(&s.recipient, &escrow, 100, 5);
         // Too early: the transaction itself is not final.
@@ -334,7 +346,7 @@ mod tests {
         let s = setup();
         let escrow = build_escrow(
             &s.recipient,
-            &[s.coin.clone()],
+            std::slice::from_ref(&s.coin),
             &s.e_pk,
             &s.gateway.address(),
             100,
@@ -343,7 +355,8 @@ mod tests {
         );
         let mut utxo = s.chain.utxo().clone();
         let mut undo = bcwan_chain::utxo::UndoData::default();
-        utxo.apply_transaction(&escrow.tx, mature(&s), &mut undo).unwrap();
+        utxo.apply_transaction(&escrow.tx, mature(&s), &mut undo)
+            .unwrap();
 
         // Gateway forges a "refund" to itself after the lock height.
         let fake = Escrow {
@@ -361,7 +374,7 @@ mod tests {
         let s = setup();
         let escrow = build_escrow(
             &s.recipient,
-            &[s.coin.clone()],
+            std::slice::from_ref(&s.coin),
             &s.e_pk,
             &s.gateway.address(),
             250,

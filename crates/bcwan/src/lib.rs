@@ -44,9 +44,9 @@
 pub mod app_server;
 pub mod attack;
 pub mod costs;
-pub mod election;
 pub mod daemon;
 pub mod directory;
+pub mod election;
 pub mod escrow;
 pub mod exchange;
 pub mod provisioning;

@@ -36,7 +36,11 @@ pub struct DeviceCredentials {
 impl fmt::Debug for DeviceCredentials {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Key material stays out of logs.
-        write!(f, "DeviceCredentials({}, @R {})", self.device_id, self.recipient)
+        write!(
+            f,
+            "DeviceCredentials({}, @R {})",
+            self.device_id, self.recipient
+        )
     }
 }
 
@@ -142,7 +146,11 @@ mod tests {
         let b = registry.provision(&mut rng, DeviceId(2), Address([0; 20]));
         assert_ne!(a.aes_key, b.aes_key);
         let sig = a.signing_key.sign(b"x");
-        assert!(!registry.get(&DeviceId(2)).unwrap().verify_key.verify(b"x", &sig));
+        assert!(!registry
+            .get(&DeviceId(2))
+            .unwrap()
+            .verify_key
+            .verify(b"x", &sig));
         assert_eq!(registry.len(), 2);
     }
 

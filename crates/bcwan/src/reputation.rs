@@ -121,10 +121,7 @@ pub fn run_reputation_baseline(
             *scores.get_mut(&gateway).expect("known") += cfg.reward_delta;
         }
     }
-    outcome.banned_gateways = scores
-        .values()
-        .filter(|&&s| s <= cfg.ban_threshold)
-        .count();
+    outcome.banned_gateways = scores.values().filter(|&&s| s <= cfg.ban_threshold).count();
     outcome
 }
 
@@ -179,7 +176,12 @@ mod tests {
             3000,
             &mut rng,
         );
-        assert!(high.stolen > low.stolen, "{} vs {}", high.stolen, low.stolen);
+        assert!(
+            high.stolen > low.stolen,
+            "{} vs {}",
+            high.stolen,
+            low.stolen
+        );
     }
 
     #[test]

@@ -80,12 +80,7 @@ mod tests {
                 script_pubkey: Script::new(),
             }],
         );
-        let block = bcwan_chain::Block::mine(
-            chain.tip(),
-            height,
-            params.difficulty_bits,
-            vec![cb],
-        );
+        let block = bcwan_chain::Block::mine(chain.tip(), height, params.difficulty_bits, vec![cb]);
         chain.add_block(block).unwrap();
     }
 
@@ -139,7 +134,10 @@ mod tests {
             txid: veteran.block_at(0).unwrap().transactions[0].txid(),
             vout: 0,
         };
-        let endpoint = NetAddr { ip: [10, 1, 2, 3], port: 7000 };
+        let endpoint = NetAddr {
+            ip: [10, 1, 2, 3],
+            port: 7000,
+        };
         let ann = IpAnnouncement {
             address: wallet.address(),
             endpoint,
@@ -149,7 +147,10 @@ mod tests {
             vec![(coin, wallet.locking_script())],
             vec![
                 ann.to_output(),
-                TxOut { value: 990, script_pubkey: wallet.locking_script() },
+                TxOut {
+                    value: 990,
+                    script_pubkey: wallet.locking_script(),
+                },
             ],
             0,
         );
@@ -162,12 +163,8 @@ mod tests {
                 script_pubkey: Script::new(),
             }],
         );
-        let block = bcwan_chain::Block::mine(
-            veteran.tip(),
-            height,
-            params.difficulty_bits,
-            vec![cb, tx],
-        );
+        let block =
+            bcwan_chain::Block::mine(veteran.tip(), height, params.difficulty_bits, vec![cb, tx]);
         veteran.add_block(block).unwrap();
 
         let (outcome, directory) = bootstrap_from_peer(&mut newcomer, &veteran);
@@ -185,10 +182,14 @@ mod tests {
             bcwan_chain::BlockHash([0xee; 32]),
             9,
             params.difficulty_bits,
-            vec![Transaction::coinbase(9, b"junk", vec![TxOut {
-                value: 1,
-                script_pubkey: Script::new(),
-            }])],
+            vec![Transaction::coinbase(
+                9,
+                b"junk",
+                vec![TxOut {
+                    value: 1,
+                    script_pubkey: Script::new(),
+                }],
+            )],
         );
         blocks.push(junk);
         let outcome = catch_up(&mut newcomer, blocks);

@@ -21,6 +21,10 @@ pub enum WanMessage {
     },
 }
 
+/// Number of distinct [`WanMessage::kind`] labels (`tx`, `block`, `sync`,
+/// `deliver`) — the width of per-kind counter arrays.
+pub const KIND_COUNT: usize = 4;
+
 impl WanMessage {
     /// Short label for logs/metrics.
     pub fn kind(&self) -> &'static str {
@@ -29,6 +33,32 @@ impl WanMessage {
             WanMessage::Chain(ChainMessage::Block(_)) => "block",
             WanMessage::Chain(_) => "sync",
             WanMessage::Deliver { .. } => "deliver",
+        }
+    }
+
+    /// Dense index of [`WanMessage::kind`], for per-kind counter arrays
+    /// (`< KIND_COUNT`).
+    pub fn kind_index(&self) -> usize {
+        match self {
+            WanMessage::Chain(ChainMessage::Tx(_)) => 0,
+            WanMessage::Chain(ChainMessage::Block(_)) => 1,
+            WanMessage::Chain(_) => 2,
+            WanMessage::Deliver { .. } => 3,
+        }
+    }
+
+    /// Approximate on-the-wire size in bytes: one tag byte plus the
+    /// payload's serialized size. Used for traffic accounting, not for
+    /// actual framing.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            WanMessage::Chain(ChainMessage::Tx(tx)) => 1 + tx.size(),
+            WanMessage::Chain(ChainMessage::Block(block)) => 1 + block.size(),
+            // Sync requests/announces carry at most a hash and a height.
+            WanMessage::Chain(_) => 1 + 32 + 8,
+            WanMessage::Deliver {
+                e_pk_bytes, uplink, ..
+            } => 1 + 4 + e_pk_bytes.len() + uplink.em.len() + uplink.sig.len(),
         }
     }
 }
@@ -48,6 +78,26 @@ mod tests {
             },
         };
         assert_eq!(deliver.kind(), "deliver");
-        assert_eq!(WanMessage::Chain(ChainMessage::GetBlocksFrom(0)).kind(), "sync");
+        assert_eq!(
+            WanMessage::Chain(ChainMessage::GetBlocksFrom(0)).kind(),
+            "sync"
+        );
+    }
+
+    #[test]
+    fn kind_index_is_dense() {
+        let deliver = WanMessage::Deliver {
+            device_id: DeviceId(1),
+            e_pk_bytes: vec![0; 10],
+            uplink: SealedUplink {
+                em: vec![0; 64],
+                sig: vec![0; 64],
+            },
+        };
+        assert!(deliver.kind_index() < KIND_COUNT);
+        assert_eq!(deliver.wire_size(), 1 + 4 + 10 + 64 + 64);
+        let sync = WanMessage::Chain(ChainMessage::GetBlocksFrom(7));
+        assert_eq!(sync.wire_size(), 41);
+        assert_ne!(sync.kind_index(), deliver.kind_index());
     }
 }

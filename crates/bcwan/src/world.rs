@@ -18,7 +18,7 @@ use crate::directory::{Directory, IpAnnouncement, NetAddr};
 use crate::escrow::{self, Escrow};
 use crate::exchange::{open_reading, seal_reading, verify_uplink, SealedUplink};
 use crate::provisioning::{DeviceCredentials, DeviceId, DeviceRegistry};
-use crate::wire::WanMessage;
+use crate::wire::{WanMessage, KIND_COUNT};
 use bcwan_chain::{
     Block, BlockAction, Chain, ChainParams, OutPoint, Transaction, TxId, TxOut, Wallet,
 };
@@ -29,7 +29,8 @@ use bcwan_lora::params::RadioConfig;
 use bcwan_p2p::{ChainMessage, Delivery, FaultModel, Network, NodeId, Topology};
 use bcwan_script::Script;
 use bcwan_sim::{
-    run, Actor, EventQueue, LatencyModel, Series, SimDuration, SimRng, SimTime,
+    run, Actor, CounterId, EventQueue, HistogramId, LatencyModel, Registry, Series, SimDuration,
+    SimRng, SimTime, Snapshot, Tracer,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -75,6 +76,10 @@ pub struct WorkloadConfig {
     /// Hard wall on simulated time (guards against stalls starving the
     /// run forever).
     pub max_sim_time: SimDuration,
+    /// Record per-exchange phase spans through the sim-time [`Tracer`].
+    /// Off by default: with tracing disabled every tracer call is a
+    /// single branch, keeping `World::run` within its overhead budget.
+    pub tracing: bool,
 }
 
 impl WorkloadConfig {
@@ -98,6 +103,7 @@ impl WorkloadConfig {
             lora_loss_probability: 0.0,
             seed: 2018,
             max_sim_time: SimDuration::from_secs(24 * 3600),
+            tracing: false,
         }
     }
 
@@ -130,7 +136,14 @@ impl WorkloadConfig {
             lora_loss_probability: 0.0,
             seed,
             max_sim_time: SimDuration::from_secs(24 * 3600),
+            tracing: false,
         }
+    }
+
+    /// Enables phase tracing (builder style).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
     }
 }
 
@@ -162,6 +175,13 @@ pub struct ExperimentResult {
     pub phase_forward: Series,
     /// Phase breakdown: escrow build/gossip + claim + decryption.
     pub phase_settlement: Series,
+    /// Frozen metrics registry: `world.*`, `wan.*`, `daemon.*`,
+    /// `chain.*`, `mempool.*`, and `net.*` rows (see EXPERIMENTS.md,
+    /// "Reading the metrics").
+    pub metrics: Snapshot,
+    /// Tracer phase-duration series in seconds, sorted by phase name.
+    /// Empty unless [`WorkloadConfig::tracing`] was set.
+    pub phases: Vec<(String, Series)>,
 }
 
 /// Retransmission budget per radio frame before the exchange aborts.
@@ -265,14 +285,36 @@ impl Host {
             }
             // Prefer the smallest sufficient coin, deterministically.
             match choice {
-                Some((best_op, best_v))
-                    if (entry.output.value, *op) >= (best_v, best_op) => {}
+                Some((best_op, best_v)) if (entry.output.value, *op) >= (best_v, best_op) => {}
                 _ => choice = Some((*op, entry.output.value)),
             }
         }
         let (op, value) = choice?;
         self.reserved.insert(op);
         Some((op, script, value))
+    }
+}
+
+/// Hot-path metric handles, registered once at world construction.
+struct Meters {
+    frames_lost: CounterId,
+    radio_retries: CounterId,
+    wan_msgs: [CounterId; KIND_COUNT],
+    wan_bytes: [CounterId; KIND_COUNT],
+    latency: HistogramId,
+}
+
+impl Meters {
+    fn register(reg: &mut Registry) -> Self {
+        let kind = |prefix: &str, k: &str| format!("wan.{prefix}.{k}_total");
+        let kinds = ["tx", "block", "sync", "deliver"];
+        Meters {
+            frames_lost: reg.counter("world.lora_frames_lost_total"),
+            radio_retries: reg.counter("world.lora_retries_total"),
+            wan_msgs: kinds.map(|k| reg.counter(&kind("messages", k))),
+            wan_bytes: kinds.map(|k| reg.counter(&kind("bytes", k))),
+            latency: reg.histogram("world.exchange_latency_seconds"),
+        }
     }
 }
 
@@ -294,6 +336,9 @@ pub struct World {
     blocks_mined: u64,
     /// Mean inter-send interval per sensor.
     send_interval: SimDuration,
+    registry: Registry,
+    meters: Meters,
+    tracer: Tracer,
 }
 
 impl World {
@@ -362,9 +407,7 @@ impl World {
                 cfg.chain_params.difficulty_bits,
                 vec![cb],
             );
-            genesis_chain
-                .add_block(block)
-                .expect("warm-up block valid");
+            genesis_chain.add_block(block).expect("warm-up block valid");
         }
 
         // Hosts share the bootstrapped chain.
@@ -424,8 +467,11 @@ impl World {
             SimDuration::from_secs_f64(min_interval.as_secs_f64() * cfg.load_factor);
 
         let topology = Topology::full_mesh(n_hosts as u32);
-        let network =
-            Network::new(topology, cfg.latency.clone()).with_faults(cfg.faults.clone());
+        let network = Network::new(topology, cfg.latency.clone()).with_faults(cfg.faults.clone());
+
+        let mut registry = Registry::new();
+        let meters = Meters::register(&mut registry);
+        let tracer = Tracer::new(cfg.tracing);
 
         World {
             rng,
@@ -442,6 +488,9 @@ impl World {
             started: 0,
             blocks_mined: 0,
             send_interval,
+            registry,
+            meters,
+            tracer,
             cfg,
         }
     }
@@ -480,6 +529,79 @@ impl World {
             .map(|b| b.transactions.len().saturating_sub(1))
             .sum();
         let app_readings = self.hosts.iter().map(|h| h.apps.total_readings()).sum();
+
+        // Fold the run lifecycle and every subsystem's counters into the
+        // registry so one snapshot describes the whole experiment.
+        let reg = &mut self.registry;
+        reg.set_counter("world.exchanges_started_total", self.started as u64);
+        reg.set_counter("world.exchanges_completed_total", self.completed as u64);
+        reg.set_counter("world.exchanges_failed_total", self.failed as u64);
+        reg.set_counter("world.blocks_mined_total", self.blocks_mined);
+        reg.set_gauge("world.sim_time_seconds", sim_time.as_secs_f64());
+
+        let daemon_totals = self
+            .hosts
+            .iter()
+            .map(|h| h.daemon.stats())
+            .fold((0u64, 0u64), |(blocks, txs), st| {
+                (blocks + st.blocks_accepted, txs + st.txs_accepted)
+            });
+        reg.set_counter("daemon.blocks_accepted_total", daemon_totals.0);
+        reg.set_counter("daemon.txs_accepted_total", daemon_totals.1);
+        reg.set_counter("daemon.stalls_total", stalls);
+        reg.set_gauge("daemon.stall_seconds_total", total_stall.as_secs_f64());
+
+        let chain_stats = self.hosts[0].daemon.chain.stats();
+        reg.set_counter("chain.blocks_connected_total", chain_stats.blocks_connected);
+        reg.set_counter(
+            "chain.blocks_disconnected_total",
+            chain_stats.blocks_disconnected,
+        );
+        reg.set_counter("chain.reorgs_total", chain_stats.reorgs);
+        reg.set_counter("chain.txs_connected_total", chain_stats.txs_connected);
+        reg.set_counter("chain.utxos_created_total", chain_stats.utxos_created);
+        reg.set_counter("chain.utxos_spent_total", chain_stats.utxos_spent);
+
+        let pool = self.hosts.iter().map(|h| h.daemon.mempool.stats()).fold(
+            bcwan_chain::MempoolStats::default(),
+            |mut acc, s| {
+                acc.accepted += s.accepted;
+                acc.rejected_duplicate += s.rejected_duplicate;
+                acc.rejected_conflict += s.rejected_conflict;
+                acc.rejected_invalid += s.rejected_invalid;
+                acc.evicted += s.evicted;
+                acc
+            },
+        );
+        reg.set_counter("mempool.accepted_total", pool.accepted);
+        reg.set_counter("mempool.rejected_duplicate_total", pool.rejected_duplicate);
+        reg.set_counter("mempool.rejected_conflict_total", pool.rejected_conflict);
+        reg.set_counter("mempool.rejected_invalid_total", pool.rejected_invalid);
+        reg.set_counter("mempool.evicted_total", pool.evicted);
+
+        let net = self.network.stats();
+        reg.set_counter("net.sent_total", net.sent);
+        reg.set_counter("net.delivered_total", net.delivered);
+        reg.set_counter("net.dropped_fault_total", net.dropped_fault);
+        reg.set_counter("net.dropped_partition_total", net.dropped_partition);
+        reg.set_counter("net.duplicated_total", net.duplicated);
+
+        if self.tracer.is_enabled() {
+            reg.set_counter("trace.unmatched_ends_total", self.tracer.unmatched_ends());
+            reg.set_gauge("trace.open_spans", self.tracer.open_spans() as f64);
+        }
+
+        let phases: Vec<(String, Series)> = self
+            .tracer
+            .phase_names()
+            .into_iter()
+            .filter_map(|name| {
+                self.tracer
+                    .durations(name)
+                    .map(|s| (name.to_string(), s.clone()))
+            })
+            .collect();
+
         ExperimentResult {
             completed: self.completed,
             failed: self.failed,
@@ -493,6 +615,8 @@ impl World {
             phase_radio: self.phase_radio,
             phase_forward: self.phase_forward,
             phase_settlement: self.phase_settlement,
+            metrics: self.registry.snapshot(),
+            phases,
         }
     }
 
@@ -506,19 +630,23 @@ impl World {
     }
 
     /// Floods a chain message from `from` to all its peers.
-    fn flood(
-        &mut self,
-        queue: &mut EventQueue<Event>,
-        at: SimTime,
-        from: u32,
-        msg: &WanMessage,
-    ) {
-        let deliveries = self
-            .network
-            .broadcast(&mut self.rng, NodeId(from), msg);
+    fn flood(&mut self, queue: &mut EventQueue<Event>, at: SimTime, from: u32, msg: &WanMessage) {
+        let deliveries = self.network.broadcast(&mut self.rng, NodeId(from), msg);
+        self.count_wan(msg, deliveries.len());
         for (delay, delivery) in deliveries {
             queue.schedule_at(at + delay, Event::Wan(delivery));
         }
+    }
+
+    /// Accounts `copies` transmissions of `msg` by kind.
+    fn count_wan(&mut self, msg: &WanMessage, copies: usize) {
+        if copies == 0 {
+            return;
+        }
+        let k = msg.kind_index();
+        self.registry.add(self.meters.wan_msgs[k], copies as u64);
+        self.registry
+            .add(self.meters.wan_bytes[k], (msg.wire_size() * copies) as u64);
     }
 
     /// Unicasts a WAN message over a TCP-like reliable connection (the
@@ -535,18 +663,31 @@ impl World {
             self.network
                 .transmit_reliable(&mut self.rng, NodeId(from), NodeId(to), msg)
         {
+            self.count_wan(&delivery.msg, 1);
             queue.schedule_at(at + delay, Event::Wan(delivery));
         }
     }
 
     /// Samples LoRa frame loss.
     fn frame_lost(&mut self) -> bool {
-        self.rng.chance(self.cfg.lora_loss_probability)
+        let lost = self.rng.chance(self.cfg.lora_loss_probability);
+        if lost {
+            self.registry.inc(self.meters.frames_lost);
+        }
+        lost
     }
 
     /// Puts the request frame on the air and arms the retry timer.
-    fn send_request(&mut self, now: SimTime, exchange: usize, attempt: u32, queue: &mut EventQueue<Event>) {
+    fn send_request(
+        &mut self,
+        now: SimTime,
+        exchange: usize,
+        attempt: u32,
+        queue: &mut EventQueue<Event>,
+    ) {
         let request_air = self.airtime(28);
+        self.tracer
+            .span_start("request_uplink", exchange as u64, now);
         if !self.frame_lost() {
             queue.schedule_at(now + request_air, Event::RequestArrived { exchange });
         }
@@ -558,7 +699,13 @@ impl World {
     }
 
     /// Puts the data frame on the air and arms the retry timer.
-    fn send_data(&mut self, now: SimTime, exchange: usize, attempt: u32, queue: &mut EventQueue<Event>) {
+    fn send_data(
+        &mut self,
+        now: SimTime,
+        exchange: usize,
+        attempt: u32,
+        queue: &mut EventQueue<Event>,
+    ) {
         let data_air = self.airtime(160);
         if !self.frame_lost() {
             queue.schedule_at(now + data_air, Event::DataArrived { exchange });
@@ -588,6 +735,7 @@ impl World {
             self.failed += 1;
             return;
         }
+        self.registry.inc(self.meters.radio_retries);
         self.send_request(now, exchange, attempt + 1, queue);
     }
 
@@ -608,6 +756,7 @@ impl World {
             self.failed += 1;
             return;
         }
+        self.registry.inc(self.meters.radio_retries);
         self.send_data(now, exchange, attempt + 1, queue);
     }
 
@@ -647,16 +796,14 @@ impl World {
                 self.started += 1;
                 // Duty bookkeeping for the whole exchange.
                 let air = self.airtime(28) + self.airtime(160);
-                let off =
-                    SimDuration::from_secs_f64(air.as_secs_f64() / self.cfg.duty_cycle);
+                let off = SimDuration::from_secs_f64(air.as_secs_f64() / self.cfg.duty_cycle);
                 self.sensors[sensor_idx].next_allowed = now + off;
                 // Request frame flies (with loss + retry semantics).
                 self.send_request(now, exchange, 0, queue);
             }
             // Schedule the next initiation.
-            let gap = SimDuration::from_secs_f64(
-                self.rng.exponential(self.send_interval.as_secs_f64()),
-            );
+            let gap =
+                SimDuration::from_secs_f64(self.rng.exponential(self.send_interval.as_secs_f64()));
             queue.schedule_in(gap, Event::SensorFire { sensor: sensor_idx });
         }
     }
@@ -667,20 +814,21 @@ impl World {
         exchange: usize,
         queue: &mut EventQueue<Event>,
     ) {
+        self.tracer.span_end("request_uplink", exchange as u64, now);
         // A retransmitted request for an existing session resends the
         // same ephemeral key instead of generating a new one.
         if self.exchanges[exchange].e_pk.is_some() {
             queue.schedule_at(now, Event::KeySent { exchange });
             return;
         }
+        self.tracer.span_start("keygen", exchange as u64, now);
         let gateway = self.exchanges[exchange].gateway;
         let rsa_size = self.cfg.rsa_size;
         let keygen_cost = self.cfg.costs.rsa_keygen;
         let host = &mut self.hosts[gateway as usize];
         // Real keygen on the gateway CPU.
         let (e_pk, e_sk) = generate_keypair(&mut host.rng, rsa_size);
-        host.sessions
-            .insert(e_pk.to_bytes(), (exchange, e_sk));
+        host.sessions.insert(e_pk.to_bytes(), (exchange, e_sk));
         self.exchanges[exchange].e_pk = Some(e_pk);
         let done = host.occupy_cpu(now, keygen_cost);
         queue.schedule_at(done, Event::KeySent { exchange });
@@ -691,7 +839,9 @@ impl World {
         // Retransmissions keep the original start.
         if self.exchanges[exchange].measure_start.is_none() {
             self.exchanges[exchange].measure_start = Some(now);
+            self.tracer.span_end("keygen", exchange as u64, now);
         }
+        self.tracer.span_start("key_downlink", exchange as u64, now);
         let e_pk = self.exchanges[exchange]
             .e_pk
             .as_ref()
@@ -712,16 +862,14 @@ impl World {
         // resends the request; the gateway reuses the same session.
     }
 
-    fn handle_key_arrived(
-        &mut self,
-        now: SimTime,
-        exchange: usize,
-        queue: &mut EventQueue<Event>,
-    ) {
+    fn handle_key_arrived(&mut self, now: SimTime, exchange: usize, queue: &mut EventQueue<Event>) {
         let ex = &self.exchanges[exchange];
         if ex.uplink.is_some() {
             return; // duplicate key downlink (retry path); data already sent
         }
+        self.tracer.span_end("key_downlink", exchange as u64, now);
+        self.tracer.span_start("data_uplink", exchange as u64, now);
+        let ex = &self.exchanges[exchange];
         let sensor = &self.sensors[ex.sensor];
         let e_pk = ex.e_pk.as_ref().expect("key present");
         // Node CPU: AES + RSA wrap + sign (real crypto).
@@ -755,6 +903,9 @@ impl World {
         }
         self.exchanges[exchange].data_accepted = true;
         self.exchanges[exchange].data_at_gateway = Some(now);
+        self.tracer.span_end("data_uplink", exchange as u64, now);
+        self.tracer
+            .span_start("gateway_forward", exchange as u64, now);
         let (gateway, home) = {
             let ex = &self.exchanges[exchange];
             (ex.gateway, ex.home)
@@ -791,9 +942,7 @@ impl World {
                 e_pk_bytes,
                 uplink,
             } => self.handle_deliver(now, to, device_id, e_pk_bytes, uplink, queue),
-            WanMessage::Chain(ChainMessage::Tx(tx)) => {
-                self.handle_chain_tx(now, to, tx, queue)
-            }
+            WanMessage::Chain(ChainMessage::Tx(tx)) => self.handle_chain_tx(now, to, tx, queue),
             WanMessage::Chain(ChainMessage::Block(block)) => {
                 self.handle_chain_block(now, to, block, queue)
             }
@@ -817,18 +966,14 @@ impl World {
         };
         // Which exchange is this? (Simulation-level bookkeeping only; the
         // protocol itself keys on device + ephemeral key.)
-        let Some(exchange) = self
-            .exchanges
-            .iter()
-            .position(|ex| {
-                !ex.done
-                    && ex.home == to
-                    && ex
-                        .e_pk
-                        .as_ref()
-                        .is_some_and(|pk| pk.to_bytes() == e_pk_bytes)
-            })
-        else {
+        let Some(exchange) = self.exchanges.iter().position(|ex| {
+            !ex.done
+                && ex.home == to
+                && ex
+                    .e_pk
+                    .as_ref()
+                    .is_some_and(|pk| pk.to_bytes() == e_pk_bytes)
+        }) else {
             self.failed += 1;
             return;
         };
@@ -851,6 +996,8 @@ impl World {
         }
         let verified_at = host.occupy_cpu(now, verify_cost);
         self.exchanges[exchange].delivered = Some(verified_at);
+        self.tracer
+            .span_end("gateway_forward", exchange as u64, verified_at);
 
         // Step 9: escrow. Select a coin and build the transaction via the
         // daemon ("create, sign, send").
@@ -874,8 +1021,7 @@ impl World {
             current_height,
         );
         let built_at = host.daemon.occupy(verified_at, tx_build);
-        host.pending_open
-            .insert(escrow_obj.outpoint(), exchange);
+        host.pending_open.insert(escrow_obj.outpoint(), exchange);
         // Admit into own mempool and flood.
         let (admitted_at, result) =
             host.daemon
@@ -886,6 +1032,12 @@ impl World {
             return;
         }
         host.daemon.relay.mark_seen(escrow_obj.tx.txid().0);
+        self.tracer.record_span(
+            "escrow_publish",
+            admitted_at.saturating_duration_since(verified_at),
+        );
+        self.tracer
+            .span_start("confirmation_wait", exchange as u64, admitted_at);
         self.exchanges[exchange].uplink = Some(uplink);
         self.exchanges[exchange].escrow = Some(escrow_obj.clone());
         let msg = WanMessage::Chain(ChainMessage::Tx(escrow_obj.tx));
@@ -932,11 +1084,7 @@ impl World {
         tx: &Transaction,
         queue: &mut EventQueue<Event>,
     ) {
-        let session_keys: Vec<Vec<u8>> = self.hosts[to as usize]
-            .sessions
-            .keys()
-            .cloned()
-            .collect();
+        let session_keys: Vec<Vec<u8>> = self.hosts[to as usize].sessions.keys().cloned().collect();
         for key_bytes in session_keys {
             let Ok(e_pk) = RsaPublicKey::from_bytes(&key_bytes) else {
                 continue;
@@ -972,6 +1120,10 @@ impl World {
         let Some((exchange, e_sk)) = host.sessions.remove(&e_pk_bytes) else {
             return;
         };
+        self.tracer
+            .span_end("confirmation_wait", exchange as u64, now);
+        self.tracer
+            .span_start("claim_and_decrypt", exchange as u64, now);
         let escrow_script = {
             let ex = &self.exchanges[exchange];
             match &ex.escrow {
@@ -1045,6 +1197,8 @@ impl World {
                 Ok(reading) => {
                     ex.done = true;
                     self.completed += 1;
+                    self.tracer
+                        .span_end("claim_and_decrypt", exchange as u64, done);
                     // Final hop (Figs. 1–2): hand the plaintext to the
                     // customer's application server.
                     self.hosts[to as usize]
@@ -1052,20 +1206,16 @@ impl World {
                         .dispatch(device_id, reading, done)
                         .expect("default app server registered");
                     if let Some(start) = ex.measure_start {
-                        self.latencies
-                            .record(done.saturating_duration_since(start).as_secs_f64());
-                        if let (Some(at_gw), Some(delivered)) =
-                            (ex.data_at_gateway, ex.delivered)
-                        {
-                            self.phase_radio.record(
-                                at_gw.saturating_duration_since(start).as_secs_f64(),
-                            );
-                            self.phase_forward.record(
-                                delivered.saturating_duration_since(at_gw).as_secs_f64(),
-                            );
-                            self.phase_settlement.record(
-                                done.saturating_duration_since(delivered).as_secs_f64(),
-                            );
+                        let total = done.saturating_duration_since(start).as_secs_f64();
+                        self.latencies.record(total);
+                        self.registry.observe(self.meters.latency, total);
+                        if let (Some(at_gw), Some(delivered)) = (ex.data_at_gateway, ex.delivered) {
+                            self.phase_radio
+                                .record(at_gw.saturating_duration_since(start).as_secs_f64());
+                            self.phase_forward
+                                .record(delivered.saturating_duration_since(at_gw).as_secs_f64());
+                            self.phase_settlement
+                                .record(done.saturating_duration_since(delivered).as_secs_f64());
                         }
                     }
                 }
@@ -1158,12 +1308,13 @@ impl World {
             };
             if depth_ok {
                 let ex = &self.exchanges[exchange];
-                let Some(e_pk) = ex.e_pk.as_ref() else { continue };
+                let Some(e_pk) = ex.e_pk.as_ref() else {
+                    continue;
+                };
                 let e_pk_bytes = e_pk.to_bytes();
                 let (vout, value) = {
                     let host = &self.hosts[to as usize];
-                    let Some((_, tx)) = host.daemon.chain.find_transaction(&escrow_txid)
-                    else {
+                    let Some((_, tx)) = host.daemon.chain.find_transaction(&escrow_txid) else {
                         continue;
                     };
                     match escrow::find_escrow_for_key(tx, e_pk) {
@@ -1176,9 +1327,7 @@ impl World {
                 still_waiting.push((exchange, escrow_txid));
             }
         }
-        self.hosts[to as usize]
-            .awaiting_conf
-            .extend(still_waiting);
+        self.hosts[to as usize].awaiting_conf.extend(still_waiting);
     }
 
     fn handle_mine_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
@@ -1248,9 +1397,7 @@ impl Actor<Event> for World {
     fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
         match event {
             Event::SensorFire { sensor } => self.handle_sensor_fire(now, sensor, queue),
-            Event::RequestArrived { exchange } => {
-                self.handle_request_arrived(now, exchange, queue)
-            }
+            Event::RequestArrived { exchange } => self.handle_request_arrived(now, exchange, queue),
             Event::KeySent { exchange } => self.handle_key_sent(now, exchange, queue),
             Event::KeyArrived { exchange } => self.handle_key_arrived(now, exchange, queue),
             Event::DataArrived { exchange } => self.handle_data_arrived(now, exchange, queue),
@@ -1326,6 +1473,10 @@ mod tests {
 
         let mut slow_cfg = WorkloadConfig::tiny(8, 11);
         slow_cfg.chain_params = ChainParams::with_verification_stall();
+        // At 15 s blocks a tiny 8-exchange run can finish before the
+        // first block arrives; shorten the interval so stalls actually
+        // land inside the run, as in the full-scale workload.
+        slow_cfg.chain_params.target_block_interval = SimDuration::from_secs(4);
         let slow = World::new(slow_cfg).run();
 
         let fast_mean = fast.latencies.summary().unwrap().mean;
@@ -1373,6 +1524,88 @@ mod tests {
                 + result.phase_settlement.samples()[i];
             assert!((total - parts).abs() < 1e-6, "{total} vs {parts}");
         }
+    }
+
+    #[test]
+    fn tracing_decomposes_exchanges_into_phases() {
+        let result = World::new(WorkloadConfig::tiny(4, 51).with_tracing()).run();
+        assert!(result.completed >= 4);
+        let names: Vec<&str> = result.phases.iter().map(|(n, _)| n.as_str()).collect();
+        for phase in [
+            "request_uplink",
+            "keygen",
+            "key_downlink",
+            "data_uplink",
+            "gateway_forward",
+            "escrow_publish",
+            "confirmation_wait",
+            "claim_and_decrypt",
+        ] {
+            assert!(names.contains(&phase), "missing phase {phase}: {names:?}");
+        }
+        // Every completed exchange contributes one sample per phase.
+        for (name, series) in &result.phases {
+            assert!(
+                series.len() >= result.completed,
+                "{name} has {} samples for {} exchanges",
+                series.len(),
+                result.completed
+            );
+        }
+        // No stray span bookkeeping on the happy path.
+        let unmatched = result
+            .metrics
+            .counters
+            .iter()
+            .find(|(n, _)| n == "trace.unmatched_ends_total")
+            .map(|(_, v)| *v);
+        assert_eq!(unmatched, Some(0));
+    }
+
+    #[test]
+    fn tracing_off_leaves_phases_empty_and_results_identical() {
+        let traced = World::new(WorkloadConfig::tiny(4, 51).with_tracing()).run();
+        let plain = World::new(WorkloadConfig::tiny(4, 51)).run();
+        assert!(plain.phases.is_empty());
+        // Tracing is observation only: same simulation either way.
+        assert_eq!(plain.completed, traced.completed);
+        assert_eq!(plain.latencies.samples(), traced.latencies.samples());
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_run_outcome() {
+        let result = World::new(WorkloadConfig::tiny(5, 52)).run();
+        let counter = |name: &str| {
+            result
+                .metrics
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(
+            counter("world.exchanges_completed_total"),
+            result.completed as u64
+        );
+        assert_eq!(
+            counter("world.exchanges_failed_total"),
+            result.failed as u64
+        );
+        assert_eq!(counter("world.blocks_mined_total"), result.blocks_mined);
+        assert!(counter("wan.messages.tx_total") > 0, "escrow+claim gossip");
+        assert!(counter("wan.bytes.deliver_total") > 0, "forwarded uplinks");
+        assert!(counter("chain.blocks_connected_total") > 0);
+        assert!(counter("mempool.accepted_total") >= 2 * result.completed as u64);
+        assert!(counter("net.delivered_total") > 0);
+        let (_, latency) = result
+            .metrics
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "world.exchange_latency_seconds")
+            .expect("latency histogram registered");
+        assert_eq!(latency.count, result.completed as u64);
+        assert!(latency.p50 > 0.0);
     }
 
     #[test]

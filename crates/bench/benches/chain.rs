@@ -1,15 +1,15 @@
-//! Criterion benchmarks for the blockchain substrate: transaction
-//! validation, block assembly/connection, merkle trees, and the mempool —
-//! the work a gateway daemon performs per gossip message.
+//! Micro-benchmarks for the blockchain substrate: transaction validation,
+//! block assembly/connection, merkle trees, and the mempool — the work a
+//! gateway daemon performs per gossip message. Plain `main` harness
+//! (`cargo bench -p bcwan-bench --bench chain`).
 
-use bcwan_chain::{
-    validate_transaction, Block, Chain, ChainParams, Mempool, OutPoint, Transaction, TxOut,
-    Wallet,
-};
+use bcwan_bench::bench_fn;
 use bcwan_chain::merkle::{merkle_proof, merkle_root};
 use bcwan_chain::tx::TxId;
+use bcwan_chain::{
+    validate_transaction, Block, Chain, ChainParams, Mempool, OutPoint, Transaction, TxOut, Wallet,
+};
 use bcwan_script::Script;
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -26,9 +26,7 @@ fn fixture(n_coins: usize) -> Fixture {
     let mut params = ChainParams::multichain_like();
     params.coinbase_maturity = 1;
     let wallet = Wallet::generate(&mut rng);
-    let allocations: Vec<_> = (0..n_coins)
-        .map(|_| (wallet.address(), 1_000u64))
-        .collect();
+    let allocations: Vec<_> = (0..n_coins).map(|_| (wallet.address(), 1_000u64)).collect();
     let genesis = Chain::make_genesis(&params, &allocations);
     let mut chain = Chain::new(params.clone(), genesis);
     // One empty block to mature the genesis coinbase.
@@ -74,54 +72,58 @@ fn payment(f: &Fixture, coin: usize) -> Transaction {
     )
 }
 
-fn bench_tx(c: &mut Criterion) {
+fn clone_for_bench(f: &Fixture) -> Chain {
+    let blocks: Vec<Block> = f.chain.iter_main().cloned().collect();
+    let mut chain = Chain::new(f.params.clone(), blocks[0].clone());
+    for b in blocks.into_iter().skip(1) {
+        chain.add_block(b).unwrap();
+    }
+    chain
+}
+
+fn main() {
     let f = fixture(4);
     let tx = payment(&f, 0);
-    c.bench_function("tx_build_and_sign_p2pkh", |b| {
-        b.iter(|| payment(black_box(&f), 0))
+    bench_fn("tx_build_and_sign_p2pkh", 50, || payment(black_box(&f), 0));
+    bench_fn("tx_validate_p2pkh (daemon hot path)", 100, || {
+        validate_transaction(
+            black_box(&tx),
+            f.chain.utxo(),
+            f.chain.height() + 1,
+            &f.params,
+        )
+        .unwrap()
     });
-    c.bench_function("tx_validate_p2pkh (daemon hot path)", |b| {
-        b.iter(|| {
-            validate_transaction(
-                black_box(&tx),
+    bench_fn("txid_serialize_hash", 10_000, || black_box(&tx).txid());
+
+    let f = fixture(64);
+    bench_fn("mempool_insert_64", 5, || {
+        let mut pool = Mempool::new();
+        for i in 0..64 {
+            pool.insert(
+                payment(&f, i),
                 f.chain.utxo(),
                 f.chain.height() + 1,
                 &f.params,
             )
-            .unwrap()
-        })
-    });
-    c.bench_function("txid_serialize_hash", |b| b.iter(|| black_box(&tx).txid()));
-}
-
-fn bench_mempool(c: &mut Criterion) {
-    let f = fixture(64);
-    c.bench_function("mempool_insert_64", |b| {
-        b.iter(|| {
-            let mut pool = Mempool::new();
-            for i in 0..64 {
-                pool.insert(
-                    payment(&f, i),
-                    f.chain.utxo(),
-                    f.chain.height() + 1,
-                    &f.params,
-                )
-                .unwrap();
-            }
-            pool.len()
-        })
+            .unwrap();
+        }
+        pool.len()
     });
     let mut pool = Mempool::new();
     for i in 0..64 {
-        pool.insert(payment(&f, i), f.chain.utxo(), f.chain.height() + 1, &f.params)
-            .unwrap();
+        pool.insert(
+            payment(&f, i),
+            f.chain.utxo(),
+            f.chain.height() + 1,
+            &f.params,
+        )
+        .unwrap();
     }
-    c.bench_function("mempool_block_template_64", |b| {
-        b.iter(|| black_box(&pool).block_template(1 << 20))
+    bench_fn("mempool_block_template_64", 1_000, || {
+        black_box(&pool).block_template(1 << 20)
     });
-}
 
-fn bench_block(c: &mut Criterion) {
     let f = fixture(32);
     let mut txs = vec![Transaction::coinbase(
         2,
@@ -134,42 +136,20 @@ fn bench_block(c: &mut Criterion) {
     for i in 0..32 {
         txs.push(payment(&f, i));
     }
-    c.bench_function("block_mine_12bits_33txs", |b| {
-        b.iter(|| Block::mine(f.chain.tip(), 2, f.params.difficulty_bits, txs.clone()))
+    bench_fn("block_mine_12bits_33txs", 5, || {
+        Block::mine(f.chain.tip(), 2, f.params.difficulty_bits, txs.clone())
     });
     let block = Block::mine(f.chain.tip(), 2, f.params.difficulty_bits, txs);
-    c.bench_function("block_connect_33txs (stall-free verification)", |b| {
-        b.iter(|| {
-            let mut chain = clone_for_bench(&f);
-            chain.add_block(black_box(block.clone())).unwrap()
-        })
+    bench_fn("block_connect_33txs (stall-free verification)", 10, || {
+        let mut chain = clone_for_bench(&f);
+        chain.add_block(black_box(block.clone())).unwrap()
     });
-}
 
-fn clone_for_bench(f: &Fixture) -> Chain {
-    let blocks: Vec<Block> = f.chain.iter_main().cloned().collect();
-    let mut chain = Chain::new(f.params.clone(), blocks[0].clone());
-    for b in blocks.into_iter().skip(1) {
-        chain.add_block(b).unwrap();
-    }
-    chain
-}
-
-fn bench_merkle(c: &mut Criterion) {
     let ids: Vec<TxId> = (0..255u8).map(|i| TxId([i; 32])).collect();
-    c.bench_function("merkle_root_255", |b| {
-        b.iter(|| merkle_root(black_box(&ids)))
-    });
+    bench_fn("merkle_root_255", 1_000, || merkle_root(black_box(&ids)));
     let root = merkle_root(&ids);
     let proof = merkle_proof(&ids, 100).unwrap();
-    c.bench_function("merkle_proof_verify_255", |b| {
-        b.iter(|| black_box(&proof).verify(black_box(&root)))
+    bench_fn("merkle_proof_verify_255", 10_000, || {
+        black_box(&proof).verify(black_box(&root))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_tx, bench_mempool, bench_block, bench_merkle
-}
-criterion_main!(benches);

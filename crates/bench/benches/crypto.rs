@@ -1,78 +1,64 @@
-//! Criterion micro-benchmarks for the cryptographic primitives on the
-//! BcWAN hot path (Fig. 4 framing, Fig. 3 steps 1/3/4/8/10).
+//! Micro-benchmarks for the cryptographic primitives on the BcWAN hot
+//! path (Fig. 4 framing, Fig. 3 steps 1/3/4/8/10). Plain `main` harness
+//! (`cargo bench -p bcwan-bench --bench crypto`).
 
+use bcwan_bench::bench_fn;
 use bcwan_crypto::aes::{cbc_decrypt, cbc_encrypt};
 use bcwan_crypto::ecdsa::EcdsaPrivateKey;
 use bcwan_crypto::rsa::{generate_keypair, RsaKeySize};
 use bcwan_crypto::{hash160, sha256d};
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_hashes(c: &mut Criterion) {
+fn main() {
     let data = vec![0xa5u8; 160]; // one BcWAN data-uplink frame
-    c.bench_function("sha256d_160B", |b| b.iter(|| sha256d(black_box(&data))));
+    bench_fn("sha256d_160B", 10_000, || sha256d(black_box(&data)));
     let pubkey = [0x02u8; 33];
-    c.bench_function("hash160_pubkey", |b| b.iter(|| hash160(black_box(&pubkey))));
-}
+    bench_fn("hash160_pubkey", 10_000, || hash160(black_box(&pubkey)));
 
-fn bench_aes(c: &mut Criterion) {
     let key = [7u8; 32];
     let iv = [9u8; 16];
     let reading = b"t=21.5C;h=40%";
-    c.bench_function("aes256_cbc_encrypt_reading", |b| {
-        b.iter(|| cbc_encrypt(black_box(&key), black_box(&iv), black_box(reading)))
+    bench_fn("aes256_cbc_encrypt_reading", 10_000, || {
+        cbc_encrypt(black_box(&key), black_box(&iv), black_box(reading))
     });
     let ct = cbc_encrypt(&key, &iv, reading);
-    c.bench_function("aes256_cbc_decrypt_reading", |b| {
-        b.iter(|| cbc_decrypt(black_box(&key), black_box(&iv), black_box(&ct)).unwrap())
+    bench_fn("aes256_cbc_decrypt_reading", 10_000, || {
+        cbc_decrypt(black_box(&key), black_box(&iv), black_box(&ct)).unwrap()
     });
-}
 
-fn bench_rsa(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    c.bench_function("rsa512_keygen (paper step 1)", |b| {
-        b.iter(|| generate_keypair(black_box(&mut rng), RsaKeySize::Rsa512))
+    bench_fn("rsa512_keygen (paper step 1)", 10, || {
+        generate_keypair(black_box(&mut rng), RsaKeySize::Rsa512)
     });
     let (pk, sk) = generate_keypair(&mut rng, RsaKeySize::Rsa512);
     let inner = vec![0u8; 34]; // Fig. 4 frame
-    c.bench_function("rsa512_encrypt_fig4 (step 3)", |b| {
-        b.iter(|| pk.encrypt(black_box(&mut rng), black_box(&inner)).unwrap())
+    bench_fn("rsa512_encrypt_fig4 (step 3)", 200, || {
+        pk.encrypt(black_box(&mut rng), black_box(&inner)).unwrap()
     });
     let em = pk.encrypt(&mut rng, &inner).unwrap();
-    c.bench_function("rsa512_decrypt (step 10)", |b| {
-        b.iter(|| sk.decrypt(black_box(&em)).unwrap())
+    bench_fn("rsa512_decrypt (step 10)", 100, || {
+        sk.decrypt(black_box(&em)).unwrap()
     });
-    c.bench_function("rsa512_sign (step 4)", |b| {
-        b.iter(|| sk.sign(black_box(&em)))
-    });
+    bench_fn("rsa512_sign (step 4)", 100, || sk.sign(black_box(&em)));
     let sig = sk.sign(&em);
-    c.bench_function("rsa512_verify (step 8)", |b| {
-        b.iter(|| pk.verify(black_box(&em), black_box(&sig)))
+    bench_fn("rsa512_verify (step 8)", 200, || {
+        pk.verify(black_box(&em), black_box(&sig))
     });
-    c.bench_function("rsa512_pair_check (OP_CHECKRSA512PAIR)", |b| {
-        b.iter(|| pk.matches_private(black_box(&sk)))
+    bench_fn("rsa512_pair_check (OP_CHECKRSA512PAIR)", 100, || {
+        pk.matches_private(black_box(&sk))
     });
-}
 
-fn bench_ecdsa(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
-    let key = EcdsaPrivateKey::generate(&mut rng);
+    let ec = EcdsaPrivateKey::generate(&mut rng);
     let digest = [0x5au8; 32];
-    c.bench_function("ecdsa_sign_digest", |b| {
-        b.iter(|| key.sign_digest(black_box(&digest)))
+    bench_fn("ecdsa_sign_digest", 100, || {
+        ec.sign_digest(black_box(&digest))
     });
-    let sig = key.sign_digest(&digest);
-    let public = key.public_key();
-    c.bench_function("ecdsa_verify_digest", |b| {
-        b.iter(|| public.verify_digest(black_box(&digest), black_box(&sig)))
+    let sig = ec.sign_digest(&digest);
+    let public = ec.public_key();
+    bench_fn("ecdsa_verify_digest", 100, || {
+        public.verify_digest(black_box(&digest), black_box(&sig))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_hashes, bench_aes, bench_rsa, bench_ecdsa
-}
-criterion_main!(benches);

@@ -1,40 +1,39 @@
-//! Criterion benchmarks for the end-to-end protocol pieces: sealing and
+//! Micro-benchmarks for the end-to-end protocol pieces: sealing and
 //! opening readings (the node/recipient CPU of Fig. 3) and escrow/claim
-//! construction, plus a miniature whole-world run.
+//! construction, plus a miniature whole-world run. Plain `main` harness
+//! (`cargo bench -p bcwan-bench --bench exchange`).
 
 use bcwan::costs::CostModel;
 use bcwan::escrow::{build_claim, build_escrow};
 use bcwan::exchange::{open_reading, seal_reading, verify_uplink};
 use bcwan::provisioning::{DeviceId, DeviceRegistry};
 use bcwan::world::{WorkloadConfig, World};
+use bcwan_bench::bench_fn;
 use bcwan_chain::{Address, Chain, ChainParams, OutPoint, Wallet};
 use bcwan_crypto::rsa::{generate_keypair, RsaKeySize};
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_seal_open(c: &mut Criterion) {
+fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut registry = DeviceRegistry::new();
     let creds = registry.provision(&mut rng, DeviceId(1), Address([1; 20]));
     let (e_pk, e_sk) = generate_keypair(&mut rng, RsaKeySize::Rsa512);
     let reading = b"t=21.5C;h=40%";
 
-    c.bench_function("seal_reading (node: steps 3-4)", |b| {
-        b.iter(|| seal_reading(black_box(&mut rng), &creds, &e_pk, reading).unwrap())
+    bench_fn("seal_reading (node: steps 3-4)", 100, || {
+        seal_reading(black_box(&mut rng), &creds, &e_pk, reading).unwrap()
     });
     let sealed = seal_reading(&mut rng, &creds, &e_pk, reading).unwrap();
     let record = registry.get(&DeviceId(1)).unwrap();
-    c.bench_function("verify_uplink (recipient: step 8)", |b| {
-        b.iter(|| verify_uplink(black_box(record), &e_pk, &sealed))
+    bench_fn("verify_uplink (recipient: step 8)", 100, || {
+        verify_uplink(black_box(record), &e_pk, &sealed)
     });
-    c.bench_function("open_reading (recipient: step 10)", |b| {
-        b.iter(|| open_reading(black_box(record), &e_sk, &sealed.em).unwrap())
+    bench_fn("open_reading (recipient: step 10)", 100, || {
+        open_reading(black_box(record), &e_sk, &sealed.em).unwrap()
     });
-}
 
-fn bench_escrow(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let params = ChainParams::multichain_like();
     let recipient = Wallet::generate(&mut rng);
@@ -51,47 +50,32 @@ fn bench_escrow(c: &mut Criterion) {
     );
     let (e_pk, e_sk) = generate_keypair(&mut rng, RsaKeySize::Rsa512);
 
-    c.bench_function("build_escrow (step 9)", |b| {
-        b.iter(|| {
-            build_escrow(
-                black_box(&recipient),
-                &[coin.clone()],
-                &e_pk,
-                &gateway.address(),
-                100,
-                10,
-                0,
-            )
-        })
+    bench_fn("build_escrow (step 9)", 50, || {
+        build_escrow(
+            black_box(&recipient),
+            std::slice::from_ref(&coin),
+            &e_pk,
+            &gateway.address(),
+            100,
+            10,
+            0,
+        )
     });
     let escrow = build_escrow(&recipient, &[coin], &e_pk, &gateway.address(), 100, 10, 0);
-    c.bench_function("build_claim (step 10)", |b| {
-        b.iter(|| {
-            build_claim(
-                black_box(&gateway),
-                escrow.outpoint(),
-                &escrow.script,
-                100,
-                &e_sk,
-                5,
-            )
-        })
+    bench_fn("build_claim (step 10)", 50, || {
+        build_claim(
+            black_box(&gateway),
+            escrow.outpoint(),
+            &escrow.script,
+            100,
+            &e_sk,
+            5,
+        )
+    });
+
+    bench_fn("world_5_exchanges_tiny", 3, || {
+        let mut cfg = WorkloadConfig::tiny(5, 42);
+        cfg.costs = CostModel::zero();
+        World::new(cfg).run().completed
     });
 }
-
-fn bench_world(c: &mut Criterion) {
-    c.bench_function("world_5_exchanges_tiny", |b| {
-        b.iter(|| {
-            let mut cfg = WorkloadConfig::tiny(5, 42);
-            cfg.costs = CostModel::zero();
-            World::new(cfg).run().completed
-        })
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_seal_open, bench_escrow, bench_world
-}
-criterion_main!(benches);

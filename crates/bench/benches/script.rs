@@ -1,20 +1,21 @@
-//! Criterion benchmarks for script execution — Listing 1 both paths,
-//! P2PKH, and the serialization codec.
+//! Micro-benchmarks for script execution — Listing 1 both paths, P2PKH,
+//! and the serialization codec. Plain `main` harness
+//! (`cargo bench -p bcwan-bench --bench script`).
 
+use bcwan_bench::bench_fn;
 use bcwan_crypto::rsa::{generate_keypair, RsaKeySize};
 use bcwan_script::interpreter::{verify_spend, DigestChecker, ExecContext};
 use bcwan_script::templates::{
     ephemeral_key_release, key_reveal_sig, p2pkh, p2pkh_sig, refund_sig,
 };
 use bcwan_script::Script;
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
 const DIGEST: [u8; 32] = [0x11; 32];
 
-fn bench_p2pkh(c: &mut Criterion) {
+fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let signer = bcwan_crypto::ecdsa::EcdsaPrivateKey::generate(&mut rng);
     let pubkey = signer.public_key().to_bytes();
@@ -27,12 +28,10 @@ fn bench_p2pkh(c: &mut Criterion) {
         lock_time: 0,
         input_final: false,
     };
-    c.bench_function("p2pkh_verify_spend", |b| {
-        b.iter(|| verify_spend(black_box(&unlock), black_box(&lock), black_box(&ctx)).unwrap())
+    bench_fn("p2pkh_verify_spend", 100, || {
+        verify_spend(black_box(&unlock), black_box(&lock), black_box(&ctx)).unwrap()
     });
-}
 
-fn bench_listing1(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let gateway = bcwan_crypto::ecdsa::EcdsaPrivateKey::generate(&mut rng);
     let buyer = bcwan_crypto::ecdsa::EcdsaPrivateKey::generate(&mut rng);
@@ -54,8 +53,8 @@ fn bench_listing1(c: &mut Criterion) {
         lock_time: 0,
         input_final: false,
     };
-    c.bench_function("listing1_reveal_path (escrow claim)", |b| {
-        b.iter(|| verify_spend(black_box(&reveal), black_box(&lock), black_box(&ctx0)).unwrap())
+    bench_fn("listing1_reveal_path (escrow claim)", 100, || {
+        verify_spend(black_box(&reveal), black_box(&lock), black_box(&ctx0)).unwrap()
     });
 
     let bsig = buyer.sign_digest(&DIGEST).to_bytes();
@@ -65,27 +64,18 @@ fn bench_listing1(c: &mut Criterion) {
         lock_time: 150,
         input_final: false,
     };
-    c.bench_function("listing1_refund_path (timeout)", |b| {
-        b.iter(|| verify_spend(black_box(&refund), black_box(&lock), black_box(&ctx_late)).unwrap())
+    bench_fn("listing1_refund_path (timeout)", 100, || {
+        verify_spend(black_box(&refund), black_box(&lock), black_box(&ctx_late)).unwrap()
     });
-}
 
-fn bench_codec(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let (e_pk, _) = generate_keypair(&mut rng, RsaKeySize::Rsa512);
     let lock = ephemeral_key_release(&e_pk, &[1; 20], &[2; 20], 100);
-    c.bench_function("script_serialize_listing1", |b| {
-        b.iter(|| black_box(&lock).to_bytes())
+    bench_fn("script_serialize_listing1", 10_000, || {
+        black_box(&lock).to_bytes()
     });
     let bytes = lock.to_bytes();
-    c.bench_function("script_parse_listing1", |b| {
-        b.iter(|| Script::from_bytes(black_box(&bytes)).unwrap())
+    bench_fn("script_parse_listing1", 10_000, || {
+        Script::from_bytes(black_box(&bytes)).unwrap()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_p2pkh, bench_listing1, bench_codec
-}
-criterion_main!(benches);

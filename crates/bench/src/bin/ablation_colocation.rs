@@ -12,17 +12,8 @@
 //! Usage: `ablation_colocation [N] [--json PATH]`.
 
 use bcwan::world::{WorkloadConfig, World};
-use bcwan_bench::{parse_harness_args, write_json};
-use bcwan_sim::{LatencyModel, SimDuration};
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct Row {
-    regime: String,
-    mean_latency_s: f64,
-    p95_latency_s: f64,
-    completed: usize,
-}
+use bcwan_bench::{parse_harness_args, summary_json, BenchReport};
+use bcwan_sim::{Json, LatencyModel, SimDuration};
 
 fn main() {
     let (target, json) = parse_harness_args();
@@ -42,33 +33,49 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
+    let mut means = Vec::new();
+    let mut last = None;
     println!("regime                               mean(s)   p95(s)   n");
     for (name, latency) in regimes {
+        // Trace the last (LAN) run so the report shows where the
+        // remaining latency lives once the WAN is out of the picture.
         let mut cfg = WorkloadConfig::paper_fig5();
         cfg.target_exchanges = n;
         cfg.latency = latency;
+        if name.starts_with("lan") {
+            cfg = cfg.with_tracing();
+        }
         let result = World::new(cfg).run();
         let s = result.latencies.summary().expect("completed exchanges");
         println!(
             "{name:36} {:>7.3}  {:>7.3}  {:>4}",
             s.mean, s.p95, result.completed
         );
-        rows.push(Row {
-            regime: name.to_string(),
-            mean_latency_s: s.mean,
-            p95_latency_s: s.p95,
-            completed: result.completed,
-        });
+        means.push(s.mean);
+        rows.push(
+            Json::object()
+                .with("regime", Json::str(name))
+                .with("completed", Json::size(result.completed))
+                .with("latency", summary_json(&s)),
+        );
+        last = Some(result);
     }
     println!();
-    let saved = rows[0].mean_latency_s - rows[2].mean_latency_s;
+    let saved = means[0] - means[2];
     println!(
         "co-location strips ≈{:.0} ms off the mean — the WAN's share; the rest is",
         saved * 1e3
     );
     println!("radio airtime and edge CPU, which §6's co-location argument cannot touch.");
     if let Some(path) = json {
-        write_json(&path, &rows).expect("write json");
+        let lan = last.expect("three regimes ran");
+        BenchReport::new("ablation_colocation")
+            .config("target_exchanges", Json::size(n))
+            .rows(Json::Array(rows))
+            .metrics(lan.metrics.clone())
+            .phases(&lan.phases)
+            .write(&path)
+            .expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -11,32 +11,17 @@
 //!
 //! Usage: `ablation_consensus [--json PATH]`.
 
-use bcwan_bench::{parse_harness_args, write_json};
+use bcwan_bench::{parse_harness_args, BenchReport};
 use bcwan_chain::pos::ValidatorSet;
 use bcwan_chain::{Address, Block, BlockHash, Transaction, TxOut};
 use bcwan_script::Script;
-use serde::Serialize;
+use bcwan_sim::{Json, Registry};
 
-#[derive(Debug, Serialize)]
 struct PowRow {
     difficulty_bits: u32,
     blocks: u32,
     mean_hashes_per_block: f64,
     mean_mine_time_us: f64,
-}
-
-#[derive(Debug, Serialize)]
-struct PosRow {
-    validator: usize,
-    stake: u64,
-    expected_share: f64,
-    observed_share: f64,
-}
-
-#[derive(Debug, Serialize)]
-struct Report {
-    pow: Vec<PowRow>,
-    pos: Vec<PosRow>,
 }
 
 fn mine_cost(bits: u32, blocks: u32) -> PowRow {
@@ -65,6 +50,10 @@ fn mine_cost(bits: u32, blocks: u32) -> PowRow {
 
 fn main() {
     let (_, json) = parse_harness_args();
+    let mut registry = Registry::new();
+    let blocks_counter = registry.counter("pow.blocks_mined_total");
+    let hashes_counter = registry.counter("pow.hash_evaluations_total");
+    let mine_hist = registry.histogram("pow.mine_seconds_per_block");
 
     println!("proof-of-work cost (hash evaluations are the edge node's wasted CPU):");
     println!("bits  blocks  hashes/block  µs/block (this machine)");
@@ -76,7 +65,22 @@ fn main() {
             "{:>4}  {:>6}  {:>12.0}  {:>8.1}",
             row.difficulty_bits, row.blocks, row.mean_hashes_per_block, row.mean_mine_time_us
         );
-        pow.push(row);
+        registry.add(blocks_counter, u64::from(row.blocks));
+        registry.add(
+            hashes_counter,
+            (row.mean_hashes_per_block * f64::from(row.blocks)) as u64,
+        );
+        registry.observe(mine_hist, row.mean_mine_time_us * 1e-6);
+        pow.push(
+            Json::object()
+                .with("difficulty_bits", Json::num(row.difficulty_bits))
+                .with("blocks", Json::num(row.blocks))
+                .with(
+                    "mean_hashes_per_block",
+                    Json::num(row.mean_hashes_per_block),
+                )
+                .with("mean_mine_time_us", Json::num(row.mean_mine_time_us)),
+        );
     }
 
     println!();
@@ -92,19 +96,29 @@ fn main() {
         let expected = *stake as f64 / total as f64;
         let observed = set.leadership_share(addr, b"bcwan-consensus", 10_000);
         println!("{i:>9}  {stake:>5}  {expected:>8.3}  {observed:>8.3}");
-        pos.push(PosRow {
-            validator: i,
-            stake: *stake,
-            expected_share: expected,
-            observed_share: observed,
-        });
+        pos.push(
+            Json::object()
+                .with("validator", Json::size(i))
+                .with("stake", Json::uint(*stake))
+                .with("expected_share", Json::num(expected))
+                .with("observed_share", Json::num(observed)),
+        );
     }
     println!();
     println!("shape check: PoW cost grows ×2^4 per 4 difficulty bits (prohibitive on");
     println!("battery/edge hardware); PoS costs one hash per slot and allocates blocks");
     println!("stake-proportionally — the paper's §6 argument.");
     if let Some(path) = json {
-        write_json(&path, &Report { pow, pos }).expect("write json");
+        BenchReport::new("ablation_consensus")
+            .config("pos_slots", Json::size(10_000))
+            .rows(
+                Json::object()
+                    .with("pow", Json::Array(pow))
+                    .with("pos", Json::Array(pos)),
+            )
+            .metrics(registry.snapshot())
+            .write(&path)
+            .expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -12,30 +12,29 @@
 //!
 //! Usage: `ablation_keysize [--json PATH]`.
 
-use bcwan_bench::{parse_harness_args, write_json};
+use bcwan_bench::{parse_harness_args, BenchReport};
+use bcwan_crypto::rsa::RsaKeySize;
 use bcwan_lora::airtime::{max_messages_per_hour, time_on_air};
 use bcwan_lora::params::{RadioConfig, SpreadingFactor};
-use bcwan_crypto::rsa::RsaKeySize;
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct Row {
-    rsa_bits: usize,
-    uplink_phy_bytes: usize,
-    spreading_factor: u32,
-    fits: bool,
-    airtime_ms: f64,
-    msgs_per_hour_1pct: f64,
-}
+use bcwan_sim::{Json, Registry};
 
 fn main() {
     let (_, json) = parse_harness_args();
+    let mut registry = Registry::new();
+    let rows_counter = registry.counter("bench.rows_total");
+    let misfit_counter = registry.counter("lora.payload_cap_violations_total");
+    let airtime_hist = registry.histogram("lora.uplink_airtime_seconds");
+
     let mut rows = Vec::new();
     println!("RSA    frame(B)  SF    fits  airtime(ms)  msgs/h@1%");
     for size in [RsaKeySize::Rsa512, RsaKeySize::Rsa1024, RsaKeySize::Rsa2048] {
         // DataUplink wire: 4 header + 4 device + 20 @R + 2+Em + 2+Sig.
         let phy = 4 + 4 + 20 + 2 + size.block_len() + 2 + size.block_len();
-        for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf9, SpreadingFactor::Sf12] {
+        for sf in [
+            SpreadingFactor::Sf7,
+            SpreadingFactor::Sf9,
+            SpreadingFactor::Sf12,
+        ] {
             let cfg = RadioConfig::with_sf(sf);
             let fits = phy <= sf.max_payload() + 4;
             let airtime = time_on_air(&cfg, phy);
@@ -49,14 +48,20 @@ fn main() {
                 airtime.as_secs_f64() * 1e3,
                 rate,
             );
-            rows.push(Row {
-                rsa_bits: size.bits(),
-                uplink_phy_bytes: phy,
-                spreading_factor: sf.value(),
-                fits,
-                airtime_ms: airtime.as_secs_f64() * 1e3,
-                msgs_per_hour_1pct: rate,
-            });
+            registry.inc(rows_counter);
+            registry.observe(airtime_hist, airtime.as_secs_f64());
+            if !fits {
+                registry.inc(misfit_counter);
+            }
+            rows.push(
+                Json::object()
+                    .with("rsa_bits", Json::size(size.bits()))
+                    .with("uplink_phy_bytes", Json::size(phy))
+                    .with("spreading_factor", Json::num(sf.value()))
+                    .with("fits", Json::Bool(fits))
+                    .with("airtime_ms", Json::num(airtime.as_secs_f64() * 1e3))
+                    .with("msgs_per_hour_1pct", Json::num(rate)),
+            );
         }
     }
     println!();
@@ -64,7 +69,12 @@ fn main() {
     println!("the duty-cycle budget; RSA-2048 no longer fits SF9+ payload caps at all —");
     println!("the paper's §6 justification for accepting RSA-512's weakness.");
     if let Some(path) = json {
-        write_json(&path, &rows).expect("write json");
+        BenchReport::new("ablation_keysize")
+            .config("duty_cycle", Json::num(0.01))
+            .rows(Json::Array(rows))
+            .metrics(registry.snapshot())
+            .write(&path)
+            .expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -10,25 +10,17 @@
 //! Usage: `baseline_reputation [MESSAGES] [--json PATH]`.
 
 use bcwan::reputation::{run_reputation_baseline, ReputationConfig};
-use bcwan_bench::{parse_harness_args, write_json};
-use bcwan_sim::SimRng;
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct Row {
-    malicious_fraction: f64,
-    attempted: usize,
-    delivered: usize,
-    stolen: usize,
-    stolen_value: u64,
-    loss_rate: f64,
-    banned_gateways: usize,
-    bcwan_loss_rate: f64,
-}
+use bcwan_bench::{parse_harness_args, BenchReport};
+use bcwan_sim::{Json, Registry, SimRng};
 
 fn main() {
     let (messages, json) = parse_harness_args();
     let messages = messages.unwrap_or(20_000);
+    let mut registry = Registry::new();
+    let attempted_counter = registry.counter("reputation.attempted_total");
+    let stolen_counter = registry.counter("reputation.stolen_total");
+    let banned_counter = registry.counter("reputation.banned_gateways_total");
+
     let mut rng = SimRng::seed_from_u64(11);
     let mut rows = Vec::new();
     println!("malicious%  delivered   stolen  value-lost  loss-rate  banned   bcwan");
@@ -48,22 +40,31 @@ fn main() {
             out.banned_gateways,
             0.0,
         );
-        rows.push(Row {
-            malicious_fraction: pct,
-            attempted: out.attempted,
-            delivered: out.delivered,
-            stolen: out.stolen,
-            stolen_value: out.stolen_value,
-            loss_rate: out.loss_rate(),
-            banned_gateways: out.banned_gateways,
-            bcwan_loss_rate: 0.0,
-        });
+        registry.add(attempted_counter, out.attempted as u64);
+        registry.add(stolen_counter, out.stolen as u64);
+        registry.add(banned_counter, out.banned_gateways as u64);
+        rows.push(
+            Json::object()
+                .with("malicious_fraction", Json::num(pct))
+                .with("attempted", Json::size(out.attempted))
+                .with("delivered", Json::size(out.delivered))
+                .with("stolen", Json::size(out.stolen))
+                .with("stolen_value", Json::uint(out.stolen_value))
+                .with("loss_rate", Json::num(out.loss_rate()))
+                .with("banned_gateways", Json::size(out.banned_gateways))
+                .with("bcwan_loss_rate", Json::num(0.0)),
+        );
     }
     println!();
     println!("BcWAN column is structural: the Listing 1 escrow cannot pay without");
     println!("revealing the key, so pay-without-delivery is impossible (§4.4).");
     if let Some(path) = json {
-        write_json(&path, &rows).expect("write json");
+        BenchReport::new("baseline_reputation")
+            .config("messages_per_fraction", Json::size(messages))
+            .rows(Json::Array(rows))
+            .metrics(registry.snapshot())
+            .write(&path)
+            .expect("write json");
         eprintln!("wrote {path}");
     }
 }

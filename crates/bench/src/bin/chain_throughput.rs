@@ -9,20 +9,12 @@
 //!
 //! Usage: `chain_throughput [N_TXS] [--json PATH]`.
 
-use bcwan_bench::{parse_harness_args, write_json};
+use bcwan_bench::{parse_harness_args, BenchReport};
 use bcwan_chain::{Block, Chain, ChainParams, Mempool, OutPoint, Transaction, TxOut, Wallet};
 use bcwan_script::Script;
+use bcwan_sim::{Json, Registry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct Report {
-    transactions: usize,
-    mempool_admission_tx_per_s: f64,
-    block_connect_tx_per_s: f64,
-    multichain_advertised_tx_per_s: f64,
-}
 
 fn main() {
     let (target, json) = parse_harness_args();
@@ -93,6 +85,27 @@ fn main() {
     chain.add_block(block).expect("block valid");
     let connect_rate = n as f64 / t1.elapsed().as_secs_f64();
 
+    // Fold the substrate's own counters into the report: the mempool and
+    // chainstate stats the world-level runs also export.
+    let mut registry = Registry::new();
+    let pool_stats = pool.stats();
+    let chain_stats = chain.stats();
+    for (name, value) in [
+        ("mempool.accepted_total", pool_stats.accepted),
+        ("mempool.evicted_total", pool_stats.evicted),
+        ("chain.blocks_connected_total", chain_stats.blocks_connected),
+        ("chain.txs_connected_total", chain_stats.txs_connected),
+        ("chain.utxos_created_total", chain_stats.utxos_created),
+        ("chain.utxos_spent_total", chain_stats.utxos_spent),
+    ] {
+        let id = registry.counter(name);
+        registry.add(id, value);
+    }
+    let admit_gauge = registry.gauge("bench.mempool_admission_tx_per_s");
+    registry.set(admit_gauge, admit_rate);
+    let connect_gauge = registry.gauge("bench.block_connect_tx_per_s");
+    registry.set(connect_gauge, connect_rate);
+
     println!("transactions:              {n}");
     println!("mempool admission:         {admit_rate:9.0} tx/s");
     println!("block connection:          {connect_rate:9.0} tx/s");
@@ -104,16 +117,16 @@ fn main() {
     println!("the paper's finding that raw throughput was never the issue; the");
     println!("*stall on block arrival* was.");
     if let Some(path) = json {
-        write_json(
-            &path,
-            &Report {
-                transactions: n,
-                mempool_admission_tx_per_s: admit_rate,
-                block_connect_tx_per_s: connect_rate,
-                multichain_advertised_tx_per_s: 1000.0,
-            },
-        )
-        .expect("write json");
+        BenchReport::new("chain_throughput")
+            .config("transactions", Json::size(n))
+            .rows(Json::Array(vec![Json::object()
+                .with("transactions", Json::size(n))
+                .with("mempool_admission_tx_per_s", Json::num(admit_rate))
+                .with("block_connect_tx_per_s", Json::num(connect_rate))
+                .with("multichain_advertised_tx_per_s", Json::num(1000.0))]))
+            .metrics(registry.snapshot())
+            .write(&path)
+            .expect("write json");
         eprintln!("wrote {path}");
     }
 }

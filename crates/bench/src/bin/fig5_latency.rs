@@ -6,11 +6,12 @@
 //! Usage: `fig5_latency [N] [--json PATH]` (N overrides 2000 exchanges).
 
 use bcwan::world::{WorkloadConfig, World};
-use bcwan_bench::{parse_harness_args, write_json, LatencyReport};
+use bcwan_bench::{parse_harness_args, BenchReport, LatencyReport};
+use bcwan_sim::Json;
 
 fn main() {
     let (target, json) = parse_harness_args();
-    let mut cfg = WorkloadConfig::paper_fig5();
+    let mut cfg = WorkloadConfig::paper_fig5().with_tracing();
     if let Some(n) = target {
         cfg.target_exchanges = n;
     }
@@ -18,8 +19,17 @@ fn main() {
         "running Fig. 5: {} exchanges, {} hosts × {} sensors, SF7, 1% duty…",
         cfg.target_exchanges, cfg.actor_hosts, cfg.sensors_per_host
     );
+    let config = Json::object()
+        .with("target_exchanges", Json::size(cfg.target_exchanges))
+        .with("actor_hosts", Json::size(cfg.actor_hosts as usize))
+        .with(
+            "sensors_per_host",
+            Json::size(cfg.sensors_per_host as usize),
+        )
+        .with("seed", Json::uint(cfg.seed))
+        .with("tracing", Json::Bool(cfg.tracing));
     let result = World::new(cfg).run();
-    let report = LatencyReport::from_series(
+    let latency = LatencyReport::from_series(
         "Fig. 5 — exchange latency, block verification disabled",
         Some(1.604),
         &result.latencies,
@@ -32,20 +42,16 @@ fn main() {
         20,
     )
     .expect("at least one exchange completed");
-    report.print();
-    // Phase breakdown (means): where the latency lives.
-    if let (Some(r), Some(f), Some(s)) = (
-        result.phase_radio.summary(),
-        result.phase_forward.summary(),
-        result.phase_settlement.summary(),
-    ) {
-        println!(
-            "phases (mean): radio+node {:.3}s | forward+verify {:.3}s | escrow+claim+open {:.3}s",
-            r.mean, f.mean, s.mean
-        );
-    }
+    latency.print();
+    let report = BenchReport::new("fig5_latency")
+        .config("workload", config)
+        .rows(Json::Array(vec![latency.to_json()]))
+        .metrics(result.metrics.clone())
+        .phases(&result.phases);
+    // Phase decomposition: where the latency lives, span by span.
+    report.print_phases();
     if let Some(path) = json {
-        write_json(&path, &report).expect("write json");
+        report.write(&path).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -7,11 +7,12 @@
 //! Usage: `fig6_latency [N] [--json PATH]`.
 
 use bcwan::world::{WorkloadConfig, World};
-use bcwan_bench::{parse_harness_args, write_json, LatencyReport};
+use bcwan_bench::{parse_harness_args, BenchReport, LatencyReport};
+use bcwan_sim::Json;
 
 fn main() {
     let (target, json) = parse_harness_args();
-    let mut cfg = WorkloadConfig::paper_fig6();
+    let mut cfg = WorkloadConfig::paper_fig6().with_tracing();
     if let Some(n) = target {
         cfg.target_exchanges = n;
     }
@@ -19,8 +20,18 @@ fn main() {
         "running Fig. 6: {} exchanges with verification stalls…",
         cfg.target_exchanges
     );
+    let config = Json::object()
+        .with("target_exchanges", Json::size(cfg.target_exchanges))
+        .with("actor_hosts", Json::size(cfg.actor_hosts as usize))
+        .with(
+            "sensors_per_host",
+            Json::size(cfg.sensors_per_host as usize),
+        )
+        .with("seed", Json::uint(cfg.seed))
+        .with("stall_enabled", Json::Bool(cfg.chain_params.stall.enabled))
+        .with("tracing", Json::Bool(cfg.tracing));
     let result = World::new(cfg).run();
-    let report = LatencyReport::from_series(
+    let latency = LatencyReport::from_series(
         "Fig. 6 — exchange latency, block verification enabled",
         Some(30.241),
         &result.latencies,
@@ -33,20 +44,16 @@ fn main() {
         24,
     )
     .expect("at least one exchange completed");
-    report.print();
-    // Phase breakdown (means): where the latency lives.
-    if let (Some(r), Some(f), Some(s)) = (
-        result.phase_radio.summary(),
-        result.phase_forward.summary(),
-        result.phase_settlement.summary(),
-    ) {
-        println!(
-            "phases (mean): radio+node {:.3}s | forward+verify {:.3}s | escrow+claim+open {:.3}s",
-            r.mean, f.mean, s.mean
-        );
-    }
+    latency.print();
+    let report = BenchReport::new("fig6_latency")
+        .config("workload", config)
+        .rows(Json::Array(vec![latency.to_json()]))
+        .metrics(result.metrics.clone())
+        .phases(&result.phases);
+    // The stall shows up as a fat confirmation_wait / escrow_publish tail.
+    report.print_phases();
     if let Some(path) = json {
-        write_json(&path, &report).expect("write json");
+        report.write(&path).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -8,21 +8,10 @@
 //!
 //! Usage: `lora_capacity [--json PATH]`.
 
-use bcwan_bench::{parse_harness_args, write_json};
+use bcwan_bench::{parse_harness_args, BenchReport};
 use bcwan_lora::airtime::{max_messages_per_hour, time_on_air};
 use bcwan_lora::params::{RadioConfig, SpreadingFactor};
-use serde::Serialize;
-
-/// One row of the capacity table.
-#[derive(Debug, Serialize)]
-struct Row {
-    spreading_factor: u32,
-    airtime_ms: f64,
-    max_per_hour_duty1pct: f64,
-    nominal_bitrate_bps: f64,
-    nominal_per_hour: f64,
-    fits_payload: bool,
-}
+use bcwan_sim::{Json, Registry};
 
 fn main() {
     let (_, json) = parse_harness_args();
@@ -30,7 +19,12 @@ fn main() {
     const PHY_LEN: usize = 132;
     const DUTY: f64 = 0.01;
 
+    let mut registry = Registry::new();
+    let rows_counter = registry.counter("bench.rows_total");
+    let misfit_counter = registry.counter("lora.payload_cap_violations_total");
+
     let mut rows = Vec::new();
+    let mut sf7 = (0.0, 0.0); // (nominal, AN1200.13) msgs/h at SF7
     println!("SF   airtime(ms)  msgs/h@1%  nominal-bps  nominal-msgs/h  fits");
     for sf in SpreadingFactor::ALL {
         let cfg = RadioConfig::with_sf(sf);
@@ -44,6 +38,9 @@ fn main() {
             sf.value() as f64 * cfg.bandwidth.hz() as f64 / (1u64 << sf.value()) as f64 * cr;
         let nominal_airtime = (PHY_LEN * 8) as f64 / bitrate;
         let nominal_per_hour = 3600.0 * DUTY / nominal_airtime;
+        if sf == SpreadingFactor::Sf7 {
+            sf7 = (nominal_per_hour, per_hour);
+        }
         println!(
             "SF{:<2} {:>10.1}  {:>9.1}  {:>11.0}  {:>14.1}  {}",
             sf.value(),
@@ -53,25 +50,34 @@ fn main() {
             nominal_per_hour,
             if fits { "yes" } else { "NO (payload cap)" },
         );
-        rows.push(Row {
-            spreading_factor: sf.value(),
-            airtime_ms: airtime.as_secs_f64() * 1e3,
-            max_per_hour_duty1pct: per_hour,
-            nominal_bitrate_bps: bitrate,
-            nominal_per_hour,
-            fits_payload: fits,
-        });
+        registry.inc(rows_counter);
+        if !fits {
+            registry.inc(misfit_counter);
+        }
+        rows.push(
+            Json::object()
+                .with("spreading_factor", Json::num(sf.value()))
+                .with("airtime_ms", Json::num(airtime.as_secs_f64() * 1e3))
+                .with("max_per_hour_duty1pct", Json::num(per_hour))
+                .with("nominal_bitrate_bps", Json::num(bitrate))
+                .with("nominal_per_hour", Json::num(nominal_per_hour))
+                .with("fits_payload", Json::Bool(fits)),
+        );
     }
     println!();
-    println!(
-        "paper (§5.2): \"theoretical maximum of 183 messages per sensor per hour\" at SF7/1%"
-    );
+    println!("paper (§5.2): \"theoretical maximum of 183 messages per sensor per hour\" at SF7/1%");
     println!(
         "nominal-bitrate model gives {:.0}/h, full AN1200.13 model {:.0}/h — same order, see EXPERIMENTS.md",
-        rows[0].nominal_per_hour, rows[0].max_per_hour_duty1pct
+        sf7.0, sf7.1
     );
     if let Some(path) = json {
-        write_json(&path, &rows).expect("write json");
+        BenchReport::new("lora_capacity")
+            .config("phy_len_bytes", Json::size(PHY_LEN))
+            .config("duty_cycle", Json::num(DUTY))
+            .rows(Json::Array(rows))
+            .metrics(registry.snapshot())
+            .write(&path)
+            .expect("write json");
         eprintln!("wrote {path}");
     }
 }

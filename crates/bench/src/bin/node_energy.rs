@@ -10,23 +10,12 @@
 //! Usage: `node_energy [--json PATH]`.
 
 use bcwan::costs::CostModel;
-use bcwan_bench::{parse_harness_args, write_json};
+use bcwan_bench::{parse_harness_args, BenchReport};
 use bcwan_lora::collision::{aloha_success_probability, offered_load};
 use bcwan_lora::energy::{battery_life_years, exchange_energy, EnergyModel};
 use bcwan_lora::params::RadioConfig;
 use bcwan_lora::time_on_air;
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct Report {
-    exchange_mj: f64,
-    request_tx_mj: f64,
-    key_rx_mj: f64,
-    crypto_mj: f64,
-    data_tx_mj: f64,
-    battery_years: Vec<(f64, f64)>,
-    contention: Vec<(u32, f64)>,
-}
+use bcwan_sim::{Json, Registry};
 
 fn main() {
     let (_, json) = parse_harness_args();
@@ -44,13 +33,20 @@ fn main() {
     println!("  data tx    : {:7.3} mJ", ex.data_tx * 1e3);
     println!("  total      : {:7.3} mJ", ex.total() * 1e3);
 
+    let mut registry = Registry::new();
+    let energy_gauge = registry.gauge("energy.exchange_mj");
+    registry.set(energy_gauge, ex.total() * 1e3);
+    let life_hist = registry.histogram("energy.battery_life_years");
+    let aloha_hist = registry.histogram("lora.aloha_success_probability");
+
     println!("\ncoin-cell (1000 mAh) battery life vs exchange rate:");
     println!("  rate/day   years");
     let mut battery_years = Vec::new();
     for rate in [1.0, 24.0, 96.0, 480.0, 1440.0] {
         let years = battery_life_years(&model, &ex, rate, 1000.0);
         println!("  {rate:>8.0}  {years:>6.1}");
-        battery_years.push((rate, years));
+        registry.observe(life_hist, years);
+        battery_years.push(Json::Array(vec![Json::num(rate), Json::num(years)]));
     }
 
     println!("\nALOHA contention, 160 B data frames on one SF7 channel:");
@@ -61,26 +57,30 @@ fn main() {
         let g = offered_load(sensors, 1.0 / 50.0, airtime);
         let p = aloha_success_probability(g);
         println!("  {sensors:>7}  {p:>8.3}");
-        contention.push((sensors, p));
+        registry.observe(aloha_hist, p);
+        contention.push(Json::Array(vec![Json::num(sensors), Json::num(p)]));
     }
     println!("\nThe intro's multi-year coin-cell claim holds at telemetry rates");
     println!("(24/day ⇒ years of life) but not at the duty-cycle ceiling; and one");
     println!("channel tolerates a gateway's 30 sensors, not the whole city's 300.");
 
     if let Some(path) = json {
-        write_json(
-            &path,
-            &Report {
-                exchange_mj: ex.total() * 1e3,
-                request_tx_mj: ex.request_tx * 1e3,
-                key_rx_mj: ex.key_rx * 1e3,
-                crypto_mj: ex.crypto * 1e3,
-                data_tx_mj: ex.data_tx * 1e3,
-                battery_years,
-                contention,
-            },
-        )
-        .expect("write json");
+        BenchReport::new("node_energy")
+            .config("battery_mah", Json::num(1000.0))
+            .config("data_frame_bytes", Json::size(160))
+            .rows(
+                Json::object()
+                    .with("exchange_mj", Json::num(ex.total() * 1e3))
+                    .with("request_tx_mj", Json::num(ex.request_tx * 1e3))
+                    .with("key_rx_mj", Json::num(ex.key_rx * 1e3))
+                    .with("crypto_mj", Json::num(ex.crypto * 1e3))
+                    .with("data_tx_mj", Json::num(ex.data_tx * 1e3))
+                    .with("battery_years", Json::Array(battery_years))
+                    .with("contention", Json::Array(contention)),
+            )
+            .metrics(registry.snapshot())
+            .write(&path)
+            .expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -1,8 +1,8 @@
 //! # bcwan-bench
 //!
-//! Figure-reproduction harnesses and Criterion micro-benchmarks for the
-//! BcWAN paper. Each `--bin` target regenerates one artefact of the
-//! evaluation (see DESIGN.md's experiment index):
+//! Figure-reproduction harnesses and micro-benchmarks for the BcWAN
+//! paper. Each `--bin` target regenerates one artefact of the evaluation
+//! (see DESIGN.md's experiment index):
 //!
 //! | binary | paper artefact |
 //! |---|---|
@@ -15,17 +15,154 @@
 //! | `ablation_consensus` | §6 PoW vs PoS (A4) |
 //! | `ablation_colocation` | §6 co-located gateways vs WAN latency (A5) |
 //! | `chain_throughput` | §5.2 Multichain "1000 tx/s" context (T-TP) |
+//! | `node_energy` | E1 — node energy budget and channel contention |
 //!
 //! Every binary prints a human-readable table and, with `--json PATH`,
-//! writes machine-readable rows for replotting.
+//! writes one [`BenchReport`] — the schema-versioned machine-readable
+//! document described in EXPERIMENTS.md ("Reading the metrics").
 
 #![warn(missing_docs)]
 
-use bcwan_sim::{Bucket, Series};
-use serde::Serialize;
+use bcwan_sim::{Bucket, Json, Registry, Series, Snapshot, Summary};
 
-/// One experiment's latency distribution, ready for serialization.
-#[derive(Debug, Clone, Serialize)]
+/// Version stamp every bench JSON document carries as `schema_version`.
+///
+/// Bump when the shape of [`BenchReport::to_json`] changes incompatibly
+/// (renamed keys, moved sections). Adding new keys is not a bump.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The one machine-readable document shape all bench binaries emit.
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "experiment": "fig5_latency",
+///   "config": { "target_exchanges": 2000, ... },
+///   "rows": [ ... experiment-specific rows ... ],
+///   "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} },
+///   "phases": { "request_uplink": { "count": ..., "mean_s": ..., ... }, ... }
+/// }
+/// ```
+///
+/// `rows` carries the experiment's own table (whatever the figure plots);
+/// `metrics` is a [`Registry`] snapshot — for world-driven experiments the
+/// full `world.*`/`chain.*`/`net.*` instrumentation, for analytic ones a
+/// small registry of run counters; `phases` summarizes the sim-time spans
+/// when the run traced them (empty object otherwise).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Binary name, e.g. `"fig5_latency"`.
+    pub experiment: String,
+    /// Run configuration, as an ordered JSON object.
+    pub config: Json,
+    /// Experiment-specific result rows.
+    pub rows: Json,
+    /// Metrics registry snapshot.
+    pub metrics: Snapshot,
+    /// Phase-latency summaries, `(phase name, summary)` per traced span.
+    pub phases: Vec<(String, Summary)>,
+}
+
+impl BenchReport {
+    /// Starts a report with an empty config, no rows, and empty metrics.
+    pub fn new(experiment: &str) -> Self {
+        BenchReport {
+            experiment: experiment.to_string(),
+            config: Json::object(),
+            rows: Json::Array(Vec::new()),
+            metrics: Registry::new().snapshot(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Appends one config key.
+    #[must_use]
+    pub fn config(mut self, key: &str, value: Json) -> Self {
+        self.config = self.config.with(key, value);
+        self
+    }
+
+    /// Sets the experiment rows.
+    #[must_use]
+    pub fn rows(mut self, rows: Json) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Attaches a registry snapshot.
+    #[must_use]
+    pub fn metrics(mut self, snapshot: Snapshot) -> Self {
+        self.metrics = snapshot;
+        self
+    }
+
+    /// Attaches phase series (as produced by a traced `World::run`),
+    /// keeping each phase that has at least one sample.
+    #[must_use]
+    pub fn phases(mut self, phases: &[(String, Series)]) -> Self {
+        self.phases = phases
+            .iter()
+            .filter_map(|(name, series)| series.summary().map(|s| (name.clone(), s)))
+            .collect();
+        self
+    }
+
+    /// Renders the schema-versioned document.
+    pub fn to_json(&self) -> Json {
+        let phases = Json::Object(
+            self.phases
+                .iter()
+                .map(|(name, s)| (name.clone(), summary_json(s)))
+                .collect(),
+        );
+        Json::object()
+            .with("schema_version", Json::uint(SCHEMA_VERSION))
+            .with("experiment", Json::str(&self.experiment))
+            .with("config", self.config.clone())
+            .with("rows", self.rows.clone())
+            .with("metrics", self.metrics.to_json())
+            .with("phases", phases)
+    }
+
+    /// Writes the pretty-rendered document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O failure.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().render_pretty())
+    }
+
+    /// Prints the phase table (no-op when the run was untraced).
+    pub fn print_phases(&self) {
+        if self.phases.is_empty() {
+            return;
+        }
+        println!("phase                 count    mean(s)     p50(s)     p95(s)");
+        for (name, s) in &self.phases {
+            println!(
+                "{name:20} {:>6}  {:>9.4}  {:>9.4}  {:>9.4}",
+                s.count, s.mean, s.median, s.p95
+            );
+        }
+    }
+}
+
+/// Renders a [`Summary`] as the JSON object used in `phases`.
+pub fn summary_json(s: &Summary) -> Json {
+    Json::object()
+        .with("count", Json::size(s.count))
+        .with("mean_s", Json::num(s.mean))
+        .with("std_s", Json::num(s.std_dev))
+        .with("min_s", Json::num(s.min))
+        .with("p50_s", Json::num(s.median))
+        .with("p95_s", Json::num(s.p95))
+        .with("p99_s", Json::num(s.p99))
+        .with("max_s", Json::num(s.max))
+}
+
+/// One experiment's latency distribution, ready for rendering.
+#[derive(Debug, Clone)]
 pub struct LatencyReport {
     /// Which figure/config this is.
     pub label: String,
@@ -133,9 +270,61 @@ impl LatencyReport {
             println!("{lo:7.2}–{hi:<7.2} {count:6} {bar}");
         }
     }
+
+    /// Renders the report as one JSON object (a `rows` entry).
+    pub fn to_json(&self) -> Json {
+        let histogram = Json::Array(
+            self.histogram
+                .iter()
+                .map(|&(lo, hi, count)| {
+                    Json::Array(vec![Json::num(lo), Json::num(hi), Json::size(count)])
+                })
+                .collect(),
+        );
+        Json::object()
+            .with("label", Json::str(&self.label))
+            .with(
+                "paper_mean_s",
+                self.paper_mean_s.map(Json::num).unwrap_or(Json::Null),
+            )
+            .with("completed", Json::size(self.completed))
+            .with("failed", Json::size(self.failed))
+            .with("mean_s", Json::num(self.mean_s))
+            .with("std_s", Json::num(self.std_s))
+            .with("min_s", Json::num(self.min_s))
+            .with("p50_s", Json::num(self.p50_s))
+            .with("p95_s", Json::num(self.p95_s))
+            .with("p99_s", Json::num(self.p99_s))
+            .with("max_s", Json::num(self.max_s))
+            .with("histogram", histogram)
+            .with("sim_time_s", Json::num(self.sim_time_s))
+            .with("blocks_mined", Json::uint(self.blocks_mined))
+            .with("stalls", Json::uint(self.stalls))
+    }
 }
 
-/// Parses `--json PATH` and `N` (positional exchange-count override) from
+/// Times `f` over `iters` iterations (after `max(iters/10, 1)` warm-up
+/// calls), prints one table line, and returns the per-iteration mean in
+/// seconds. The plain-`main` replacement for the Criterion harness the
+/// offline build cannot fetch (see ROADMAP "Open items").
+pub fn bench_fn<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..(iters / 10).max(1) {
+        std::hint::black_box(f());
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() / f64::from(iters);
+    if per < 1e-3 {
+        println!("{name:<48} {:>10.2} µs/iter  ({iters} iters)", per * 1e6);
+    } else {
+        println!("{name:<48} {:>10.3} ms/iter  ({iters} iters)", per * 1e3);
+    }
+    per
+}
+
+/// Parses `--json PATH` and `N` (positional count override) from
 /// `std::env::args`. Returns `(target_override, json_path)`.
 pub fn parse_harness_args() -> (Option<usize>, Option<String>) {
     let mut target = None;
@@ -151,28 +340,28 @@ pub fn parse_harness_args() -> (Option<usize>, Option<String>) {
     (target, json)
 }
 
-/// Writes any serializable report to a JSON file.
-///
-/// # Errors
-///
-/// I/O or serialization failure.
-pub fn write_json<T: Serialize>(path: &str, value: &T) -> std::io::Result<()> {
-    let text = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(path, text)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn sample_report() -> BenchReport {
+        let series: Series = vec![1.0, 2.0, 3.0].into_iter().collect();
+        let mut registry = Registry::new();
+        let c = registry.counter("bench.rows_total");
+        registry.add(c, 3);
+        BenchReport::new("unit_test")
+            .config("n", Json::size(3))
+            .rows(Json::Array(vec![Json::num(1.5)]))
+            .metrics(registry.snapshot())
+            .phases(&[("settle".to_string(), series)])
+    }
+
     #[test]
     fn report_from_series() {
         let series: Series = vec![1.0, 2.0, 3.0].into_iter().collect();
-        let report = LatencyReport::from_series(
-            "test", Some(1.6), &series, 3, 0, 100.0, 5, 0, 5.0, 5,
-        )
-        .unwrap();
+        let report =
+            LatencyReport::from_series("test", Some(1.6), &series, 3, 0, 100.0, 5, 0, 5.0, 5)
+                .unwrap();
         assert_eq!(report.completed, 3);
         assert!((report.mean_s - 2.0).abs() < 1e-12);
         assert_eq!(report.histogram.len(), 5);
@@ -180,6 +369,9 @@ mod tests {
             report.histogram.iter().map(|&(_, _, c)| c).sum::<usize>(),
             3
         );
+        let json = report.to_json();
+        assert_eq!(json.get("completed").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(json.get("paper_mean_s").and_then(Json::as_f64), Some(1.6));
     }
 
     #[test]
@@ -189,11 +381,45 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip() {
-        let series: Series = vec![1.0].into_iter().collect();
-        let report =
-            LatencyReport::from_series("j", None, &series, 1, 0, 1.0, 1, 0, 2.0, 2).unwrap();
-        let text = serde_json::to_string(&report).unwrap();
-        assert!(text.contains("\"label\":\"j\""));
+    fn bench_report_carries_schema_version() {
+        let doc = sample_report().to_json();
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            doc.get("experiment").and_then(Json::as_str),
+            Some("unit_test")
+        );
+        let metrics = doc.get("metrics").expect("metrics section");
+        let counters = metrics.get("counters").expect("counters");
+        assert_eq!(
+            counters.get("bench.rows_total").and_then(Json::as_f64),
+            Some(3.0)
+        );
+        let phases = doc.get("phases").expect("phases section");
+        let settle = phases.get("settle").expect("settle phase");
+        assert_eq!(settle.get("count").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(settle.get("mean_s").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn bench_report_round_trips_through_parser() {
+        let doc = sample_report().to_json();
+        for text in [doc.render(), doc.render_pretty()] {
+            let parsed = bcwan_sim::json::parse(&text).expect("parses");
+            assert_eq!(parsed, doc);
+        }
+        // The metrics section parses back into a Snapshot.
+        let metrics = doc.get("metrics").expect("metrics");
+        let snap = Snapshot::from_json(metrics).expect("valid snapshot");
+        assert_eq!(snap.counters, vec![("bench.rows_total".to_string(), 3)]);
+    }
+
+    #[test]
+    fn empty_phases_render_as_empty_object() {
+        let doc = BenchReport::new("x").to_json();
+        assert_eq!(doc.get("phases"), Some(&Json::Object(Vec::new())));
+        assert!(doc.render().contains("\"phases\":{}"));
     }
 }

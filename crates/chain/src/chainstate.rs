@@ -57,6 +57,38 @@ struct StoredBlock {
     height: u64,
 }
 
+/// Lifetime counters of chain activity, read back into the metrics
+/// registry at the end of a run (`chain.*` rows in bench reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainStats {
+    /// Blocks connected to the main chain (extensions + reorg connects;
+    /// genesis not counted).
+    pub blocks_connected: u64,
+    /// Blocks disconnected during reorganizations.
+    pub blocks_disconnected: u64,
+    /// Completed reorganizations.
+    pub reorgs: u64,
+    /// Non-coinbase transactions connected to the main chain.
+    pub txs_connected: u64,
+    /// UTXO entries created while connecting blocks.
+    pub utxos_created: u64,
+    /// UTXO entries spent while connecting blocks.
+    pub utxos_spent: u64,
+}
+
+impl ChainStats {
+    fn connect(&mut self, block: &Block) {
+        self.blocks_connected += 1;
+        for tx in &block.transactions {
+            if !tx.is_coinbase() {
+                self.txs_connected += 1;
+                self.utxos_spent += tx.inputs.len() as u64;
+            }
+            self.utxos_created += tx.outputs.len() as u64;
+        }
+    }
+}
+
 /// The chain state: all known blocks, the best chain, and its UTXO set.
 pub struct Chain {
     params: ChainParams,
@@ -66,6 +98,7 @@ pub struct Chain {
     /// Undo data for connected main-chain blocks.
     undo: HashMap<BlockHash, UndoData>,
     utxo: UtxoSet,
+    stats: ChainStats,
 }
 
 impl fmt::Debug for Chain {
@@ -105,7 +138,13 @@ impl Chain {
             main: vec![hash],
             undo,
             utxo,
+            stats: ChainStats::default(),
         }
+    }
+
+    /// Lifetime activity counters.
+    pub fn stats(&self) -> ChainStats {
+        self.stats
     }
 
     /// Builds a standard genesis block carrying one coinbase that
@@ -161,8 +200,7 @@ impl Chain {
 
     /// Number of confirmations of a main-chain block (tip = 1).
     pub fn confirmations(&self, hash: &BlockHash) -> Option<u64> {
-        self.main_chain_height(hash)
-            .map(|h| self.height() - h + 1)
+        self.main_chain_height(hash).map(|h| self.height() - h + 1)
     }
 
     /// The main-chain block at `height`.
@@ -220,6 +258,7 @@ impl Chain {
                 .expect("validated block applies");
             self.undo.insert(hash, undo);
             self.main.push(hash);
+            self.stats.connect(&block);
             self.blocks.insert(hash, StoredBlock { block, height });
             return Ok(BlockAction::Extended(height));
         }
@@ -260,6 +299,7 @@ impl Chain {
             let stored = self.blocks.get(&hash).expect("stored");
             let undo = self.undo.remove(&hash).expect("undo kept for main blocks");
             self.utxo.undo_block(&stored.block.transactions, &undo);
+            self.stats.blocks_disconnected += 1;
             disconnected.push(hash);
         }
 
@@ -276,6 +316,7 @@ impl Chain {
                         .expect("validated block applies");
                     self.undo.insert(*hash, undo);
                     self.main.push(*hash);
+                    self.stats.connect(&block);
                     connected += 1;
                 }
                 Err(e) => {
@@ -303,6 +344,7 @@ impl Chain {
                 }
             }
         }
+        self.stats.reorgs += 1;
         Ok(BlockAction::Reorganized {
             disconnected: disconnected.len(),
             connected,
@@ -335,7 +377,12 @@ mod tests {
                 script_pubkey: Script::new(),
             }],
         );
-        Block::mine(parent, height * 1_000_000, chain.params().difficulty_bits, vec![cb])
+        Block::mine(
+            parent,
+            height * 1_000_000,
+            chain.params().difficulty_bits,
+            vec![cb],
+        )
     }
 
     #[test]
@@ -465,7 +512,9 @@ mod tests {
             chain.utxo().contains(&genesis_coin),
             "reorg must restore the spent coin"
         );
-        assert!(chain.find_transaction(&spend_block.transactions[1].txid()).is_none());
+        assert!(chain
+            .find_transaction(&spend_block.transactions[1].txid())
+            .is_none());
     }
 
     #[test]
@@ -498,6 +547,29 @@ mod tests {
         assert_eq!(height, 1);
         assert!(tx.is_coinbase());
         assert!(chain.find_transaction(&crate::tx::TxId([1; 32])).is_none());
+    }
+
+    #[test]
+    fn stats_track_connects_and_reorgs() {
+        let (mut chain, _) = setup();
+        assert_eq!(chain.stats(), ChainStats::default());
+        let genesis_hash = chain.tip();
+        let b1 = empty_block(&chain, genesis_hash, 1, b"main");
+        chain.add_block(b1).unwrap();
+        let s = chain.stats();
+        assert_eq!(s.blocks_connected, 1);
+        assert_eq!(s.utxos_created, 1); // the coinbase output
+        assert_eq!(s.txs_connected, 0); // coinbase doesn't count
+
+        // Two-block side branch forces a reorg: 1 disconnect, 2 connects.
+        let a1 = empty_block(&chain, genesis_hash, 1, b"alt1");
+        chain.add_block(a1.clone()).unwrap();
+        let a2 = empty_block(&chain, a1.hash(), 2, b"alt2");
+        chain.add_block(a2).unwrap();
+        let s = chain.stats();
+        assert_eq!(s.reorgs, 1);
+        assert_eq!(s.blocks_disconnected, 1);
+        assert_eq!(s.blocks_connected, 3);
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub mod validate;
 pub mod wallet;
 
 pub use block::{Block, BlockHash, BlockHeader};
-pub use chainstate::{BlockAction, Chain, ChainError};
-pub use mempool::{Mempool, MempoolError};
+pub use chainstate::{BlockAction, Chain, ChainError, ChainStats};
+pub use mempool::{Mempool, MempoolError, MempoolStats};
 pub use params::{ChainParams, StallModel};
 pub use tx::{OutPoint, Transaction, TxId, TxIn, TxOut, SEQUENCE_FINAL};
 pub use utxo::{UtxoEntry, UtxoSet};

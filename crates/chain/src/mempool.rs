@@ -47,6 +47,22 @@ struct PoolEntry {
     fee: u64,
 }
 
+/// Lifetime counters of pool activity, read back into the metrics
+/// registry at the end of a run (`mempool.*` rows in bench reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MempoolStats {
+    /// Transactions admitted.
+    pub accepted: u64,
+    /// Rejections: already pooled.
+    pub rejected_duplicate: u64,
+    /// Rejections: double-spend of a pooled input (first-seen wins).
+    pub rejected_conflict: u64,
+    /// Rejections: failed validation.
+    pub rejected_invalid: u64,
+    /// Transactions removed because a block confirmed them (or a conflict).
+    pub evicted: u64,
+}
+
 /// The UTXO state as the pool sees it: base set plus pooled outputs minus
 /// pooled spends. A borrow-only overlay — no cloning.
 struct PoolView<'a> {
@@ -78,6 +94,7 @@ pub struct Mempool {
     /// Outputs created by pooled transactions, for the overlay view.
     created: HashMap<OutPoint, crate::utxo::UtxoEntry>,
     next_seq: u64,
+    stats: MempoolStats,
 }
 
 impl fmt::Debug for Mempool {
@@ -92,6 +109,11 @@ impl Mempool {
     /// An empty pool.
     pub fn new() -> Self {
         Mempool::default()
+    }
+
+    /// Lifetime accept/reject/evict counters.
+    pub fn stats(&self) -> MempoolStats {
+        self.stats
     }
 
     /// Number of pooled transactions.
@@ -129,10 +151,12 @@ impl Mempool {
     ) -> Result<u64, MempoolError> {
         let txid = tx.txid();
         if self.entries.contains_key(&txid) {
+            self.stats.rejected_duplicate += 1;
             return Err(MempoolError::Duplicate(txid));
         }
         for input in &tx.inputs {
             if let Some(existing) = self.by_outpoint.get(&input.prevout) {
+                self.stats.rejected_conflict += 1;
                 return Err(MempoolError::Conflict {
                     outpoint: input.prevout,
                     existing: *existing,
@@ -146,8 +170,13 @@ impl Mempool {
             created: &self.created,
             spent: &self.by_outpoint,
         };
-        let fee = validate_transaction(&tx, &view, height, params)
-            .map_err(MempoolError::Invalid)?;
+        let fee = match validate_transaction(&tx, &view, height, params) {
+            Ok(fee) => fee,
+            Err(e) => {
+                self.stats.rejected_invalid += 1;
+                return Err(MempoolError::Invalid(e));
+            }
+        };
         for input in &tx.inputs {
             self.by_outpoint.insert(input.prevout, txid);
         }
@@ -165,6 +194,7 @@ impl Mempool {
             );
         }
         self.next_seq += 1;
+        self.stats.accepted += 1;
         self.entries.insert(txid, PoolEntry { tx, fee });
         Ok(fee)
     }
@@ -240,6 +270,7 @@ impl Mempool {
                 }
             }
         }
+        self.stats.evicted += evicted as u64;
         evicted
     }
 
@@ -316,7 +347,7 @@ mod tests {
                 .collect(),
         );
         let mut utxo = UtxoSet::new();
-        utxo.apply_block(&[cb.clone()], 0).unwrap();
+        utxo.apply_block(std::slice::from_ref(&cb), 0).unwrap();
         let coins = (0..n_coins as u32)
             .map(|vout| {
                 (
@@ -353,7 +384,9 @@ mod tests {
         let f = fixture(1);
         let mut pool = Mempool::new();
         let tx = payment(&f, 0, 25);
-        let fee = pool.insert(tx.clone(), &f.utxo, f.height, &f.params).unwrap();
+        let fee = pool
+            .insert(tx.clone(), &f.utxo, f.height, &f.params)
+            .unwrap();
         assert_eq!(fee, 25);
         assert!(pool.contains(&tx.txid()));
         assert_eq!(pool.total_fees(), 25);
@@ -364,7 +397,8 @@ mod tests {
         let f = fixture(1);
         let mut pool = Mempool::new();
         let tx = payment(&f, 0, 10);
-        pool.insert(tx.clone(), &f.utxo, f.height, &f.params).unwrap();
+        pool.insert(tx.clone(), &f.utxo, f.height, &f.params)
+            .unwrap();
         assert!(matches!(
             pool.insert(tx, &f.utxo, f.height, &f.params),
             Err(MempoolError::Duplicate(_))
@@ -377,7 +411,8 @@ mod tests {
         let mut pool = Mempool::new();
         let tx1 = payment(&f, 0, 10);
         let tx2 = payment(&f, 0, 500); // higher fee — still loses: first-seen
-        pool.insert(tx1.clone(), &f.utxo, f.height, &f.params).unwrap();
+        pool.insert(tx1.clone(), &f.utxo, f.height, &f.params)
+            .unwrap();
         let err = pool.insert(tx2, &f.utxo, f.height, &f.params).unwrap_err();
         assert!(matches!(err, MempoolError::Conflict { existing, .. } if existing == tx1.txid()));
     }
@@ -402,7 +437,8 @@ mod tests {
         let rich = payment(&f, 1, 300);
         let mid = payment(&f, 2, 50);
         for tx in [&cheap, &rich, &mid] {
-            pool.insert(tx.clone(), &f.utxo, f.height, &f.params).unwrap();
+            pool.insert(tx.clone(), &f.utxo, f.height, &f.params)
+                .unwrap();
         }
         let template = pool.block_template(1 << 20);
         assert_eq!(template.len(), 3);
@@ -430,13 +466,18 @@ mod tests {
         let mut pool = Mempool::new();
         let tx_a = payment(&f, 0, 10);
         let tx_b = payment(&f, 1, 10);
-        pool.insert(tx_a.clone(), &f.utxo, f.height, &f.params).unwrap();
-        pool.insert(tx_b.clone(), &f.utxo, f.height, &f.params).unwrap();
+        pool.insert(tx_a.clone(), &f.utxo, f.height, &f.params)
+            .unwrap();
+        pool.insert(tx_b.clone(), &f.utxo, f.height, &f.params)
+            .unwrap();
 
         // A block confirms a *conflicting* spend of coin 0 plus tx_b itself.
         let conflict = f.wallet.build_payment(
             vec![f.coins[0].clone()],
-            vec![TxOut { value: 500, script_pubkey: Script::new() }],
+            vec![TxOut {
+                value: 500,
+                script_pubkey: Script::new(),
+            }],
             0,
         );
         let evicted = pool.remove_confirmed(&[conflict, tx_b.clone()]);
@@ -456,7 +497,8 @@ mod tests {
             }],
             0,
         );
-        pool.insert(parent.clone(), &f.utxo, f.height, &f.params).unwrap();
+        pool.insert(parent.clone(), &f.utxo, f.height, &f.params)
+            .unwrap();
         // Child spends the parent's unconfirmed output — the BcWAN claim
         // transaction does exactly this to the unconfirmed escrow.
         let child = f.wallet.build_payment(
@@ -473,15 +515,44 @@ mod tests {
             }],
             0,
         );
-        let fee = pool.insert(child.clone(), &f.utxo, f.height, &f.params).unwrap();
+        let fee = pool
+            .insert(child.clone(), &f.utxo, f.height, &f.params)
+            .unwrap();
         assert_eq!(fee, 100);
         // The template includes both, parent before child, despite the
         // parent's lower fee rate.
         let template = pool.block_template(1 << 20);
         assert_eq!(template.len(), 2);
-        let parent_pos = template.iter().position(|t| t.txid() == parent.txid()).unwrap();
-        let child_pos = template.iter().position(|t| t.txid() == child.txid()).unwrap();
+        let parent_pos = template
+            .iter()
+            .position(|t| t.txid() == parent.txid())
+            .unwrap();
+        let child_pos = template
+            .iter()
+            .position(|t| t.txid() == child.txid())
+            .unwrap();
         assert!(parent_pos < child_pos);
+    }
+
+    #[test]
+    fn stats_count_accepts_rejects_evictions() {
+        let f = fixture(2);
+        let mut pool = Mempool::new();
+        let tx1 = payment(&f, 0, 10);
+        pool.insert(tx1.clone(), &f.utxo, f.height, &f.params)
+            .unwrap();
+        let _ = pool.insert(tx1.clone(), &f.utxo, f.height, &f.params); // duplicate
+        let _ = pool.insert(payment(&f, 0, 99), &f.utxo, f.height, &f.params); // conflict
+        let mut bad = payment(&f, 1, 10);
+        bad.outputs[0].value = 10_000;
+        let _ = pool.insert(bad, &f.utxo, f.height, &f.params); // invalid
+        pool.remove_confirmed(&[tx1]);
+        let s = pool.stats();
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.rejected_duplicate, 1);
+        assert_eq!(s.rejected_conflict, 1);
+        assert_eq!(s.rejected_invalid, 1);
+        assert_eq!(s.evicted, 1);
     }
 
     #[test]
@@ -496,13 +567,20 @@ mod tests {
             }],
             0,
         );
-        pool.insert(parent.clone(), &f.utxo, f.height, &f.params).unwrap();
+        pool.insert(parent.clone(), &f.utxo, f.height, &f.params)
+            .unwrap();
         let child = f.wallet.build_payment(
             vec![(
-                OutPoint { txid: parent.txid(), vout: 0 },
+                OutPoint {
+                    txid: parent.txid(),
+                    vout: 0,
+                },
                 f.wallet.locking_script(),
             )],
-            vec![TxOut { value: 800, script_pubkey: Script::new() }],
+            vec![TxOut {
+                value: 800,
+                script_pubkey: Script::new(),
+            }],
             0,
         );
         pool.insert(child, &f.utxo, f.height, &f.params).unwrap();
@@ -510,7 +588,10 @@ mod tests {
         // parent is evicted and the now-orphaned child with it.
         let conflict = f.wallet.build_payment(
             vec![f.coins[0].clone()],
-            vec![TxOut { value: 1, script_pubkey: Script::new() }],
+            vec![TxOut {
+                value: 1,
+                script_pubkey: Script::new(),
+            }],
             0,
         );
         let evicted = pool.remove_confirmed(&[conflict]);

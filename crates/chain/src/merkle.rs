@@ -65,7 +65,11 @@ pub fn merkle_proof(txids: &[TxId], index: usize) -> Option<MerkleProof> {
     let mut level: Vec<[u8; 32]> = txids.iter().map(|t| t.0).collect();
     let mut pos = index;
     while level.len() > 1 {
-        let sibling_pos = if pos.is_multiple_of(2) { pos + 1 } else { pos - 1 };
+        let sibling_pos = if pos.is_multiple_of(2) {
+            pos + 1
+        } else {
+            pos - 1
+        };
         let sibling = if sibling_pos < level.len() {
             level[sibling_pos]
         } else {

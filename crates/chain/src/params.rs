@@ -97,11 +97,18 @@ impl StallModel {
 
     /// Calibrated to the paper's observation: with ~15 s blocks carrying
     /// tens of transactions, exchanges that overlap a block arrival wait
-    /// long enough to pull the mean full-exchange latency to ≈ 30 s.
+    /// an order of magnitude longer than the Fig. 5 baseline.
+    ///
+    /// The base is set just below the daemons' queueing knee: at the
+    /// Fig. 6 workload a ~5.5 s base yields a stable heavy-tailed system
+    /// (mean ≈ 18 s), while 6 s already tips it into saturation
+    /// (mean ≈ 47 s and growing with run length) — see EXPERIMENTS.md.
+    /// The paper's 30.241 s mean sits on that knee, where any finite
+    /// run's mean is dominated by luck; we pick the stable side.
     pub fn multichain_observed() -> Self {
         StallModel {
             enabled: true,
-            base: SimDuration::from_millis(7_500),
+            base: SimDuration::from_millis(5_500),
             per_tx: SimDuration::from_millis(50),
             jitter_sigma: 0.35,
         }
@@ -112,8 +119,7 @@ impl StallModel {
         if !self.enabled {
             return SimDuration::ZERO;
         }
-        let nominal =
-            self.base.as_secs_f64() + self.per_tx.as_secs_f64() * tx_count as f64;
+        let nominal = self.base.as_secs_f64() + self.per_tx.as_secs_f64() * tx_count as f64;
         let factor = if self.jitter_sigma > 0.0 {
             rng.log_normal(0.0, self.jitter_sigma)
         } else {
@@ -163,8 +169,8 @@ mod tests {
     fn observed_stall_scale_matches_paper_gap() {
         // Mean stall for a ~20-tx block is order-10 s: below the 15 s
         // block interval (so daemon queues stay stable) yet long enough
-        // that queueing lifts a ~1.6 s exchange towards the paper's 30 s
-        // Fig. 6 mean.
+        // that queueing lifts a ~1.6 s exchange by an order of
+        // magnitude, the paper's Fig. 6 effect.
         let mut rng = SimRng::seed_from_u64(3);
         let model = StallModel::multichain_observed();
         let n = 2000;

@@ -82,8 +82,7 @@ impl ValidatorSet {
         material.extend_from_slice(seed);
         material.extend_from_slice(&height.to_le_bytes());
         let digest = sha256(&material);
-        let draw = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"))
-            % self.total_stake;
+        let draw = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes")) % self.total_stake;
         let mut acc = 0u64;
         for (addr, stake) in &self.validators {
             acc += stake;

@@ -229,17 +229,25 @@ mod tests {
 
     #[test]
     fn coinbase_detection() {
-        let cb = Transaction::coinbase(5, b"miner-1", vec![TxOut {
-            value: 100,
-            script_pubkey: Script::new(),
-        }]);
+        let cb = Transaction::coinbase(
+            5,
+            b"miner-1",
+            vec![TxOut {
+                value: 100,
+                script_pubkey: Script::new(),
+            }],
+        );
         assert!(cb.is_coinbase());
         assert!(!sample_tx().is_coinbase());
         // Unique per height.
-        let cb2 = Transaction::coinbase(6, b"miner-1", vec![TxOut {
-            value: 100,
-            script_pubkey: Script::new(),
-        }]);
+        let cb2 = Transaction::coinbase(
+            6,
+            b"miner-1",
+            vec![TxOut {
+                value: 100,
+                script_pubkey: Script::new(),
+            }],
+        );
         assert_ne!(cb.txid(), cb2.txid());
     }
 

@@ -246,7 +246,7 @@ mod tests {
     fn apply_coinbase_creates_outputs() {
         let mut set = UtxoSet::new();
         let cb = coinbase(0, 100);
-        let undo = set.apply_block(&[cb.clone()], 0).unwrap();
+        let undo = set.apply_block(std::slice::from_ref(&cb), 0).unwrap();
         assert_eq!(set.len(), 1);
         assert_eq!(set.total_value(), 100);
         let entry = set
@@ -264,20 +264,32 @@ mod tests {
     fn spend_moves_value() {
         let mut set = UtxoSet::new();
         let cb = coinbase(0, 100);
-        set.apply_block(&[cb.clone()], 0).unwrap();
-        let tx = spend(OutPoint { txid: cb.txid(), vout: 0 }, &[60, 40]);
-        set.apply_block(&[tx.clone()], 1).unwrap();
+        set.apply_block(std::slice::from_ref(&cb), 0).unwrap();
+        let tx = spend(
+            OutPoint {
+                txid: cb.txid(),
+                vout: 0,
+            },
+            &[60, 40],
+        );
+        set.apply_block(std::slice::from_ref(&tx), 1).unwrap();
         assert_eq!(set.len(), 2);
         assert_eq!(set.total_value(), 100);
-        assert!(!set.contains(&OutPoint { txid: cb.txid(), vout: 0 }));
+        assert!(!set.contains(&OutPoint {
+            txid: cb.txid(),
+            vout: 0
+        }));
     }
 
     #[test]
     fn double_spend_rejected() {
         let mut set = UtxoSet::new();
         let cb = coinbase(0, 100);
-        set.apply_block(&[cb.clone()], 0).unwrap();
-        let prev = OutPoint { txid: cb.txid(), vout: 0 };
+        set.apply_block(std::slice::from_ref(&cb), 0).unwrap();
+        let prev = OutPoint {
+            txid: cb.txid(),
+            vout: 0,
+        };
         set.apply_block(&[spend(prev, &[100])], 1).unwrap();
         let err = set.apply_block(&[spend(prev, &[1])], 2).unwrap_err();
         assert_eq!(err, UtxoError::MissingInput(prev));
@@ -287,9 +299,15 @@ mod tests {
     fn failed_block_leaves_set_unchanged() {
         let mut set = UtxoSet::new();
         let cb = coinbase(0, 100);
-        set.apply_block(&[cb.clone()], 0).unwrap();
+        set.apply_block(std::slice::from_ref(&cb), 0).unwrap();
         let before: Vec<_> = set.iter().map(|(k, _)| *k).collect();
-        let good = spend(OutPoint { txid: cb.txid(), vout: 0 }, &[100]);
+        let good = spend(
+            OutPoint {
+                txid: cb.txid(),
+                vout: 0,
+            },
+            &[100],
+        );
         let bad = spend(
             OutPoint {
                 txid: TxId([0xde; 32]),
@@ -307,18 +325,27 @@ mod tests {
     fn undo_block_restores_exactly() {
         let mut set = UtxoSet::new();
         let cb = coinbase(0, 100);
-        set.apply_block(&[cb.clone()], 0).unwrap();
+        set.apply_block(std::slice::from_ref(&cb), 0).unwrap();
         let snapshot_value = set.total_value();
         let snapshot_len = set.len();
 
-        let txs = vec![spend(OutPoint { txid: cb.txid(), vout: 0 }, &[70, 30])];
+        let txs = vec![spend(
+            OutPoint {
+                txid: cb.txid(),
+                vout: 0,
+            },
+            &[70, 30],
+        )];
         let undo = set.apply_block(&txs, 1).unwrap();
         assert_eq!(set.len(), 2);
 
         set.undo_block(&txs, &undo);
         assert_eq!(set.len(), snapshot_len);
         assert_eq!(set.total_value(), snapshot_value);
-        assert!(set.contains(&OutPoint { txid: cb.txid(), vout: 0 }));
+        assert!(set.contains(&OutPoint {
+            txid: cb.txid(),
+            vout: 0
+        }));
     }
 
     #[test]
@@ -334,7 +361,10 @@ mod tests {
                 txs.push(spend(p, &[25, 25]));
             }
             set.apply_block(&txs, h).unwrap();
-            prev = Some(OutPoint { txid: cb.txid(), vout: 0 });
+            prev = Some(OutPoint {
+                txid: cb.txid(),
+                vout: 0,
+            });
             assert_eq!(set.total_value(), minted, "height {h}");
         }
     }

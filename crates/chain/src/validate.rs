@@ -135,7 +135,10 @@ impl fmt::Display for BlockError {
                 write!(f, "pow {achieved} bits, need {required}")
             }
             BlockError::WrongBits { claimed, required } => {
-                write!(f, "header claims {claimed} bits, consensus requires {required}")
+                write!(
+                    f,
+                    "header claims {claimed} bits, consensus requires {required}"
+                )
             }
             BlockError::BadMerkleRoot => write!(f, "merkle root mismatch"),
             BlockError::TooLarge { size, limit } => {
@@ -341,7 +344,7 @@ mod tests {
             }],
         );
         let mut utxo = UtxoSet::new();
-        utxo.apply_block(&[cb.clone()], 0).unwrap();
+        utxo.apply_block(std::slice::from_ref(&cb), 0).unwrap();
         Fixture {
             params,
             utxo,
@@ -385,7 +388,13 @@ mod tests {
             0,
         );
         let err = validate_transaction(&tx, &f.utxo, 1, &f.params).unwrap_err();
-        assert!(matches!(err, TxError::ImmatureCoinbase { created: 0, spend: 1 }));
+        assert!(matches!(
+            err,
+            TxError::ImmatureCoinbase {
+                created: 0,
+                spend: 1
+            }
+        ));
     }
 
     #[test]
@@ -401,7 +410,10 @@ mod tests {
         );
         assert!(matches!(
             validate_transaction(&tx, &f.utxo, spend_height(&f), &f.params),
-            Err(TxError::ValueOutOfRange { input: 1000, output: 2000 })
+            Err(TxError::ValueOutOfRange {
+                input: 1000,
+                output: 2000
+            })
         ));
     }
 
@@ -458,7 +470,10 @@ mod tests {
         );
         assert!(matches!(
             validate_transaction(&tx, &f.utxo, spend_height(&f), &f.params),
-            Err(TxError::NotFinal { lock_time: 1000, .. })
+            Err(TxError::NotFinal {
+                lock_time: 1000,
+                ..
+            })
         ));
     }
 
@@ -593,12 +608,14 @@ mod tests {
             f.params.difficulty_bits,
             vec![cb.clone()],
         );
-        block
-            .transactions
-            .push(Transaction::coinbase(1, b"x", vec![TxOut {
+        block.transactions.push(Transaction::coinbase(
+            1,
+            b"x",
+            vec![TxOut {
                 value: 1,
                 script_pubkey: Script::new(),
-            }]));
+            }],
+        ));
         let result = validate_block(&block, &f.utxo, 0, &f.params);
         assert!(
             matches!(result, Err(BlockError::BadMerkleRoot)),

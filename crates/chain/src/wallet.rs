@@ -158,9 +158,7 @@ mod tests {
     fn address_derivation_is_deterministic() {
         let mut rng = StdRng::seed_from_u64(1);
         let w = Wallet::generate(&mut rng);
-        let again = Wallet::from_key(
-            EcdsaPrivateKey::from_bytes(&w.key.to_bytes()).unwrap(),
-        );
+        let again = Wallet::from_key(EcdsaPrivateKey::from_bytes(&w.key.to_bytes()).unwrap());
         assert_eq!(w.address(), again.address());
     }
 
@@ -181,16 +179,26 @@ mod tests {
 
         let tx = owner.build_payment(
             vec![(
-                OutPoint { txid: TxId([7; 32]), vout: 0 },
+                OutPoint {
+                    txid: TxId([7; 32]),
+                    vout: 0,
+                },
                 prev_spk.clone(),
             )],
-            vec![TxOut { value: 10, script_pubkey: payee.locking_script() }],
+            vec![TxOut {
+                value: 10,
+                script_pubkey: payee.locking_script(),
+            }],
             0,
         );
 
         let digest = tx.sighash(0, &prev_spk);
         let checker = DigestChecker { digest };
-        let ctx = ExecContext { checker: &checker, lock_time: tx.lock_time, input_final: false };
+        let ctx = ExecContext {
+            checker: &checker,
+            lock_time: tx.lock_time,
+            input_final: false,
+        };
         assert_eq!(
             verify_spend(&tx.inputs[0].script_sig, &prev_spk, &ctx),
             Ok(true)
@@ -203,15 +211,28 @@ mod tests {
         let owner = Wallet::generate(&mut rng);
         let prev_spk = owner.locking_script();
         let mut tx = owner.build_payment(
-            vec![(OutPoint { txid: TxId([7; 32]), vout: 0 }, prev_spk.clone())],
-            vec![TxOut { value: 10, script_pubkey: Script::new() }],
+            vec![(
+                OutPoint {
+                    txid: TxId([7; 32]),
+                    vout: 0,
+                },
+                prev_spk.clone(),
+            )],
+            vec![TxOut {
+                value: 10,
+                script_pubkey: Script::new(),
+            }],
             0,
         );
         // Tamper after signing.
         tx.outputs[0].value = 10_000;
         let digest = tx.sighash(0, &prev_spk);
         let checker = DigestChecker { digest };
-        let ctx = ExecContext { checker: &checker, lock_time: 0, input_final: false };
+        let ctx = ExecContext {
+            checker: &checker,
+            lock_time: 0,
+            input_final: false,
+        };
         assert_eq!(
             verify_spend(&tx.inputs[0].script_sig, &prev_spk, &ctx),
             Ok(false)

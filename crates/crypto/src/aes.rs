@@ -193,7 +193,12 @@ fn inv_shift_rows(state: &mut [u8; 16]) {
 
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+        let col = [
+            state[c * 4],
+            state[c * 4 + 1],
+            state[c * 4 + 2],
+            state[c * 4 + 3],
+        ];
         state[c * 4] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
         state[c * 4 + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
         state[c * 4 + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
@@ -203,7 +208,12 @@ fn mix_columns(state: &mut [u8; 16]) {
 
 fn inv_mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+        let col = [
+            state[c * 4],
+            state[c * 4 + 1],
+            state[c * 4 + 2],
+            state[c * 4 + 3],
+        ];
         state[c * 4] =
             gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
         state[c * 4 + 1] =
@@ -227,7 +237,9 @@ pub enum CbcError {
 impl std::fmt::Display for CbcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CbcError::BadLength(n) => write!(f, "ciphertext length {n} is not a positive multiple of 16"),
+            CbcError::BadLength(n) => {
+                write!(f, "ciphertext length {n} is not a positive multiple of 16")
+            }
             CbcError::BadPadding => write!(f, "invalid pkcs#7 padding"),
         }
     }
@@ -304,12 +316,11 @@ mod tests {
     // FIPS 197 Appendix C.3 known-answer test for AES-256.
     #[test]
     fn fips197_appendix_c3() {
-        let key: [u8; 32] = hex::decode(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .unwrap()
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            hex::decode("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .unwrap()
+                .try_into()
+                .unwrap();
         let plain: [u8; 16] = hex::decode("00112233445566778899aabbccddeeff")
             .unwrap()
             .try_into()
@@ -324,22 +335,18 @@ mod tests {
     // interference because we check the raw first block only.
     #[test]
     fn sp800_38a_cbc_first_block() {
-        let key: [u8; 32] = hex::decode(
-            "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4",
-        )
-        .unwrap()
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            hex::decode("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+                .unwrap()
+                .try_into()
+                .unwrap();
         let iv: [u8; 16] = hex::decode("000102030405060708090a0b0c0d0e0f")
             .unwrap()
             .try_into()
             .unwrap();
         let plaintext = hex::decode("6bc1bee22e409f96e93d7e117393172a").unwrap();
         let ct = cbc_encrypt(&key, &iv, &plaintext);
-        assert_eq!(
-            hex::encode(&ct[..16]),
-            "f58c4c04d6e5f1ba779eabfb5f7bfbd6"
-        );
+        assert_eq!(hex::encode(&ct[..16]), "f58c4c04d6e5f1ba779eabfb5f7bfbd6");
     }
 
     #[test]

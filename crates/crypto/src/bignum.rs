@@ -39,7 +39,11 @@ pub struct ParseBigUintError {
 
 impl fmt::Display for ParseBigUintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid digit {:?} in big integer literal", self.offending)
+        write!(
+            f,
+            "invalid digit {:?} in big integer literal",
+            self.offending
+        )
     }
 }
 
@@ -272,9 +276,7 @@ impl BigUint {
         for (i, &a) in self.limbs.iter().enumerate() {
             let mut carry = 0u128;
             for (j, &b) in other.limbs.iter().enumerate() {
-                let cur = u128::from(limbs[i + j])
-                    + u128::from(a) * u128::from(b)
-                    + carry;
+                let cur = u128::from(limbs[i + j]) + u128::from(a) * u128::from(b) + carry;
                 limbs[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -380,9 +382,7 @@ impl BigUint {
             let top = (u128::from(u[j + n]) << 64) | u128::from(u[j + n - 1]);
             let mut qhat = top / u128::from(v[n - 1]);
             let mut rhat = top % u128::from(v[n - 1]);
-            while qhat >= b
-                || qhat * u128::from(v[n - 2])
-                    > (rhat << 64) + u128::from(u[j + n - 2])
+            while qhat >= b || qhat * u128::from(v[n - 2]) > (rhat << 64) + u128::from(u[j + n - 2])
             {
                 qhat -= 1;
                 rhat += u128::from(v[n - 1]);
@@ -422,7 +422,9 @@ impl BigUint {
         // D8: denormalize the remainder.
         let mut quotient = BigUint { limbs: q };
         quotient.normalize();
-        let mut rem = BigUint { limbs: u[..n].to_vec() };
+        let mut rem = BigUint {
+            limbs: u[..n].to_vec(),
+        };
         rem.normalize();
         (quotient, rem.shr(shift))
     }
@@ -519,7 +521,11 @@ impl BigUint {
         }
         let (neg, mag) = old_s;
         let mag = mag.rem(m);
-        Some(if neg && !mag.is_zero() { m.sub(&mag) } else { mag })
+        Some(if neg && !mag.is_zero() {
+            m.sub(&mag)
+        } else {
+            mag
+        })
     }
 
     /// Uniform random value in `[0, bound)` using the supplied RNG.
@@ -685,7 +691,13 @@ mod tests {
 
     #[test]
     fn hex_round_trip() {
-        let cases = ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"];
+        let cases = [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ];
         for c in cases {
             assert_eq!(BigUint::from_hex(c).unwrap().to_hex(), c);
         }
@@ -761,10 +773,14 @@ mod tests {
     #[test]
     fn mod_inverse_known() {
         // 3 * 4 = 12 = 1 mod 11
-        let inv = BigUint::from_u64(3).mod_inverse(&BigUint::from_u64(11)).unwrap();
+        let inv = BigUint::from_u64(3)
+            .mod_inverse(&BigUint::from_u64(11))
+            .unwrap();
         assert_eq!(inv, BigUint::from_u64(4));
         // Not coprime -> None
-        assert!(BigUint::from_u64(6).mod_inverse(&BigUint::from_u64(9)).is_none());
+        assert!(BigUint::from_u64(6)
+            .mod_inverse(&BigUint::from_u64(9))
+            .is_none());
         // Zero has no inverse
         assert!(BigUint::zero().mod_inverse(&BigUint::from_u64(7)).is_none());
     }

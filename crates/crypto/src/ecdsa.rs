@@ -58,7 +58,11 @@ impl fmt::Debug for EcdsaPrivateKey {
 
 impl fmt::Debug for EcdsaPublicKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "EcdsaPublicKey({})", crate::hex::encode(&self.to_bytes()))
+        write!(
+            f,
+            "EcdsaPublicKey({})",
+            crate::hex::encode(&self.to_bytes())
+        )
     }
 }
 
@@ -303,7 +307,11 @@ mod tests {
         let private = EcdsaPrivateKey::generate(&mut r);
         let sig1 = private.sign(b"same message");
         let sig2 = private.sign(b"same message");
-        assert_eq!(sig1.to_bytes(), sig2.to_bytes(), "RFC 6979 is deterministic");
+        assert_eq!(
+            sig1.to_bytes(),
+            sig2.to_bytes(),
+            "RFC 6979 is deterministic"
+        );
     }
 
     #[test]
@@ -311,10 +319,8 @@ mod tests {
         // RFC 6979 A.2.5-style vector for secp256k1 (community standard):
         // key = 1, message "Satoshi Nakamoto".
         let private = EcdsaPrivateKey::from_bytes(
-            &crate::hex::decode(
-                "0000000000000000000000000000000000000000000000000000000000000001",
-            )
-            .unwrap(),
+            &crate::hex::decode("0000000000000000000000000000000000000000000000000000000000000001")
+                .unwrap(),
         )
         .unwrap();
         let sig = private.sign(b"Satoshi Nakamoto");

@@ -108,14 +108,23 @@ impl std::error::Error for RsaError {}
 
 impl fmt::Debug for RsaPublicKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "RsaPublicKey(n={}…, e={})", &self.n.to_hex()[..8.min(self.n.to_hex().len())], self.e)
+        write!(
+            f,
+            "RsaPublicKey(n={}…, e={})",
+            &self.n.to_hex()[..8.min(self.n.to_hex().len())],
+            self.e
+        )
     }
 }
 
 impl fmt::Debug for RsaPrivateKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Never print d.
-        write!(f, "RsaPrivateKey(n={}…)", &self.n.to_hex()[..8.min(self.n.to_hex().len())])
+        write!(
+            f,
+            "RsaPrivateKey(n={}…)",
+            &self.n.to_hex()[..8.min(self.n.to_hex().len())]
+        )
     }
 }
 
@@ -123,7 +132,10 @@ impl fmt::Debug for RsaPrivateKey {
 ///
 /// Primes come from Miller–Rabin with a small-prime sieve; `e = 65537`.
 /// Determinism: pass a seeded RNG to get reproducible keys in simulations.
-pub fn generate_keypair<R: RngCore>(rng: &mut R, size: RsaKeySize) -> (RsaPublicKey, RsaPrivateKey) {
+pub fn generate_keypair<R: RngCore>(
+    rng: &mut R,
+    size: RsaKeySize,
+) -> (RsaPublicKey, RsaPrivateKey) {
     let half = size.bits() / 2;
     let e = BigUint::from_u64(65537);
     loop {
@@ -141,7 +153,10 @@ pub fn generate_keypair<R: RngCore>(rng: &mut R, size: RsaKeySize) -> (RsaPublic
         let Some(d) = e.mod_inverse(&phi) else {
             continue;
         };
-        let public = RsaPublicKey { n: n.clone(), e: e.clone() };
+        let public = RsaPublicKey {
+            n: n.clone(),
+            e: e.clone(),
+        };
         let private = RsaPrivateKey { n, e, d };
         return (public, private);
     }
@@ -545,13 +560,22 @@ mod tests {
 
     #[test]
     fn malformed_key_bytes_rejected() {
-        assert!(matches!(RsaPublicKey::from_bytes(&[]), Err(RsaError::MalformedKey)));
-        assert!(matches!(RsaPublicKey::from_bytes(&[0, 5, 1]), Err(RsaError::MalformedKey)));
+        assert!(matches!(
+            RsaPublicKey::from_bytes(&[]),
+            Err(RsaError::MalformedKey)
+        ));
+        assert!(matches!(
+            RsaPublicKey::from_bytes(&[0, 5, 1]),
+            Err(RsaError::MalformedKey)
+        ));
         let mut r = rng();
         let (public, _) = generate_keypair(&mut r, RsaKeySize::Rsa512);
         let mut bytes = public.to_bytes();
         bytes.push(0); // trailing garbage
-        assert!(matches!(RsaPublicKey::from_bytes(&bytes), Err(RsaError::MalformedKey)));
+        assert!(matches!(
+            RsaPublicKey::from_bytes(&bytes),
+            Err(RsaError::MalformedKey)
+        ));
     }
 
     #[test]

@@ -24,22 +24,18 @@ static PARAMS: OnceLock<CurveParams> = OnceLock::new();
 /// Returns the shared curve parameters.
 pub fn curve() -> &'static CurveParams {
     PARAMS.get_or_init(|| {
-        let p = BigUint::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .expect("const");
-        let n = BigUint::from_hex(
-            "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141",
-        )
-        .expect("const");
-        let gx = BigUint::from_hex(
-            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
-        )
-        .expect("const");
-        let gy = BigUint::from_hex(
-            "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
-        )
-        .expect("const");
+        let p =
+            BigUint::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+                .expect("const");
+        let n =
+            BigUint::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
+                .expect("const");
+        let gx =
+            BigUint::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+                .expect("const");
+        let gy =
+            BigUint::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+                .expect("const");
         CurveParams {
             p,
             n,
@@ -185,11 +181,8 @@ impl JacobianPoint {
         let xx = self.x.mul_mod(&self.x, p); // X²
         let yy = self.y.mul_mod(&self.y, p); // Y²
         let yyyy = yy.mul_mod(&yy, p); // Y⁴
-        // S = 4·X·Y²
-        let s = self
-            .x
-            .mul_mod(&yy, p)
-            .mul_mod(&BigUint::from_u64(4), p);
+                                       // S = 4·X·Y²
+        let s = self.x.mul_mod(&yy, p).mul_mod(&BigUint::from_u64(4), p);
         // M = 3·X²
         let m = xx.mul_mod(&BigUint::from_u64(3), p);
         // X' = M² − 2·S
@@ -199,11 +192,12 @@ impl JacobianPoint {
         let eight_yyyy = yyyy.mul_mod(&BigUint::from_u64(8), p);
         let y3 = m.mul_mod(&s.sub_mod(&x3, p), p).sub_mod(&eight_yyyy, p);
         // Z' = 2·Y·Z
-        let z3 = self
-            .y
-            .mul_mod(&self.z, p)
-            .mul_mod(&BigUint::from_u64(2), p);
-        JacobianPoint { x: x3, y: y3, z: z3 }
+        let z3 = self.y.mul_mod(&self.z, p).mul_mod(&BigUint::from_u64(2), p);
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Point addition.
@@ -252,7 +246,11 @@ impl JacobianPoint {
             .sub_mod(&z1z1, p)
             .sub_mod(&z2z2, p)
             .mul_mod(&h, p);
-        JacobianPoint { x: x3, y: y3, z: z3 }
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Scalar multiplication by double-and-add (MSB first).
@@ -301,10 +299,7 @@ mod tests {
         // (n-1)·G = −G (same x, opposite y).
         let n1g = scalar_mul_base(&n.sub(&BigUint::one()));
         match (&curve().g, &n1g) {
-            (
-                AffinePoint::Coords { x: gx, y: gy },
-                AffinePoint::Coords { x, y },
-            ) => {
+            (AffinePoint::Coords { x: gx, y: gy }, AffinePoint::Coords { x, y }) => {
                 assert_eq!(gx, x);
                 assert_eq!(curve().p.sub(gy), *y);
             }

@@ -21,7 +21,11 @@ pub fn payload_symbols(config: &RadioConfig, payload_len: usize) -> u32 {
     let pl = payload_len as i64;
     let ih = if config.explicit_header { 0 } else { 1 };
     let crc = if config.crc_enabled { 1 } else { 0 };
-    let de = if config.low_data_rate_optimization() { 1 } else { 0 };
+    let de = if config.low_data_rate_optimization() {
+        1
+    } else {
+        0
+    };
     let cr = config.coding_rate.denominator_offset() as i64;
 
     let numerator = 8 * pl - 4 * sf + 28 + 16 * crc - 20 * ih;

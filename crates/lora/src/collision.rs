@@ -15,7 +15,10 @@ use bcwan_sim::SimRng;
 /// traffic offered per airtime, for `senders` nodes each sending
 /// `rate_per_s` frames of `airtime_s` seconds.
 pub fn offered_load(senders: u32, rate_per_s: f64, airtime_s: f64) -> f64 {
-    assert!(rate_per_s >= 0.0 && airtime_s >= 0.0, "negative load inputs");
+    assert!(
+        rate_per_s >= 0.0 && airtime_s >= 0.0,
+        "negative load inputs"
+    );
     f64::from(senders) * rate_per_s * airtime_s
 }
 

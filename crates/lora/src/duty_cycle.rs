@@ -72,16 +72,11 @@ impl DutyCycleGovernor {
     ///
     /// If the off-time from the previous transmission has not elapsed,
     /// returns the instant at which transmission becomes legal.
-    pub fn try_transmit(
-        &mut self,
-        now: SimTime,
-        airtime: SimDuration,
-    ) -> Result<(), SimTime> {
+    pub fn try_transmit(&mut self, now: SimTime, airtime: SimDuration) -> Result<(), SimTime> {
         if now < self.next_allowed {
             return Err(self.next_allowed);
         }
-        let off_time =
-            SimDuration::from_secs_f64(airtime.as_secs_f64() * (1.0 / self.duty - 1.0));
+        let off_time = SimDuration::from_secs_f64(airtime.as_secs_f64() * (1.0 / self.duty - 1.0));
         self.next_allowed = now + airtime + off_time;
         self.total_airtime += airtime;
         self.transmissions += 1;
@@ -123,14 +118,17 @@ mod tests {
     #[test]
     fn premature_retry_rejected_with_deadline() {
         let mut gov = DutyCycleGovernor::new(0.1);
-        gov.try_transmit(SimTime::ZERO, SimDuration::from_secs(1)).unwrap();
+        gov.try_transmit(SimTime::ZERO, SimDuration::from_secs(1))
+            .unwrap();
         let deadline = gov.next_allowed();
         let err = gov
             .try_transmit(SimTime::from_micros(1), SimDuration::from_secs(1))
             .unwrap_err();
         assert_eq!(err, deadline);
         // At the deadline it succeeds.
-        assert!(gov.try_transmit(deadline, SimDuration::from_secs(1)).is_ok());
+        assert!(gov
+            .try_transmit(deadline, SimDuration::from_secs(1))
+            .is_ok());
     }
 
     #[test]

@@ -16,7 +16,6 @@
 //! [`EncryptedReading`] is the *inner* 34-byte structure of paper Fig. 4
 //! (`len ‖ IV ‖ len ‖ ciphertext`) that the node RSA-wraps into `Em`.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Size of a blockchain address (HASH160) used as `@R`.
@@ -68,8 +67,14 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::Truncated => write!(f, "frame truncated"),
             FrameError::BadHeader(b) => write!(f, "bad frame header byte 0x{b:02x}"),
-            FrameError::BadLength { declared, available } => {
-                write!(f, "declared length {declared} but {available} bytes available")
+            FrameError::BadLength {
+                declared,
+                available,
+            } => {
+                write!(
+                    f,
+                    "declared length {declared} but {available} bytes available"
+                )
             }
             FrameError::PayloadTooLarge { len, max } => {
                 write!(f, "payload of {len} bytes exceeds radio limit {max}")
@@ -173,32 +178,43 @@ impl LoraFrame {
     }
 
     /// Serializes header + payload to radio bytes.
-    pub fn encode(&self) -> Bytes {
-        let mut payload = BytesMut::new();
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
         match self {
-            LoraFrame::UplinkRequest { device_id, recipient } => {
-                payload.put_u32(*device_id);
-                payload.put_slice(recipient);
+            LoraFrame::UplinkRequest {
+                device_id,
+                recipient,
+            } => {
+                payload.extend_from_slice(&device_id.to_be_bytes());
+                payload.extend_from_slice(recipient);
             }
-            LoraFrame::DownlinkEphemeralKey { device_id, public_key } => {
-                payload.put_u32(*device_id);
-                payload.put_slice(public_key);
+            LoraFrame::DownlinkEphemeralKey {
+                device_id,
+                public_key,
+            } => {
+                payload.extend_from_slice(&device_id.to_be_bytes());
+                payload.extend_from_slice(public_key);
             }
-            LoraFrame::DataUplink { device_id, recipient, em, sig } => {
-                payload.put_u32(*device_id);
-                payload.put_slice(recipient);
-                payload.put_u16(em.len() as u16);
-                payload.put_slice(em);
-                payload.put_u16(sig.len() as u16);
-                payload.put_slice(sig);
+            LoraFrame::DataUplink {
+                device_id,
+                recipient,
+                em,
+                sig,
+            } => {
+                payload.extend_from_slice(&device_id.to_be_bytes());
+                payload.extend_from_slice(recipient);
+                payload.extend_from_slice(&(em.len() as u16).to_be_bytes());
+                payload.extend_from_slice(em);
+                payload.extend_from_slice(&(sig.len() as u16).to_be_bytes());
+                payload.extend_from_slice(sig);
             }
         }
-        let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
-        out.put_u8(MAGIC);
-        out.put_u8(self.type_byte());
-        out.put_u16(payload.len() as u16);
-        out.put_slice(&payload);
-        out.freeze()
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.push(MAGIC);
+        out.push(self.type_byte());
+        out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&payload);
+        out
     }
 
     /// Parses radio bytes.
@@ -210,61 +226,73 @@ impl LoraFrame {
         if bytes.len() < HEADER_LEN {
             return Err(FrameError::Truncated);
         }
-        let mut buf = bytes;
-        let magic = buf.get_u8();
+        let magic = bytes[0];
         if magic != MAGIC {
             return Err(FrameError::BadHeader(magic));
         }
-        let frame_type = buf.get_u8();
-        let declared = buf.get_u16() as usize;
-        if buf.remaining() != declared {
+        let frame_type = bytes[1];
+        let declared = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        let buf = &bytes[HEADER_LEN..];
+        if buf.len() != declared {
             return Err(FrameError::BadLength {
                 declared,
-                available: buf.remaining(),
+                available: buf.len(),
             });
         }
+        let read_u32 = |b: &[u8]| u32::from_be_bytes([b[0], b[1], b[2], b[3]]);
         match frame_type {
             TYPE_REQUEST => {
-                if buf.remaining() < 4 + ADDRESS_LEN {
+                if buf.len() < 4 + ADDRESS_LEN {
                     return Err(FrameError::Truncated);
                 }
-                let device_id = buf.get_u32();
+                let device_id = read_u32(buf);
                 let mut recipient = [0u8; ADDRESS_LEN];
-                buf.copy_to_slice(&mut recipient);
-                Ok(LoraFrame::UplinkRequest { device_id, recipient })
+                recipient.copy_from_slice(&buf[4..4 + ADDRESS_LEN]);
+                Ok(LoraFrame::UplinkRequest {
+                    device_id,
+                    recipient,
+                })
             }
             TYPE_EPHEMERAL_KEY => {
-                if buf.remaining() < 4 {
+                if buf.len() < 4 {
                     return Err(FrameError::Truncated);
                 }
-                let device_id = buf.get_u32();
+                let device_id = read_u32(buf);
                 Ok(LoraFrame::DownlinkEphemeralKey {
                     device_id,
-                    public_key: buf.to_vec(),
+                    public_key: buf[4..].to_vec(),
                 })
             }
             TYPE_DATA => {
-                if buf.remaining() < 4 + ADDRESS_LEN + 2 {
+                if buf.len() < 4 + ADDRESS_LEN + 2 {
                     return Err(FrameError::Truncated);
                 }
-                let device_id = buf.get_u32();
+                let device_id = read_u32(buf);
                 let mut recipient = [0u8; ADDRESS_LEN];
-                buf.copy_to_slice(&mut recipient);
-                let em_len = buf.get_u16() as usize;
-                if buf.remaining() < em_len + 2 {
+                recipient.copy_from_slice(&buf[4..4 + ADDRESS_LEN]);
+                let mut rest = &buf[4 + ADDRESS_LEN..];
+                let em_len = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+                rest = &rest[2..];
+                if rest.len() < em_len + 2 {
                     return Err(FrameError::Truncated);
                 }
-                let em = buf[..em_len].to_vec();
-                buf.advance(em_len);
-                let sig_len = buf.get_u16() as usize;
-                if buf.remaining() != sig_len {
+                let em = rest[..em_len].to_vec();
+                rest = &rest[em_len..];
+                let sig_len = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+                rest = &rest[2..];
+                if rest.len() != sig_len {
                     return Err(FrameError::BadLength {
                         declared: sig_len,
-                        available: buf.remaining(),
+                        available: rest.len(),
                     });
                 }
-                let sig = buf.to_vec();
-                Ok(LoraFrame::DataUplink { device_id, recipient, em, sig })
+                let sig = rest.to_vec();
+                Ok(LoraFrame::DataUplink {
+                    device_id,
+                    recipient,
+                    em,
+                    sig,
+                })
             }
             other => Err(FrameError::BadHeader(other)),
         }

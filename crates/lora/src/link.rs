@@ -83,12 +83,7 @@ impl LinkModel {
 
     /// Whether a frame at `distance_m` is received at spreading factor
     /// `sf`, sampling shadowing.
-    pub fn frame_received(
-        &self,
-        distance_m: f64,
-        sf: SpreadingFactor,
-        rng: &mut SimRng,
-    ) -> bool {
+    pub fn frame_received(&self, distance_m: f64, sf: SpreadingFactor, rng: &mut SimRng) -> bool {
         self.sample_rssi_dbm(distance_m, rng) >= sf.sensitivity_dbm()
     }
 

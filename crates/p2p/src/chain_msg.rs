@@ -90,10 +90,7 @@ mod tests {
     fn flood_ids_for_tx_and_block() {
         let block = sample_block();
         let tx = block.transactions[0].clone();
-        assert_eq!(
-            ChainMessage::Tx(tx.clone()).flood_id(),
-            Some(tx.txid().0)
-        );
+        assert_eq!(ChainMessage::Tx(tx.clone()).flood_id(), Some(tx.txid().0));
         assert_eq!(
             ChainMessage::Block(block.clone()).flood_id(),
             Some(block.hash().0)
@@ -131,7 +128,10 @@ mod tests {
         let block = sample_block();
         let txid = block.transactions[0].txid();
         let mut relay = RelayState::new();
-        assert!(!relay.saw_tx(&txid), "first sighting returns 'not seen before'");
+        assert!(
+            !relay.saw_tx(&txid),
+            "first sighting returns 'not seen before'"
+        );
         assert!(relay.saw_tx(&txid));
     }
 }

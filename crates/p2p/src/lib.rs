@@ -36,5 +36,5 @@ pub mod topology;
 
 pub use chain_msg::{ChainMessage, RelayState};
 pub use live::{BusError, Envelope, Inbox, LiveBus};
-pub use network::{Delivery, FaultModel, Network, SeenFilter};
+pub use network::{Delivery, FaultModel, NetStats, Network, SeenFilter};
 pub use topology::{NodeId, Topology};

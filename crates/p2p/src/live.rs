@@ -2,15 +2,14 @@
 //!
 //! The discrete-event simulator covers the experiments; this bus exists
 //! so the examples can also demonstrate the protocol running *live* — one
-//! thread per gateway, crossbeam channels as sockets — closer in spirit
+//! thread per gateway, mpsc channels as sockets — closer in spirit
 //! to the paper's Golang daemons listening on TCP ports.
 
 use crate::topology::NodeId;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, RwLock};
 
 /// An addressed message on the bus.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,7 +56,11 @@ impl<M> Clone for LiveBus<M> {
 
 impl<M> fmt::Debug for LiveBus<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "LiveBus({} nodes)", self.registry.read().senders.len())
+        write!(
+            f,
+            "LiveBus({} nodes)",
+            self.registry.read().unwrap().senders.len()
+        )
     }
 }
 
@@ -74,7 +77,7 @@ pub struct Inbox<M> {
 
 impl<M> fmt::Debug for Inbox<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Inbox({} queued)", self.receiver.len())
+        f.write_str("Inbox { .. }")
     }
 }
 
@@ -111,24 +114,24 @@ impl<M> LiveBus<M> {
     /// Registers a node and returns its inbox. Re-registering replaces the
     /// previous inbox (the old receiver starts draining nothing).
     pub fn register(&self, node: NodeId) -> Inbox<M> {
-        let (tx, rx) = unbounded();
-        self.registry.write().senders.insert(node, tx);
+        let (tx, rx) = channel();
+        self.registry.write().unwrap().senders.insert(node, tx);
         Inbox { receiver: rx }
     }
 
     /// Removes a node from the bus.
     pub fn unregister(&self, node: NodeId) {
-        self.registry.write().senders.remove(&node);
+        self.registry.write().unwrap().senders.remove(&node);
     }
 
     /// Registered node count.
     pub fn len(&self) -> usize {
-        self.registry.read().senders.len()
+        self.registry.read().unwrap().senders.len()
     }
 
     /// Whether no nodes are registered.
     pub fn is_empty(&self) -> bool {
-        self.registry.read().senders.is_empty()
+        self.registry.read().unwrap().senders.is_empty()
     }
 
     /// Sends a message to one node.
@@ -137,11 +140,8 @@ impl<M> LiveBus<M> {
     ///
     /// [`BusError::Unreachable`] when the target is unknown or gone.
     pub fn send(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), BusError> {
-        let registry = self.registry.read();
-        let sender = registry
-            .senders
-            .get(&to)
-            .ok_or(BusError::Unreachable(to))?;
+        let registry = self.registry.read().unwrap();
+        let sender = registry.senders.get(&to).ok_or(BusError::Unreachable(to))?;
         sender
             .send(Envelope { from, msg })
             .map_err(|_| BusError::Unreachable(to))
@@ -152,7 +152,7 @@ impl<M: Clone> LiveBus<M> {
     /// Broadcasts to every registered node except the sender; returns how
     /// many inboxes accepted it.
     pub fn broadcast(&self, from: NodeId, msg: &M) -> usize {
-        let registry = self.registry.read();
+        let registry = self.registry.read().unwrap();
         let mut delivered = 0;
         for (&node, sender) in &registry.senders {
             if node == from {

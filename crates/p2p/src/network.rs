@@ -7,6 +7,7 @@
 
 use crate::topology::{NodeId, Topology};
 use bcwan_sim::{LatencyModel, SimDuration, SimRng};
+use std::cell::Cell;
 
 /// An in-flight message headed to `to`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,12 +45,32 @@ impl Default for FaultModel {
     }
 }
 
+/// Lifetime traffic counters, read back into the metrics registry at the
+/// end of a run (`net.*` rows in bench reports).
+///
+/// Kept in a [`Cell`] inside [`Network`] so the `&self` transmit methods
+/// can count without forcing `&mut` through every call site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Unicast sends attempted (including reliable/TCP sends).
+    pub sent: u64,
+    /// Deliveries produced (≥ sent minus drops; duplicates add extras).
+    pub delivered: u64,
+    /// Sends swallowed by the loss fault model.
+    pub dropped_fault: u64,
+    /// Sends blocked by a partition / missing link.
+    pub dropped_partition: u64,
+    /// Extra deliveries from the duplication fault model.
+    pub duplicated: u64,
+}
+
 /// The overlay network simulator.
 #[derive(Debug, Clone)]
 pub struct Network {
     topology: Topology,
     latency: LatencyModel,
     faults: FaultModel,
+    stats: Cell<NetStats>,
 }
 
 impl Network {
@@ -60,7 +81,19 @@ impl Network {
             topology,
             latency,
             faults: FaultModel::none(),
+            stats: Cell::new(NetStats::default()),
         }
+    }
+
+    /// Lifetime traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats.get()
+    }
+
+    fn count(&self, f: impl FnOnce(&mut NetStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
     }
 
     /// Enables the fault model.
@@ -90,19 +123,31 @@ impl Network {
         to: NodeId,
         msg: M,
     ) -> Vec<(SimDuration, Delivery<M>)> {
+        self.count(|s| s.sent += 1);
         if !self.topology.linked(from, to) {
+            self.count(|s| s.dropped_partition += 1);
             return Vec::new();
         }
         if rng.chance(self.faults.drop_probability) {
+            self.count(|s| s.dropped_fault += 1);
             return Vec::new();
         }
         let mut out = Vec::with_capacity(2);
         let delay = self.latency.sample(rng);
-        out.push((delay, Delivery { from, to, msg: msg.clone() }));
+        out.push((
+            delay,
+            Delivery {
+                from,
+                to,
+                msg: msg.clone(),
+            },
+        ));
         if rng.chance(self.faults.duplicate_probability) {
             let delay2 = self.latency.sample(rng);
             out.push((delay2, Delivery { from, to, msg }));
+            self.count(|s| s.duplicated += 1);
         }
+        self.count(|s| s.delivered += out.len() as u64);
         out
     }
 
@@ -117,10 +162,13 @@ impl Network {
         to: NodeId,
         msg: M,
     ) -> Option<(SimDuration, Delivery<M>)> {
+        self.count(|s| s.sent += 1);
         if !self.topology.linked(from, to) {
+            self.count(|s| s.dropped_partition += 1);
             return None;
         }
         let delay = self.latency.sample(rng);
+        self.count(|s| s.delivered += 1);
         Some((delay, Delivery { from, to, msg }))
     }
 
@@ -173,11 +221,14 @@ mod tests {
     use super::*;
 
     fn net(drop: f64, dup: f64) -> Network {
-        Network::new(Topology::full_mesh(4), LatencyModel::Constant(SimDuration::from_millis(10)))
-            .with_faults(FaultModel {
-                drop_probability: drop,
-                duplicate_probability: dup,
-            })
+        Network::new(
+            Topology::full_mesh(4),
+            LatencyModel::Constant(SimDuration::from_millis(10)),
+        )
+        .with_faults(FaultModel {
+            drop_probability: drop,
+            duplicate_probability: dup,
+        })
     }
 
     #[test]
@@ -196,9 +247,14 @@ mod tests {
         let mut network = net(0.0, 0.0);
         network.topology_mut().disconnect(NodeId(0), NodeId(1));
         let mut rng = SimRng::seed_from_u64(2);
-        assert!(network.transmit(&mut rng, NodeId(0), NodeId(1), ()).is_empty());
+        assert!(network
+            .transmit(&mut rng, NodeId(0), NodeId(1), ())
+            .is_empty());
         // Other links unaffected.
-        assert_eq!(network.transmit(&mut rng, NodeId(0), NodeId(2), ()).len(), 1);
+        assert_eq!(
+            network.transmit(&mut rng, NodeId(0), NodeId(2), ()).len(),
+            1
+        );
     }
 
     #[test]
@@ -237,7 +293,9 @@ mod tests {
     fn reliable_transmit_ignores_drops_not_partitions() {
         let mut network = net(1.0, 0.0); // every unreliable frame drops
         let mut rng = SimRng::seed_from_u64(6);
-        assert!(network.transmit(&mut rng, NodeId(0), NodeId(1), ()).is_empty());
+        assert!(network
+            .transmit(&mut rng, NodeId(0), NodeId(1), ())
+            .is_empty());
         assert!(network
             .transmit_reliable(&mut rng, NodeId(0), NodeId(1), ())
             .is_some());
@@ -245,6 +303,25 @@ mod tests {
         assert!(network
             .transmit_reliable(&mut rng, NodeId(0), NodeId(1), ())
             .is_none());
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let mut network = net(0.0, 0.0);
+        let mut rng = SimRng::seed_from_u64(9);
+        network.transmit(&mut rng, NodeId(0), NodeId(1), ());
+        network.transmit_reliable(&mut rng, NodeId(0), NodeId(2), ());
+        network.topology_mut().disconnect(NodeId(0), NodeId(3));
+        network.transmit(&mut rng, NodeId(0), NodeId(3), ());
+        let s = network.stats();
+        assert_eq!(s.sent, 3);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.dropped_partition, 1);
+        assert_eq!(s.dropped_fault, 0);
+
+        let lossy = net(1.0, 0.0);
+        lossy.transmit(&mut rng, NodeId(0), NodeId(1), ());
+        assert_eq!(lossy.stats().dropped_fault, 1);
     }
 
     #[test]

@@ -28,8 +28,7 @@ impl Topology {
     pub fn full_mesh(n: u32) -> Self {
         let mut adjacency = HashMap::new();
         for i in 0..n {
-            let peers: HashSet<NodeId> =
-                (0..n).filter(|&j| j != i).map(NodeId).collect();
+            let peers: HashSet<NodeId> = (0..n).filter(|&j| j != i).map(NodeId).collect();
             adjacency.insert(NodeId(i), peers);
         }
         Topology { adjacency }

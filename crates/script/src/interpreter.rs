@@ -481,10 +481,7 @@ impl<'a, 'c> Machine<'a, 'c> {
                     .ok_or(ScriptError::StackUnderflow(op))?
                     .clone();
                 let required = decode_num(&item).ok_or(ScriptError::BadNumber)?;
-                if required < 0
-                    || self.ctx.input_final
-                    || (self.ctx.lock_time as i64) < required
-                {
+                if required < 0 || self.ctx.input_final || (self.ctx.lock_time as i64) < required {
                     return Err(ScriptError::LockTimeNotSatisfied {
                         required,
                         actual: self.ctx.lock_time,
@@ -592,7 +589,11 @@ mod tests {
                 .push(expect.clone())
                 .op(Opcode::Equal)
                 .build();
-            assert_eq!(run_script(&s, &ctx_with(&checker)), Ok(true), "guard={guard}");
+            assert_eq!(
+                run_script(&s, &ctx_with(&checker)),
+                Ok(true),
+                "guard={guard}"
+            );
         }
     }
 
@@ -641,7 +642,10 @@ mod tests {
     fn op_return_fails_execution() {
         let checker = reject();
         let s = Script::builder().op(Opcode::Return).push(vec![1]).build();
-        assert_eq!(run_script(&s, &ctx_with(&checker)), Err(ScriptError::OpReturn));
+        assert_eq!(
+            run_script(&s, &ctx_with(&checker)),
+            Err(ScriptError::OpReturn)
+        );
     }
 
     #[test]
@@ -700,16 +704,31 @@ mod tests {
             .push_num(1)
             .build();
         // Lock time too small → error.
-        let early = ExecContext { checker: &checker, lock_time: 99, input_final: false };
+        let early = ExecContext {
+            checker: &checker,
+            lock_time: 99,
+            input_final: false,
+        };
         assert!(matches!(
             run_script(&script, &early),
-            Err(ScriptError::LockTimeNotSatisfied { required: 100, actual: 99 })
+            Err(ScriptError::LockTimeNotSatisfied {
+                required: 100,
+                actual: 99
+            })
         ));
         // Exactly at the height → OK (CLTV leaves the number; Verify pops it).
-        let at = ExecContext { checker: &checker, lock_time: 100, input_final: false };
+        let at = ExecContext {
+            checker: &checker,
+            lock_time: 100,
+            input_final: false,
+        };
         assert_eq!(run_script(&script, &at), Ok(true));
         // Final input disables lock time.
-        let final_input = ExecContext { checker: &checker, lock_time: 500, input_final: true };
+        let final_input = ExecContext {
+            checker: &checker,
+            lock_time: 500,
+            input_final: true,
+        };
         assert!(run_script(&script, &final_input).is_err());
     }
 
@@ -781,7 +800,10 @@ mod tests {
             builder = builder.op(Opcode::Dup).op(Opcode::Drop);
         }
         let s = builder.build();
-        assert_eq!(run_script(&s, &ctx_with(&checker)), Err(ScriptError::TooManyOps));
+        assert_eq!(
+            run_script(&s, &ctx_with(&checker)),
+            Err(ScriptError::TooManyOps)
+        );
     }
 
     #[test]

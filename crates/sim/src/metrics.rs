@@ -4,7 +4,16 @@
 //! the summary statistics and histogram rows that the figure harnesses
 //! print — mean/percentiles for the text in EXPERIMENTS.md and fixed-width
 //! buckets mirroring the paper's Fig. 5/6 latency histograms.
+//!
+//! [`Registry`] is the workspace-wide metrics surface: named counters,
+//! gauges, and log-scale [`LogHistogram`]s, registered once (cheap `Copy`
+//! handles) and updated on hot paths with a plain vector index. A
+//! [`Snapshot`] freezes the registry into sorted name/value rows and
+//! serializes to the schema-versioned JSON the bench harnesses emit (see
+//! [`Snapshot::to_json`] / [`Snapshot::from_json`]).
 
+use crate::json::Json;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// An append-only series of `f64` samples with summary statistics.
@@ -87,9 +96,19 @@ impl Series {
         };
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        // Linearly interpolated percentile (the "R-7" definition used by
+        // numpy): rank (n-1)·p splits into an integer index and a
+        // fractional part that blends the two neighbouring order
+        // statistics.
         let pct = |p: f64| -> f64 {
-            let idx = ((count as f64 - 1.0) * p).round() as usize;
-            sorted[idx]
+            let rank = (count as f64 - 1.0) * p;
+            let lo = rank.floor() as usize;
+            let frac = rank - lo as f64;
+            if lo + 1 < count {
+                sorted[lo] + frac * (sorted[lo + 1] - sorted[lo])
+            } else {
+                sorted[count - 1]
+            }
         };
         Some(Summary {
             count,
@@ -149,8 +168,471 @@ impl fmt::Display for Summary {
         write!(
             f,
             "n={} mean={:.3} std={:.3} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
-            self.count, self.mean, self.std_dev, self.min, self.median, self.p95, self.p99, self.max
+            self.count,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.median,
+            self.p95,
+            self.p99,
+            self.max
         )
+    }
+}
+
+/// Handle to a registered counter (a plain index — `Copy`, no lookup on
+/// the hot path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Log-scale histogram: geometric buckets spanning `1e-6 … 1e10` with
+/// four buckets per decade, plus exact count/sum/min/max so means are
+/// not quantized. Built for latencies in seconds (1 µs resolution floor)
+/// but unit-agnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Buckets per decade of the log-scale histogram.
+const BUCKETS_PER_DECADE: f64 = 4.0;
+/// Lower edge of the first log bucket.
+const LOG_LO: f64 = 1e-6;
+/// Number of decades covered.
+const LOG_DECADES: usize = 16;
+/// Total bucket count.
+const LOG_BUCKETS: usize = LOG_DECADES * BUCKETS_PER_DECADE as usize;
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; LOG_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value <= LOG_LO {
+            return 0;
+        }
+        let idx = ((value / LOG_LO).log10() * BUCKETS_PER_DECADE).floor() as i64;
+        idx.clamp(0, LOG_BUCKETS as i64 - 1) as usize
+    }
+
+    /// Lower edge of bucket `i`.
+    fn bucket_lo(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            LOG_LO * 10f64.powf(i as f64 / BUCKETS_PER_DECADE)
+        }
+    }
+
+    /// Upper edge of bucket `i`.
+    fn bucket_hi(i: usize) -> f64 {
+        LOG_LO * 10f64.powf((i + 1) as f64 / BUCKETS_PER_DECADE)
+    }
+
+    /// Records one observation. Non-finite values are dropped; values at
+    /// or below the histogram floor land in the first bucket.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Approximate quantile from bucket boundaries: the geometric midpoint
+    /// of the bucket holding the `q`-th observation, clamped to the exact
+    /// min/max. Accurate to bucket resolution (~78 % width).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.count as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen > rank {
+                let lo = Self::bucket_lo(i).max(self.min);
+                let hi = Self::bucket_hi(i).min(self.max);
+                let mid = if lo > 0.0 { (lo * hi).sqrt() } else { hi / 2.0 };
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` rows.
+    pub fn buckets(&self) -> Vec<Bucket> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Bucket {
+                lo: Self::bucket_lo(i),
+                hi: Self::bucket_hi(i),
+                count: c as usize,
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Counter(usize),
+    Gauge(usize),
+    Histogram(usize),
+}
+
+/// A registry of named metrics.
+///
+/// Register by name once (idempotent; returns the same handle), then
+/// update through the handle on hot paths. Names are conventionally
+/// dot-separated with a `_total` suffix for counters, e.g.
+/// `world.exchanges_completed_total`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, LogHistogram)>,
+    index: BTreeMap<String, Slot>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or finds) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        match self.index.get(name) {
+            Some(Slot::Counter(i)) => CounterId(*i),
+            Some(_) => panic!("metric {name} already registered with another kind"),
+            None => {
+                let i = self.counters.len();
+                self.counters.push((name.to_string(), 0));
+                self.index.insert(name.to_string(), Slot::Counter(i));
+                CounterId(i)
+            }
+        }
+    }
+
+    /// Registers (or finds) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        match self.index.get(name) {
+            Some(Slot::Gauge(i)) => GaugeId(*i),
+            Some(_) => panic!("metric {name} already registered with another kind"),
+            None => {
+                let i = self.gauges.len();
+                self.gauges.push((name.to_string(), 0.0));
+                self.index.insert(name.to_string(), Slot::Gauge(i));
+                GaugeId(i)
+            }
+        }
+    }
+
+    /// Registers (or finds) a log-scale histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        match self.index.get(name) {
+            Some(Slot::Histogram(i)) => HistogramId(*i),
+            Some(_) => panic!("metric {name} already registered with another kind"),
+            None => {
+                let i = self.histograms.len();
+                self.histograms
+                    .push((name.to_string(), LogHistogram::new()));
+                self.index.insert(name.to_string(), Slot::Histogram(i));
+                HistogramId(i)
+            }
+        }
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].1 += 1;
+    }
+
+    /// Adds to a counter.
+    pub fn add(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].1 += by;
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Registers `name` if needed and sets it to `value` — for end-of-run
+    /// aggregation of statistics tracked elsewhere (daemon, chain,
+    /// mempool, network).
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        let id = self.counter(name);
+        self.counters[id.0].1 = value;
+    }
+
+    /// Sets a gauge.
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Registers `name` if needed and sets the gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        let id = self.gauge(name);
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Records a histogram observation.
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        self.histograms[id.0].1.observe(value);
+    }
+
+    /// Direct access to a histogram's current state.
+    pub fn histogram_state(&self, id: HistogramId) -> &LogHistogram {
+        &self.histograms[id.0].1
+    }
+
+    /// Freezes the registry into sorted rows.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<(String, u64)> = self.counters.clone();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, f64)> = self.gauges.clone();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, HistogramSummary)> = self
+            .histograms
+            .iter()
+            .map(|(name, h)| (name.clone(), HistogramSummary::of(h)))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Frozen view of one [`LogHistogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+    /// Non-empty buckets `(lo, hi, count)`.
+    pub buckets: Vec<(f64, f64, u64)>,
+}
+
+impl HistogramSummary {
+    fn of(h: &LogHistogram) -> Self {
+        HistogramSummary {
+            count: h.count(),
+            sum: h.sum(),
+            min: if h.count() > 0 { h.min } else { 0.0 },
+            max: if h.count() > 0 { h.max } else { 0.0 },
+            p50: h.quantile(0.50).unwrap_or(0.0),
+            p95: h.quantile(0.95).unwrap_or(0.0),
+            p99: h.quantile(0.99).unwrap_or(0.0),
+            buckets: h
+                .buckets()
+                .into_iter()
+                .map(|b| (b.lo, b.hi, b.count as u64))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen, sorted view of a [`Registry`] — the unit of exchange between
+/// an experiment run and the bench JSON emitter.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter rows, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge rows, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram rows, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Serializes to the JSON shape embedded in bench reports:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"name": 1},
+    ///   "gauges": {"name": 0.5},
+    ///   "histograms": {"name": {"count": …, "sum": …, "min": …, "max": …,
+    ///                            "p50": …, "p95": …, "p99": …,
+    ///                            "buckets": [[lo, hi, count], …]}}
+    /// }
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::uint(*v)))
+                .collect(),
+        );
+        let gauges = Json::Object(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let histograms = Json::Object(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Json::Array(
+                        h.buckets
+                            .iter()
+                            .map(|&(lo, hi, c)| {
+                                Json::Array(vec![Json::Num(lo), Json::Num(hi), Json::uint(c)])
+                            })
+                            .collect(),
+                    );
+                    let obj = Json::object()
+                        .with("count", Json::uint(h.count))
+                        .with("sum", Json::Num(h.sum))
+                        .with("min", Json::Num(h.min))
+                        .with("max", Json::Num(h.max))
+                        .with("p50", Json::Num(h.p50))
+                        .with("p95", Json::Num(h.p95))
+                        .with("p99", Json::Num(h.p99))
+                        .with("buckets", buckets);
+                    (k.clone(), obj)
+                })
+                .collect(),
+        );
+        Json::object()
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("histograms", histograms)
+    }
+
+    /// Rebuilds a snapshot from [`Snapshot::to_json`] output (round-trip
+    /// schema check; also lets tooling diff `results/*.json` files).
+    ///
+    /// Returns `None` when the document does not match the schema.
+    pub fn from_json(doc: &Json) -> Option<Snapshot> {
+        let objects = |key: &str| -> Option<Vec<(String, Json)>> {
+            match doc.get(key)? {
+                Json::Object(entries) => Some(entries.clone()),
+                _ => None,
+            }
+        };
+        let counters = objects("counters")?
+            .into_iter()
+            .map(|(k, v)| Some((k, v.as_f64()? as u64)))
+            .collect::<Option<Vec<_>>>()?;
+        let gauges = objects("gauges")?
+            .into_iter()
+            .map(|(k, v)| Some((k, v.as_f64()?)))
+            .collect::<Option<Vec<_>>>()?;
+        let histograms = objects("histograms")?
+            .into_iter()
+            .map(|(k, v)| {
+                let field = |name: &str| v.get(name)?.as_f64();
+                let buckets = v
+                    .get("buckets")?
+                    .as_array()?
+                    .iter()
+                    .map(|row| {
+                        let row = row.as_array()?;
+                        Some((
+                            row.first()?.as_f64()?,
+                            row.get(1)?.as_f64()?,
+                            row.get(2)?.as_f64()? as u64,
+                        ))
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some((
+                    k,
+                    HistogramSummary {
+                        count: field("count")? as u64,
+                        sum: field("sum")?,
+                        min: field("min")?,
+                        max: field("max")?,
+                        p50: field("p50")?,
+                        p95: field("p95")?,
+                        p99: field("p99")?,
+                        buckets,
+                    },
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Snapshot {
+            counters,
+            gauges,
+            histograms,
+        })
     }
 }
 
@@ -213,5 +695,96 @@ mod tests {
         let text = s.summary().unwrap().to_string();
         assert!(text.contains("n=2"));
         assert!(text.contains("mean=1.500"));
+    }
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        // R-7: p95 of [10, 20, 30, 40] has rank 3·0.95 = 2.85 →
+        // 30 + 0.85·(40-30) = 38.5.
+        let s: Series = vec![10.0, 20.0, 30.0, 40.0].into_iter().collect();
+        let sum = s.summary().unwrap();
+        assert!((sum.p95 - 38.5).abs() < 1e-12);
+        assert!((sum.median - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_handles_are_idempotent() {
+        let mut reg = Registry::new();
+        let a = reg.counter("a_total");
+        let a2 = reg.counter("a_total");
+        assert_eq!(a, a2);
+        reg.inc(a);
+        reg.add(a2, 4);
+        assert_eq!(reg.counter_value(a), 5);
+
+        let g = reg.gauge("g");
+        reg.set(g, 1.5);
+        let h = reg.histogram("h_seconds");
+        reg.observe(h, 0.25);
+        assert_eq!(reg.histogram_state(h).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn registry_rejects_kind_collision() {
+        let mut reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn log_histogram_stats() {
+        let mut h = LogHistogram::new();
+        assert!(h.mean().is_none());
+        assert!(h.quantile(0.5).is_none());
+        for v in [0.001, 0.01, 0.1, 1.0, 10.0] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN); // dropped
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 11.111).abs() < 1e-9);
+        let p50 = h.quantile(0.5).unwrap();
+        // Median observation is 0.1; bucket resolution allows ~78 % error.
+        assert!((0.05..0.2).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0).unwrap(), 10.0);
+        assert_eq!(h.buckets().iter().map(|b| b.count).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn snapshot_rows_are_sorted() {
+        let mut reg = Registry::new();
+        reg.counter("zeta_total");
+        reg.counter("alpha_total");
+        reg.set_gauge("mid", 2.0);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha_total", "zeta_total"]);
+        assert_eq!(snap.gauges, vec![("mid".to_string(), 2.0)]);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let mut reg = Registry::new();
+        let c = reg.counter("world.exchanges_completed_total");
+        reg.add(c, 17);
+        reg.set_gauge("world.sim_time_seconds", 123.456);
+        let h = reg.histogram("world.exchange_latency_seconds");
+        for v in [0.5, 1.5, 2.5, 30.0] {
+            reg.observe(h, v);
+        }
+        // Also an empty histogram: min/max must survive as zeros.
+        reg.histogram("world.empty_seconds");
+
+        let snap = reg.snapshot();
+        let text = snap.to_json().render();
+        let parsed = crate::json::parse(&text).expect("snapshot JSON parses");
+        let back = Snapshot::from_json(&parsed).expect("snapshot schema matches");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_from_json_rejects_wrong_shape() {
+        let doc = crate::json::parse(r#"{"counters": [], "gauges": {}}"#).unwrap();
+        assert!(Snapshot::from_json(&doc).is_none());
     }
 }

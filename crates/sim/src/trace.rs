@@ -1,0 +1,252 @@
+//! Structured event tracing with sim-time spans.
+//!
+//! [`Tracer`] stamps named spans against the simulated clock: a span
+//! opens with [`Tracer::span_start`] and closes with [`Tracer::span_end`],
+//! keyed by a static phase name plus a caller-chosen `u64` id (an
+//! exchange id, a block height, …) so many instances of the same phase
+//! can be in flight at once. Closed spans fold into a per-name duration
+//! [`Series`], which the bench harnesses summarize into the
+//! phase-latency tables of the schema-versioned JSON reports.
+//!
+//! The tracer is designed around a hard overhead budget: when disabled
+//! (the default for `World` unless `tracing` is set on the workload
+//! config), every call is a single branch on a `bool` and returns
+//! immediately — no allocation, no map lookup.
+
+use crate::metrics::{Series, Summary};
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Key for a span instance: static phase name + caller-chosen instance id.
+type SpanKey = (&'static str, u64);
+
+/// A sim-time span tracer.
+///
+/// ```
+/// use bcwan_sim::{SimTime, Tracer};
+///
+/// let mut tr = Tracer::enabled();
+/// tr.span_start("uplink", 1, SimTime::from_micros(0));
+/// tr.span_end("uplink", 1, SimTime::from_micros(1500));
+/// assert_eq!(tr.durations("uplink").unwrap().len(), 1);
+/// assert_eq!(tr.durations("uplink").unwrap().samples()[0], 0.0015);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    open: HashMap<SpanKey, SimTime>,
+    /// Closed span durations (seconds), per phase name.
+    closed: BTreeMap<&'static str, Series>,
+    /// Count of instant events, per name.
+    instants: BTreeMap<&'static str, u64>,
+    /// span_end calls with no matching span_start (indicates an
+    /// instrumentation bug; surfaced in reports rather than panicking).
+    unmatched_ends: u64,
+}
+
+impl Tracer {
+    /// A disabled tracer: every call is a no-op behind one branch.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// An enabled tracer.
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            ..Tracer::default()
+        }
+    }
+
+    /// Builds a tracer with the given enablement.
+    pub fn new(enabled: bool) -> Self {
+        if enabled {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        }
+    }
+
+    /// Whether the tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens span `name`/`id` at `now`. Re-opening an already-open span
+    /// restarts it (the earlier start is discarded).
+    #[inline]
+    pub fn span_start(&mut self, name: &'static str, id: u64, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        self.open.insert((name, id), now);
+    }
+
+    /// Closes span `name`/`id` at `now`, folding its duration into the
+    /// per-name series. An end without a matching start is counted in
+    /// [`Tracer::unmatched_ends`] and otherwise ignored.
+    #[inline]
+    pub fn span_end(&mut self, name: &'static str, id: u64, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        match self.open.remove(&(name, id)) {
+            Some(start) => {
+                let dur = now.saturating_duration_since(start);
+                self.closed
+                    .entry(name)
+                    .or_default()
+                    .record(dur.as_secs_f64());
+            }
+            None => self.unmatched_ends += 1,
+        }
+    }
+
+    /// Drops an open span without recording it (e.g. a failed exchange
+    /// whose phase never completed).
+    #[inline]
+    pub fn span_cancel(&mut self, name: &'static str, id: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.open.remove(&(name, id));
+    }
+
+    /// Records a zero-duration point event.
+    #[inline]
+    pub fn instant(&mut self, name: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        *self.instants.entry(name).or_insert(0) += 1;
+    }
+
+    /// Records an externally measured duration directly, without a
+    /// start/end pair — for phases whose endpoints live in different
+    /// actors where threading an id through would distort the protocol.
+    #[inline]
+    pub fn record_span(&mut self, name: &'static str, duration: SimDuration) {
+        if !self.enabled {
+            return;
+        }
+        self.closed
+            .entry(name)
+            .or_default()
+            .record(duration.as_secs_f64());
+    }
+
+    /// Closed-span durations (seconds) for `name`, if any were recorded.
+    pub fn durations(&self, name: &'static str) -> Option<&Series> {
+        self.closed.get(name)
+    }
+
+    /// All phase names with at least one closed span, sorted.
+    pub fn phase_names(&self) -> Vec<&'static str> {
+        self.closed.keys().copied().collect()
+    }
+
+    /// Per-phase summaries, sorted by phase name. Empty when disabled.
+    pub fn phase_summaries(&self) -> Vec<(&'static str, Summary)> {
+        self.closed
+            .iter()
+            .filter_map(|(name, series)| series.summary().map(|s| (*name, s)))
+            .collect()
+    }
+
+    /// Instant-event counts, sorted by name.
+    pub fn instant_counts(&self) -> Vec<(&'static str, u64)> {
+        self.instants.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Spans opened but never closed (in-flight work at end of run).
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// `span_end` calls that had no matching `span_start`.
+    pub fn unmatched_ends(&self) -> u64 {
+        self.unmatched_ends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = Tracer::disabled();
+        tr.span_start("phase", 0, t(0));
+        tr.span_end("phase", 0, t(100));
+        tr.instant("tick");
+        assert!(tr.durations("phase").is_none());
+        assert!(tr.phase_summaries().is_empty());
+        assert!(tr.instant_counts().is_empty());
+        assert_eq!(tr.open_spans(), 0);
+    }
+
+    #[test]
+    fn span_duration_in_seconds() {
+        let mut tr = Tracer::enabled();
+        tr.span_start("up", 7, t(1_000_000));
+        tr.span_end("up", 7, t(3_500_000));
+        let s = tr.durations("up").unwrap();
+        assert_eq!(s.samples(), &[2.5]);
+    }
+
+    #[test]
+    fn concurrent_instances_do_not_collide() {
+        let mut tr = Tracer::enabled();
+        tr.span_start("x", 1, t(0));
+        tr.span_start("x", 2, t(10));
+        tr.span_end("x", 2, t(20));
+        tr.span_end("x", 1, t(40));
+        let samples = tr.durations("x").unwrap().samples().to_vec();
+        assert_eq!(samples, vec![10e-6, 40e-6]);
+    }
+
+    #[test]
+    fn unmatched_end_is_counted_not_recorded() {
+        let mut tr = Tracer::enabled();
+        tr.span_end("ghost", 1, t(5));
+        assert_eq!(tr.unmatched_ends(), 1);
+        assert!(tr.durations("ghost").is_none());
+    }
+
+    #[test]
+    fn cancel_discards_open_span() {
+        let mut tr = Tracer::enabled();
+        tr.span_start("fail", 3, t(0));
+        tr.span_cancel("fail", 3);
+        tr.span_end("fail", 3, t(10));
+        assert_eq!(tr.unmatched_ends(), 1);
+        assert_eq!(tr.open_spans(), 0);
+    }
+
+    #[test]
+    fn instants_and_summaries() {
+        let mut tr = Tracer::enabled();
+        tr.instant("mined");
+        tr.instant("mined");
+        tr.record_span("settle", SimDuration::from_millis(40));
+        assert_eq!(tr.instant_counts(), vec![("mined", 2)]);
+        let summaries = tr.phase_summaries();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].0, "settle");
+        assert_eq!(summaries[0].1.count, 1);
+    }
+
+    #[test]
+    fn open_span_visible_until_closed() {
+        let mut tr = Tracer::enabled();
+        tr.span_start("long", 1, t(0));
+        assert_eq!(tr.open_spans(), 1);
+        tr.span_end("long", 1, t(1));
+        assert_eq!(tr.open_spans(), 0);
+    }
+}

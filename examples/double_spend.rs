@@ -16,12 +16,30 @@ fn main() {
     println!("=== zero-confirmation double spend, played on the real substrate ===\n");
     let m = play_double_spend_mechanics(2018);
     let tick = |b: bool| if b { "✔" } else { "✘" };
-    println!(" {} recipient sends the escrow ONLY to the gateway", tick(m.gateway_accepted_escrow));
-    println!(" {} …and a conflicting spend of the same coin to the miner", tick(m.miner_accepted_conflict));
-    println!(" {} the relayed escrow is refused at the miner (first-seen rule)", tick(m.miner_rejected_escrow));
-    println!(" {} the gateway, at zero confirmations, claims and reveals eSk", tick(m.recipient_got_key));
-    println!(" {} the claim is an orphan at the miner — it can never be mined", tick(m.claim_orphaned_at_miner));
-    println!(" {} after the next block, the gateway holds nothing", tick(m.gateway_unpaid));
+    println!(
+        " {} recipient sends the escrow ONLY to the gateway",
+        tick(m.gateway_accepted_escrow)
+    );
+    println!(
+        " {} …and a conflicting spend of the same coin to the miner",
+        tick(m.miner_accepted_conflict)
+    );
+    println!(
+        " {} the relayed escrow is refused at the miner (first-seen rule)",
+        tick(m.miner_rejected_escrow)
+    );
+    println!(
+        " {} the gateway, at zero confirmations, claims and reveals eSk",
+        tick(m.recipient_got_key)
+    );
+    println!(
+        " {} the claim is an orphan at the miner — it can never be mined",
+        tick(m.claim_orphaned_at_miner)
+    );
+    println!(
+        " {} after the next block, the gateway holds nothing",
+        tick(m.gateway_unpaid)
+    );
     println!("\n attack succeeded: {}", m.attack_succeeded());
 
     println!("\n=== the counter-measure: wait for confirmations (§6) ===\n");

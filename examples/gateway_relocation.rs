@@ -38,7 +38,10 @@ fn main() {
     let recipient = Wallet::generate(&mut rng);
 
     // Genesis gives the recipient coins and a first announcement.
-    let first_home = NetAddr { ip: [203, 0, 113, 10], port: 7000 };
+    let first_home = NetAddr {
+        ip: [203, 0, 113, 10],
+        port: 7000,
+    };
     let genesis = {
         let ann = IpAnnouncement {
             address: recipient.address(),
@@ -49,7 +52,10 @@ fn main() {
             0,
             b"genesis",
             vec![
-                TxOut { value: 1_000, script_pubkey: recipient.locking_script() },
+                TxOut {
+                    value: 1_000,
+                    script_pubkey: recipient.locking_script(),
+                },
                 ann.to_output(),
             ],
         );
@@ -71,7 +77,10 @@ fn main() {
     );
 
     // The recipient's master gateway moves to another network.
-    let new_home = NetAddr { ip: [198, 51, 100, 42], port: 7000 };
+    let new_home = NetAddr {
+        ip: [198, 51, 100, 42],
+        port: 7000,
+    };
     println!("\nrecipient relocates: {first_home} → {new_home}");
     let coin = OutPoint {
         txid: chain.block_at(0).unwrap().transactions[0].txid(),
@@ -86,7 +95,10 @@ fn main() {
         vec![(coin, recipient.locking_script())],
         vec![
             announcement.to_output(),
-            TxOut { value: 990, script_pubkey: recipient.locking_script() },
+            TxOut {
+                value: 990,
+                script_pubkey: recipient.locking_script(),
+            },
         ],
         0,
     );
@@ -102,7 +114,9 @@ fn main() {
     println!(
         "\ngateway lookup now resolves:\n  @R {} → {} (seq {})",
         recipient.address(),
-        directory.lookup(&recipient.address()).expect("still announced"),
+        directory
+            .lookup(&recipient.address())
+            .expect("still announced"),
         directory.seq_of(&recipient.address()).unwrap(),
     );
 

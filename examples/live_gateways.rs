@@ -100,7 +100,10 @@ fn main() {
                     continue;
                 };
                 println!("[gateway]   escrow seen ({value} units) — claiming, revealing eSk");
-                let outpoint = OutPoint { txid: tx.txid(), vout };
+                let outpoint = OutPoint {
+                    txid: tx.txid(),
+                    vout,
+                };
                 let script = tx.outputs[vout as usize].script_pubkey.clone();
                 let claim = build_claim(&gateway_wallet, outpoint, &script, value, &e_sk, 5);
                 gw_bus.broadcast(
@@ -121,14 +124,18 @@ fn main() {
         let mut pending: Option<SealedUplink> = None;
         while let Some(env) = recipient_inbox.recv() {
             match env.msg {
-                Msg::Deliver { device, e_pk, uplink } => {
+                Msg::Deliver {
+                    device,
+                    e_pk,
+                    uplink,
+                } => {
                     let pk = RsaPublicKey::from_bytes(&e_pk).expect("key parses");
                     let record = registry.get(&device).expect("provisioned");
                     assert!(verify_uplink(record, &pk, &uplink), "authenticity (step 8)");
                     println!("[recipient] signature verified — escrowing payment");
                     let escrow = build_escrow(
                         &recipient_wallet,
-                        &[coin.clone()],
+                        std::slice::from_ref(&coin),
                         &pk,
                         &gateway_address,
                         100,
@@ -140,14 +147,16 @@ fn main() {
                         .send(RECIPIENT, GATEWAY, Msg::Escrow(escrow.tx))
                         .expect("gateway reachable");
                 }
-                Msg::Claim { tx, escrow_outpoint } => {
+                Msg::Claim {
+                    tx,
+                    escrow_outpoint,
+                } => {
                     let revealed = extract_key_from_claim(&tx, &escrow_outpoint)
                         .expect("claim reveals the key");
                     println!("[recipient] eSk extracted from the claim — decrypting");
                     let record = registry.get(&DeviceId(1)).expect("provisioned");
                     let uplink = pending.take().expect("delivery preceded claim");
-                    let reading =
-                        open_reading(record, &revealed, &uplink.em).expect("decrypts");
+                    let reading = open_reading(record, &revealed, &uplink.em).expect("decrypts");
                     rc_bus.send(RECIPIENT, MAIN, Msg::Decrypted(reading)).ok();
                     break;
                 }

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Provisioning (§4.4): shared AES key K and signing pair Sk/Pk.
     let mut registry = DeviceRegistry::new();
     let device = registry.provision(&mut rng, DeviceId(1), recipient_wallet.address());
-    println!("\n[provisioning] device {} loaded with K and Sk", device.device_id);
+    println!(
+        "\n[provisioning] device {} loaded with K and Sk",
+        device.device_id
+    );
 
     // ------------------------------------------------------------------
     // Step 1-2: the gateway generates the ephemeral RSA-512 pair and
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         device_id: device.device_id.0,
         public_key: e_pk.to_bytes(),
     };
-    println!("\n[step 1-2] gateway → node: ePk ({} bytes on air)", downlink.phy_len());
+    println!(
+        "\n[step 1-2] gateway → node: ePk ({} bytes on air)",
+        downlink.phy_len()
+    );
 
     // ------------------------------------------------------------------
     // Steps 3-5: the node double-encrypts and signs, then uplinks.
@@ -109,7 +115,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // reveals eSk on chain.
     // ------------------------------------------------------------------
     let (vout, value) = find_escrow_for_key(&escrow.tx, &e_pk).expect("escrow pays our key");
-    let claim = build_claim(&gateway_wallet, escrow.outpoint(), &escrow.script, value, &e_sk, 5);
+    let claim = build_claim(
+        &gateway_wallet,
+        escrow.outpoint(),
+        &escrow.script,
+        value,
+        &e_sk,
+        5,
+    );
     println!(
         "[step 10]  gateway claim {} spends escrow output {vout}, revealing eSk",
         claim.txid()

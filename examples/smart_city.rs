@@ -67,8 +67,9 @@ fn main() {
         "{} blocks mined; {} escrow+claim transactions settled on chain",
         result.blocks_mined, result.confirmed_txs
     );
+    println!("\nEach delivery moved 10 units from the data owner to the carrying",);
     println!(
-        "\nEach delivery moved 10 units from the data owner to the carrying",
+        "gateway — {} units total, with no operator trusting any other.",
+        result.completed * 10
     );
-    println!("gateway — {} units total, with no operator trusting any other.", result.completed * 10);
 }

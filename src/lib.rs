@@ -4,6 +4,10 @@
 //! use a single dependency root. See the individual crates for the real
 //! APIs: [`bcwan`] (protocol), [`bcwan_chain`], [`bcwan_script`],
 //! [`bcwan_crypto`], [`bcwan_lora`], [`bcwan_p2p`], [`bcwan_sim`].
+//!
+//! The README below doubles as the crate documentation; its Rust
+//! snippet runs as a doctest so the quickstart cannot rot.
+#![doc = include_str!("../README.md")]
 
 pub use bcwan;
 pub use bcwan_chain;

@@ -16,7 +16,6 @@ struct Testbed {
     chain: Chain,
     recipient: Wallet,
     gateway: Wallet,
-    registry: DeviceRegistry,
 }
 
 fn testbed(seed: u64) -> Testbed {
@@ -27,14 +26,11 @@ fn testbed(seed: u64) -> Testbed {
     let gateway = Wallet::generate(&mut rng);
     let genesis = Chain::make_genesis(&params, &[(recipient.address(), 5_000)]);
     let chain = Chain::new(params.clone(), genesis);
-    let mut registry = DeviceRegistry::new();
-    registry.provision(&mut rng, DeviceId(7), recipient.address());
     Testbed {
         params,
         chain,
         recipient,
         gateway,
-        registry,
     }
 }
 
@@ -80,7 +76,10 @@ fn full_figure3_sequence() {
         sig: sealed.sig.clone(),
     };
     let decoded = LoraFrame::decode(&data.encode()).expect("data round-trips");
-    let LoraFrame::DataUplink { recipient, em, sig, .. } = decoded else {
+    let LoraFrame::DataUplink {
+        recipient, em, sig, ..
+    } = decoded
+    else {
         panic!("wrong frame type");
     };
     assert_eq!(recipient.len(), ADDRESS_LEN);
@@ -113,7 +112,14 @@ fn full_figure3_sequence() {
     // Step 10: claim reveals the key; the recipient decrypts.
     let (vout, value) = find_escrow_for_key(&escrow.tx, &received_pk).expect("found");
     assert_eq!((vout, value), (0, 50));
-    let claim = build_claim(&t.gateway, escrow.outpoint(), &escrow.script, value, &e_sk, 2);
+    let claim = build_claim(
+        &t.gateway,
+        escrow.outpoint(),
+        &escrow.script,
+        value,
+        &e_sk,
+        2,
+    );
     let revealed = extract_key_from_claim(&claim, &escrow.outpoint()).expect("revealed");
     let opened = open_reading(record, &revealed, &received.em).expect("decrypts");
     assert_eq!(opened, reading);

@@ -2,9 +2,7 @@
 //! blocks — claim path, refund path, and theft attempts.
 
 use bcwan::escrow::{build_claim, build_escrow, build_refund, Escrow};
-use bcwan_chain::{
-    Block, BlockAction, Chain, ChainParams, OutPoint, Transaction, TxOut, Wallet,
-};
+use bcwan_chain::{Block, BlockAction, Chain, ChainParams, OutPoint, Transaction, TxOut, Wallet};
 use bcwan_crypto::rsa::{generate_keypair, RsaKeySize, RsaPrivateKey, RsaPublicKey};
 use bcwan_script::Script;
 use rand::rngs::StdRng;
@@ -133,7 +131,10 @@ fn claim_with_wrong_key_cannot_be_mined() {
         vec![cb, bad_claim],
     );
     assert!(t.chain.add_block(block).is_err());
-    assert!(t.chain.utxo().contains(&t.escrow.outpoint()), "escrow untouched");
+    assert!(
+        t.chain.utxo().contains(&t.escrow.outpoint()),
+        "escrow untouched"
+    );
 }
 
 #[test]
@@ -157,7 +158,10 @@ fn refund_respects_the_time_lock_on_chain() {
         t.params.difficulty_bits,
         vec![cb, refund.clone()],
     );
-    assert!(t.chain.add_block(early_block).is_err(), "premature refund rejected");
+    assert!(
+        t.chain.add_block(early_block).is_err(),
+        "premature refund rejected"
+    );
 
     // Advance the chain past the lock height with empty blocks.
     while t.chain.height() < t.escrow.refund_height {
@@ -229,8 +233,7 @@ fn key_revealed_on_chain_is_readable_by_anyone() {
     mine(&mut t.chain, vec![claim]);
     let (height, mined_claim) = t.chain.find_transaction(&claim_txid).expect("mined");
     assert_eq!(height, 2);
-    let revealed =
-        bcwan::escrow::extract_key_from_claim(mined_claim, &t.escrow.outpoint())
-            .expect("readable from the chain");
+    let revealed = bcwan::escrow::extract_key_from_claim(mined_claim, &t.escrow.outpoint())
+        .expect("readable from the chain");
     assert!(t.e_pk.matches_private(&revealed));
 }

@@ -3,9 +3,7 @@
 
 use bcwan::directory::{Directory, IpAnnouncement, NetAddr};
 use bcwan::escrow::build_escrow;
-use bcwan_chain::{
-    Block, BlockAction, Chain, ChainParams, OutPoint, Transaction, TxOut, Wallet,
-};
+use bcwan_chain::{Block, BlockAction, Chain, ChainParams, OutPoint, Transaction, TxOut, Wallet};
 use bcwan_crypto::rsa::{generate_keypair, RsaKeySize};
 use bcwan_script::Script;
 use rand::rngs::StdRng;
@@ -66,7 +64,13 @@ fn reorg_unconfirms_escrow_and_restores_funding_coin() {
     chain.add_block(a1.clone()).unwrap();
     let a2 = mine_on(&chain, a1.hash(), 2, b"alt2", vec![]);
     let action = chain.add_block(a2).unwrap();
-    assert!(matches!(action, BlockAction::Reorganized { disconnected: 1, connected: 2 }));
+    assert!(matches!(
+        action,
+        BlockAction::Reorganized {
+            disconnected: 1,
+            connected: 2
+        }
+    ));
 
     // The escrow no longer exists; the recipient's coin is spendable again.
     assert!(!chain.utxo().contains(&escrow.outpoint()));
@@ -87,7 +91,10 @@ fn directory_follows_the_winning_branch() {
         vout: 0,
     };
 
-    let addr_a = NetAddr { ip: [10, 0, 0, 1], port: 7000 };
+    let addr_a = NetAddr {
+        ip: [10, 0, 0, 1],
+        port: 7000,
+    };
     let announce = |endpoint: NetAddr, seq: u32| IpAnnouncement {
         address: recipient.address(),
         endpoint,
@@ -97,7 +104,10 @@ fn directory_follows_the_winning_branch() {
         vec![(coin, recipient.locking_script())],
         vec![
             announce(addr_a, 1).to_output(),
-            TxOut { value: 990, script_pubkey: recipient.locking_script() },
+            TxOut {
+                value: 990,
+                script_pubkey: recipient.locking_script(),
+            },
         ],
         0,
     );
@@ -140,12 +150,18 @@ fn deep_reorg_replays_transactions_correctly() {
 
     let to_a = owner.build_payment(
         vec![(coin, owner.locking_script())],
-        vec![TxOut { value: 500, script_pubkey: heir_a.locking_script() }],
+        vec![TxOut {
+            value: 500,
+            script_pubkey: heir_a.locking_script(),
+        }],
         0,
     );
     let to_b = owner.build_payment(
         vec![(coin, owner.locking_script())],
-        vec![TxOut { value: 500, script_pubkey: heir_b.locking_script() }],
+        vec![TxOut {
+            value: 500,
+            script_pubkey: heir_b.locking_script(),
+        }],
         0,
     );
 
@@ -162,7 +178,13 @@ fn deep_reorg_replays_transactions_correctly() {
     chain.add_block(b2.clone()).unwrap();
     let b3 = mine_on(&chain, b2.hash(), 3, b"b3", vec![]);
     let action = chain.add_block(b3).unwrap();
-    assert!(matches!(action, BlockAction::Reorganized { disconnected: 2, connected: 3 }));
+    assert!(matches!(
+        action,
+        BlockAction::Reorganized {
+            disconnected: 2,
+            connected: 3
+        }
+    ));
 
     let has = |w: &Wallet| {
         let script = w.locking_script();
