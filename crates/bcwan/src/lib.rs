@@ -27,7 +27,10 @@
 //! - [`election`] — master-gateway election among an actor's gateways
 //!   (§4.2 footnote 3),
 //! - [`sync`] — the §5.1 start-up block synchronization,
-//! - [`wire`] — the host-to-host message vocabulary.
+//! - [`wire`] — the host-to-host message vocabulary and its binary
+//!   wire encoding,
+//! - [`net`] — the §4.3 delivery glue: the wire codec packaged for the
+//!   `bcwan-p2p` TCP transport, and directory-driven dialing.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub mod directory;
 pub mod election;
 pub mod escrow;
 pub mod exchange;
+pub mod net;
 pub mod provisioning;
 pub mod reputation;
 pub mod sync;
@@ -60,6 +64,7 @@ pub use daemon::{Daemon, DaemonStats};
 pub use directory::{Directory, IpAnnouncement, NetAddr};
 pub use escrow::{build_claim, build_escrow, build_refund, Escrow};
 pub use exchange::{open_reading, seal_reading, verify_uplink, ExchangeError, SealedUplink};
+pub use net::{DialError, OverlayDialer, WanCodec};
 pub use provisioning::{DeviceCredentials, DeviceId, DeviceRecord, DeviceRegistry};
-pub use wire::WanMessage;
+pub use wire::{WanMessage, WireError};
 pub use world::{ExperimentResult, WorkloadConfig, World};

@@ -1,11 +1,25 @@
-//! Messages BcWAN hosts exchange over TCP/IP (the overlay).
+//! Messages BcWAN hosts exchange over TCP/IP (the overlay), and their
+//! deterministic binary wire encoding.
+//!
+//! [`WanMessage::encode`] / [`WanMessage::decode`] are the payload codec
+//! the transport layer frames (see `bcwan-p2p`'s `transport` module): a
+//! one-byte variant tag followed by the variant's fields, every integer
+//! little-endian, every variable-length field `u32`-length-prefixed.
+//! Transactions and blocks reuse the chain's canonical `serialize()`
+//! layout byte-for-byte, so a decoded transaction re-hashes to the same
+//! txid it had on the sending host. Decoding is total: any byte slice
+//! either yields a message or a [`WireError`] — never a panic, and never
+//! an allocation larger than the input it was handed.
 
 use crate::exchange::SealedUplink;
 use crate::provisioning::DeviceId;
+use bcwan_chain::{Block, BlockHash, BlockHeader, OutPoint, Transaction, TxId, TxIn, TxOut};
 use bcwan_p2p::ChainMessage;
+use bcwan_script::Script;
+use std::fmt;
 
 /// A wide-area message between BcWAN hosts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WanMessage {
     /// Chain gossip (transactions, blocks, sync traffic).
     Chain(ChainMessage),
@@ -63,6 +77,241 @@ impl WanMessage {
     }
 }
 
+/// Why bytes did not decode into a [`WanMessage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the message did.
+    Truncated,
+    /// Bytes were left over after a complete message.
+    TrailingBytes(usize),
+    /// The leading variant tag is not one this version knows.
+    UnknownTag(u8),
+    /// An embedded script failed to parse.
+    BadScript(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            WireError::BadScript(why) => write!(f, "embedded script invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// Variant tags. Order is wire format — append, never renumber.
+const TAG_TX: u8 = 0;
+const TAG_BLOCK: u8 = 1;
+const TAG_GET_BLOCK: u8 = 2;
+const TAG_GET_BLOCKS_FROM: u8 = 3;
+const TAG_TIP_ANNOUNCE: u8 = 4;
+const TAG_DELIVER: u8 = 5;
+
+impl WanMessage {
+    /// Deterministic binary encoding: one tag byte, then the variant's
+    /// fields (integers LE, variable-length fields `u32`-prefixed).
+    /// Transactions and blocks use the chain's canonical serialization.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_size());
+        match self {
+            WanMessage::Chain(ChainMessage::Tx(tx)) => {
+                out.push(TAG_TX);
+                out.extend_from_slice(&tx.serialize());
+            }
+            WanMessage::Chain(ChainMessage::Block(block)) => {
+                out.push(TAG_BLOCK);
+                out.extend_from_slice(&block.header.serialize());
+                out.extend_from_slice(&(block.transactions.len() as u32).to_le_bytes());
+                for tx in &block.transactions {
+                    out.extend_from_slice(&tx.serialize());
+                }
+            }
+            WanMessage::Chain(ChainMessage::GetBlock(hash)) => {
+                out.push(TAG_GET_BLOCK);
+                out.extend_from_slice(&hash.0);
+            }
+            WanMessage::Chain(ChainMessage::GetBlocksFrom(height)) => {
+                out.push(TAG_GET_BLOCKS_FROM);
+                out.extend_from_slice(&height.to_le_bytes());
+            }
+            WanMessage::Chain(ChainMessage::TipAnnounce { hash, height }) => {
+                out.push(TAG_TIP_ANNOUNCE);
+                out.extend_from_slice(&hash.0);
+                out.extend_from_slice(&height.to_le_bytes());
+            }
+            WanMessage::Deliver {
+                device_id,
+                e_pk_bytes,
+                uplink,
+            } => {
+                out.push(TAG_DELIVER);
+                out.extend_from_slice(&device_id.0.to_le_bytes());
+                push_vec(&mut out, e_pk_bytes);
+                push_vec(&mut out, &uplink.em);
+                push_vec(&mut out, &uplink.sig);
+            }
+        }
+        out
+    }
+
+    /// Decodes bytes produced by [`WanMessage::encode`].
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`] for truncated, trailing, or malformed input; never
+    /// panics, never allocates more than the input's length.
+    pub fn decode(bytes: &[u8]) -> Result<WanMessage, WireError> {
+        let mut r = Reader::new(bytes);
+        let msg = match r.u8()? {
+            TAG_TX => WanMessage::Chain(ChainMessage::Tx(decode_tx(&mut r)?)),
+            TAG_BLOCK => WanMessage::Chain(ChainMessage::Block(decode_block(&mut r)?)),
+            TAG_GET_BLOCK => WanMessage::Chain(ChainMessage::GetBlock(BlockHash(r.array32()?))),
+            TAG_GET_BLOCKS_FROM => WanMessage::Chain(ChainMessage::GetBlocksFrom(r.u64()?)),
+            TAG_TIP_ANNOUNCE => WanMessage::Chain(ChainMessage::TipAnnounce {
+                hash: BlockHash(r.array32()?),
+                height: r.u64()?,
+            }),
+            TAG_DELIVER => WanMessage::Deliver {
+                device_id: DeviceId(r.u32()?),
+                e_pk_bytes: r.vec()?,
+                uplink: SealedUplink {
+                    em: r.vec()?,
+                    sig: r.vec()?,
+                },
+            },
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+fn push_vec(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Bounds-checked cursor over the input. Every `take` verifies length
+/// before touching (or allocating for) the bytes, so hostile length
+/// prefixes cannot trigger oversized allocations.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn array32(&mut self) -> Result<[u8; 32], WireError> {
+        Ok(self.take(32)?.try_into().expect("32 bytes"))
+    }
+
+    fn vec(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn script(&mut self) -> Result<Script, WireError> {
+        let bytes = self.vec()?;
+        Script::from_bytes(&bytes).map_err(|e| WireError::BadScript(e.to_string()))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        match self.bytes.len() - self.pos {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+}
+
+// The chain's canonical transaction layout (`Transaction::serialize`),
+// read back field by field. Counts are not trusted: each element read is
+// bounds-checked, so a hostile count fails with `Truncated` instead of
+// reserving memory.
+fn decode_tx(r: &mut Reader<'_>) -> Result<Transaction, WireError> {
+    let version = r.u32()?;
+    let input_count = r.u32()?;
+    let mut inputs = Vec::new();
+    for _ in 0..input_count {
+        inputs.push(TxIn {
+            prevout: OutPoint {
+                txid: TxId(r.array32()?),
+                vout: r.u32()?,
+            },
+            script_sig: r.script()?,
+            sequence: r.u32()?,
+        });
+    }
+    let output_count = r.u32()?;
+    let mut outputs = Vec::new();
+    for _ in 0..output_count {
+        outputs.push(TxOut {
+            value: r.u64()?,
+            script_pubkey: r.script()?,
+        });
+    }
+    let lock_time = r.u64()?;
+    Ok(Transaction {
+        version,
+        inputs,
+        outputs,
+        lock_time,
+    })
+}
+
+fn decode_block(r: &mut Reader<'_>) -> Result<Block, WireError> {
+    let header_bytes = r.take(88)?;
+    let header = BlockHeader {
+        version: u32::from_le_bytes(header_bytes[0..4].try_into().expect("4 bytes")),
+        prev_hash: BlockHash(header_bytes[4..36].try_into().expect("32 bytes")),
+        merkle_root: header_bytes[36..68].try_into().expect("32 bytes"),
+        time_us: u64::from_le_bytes(header_bytes[68..76].try_into().expect("8 bytes")),
+        bits: u32::from_le_bytes(header_bytes[76..80].try_into().expect("4 bytes")),
+        nonce: u64::from_le_bytes(header_bytes[80..88].try_into().expect("8 bytes")),
+    };
+    let tx_count = r.u32()?;
+    let mut transactions = Vec::new();
+    for _ in 0..tx_count {
+        transactions.push(decode_tx(r)?);
+    }
+    Ok(Block {
+        header,
+        transactions,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +348,91 @@ mod tests {
         let sync = WanMessage::Chain(ChainMessage::GetBlocksFrom(7));
         assert_eq!(sync.wire_size(), 41);
         assert_ne!(sync.kind_index(), deliver.kind_index());
+    }
+
+    fn sample_block() -> bcwan_chain::Block {
+        use rand::SeedableRng;
+        let params = bcwan_chain::ChainParams::fast_test();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let wallet = bcwan_chain::Wallet::generate(&mut rng);
+        bcwan_chain::Chain::make_genesis(&params, &[(wallet.address(), 25)])
+    }
+
+    fn round_trip(msg: WanMessage) {
+        let bytes = msg.encode();
+        assert_eq!(WanMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let block = sample_block();
+        let tx = block.transactions[0].clone();
+        round_trip(WanMessage::Chain(ChainMessage::Tx(tx)));
+        round_trip(WanMessage::Chain(ChainMessage::Block(block.clone())));
+        round_trip(WanMessage::Chain(ChainMessage::GetBlock(block.hash())));
+        round_trip(WanMessage::Chain(ChainMessage::GetBlocksFrom(u64::MAX)));
+        round_trip(WanMessage::Chain(ChainMessage::TipAnnounce {
+            hash: block.hash(),
+            height: 12,
+        }));
+        round_trip(WanMessage::Deliver {
+            device_id: DeviceId(77),
+            e_pk_bytes: vec![1, 2, 3, 4],
+            uplink: SealedUplink {
+                em: vec![9; 120],
+                sig: vec![7; 64],
+            },
+        });
+    }
+
+    #[test]
+    fn decoded_tx_keeps_its_txid() {
+        let block = sample_block();
+        let tx = block.transactions[0].clone();
+        let txid = tx.txid();
+        let bytes = WanMessage::Chain(ChainMessage::Tx(tx)).encode();
+        match WanMessage::decode(&bytes).unwrap() {
+            WanMessage::Chain(ChainMessage::Tx(decoded)) => assert_eq!(decoded.txid(), txid),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tag_empty_and_trailing() {
+        assert_eq!(WanMessage::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(
+            WanMessage::decode(&[0xee]),
+            Err(WireError::UnknownTag(0xee))
+        );
+        let mut bytes = WanMessage::Chain(ChainMessage::GetBlocksFrom(1)).encode();
+        bytes.push(0);
+        assert_eq!(WanMessage::decode(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_truncated_not_oom() {
+        // A Deliver whose e_pk length claims 4 GiB.
+        let mut bytes = vec![5u8]; // TAG_DELIVER
+        bytes.extend_from_slice(&7u32.to_le_bytes()); // device id
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile length
+        assert_eq!(WanMessage::decode(&bytes), Err(WireError::Truncated));
+        // A block claiming 4 billion transactions.
+        let block = sample_block();
+        let mut bytes = vec![1u8]; // TAG_BLOCK
+        bytes.extend_from_slice(&block.header.serialize());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(WanMessage::decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn truncation_at_every_cut_errors_cleanly() {
+        let block = sample_block();
+        let bytes = WanMessage::Chain(ChainMessage::Block(block)).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                WanMessage::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
     }
 }

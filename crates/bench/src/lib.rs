@@ -303,25 +303,108 @@ impl LatencyReport {
     }
 }
 
-/// Times `f` over `iters` iterations (after `max(iters/10, 1)` warm-up
-/// calls), prints one table line, and returns the per-iteration mean in
-/// seconds. The plain-`main` replacement for the Criterion harness the
-/// offline build cannot fetch (see ROADMAP "Open items").
-pub fn bench_fn<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+/// Per-iteration timing statistics from one [`bench_fn_stats`] run.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Median seconds per iteration.
+    pub median_s: f64,
+    /// 95th-percentile seconds per iteration.
+    pub p95_s: f64,
+    /// Iterations timed.
+    pub iters: u32,
+    /// Iterations flagged as outliers: more than `3 · 1.4826 · MAD` from
+    /// the median (the scaled-MAD rule; 1.4826 makes MAD consistent with
+    /// σ under normality). A noisy machine shows up here instead of
+    /// silently skewing the mean.
+    pub outliers: usize,
+}
+
+impl BenchStats {
+    /// Whether the mean is trustworthy: no outlier among the samples and
+    /// the mean within 20 % of the median.
+    pub fn is_stable(&self) -> bool {
+        self.outliers == 0 && (self.mean_s - self.median_s).abs() <= 0.2 * self.median_s.max(1e-12)
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Times `f` per-iteration over `iters` iterations (after
+/// `max(iters/10, 1)` warm-up calls) and returns the full [`BenchStats`]:
+/// mean, median, p95, and MAD-based outlier count. The plain-`main`
+/// replacement for the Criterion harness the offline build cannot fetch
+/// (see ROADMAP "Open items").
+pub fn bench_fn_stats<R>(iters: u32, mut f: impl FnMut() -> R) -> BenchStats {
+    let iters = iters.max(1);
     for _ in 0..(iters / 10).max(1) {
         std::hint::black_box(f());
     }
-    let t0 = std::time::Instant::now();
+    let mut samples = Vec::with_capacity(iters as usize);
     for _ in 0..iters {
+        let t0 = std::time::Instant::now();
         std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
     }
-    let per = t0.elapsed().as_secs_f64() / f64::from(iters);
-    if per < 1e-3 {
-        println!("{name:<48} {:>10.2} µs/iter  ({iters} iters)", per * 1e6);
+    let mean_s = samples.iter().sum::<f64>() / f64::from(iters);
+    let mut sorted = samples.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median_s = percentile(&sorted, 0.5);
+    let p95_s = percentile(&sorted, 0.95);
+    // Median absolute deviation, scaled to be σ-consistent.
+    let mut deviations: Vec<f64> = samples.iter().map(|s| (s - median_s).abs()).collect();
+    deviations.sort_by(|a, b| a.total_cmp(b));
+    let mad = percentile(&deviations, 0.5);
+    let cutoff = 3.0 * 1.4826 * mad;
+    let outliers = if cutoff > 0.0 {
+        samples
+            .iter()
+            .filter(|s| (**s - median_s).abs() > cutoff)
+            .count()
     } else {
-        println!("{name:<48} {:>10.3} ms/iter  ({iters} iters)", per * 1e3);
+        // Degenerate MAD (over half the samples identical): only count
+        // samples that actually differ from the median.
+        samples.iter().filter(|s| **s != median_s).count()
+    };
+    BenchStats {
+        mean_s,
+        median_s,
+        p95_s,
+        iters,
+        outliers,
     }
-    per
+}
+
+/// Times `f` over `iters` iterations, prints one table line
+/// (mean/median/p95 plus an outlier flag when the MAD rule fires), and
+/// returns the per-iteration mean in seconds.
+pub fn bench_fn<R>(name: &str, iters: u32, f: impl FnMut() -> R) -> f64 {
+    let stats = bench_fn_stats(iters, f);
+    let (scale, unit) = if stats.median_s < 1e-3 {
+        (1e6, "µs")
+    } else {
+        (1e3, "ms")
+    };
+    let flag = if stats.outliers > 0 {
+        format!("  [{} outliers]", stats.outliers)
+    } else {
+        String::new()
+    };
+    println!(
+        "{name:<48} mean {:>9.2} {unit}  p50 {:>9.2} {unit}  p95 {:>9.2} {unit}  ({} iters){flag}",
+        stats.mean_s * scale,
+        stats.median_s * scale,
+        stats.p95_s * scale,
+        stats.iters,
+    );
+    stats.mean_s
 }
 
 /// Parses `--json PATH` and `N` (positional count override) from
@@ -414,6 +497,40 @@ mod tests {
         let metrics = doc.get("metrics").expect("metrics");
         let snap = Snapshot::from_json(metrics).expect("valid snapshot");
         assert_eq!(snap.counters, vec![("bench.rows_total".to_string(), 3)]);
+    }
+
+    #[test]
+    fn bench_stats_orders_percentiles() {
+        let stats = bench_fn_stats(50, || std::hint::black_box(17u64.wrapping_mul(31)));
+        assert_eq!(stats.iters, 50);
+        assert!(stats.median_s <= stats.p95_s);
+        assert!(stats.mean_s > 0.0);
+    }
+
+    #[test]
+    fn mad_outlier_flagging_catches_a_spike() {
+        // One iteration sleeps ~3ms among ~instant ones: must be flagged.
+        let mut n = 0u32;
+        let stats = bench_fn_stats(30, || {
+            n += 1;
+            if n == 25 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+        });
+        assert!(stats.outliers >= 1, "spike not flagged: {stats:?}");
+        assert!(
+            stats.median_s < stats.mean_s,
+            "spike skews mean above median"
+        );
+    }
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[4.0], 0.95), 4.0);
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
     }
 
     #[test]

@@ -12,7 +12,13 @@
 //!   transaction gossip vocabulary with flood dedup),
 //! - a **live** thread-backed bus ([`live`]) so examples can run each
 //!   gateway as an OS thread exchanging real messages, mirroring the
-//!   paper's daemons listening on TCP ports.
+//!   paper's daemons listening on TCP ports,
+//! - a **real TCP/IP transport** ([`transport`]): a framed, checksummed
+//!   wire format and a per-host runtime on `std::net` (accept loop,
+//!   connection pool, timeouts, retry with backoff), behind a common
+//!   [`Transport`](transport::Transport) trait the live bus also
+//!   implements — so protocol code is pluggable between channels and
+//!   sockets.
 //!
 //! ## Example
 //!
@@ -33,8 +39,12 @@ pub mod chain_msg;
 pub mod live;
 pub mod network;
 pub mod topology;
+pub mod transport;
 
 pub use chain_msg::{ChainMessage, RelayState};
-pub use live::{BusError, Envelope, Inbox, LiveBus};
+pub use live::{BusError, Envelope, Inbox, LiveBus, TryRecv};
 pub use network::{Delivery, FaultModel, NetStats, Network, SeenFilter};
 pub use topology::{NodeId, Topology};
+pub use transport::{
+    BusTransport, Codec, CodecError, TcpConfig, TcpHost, Transport, TransportError, TransportStats,
+};

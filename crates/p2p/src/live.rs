@@ -3,11 +3,16 @@
 //! The discrete-event simulator covers the experiments; this bus exists
 //! so the examples can also demonstrate the protocol running *live* — one
 //! thread per gateway, mpsc channels as sockets — closer in spirit
-//! to the paper's Golang daemons listening on TCP ports.
+//! to the paper's Golang daemons listening on TCP ports. It implements
+//! the same [`Transport`](crate::transport::Transport) trait as the real
+//! TCP runtime in [`crate::transport::tcp`], so protocol code can swap
+//! between the two.
 
 use crate::topology::NodeId;
+use bcwan_sim::Registry;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, RwLock};
 
@@ -37,19 +42,34 @@ impl fmt::Display for BusError {
 
 impl std::error::Error for BusError {}
 
-struct Registry<M> {
-    senders: HashMap<NodeId, Sender<Envelope<M>>>,
+/// Counters one bus accumulates across all its clones.
+#[derive(Debug, Default)]
+struct BusStats {
+    sends: AtomicU64,
+    unreachable: AtomicU64,
+    broadcasts: AtomicU64,
+    broadcast_deliveries: AtomicU64,
+}
+
+struct Registered<M> {
+    sender: InboxSender<M>,
+}
+
+struct SharedRegistry<M> {
+    senders: HashMap<NodeId, Registered<M>>,
 }
 
 /// A clonable handle to the shared bus.
 pub struct LiveBus<M> {
-    registry: Arc<RwLock<Registry<M>>>,
+    registry: Arc<RwLock<SharedRegistry<M>>>,
+    stats: Arc<BusStats>,
 }
 
 impl<M> Clone for LiveBus<M> {
     fn clone(&self) -> Self {
         LiveBus {
             registry: Arc::clone(&self.registry),
+            stats: Arc::clone(&self.stats),
         }
     }
 }
@@ -70,34 +90,132 @@ impl<M> Default for LiveBus<M> {
     }
 }
 
+/// Result of a non-blocking receive — distinguishes "nothing yet" from
+/// "every sender hung up", so a live daemon can keep polling on
+/// [`TryRecv::Empty`] but shut down cleanly on [`TryRecv::Disconnected`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TryRecv<M> {
+    /// A message arrived.
+    Message(Envelope<M>),
+    /// No message queued right now; senders still exist.
+    Empty,
+    /// All senders dropped; no message will ever arrive again.
+    Disconnected,
+}
+
+impl<M> TryRecv<M> {
+    /// The envelope, if one arrived.
+    pub fn message(self) -> Option<Envelope<M>> {
+        match self {
+            TryRecv::Message(env) => Some(env),
+            _ => None,
+        }
+    }
+
+    /// Whether this is [`TryRecv::Disconnected`].
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, TryRecv::Disconnected)
+    }
+}
+
+/// The sending half of a depth-tracked inbox channel.
+pub(crate) struct InboxSender<M> {
+    tx: Sender<Envelope<M>>,
+    depth: Arc<AtomicU64>,
+}
+
+impl<M> Clone for InboxSender<M> {
+    fn clone(&self) -> Self {
+        InboxSender {
+            tx: self.tx.clone(),
+            depth: Arc::clone(&self.depth),
+        }
+    }
+}
+
+impl<M> InboxSender<M> {
+    pub(crate) fn send(&self, env: Envelope<M>) -> Result<(), ()> {
+        self.tx.send(env).map_err(|_| ())?;
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Shared handle to the queue-depth counter, for gauges that outlive
+    /// any particular sender clone.
+    pub(crate) fn depth_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.depth)
+    }
+}
+
+/// Creates a depth-tracked inbox channel (shared by the bus and the TCP
+/// transport, so "inbox depth" means the same thing on both).
+pub(crate) fn inbox_channel<M>() -> (InboxSender<M>, Inbox<M>) {
+    let (tx, rx) = channel();
+    let depth = Arc::new(AtomicU64::new(0));
+    (
+        InboxSender {
+            tx,
+            depth: Arc::clone(&depth),
+        },
+        Inbox {
+            receiver: rx,
+            depth,
+        },
+    )
+}
+
 /// A node's inbox.
 pub struct Inbox<M> {
     receiver: Receiver<Envelope<M>>,
+    depth: Arc<AtomicU64>,
 }
 
 impl<M> fmt::Debug for Inbox<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("Inbox { .. }")
+        write!(f, "Inbox {{ depth: {} }}", self.depth())
     }
 }
 
 impl<M> Inbox<M> {
-    /// Blocks until a message arrives (or every sender hung up).
-    pub fn recv(&self) -> Option<Envelope<M>> {
-        self.receiver.recv().ok()
+    fn took_one(&self) {
+        // Saturating: a racing sender may not have incremented yet.
+        let _ = self
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
     }
 
-    /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<Envelope<M>> {
+    /// Messages queued and not yet received (approximate under
+    /// concurrency, exact once senders quiesce).
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until a message arrives (or every sender hung up).
+    pub fn recv(&self) -> Option<Envelope<M>> {
+        let env = self.receiver.recv().ok()?;
+        self.took_one();
+        Some(env)
+    }
+
+    /// Non-blocking receive with a three-state result.
+    pub fn try_recv(&self) -> TryRecv<M> {
         match self.receiver.try_recv() {
-            Ok(env) => Some(env),
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+            Ok(env) => {
+                self.took_one();
+                TryRecv::Message(env)
+            }
+            Err(TryRecvError::Empty) => TryRecv::Empty,
+            Err(TryRecvError::Disconnected) => TryRecv::Disconnected,
         }
     }
 
     /// Blocks with a timeout.
     pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Envelope<M>> {
-        self.receiver.recv_timeout(timeout).ok()
+        let env = self.receiver.recv_timeout(timeout).ok()?;
+        self.took_one();
+        Some(env)
     }
 }
 
@@ -105,18 +223,23 @@ impl<M> LiveBus<M> {
     /// An empty bus.
     pub fn new() -> Self {
         LiveBus {
-            registry: Arc::new(RwLock::new(Registry {
+            registry: Arc::new(RwLock::new(SharedRegistry {
                 senders: HashMap::new(),
             })),
+            stats: Arc::new(BusStats::default()),
         }
     }
 
     /// Registers a node and returns its inbox. Re-registering replaces the
     /// previous inbox (the old receiver starts draining nothing).
     pub fn register(&self, node: NodeId) -> Inbox<M> {
-        let (tx, rx) = channel();
-        self.registry.write().unwrap().senders.insert(node, tx);
-        Inbox { receiver: rx }
+        let (tx, inbox) = inbox_channel();
+        self.registry
+            .write()
+            .unwrap()
+            .senders
+            .insert(node, Registered { sender: tx });
+        inbox
     }
 
     /// Removes a node from the bus.
@@ -141,10 +264,52 @@ impl<M> LiveBus<M> {
     /// [`BusError::Unreachable`] when the target is unknown or gone.
     pub fn send(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), BusError> {
         let registry = self.registry.read().unwrap();
-        let sender = registry.senders.get(&to).ok_or(BusError::Unreachable(to))?;
-        sender
-            .send(Envelope { from, msg })
-            .map_err(|_| BusError::Unreachable(to))
+        let result = registry
+            .senders
+            .get(&to)
+            .ok_or(())
+            .and_then(|reg| reg.sender.send(Envelope { from, msg }));
+        match result {
+            Ok(()) => {
+                self.stats.sends.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(()) => {
+                self.stats.unreachable.fetch_add(1, Ordering::Relaxed);
+                Err(BusError::Unreachable(to))
+            }
+        }
+    }
+
+    /// Folds the bus counters into a metrics registry (`livebus.*` rows),
+    /// closing the loop with the `sim::metrics` snapshot the bench
+    /// harnesses emit. Inbox depth is summed across registered nodes.
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        reg.set_counter(
+            "livebus.sends_total",
+            self.stats.sends.load(Ordering::Relaxed),
+        );
+        reg.set_counter(
+            "livebus.unreachable_total",
+            self.stats.unreachable.load(Ordering::Relaxed),
+        );
+        reg.set_counter(
+            "livebus.broadcasts_total",
+            self.stats.broadcasts.load(Ordering::Relaxed),
+        );
+        reg.set_counter(
+            "livebus.broadcast_deliveries_total",
+            self.stats.broadcast_deliveries.load(Ordering::Relaxed),
+        );
+        let depth: u64 = {
+            let registry = self.registry.read().unwrap();
+            registry
+                .senders
+                .values()
+                .map(|r| r.sender.depth.load(Ordering::Relaxed))
+                .sum()
+        };
+        reg.set_gauge("livebus.inbox_depth", depth as f64);
     }
 }
 
@@ -154,11 +319,12 @@ impl<M: Clone> LiveBus<M> {
     pub fn broadcast(&self, from: NodeId, msg: &M) -> usize {
         let registry = self.registry.read().unwrap();
         let mut delivered = 0;
-        for (&node, sender) in &registry.senders {
+        for (&node, reg) in &registry.senders {
             if node == from {
                 continue;
             }
-            if sender
+            if reg
+                .sender
                 .send(Envelope {
                     from,
                     msg: msg.clone(),
@@ -168,6 +334,10 @@ impl<M: Clone> LiveBus<M> {
                 delivered += 1;
             }
         }
+        self.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .broadcast_deliveries
+            .fetch_add(delivered as u64, Ordering::Relaxed);
         delivered
     }
 }
@@ -205,9 +375,77 @@ mod tests {
         let c = bus.register(NodeId(2));
         let delivered = bus.broadcast(NodeId(0), &7);
         assert_eq!(delivered, 2);
-        assert!(a.try_recv().is_none());
+        assert_eq!(a.try_recv(), TryRecv::Empty);
         assert_eq!(b.recv().unwrap().msg, 7);
         assert_eq!(c.recv().unwrap().msg, 7);
+    }
+
+    #[test]
+    fn try_recv_three_states() {
+        let bus: LiveBus<u8> = LiveBus::new();
+        let inbox = bus.register(NodeId(1));
+        // Nothing queued, but the bus still holds a sender.
+        assert_eq!(inbox.try_recv(), TryRecv::Empty);
+        bus.send(NodeId(0), NodeId(1), 9).unwrap();
+        assert_eq!(
+            inbox.try_recv().message().map(|e| e.msg),
+            Some(9),
+            "queued message surfaces"
+        );
+        // Dropping the bus (the only sender) makes the state terminal.
+        drop(bus);
+        assert!(inbox.try_recv().is_disconnected());
+        assert!(inbox.try_recv().is_disconnected(), "stays disconnected");
+    }
+
+    #[test]
+    fn inbox_depth_tracks_queue() {
+        let bus: LiveBus<u8> = LiveBus::new();
+        let inbox = bus.register(NodeId(1));
+        assert_eq!(inbox.depth(), 0);
+        for i in 0..3 {
+            bus.send(NodeId(0), NodeId(1), i).unwrap();
+        }
+        assert_eq!(inbox.depth(), 3);
+        inbox.recv().unwrap();
+        assert_eq!(inbox.depth(), 2);
+        inbox.try_recv().message().unwrap();
+        assert_eq!(inbox.depth(), 1);
+        inbox.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(inbox.depth(), 0);
+    }
+
+    #[test]
+    fn export_metrics_counts_traffic() {
+        let bus: LiveBus<u8> = LiveBus::new();
+        let _a = bus.register(NodeId(0));
+        let _b = bus.register(NodeId(1));
+        bus.send(NodeId(0), NodeId(1), 1).unwrap();
+        bus.send(NodeId(0), NodeId(9), 1).unwrap_err();
+        bus.broadcast(NodeId(0), &2);
+
+        let mut reg = Registry::new();
+        bus.export_metrics(&mut reg);
+        let snap = reg.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(counter("livebus.sends_total"), 1);
+        assert_eq!(counter("livebus.unreachable_total"), 1);
+        assert_eq!(counter("livebus.broadcasts_total"), 1);
+        assert_eq!(counter("livebus.broadcast_deliveries_total"), 1);
+        // 1 direct + 1 broadcast delivery still queued.
+        let depth = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "livebus.inbox_depth")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert_eq!(depth, 2.0);
     }
 
     #[test]

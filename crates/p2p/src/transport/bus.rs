@@ -1,0 +1,75 @@
+//! The in-process [`LiveBus`] adapted to the [`Transport`] trait.
+//!
+//! A [`BusTransport`] is a bus handle bound to one sender identity, so
+//! `transport.send(to, &msg)` has the same shape as the TCP host's —
+//! protocol code written against [`Transport`] runs unchanged over mpsc
+//! channels in tests and real sockets in deployment.
+
+use super::{Transport, TransportError};
+use crate::live::LiveBus;
+use crate::topology::NodeId;
+
+/// A [`LiveBus`] handle bound to one sender identity.
+#[derive(Debug)]
+pub struct BusTransport<M> {
+    bus: LiveBus<M>,
+    from: NodeId,
+}
+
+impl<M> Clone for BusTransport<M> {
+    fn clone(&self) -> Self {
+        BusTransport {
+            bus: self.bus.clone(),
+            from: self.from,
+        }
+    }
+}
+
+impl<M> BusTransport<M> {
+    /// Binds a bus handle to the sending node's identity.
+    pub fn new(bus: LiveBus<M>, from: NodeId) -> Self {
+        BusTransport { bus, from }
+    }
+
+    /// The identity stamped on every send.
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// The underlying bus handle.
+    pub fn bus(&self) -> &LiveBus<M> {
+        &self.bus
+    }
+}
+
+impl<M: Clone> Transport<NodeId, M> for BusTransport<M> {
+    fn send(&self, to: NodeId, msg: &M) -> Result<(), TransportError> {
+        self.bus
+            .send(self.from, to, msg.clone())
+            .map_err(|e| TransportError::Unreachable(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_transport_sends_with_bound_identity() {
+        let bus: LiveBus<u32> = LiveBus::new();
+        let inbox = bus.register(NodeId(1));
+        let transport = BusTransport::new(bus, NodeId(0));
+        Transport::send(&transport, NodeId(1), &11).unwrap();
+        let env = inbox.recv().unwrap();
+        assert_eq!(env.from, NodeId(0));
+        assert_eq!(env.msg, 11);
+    }
+
+    #[test]
+    fn unknown_node_maps_to_unreachable() {
+        let bus: LiveBus<u32> = LiveBus::new();
+        let transport = BusTransport::new(bus, NodeId(0));
+        let err = Transport::send(&transport, NodeId(9), &1).unwrap_err();
+        assert!(matches!(err, TransportError::Unreachable(_)));
+    }
+}

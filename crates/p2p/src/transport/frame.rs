@@ -1,0 +1,330 @@
+//! The length-prefixed binary frame every overlay byte stream carries.
+//!
+//! A frame is a fixed 22-byte header followed by an opaque payload the
+//! [`Codec`](super::Codec) produced:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  "BCWF"
+//!      4     1  version (currently 1)
+//!      5     1  kind    (codec's dense payload-kind index, for metrics)
+//!      6     8  from    (sender NodeId, u64 LE)
+//!     14     4  len     (payload length, u32 LE, ≤ MAX_FRAME_PAYLOAD)
+//!     18     4  crc     (CRC-32/IEEE of the payload, u32 LE)
+//! ```
+//!
+//! The header is validated before a single payload byte is allocated, so
+//! a garbage or hostile stream cannot force an oversized allocation; the
+//! checksum rejects corruption that TCP's own checksum missed (or that a
+//! fault-injected half-written frame produced).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame magic — first bytes of every frame on the wire.
+pub const MAGIC: [u8; 4] = *b"BCWF";
+
+/// Current frame format version.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 22;
+
+/// Hard ceiling on payload size (4 MiB — far above any block this chain
+/// produces, far below anything that could wedge a host's memory).
+pub const MAX_FRAME_PAYLOAD: usize = 4 << 20;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sender's node id as stamped in the header.
+    pub from: u64,
+    /// The codec's payload-kind index (metrics only; decoding re-derives
+    /// the real kind from the payload).
+    pub kind: u8,
+    /// The opaque payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Total on-the-wire size of this frame.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying stream failure (includes timeouts and EOF mid-frame).
+    Io(io::Error),
+    /// The stream does not start with [`MAGIC`] — peer desynchronized or
+    /// not speaking the protocol.
+    BadMagic([u8; 4]),
+    /// Unknown frame format version.
+    BadVersion(u8),
+    /// Declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversize(u32),
+    /// Payload checksum mismatch.
+    BadChecksum {
+        /// CRC the header declared.
+        declared: u32,
+        /// CRC computed over the received payload.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "stream failure: {e}"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::Oversize(len) => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds {MAX_FRAME_PAYLOAD}"
+                )
+            }
+            FrameError::BadChecksum { declared, computed } => {
+                write!(
+                    f,
+                    "frame checksum {computed:08x} != declared {declared:08x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// Whether this is a clean end-of-stream before any header byte — the
+    /// peer hung up between frames, which is not an error for a reader
+    /// loop.
+    pub fn is_clean_eof(&self) -> bool {
+        matches!(self, FrameError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof
+            && e.get_ref().is_some_and(|inner| inner.to_string() == CLEAN_EOF))
+    }
+
+    /// Whether the failure was a read timeout.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, FrameError::Io(e)
+            if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut))
+    }
+}
+
+const CLEAN_EOF: &str = "clean eof between frames";
+
+/// CRC-32/IEEE (the Ethernet/zip polynomial), bytewise table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Serializes a frame into a standalone byte vector.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_PAYLOAD`]; senders are
+/// expected to reject oversized messages before framing (see
+/// `TcpHost::send`).
+pub fn encode_frame(from: u64, kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_PAYLOAD,
+        "payload of {} bytes exceeds the frame ceiling",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(FRAME_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&from.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one frame to `w` (single `write_all`, so a fault that kills the
+/// connection mid-call leaves at most one torn frame on the wire).
+pub fn write_frame(w: &mut impl Write, from: u64, kind: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(from, kind, payload))?;
+    w.flush()
+}
+
+/// Reads one frame from `r`, validating header and checksum before
+/// trusting the payload.
+///
+/// # Errors
+///
+/// Any [`FrameError`]; a clean hang-up between frames surfaces as an
+/// `Io` error for which [`FrameError::is_clean_eof`] returns true.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_tagged(r, &mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(FrameError::BadMagic([
+            header[0], header[1], header[2], header[3],
+        ]));
+    }
+    if header[4] != FRAME_VERSION {
+        return Err(FrameError::BadVersion(header[4]));
+    }
+    let kind = header[5];
+    let from = u64::from_le_bytes(header[6..14].try_into().expect("8 header bytes"));
+    let len = u32::from_le_bytes(header[14..18].try_into().expect("4 header bytes"));
+    if len as usize > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversize(len));
+    }
+    let declared = u32::from_le_bytes(header[18..22].try_into().expect("4 header bytes"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let computed = crc32(&payload);
+    if computed != declared {
+        return Err(FrameError::BadChecksum { declared, computed });
+    }
+    Ok(Frame {
+        from,
+        kind,
+        payload,
+    })
+}
+
+/// Like `read_exact` for the header, but a hang-up before the *first*
+/// byte is tagged as a clean EOF so reader loops can exit quietly.
+fn read_exact_tagged(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    CLEAN_EOF,
+                )))
+            }
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let bytes = encode_frame(42, 3, b"hello overlay");
+        assert_eq!(bytes.len(), HEADER_LEN + 13);
+        let frame = read_frame(&mut Cursor::new(&bytes)).unwrap();
+        assert_eq!(frame.from, 42);
+        assert_eq!(frame.kind, 3);
+        assert_eq!(frame.payload, b"hello overlay");
+        assert_eq!(frame.wire_len(), bytes.len());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = encode_frame(1, 0, b"x");
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bytes)),
+            Err(FrameError::BadMagic(_))
+        ));
+        let mut bytes = encode_frame(1, 0, b"x");
+        bytes[4] = 9;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bytes)),
+            Err(FrameError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversize_before_allocating() {
+        let mut bytes = encode_frame(1, 0, b"x");
+        bytes[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bytes)),
+            Err(FrameError::Oversize(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupted_payload() {
+        let mut bytes = encode_frame(1, 0, b"payload");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        match read_frame(&mut Cursor::new(&bytes)) {
+            Err(FrameError::BadChecksum { declared, computed }) => assert_ne!(declared, computed),
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_io_not_panic() {
+        let bytes = encode_frame(7, 1, b"truncate me");
+        for cut in 0..bytes.len() {
+            let result = read_frame(&mut Cursor::new(&bytes[..cut]));
+            match result {
+                Err(FrameError::Io(_)) => {}
+                other => panic!("cut at {cut}: expected Io error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_distinguished() {
+        let err = read_frame(&mut Cursor::new(&[][..])).unwrap_err();
+        assert!(err.is_clean_eof());
+        let bytes = encode_frame(7, 1, b"partial");
+        let err = read_frame(&mut Cursor::new(&bytes[..5])).unwrap_err();
+        assert!(!err.is_clean_eof());
+    }
+}

@@ -1,0 +1,192 @@
+//! The overlay transport layer: how a host's messages actually move.
+//!
+//! The paper's gateways "open a direct TCP/IP connection" to the
+//! recipient they looked up on chain (§4.3). This module tree makes that
+//! a first-class, failure-prone subsystem instead of an in-process
+//! stand-in:
+//!
+//! - [`frame`] — the versioned, checksummed, length-prefixed frame every
+//!   byte stream carries,
+//! - [`tcp`] — a per-host runtime on `std::net`: accept loop, per-peer
+//!   connection pool, connect/read/write timeouts, bounded
+//!   exponential-backoff retry, and full counter instrumentation,
+//! - [`bus`] — the in-process [`LiveBus`](crate::live::LiveBus) adapted
+//!   to the same [`Transport`] trait, so protocol code is pluggable
+//!   between the two.
+//!
+//! Serialization is delegated to a [`Codec`], keeping the transport
+//! generic over the message vocabulary (the `bcwan` crate supplies the
+//! `WanMessage` codec; tests use toy codecs).
+
+pub mod bus;
+pub mod frame;
+pub mod tcp;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Serializes and deserializes one message vocabulary for the wire.
+pub trait Codec<M>: Send + Sync + 'static {
+    /// Deterministically encodes `msg` into payload bytes.
+    fn encode(&self, msg: &M) -> Vec<u8>;
+
+    /// Decodes payload bytes; must reject garbage, never panic.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] describing why the bytes are not a valid message.
+    fn decode(&self, bytes: &[u8]) -> Result<M, CodecError>;
+
+    /// Number of distinct payload kinds (width of per-kind counters).
+    fn kind_count(&self) -> usize {
+        1
+    }
+
+    /// Dense kind index of `msg` (`< kind_count()`).
+    fn kind_index(&self, _msg: &M) -> usize {
+        0
+    }
+
+    /// Short metric label for a kind index.
+    fn kind_label(&self, _index: usize) -> &'static str {
+        "msg"
+    }
+}
+
+/// A decode failure (the payload was framed correctly but is not a valid
+/// message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl CodecError {
+    /// Builds an error from any displayable reason.
+    pub fn new(reason: impl fmt::Display) -> Self {
+        CodecError {
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload did not decode: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Errors surfaced by [`Transport::send`] after retries are exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer could not be reached (dial failures, unknown node).
+    Unreachable(String),
+    /// A connect/read/write deadline expired.
+    Timeout(String),
+    /// The connection died while writing and retries ran out.
+    Io(String),
+    /// The encoded message exceeds the frame ceiling.
+    Oversize {
+        /// Encoded payload length.
+        len: usize,
+        /// The ceiling ([`frame::MAX_FRAME_PAYLOAD`]).
+        max: usize,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Unreachable(what) => write!(f, "peer unreachable: {what}"),
+            TransportError::Timeout(what) => write!(f, "transport timeout: {what}"),
+            TransportError::Io(what) => write!(f, "transport failure: {what}"),
+            TransportError::Oversize { len, max } => {
+                write!(f, "message of {len} bytes exceeds frame ceiling {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Anything that can carry an addressed message for the overlay.
+///
+/// `A` is the address vocabulary: [`NodeId`](crate::topology::NodeId)
+/// for the in-process bus, `std::net::SocketAddr` for TCP. Protocol code
+/// written against this trait runs unchanged over either.
+pub trait Transport<A, M> {
+    /// Sends one message, retrying per the implementation's policy.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] once the implementation gives up.
+    fn send(&self, to: A, msg: &M) -> Result<(), TransportError>;
+}
+
+/// Atomic transport counters, shared across the sender, accept, and
+/// reader threads of one host. Snapshot them into a
+/// [`Registry`](bcwan_sim::Registry) with `TcpHost::export_metrics`.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Frame + payload bytes written (successful sends only).
+    pub bytes_sent: AtomicU64,
+    /// Frame + payload bytes of frames received intact.
+    pub bytes_received: AtomicU64,
+    /// Outbound connection attempts.
+    pub dials: AtomicU64,
+    /// Outbound connection attempts that failed.
+    pub dial_failures: AtomicU64,
+    /// Send attempts retried after a dial/write failure.
+    pub retries: AtomicU64,
+    /// Connect/read/write deadline expiries.
+    pub timeouts: AtomicU64,
+    /// Sends that reused a pooled connection.
+    pub pool_hits: AtomicU64,
+    /// Sends that had to dial a fresh connection.
+    pub pool_misses: AtomicU64,
+    /// Inbound connections accepted.
+    pub conns_accepted: AtomicU64,
+    /// Frames rejected by the reader (bad magic/version/checksum,
+    /// truncation, undecodable payload).
+    pub frames_rejected: AtomicU64,
+    /// Sends that ultimately failed after all retries.
+    pub send_failures: AtomicU64,
+    /// Frames sent, by codec kind index.
+    pub frames_sent: Vec<AtomicU64>,
+    /// Frames received intact, by codec kind index.
+    pub frames_received: Vec<AtomicU64>,
+}
+
+impl TransportStats {
+    /// Zeroed stats sized for `kind_count` payload kinds.
+    pub fn new(kind_count: usize) -> Self {
+        let zeros = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
+        TransportStats {
+            frames_sent: zeros(kind_count.max(1)),
+            frames_received: zeros(kind_count.max(1)),
+            ..TransportStats::default()
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_by(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    pub(crate) fn kind_slot(slots: &[AtomicU64], kind: usize) -> &AtomicU64 {
+        &slots[kind.min(slots.len() - 1)]
+    }
+
+    /// Current value of one counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+pub use bus::BusTransport;
+pub use tcp::{TcpConfig, TcpHost};

@@ -1,0 +1,681 @@
+//! The real thing: a per-host TCP/IP overlay runtime on `std::net`.
+//!
+//! Each [`TcpHost`] owns one listening socket (the paper's gateways
+//! "open a direct TCP/IP connection" to the recipient looked up on
+//! chain), an accept-loop thread that spawns one reader thread per
+//! inbound connection, and a per-peer pool of outbound connections that
+//! [`TcpHost::send`] reuses across messages. Dial and write failures
+//! retry under bounded exponential backoff; connect, read, and write
+//! deadlines keep a hung peer from wedging the host. Every event feeds
+//! the shared [`TransportStats`] counters, which
+//! [`TcpHost::export_metrics`] folds into a `sim::metrics` registry
+//! snapshot next to the rest of the workspace instrumentation.
+//!
+//! Fault injection: [`TcpHost::inject_send_faults`] arms the sender to
+//! tear down the next N connections mid-frame (half the bytes written,
+//! then a hard shutdown). The torn frame is rejected by the receiver's
+//! checksum/length validation and the sender's retry path re-dials and
+//! re-sends — the failure drill the live loopback test runs.
+
+use super::frame::{encode_frame, read_frame, MAX_FRAME_PAYLOAD};
+use super::{Codec, TransportError, TransportStats};
+use crate::live::{inbox_channel, Envelope, Inbox, InboxSender};
+use crate::topology::NodeId;
+use bcwan_sim::Registry;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::marker::PhantomData;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tunables for one host's transport runtime.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Deadline for establishing an outbound connection.
+    pub connect_timeout: Duration,
+    /// Read deadline applied to accepted connections (`None` blocks
+    /// forever; the default keeps a silent peer from pinning a reader
+    /// thread).
+    pub read_timeout: Option<Duration>,
+    /// Write deadline on outbound connections.
+    pub write_timeout: Duration,
+    /// Total attempts per [`TcpHost::send`] (first try + retries).
+    pub max_send_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff_base: Duration,
+    /// Ceiling on the per-retry backoff.
+    pub backoff_max: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Duration::from_secs(5),
+            max_send_attempts: 5,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_millis(400),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Tight deadlines for loopback tests: failures surface in
+    /// milliseconds instead of wedging CI.
+    pub fn fast_test() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Duration::from_secs(2),
+            max_send_attempts: 6,
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(50),
+        }
+    }
+
+    fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.min(10);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_max)
+    }
+}
+
+struct Inner<C> {
+    node: NodeId,
+    codec: Arc<C>,
+    cfg: TcpConfig,
+    local: SocketAddr,
+    pool: Mutex<HashMap<SocketAddr, TcpStream>>,
+    stats: Arc<TransportStats>,
+    running: Arc<AtomicBool>,
+    inbox_depth: Arc<AtomicU64>,
+    fault_sends: AtomicU64,
+}
+
+impl<C> Drop for Inner<C> {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        // Wake the accept loop so its thread can observe the flag.
+        let _ = TcpStream::connect_timeout(&self.local, Duration::from_millis(100));
+    }
+}
+
+/// A live TCP transport endpoint: listener, reader threads, and an
+/// outbound connection pool. Clones share the same host.
+pub struct TcpHost<M, C> {
+    inner: Arc<Inner<C>>,
+    _msg: PhantomData<fn(&M)>,
+}
+
+impl<M, C> Clone for TcpHost<M, C> {
+    fn clone(&self) -> Self {
+        TcpHost {
+            inner: Arc::clone(&self.inner),
+            _msg: PhantomData,
+        }
+    }
+}
+
+impl<M, C> std::fmt::Debug for TcpHost<M, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpHost")
+            .field("node", &self.inner.node)
+            .field("local", &self.inner.local)
+            .finish()
+    }
+}
+
+impl<M: Send + 'static, C: Codec<M>> TcpHost<M, C> {
+    /// Binds a listener on `addr` (use port 0 for an OS-assigned port),
+    /// starts the accept loop, and returns the host handle plus the inbox
+    /// where decoded inbound messages arrive.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, if any.
+    pub fn bind(
+        addr: SocketAddr,
+        node: NodeId,
+        codec: C,
+        cfg: TcpConfig,
+    ) -> io::Result<(Self, Inbox<M>)> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let codec = Arc::new(codec);
+        let stats = Arc::new(TransportStats::new(codec.kind_count()));
+        let running = Arc::new(AtomicBool::new(true));
+        let (tx, inbox) = inbox_channel();
+        let inbox_depth = tx.depth_handle();
+
+        let accept_codec = Arc::clone(&codec);
+        let accept_stats = Arc::clone(&stats);
+        let accept_running = Arc::clone(&running);
+        let read_timeout = cfg.read_timeout;
+        std::thread::Builder::new()
+            .name(format!("bcwan-accept-{node}"))
+            .spawn(move || {
+                accept_loop(
+                    listener,
+                    accept_codec,
+                    accept_stats,
+                    accept_running,
+                    tx,
+                    read_timeout,
+                )
+            })?;
+
+        let host = TcpHost {
+            inner: Arc::new(Inner {
+                node,
+                codec,
+                cfg,
+                local,
+                pool: Mutex::new(HashMap::new()),
+                stats,
+                running,
+                inbox_depth,
+                fault_sends: AtomicU64::new(0),
+            }),
+            _msg: PhantomData,
+        };
+        Ok((host, inbox))
+    }
+
+    /// The bound listening address (the one to publish in the directory).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local
+    }
+
+    /// This host's overlay identity (stamped into every frame header).
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Live view of the transport counters.
+    pub fn stats(&self) -> &TransportStats {
+        &self.inner.stats
+    }
+
+    /// Arms the sender to kill the next `n` outbound connections
+    /// mid-frame (half the frame written, then a hard shutdown) — the
+    /// chaos knob the fault-injection tests turn.
+    pub fn inject_send_faults(&self, n: u64) {
+        self.inner.fault_sends.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Sends one message to `to`, reusing a pooled connection when one
+    /// exists and retrying dial/write failures under exponential backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] once `max_send_attempts` are exhausted (or
+    /// immediately for an oversized message).
+    pub fn send(&self, to: SocketAddr, msg: &M) -> Result<(), TransportError> {
+        let inner = &*self.inner;
+        let payload = inner.codec.encode(msg);
+        if payload.len() > MAX_FRAME_PAYLOAD {
+            TransportStats::bump(&inner.stats.send_failures);
+            return Err(TransportError::Oversize {
+                len: payload.len(),
+                max: MAX_FRAME_PAYLOAD,
+            });
+        }
+        let kind = inner.codec.kind_index(msg);
+        let frame = encode_frame(u64::from(inner.node.0), kind as u8, &payload);
+
+        let mut last_err = TransportError::Unreachable(format!("{to}: no attempt made"));
+        for attempt in 0..inner.cfg.max_send_attempts {
+            if attempt > 0 {
+                TransportStats::bump(&inner.stats.retries);
+                std::thread::sleep(inner.cfg.backoff(attempt - 1));
+            }
+            let pooled = inner.pool.lock().unwrap().remove(&to);
+            let mut stream = match pooled {
+                Some(stream) => {
+                    TransportStats::bump(&inner.stats.pool_hits);
+                    stream
+                }
+                None => {
+                    TransportStats::bump(&inner.stats.pool_misses);
+                    match self.dial(to) {
+                        Ok(stream) => stream,
+                        Err(e) => {
+                            last_err = e;
+                            continue;
+                        }
+                    }
+                }
+            };
+
+            if self.take_fault() {
+                // Tear the frame: half the bytes, then a hard close. The
+                // receiver sees a truncated frame; we see a failed send.
+                let torn = frame.len() / 2;
+                let _ = stream.write_all(&frame[..torn]);
+                let _ = stream.flush();
+                let _ = stream.shutdown(Shutdown::Both);
+                last_err =
+                    TransportError::Io(format!("{to}: injected fault killed the connection"));
+                continue;
+            }
+
+            match stream.write_all(&frame).and_then(|_| stream.flush()) {
+                Ok(()) => {
+                    TransportStats::bump_by(&inner.stats.bytes_sent, frame.len() as u64);
+                    TransportStats::bump(TransportStats::kind_slot(&inner.stats.frames_sent, kind));
+                    inner.pool.lock().unwrap().insert(to, stream);
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_err = classify_io(&inner.stats, to, e);
+                }
+            }
+        }
+        TransportStats::bump(&inner.stats.send_failures);
+        Err(last_err)
+    }
+
+    fn dial(&self, to: SocketAddr) -> Result<TcpStream, TransportError> {
+        let inner = &*self.inner;
+        TransportStats::bump(&inner.stats.dials);
+        match TcpStream::connect_timeout(&to, inner.cfg.connect_timeout) {
+            Ok(stream) => {
+                let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
+                let _ = stream.set_nodelay(true);
+                Ok(stream)
+            }
+            Err(e) => {
+                TransportStats::bump(&inner.stats.dial_failures);
+                if is_timeout(&e) {
+                    TransportStats::bump(&inner.stats.timeouts);
+                    Err(TransportError::Timeout(format!("dial {to}: {e}")))
+                } else {
+                    Err(TransportError::Unreachable(format!("dial {to}: {e}")))
+                }
+            }
+        }
+    }
+
+    fn take_fault(&self) -> bool {
+        self.inner
+            .fault_sends
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Drops every pooled outbound connection (peers relocated, test
+    /// hygiene). Subsequent sends re-dial.
+    pub fn drop_pool(&self) {
+        self.inner.pool.lock().unwrap().clear();
+    }
+
+    /// Stops the accept loop and drops pooled connections. Reader threads
+    /// exit as their peers hang up.
+    pub fn shutdown(&self) {
+        self.inner.running.store(false, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.inner.local, Duration::from_millis(100));
+        self.drop_pool();
+    }
+
+    /// Folds the transport counters into a metrics registry as
+    /// `transport.*` rows (per-kind frame counters use the codec's
+    /// labels), matching the workspace-wide `sim::metrics` snapshot
+    /// convention.
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        let stats = &self.inner.stats;
+        let get = TransportStats::get;
+        reg.set_counter("transport.bytes_sent_total", get(&stats.bytes_sent));
+        reg.set_counter("transport.bytes_received_total", get(&stats.bytes_received));
+        reg.set_counter("transport.dials_total", get(&stats.dials));
+        reg.set_counter("transport.dial_failures_total", get(&stats.dial_failures));
+        reg.set_counter("transport.retries_total", get(&stats.retries));
+        reg.set_counter("transport.timeouts_total", get(&stats.timeouts));
+        reg.set_counter("transport.pool_hits_total", get(&stats.pool_hits));
+        reg.set_counter("transport.pool_misses_total", get(&stats.pool_misses));
+        reg.set_counter("transport.conns_accepted_total", get(&stats.conns_accepted));
+        reg.set_counter(
+            "transport.frames_rejected_total",
+            get(&stats.frames_rejected),
+        );
+        reg.set_counter("transport.send_failures_total", get(&stats.send_failures));
+        for i in 0..self.inner.codec.kind_count() {
+            let label = self.inner.codec.kind_label(i);
+            reg.set_counter(
+                &format!("transport.frames_sent_{label}_total"),
+                get(TransportStats::kind_slot(&stats.frames_sent, i)),
+            );
+            reg.set_counter(
+                &format!("transport.frames_received_{label}_total"),
+                get(TransportStats::kind_slot(&stats.frames_received, i)),
+            );
+        }
+        reg.set_gauge(
+            "transport.inbox_depth",
+            self.inner.inbox_depth.load(Ordering::Relaxed) as f64,
+        );
+    }
+}
+
+impl<M: Send + 'static, C: Codec<M>> super::Transport<SocketAddr, M> for TcpHost<M, C> {
+    fn send(&self, to: SocketAddr, msg: &M) -> Result<(), TransportError> {
+        TcpHost::send(self, to, msg)
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn classify_io(stats: &TransportStats, to: SocketAddr, e: io::Error) -> TransportError {
+    if is_timeout(&e) {
+        TransportStats::bump(&stats.timeouts);
+        TransportError::Timeout(format!("write {to}: {e}"))
+    } else {
+        TransportError::Io(format!("write {to}: {e}"))
+    }
+}
+
+fn accept_loop<M: Send + 'static, C: Codec<M>>(
+    listener: TcpListener,
+    codec: Arc<C>,
+    stats: Arc<TransportStats>,
+    running: Arc<AtomicBool>,
+    sender: InboxSender<M>,
+    read_timeout: Option<Duration>,
+) {
+    for conn in listener.incoming() {
+        if !running.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        TransportStats::bump(&stats.conns_accepted);
+        let _ = stream.set_read_timeout(read_timeout);
+        let codec = Arc::clone(&codec);
+        let stats = Arc::clone(&stats);
+        let running = Arc::clone(&running);
+        let sender = sender.clone();
+        let spawned = std::thread::Builder::new()
+            .name("bcwan-reader".to_string())
+            .spawn(move || reader_loop(stream, codec, stats, running, sender));
+        if spawned.is_err() {
+            // Out of threads: drop the connection; the peer will retry.
+            continue;
+        }
+    }
+}
+
+fn reader_loop<M, C: Codec<M>>(
+    mut stream: TcpStream,
+    codec: Arc<C>,
+    stats: Arc<TransportStats>,
+    running: Arc<AtomicBool>,
+    sender: InboxSender<M>,
+) {
+    while running.load(Ordering::SeqCst) {
+        match read_frame(&mut stream) {
+            Ok(frame) => {
+                TransportStats::bump_by(&stats.bytes_received, frame.wire_len() as u64);
+                match codec.decode(&frame.payload) {
+                    Ok(msg) => {
+                        let kind = codec.kind_index(&msg);
+                        TransportStats::bump(TransportStats::kind_slot(
+                            &stats.frames_received,
+                            kind,
+                        ));
+                        let envelope = Envelope {
+                            from: NodeId(frame.from as u32),
+                            msg,
+                        };
+                        if sender.send(envelope).is_err() {
+                            break; // inbox dropped — host is gone
+                        }
+                    }
+                    Err(_) => {
+                        // Framing is still aligned; skip the bad payload.
+                        TransportStats::bump(&stats.frames_rejected);
+                    }
+                }
+            }
+            Err(e) => {
+                if !e.is_clean_eof() {
+                    TransportStats::bump(&stats.frames_rejected);
+                    if e.is_timeout() {
+                        TransportStats::bump(&stats.timeouts);
+                    }
+                }
+                break; // desync, torn frame, timeout, or hang-up
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::CodecError;
+    use std::sync::atomic::Ordering;
+
+    /// Toy codec: u32 LE with a leading tag byte.
+    struct U32Codec;
+
+    impl Codec<u32> for U32Codec {
+        fn encode(&self, msg: &u32) -> Vec<u8> {
+            let mut out = vec![0xaa];
+            out.extend_from_slice(&msg.to_le_bytes());
+            out
+        }
+
+        fn decode(&self, bytes: &[u8]) -> Result<u32, CodecError> {
+            if bytes.len() != 5 || bytes[0] != 0xaa {
+                return Err(CodecError::new("want 5 tagged bytes"));
+            }
+            Ok(u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]))
+        }
+
+        fn kind_count(&self) -> usize {
+            2
+        }
+
+        fn kind_index(&self, msg: &u32) -> usize {
+            (*msg % 2) as usize
+        }
+
+        fn kind_label(&self, index: usize) -> &'static str {
+            ["even", "odd"][index]
+        }
+    }
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    fn bind(node: u32) -> (TcpHost<u32, U32Codec>, Inbox<u32>) {
+        TcpHost::bind(loopback(), NodeId(node), U32Codec, TcpConfig::fast_test()).expect("bind")
+    }
+
+    #[test]
+    fn send_and_receive_over_loopback() {
+        let (alice, _alice_inbox) = bind(1);
+        let (bob, bob_inbox) = bind(2);
+        alice.send(bob.local_addr(), &7).unwrap();
+        alice.send(bob.local_addr(), &8).unwrap();
+        let first = bob_inbox.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(first.from, NodeId(1));
+        assert_eq!(first.msg, 7);
+        assert_eq!(
+            bob_inbox.recv_timeout(Duration::from_secs(10)).unwrap().msg,
+            8
+        );
+        // Second send reused the pooled connection.
+        assert_eq!(TransportStats::get(&alice.stats().pool_hits), 1);
+        assert_eq!(TransportStats::get(&alice.stats().dials), 1);
+        alice.shutdown();
+        bob.shutdown();
+    }
+
+    #[test]
+    fn unreachable_peer_fails_after_retries() {
+        let (host, _inbox) = bind(1);
+        // Grab a loopback port with no listener behind it.
+        let vacant = {
+            let probe = TcpListener::bind(loopback()).unwrap();
+            probe.local_addr().unwrap()
+        };
+        let err = host.send(vacant, &1).unwrap_err();
+        assert!(matches!(
+            err,
+            TransportError::Unreachable(_) | TransportError::Timeout(_)
+        ));
+        let stats = host.stats();
+        assert_eq!(
+            TransportStats::get(&stats.dial_failures),
+            u64::from(TcpConfig::fast_test().max_send_attempts)
+        );
+        assert!(TransportStats::get(&stats.retries) > 0);
+        assert_eq!(TransportStats::get(&stats.send_failures), 1);
+        host.shutdown();
+    }
+
+    #[test]
+    fn injected_fault_recovers_via_retry() {
+        let (alice, _alice_inbox) = bind(1);
+        let (bob, bob_inbox) = bind(2);
+        alice.inject_send_faults(2);
+        alice.send(bob.local_addr(), &42).unwrap();
+        assert_eq!(
+            bob_inbox.recv_timeout(Duration::from_secs(10)).unwrap().msg,
+            42
+        );
+        assert!(TransportStats::get(&alice.stats().retries) >= 2);
+        // Bob saw the torn frames and rejected them.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while TransportStats::get(&bob.stats().frames_rejected) < 2
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(TransportStats::get(&bob.stats().frames_rejected) >= 2);
+        alice.shutdown();
+        bob.shutdown();
+    }
+
+    #[test]
+    fn undecodable_payload_rejected_without_dropping_connection() {
+        let (bob, bob_inbox) = bind(2);
+        // Speak raw frames: a garbage payload, then a valid message on
+        // the same connection.
+        let mut stream = TcpStream::connect(bob.local_addr()).unwrap();
+        stream.write_all(&encode_frame(9, 0, b"not a u32")).unwrap();
+        stream
+            .write_all(&encode_frame(9, 0, &U32Codec.encode(&5)))
+            .unwrap();
+        stream.flush().unwrap();
+        let env = bob_inbox.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(env.msg, 5);
+        assert_eq!(env.from, NodeId(9));
+        assert_eq!(TransportStats::get(&bob.stats().frames_rejected), 1);
+        bob.shutdown();
+    }
+
+    #[test]
+    fn oversize_message_rejected_before_dialing() {
+        struct BloatCodec;
+        impl Codec<u32> for BloatCodec {
+            fn encode(&self, _msg: &u32) -> Vec<u8> {
+                vec![0; MAX_FRAME_PAYLOAD + 1]
+            }
+            fn decode(&self, _bytes: &[u8]) -> Result<u32, CodecError> {
+                Err(CodecError::new("unused"))
+            }
+        }
+        let (host, _inbox) =
+            TcpHost::bind(loopback(), NodeId(1), BloatCodec, TcpConfig::fast_test()).unwrap();
+        let err = host.send(host.local_addr(), &1).unwrap_err();
+        assert!(matches!(err, TransportError::Oversize { .. }));
+        assert_eq!(TransportStats::get(&host.stats().dials), 0);
+        host.shutdown();
+    }
+
+    #[test]
+    fn export_metrics_names_kinds() {
+        let (alice, _ai) = bind(1);
+        let (bob, bob_inbox) = bind(2);
+        alice.send(bob.local_addr(), &2).unwrap(); // even
+        alice.send(bob.local_addr(), &3).unwrap(); // odd
+        bob_inbox.recv_timeout(Duration::from_secs(10)).unwrap();
+        bob_inbox.recv_timeout(Duration::from_secs(10)).unwrap();
+
+        let mut reg = Registry::new();
+        alice.export_metrics(&mut reg);
+        let snap = reg.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(counter("transport.frames_sent_even_total"), 1);
+        assert_eq!(counter("transport.frames_sent_odd_total"), 1);
+        assert!(counter("transport.bytes_sent_total") > 0);
+        assert_eq!(counter("transport.dials_total"), 1);
+        assert_eq!(counter("transport.pool_hits_total"), 1);
+
+        let mut reg = Registry::new();
+        bob.export_metrics(&mut reg);
+        let snap = reg.snapshot();
+        let received: u64 = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("transport.frames_received_"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(received, 2);
+        alice.shutdown();
+        bob.shutdown();
+    }
+
+    #[test]
+    fn inbox_depth_gauge_reflects_backlog() {
+        let (alice, _ai) = bind(1);
+        let (bob, bob_inbox) = bind(2);
+        for i in 0..4 {
+            alice.send(bob.local_addr(), &i).unwrap();
+        }
+        // Wait until the reader thread has parked all four.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while bob_inbox.depth() < 4 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(bob_inbox.depth(), 4);
+        let mut reg = Registry::new();
+        bob.export_metrics(&mut reg);
+        let snap = reg.snapshot();
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "transport.inbox_depth")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert_eq!(gauge, 4.0);
+        alice.shutdown();
+        bob.shutdown();
+    }
+
+    #[test]
+    fn fault_counter_drains_to_zero() {
+        let (host, _inbox) = bind(1);
+        host.inject_send_faults(1);
+        assert!(host.take_fault());
+        assert!(!host.take_fault());
+        assert_eq!(host.inner.fault_sends.load(Ordering::SeqCst), 0);
+        host.shutdown();
+    }
+}
