@@ -49,11 +49,14 @@ impl std::fmt::Debug for Daemon {
 }
 
 impl Daemon {
-    /// Wraps a chain into a fresh daemon.
+    /// Wraps a chain into a fresh daemon. The mempool shares the chain's
+    /// signature cache, so scripts verified at admission are not re-run
+    /// when the containing block connects.
     pub fn new(chain: Chain) -> Self {
+        let mempool = Mempool::with_cache(chain.sig_cache().clone());
         Daemon {
             chain,
-            mempool: Mempool::new(),
+            mempool,
             relay: RelayState::new(),
             busy_until: SimTime::ZERO,
             stats: DaemonStats::default(),

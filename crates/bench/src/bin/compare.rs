@@ -1,0 +1,105 @@
+//! Compares two schema-v1 bench reports metric by metric.
+//!
+//! ```text
+//! Usage: compare BASELINE.json CURRENT.json [--threshold PCT]
+//! ```
+//!
+//! Prints one line per shared counter, gauge and phase mean with its
+//! relative delta, marks metrics whose movement is a scaled-MAD outlier
+//! against the rest of the report, and exits non-zero when any
+//! direction-aware metric (`*_per_s` higher-is-better, `*_s`
+//! lower-is-better) regressed by more than the threshold (default 20%).
+//!
+//! Exit codes: `0` no regression, `1` regression past the threshold,
+//! `2` structural problem (unreadable file, schema or experiment mismatch).
+
+use bcwan_bench::{bench_compare, MetricDelta, MetricDirection};
+
+fn load(path: &str) -> Result<bcwan_sim::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    bcwan_sim::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn print_delta(d: &MetricDelta) {
+    let arrow = match d.direction {
+        MetricDirection::HigherIsBetter => "↑good",
+        MetricDirection::LowerIsBetter => "↓good",
+        MetricDirection::Informational => "     ",
+    };
+    let mut flags = String::new();
+    if d.regression {
+        flags.push_str("  REGRESSION");
+    }
+    if d.outlier {
+        flags.push_str("  [outlier]");
+    }
+    println!(
+        "{:<44} {:>14.4} {:>14.4} {:>+9.1}%  {arrow}{flags}",
+        d.name, d.baseline, d.current, d.delta_pct
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 20.0f64;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threshold" {
+            match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) => threshold = t,
+                None => {
+                    eprintln!("--threshold requires a numeric percentage");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        eprintln!("Usage: compare BASELINE.json CURRENT.json [--threshold PCT]");
+        std::process::exit(2);
+    };
+
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let deltas = match bench_compare(&baseline, &current, threshold) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "comparing {} -> {} (threshold {threshold}%)",
+        baseline_path, current_path
+    );
+    println!(
+        "{:<44} {:>14} {:>14} {:>10}",
+        "metric", "baseline", "current", "delta"
+    );
+    for d in &deltas {
+        print_delta(d);
+    }
+    let regressions: Vec<&MetricDelta> = deltas.iter().filter(|d| d.regression).collect();
+    if regressions.is_empty() {
+        println!(
+            "no regressions past {threshold}% across {} metrics",
+            deltas.len()
+        );
+    } else {
+        println!(
+            "{} regression(s) past {threshold}% across {} metrics",
+            regressions.len(),
+            deltas.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -358,21 +358,10 @@ pub fn bench_fn_stats<R>(iters: u32, mut f: impl FnMut() -> R) -> BenchStats {
     sorted.sort_by(|a, b| a.total_cmp(b));
     let median_s = percentile(&sorted, 0.5);
     let p95_s = percentile(&sorted, 0.95);
-    // Median absolute deviation, scaled to be σ-consistent.
-    let mut deviations: Vec<f64> = samples.iter().map(|s| (s - median_s).abs()).collect();
-    deviations.sort_by(|a, b| a.total_cmp(b));
-    let mad = percentile(&deviations, 0.5);
-    let cutoff = 3.0 * 1.4826 * mad;
-    let outliers = if cutoff > 0.0 {
-        samples
-            .iter()
-            .filter(|s| (**s - median_s).abs() > cutoff)
-            .count()
-    } else {
-        // Degenerate MAD (over half the samples identical): only count
-        // samples that actually differ from the median.
-        samples.iter().filter(|s| **s != median_s).count()
-    };
+    let outliers = mad_outlier_flags(&samples)
+        .into_iter()
+        .filter(|flagged| *flagged)
+        .count();
     BenchStats {
         mean_s,
         median_s,
@@ -405,6 +394,176 @@ pub fn bench_fn<R>(name: &str, iters: u32, f: impl FnMut() -> R) -> f64 {
         stats.iters,
     );
     stats.mean_s
+}
+
+/// Per-element scaled-MAD outlier flags (the rule [`bench_fn_stats`]
+/// applies to iteration timings): an element is flagged when it lies more
+/// than `3 · 1.4826 · MAD` from the median. With degenerate MAD (over half
+/// the samples identical) any sample differing from the median is flagged.
+pub fn mad_outlier_flags(samples: &[f64]) -> Vec<bool> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = percentile(&sorted, 0.5);
+    let mut deviations: Vec<f64> = samples.iter().map(|s| (s - median).abs()).collect();
+    deviations.sort_by(|a, b| a.total_cmp(b));
+    let mad = percentile(&deviations, 0.5);
+    let cutoff = 3.0 * 1.4826 * mad;
+    if cutoff > 0.0 {
+        samples
+            .iter()
+            .map(|s| (s - median).abs() > cutoff)
+            .collect()
+    } else {
+        samples.iter().map(|s| *s != median).collect()
+    }
+}
+
+/// Which way a metric should move to count as an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricDirection {
+    /// Throughput-style metric (`*_per_s`, `*throughput*`).
+    HigherIsBetter,
+    /// Latency-style metric (`*_s`, `*latency*`).
+    LowerIsBetter,
+    /// Event counts and configuration echoes — compared but never gated on.
+    Informational,
+}
+
+/// Classifies a metric name by the report's naming conventions.
+pub fn metric_direction(name: &str) -> MetricDirection {
+    if name.contains("per_s") || name.contains("throughput") {
+        MetricDirection::HigherIsBetter
+    } else if name.ends_with("_s") || name.contains("latency") {
+        MetricDirection::LowerIsBetter
+    } else {
+        MetricDirection::Informational
+    }
+}
+
+/// One metric's baseline-vs-current comparison from [`bench_compare`].
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Qualified metric name (`counters.…`, `gauges.…`, `phases.….mean_s`).
+    pub name: String,
+    /// Value in the baseline report.
+    pub baseline: f64,
+    /// Value in the current report.
+    pub current: f64,
+    /// Relative change in percent (positive = current is larger);
+    /// `+∞` when the baseline was zero and the current value is not.
+    pub delta_pct: f64,
+    /// How this metric is judged.
+    pub direction: MetricDirection,
+    /// Whether the change exceeds the threshold in the bad direction.
+    pub regression: bool,
+    /// Scaled-MAD flag over all delta percentages: this metric moved very
+    /// differently from the rest of the report (see [`mad_outlier_flags`]).
+    pub outlier: bool,
+}
+
+/// Extracts every comparable scalar from a schema-v1 report document:
+/// metrics counters and gauges, plus each phase's `mean_s`.
+fn collect_comparables(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for section in ["counters", "gauges"] {
+        if let Some(Json::Object(entries)) = doc.get("metrics").and_then(|m| m.get(section)) {
+            for (name, value) in entries {
+                if let Some(v) = value.as_f64() {
+                    out.push((format!("{section}.{name}"), v));
+                }
+            }
+        }
+    }
+    if let Some(Json::Object(phases)) = doc.get("phases") {
+        for (name, summary) in phases {
+            if let Some(v) = summary.get("mean_s").and_then(Json::as_f64) {
+                out.push((format!("phases.{name}.mean_s"), v));
+            }
+        }
+    }
+    out
+}
+
+/// Compares two schema-v1 bench report documents metric by metric.
+///
+/// Both documents must carry the current [`SCHEMA_VERSION`] and name the
+/// same experiment. Every counter, gauge and phase mean present in *both*
+/// reports produces one [`MetricDelta`]; a delta counts as a regression
+/// when a `HigherIsBetter` metric drops, or a `LowerIsBetter` metric
+/// rises, by more than `threshold_pct` percent.
+///
+/// # Errors
+///
+/// A description of the structural mismatch (missing/incompatible schema
+/// version, different experiments, or no shared metrics).
+pub fn bench_compare(
+    baseline: &Json,
+    current: &Json,
+    threshold_pct: f64,
+) -> Result<Vec<MetricDelta>, String> {
+    for (label, doc) in [("baseline", baseline), ("current", current)] {
+        match doc.get("schema_version").and_then(Json::as_f64) {
+            Some(v) if v == SCHEMA_VERSION as f64 => {}
+            Some(v) => {
+                return Err(format!(
+                    "{label}: schema_version {v}, expected {SCHEMA_VERSION}"
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "{label}: missing schema_version — not a bench report"
+                ))
+            }
+        }
+    }
+    let base_exp = baseline.get("experiment").and_then(Json::as_str);
+    let cur_exp = current.get("experiment").and_then(Json::as_str);
+    if base_exp != cur_exp {
+        return Err(format!(
+            "experiment mismatch: baseline {base_exp:?} vs current {cur_exp:?}"
+        ));
+    }
+    let base_metrics = collect_comparables(baseline);
+    let cur_metrics = collect_comparables(current);
+    let mut deltas: Vec<MetricDelta> = Vec::new();
+    for (name, base_value) in &base_metrics {
+        let Some((_, cur_value)) = cur_metrics.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let delta_pct = if *base_value != 0.0 {
+            (cur_value - base_value) / base_value * 100.0
+        } else if *cur_value == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        let direction = metric_direction(name);
+        let regression = match direction {
+            MetricDirection::HigherIsBetter => delta_pct < -threshold_pct,
+            MetricDirection::LowerIsBetter => delta_pct > threshold_pct,
+            MetricDirection::Informational => false,
+        };
+        deltas.push(MetricDelta {
+            name: name.clone(),
+            baseline: *base_value,
+            current: *cur_value,
+            delta_pct,
+            direction,
+            regression,
+            outlier: false,
+        });
+    }
+    if deltas.is_empty() {
+        return Err("no shared metrics between the two reports".to_string());
+    }
+    let pcts: Vec<f64> = deltas.iter().map(|d| d.delta_pct).collect();
+    for (delta, flagged) in deltas.iter_mut().zip(mad_outlier_flags(&pcts)) {
+        delta.outlier = flagged;
+    }
+    Ok(deltas)
 }
 
 /// Parses `--json PATH` and `N` (positional count override) from
@@ -522,6 +681,100 @@ mod tests {
             stats.median_s < stats.mean_s,
             "spike skews mean above median"
         );
+    }
+
+    fn throughput_report(tx_per_s: f64, accepted: u64) -> Json {
+        let mut registry = Registry::new();
+        registry.set_counter("mempool.accepted", accepted);
+        registry.set_gauge("bench.block_connect_tx_per_s", tx_per_s);
+        BenchReport::new("chain_throughput")
+            .metrics(registry.snapshot())
+            .to_json()
+    }
+
+    #[test]
+    fn compare_flags_throughput_regression() {
+        let baseline = throughput_report(100.0, 500);
+        let improved = throughput_report(250.0, 500);
+        let regressed = throughput_report(70.0, 500);
+
+        let deltas = bench_compare(&baseline, &improved, 20.0).unwrap();
+        assert!(deltas.iter().all(|d| !d.regression), "{deltas:?}");
+        let tp = deltas
+            .iter()
+            .find(|d| d.name == "gauges.bench.block_connect_tx_per_s")
+            .unwrap();
+        assert_eq!(tp.direction, MetricDirection::HigherIsBetter);
+        assert!((tp.delta_pct - 150.0).abs() < 1e-9);
+
+        let deltas = bench_compare(&baseline, &regressed, 20.0).unwrap();
+        let tp = deltas
+            .iter()
+            .find(|d| d.name == "gauges.bench.block_connect_tx_per_s")
+            .unwrap();
+        assert!(tp.regression, "-30% must trip a 20% threshold");
+        // A -30% drop passes a generous 40% threshold.
+        let deltas = bench_compare(&baseline, &regressed, 40.0).unwrap();
+        assert!(deltas.iter().all(|d| !d.regression));
+    }
+
+    #[test]
+    fn compare_counters_are_informational() {
+        let baseline = throughput_report(100.0, 500);
+        let current = throughput_report(100.0, 2); // count collapsed
+        let deltas = bench_compare(&baseline, &current, 20.0).unwrap();
+        let accepted = deltas
+            .iter()
+            .find(|d| d.name == "counters.mempool.accepted")
+            .unwrap();
+        assert_eq!(accepted.direction, MetricDirection::Informational);
+        assert!(!accepted.regression);
+    }
+
+    #[test]
+    fn compare_rejects_mismatched_reports() {
+        let a = throughput_report(100.0, 1);
+        let other = BenchReport::new("fig5_latency").to_json();
+        assert!(bench_compare(&a, &other, 20.0)
+            .unwrap_err()
+            .contains("experiment mismatch"));
+        let no_schema = Json::object().with("experiment", Json::str("chain_throughput"));
+        assert!(bench_compare(&no_schema, &a, 20.0)
+            .unwrap_err()
+            .contains("schema_version"));
+    }
+
+    #[test]
+    fn compare_phase_means_lower_is_better() {
+        let mk = |mean: f64| {
+            let series: Series = vec![mean; 3].into_iter().collect();
+            BenchReport::new("fig5_latency")
+                .phases(&[("keygen".to_string(), series)])
+                .to_json()
+        };
+        let deltas = bench_compare(&mk(2.0), &mk(1.0), 20.0).unwrap();
+        let keygen = deltas
+            .iter()
+            .find(|d| d.name == "phases.keygen.mean_s")
+            .unwrap();
+        assert_eq!(keygen.direction, MetricDirection::LowerIsBetter);
+        assert!(!keygen.regression, "getting faster is not a regression");
+        let deltas = bench_compare(&mk(1.0), &mk(2.0), 20.0).unwrap();
+        assert!(
+            deltas.iter().any(|d| d.regression),
+            "phase mean doubling must regress: {deltas:?}"
+        );
+    }
+
+    #[test]
+    fn mad_flags_match_bench_stats_rule() {
+        assert!(mad_outlier_flags(&[]).is_empty());
+        // Degenerate MAD: identical samples, one differs.
+        let flags = mad_outlier_flags(&[5.0, 5.0, 5.0, 7.0]);
+        assert_eq!(flags, vec![false, false, false, true]);
+        // A clear spike among spread samples.
+        let flags = mad_outlier_flags(&[1.0, 1.1, 0.9, 1.05, 50.0]);
+        assert!(flags[4] && flags[..4].iter().all(|f| !f));
     }
 
     #[test]

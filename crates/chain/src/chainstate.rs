@@ -4,11 +4,12 @@ use crate::block::{Block, BlockHash};
 use crate::params::ChainParams;
 use crate::tx::{Transaction, TxOut};
 use crate::utxo::{UndoData, UtxoSet};
-use crate::validate::{validate_block, BlockError};
+use crate::validate::{validate_block_with, BlockError, BlockValidationOptions, SigCache};
 use crate::wallet::Address;
 use bcwan_script::templates::p2pkh;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// What happened when a block was submitted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +100,11 @@ pub struct Chain {
     undo: HashMap<BlockHash, UndoData>,
     utxo: UtxoSet,
     stats: ChainStats,
+    /// Signature cache shared with mempools (see [`Mempool::with_cache`])
+    /// so block connect skips scripts verified at admission.
+    ///
+    /// [`Mempool::with_cache`]: crate::mempool::Mempool::with_cache
+    sig_cache: Arc<SigCache>,
 }
 
 impl fmt::Debug for Chain {
@@ -139,6 +145,23 @@ impl Chain {
             undo,
             utxo,
             stats: ChainStats::default(),
+            sig_cache: Arc::new(SigCache::default()),
+        }
+    }
+
+    /// The chain's signature cache. Hand a clone to [`Mempool::with_cache`]
+    /// so admission-time verifications carry over to block connect.
+    ///
+    /// [`Mempool::with_cache`]: crate::mempool::Mempool::with_cache
+    pub fn sig_cache(&self) -> &Arc<SigCache> {
+        &self.sig_cache
+    }
+
+    /// Validation options for connecting blocks to this chain.
+    fn validation_options(&self) -> BlockValidationOptions<'_> {
+        BlockValidationOptions {
+            cache: Some(&self.sig_cache),
+            workers: 0, // auto
         }
     }
 
@@ -250,8 +273,14 @@ impl Chain {
 
         if parent_hash == self.tip() {
             // Fast path: extending the best chain.
-            validate_block(&block, &self.utxo, height, &self.params)
-                .map_err(ChainError::Invalid)?;
+            validate_block_with(
+                &block,
+                &self.utxo,
+                height,
+                &self.params,
+                &self.validation_options(),
+            )
+            .map_err(ChainError::Invalid)?;
             let undo = self
                 .utxo
                 .apply_block(&block.transactions, height)
@@ -308,7 +337,14 @@ impl Chain {
         for (i, hash) in branch.iter().enumerate() {
             let height = fork_height + 1 + i as u64;
             let block = self.blocks.get(hash).expect("stored").block.clone();
-            match validate_block(&block, &self.utxo, height, &self.params) {
+            let validated = validate_block_with(
+                &block,
+                &self.utxo,
+                height,
+                &self.params,
+                &self.validation_options(),
+            );
+            match validated {
                 Ok(()) => {
                     let undo = self
                         .utxo

@@ -56,5 +56,8 @@ pub use mempool::{Mempool, MempoolError, MempoolStats};
 pub use params::{ChainParams, StallModel};
 pub use tx::{OutPoint, Transaction, TxId, TxIn, TxOut, SEQUENCE_FINAL};
 pub use utxo::{UtxoEntry, UtxoSet};
-pub use validate::{validate_block, validate_transaction, BlockError, TxError};
+pub use validate::{
+    validate_block, validate_block_with, validate_transaction, validate_transaction_cached,
+    BlockError, BlockValidationOptions, SigCache, TxError,
+};
 pub use wallet::{Address, Wallet};

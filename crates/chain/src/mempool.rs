@@ -8,9 +8,10 @@
 use crate::params::ChainParams;
 use crate::tx::{OutPoint, Transaction, TxId};
 use crate::utxo::UtxoSet;
-use crate::validate::{validate_transaction, TxError};
+use crate::validate::{validate_transaction_cached, SigCache, TxError};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Why the pool refused a transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +96,9 @@ pub struct Mempool {
     created: HashMap<OutPoint, crate::utxo::UtxoEntry>,
     next_seq: u64,
     stats: MempoolStats,
+    /// Shared signature cache populated at admission so block connect can
+    /// skip re-verifying the same spends. `None` = caching disabled.
+    sig_cache: Option<Arc<SigCache>>,
 }
 
 impl fmt::Debug for Mempool {
@@ -106,9 +110,18 @@ impl fmt::Debug for Mempool {
 }
 
 impl Mempool {
-    /// An empty pool.
+    /// An empty pool (no signature cache).
     pub fn new() -> Self {
         Mempool::default()
+    }
+
+    /// An empty pool sharing `cache` with the chain: script verifications
+    /// done at admission are not repeated when a block later connects.
+    pub fn with_cache(cache: Arc<SigCache>) -> Self {
+        Mempool {
+            sig_cache: Some(cache),
+            ..Mempool::default()
+        }
     }
 
     /// Lifetime accept/reject/evict counters.
@@ -170,7 +183,13 @@ impl Mempool {
             created: &self.created,
             spent: &self.by_outpoint,
         };
-        let fee = match validate_transaction(&tx, &view, height, params) {
+        let fee = match validate_transaction_cached(
+            &tx,
+            &view,
+            height,
+            params,
+            self.sig_cache.as_deref(),
+        ) {
             Ok(fee) => fee,
             Err(e) => {
                 self.stats.rejected_invalid += 1;

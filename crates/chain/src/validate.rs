@@ -1,13 +1,18 @@
-//! Transaction and block validation rules.
+//! Transaction and block validation rules, plus the validation fast path:
+//! a shared signature cache and parallel per-block script verification.
 
 use crate::block::Block;
 use crate::params::ChainParams;
 use crate::tx::Transaction;
-use crate::utxo::{UtxoSet, UtxoView};
+use crate::utxo::{UtxoEntry, UtxoSet, UtxoView};
+use bcwan_crypto::sha256;
 use bcwan_script::interpreter::{verify_spend, DigestChecker, ExecContext};
-use bcwan_script::ScriptError;
+use bcwan_script::{Script, ScriptError};
+use bcwan_sim::metrics::Registry;
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Why a transaction was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,21 +161,152 @@ impl fmt::Display for BlockError {
 
 impl std::error::Error for BlockError {}
 
-/// Validates a non-coinbase transaction against the UTXO set at `height`
-/// and returns its fee.
+/// Above this input count the duplicate-input check switches from a linear
+/// scan over prior inputs (no allocation) to a `HashSet`.
+const DUP_LINEAR_MAX: usize = 32;
+
+/// A shared cache of script verifications that already succeeded.
 ///
-/// Checks: structure, finality, input existence, coinbase maturity, value
-/// balance, and full script verification on every input.
+/// Keyed on `sha256(sighash digest || script_sig || script_pubkey)` — the
+/// full evaluation context of [`verify_spend`] minus the lock-time fields,
+/// which are re-checked structurally on every validation — so a hit is safe
+/// to treat as "this exact spend already verified". Mempool admission
+/// populates it; `connect_block` then skips re-verifying the same spends.
 ///
-/// # Errors
-///
-/// The specific [`TxError`].
-pub fn validate_transaction<V: UtxoView>(
+/// Eviction is two-generation (as in Bitcoin Core's sigcache): when the
+/// current generation fills half the capacity it becomes the previous
+/// generation and a fresh one starts, so memory is bounded and recently
+/// verified entries survive at least one rotation. Only *successful*
+/// verifications are stored; failures always re-run.
+#[derive(Debug)]
+pub struct SigCache {
+    inner: Mutex<SigCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct SigCacheInner {
+    current: HashSet<[u8; 32]>,
+    previous: HashSet<[u8; 32]>,
+    /// Generation size: half the nominal capacity.
+    half: usize,
+}
+
+impl SigCache {
+    /// Default nominal capacity (entries across both generations).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a cache holding roughly `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        SigCache {
+            inner: Mutex::new(SigCacheInner {
+                current: HashSet::new(),
+                previous: HashSet::new(),
+                half: (capacity / 2).max(1),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache key for one spend: `sha256` over the sighash digest and
+    /// both scripts (length-prefixed, so boundaries can't be confused).
+    pub fn key(digest: &[u8; 32], script_sig: &Script, script_pubkey: &Script) -> [u8; 32] {
+        let sig = script_sig.to_bytes();
+        let pk = script_pubkey.to_bytes();
+        let mut buf = Vec::with_capacity(32 + 16 + sig.len() + pk.len());
+        buf.extend_from_slice(digest);
+        buf.extend_from_slice(&(sig.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&sig);
+        buf.extend_from_slice(&(pk.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&pk);
+        sha256(&buf)
+    }
+
+    /// Whether this spend already verified successfully. Counts a hit or a
+    /// miss; a previous-generation hit is promoted to the current one.
+    pub fn contains(&self, key: &[u8; 32]) -> bool {
+        let mut inner = self.lock();
+        let found = if inner.current.contains(key) {
+            true
+        } else if inner.previous.contains(key) {
+            Self::insert_locked(&mut inner, *key);
+            true
+        } else {
+            false
+        };
+        drop(inner);
+        if found {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Records a successful verification.
+    pub fn insert(&self, key: [u8; 32]) {
+        Self::insert_locked(&mut self.lock(), key);
+    }
+
+    fn insert_locked(inner: &mut SigCacheInner, key: [u8; 32]) {
+        if inner.current.len() >= inner.half {
+            inner.previous = std::mem::take(&mut inner.current);
+        }
+        inner.current.insert(key);
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SigCacheInner> {
+        // A panicking verifier thread can't leave the set inconsistent
+        // (inserts are single HashSet ops), so poisoning is ignorable.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Total lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently cached (both generations).
+    pub fn len(&self) -> usize {
+        let inner = self.lock();
+        inner.current.len() + inner.previous.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exports `validate.sigcache.hit|miss` counters into a metrics registry.
+    pub fn export(&self, registry: &mut Registry) {
+        registry.set_counter("validate.sigcache.hit", self.hits());
+        registry.set_counter("validate.sigcache.miss", self.misses());
+    }
+}
+
+impl Default for SigCache {
+    fn default() -> Self {
+        SigCache::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+/// The structural (pre-script) half of transaction validation: structure,
+/// finality, duplicate inputs, input existence, coinbase maturity and value
+/// balance. Returns the fee plus one borrowed UTXO entry per input (in
+/// input order) so script verification never re-queries the view.
+fn validate_transaction_structure<'a, V: UtxoView>(
     tx: &Transaction,
-    utxo: &V,
+    utxo: &'a V,
     height: u64,
     params: &ChainParams,
-) -> Result<u64, TxError> {
+) -> Result<(u64, Vec<&'a UtxoEntry>), TxError> {
     if tx.inputs.is_empty() || tx.outputs.is_empty() {
         return Err(TxError::Empty);
     }
@@ -189,10 +325,18 @@ pub fn validate_transaction<V: UtxoView>(
         }
     }
 
-    let mut seen = HashSet::new();
+    // Duplicate detection: typical transactions have a handful of inputs,
+    // where a linear scan beats allocating and hashing into a set.
+    let mut seen =
+        (tx.inputs.len() > DUP_LINEAR_MAX).then(|| HashSet::with_capacity(tx.inputs.len()));
+    let mut entries = Vec::with_capacity(tx.inputs.len());
     let mut input_value: u64 = 0;
-    for input in &tx.inputs {
-        if !seen.insert(input.prevout) {
+    for (i, input) in tx.inputs.iter().enumerate() {
+        let duplicate = match &mut seen {
+            Some(set) => !set.insert(input.prevout),
+            None => tx.inputs[..i].iter().any(|p| p.prevout == input.prevout),
+        };
+        if duplicate {
             return Err(TxError::DuplicateInput(input.prevout));
         }
         let entry = utxo
@@ -205,6 +349,7 @@ pub fn validate_transaction<V: UtxoView>(
             });
         }
         input_value += entry.output.value;
+        entries.push(entry);
     }
     let output_value = tx.total_output();
     if output_value > input_value {
@@ -213,40 +358,207 @@ pub fn validate_transaction<V: UtxoView>(
             output: output_value,
         });
     }
+    Ok((input_value - output_value, entries))
+}
 
-    // Script verification per input.
-    for (i, input) in tx.inputs.iter().enumerate() {
-        let entry = utxo.view_get(&input.prevout).expect("checked above");
-        let digest = tx.sighash(i, &entry.output.script_pubkey);
-        let checker = DigestChecker { digest };
-        let ctx = ExecContext {
-            checker: &checker,
-            lock_time: tx.lock_time,
-            input_final: input.is_final(),
-        };
-        match verify_spend(&input.script_sig, &entry.output.script_pubkey, &ctx) {
-            Ok(true) => {}
-            Ok(false) => {
-                return Err(TxError::ScriptFailed {
-                    input: i,
-                    error: None,
-                })
-            }
-            Err(e) => {
-                return Err(TxError::ScriptFailed {
-                    input: i,
-                    error: Some(e),
-                })
-            }
+/// Runs one spend's script, consulting and populating `cache`.
+fn verify_script_with_cache(
+    digest: &[u8; 32],
+    script_sig: &Script,
+    script_pubkey: &Script,
+    lock_time: u64,
+    input_final: bool,
+    input_index: usize,
+    cache: Option<&SigCache>,
+) -> Result<(), TxError> {
+    let key = cache.map(|_| SigCache::key(digest, script_sig, script_pubkey));
+    if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+        if cache.contains(key) {
+            return Ok(());
         }
     }
+    let checker = DigestChecker { digest: *digest };
+    let ctx = ExecContext {
+        checker: &checker,
+        lock_time,
+        input_final,
+    };
+    match verify_spend(script_sig, script_pubkey, &ctx) {
+        Ok(true) => {
+            if let (Some(cache), Some(key)) = (cache, key) {
+                cache.insert(key);
+            }
+            Ok(())
+        }
+        Ok(false) => Err(TxError::ScriptFailed {
+            input: input_index,
+            error: None,
+        }),
+        Err(e) => Err(TxError::ScriptFailed {
+            input: input_index,
+            error: Some(e),
+        }),
+    }
+}
 
-    Ok(input_value - output_value)
+/// Validates a non-coinbase transaction against the UTXO set at `height`
+/// and returns its fee.
+///
+/// Checks: structure, finality, input existence, coinbase maturity, value
+/// balance, and full script verification on every input.
+///
+/// # Errors
+///
+/// The specific [`TxError`].
+pub fn validate_transaction<V: UtxoView>(
+    tx: &Transaction,
+    utxo: &V,
+    height: u64,
+    params: &ChainParams,
+) -> Result<u64, TxError> {
+    validate_transaction_cached(tx, utxo, height, params, None)
+}
+
+/// [`validate_transaction`] with a shared [`SigCache`]: spends whose exact
+/// `(sighash, script_sig, script_pubkey)` already verified are accepted
+/// without re-running the interpreter, and fresh successes are recorded.
+///
+/// # Errors
+///
+/// The specific [`TxError`].
+pub fn validate_transaction_cached<V: UtxoView>(
+    tx: &Transaction,
+    utxo: &V,
+    height: u64,
+    params: &ChainParams,
+    cache: Option<&SigCache>,
+) -> Result<u64, TxError> {
+    let (fee, entries) = validate_transaction_structure(tx, utxo, height, params)?;
+    for (i, (input, entry)) in tx.inputs.iter().zip(&entries).enumerate() {
+        let digest = tx.sighash(i, &entry.output.script_pubkey);
+        verify_script_with_cache(
+            &digest,
+            &input.script_sig,
+            &entry.output.script_pubkey,
+            tx.lock_time,
+            input.is_final(),
+            i,
+            cache,
+        )?;
+    }
+    Ok(fee)
+}
+
+/// Tuning for [`validate_block_with`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BlockValidationOptions<'a> {
+    /// Shared signature cache consulted before (and populated after) each
+    /// script run. `None` disables caching.
+    pub cache: Option<&'a SigCache>,
+    /// Script-verification worker threads: `0` picks one per available
+    /// CPU, `1` forces the sequential path.
+    pub workers: usize,
+}
+
+/// One input's script verification, detached from the rolling UTXO view:
+/// everything the interpreter needs is snapshotted (digest computed, both
+/// scripts cloned) so jobs can run on any thread in any order.
+struct ScriptJob {
+    tx_index: usize,
+    input_index: usize,
+    digest: [u8; 32],
+    script_sig: Script,
+    script_pubkey: Script,
+    lock_time: u64,
+    input_final: bool,
+    /// Precomputed cache key (present iff a cache is configured).
+    key: Option<[u8; 32]>,
+}
+
+/// Runs one snapshotted job; inserts the key into `cache` on success.
+fn run_script_job(job: &ScriptJob, cache: Option<&SigCache>) -> Result<(), TxError> {
+    let checker = DigestChecker { digest: job.digest };
+    let ctx = ExecContext {
+        checker: &checker,
+        lock_time: job.lock_time,
+        input_final: job.input_final,
+    };
+    match verify_spend(&job.script_sig, &job.script_pubkey, &ctx) {
+        Ok(true) => {
+            if let (Some(cache), Some(key)) = (cache, job.key.as_ref()) {
+                cache.insert(*key);
+            }
+            Ok(())
+        }
+        Ok(false) => Err(TxError::ScriptFailed {
+            input: job.input_index,
+            error: None,
+        }),
+        Err(e) => Err(TxError::ScriptFailed {
+            input: job.input_index,
+            error: Some(e),
+        }),
+    }
+}
+
+/// Runs the collected script jobs and returns the positionally-first
+/// failure as `(tx_index, error)`, or `None` if all verified.
+///
+/// The parallel path never aborts early: every job runs, all failures are
+/// collected, and the one with the smallest `(tx_index, input_index)` is
+/// reported — exactly what the sequential path (jobs are in that order)
+/// returns — so the accept/reject decision and the reported error are
+/// independent of thread count and scheduling.
+fn run_script_jobs(
+    jobs: &[ScriptJob],
+    opts: &BlockValidationOptions<'_>,
+) -> Option<(usize, TxError)> {
+    if jobs.is_empty() {
+        return None;
+    }
+    let workers = match opts.workers {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        w => w,
+    }
+    .min(jobs.len());
+    if workers <= 1 {
+        for job in jobs {
+            if let Err(error) = run_script_job(job, opts.cache) {
+                return Some((job.tx_index, error));
+            }
+        }
+        return None;
+    }
+    let next = AtomicUsize::new(0);
+    let failures: Mutex<Vec<(usize, usize, TxError)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                if let Err(error) = run_script_job(job, opts.cache) {
+                    failures
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((job.tx_index, job.input_index, error));
+                }
+            });
+        }
+    });
+    failures
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .min_by_key(|(tx, input, _)| (*tx, *input))
+        .map(|(tx, _, error)| (tx, error))
 }
 
 /// Validates a block body against the UTXO state at `height` (the height
 /// this block would occupy). Header linkage is the chain's job; this
 /// checks PoW, merkle, size, coinbase rules and every transaction.
+///
+/// Equivalent to [`validate_block_with`] under default options (no cache,
+/// auto-sized worker pool).
 ///
 /// # Errors
 ///
@@ -256,6 +568,40 @@ pub fn validate_block(
     utxo: &UtxoSet,
     height: u64,
     params: &ChainParams,
+) -> Result<(), BlockError> {
+    validate_block_with(
+        block,
+        utxo,
+        height,
+        params,
+        &BlockValidationOptions::default(),
+    )
+}
+
+/// [`validate_block`] with explicit fast-path options.
+///
+/// Validation runs in two passes. The sequential pass walks transactions in
+/// order against a rolling UTXO view (so intra-block chains work), performs
+/// every context-dependent check, and snapshots each input's script job —
+/// sighash digest plus both scripts — before the view mutates. Jobs whose
+/// cache key is already present (verified at mempool admission) are dropped
+/// on the spot. The remaining context-free script runs then execute on a
+/// `std::thread::scope` worker pool (or inline when `workers == 1`).
+///
+/// A structural failure at transaction `s` stops job collection at `s`, so
+/// any script failure that surfaces is at an index `< s` and positionally
+/// precedes it; the reported error is therefore identical to fully
+/// sequential validation.
+///
+/// # Errors
+///
+/// The specific [`BlockError`].
+pub fn validate_block_with(
+    block: &Block,
+    utxo: &UtxoSet,
+    height: u64,
+    params: &ChainParams,
+    opts: &BlockValidationOptions<'_>,
 ) -> Result<(), BlockError> {
     if block.transactions.is_empty() {
         return Err(BlockError::Empty);
@@ -290,18 +636,54 @@ pub fn validate_block(
         return Err(BlockError::BadCoinbasePlacement);
     }
 
-    // Validate body transactions against a rolling view so intra-block
-    // chains (tx B spends tx A's output) work.
+    // Sequential pass: context-dependent checks against a rolling view so
+    // intra-block chains (tx B spends tx A's output) work, snapshotting
+    // script jobs before each apply.
     let mut view = utxo.clone();
     let mut undo = crate::utxo::UndoData::default();
     let mut fees: u64 = 0;
+    let mut jobs: Vec<ScriptJob> = Vec::new();
+    let mut structural_failure: Option<(usize, TxError)> = None;
     for (index, tx) in block.transactions.iter().enumerate().skip(1) {
-        match validate_transaction(tx, &view, height, params) {
-            Ok(fee) => fees += fee,
-            Err(error) => return Err(BlockError::BadTransaction { index, error }),
+        match validate_transaction_structure(tx, &view, height, params) {
+            Ok((fee, entries)) => {
+                fees += fee;
+                for (i, (input, entry)) in tx.inputs.iter().zip(&entries).enumerate() {
+                    let digest = tx.sighash(i, &entry.output.script_pubkey);
+                    let key = opts.cache.map(|_| {
+                        SigCache::key(&digest, &input.script_sig, &entry.output.script_pubkey)
+                    });
+                    if let (Some(cache), Some(key)) = (opts.cache, key.as_ref()) {
+                        if cache.contains(key) {
+                            continue; // verified at mempool admission
+                        }
+                    }
+                    jobs.push(ScriptJob {
+                        tx_index: index,
+                        input_index: i,
+                        digest,
+                        script_sig: input.script_sig.clone(),
+                        script_pubkey: entry.output.script_pubkey.clone(),
+                        lock_time: tx.lock_time,
+                        input_final: input.is_final(),
+                        key,
+                    });
+                }
+                view.apply_transaction(tx, height, &mut undo)
+                    .expect("structurally valid transaction applies");
+            }
+            Err(error) => {
+                structural_failure = Some((index, error));
+                break;
+            }
         }
-        view.apply_transaction(tx, height, &mut undo)
-            .expect("validated transaction applies");
+    }
+
+    if let Some((index, error)) = run_script_jobs(&jobs, opts) {
+        return Err(BlockError::BadTransaction { index, error });
+    }
+    if let Some((index, error)) = structural_failure {
+        return Err(BlockError::BadTransaction { index, error });
     }
 
     let allowed = params.coinbase_reward + fees;

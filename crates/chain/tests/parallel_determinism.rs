@@ -1,0 +1,151 @@
+//! Parallel block validation must be observably identical to sequential:
+//! same accept/reject decision and the *same* error for invalid blocks,
+//! regardless of worker count or cache state. These tests pin that
+//! contract for a valid block, a block with a bad mid-block signature,
+//! and a block with a mid-block structural failure.
+
+use bcwan_chain::{
+    validate_block_with, Block, BlockError, BlockValidationOptions, ChainParams, OutPoint,
+    SigCache, Transaction, TxError, TxOut, UtxoSet, Wallet,
+};
+use bcwan_script::Script;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const COINS: usize = 8;
+
+struct Fixture {
+    params: ChainParams,
+    utxo: UtxoSet,
+    wallet: Wallet,
+    coins: Vec<OutPoint>,
+}
+
+/// UTXO set holding `COINS` mature 1000-value coins owned by one wallet.
+fn fixture() -> Fixture {
+    let mut rng = StdRng::seed_from_u64(7);
+    let params = ChainParams::fast_test();
+    let wallet = Wallet::generate(&mut rng);
+    let outputs = vec![
+        TxOut {
+            value: 1000,
+            script_pubkey: wallet.locking_script(),
+        };
+        COINS
+    ];
+    let cb = Transaction::coinbase(0, b"pd", outputs);
+    let mut utxo = UtxoSet::new();
+    utxo.apply_block(std::slice::from_ref(&cb), 0).unwrap();
+    let coins = (0..COINS as u32)
+        .map(|vout| OutPoint {
+            txid: cb.txid(),
+            vout,
+        })
+        .collect();
+    Fixture {
+        params,
+        utxo,
+        wallet,
+        coins,
+    }
+}
+
+fn spend(f: &Fixture, coin: OutPoint, value: u64) -> Transaction {
+    f.wallet.build_payment(
+        vec![(coin, f.wallet.locking_script())],
+        vec![TxOut {
+            value,
+            script_pubkey: Script::new(),
+        }],
+        0,
+    )
+}
+
+fn mine(f: &Fixture, height: u64, spends: Vec<Transaction>) -> Block {
+    let mut txs = vec![Transaction::coinbase(
+        height,
+        b"pd-block",
+        vec![TxOut {
+            value: f.params.coinbase_reward,
+            script_pubkey: Script::new(),
+        }],
+    )];
+    txs.extend(spends);
+    let prev = bcwan_chain::BlockHash([0u8; 32]);
+    Block::mine(prev, height, f.params.difficulty_bits, txs)
+}
+
+fn validate_at(
+    f: &Fixture,
+    block: &Block,
+    workers: usize,
+    cache: Option<&SigCache>,
+) -> Result<(), BlockError> {
+    let opts = BlockValidationOptions { cache, workers };
+    let height = f.params.coinbase_maturity;
+    validate_block_with(block, &f.utxo, height, &f.params, &opts)
+}
+
+#[test]
+fn valid_block_accepted_at_every_worker_count() {
+    let f = fixture();
+    let spends: Vec<_> = f.coins.iter().map(|&c| spend(&f, c, 990)).collect();
+    let block = mine(&f, f.params.coinbase_maturity, spends);
+    for workers in [1, 2, 4] {
+        assert_eq!(validate_at(&f, &block, workers, None), Ok(()));
+        let cache = SigCache::default();
+        assert_eq!(validate_at(&f, &block, workers, Some(&cache)), Ok(()));
+        // Second run hits the cache populated by the first.
+        assert_eq!(validate_at(&f, &block, workers, Some(&cache)), Ok(()));
+        assert!(cache.hits() > 0);
+    }
+}
+
+#[test]
+fn bad_mid_block_signature_reported_identically() {
+    let f = fixture();
+    let mut spends: Vec<_> = f.coins.iter().map(|&c| spend(&f, c, 990)).collect();
+    // Corrupt transaction #4's signature by editing an output after
+    // signing: the sighash no longer matches, scripts still parse.
+    spends[4].outputs[0].value = 989;
+    let block = mine(&f, f.params.coinbase_maturity, spends);
+
+    let expected = validate_at(&f, &block, 1, None);
+    let Err(BlockError::BadTransaction { index, ref error }) = expected else {
+        panic!("corrupted block unexpectedly validated: {expected:?}");
+    };
+    assert_eq!(index, 5, "coinbase is tx 0, corrupted spend is tx 5");
+    assert!(matches!(error, TxError::ScriptFailed { input: 0, .. }));
+
+    for workers in [2, 4] {
+        assert_eq!(validate_at(&f, &block, workers, None), expected);
+        let cache = SigCache::default();
+        assert_eq!(validate_at(&f, &block, workers, Some(&cache)), expected);
+        // Re-validation with the now-warm cache (valid inputs cached,
+        // the bad one never inserted) still reports the same failure.
+        assert_eq!(validate_at(&f, &block, workers, Some(&cache)), expected);
+    }
+}
+
+#[test]
+fn structural_failure_beats_later_script_failures() {
+    let f = fixture();
+    let mut spends: Vec<_> = f.coins.iter().map(|&c| spend(&f, c, 990)).collect();
+    // Tx 3 (index 4 in the block) overspends: structural failure. Jobs
+    // are only collected for txs before it, all of which are valid, so
+    // every worker count must report the structural error.
+    spends[3] = spend(&f, f.coins[3], 2000);
+    let block = mine(&f, f.params.coinbase_maturity, spends);
+
+    let expected = validate_at(&f, &block, 1, None);
+    assert!(matches!(
+        expected,
+        Err(BlockError::BadTransaction {
+            index: 4,
+            error: TxError::ValueOutOfRange { .. }
+        })
+    ));
+    for workers in [2, 4] {
+        assert_eq!(validate_at(&f, &block, workers, None), expected);
+    }
+}

@@ -189,6 +189,14 @@ impl BigUint {
         self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
+    /// Value of the `i`-th 4-bit group (zero-indexed from the least
+    /// significant nibble) — the digit consumed per window by the
+    /// fixed-window exponentiation and EC scalar-multiplication paths.
+    pub fn nibble(&self, i: usize) -> u8 {
+        let (limb, off) = (i / 16, (i % 16) * 4);
+        self.limbs.get(limb).map_or(0, |l| ((l >> off) & 0xf) as u8)
+    }
+
     /// Sets bit `i` to one, growing as needed.
     pub fn set_bit(&mut self, i: usize) {
         let (limb, off) = (i / 64, i % 64);
@@ -458,12 +466,35 @@ impl BigUint {
         }
     }
 
-    /// `self^exp mod m` by square-and-multiply.
+    /// `self^exp mod m`.
+    ///
+    /// Odd moduli (every RSA modulus and the secp256k1 field prime) are
+    /// routed through a [`MontgomeryCtx`] fixed-window ladder; even moduli
+    /// fall back to [`BigUint::mod_pow_schoolbook`], since Montgomery
+    /// reduction requires `gcd(m, 2^64) = 1`.
     ///
     /// # Panics
     ///
     /// Panics if `m` is zero.
     pub fn mod_pow(&self, exp: &Self, m: &Self) -> Self {
+        assert!(!m.is_zero(), "modulus must be non-zero");
+        if let Some(ctx) = MontgomeryCtx::new(m) {
+            return ctx.mod_pow(self, exp);
+        }
+        self.mod_pow_schoolbook(exp, m)
+    }
+
+    /// `self^exp mod m` by plain square-and-multiply with full division
+    /// at every step.
+    ///
+    /// Kept as the reference implementation: the Montgomery fast path is
+    /// fuzz-tested for bit-identical results against this routine, and even
+    /// moduli (where Montgomery reduction is undefined) still use it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_pow_schoolbook(&self, exp: &Self, m: &Self) -> Self {
         assert!(!m.is_zero(), "modulus must be non-zero");
         if m.is_one() {
             return Self::zero();
@@ -579,6 +610,161 @@ fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
                 (!sa, b.1.sub(&a.1))
             }
         }
+    }
+}
+
+/// Precomputed Montgomery-reduction context for a fixed odd modulus.
+///
+/// Montgomery arithmetic replaces the full division after every modular
+/// multiplication with shifts and adds against `R = 2^(64·k)` (where `k` is
+/// the limb count of the modulus). It requires `gcd(n, R) = 1`, which for a
+/// power-of-two `R` means `n` must be odd — true for every RSA modulus
+/// (product of odd primes) and for the secp256k1 field prime and group
+/// order. [`MontgomeryCtx::new`] returns `None` for even or trivial moduli
+/// so callers can fall back to schoolbook reduction.
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx {
+    /// The (odd, > 1) modulus.
+    n: BigUint,
+    /// Limb count of `n`; all Montgomery residues use this width.
+    k: usize,
+    /// `-n^{-1} mod 2^64`, the per-word reduction factor `n'`.
+    n0inv: u64,
+    /// `R^2 mod n`, used to convert into Montgomery form.
+    r2: BigUint,
+    /// `R mod n`, i.e. `1` in Montgomery form.
+    r1: BigUint,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for `n`, or `None` if `n` is even or `<= 1`
+    /// (Montgomery reduction needs `gcd(n, 2^64) = 1`).
+    pub fn new(n: &BigUint) -> Option<Self> {
+        if !n.is_odd() || n.is_one() {
+            return None;
+        }
+        let k = n.limbs.len();
+        // Newton iteration for the inverse of n[0] mod 2^64: each step
+        // doubles the number of correct low bits, and the odd seed is
+        // already correct mod 8 (x*x ≡ 1 mod 8 for odd x), so five steps
+        // reach 96 ≥ 64 bits.
+        let n0 = n.limbs[0];
+        let mut inv = n0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0inv = inv.wrapping_neg();
+        let r1 = BigUint::one().shl(64 * k).rem(n);
+        let r2 = r1.mul_mod(&r1, n);
+        Some(MontgomeryCtx {
+            n: n.clone(),
+            k,
+            n0inv,
+            r2,
+            r1,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// CIOS (coarsely integrated operand scanning) Montgomery product:
+    /// returns `a · b · R^{-1} mod n` for residues `a, b < n`.
+    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let k = self.k;
+        let n = &self.n.limbs;
+        debug_assert!(a.limbs.len() <= k && b.limbs.len() <= k);
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            let ai = a.limbs.get(i).copied().unwrap_or(0);
+            // t += ai * b
+            let mut carry = 0u128;
+            for (tj, bj) in t[..k]
+                .iter_mut()
+                .zip(b.limbs.iter().chain(std::iter::repeat(&0)))
+            {
+                let cur = u128::from(*tj) + u128::from(ai) * u128::from(*bj) + carry;
+                *tj = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = u128::from(t[k]) + carry;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+            // m = t[0] · n' mod 2^64, then t = (t + m·n) / 2^64: adding m·n
+            // makes the low word vanish, so the divide is a word shift.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let cur = u128::from(t[0]) + u128::from(m) * u128::from(n[0]);
+            let mut carry = cur >> 64;
+            for j in 1..k {
+                let cur = u128::from(t[j]) + u128::from(m) * u128::from(n[j]) + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = u128::from(t[k]) + carry;
+            t[k - 1] = cur as u64;
+            // Running value stays < 2n < 2^(64k+1), so this sum fits a word.
+            t[k] = t[k + 1].wrapping_add((cur >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        let mut out = BigUint {
+            limbs: t[..=k].to_vec(),
+        };
+        out.normalize();
+        if out >= self.n {
+            out = out.sub(&self.n);
+        }
+        out
+    }
+
+    /// Converts `x < n` into Montgomery form (`x · R mod n`).
+    fn to_mont(&self, x: &BigUint) -> BigUint {
+        self.mont_mul(x, &self.r2)
+    }
+
+    /// Converts a Montgomery residue back to ordinary form.
+    fn demont(&self, x: &BigUint) -> BigUint {
+        self.mont_mul(x, &BigUint::one())
+    }
+
+    /// `(a · b) mod n` through one Montgomery round trip.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(&a.rem(&self.n));
+        let bm = self.to_mont(&b.rem(&self.n));
+        self.demont(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exp mod n` by a fixed 4-bit-window Montgomery ladder: a
+    /// 16-entry table of small powers, then four squarings plus at most one
+    /// table multiply per exponent nibble.
+    pub fn mod_pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            // n > 1, so 1 mod n = 1.
+            return BigUint::one();
+        }
+        let base_m = self.to_mont(&base.rem(&self.n));
+        // table[d] = base^d in Montgomery form, d in 0..16.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone());
+        for d in 1..16 {
+            table.push(self.mont_mul(&table[d - 1], &base_m));
+        }
+        let windows = exp.bit_len().div_ceil(4);
+        // The top window is non-zero by construction (it holds the highest
+        // set bit), so the accumulator starts from it directly.
+        let mut acc = table[exp.nibble(windows - 1) as usize].clone();
+        for w in (0..windows - 1).rev() {
+            for _ in 0..4 {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let d = exp.nibble(w) as usize;
+            if d != 0 {
+                acc = self.mont_mul(&acc, &table[d]);
+            }
+        }
+        self.demont(&acc)
     }
 }
 

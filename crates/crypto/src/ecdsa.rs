@@ -6,7 +6,7 @@
 
 use crate::bignum::BigUint;
 use crate::hmac::hmac_sha256;
-use crate::secp256k1::{curve, scalar_mul_base, AffinePoint, JacobianPoint};
+use crate::secp256k1::{curve, double_scalar_mul, scalar_mul_base, AffinePoint, JacobianPoint};
 use crate::sha256::sha256;
 use rand::RngCore;
 use std::fmt;
@@ -190,13 +190,15 @@ impl EcdsaPublicKey {
         };
         let u1 = z.mul_mod(&s_inv, n);
         let u2 = sig.r.mul_mod(&s_inv, n);
-        let point = JacobianPoint::from_affine(&scalar_mul_base(&u1))
-            .add(&JacobianPoint::from_affine(
-                &JacobianPoint::from_affine(&self.point)
-                    .scalar_mul(&u2)
-                    .to_affine(),
-            ))
-            .to_affine();
+        // Shamir's trick: one shared doubling chain for u1·G + u2·Q, and a
+        // single field inversion at the end instead of one per summand.
+        let point = double_scalar_mul(
+            &u1,
+            &JacobianPoint::from_affine(&curve().g),
+            &u2,
+            &JacobianPoint::from_affine(&self.point),
+        )
+        .to_affine();
         match point {
             AffinePoint::Infinity => false,
             AffinePoint::Coords { x, .. } => x.rem(n) == sig.r,

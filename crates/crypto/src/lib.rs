@@ -50,7 +50,7 @@ pub mod secp256k1;
 pub mod sha256;
 
 pub use aes::{cbc_decrypt, cbc_encrypt, Aes256};
-pub use bignum::BigUint;
+pub use bignum::{BigUint, MontgomeryCtx};
 pub use ecdsa::{EcdsaPrivateKey, EcdsaPublicKey, Signature};
 pub use ripemd160::{hash160, ripemd160};
 pub use rsa::{generate_keypair, RsaKeySize, RsaPrivateKey, RsaPublicKey};

@@ -275,11 +275,85 @@ impl fmt::Display for AffinePoint {
     }
 }
 
-/// `k·G` for the curve generator.
+/// Precomputed odd multiples per 4-bit window of the scalar:
+/// `BASE_TABLE[w][d-1] = (d · 16^w) · G` for `w ∈ 0..64`, `d ∈ 1..=15`.
+///
+/// With the table in hand, `k·G` is just one point addition per non-zero
+/// nibble of `k` (≤ 64 additions, no doublings at all) instead of 256
+/// doublings plus ~128 additions for plain double-and-add. Built lazily on
+/// first use — the simulator's deterministic runs never pay for it unless
+/// they sign or verify.
+static BASE_TABLE: OnceLock<Vec<[JacobianPoint; 15]>> = OnceLock::new();
+
+fn base_table() -> &'static [[JacobianPoint; 15]] {
+    BASE_TABLE.get_or_init(|| {
+        let mut window_base = JacobianPoint::from_affine(&curve().g);
+        let mut table = Vec::with_capacity(64);
+        for _ in 0..64 {
+            let mut multiples = Vec::with_capacity(15);
+            let mut acc = window_base.clone();
+            for _ in 0..15 {
+                multiples.push(acc.clone());
+                acc = acc.add(&window_base);
+            }
+            // After the loop `acc = 16·window_base`, the next window's base.
+            let row: [JacobianPoint; 15] = multiples.try_into().expect("exactly 15 entries");
+            table.push(row);
+            window_base = acc;
+        }
+        table
+    })
+}
+
+/// `k·G` for the curve generator, via the fixed-window [`BASE_TABLE`].
+///
+/// Scalars wider than 256 bits (wider than the table) fall back to generic
+/// double-and-add; callers normally reduce mod `n` first anyway.
 pub fn scalar_mul_base(k: &BigUint) -> AffinePoint {
-    JacobianPoint::from_affine(&curve().g)
-        .scalar_mul(k)
-        .to_affine()
+    if k.is_zero() {
+        return AffinePoint::Infinity;
+    }
+    if k.bit_len() > 256 {
+        return JacobianPoint::from_affine(&curve().g)
+            .scalar_mul(k)
+            .to_affine();
+    }
+    let table = base_table();
+    let mut acc = JacobianPoint::infinity();
+    for (w, row) in table.iter().enumerate().take(k.bit_len().div_ceil(4)) {
+        let d = k.nibble(w) as usize;
+        if d != 0 {
+            acc = acc.add(&row[d - 1]);
+        }
+    }
+    acc.to_affine()
+}
+
+/// Shamir's trick: `k1·P1 + k2·P2` with one shared doubling chain.
+///
+/// Precomputes `P1 + P2` and walks both scalars' bits together — 256
+/// doublings plus at most one addition per bit, versus two full scalar
+/// multiplications and a final add. This is the ECDSA-verify hot path
+/// (`u1·G + u2·Q`).
+pub fn double_scalar_mul(
+    k1: &BigUint,
+    p1: &JacobianPoint,
+    k2: &BigUint,
+    p2: &JacobianPoint,
+) -> JacobianPoint {
+    let sum = p1.add(p2);
+    let bits = k1.bit_len().max(k2.bit_len());
+    let mut acc = JacobianPoint::infinity();
+    for i in (0..bits).rev() {
+        acc = acc.double();
+        match (k1.bit(i), k2.bit(i)) {
+            (true, true) => acc = acc.add(&sum),
+            (true, false) => acc = acc.add(p1),
+            (false, true) => acc = acc.add(p2),
+            (false, false) => {}
+        }
+    }
+    acc
 }
 
 #[cfg(test)]

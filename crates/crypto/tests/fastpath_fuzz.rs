@@ -1,0 +1,172 @@
+//! Randomized equivalence tests for the validation fast path.
+//!
+//! The Montgomery modexp and the windowed / Shamir scalar multiplication
+//! are pure speedups: for every input they must produce bit-identical
+//! results to the schoolbook routines they replaced. These tests pin that
+//! equivalence over seeded random inputs plus the edge cases that tend to
+//! break fixed-window ladders (zero, one, exponent zero, scalars at and
+//! past the group order).
+
+use bcwan_crypto::secp256k1::{curve, double_scalar_mul, JacobianPoint};
+use bcwan_crypto::{BigUint, MontgomeryCtx};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn random_biguint(rng: &mut StdRng, bits: usize) -> BigUint {
+    let bytes = bits.div_ceil(8);
+    let mut buf = vec![0u8; bytes];
+    rng.fill_bytes(&mut buf);
+    // Mask the top byte so the value has at most `bits` bits.
+    let extra = bytes * 8 - bits;
+    if extra > 0 {
+        buf[0] &= 0xff >> extra;
+    }
+    BigUint::from_bytes_be(&buf)
+}
+
+fn random_odd_modulus(rng: &mut StdRng, bits: usize) -> BigUint {
+    let mut m = random_biguint(rng, bits);
+    if m.is_zero() || m == BigUint::one() {
+        m = BigUint::from_u64(3);
+    }
+    if m.bit(0) {
+        m
+    } else {
+        m.add(&BigUint::one())
+    }
+}
+
+#[test]
+fn montgomery_mul_mod_matches_schoolbook() {
+    let mut rng = StdRng::seed_from_u64(0xb1ff);
+    for round in 0..200 {
+        let bits = 64 + (round % 8) * 64; // 64..512 bit moduli
+        let m = random_odd_modulus(&mut rng, bits);
+        let ctx = MontgomeryCtx::new(&m).expect("odd modulus > 1");
+        // Operands deliberately allowed to exceed the modulus.
+        let a = random_biguint(&mut rng, bits + 32);
+        let b = random_biguint(&mut rng, bits + 32);
+        assert_eq!(
+            ctx.mul_mod(&a, &b),
+            a.mul_mod(&b, &m),
+            "round {round}: mul_mod diverged for {bits}-bit modulus"
+        );
+    }
+}
+
+#[test]
+fn montgomery_mod_pow_matches_schoolbook() {
+    let mut rng = StdRng::seed_from_u64(0xf00d);
+    for round in 0..60 {
+        let bits = 64 + (round % 8) * 64;
+        let m = random_odd_modulus(&mut rng, bits);
+        let base = random_biguint(&mut rng, bits + 16);
+        let exp = random_biguint(&mut rng, 1 + round % 192);
+        assert_eq!(
+            base.mod_pow(&exp, &m),
+            base.mod_pow_schoolbook(&exp, &m),
+            "round {round}: mod_pow diverged for {bits}-bit modulus"
+        );
+    }
+}
+
+#[test]
+fn montgomery_mod_pow_edge_cases() {
+    let m = BigUint::from_u64(0xffff_ffff_ffff_ffc5); // odd 64-bit value
+    let cases = [
+        (BigUint::zero(), BigUint::from_u64(17)),
+        (BigUint::one(), BigUint::from_u64(12345)),
+        (BigUint::from_u64(2), BigUint::zero()), // x^0 == 1
+        (BigUint::zero(), BigUint::zero()),      // 0^0 == 1 by convention
+        (m.clone(), BigUint::from_u64(3)),       // base ≡ 0 mod m
+    ];
+    for (base, exp) in &cases {
+        assert_eq!(base.mod_pow(exp, &m), base.mod_pow_schoolbook(exp, &m));
+    }
+    // Smallest supported modulus.
+    let three = BigUint::from_u64(3);
+    for b in 0..6u64 {
+        let base = BigUint::from_u64(b);
+        let exp = BigUint::from_u64(b + 1);
+        assert_eq!(
+            base.mod_pow(&exp, &three),
+            base.mod_pow_schoolbook(&exp, &three)
+        );
+    }
+    // Even moduli must still work (schoolbook fallback path).
+    let even = BigUint::from_u64(1 << 20);
+    let base = BigUint::from_u64(0xdead_beef);
+    let exp = BigUint::from_u64(77);
+    assert_eq!(
+        base.mod_pow(&exp, &even),
+        base.mod_pow_schoolbook(&exp, &even)
+    );
+    assert!(MontgomeryCtx::new(&even).is_none());
+}
+
+/// Reference scalar multiplication: plain MSB-first double-and-add,
+/// independent of both the windowed base table and Shamir's trick.
+fn scalar_mul_reference(k: &BigUint, p: &JacobianPoint) -> JacobianPoint {
+    let mut acc = JacobianPoint::infinity();
+    for i in (0..k.bit_len()).rev() {
+        acc = acc.double();
+        if k.bit(i) {
+            acc = acc.add(p);
+        }
+    }
+    acc
+}
+
+#[test]
+fn windowed_base_mul_matches_double_and_add() {
+    let c = curve();
+    let g = JacobianPoint::from_affine(&c.g);
+    let mut rng = StdRng::seed_from_u64(0xecc);
+
+    let mut cases: Vec<BigUint> = vec![
+        BigUint::zero(),
+        BigUint::one(),
+        BigUint::from_u64(2),
+        BigUint::from_u64(15),
+        BigUint::from_u64(16),
+        c.n.sub(&BigUint::one()),
+        c.n.clone(),
+        c.n.add(&BigUint::from_u64(7)),
+        c.n.add(&c.n),
+    ];
+    for bits in [1, 4, 5, 63, 64, 65, 128, 255, 256] {
+        cases.push(random_biguint(&mut rng, bits));
+    }
+    for k in &cases {
+        let fast = bcwan_crypto::secp256k1::scalar_mul_base(k);
+        let slow = scalar_mul_reference(k, &g).to_affine();
+        assert_eq!(fast, slow, "scalar_mul_base diverged for k={k:?}");
+    }
+}
+
+#[test]
+fn shamir_double_mul_matches_separate_muls() {
+    let c = curve();
+    let g = JacobianPoint::from_affine(&c.g);
+    let mut rng = StdRng::seed_from_u64(0x54a3);
+
+    for round in 0..24 {
+        // A random second point: q = d·G for random d.
+        let d = random_biguint(&mut rng, 256);
+        let q = JacobianPoint::from_affine(&c.g).scalar_mul(&d);
+        let k1 = match round % 4 {
+            0 => BigUint::zero(),
+            1 => random_biguint(&mut rng, 1 + round * 10),
+            _ => random_biguint(&mut rng, 256),
+        };
+        let k2 = match round % 3 {
+            0 => BigUint::zero(),
+            _ => random_biguint(&mut rng, 256),
+        };
+        let fast = double_scalar_mul(&k1, &g, &k2, &q).to_affine();
+        let slow = scalar_mul_reference(&k1, &g)
+            .add(&scalar_mul_reference(&k2, &q))
+            .to_affine();
+        assert_eq!(fast, slow, "round {round}: double_scalar_mul diverged");
+    }
+}
