@@ -36,6 +36,10 @@ pub struct Daemon {
     pub relay: RelayState,
     busy_until: SimTime,
     stats: DaemonStats,
+    /// Transactions confirmed by the last main-chain-changing block.
+    last_connected: Vec<Transaction>,
+    /// Transactions disconnected by the last reorg.
+    last_disconnected: Vec<Transaction>,
 }
 
 impl std::fmt::Debug for Daemon {
@@ -60,6 +64,8 @@ impl Daemon {
             relay: RelayState::new(),
             busy_until: SimTime::ZERO,
             stats: DaemonStats::default(),
+            last_connected: Vec::new(),
+            last_disconnected: Vec::new(),
         }
     }
 
@@ -125,14 +131,73 @@ impl Daemon {
         let done = self.occupy(now, stall);
         let transactions = block.transactions.clone();
         let result = self.chain.add_block(block);
-        if matches!(
-            result,
-            Ok(BlockAction::Extended(_)) | Ok(BlockAction::Reorganized { .. })
-        ) {
-            self.stats.blocks_accepted += 1;
-            self.mempool.remove_confirmed(&transactions);
+        match result {
+            Ok(BlockAction::Extended(_)) => {
+                self.stats.blocks_accepted += 1;
+                self.mempool.remove_confirmed(&transactions);
+                self.last_connected = transactions;
+                self.last_disconnected = Vec::new();
+            }
+            Ok(BlockAction::Reorganized { .. }) => {
+                self.stats.blocks_accepted += 1;
+                let info = self.chain.take_last_reorg().unwrap_or_default();
+                self.repair_mempool_after_reorg(&info);
+                self.last_connected = info.connected_txs;
+                self.last_disconnected = info.disconnected_txs;
+            }
+            _ => {}
         }
         (done, result)
+    }
+
+    /// Brings the mempool back in line with a reorganized chain — the
+    /// discipline Bitcoin Core applies on every reorg:
+    ///
+    /// 1. evict pool entries the new branch confirmed (or that conflict
+    ///    with what it confirmed),
+    /// 2. resubmit transactions the old branch confirmed but the new one
+    ///    did not (oldest first, so parents precede children), forgetting
+    ///    their relay ids so a network re-broadcast can propagate,
+    /// 3. sweep out anything left whose inputs the new UTXO view no
+    ///    longer supplies.
+    fn repair_mempool_after_reorg(&mut self, info: &bcwan_chain::ReorgInfo) {
+        self.mempool.remove_confirmed(&info.connected_txs);
+        let height = self.chain.height();
+        for tx in &info.disconnected_txs {
+            self.relay.forget(&tx.txid().0);
+            let _ = self.mempool.insert(
+                tx.clone(),
+                self.chain.utxo(),
+                height + 1,
+                self.chain.params(),
+            );
+        }
+        self.mempool
+            .evict_invalid(self.chain.utxo(), height + 1, self.chain.params());
+    }
+
+    /// Non-coinbase transactions the last accepted block (or reorg
+    /// branch) confirmed. Refreshed on every `accept_block` that changes
+    /// the main chain; empty after rejected/side blocks.
+    pub fn last_connected_txs(&self) -> &[Transaction] {
+        &self.last_connected
+    }
+
+    /// Transactions the last accepted block disconnected (reorgs only).
+    pub fn last_disconnected_txs(&self) -> &[Transaction] {
+        &self.last_disconnected
+    }
+
+    /// Models a crash-restart: durable state (the chain) survives,
+    /// volatile state (mempool contents, relay dedup filters, queue
+    /// backlog) is lost. Returns how many pooled transactions vanished.
+    pub fn crash_restart(&mut self, now: SimTime) -> usize {
+        let lost = self.mempool.clear();
+        self.relay = RelayState::new();
+        self.busy_until = now;
+        self.last_connected = Vec::new();
+        self.last_disconnected = Vec::new();
+        lost
     }
 }
 

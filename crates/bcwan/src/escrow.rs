@@ -56,12 +56,42 @@ pub fn build_escrow(
     fee: u64,
     current_height: u64,
 ) -> Escrow {
+    build_escrow_with_delta(
+        wallet,
+        coins,
+        e_pk,
+        gateway_address,
+        reward,
+        fee,
+        current_height,
+        REFUND_DELTA,
+    )
+}
+
+/// [`build_escrow`] with an explicit refund delta instead of the paper's
+/// fixed 100 blocks — short deltas let fast test chains reach the CLTV
+/// branch without mining a hundred blocks.
+///
+/// # Panics
+///
+/// Panics if the coins do not cover `reward + fee` (caller selects coins).
+#[allow(clippy::too_many_arguments)] // the build_escrow tuple plus the delta
+pub fn build_escrow_with_delta(
+    wallet: &Wallet,
+    coins: &[(OutPoint, Script, u64)],
+    e_pk: &RsaPublicKey,
+    gateway_address: &Address,
+    reward: u64,
+    fee: u64,
+    current_height: u64,
+    refund_delta: u64,
+) -> Escrow {
     let total: u64 = coins.iter().map(|(_, _, v)| v).sum();
     assert!(
         total >= reward + fee,
         "escrow coins {total} cannot cover reward {reward} + fee {fee}"
     );
-    let refund_height = current_height + REFUND_DELTA;
+    let refund_height = current_height + refund_delta;
     let script =
         ephemeral_key_release(e_pk, &gateway_address.0, &wallet.address().0, refund_height);
     let mut outputs = vec![TxOut {

@@ -1,0 +1,395 @@
+//! The per-exchange fault-tolerance state machine.
+//!
+//! Every Fig. 3 exchange progresses through named phases; the machine
+//! makes the legal transitions explicit, drives per-phase deadlines
+//! (bounded retry with exponential backoff for delivery, an unbounded
+//! settlement watchdog for published escrows), and survives reorgs: a
+//! claim or refund that confirms can be *orphaned* back to
+//! [`Phase::Escrowed`], after which the watchdog re-broadcasts until the
+//! chain settles it again.
+//!
+//! ```text
+//!                 Sealed        Delivered      EscrowPublished
+//!   Created ───────────▶ Sealed ────────▶ Delivered ─────────▶ Escrowed
+//!      │                   │                  │                 │     ▲▲
+//!      │ Abort             │ Abort            │ Abort           │     ││
+//!      ▼                   ▼                  ▼   ClaimConfirmed│     ││ClaimOrphaned
+//!   Abandoned ◀────────────┴──────────────────┘      ┌──────────┤     ││
+//!                                                    ▼          ▼     ││RefundOrphaned
+//!                                                 Claimed    Refunded ┘│
+//!                                                    └─────────────────┘
+//! ```
+//!
+//! `Escrowed` deliberately has **no** `Abort` edge: once coins sit in the
+//! Listing 1 output, the only exits are on-chain (the gateway's claim or
+//! the recipient's CLTV refund). Abandoning there would strand value,
+//! which the chaos soak's conservation invariant would flag.
+
+use bcwan_sim::{SimDuration, SimTime};
+
+/// Named lifecycle phases of one exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The sensor fired; radio negotiation (request/key/data) under way.
+    Created,
+    /// The node sealed the reading; the gateway holds the uplink and is
+    /// delivering it to the recipient over the WAN.
+    Sealed,
+    /// The recipient verified the uplink (Fig. 3 step 8) and is building
+    /// the escrow.
+    Delivered,
+    /// The escrow transaction is published; settlement is now the
+    /// chain's business (claim or refund).
+    Escrowed,
+    /// The gateway's claim confirmed: the key is public, the reward paid.
+    Claimed,
+    /// The recipient's CLTV refund confirmed: the gateway never claimed.
+    Refunded,
+    /// The exchange died before any money moved (radio exhaustion,
+    /// verification failure, delivery retries exhausted).
+    Abandoned,
+}
+
+/// Events that move an exchange between phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmEvent {
+    /// The node sealed and transmitted the reading to the gateway.
+    Sealed,
+    /// The recipient verified the delivery.
+    Delivered,
+    /// The recipient published the escrow transaction.
+    EscrowPublished,
+    /// A block confirmed the gateway's claim.
+    ClaimConfirmed,
+    /// A block confirmed the recipient's refund.
+    RefundConfirmed,
+    /// A reorg disconnected the block holding the claim.
+    ClaimOrphaned,
+    /// A reorg disconnected the block holding the refund.
+    RefundOrphaned,
+    /// The exchange is given up (only legal before money moved).
+    Abort,
+}
+
+/// An attempted transition that the machine does not allow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// The phase the machine was in.
+    pub from: Phase,
+    /// The event that does not apply there.
+    pub event: FsmEvent,
+}
+
+impl std::fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event {:?} is illegal in phase {:?}",
+            self.event, self.from
+        )
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+/// Exponential-backoff retry schedule for one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Ceiling the doubling never exceeds.
+    pub max: SimDuration,
+    /// Retries allowed before the phase gives up (`u32::MAX` = never).
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based): `base · 2ⁿ`,
+    /// capped at `max`.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64 << attempt.min(16);
+        let raw = self.base.as_secs_f64() * factor as f64;
+        SimDuration::from_secs_f64(raw.min(self.max.as_secs_f64()))
+    }
+
+    /// Whether `attempt` retries exhaust the budget.
+    pub fn exhausted(&self, attempt: u32) -> bool {
+        attempt >= self.max_retries
+    }
+}
+
+/// Deadline configuration for the machine's driven phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsmConfig {
+    /// Re-delivery schedule while `Sealed` (gateway → recipient): bounded,
+    /// so a dead recipient eventually abandons the exchange.
+    pub deliver_retry: RetryPolicy,
+    /// Settlement watchdog while `Escrowed`: re-broadcasts vanished
+    /// escrow/claim transactions and drives the CLTV refund. Unbounded —
+    /// escrowed money must terminate on chain.
+    pub settle_check: RetryPolicy,
+}
+
+impl Default for FsmConfig {
+    fn default() -> Self {
+        FsmConfig {
+            deliver_retry: RetryPolicy {
+                base: SimDuration::from_secs(5),
+                max: SimDuration::from_secs(40),
+                max_retries: 4,
+            },
+            settle_check: RetryPolicy {
+                base: SimDuration::from_secs(10),
+                max: SimDuration::from_secs(60),
+                max_retries: u32::MAX,
+            },
+        }
+    }
+}
+
+/// The state machine for one exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeFsm {
+    phase: Phase,
+    /// When the current phase was entered.
+    entered_at: SimTime,
+    /// When the current deadline window was armed: phase entry, or the
+    /// last retry. Anchoring here (not at phase entry) keeps capped
+    /// backoff from scheduling deadlines in the past once a phase has
+    /// outlived its maximum backoff.
+    armed_at: SimTime,
+    /// Retries burned inside the current phase.
+    retries: u32,
+    /// Monotonic stamp bumped on every transition *and* retry; scheduled
+    /// deadline events carry the stamp they were armed with, so a stale
+    /// deadline (the phase moved on) is recognizably dead on arrival.
+    seq: u32,
+}
+
+impl ExchangeFsm {
+    /// A fresh machine in [`Phase::Created`].
+    pub fn new(now: SimTime) -> Self {
+        ExchangeFsm {
+            phase: Phase::Created,
+            entered_at: now,
+            armed_at: now,
+            retries: 0,
+            seq: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// When the current phase was entered.
+    pub fn entered_at(&self) -> SimTime {
+        self.entered_at
+    }
+
+    /// Retries burned inside the current phase.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// The current deadline stamp (see the field docs).
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// Whether the machine reached a phase that needs no further driving.
+    /// `Claimed`/`Refunded` can still be orphaned back by a reorg, so
+    /// "settled" is only final once mining stops.
+    pub fn is_settled(&self) -> bool {
+        matches!(
+            self.phase,
+            Phase::Claimed | Phase::Refunded | Phase::Abandoned
+        )
+    }
+
+    /// Whether money sits in an escrow output that the chain has not yet
+    /// definitively claimed or refunded.
+    pub fn money_at_stake(&self) -> bool {
+        matches!(
+            self.phase,
+            Phase::Escrowed | Phase::Claimed | Phase::Refunded
+        )
+    }
+
+    /// Applies `event` at `now`, returning the phase entered.
+    ///
+    /// # Errors
+    ///
+    /// [`IllegalTransition`] when `event` has no edge out of the current
+    /// phase; the machine is left unchanged so callers can count the
+    /// violation and continue.
+    pub fn apply(&mut self, event: FsmEvent, now: SimTime) -> Result<Phase, IllegalTransition> {
+        use FsmEvent as E;
+        use Phase as P;
+        let next = match (self.phase, event) {
+            (P::Created, E::Sealed) => P::Sealed,
+            (P::Sealed, E::Delivered) => P::Delivered,
+            (P::Delivered, E::EscrowPublished) => P::Escrowed,
+            (P::Escrowed, E::ClaimConfirmed) => P::Claimed,
+            (P::Escrowed, E::RefundConfirmed) => P::Refunded,
+            (P::Claimed, E::ClaimOrphaned) => P::Escrowed,
+            (P::Refunded, E::RefundOrphaned) => P::Escrowed,
+            (P::Created | P::Sealed | P::Delivered, E::Abort) => P::Abandoned,
+            (from, event) => return Err(IllegalTransition { from, event }),
+        };
+        self.phase = next;
+        self.entered_at = now;
+        self.armed_at = now;
+        self.retries = 0;
+        self.seq = self.seq.wrapping_add(1);
+        Ok(next)
+    }
+
+    /// Records one retry in the current phase at `now` (re-arming the
+    /// deadline from there), returning the new stamp.
+    pub fn note_retry(&mut self, now: SimTime) -> u32 {
+        self.retries += 1;
+        self.armed_at = now;
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+
+    /// The next deadline for the current phase under `cfg`, with the
+    /// stamp a deadline event must carry. `None` for phases that are not
+    /// deadline-driven.
+    pub fn deadline(&self, cfg: &FsmConfig) -> Option<(SimTime, u32)> {
+        let policy = match self.phase {
+            Phase::Sealed => &cfg.deliver_retry,
+            Phase::Escrowed => &cfg.settle_check,
+            _ => return None,
+        };
+        Some((self.armed_at + policy.backoff(self.retries), self.seq))
+    }
+
+    /// Whether the phase's retry budget is spent under `cfg`.
+    pub fn retries_exhausted(&self, cfg: &FsmConfig) -> bool {
+        match self.phase {
+            Phase::Sealed => cfg.deliver_retry.exhausted(self.retries),
+            Phase::Escrowed => cfg.settle_check.exhausted(self.retries),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn happy_path_claim() {
+        let mut fsm = ExchangeFsm::new(t(0));
+        for (event, phase) in [
+            (FsmEvent::Sealed, Phase::Sealed),
+            (FsmEvent::Delivered, Phase::Delivered),
+            (FsmEvent::EscrowPublished, Phase::Escrowed),
+            (FsmEvent::ClaimConfirmed, Phase::Claimed),
+        ] {
+            assert_eq!(fsm.apply(event, t(1)).unwrap(), phase);
+        }
+        assert!(fsm.is_settled());
+        assert!(fsm.money_at_stake());
+    }
+
+    #[test]
+    fn refund_path_and_orphan_recovery() {
+        let mut fsm = ExchangeFsm::new(t(0));
+        fsm.apply(FsmEvent::Sealed, t(1)).unwrap();
+        fsm.apply(FsmEvent::Delivered, t(2)).unwrap();
+        fsm.apply(FsmEvent::EscrowPublished, t(3)).unwrap();
+        // A claim confirms, is orphaned by a reorg, and the escrow then
+        // settles through the refund branch instead.
+        fsm.apply(FsmEvent::ClaimConfirmed, t(4)).unwrap();
+        assert_eq!(
+            fsm.apply(FsmEvent::ClaimOrphaned, t(5)).unwrap(),
+            Phase::Escrowed
+        );
+        assert!(!fsm.is_settled());
+        fsm.apply(FsmEvent::RefundConfirmed, t(6)).unwrap();
+        assert_eq!(fsm.phase(), Phase::Refunded);
+        // And a refund can be orphaned right back.
+        fsm.apply(FsmEvent::RefundOrphaned, t(7)).unwrap();
+        assert_eq!(fsm.phase(), Phase::Escrowed);
+    }
+
+    #[test]
+    fn escrowed_cannot_abort() {
+        let mut fsm = ExchangeFsm::new(t(0));
+        fsm.apply(FsmEvent::Sealed, t(1)).unwrap();
+        assert_eq!(fsm.apply(FsmEvent::Abort, t(2)).unwrap(), Phase::Abandoned);
+
+        let mut fsm = ExchangeFsm::new(t(0));
+        fsm.apply(FsmEvent::Sealed, t(1)).unwrap();
+        fsm.apply(FsmEvent::Delivered, t(2)).unwrap();
+        fsm.apply(FsmEvent::EscrowPublished, t(3)).unwrap();
+        let err = fsm.apply(FsmEvent::Abort, t(4)).unwrap_err();
+        assert_eq!(err.from, Phase::Escrowed);
+        assert_eq!(fsm.phase(), Phase::Escrowed, "machine unchanged");
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut fsm = ExchangeFsm::new(t(0));
+        assert!(fsm.apply(FsmEvent::ClaimConfirmed, t(1)).is_err());
+        assert!(fsm.apply(FsmEvent::Delivered, t(1)).is_err());
+        assert_eq!(fsm.phase(), Phase::Created);
+    }
+
+    #[test]
+    fn deadlines_and_backoff() {
+        let cfg = FsmConfig::default();
+        let mut fsm = ExchangeFsm::new(t(0));
+        assert!(fsm.deadline(&cfg).is_none(), "Created is not driven");
+        fsm.apply(FsmEvent::Sealed, t(10)).unwrap();
+        let (d0, s0) = fsm.deadline(&cfg).unwrap();
+        assert_eq!(d0, t(15), "base 5 s");
+        fsm.note_retry(t(15));
+        let (d1, s1) = fsm.deadline(&cfg).unwrap();
+        assert_eq!(d1, t(25), "doubled to 10 s, anchored at the retry");
+        assert_ne!(s0, s1, "retry re-stamps the deadline");
+        fsm.note_retry(t(25));
+        fsm.note_retry(t(45));
+        fsm.note_retry(t(85));
+        let (d4, _) = fsm.deadline(&cfg).unwrap();
+        assert_eq!(d4, t(125), "capped at 40 s");
+        assert!(fsm.retries_exhausted(&cfg), "4 retries = budget spent");
+    }
+
+    #[test]
+    fn settle_watchdog_is_unbounded() {
+        let cfg = FsmConfig::default();
+        let mut fsm = ExchangeFsm::new(t(0));
+        fsm.apply(FsmEvent::Sealed, t(1)).unwrap();
+        fsm.apply(FsmEvent::Delivered, t(2)).unwrap();
+        fsm.apply(FsmEvent::EscrowPublished, t(3)).unwrap();
+        for i in 0..1000 {
+            fsm.note_retry(t(3 + i));
+        }
+        assert!(!fsm.retries_exhausted(&cfg));
+        let (deadline, _) = fsm.deadline(&cfg).unwrap();
+        assert_eq!(
+            deadline,
+            t(1002 + 60),
+            "capped at 60 s past the last retry — always in the future"
+        );
+    }
+
+    #[test]
+    fn stale_deadline_stamps_detectable() {
+        let cfg = FsmConfig::default();
+        let mut fsm = ExchangeFsm::new(t(0));
+        fsm.apply(FsmEvent::Sealed, t(1)).unwrap();
+        let (_, stamp) = fsm.deadline(&cfg).unwrap();
+        fsm.apply(FsmEvent::Delivered, t(2)).unwrap();
+        assert_ne!(fsm.seq(), stamp, "transition invalidates armed deadline");
+    }
+}

@@ -17,6 +17,8 @@
 //! - [`app_server`] — the final hop of Figs. 1–2: device→application-server
 //!   routing at the recipient,
 //! - [`escrow`] — the Listing 1 escrow, claim and refund transactions,
+//! - [`fsm`] — the per-exchange fault-tolerance state machine (named
+//!   phases, per-phase deadlines, reorg-aware settlement),
 //! - [`daemon`] — the per-host chain daemon with the Multichain
 //!   block-verification **stall model** (§5.2),
 //! - [`costs`] — CPU cost table for Nucleo/Pi/VM-class hardware,
@@ -52,6 +54,7 @@ pub mod directory;
 pub mod election;
 pub mod escrow;
 pub mod exchange;
+pub mod fsm;
 pub mod net;
 pub mod provisioning;
 pub mod reputation;
@@ -62,8 +65,9 @@ pub mod world;
 pub use costs::CostModel;
 pub use daemon::{Daemon, DaemonStats};
 pub use directory::{Directory, IpAnnouncement, NetAddr};
-pub use escrow::{build_claim, build_escrow, build_refund, Escrow};
+pub use escrow::{build_claim, build_escrow, build_escrow_with_delta, build_refund, Escrow};
 pub use exchange::{open_reading, seal_reading, verify_uplink, ExchangeError, SealedUplink};
+pub use fsm::{ExchangeFsm, FsmConfig, FsmEvent, Phase, RetryPolicy};
 pub use net::{DialError, OverlayDialer, WanCodec};
 pub use provisioning::{DeviceCredentials, DeviceId, DeviceRecord, DeviceRegistry};
 pub use wire::{WanMessage, WireError};

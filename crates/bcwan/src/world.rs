@@ -17,6 +17,7 @@ use crate::daemon::Daemon;
 use crate::directory::{Directory, IpAnnouncement, NetAddr};
 use crate::escrow::{self, Escrow};
 use crate::exchange::{open_reading, seal_reading, verify_uplink, SealedUplink};
+use crate::fsm::{ExchangeFsm, FsmConfig, FsmEvent, Phase};
 use crate::provisioning::{DeviceCredentials, DeviceId, DeviceRegistry};
 use crate::wire::{WanMessage, KIND_COUNT};
 use bcwan_chain::{
@@ -29,8 +30,8 @@ use bcwan_lora::params::RadioConfig;
 use bcwan_p2p::{ChainMessage, Delivery, FaultModel, Network, NodeId, Topology};
 use bcwan_script::Script;
 use bcwan_sim::{
-    run, Actor, CounterId, EventQueue, HistogramId, LatencyModel, Registry, Series, SimDuration,
-    SimRng, SimTime, Snapshot, Tracer,
+    run, Actor, ChaosEngine, ChaosPlan, CounterId, EventQueue, HistogramId, LatencyModel, Registry,
+    Series, SimDuration, SimRng, SimTime, Snapshot, Tracer,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -80,6 +81,15 @@ pub struct WorkloadConfig {
     /// Off by default: with tracing disabled every tracer call is a
     /// single branch, keeping `World::run` within its overhead budget.
     pub tracing: bool,
+    /// Seeded fault schedule; [`ChaosPlan::none`] by default, so clean
+    /// runs take a single `is_idle` branch per chaos query.
+    pub chaos: ChaosPlan,
+    /// Per-exchange deadline and retry policy.
+    pub fsm: FsmConfig,
+    /// Blocks until the escrow's CLTV refund branch opens. The paper's
+    /// Listing 1 uses 100; chaos soaks shrink it so a withheld claim
+    /// reaches the refund branch within a short run.
+    pub refund_delta: u64,
 }
 
 impl WorkloadConfig {
@@ -104,6 +114,9 @@ impl WorkloadConfig {
             seed: 2018,
             max_sim_time: SimDuration::from_secs(24 * 3600),
             tracing: false,
+            chaos: ChaosPlan::none(),
+            fsm: FsmConfig::default(),
+            refund_delta: escrow::REFUND_DELTA,
         }
     }
 
@@ -137,12 +150,21 @@ impl WorkloadConfig {
             seed,
             max_sim_time: SimDuration::from_secs(24 * 3600),
             tracing: false,
+            chaos: ChaosPlan::none(),
+            fsm: FsmConfig::default(),
+            refund_delta: escrow::REFUND_DELTA,
         }
     }
 
     /// Enables phase tracing (builder style).
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Installs a chaos plan (builder style).
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = plan;
         self
     }
 }
@@ -182,6 +204,22 @@ pub struct ExperimentResult {
     /// Tracer phase-duration series in seconds, sorted by phase name.
     /// Empty unless [`WorkloadConfig::tracing`] was set.
     pub phases: Vec<(String, Series)>,
+    /// Escrows whose claim confirmed on the master's main chain.
+    pub escrows_claimed: usize,
+    /// Escrows whose CLTV refund confirmed instead.
+    pub escrows_refunded: usize,
+    /// Escrows still unsettled when the run ended (should be 0 unless
+    /// the `max_sim_time` wall cut the run short).
+    pub escrows_open: usize,
+    /// End-of-run invariant violations (value conservation, one-of
+    /// claim/refund settlement, FSM/chain agreement). Always 0 in a
+    /// correct implementation, chaotic or not.
+    pub invariant_violations: u64,
+    /// Total value in the master's final UTXO set.
+    pub utxo_total: u64,
+    /// Order-independent FNV fingerprint of the master's final UTXO set;
+    /// equal across same-seed reruns (determinism invariant).
+    pub utxo_fingerprint: u64,
 }
 
 /// Retransmission budget per radio frame before the exchange aborts.
@@ -209,6 +247,12 @@ enum Event {
     Wan(Delivery<WanMessage>),
     /// The master assembles and broadcasts the next block.
     MineTick,
+    /// A per-exchange FSM deadline expired. `seq` is the stamp the
+    /// deadline was armed with; a mismatch means the exchange moved on
+    /// and the event is stale.
+    FsmDeadline { exchange: usize, seq: u32 },
+    /// A crashed host comes back up (end of a chaos crash window).
+    ChaosRestart { host: u32 },
 }
 
 /// State of one in-flight exchange.
@@ -227,6 +271,13 @@ struct ExchangeState {
     /// When the recipient finished verifying the delivery (step 8).
     delivered: Option<SimTime>,
     escrow: Option<Escrow>,
+    /// The gateway's signed claim, kept for re-broadcast after a reorg
+    /// orphans it (it stays valid as long as the escrow output exists).
+    claim: Option<Transaction>,
+    /// The recipient's signed CLTV refund, once built.
+    refund: Option<Transaction>,
+    /// The lifecycle machine driving deadlines and settlement.
+    fsm: ExchangeFsm,
     done: bool,
 }
 
@@ -249,8 +300,24 @@ struct Host {
     awaiting_conf: Vec<(usize, TxId)>,
     /// Recipient side: escrow outpoint → exchange awaiting the key reveal.
     pending_open: HashMap<OutPoint, usize>,
+    /// Recipient side: escrow outpoint → exchange, kept for the whole
+    /// run so block connects/disconnects can be classified as claim,
+    /// refund, or orphaning thereof in O(inputs).
+    settle_watch: HashMap<OutPoint, usize>,
     /// Blocks whose parent has not arrived yet, keyed by parent hash.
     orphans: HashMap<bcwan_chain::BlockHash, Vec<Block>>,
+    /// When this host last asked the master for missing blocks
+    /// (rate-limits orphan-triggered sync requests).
+    last_sync_req: Option<SimTime>,
+    /// How far below the local tip the next catch-up request starts.
+    /// Doubles each time a request fails to advance the tip: after a
+    /// reorg on the master, the local tip may sit past the fork point,
+    /// so asking from `height + 1` forever would never fetch the other
+    /// branch's ancestors (a cheap stand-in for block locators).
+    sync_back: u64,
+    /// Tip height when the last catch-up request was sent, to detect
+    /// requests that made no progress.
+    last_sync_height: u64,
     /// The recipient's application servers (final hop, Figs. 1–2).
     apps: AppRouter,
     /// Host CPU (node-facing work: keygen, verification) — the radio side
@@ -302,6 +369,14 @@ struct Meters {
     wan_msgs: [CounterId; KIND_COUNT],
     wan_bytes: [CounterId; KIND_COUNT],
     latency: HistogramId,
+    /// FSM events rejected as illegal transitions (0 in a correct run).
+    illegal_transitions: CounterId,
+    /// Gateway → recipient re-deliveries driven by the Sealed deadline.
+    deliver_retries: CounterId,
+    /// Escrow/claim transactions re-broadcast by the settlement watchdog.
+    rebroadcasts: CounterId,
+    /// CLTV refunds the recipient submitted.
+    refunds_submitted: CounterId,
 }
 
 impl Meters {
@@ -314,6 +389,10 @@ impl Meters {
             wan_msgs: kinds.map(|k| reg.counter(&kind("messages", k))),
             wan_bytes: kinds.map(|k| reg.counter(&kind("bytes", k))),
             latency: reg.histogram("world.exchange_latency_seconds"),
+            illegal_transitions: reg.counter("fsm.illegal_transitions_total"),
+            deliver_retries: reg.counter("fsm.deliver_retries_total"),
+            rebroadcasts: reg.counter("fsm.rebroadcasts_total"),
+            refunds_submitted: reg.counter("fsm.refunds_submitted_total"),
         }
     }
 }
@@ -339,6 +418,7 @@ pub struct World {
     registry: Registry,
     meters: Meters,
     tracer: Tracer,
+    chaos: ChaosEngine,
 }
 
 impl World {
@@ -424,7 +504,11 @@ impl World {
                 sessions: HashMap::new(),
                 awaiting_conf: Vec::new(),
                 pending_open: HashMap::new(),
+                settle_watch: HashMap::new(),
                 orphans: HashMap::new(),
+                last_sync_req: None,
+                sync_back: 0,
+                last_sync_height: 0,
                 apps: {
                     let mut router = AppRouter::new();
                     router.register(AppServerId(0), AppServer::new("default"));
@@ -472,6 +556,7 @@ impl World {
         let mut registry = Registry::new();
         let meters = Meters::register(&mut registry);
         let tracer = Tracer::new(cfg.tracing);
+        let chaos = ChaosEngine::new(cfg.chaos.clone(), &mut registry);
 
         World {
             rng,
@@ -491,6 +576,7 @@ impl World {
             registry,
             meters,
             tracer,
+            chaos,
             cfg,
         }
     }
@@ -509,6 +595,10 @@ impl World {
         // Mining heartbeat.
         let first_block = self.next_block_delay();
         queue.schedule_in(first_block, Event::MineTick);
+        // Crash windows end in restarts.
+        for (host, at) in self.chaos.restarts() {
+            queue.schedule_at(at, Event::ChaosRestart { host });
+        }
 
         let deadline = SimTime::ZERO + self.cfg.max_sim_time;
         run(&mut self, &mut queue, Some(deadline));
@@ -602,6 +692,35 @@ impl World {
             })
             .collect();
 
+        // Settlement census + global invariants over the master's chain.
+        let (escrows_claimed, escrows_refunded, escrows_open, invariant_violations) =
+            self.check_invariants();
+        let (utxo_total, utxo_fingerprint) = {
+            let utxo = self.hosts[0].daemon.chain.utxo();
+            let total = utxo.iter().map(|(_, e)| e.output.value).sum();
+            // Order-independent: XOR of per-entry FNV-1a hashes.
+            let mut fp = 0u64;
+            for (op, entry) in utxo.iter() {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                let mut eat = |bytes: &[u8]| {
+                    for b in bytes {
+                        h ^= u64::from(*b);
+                        h = h.wrapping_mul(0x1_0000_01b3);
+                    }
+                };
+                eat(&op.txid.0);
+                eat(&op.vout.to_le_bytes());
+                eat(&entry.output.value.to_le_bytes());
+                fp ^= h;
+            }
+            (total, fp)
+        };
+        let reg = &mut self.registry;
+        reg.set_counter("world.escrows_claimed_total", escrows_claimed as u64);
+        reg.set_counter("world.escrows_refunded_total", escrows_refunded as u64);
+        reg.set_counter("world.escrows_open_total", escrows_open as u64);
+        reg.set_counter("chaos.invariant.violation_total", invariant_violations);
+
         ExperimentResult {
             completed: self.completed,
             failed: self.failed,
@@ -617,7 +736,122 @@ impl World {
             phase_settlement: self.phase_settlement,
             metrics: self.registry.snapshot(),
             phases,
+            escrows_claimed,
+            escrows_refunded,
+            escrows_open,
+            invariant_violations,
+            utxo_total,
+            utxo_fingerprint,
         }
+    }
+
+    /// End-of-run audit of the master's main chain against the FSMs:
+    ///
+    /// 1. **Conservation** — total UTXO value equals coinbase value
+    ///    minted minus fees burned (no coin created or destroyed).
+    /// 2. **Single settlement** — each escrow output is spent at most
+    ///    once, and the spender is either the claim (key-revealing) or
+    ///    the refund branch, never both (no double spend).
+    /// 3. **FSM/chain agreement** — a machine in `Claimed`/`Refunded`
+    ///    has the matching spend confirmed; a confirmed spend has its
+    ///    machine settled the same way.
+    ///
+    /// Returns `(claimed, refunded, open, violations)`.
+    fn check_invariants(&mut self) -> (usize, usize, usize, u64) {
+        let mut violations = 0u64;
+        let chain = &self.hosts[0].daemon.chain;
+
+        // Pass 1: minted vs burned, plus output values for fee lookups.
+        let mut out_values: HashMap<TxId, Vec<u64>> = HashMap::new();
+        let mut minted = 0u64;
+        let mut fees = 0u64;
+        for block in chain.iter_main() {
+            for (i, tx) in block.transactions.iter().enumerate() {
+                let out_sum: u64 = tx.outputs.iter().map(|o| o.value).sum();
+                if i == 0 {
+                    minted += out_sum;
+                } else {
+                    let in_sum: u64 = tx
+                        .inputs
+                        .iter()
+                        .map(|inp| {
+                            out_values
+                                .get(&inp.prevout.txid)
+                                .and_then(|v| v.get(inp.prevout.vout as usize))
+                                .copied()
+                                .unwrap_or(0)
+                        })
+                        .sum();
+                    fees += in_sum.saturating_sub(out_sum);
+                }
+                out_values.insert(tx.txid(), tx.outputs.iter().map(|o| o.value).collect());
+            }
+        }
+        let utxo_total: u64 = chain.utxo().iter().map(|(_, e)| e.output.value).sum();
+        if utxo_total != minted.saturating_sub(fees) {
+            violations += 1;
+            self.registry
+                .set_counter("invariant.value_conservation_violations", 1);
+        }
+
+        // Pass 2: classify every confirmed spend of an escrow outpoint.
+        let watched: HashMap<OutPoint, usize> = self
+            .exchanges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ex)| ex.escrow.as_ref().map(|e| (e.outpoint(), i)))
+            .collect();
+        // exchange → (claim spends, refund spends) seen on the main chain.
+        let mut spends: HashMap<usize, (u32, u32)> = HashMap::new();
+        for block in chain.iter_main() {
+            for tx in block.transactions.iter().skip(1) {
+                for input in &tx.inputs {
+                    if let Some(&exchange) = watched.get(&input.prevout) {
+                        let entry = spends.entry(exchange).or_default();
+                        if escrow::extract_key_from_claim(tx, &input.prevout).is_some() {
+                            entry.0 += 1;
+                        } else {
+                            entry.1 += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut claimed = 0usize;
+        let mut refunded = 0usize;
+        let mut open = 0usize;
+        for (i, ex) in self.exchanges.iter().enumerate() {
+            if ex.escrow.is_none() {
+                continue;
+            }
+            let (claims, refunds) = spends.get(&i).copied().unwrap_or((0, 0));
+            if claims + refunds > 1 {
+                violations += 1; // double settlement: impossible on a valid chain
+            }
+            let phase = ex.fsm.phase();
+            match (claims, refunds) {
+                (1, 0) => {
+                    claimed += 1;
+                    if phase != Phase::Claimed {
+                        violations += 1;
+                    }
+                }
+                (0, 1) => {
+                    refunded += 1;
+                    if phase != Phase::Refunded {
+                        violations += 1;
+                    }
+                }
+                _ => {
+                    open += 1;
+                    if ex.fsm.is_settled() {
+                        violations += 1; // FSM settled but chain disagrees
+                    }
+                }
+            }
+        }
+        (claimed, refunded, open, violations)
     }
 
     fn next_block_delay(&mut self) -> SimDuration {
@@ -632,10 +866,50 @@ impl World {
     /// Floods a chain message from `from` to all its peers.
     fn flood(&mut self, queue: &mut EventQueue<Event>, at: SimTime, from: u32, msg: &WanMessage) {
         let deliveries = self.network.broadcast(&mut self.rng, NodeId(from), msg);
-        self.count_wan(msg, deliveries.len());
+        // Chaos: block propagation can be artificially delayed.
+        let extra = if self.chaos.is_idle() {
+            SimDuration::ZERO
+        } else if matches!(msg, WanMessage::Chain(ChainMessage::Block(_))) {
+            let d = self.chaos.block_delay(at);
+            if d > SimDuration::ZERO {
+                self.registry.inc(self.chaos.meters().blocks_delayed);
+            }
+            d
+        } else {
+            SimDuration::ZERO
+        };
+        let mut copies = 0;
         for (delay, delivery) in deliveries {
-            queue.schedule_at(at + delay, Event::Wan(delivery));
+            if self.chaos_drops(at, from, delivery.to.0) {
+                continue;
+            }
+            copies += 1;
+            queue.schedule_at(at + delay + extra, Event::Wan(delivery));
         }
+        self.count_wan(msg, copies);
+    }
+
+    /// Whether chaos kills a message on the `from → to` overlay link at
+    /// `at` (crashed endpoint, partition cut, or an armed connection
+    /// kill). Counts the drop it attributes.
+    fn chaos_drops(&mut self, at: SimTime, from: u32, to: u32) -> bool {
+        if self.chaos.is_idle() {
+            return false;
+        }
+        let meters = self.chaos.meters();
+        if self.chaos.host_down(from, at) || self.chaos.host_down(to, at) {
+            self.registry.inc(meters.crash_drops);
+            return true;
+        }
+        if self.chaos.partitioned(from, to, at) {
+            self.registry.inc(meters.partition_drops);
+            return true;
+        }
+        if self.chaos.take_conn_kill(from, to, at) {
+            self.registry.inc(meters.conn_kills);
+            return true;
+        }
+        false
     }
 
     /// Accounts `copies` transmissions of `msg` by kind.
@@ -663,16 +937,29 @@ impl World {
             self.network
                 .transmit_reliable(&mut self.rng, NodeId(from), NodeId(to), msg)
         {
+            if self.chaos_drops(at, from, to) {
+                return;
+            }
             self.count_wan(&delivery.msg, 1);
             queue.schedule_at(at + delay, Event::Wan(delivery));
         }
     }
 
-    /// Samples LoRa frame loss.
-    fn frame_lost(&mut self) -> bool {
-        let lost = self.rng.chance(self.cfg.lora_loss_probability);
+    /// Samples LoRa frame loss (chaos bursts override the base rate when
+    /// stronger).
+    fn frame_lost(&mut self, now: SimTime) -> bool {
+        let base = self.cfg.lora_loss_probability;
+        let boost = if self.chaos.is_idle() {
+            0.0
+        } else {
+            self.chaos.lora_loss_boost(now)
+        };
+        let lost = self.rng.chance(base.max(boost));
         if lost {
             self.registry.inc(self.meters.frames_lost);
+            if boost > base {
+                self.registry.inc(self.chaos.meters().lora_drops);
+            }
         }
         lost
     }
@@ -688,7 +975,7 @@ impl World {
         let request_air = self.airtime(28);
         self.tracer
             .span_start("request_uplink", exchange as u64, now);
-        if !self.frame_lost() {
+        if !self.frame_lost(now) {
             queue.schedule_at(now + request_air, Event::RequestArrived { exchange });
         }
         // Retry timer: downlink should be back within a couple of seconds.
@@ -707,7 +994,7 @@ impl World {
         queue: &mut EventQueue<Event>,
     ) {
         let data_air = self.airtime(160);
-        if !self.frame_lost() {
+        if !self.frame_lost(now) {
             queue.schedule_at(now + data_air, Event::DataArrived { exchange });
         }
         queue.schedule_at(
@@ -731,8 +1018,7 @@ impl World {
             return;
         }
         if attempt >= MAX_RADIO_RETRIES {
-            self.exchanges[exchange].done = true;
-            self.failed += 1;
+            self.abort_exchange(now, exchange);
             return;
         }
         self.registry.inc(self.meters.radio_retries);
@@ -752,12 +1038,33 @@ impl World {
             return;
         }
         if attempt >= MAX_RADIO_RETRIES {
-            self.exchanges[exchange].done = true;
-            self.failed += 1;
+            self.abort_exchange(now, exchange);
             return;
         }
         self.registry.inc(self.meters.radio_retries);
         self.send_data(now, exchange, attempt + 1, queue);
+    }
+
+    /// Gives up on an exchange before money moved: `Abort` is only legal
+    /// outside `Escrowed`, so an illegal call is counted, not obeyed.
+    fn abort_exchange(&mut self, now: SimTime, exchange: usize) {
+        let ex = &mut self.exchanges[exchange];
+        if ex.done {
+            return;
+        }
+        if ex.fsm.apply(FsmEvent::Abort, now).is_err() {
+            self.registry.inc(self.meters.illegal_transitions);
+            return;
+        }
+        ex.done = true;
+        self.failed += 1;
+    }
+
+    /// Arms (or re-arms) the deadline for an exchange's current phase.
+    fn arm_deadline(&mut self, exchange: usize, queue: &mut EventQueue<Event>) {
+        if let Some((at, seq)) = self.exchanges[exchange].fsm.deadline(&self.cfg.fsm) {
+            queue.schedule_at(at, Event::FsmDeadline { exchange, seq });
+        }
     }
 
     fn handle_sensor_fire(
@@ -791,6 +1098,9 @@ impl World {
                     data_accepted: false,
                     delivered: None,
                     escrow: None,
+                    claim: None,
+                    refund: None,
+                    fsm: ExchangeFsm::new(now),
                     done: false,
                 });
                 self.started += 1;
@@ -814,6 +1124,15 @@ impl World {
         exchange: usize,
         queue: &mut EventQueue<Event>,
     ) {
+        // A crashed gateway's radio does not answer; the node's timeout
+        // retries until the gateway restarts or the budget runs out.
+        if !self.chaos.is_idle() {
+            let gateway = self.exchanges[exchange].gateway;
+            if self.chaos.host_down(gateway, now) {
+                self.registry.inc(self.chaos.meters().crash_drops);
+                return;
+            }
+        }
         self.tracer.span_end("request_uplink", exchange as u64, now);
         // A retransmitted request for an existing session resends the
         // same ephemeral key instead of generating a new one.
@@ -855,7 +1174,7 @@ impl World {
             public_key: e_pk.to_bytes(),
         };
         let air = self.airtime(frame.phy_len());
-        if !self.frame_lost() {
+        if !self.frame_lost(now) {
             queue.schedule_at(now + air, Event::KeyArrived { exchange });
         }
         // A lost downlink surfaces as the node's request timeout, which
@@ -901,6 +1220,13 @@ impl World {
         if self.exchanges[exchange].data_accepted || self.exchanges[exchange].done {
             return; // duplicate of a retransmitted frame
         }
+        if !self.chaos.is_idle() {
+            let gateway = self.exchanges[exchange].gateway;
+            if self.chaos.host_down(gateway, now) {
+                self.registry.inc(self.chaos.meters().crash_drops);
+                return; // frame unheard; the node's data timeout resends
+            }
+        }
         self.exchanges[exchange].data_accepted = true;
         self.exchanges[exchange].data_at_gateway = Some(now);
         self.tracer.span_end("data_uplink", exchange as u64, now);
@@ -910,13 +1236,15 @@ impl World {
             let ex = &self.exchanges[exchange];
             (ex.gateway, ex.home)
         };
+        // The gateway now holds the sealed uplink: the FSM enters
+        // `Sealed` and the bounded re-delivery deadline starts ticking.
+        let _ = self.exchanges[exchange].fsm.apply(FsmEvent::Sealed, now);
         let lookup_cost = self.cfg.costs.directory_lookup;
         // Directory lookup (§4.3) — the home address must be known.
         let home_addr = self.hosts[home as usize].wallet.address();
         let endpoint = self.hosts[gateway as usize].directory.lookup(&home_addr);
         if endpoint.is_none() {
-            self.failed += 1;
-            self.exchanges[exchange].done = true;
+            self.abort_exchange(now, exchange);
             return;
         }
         let done = self.hosts[gateway as usize].occupy_cpu(now, lookup_cost);
@@ -927,6 +1255,7 @@ impl World {
             uplink: ex.uplink.clone().expect("present"),
         };
         self.unicast(queue, done, gateway, home, msg);
+        self.arm_deadline(exchange, queue);
     }
 
     fn handle_wan(
@@ -936,6 +1265,12 @@ impl World {
         queue: &mut EventQueue<Event>,
     ) {
         let to = delivery.to.0;
+        // A message can be in flight when its receiver crashes; it is
+        // lost on arrival, not retroactively.
+        if !self.chaos.is_idle() && self.chaos.host_down(to, now) {
+            self.registry.inc(self.chaos.meters().crash_drops);
+            return;
+        }
         match delivery.msg {
             WanMessage::Deliver {
                 device_id,
@@ -946,7 +1281,41 @@ impl World {
             WanMessage::Chain(ChainMessage::Block(block)) => {
                 self.handle_chain_block(now, to, block, queue)
             }
-            WanMessage::Chain(_) => { /* sync traffic unused in this workload */ }
+            WanMessage::Chain(ChainMessage::GetBlocksFrom(height)) => {
+                self.serve_blocks_from(now, to, delivery.from.0, height, queue)
+            }
+            WanMessage::Chain(_) => { /* GetBlock/TipAnnounce unused here */ }
+        }
+    }
+
+    /// Serves a peer's catch-up request with a bounded batch of
+    /// main-chain blocks (the §5.1 start-up sync, reused after crash
+    /// restarts and orphan gaps).
+    fn serve_blocks_from(
+        &mut self,
+        now: SimTime,
+        to: u32,
+        requester: u32,
+        height: u64,
+        queue: &mut EventQueue<Event>,
+    ) {
+        const SYNC_BATCH: usize = 32;
+        let blocks: Vec<Block> = self.hosts[to as usize]
+            .daemon
+            .chain
+            .iter_main()
+            .skip(height as usize)
+            .take(SYNC_BATCH)
+            .cloned()
+            .collect();
+        for block in blocks {
+            self.unicast(
+                queue,
+                now,
+                to,
+                requester,
+                WanMessage::Chain(ChainMessage::Block(block)),
+            );
         }
     }
 
@@ -965,10 +1334,10 @@ impl World {
             return;
         };
         // Which exchange is this? (Simulation-level bookkeeping only; the
-        // protocol itself keys on device + ephemeral key.)
+        // protocol itself keys on device + ephemeral key.) Looked up
+        // regardless of progress so a re-delivered copy is recognized.
         let Some(exchange) = self.exchanges.iter().position(|ex| {
-            !ex.done
-                && ex.home == to
+            ex.home == to
                 && ex
                     .e_pk
                     .as_ref()
@@ -977,6 +1346,11 @@ impl World {
             self.failed += 1;
             return;
         };
+        // Idempotent re-delivery: once this exchange has an escrow (or is
+        // over), a duplicate Deliver must not double-escrow or double-count.
+        if self.exchanges[exchange].done || self.exchanges[exchange].escrow.is_some() {
+            return;
+        }
         let verify_cost = self.cfg.costs.verify_signature;
         let tx_build = self.cfg.costs.tx_build;
         let reward = self.cfg.reward;
@@ -984,26 +1358,27 @@ impl World {
 
         let host = &mut self.hosts[to as usize];
         let Some(record) = host.registry.get(&device_id) else {
-            self.failed += 1;
-            self.exchanges[exchange].done = true;
+            self.abort_exchange(now, exchange);
             return;
         };
         // Step 8: authenticity.
         if !verify_uplink(record, &e_pk, &uplink) {
-            self.failed += 1;
-            self.exchanges[exchange].done = true;
+            self.abort_exchange(now, exchange);
             return;
         }
         let verified_at = host.occupy_cpu(now, verify_cost);
         self.exchanges[exchange].delivered = Some(verified_at);
+        let _ = self.exchanges[exchange]
+            .fsm
+            .apply(FsmEvent::Delivered, verified_at);
         self.tracer
             .span_end("gateway_forward", exchange as u64, verified_at);
 
         // Step 9: escrow. Select a coin and build the transaction via the
         // daemon ("create, sign, send").
+        let host = &mut self.hosts[to as usize];
         let Some(coin) = host.reserve_coin(reward + fee) else {
-            self.failed += 1;
-            self.exchanges[exchange].done = true;
+            self.abort_exchange(verified_at, exchange);
             return;
         };
         let gateway_addr = self.hosts[self.exchanges[exchange].gateway as usize]
@@ -1011,7 +1386,7 @@ impl World {
             .address();
         let host = &mut self.hosts[to as usize];
         let current_height = host.daemon.chain.height();
-        let escrow_obj = escrow::build_escrow(
+        let escrow_obj = escrow::build_escrow_with_delta(
             &host.wallet,
             &[coin],
             &e_pk,
@@ -1019,16 +1394,19 @@ impl World {
             reward,
             fee,
             current_height,
+            self.cfg.refund_delta,
         );
         let built_at = host.daemon.occupy(verified_at, tx_build);
         host.pending_open.insert(escrow_obj.outpoint(), exchange);
+        host.settle_watch.insert(escrow_obj.outpoint(), exchange);
         // Admit into own mempool and flood.
         let (admitted_at, result) =
             host.daemon
                 .accept_transaction(built_at, escrow_obj.tx.clone(), &self.cfg.costs);
         if result.is_err() {
-            self.failed += 1;
-            self.exchanges[exchange].done = true;
+            host.pending_open.remove(&escrow_obj.outpoint());
+            host.settle_watch.remove(&escrow_obj.outpoint());
+            self.abort_exchange(admitted_at, exchange);
             return;
         }
         host.daemon.relay.mark_seen(escrow_obj.tx.txid().0);
@@ -1040,8 +1418,13 @@ impl World {
             .span_start("confirmation_wait", exchange as u64, admitted_at);
         self.exchanges[exchange].uplink = Some(uplink);
         self.exchanges[exchange].escrow = Some(escrow_obj.clone());
+        let _ = self.exchanges[exchange]
+            .fsm
+            .apply(FsmEvent::EscrowPublished, admitted_at);
         let msg = WanMessage::Chain(ChainMessage::Tx(escrow_obj.tx));
         self.flood(queue, admitted_at, to, &msg);
+        // The settlement watchdog takes over from here.
+        self.arm_deadline(exchange, queue);
     }
 
     /// Chain transaction gossip: mempool admission + protocol reactions.
@@ -1053,10 +1436,18 @@ impl World {
         queue: &mut EventQueue<Event>,
     ) {
         let txid = tx.txid();
-        {
-            let host = &mut self.hosts[to as usize];
-            if !host.daemon.relay.mark_seen(txid.0) {
-                return; // already seen
+        let first = self.hosts[to as usize].daemon.relay.mark_seen(txid.0);
+        if !first {
+            // Seen before — but a reorg may have evicted it from the pool
+            // since, in which case a re-broadcast must be re-admitted,
+            // not dropped. Cheap check first (the common duplicate sits
+            // in the pool); the chain scan only runs for the rare
+            // gossip-after-confirmation stragglers.
+            let host = &self.hosts[to as usize];
+            if host.daemon.mempool.contains(&txid)
+                || host.daemon.chain.find_transaction(&txid).is_some()
+            {
+                return; // genuine duplicate
             }
         }
         let (done, result) = {
@@ -1094,9 +1485,13 @@ impl World {
                 if self.cfg.confirmation_depth == 0 {
                     self.gateway_claim(now, to, key_bytes, tx.txid(), vout, value, queue);
                 } else {
-                    self.hosts[to as usize]
-                        .awaiting_conf
-                        .push((exchange, tx.txid()));
+                    let host = &mut self.hosts[to as usize];
+                    let entry = (exchange, tx.txid());
+                    // The same escrow can be offered twice: once as
+                    // gossip, once from the block that confirms it.
+                    if !host.awaiting_conf.contains(&entry) {
+                        host.awaiting_conf.push(entry);
+                    }
                 }
             }
         }
@@ -1114,6 +1509,13 @@ impl World {
         value: u64,
         queue: &mut EventQueue<Event>,
     ) {
+        // A misbehaving gateway sits on the claim; the session survives,
+        // so it could still claim after the window — and the recipient's
+        // refund driver races it through the CLTV branch.
+        if !self.chaos.is_idle() && self.chaos.withhold_claim(to, now) {
+            self.registry.inc(self.chaos.meters().claims_withheld);
+            return;
+        }
         let tx_build = self.cfg.costs.tx_build;
         let fee = self.cfg.fee;
         let host = &mut self.hosts[to as usize];
@@ -1156,13 +1558,17 @@ impl World {
             fee,
         );
         let built = host.daemon.occupy(now, tx_build);
+        // Keep the signed claim: it stays valid as long as the escrow
+        // output exists, so the settlement watchdog can re-broadcast it
+        // after a crash or a reorg that orphans it.
+        self.exchanges[exchange].claim = Some(claim.clone());
+        let host = &mut self.hosts[to as usize];
         let (admitted, result) =
             host.daemon
                 .accept_transaction(built, claim.clone(), &self.cfg.costs);
         if result.is_err() {
-            // Escrow vanished (double-spent): the gateway loses.
-            self.failed += 1;
-            self.exchanges[exchange].done = true;
+            // The escrow is not in this host's view (yet): not fatal —
+            // the watchdog re-admits once the chain catches up.
             return;
         }
         host.daemon.relay.mark_seen(claim.txid().0);
@@ -1259,12 +1665,19 @@ impl World {
                         .entry(parent)
                         .or_default()
                         .push(block);
+                    // A parent gap means this host missed gossip (crash,
+                    // partition, kill): ask the master to fill it in,
+                    // rate-limited so a burst of orphans asks once.
+                    self.request_sync(done, to, queue);
                     continue;
                 }
                 Err(_) => continue,
                 Ok(_) => {}
             }
             at = done;
+            // Settlement bookkeeping: claims/refunds this block confirmed
+            // or (after a reorg) disconnected, seen from the recipient.
+            self.apply_settlements(done, to, queue);
             // Absorb any directory announcements.
             for tx in &block.transactions {
                 for ann in IpAnnouncement::all_from_transaction(tx) {
@@ -1330,13 +1743,329 @@ impl World {
         self.hosts[to as usize].awaiting_conf.extend(still_waiting);
     }
 
+    /// Rate-limited catch-up request to the master (host 0).
+    fn request_sync(&mut self, now: SimTime, to: u32, queue: &mut EventQueue<Event>) {
+        if to == 0 {
+            return; // the master is the sync source
+        }
+        let sync_cooldown = SimDuration::from_secs(5);
+        let host = &mut self.hosts[to as usize];
+        if let Some(last) = host.last_sync_req {
+            if now < last + sync_cooldown {
+                return;
+            }
+        }
+        let height = host.daemon.chain.height();
+        if host.last_sync_req.is_some() && height == host.last_sync_height {
+            // The previous catch-up did not move the tip: the master must
+            // have reorganized past our fork point, so back up further.
+            host.sync_back = (host.sync_back * 2).clamp(1, height);
+        } else {
+            host.sync_back = 0;
+        }
+        host.last_sync_height = height;
+        host.last_sync_req = Some(now);
+        let from_height = (height + 1).saturating_sub(host.sync_back);
+        self.unicast(
+            queue,
+            now,
+            to,
+            0,
+            WanMessage::Chain(ChainMessage::GetBlocksFrom(from_height)),
+        );
+    }
+
+    /// Drives FSM settlement from host `to`'s last main-chain change:
+    /// disconnected transactions orphan claims/refunds back to
+    /// `Escrowed`; connected transactions confirm them. Only the
+    /// recipient (who owns `settle_watch` entries) transitions machines,
+    /// so each event is applied exactly once. Connected transactions are
+    /// also re-offered to the gateway/recipient reaction paths — after a
+    /// crash the tx gossip is gone, and the block is the only copy.
+    fn apply_settlements(&mut self, now: SimTime, to: u32, queue: &mut EventQueue<Event>) {
+        let connected = self.hosts[to as usize].daemon.last_connected_txs().to_vec();
+        let disconnected = self.hosts[to as usize]
+            .daemon
+            .last_disconnected_txs()
+            .to_vec();
+        if !self.hosts[to as usize].settle_watch.is_empty() {
+            // Disconnects first: a reorg that moves a claim between
+            // branches must pass through Escrowed, not skip a state.
+            for tx in &disconnected {
+                for input in &tx.inputs {
+                    let Some(&exchange) = self.hosts[to as usize].settle_watch.get(&input.prevout)
+                    else {
+                        continue;
+                    };
+                    let is_claim = escrow::extract_key_from_claim(tx, &input.prevout).is_some();
+                    let event = if is_claim {
+                        FsmEvent::ClaimOrphaned
+                    } else {
+                        FsmEvent::RefundOrphaned
+                    };
+                    if self.exchanges[exchange].fsm.apply(event, now).is_ok() {
+                        // Money is back at stake: restart the watchdog,
+                        // which re-broadcasts the stored claim/refund.
+                        self.arm_deadline(exchange, queue);
+                    } else {
+                        self.registry.inc(self.meters.illegal_transitions);
+                    }
+                }
+            }
+            for tx in &connected {
+                for input in &tx.inputs {
+                    let Some(&exchange) = self.hosts[to as usize].settle_watch.get(&input.prevout)
+                    else {
+                        continue;
+                    };
+                    let is_claim = escrow::extract_key_from_claim(tx, &input.prevout).is_some();
+                    let event = if is_claim {
+                        FsmEvent::ClaimConfirmed
+                    } else {
+                        FsmEvent::RefundConfirmed
+                    };
+                    match self.exchanges[exchange].fsm.apply(event, now) {
+                        Ok(_) if !is_claim => {
+                            // The CLTV branch closed the exchange: the
+                            // gateway never revealed the key, so the
+                            // reading is lost but the coins came home.
+                            let ex = &mut self.exchanges[exchange];
+                            if !ex.done {
+                                ex.done = true;
+                                self.failed += 1;
+                            }
+                        }
+                        Ok(_) => {}
+                        Err(_) => self.registry.inc(self.meters.illegal_transitions),
+                    }
+                }
+            }
+        }
+        // Crash recovery: the block may be the first (and only) place
+        // this host sees an escrow or claim it missed as gossip.
+        for tx in &connected {
+            self.gateway_check_escrow(now, to, tx, queue);
+            self.recipient_check_claim(now, to, tx);
+        }
+    }
+
+    /// A crashed host restarts: volatile state is gone, the chain
+    /// survives, and the host asks the master for what it missed.
+    fn handle_chaos_restart(&mut self, now: SimTime, host: u32, queue: &mut EventQueue<Event>) {
+        let h = &mut self.hosts[host as usize];
+        h.daemon.crash_restart(now);
+        h.orphans.clear();
+        h.cpu_busy_until = now;
+        h.last_sync_req = None;
+        self.request_sync(now, host, queue);
+    }
+
+    /// A per-exchange deadline fired. Stale stamps (the exchange moved
+    /// on or retried since) are dropped; live ones drive the phase's
+    /// recovery action.
+    fn handle_fsm_deadline(
+        &mut self,
+        now: SimTime,
+        exchange: usize,
+        seq: u32,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let ex = &self.exchanges[exchange];
+        if ex.done && ex.fsm.is_settled() {
+            return;
+        }
+        if ex.fsm.seq() != seq {
+            return; // stale: the phase or retry count moved on
+        }
+        match ex.fsm.phase() {
+            Phase::Sealed => {
+                // The recipient never escrowed: re-deliver (idempotent on
+                // the receiving side), bounded by the retry budget.
+                if ex.fsm.retries_exhausted(&self.cfg.fsm) {
+                    self.abort_exchange(now, exchange);
+                    return;
+                }
+                self.exchanges[exchange].fsm.note_retry(now);
+                self.registry.inc(self.meters.deliver_retries);
+                self.redeliver(now, exchange, queue);
+                self.arm_deadline(exchange, queue);
+            }
+            Phase::Escrowed => {
+                // Unbounded settlement watchdog: money is on the table.
+                self.exchanges[exchange].fsm.note_retry(now);
+                self.settle_sweep(now, exchange, queue);
+                self.arm_deadline(exchange, queue);
+            }
+            _ => {}
+        }
+    }
+
+    /// Re-sends the gateway → recipient Deliver for a `Sealed` exchange.
+    fn redeliver(&mut self, now: SimTime, exchange: usize, queue: &mut EventQueue<Event>) {
+        let ex = &self.exchanges[exchange];
+        let (gateway, home) = (ex.gateway, ex.home);
+        let (Some(e_pk), Some(uplink)) = (ex.e_pk.as_ref(), ex.uplink.clone()) else {
+            return;
+        };
+        let msg = WanMessage::Deliver {
+            device_id: self.sensors[ex.sensor].credentials.device_id,
+            e_pk_bytes: e_pk.to_bytes(),
+            uplink,
+        };
+        self.unicast(queue, now, gateway, home, msg);
+    }
+
+    /// The `Escrowed` watchdog: re-broadcasts whatever piece of the
+    /// settlement went missing, and opens the CLTV refund branch when
+    /// the claim never lands.
+    fn settle_sweep(&mut self, now: SimTime, exchange: usize, queue: &mut EventQueue<Event>) {
+        let Some(escrow_obj) = self.exchanges[exchange].escrow.clone() else {
+            return;
+        };
+        let (gateway, home) = {
+            let ex = &self.exchanges[exchange];
+            (ex.gateway, ex.home)
+        };
+        let escrow_txid = escrow_obj.tx.txid();
+
+        // (a) Recipient: the miner lost track of the escrow (reorg +
+        // eviction, a crash wiped a pool, or the gossip never got
+        // through) — re-admit and re-flood it. Visibility is judged at
+        // the *master*: a transaction only the home pool knows about
+        // will never be mined.
+        if !self.chaos.host_down(home, now) && self.miner_lacks(&escrow_txid) {
+            self.rebroadcast(now, home, escrow_obj.tx.clone(), queue);
+        }
+
+        // (b) Gateway: a built claim that is in neither pool nor chain is
+        // re-broadcast — the reorg-orphaned-claim recovery path. A
+        // session that never claimed (its host was down when the escrow
+        // gossiped) claims now from the confirmed copy.
+        let withholding = !self.chaos.is_idle() && self.chaos.withhold_claim(gateway, now);
+        if !self.chaos.host_down(gateway, now) && !withholding {
+            if let Some(claim) = self.exchanges[exchange].claim.clone() {
+                if self.miner_lacks(&claim.txid()) {
+                    self.rebroadcast(now, gateway, claim, queue);
+                }
+            } else if let Some(e_pk) = self.exchanges[exchange].e_pk.clone() {
+                let e_pk_bytes = e_pk.to_bytes();
+                let host = &self.hosts[gateway as usize];
+                if host.sessions.contains_key(&e_pk_bytes) {
+                    let found = host
+                        .daemon
+                        .mempool
+                        .get(&escrow_txid)
+                        .map(|tx| escrow::find_escrow_for_key(tx, &e_pk))
+                        .or_else(|| {
+                            host.daemon
+                                .chain
+                                .find_transaction(&escrow_txid)
+                                .map(|(_, tx)| escrow::find_escrow_for_key(tx, &e_pk))
+                        })
+                        .flatten();
+                    if let Some((vout, value)) = found {
+                        self.gateway_claim(
+                            now,
+                            gateway,
+                            e_pk_bytes,
+                            escrow_txid,
+                            vout,
+                            value,
+                            queue,
+                        );
+                    }
+                }
+            }
+        }
+
+        // (c) Recipient refund driver: past the refund height with no
+        // claim settled, spend the escrow back through the CLTV branch.
+        // A pooled claim wins locally (first-seen conflict policy); the
+        // refund only floods where the claim never showed.
+        if !self.chaos.host_down(home, now) {
+            let height = self.hosts[home as usize].daemon.chain.height();
+            if height >= escrow_obj.refund_height {
+                let refund = match self.exchanges[exchange].refund.clone() {
+                    Some(r) => r,
+                    None => {
+                        let r = escrow::build_refund(
+                            &self.hosts[home as usize].wallet,
+                            &escrow_obj,
+                            self.cfg.reward,
+                            self.cfg.fee,
+                        );
+                        self.exchanges[exchange].refund = Some(r.clone());
+                        self.registry.inc(self.meters.refunds_submitted);
+                        r
+                    }
+                };
+                if self.miner_lacks(&refund.txid()) {
+                    self.rebroadcast(now, home, refund, queue);
+                }
+            }
+        }
+    }
+
+    /// True when the mining master has `txid` in neither its mempool nor
+    /// its main chain — i.e. the transaction will never confirm without
+    /// another broadcast.
+    fn miner_lacks(&self, txid: &TxId) -> bool {
+        let master = &self.hosts[0].daemon;
+        !master.mempool.contains(txid) && master.chain.find_transaction(txid).is_none()
+    }
+
+    /// Re-admits `tx` on `host` (if its pool lost it), forgets the relay
+    /// dedup so it floods again, and gossips it. Insert failures are
+    /// fine — a conflicting settlement already sits in the pool.
+    fn rebroadcast(
+        &mut self,
+        now: SimTime,
+        host: u32,
+        tx: Transaction,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let txid = tx.txid();
+        let h = &mut self.hosts[host as usize];
+        let mut at = now;
+        if !h.daemon.mempool.contains(&txid) {
+            let (done, result) = h
+                .daemon
+                .accept_transaction(now, tx.clone(), &self.cfg.costs);
+            if result.is_err() {
+                return;
+            }
+            at = done;
+        }
+        let h = &mut self.hosts[host as usize];
+        h.daemon.relay.forget(&txid.0);
+        h.daemon.relay.mark_seen(txid.0);
+        self.registry.inc(self.meters.rebroadcasts);
+        self.flood(queue, at, host, &WanMessage::Chain(ChainMessage::Tx(tx)));
+    }
+
     fn handle_mine_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
         // Stop mining when work is done and nothing is pending anywhere.
         let work_left = self.completed + self.failed < self.started
             || self.started < self.cfg.target_exchanges
-            || self.hosts.iter().any(|h| !h.daemon.mempool.is_empty());
+            || self.hosts.iter().any(|h| !h.daemon.mempool.is_empty())
+            // Money still in escrow keeps blocks coming: the refund
+            // branch needs the chain to reach the CLTV height.
+            || self
+                .exchanges
+                .iter()
+                .any(|ex| ex.fsm.phase() == Phase::Escrowed);
         if !work_left {
             return;
+        }
+        // Scheduled fork injection: mine a heavier side branch instead
+        // of extending the tip, forcing every host through a reorg.
+        if !self.chaos.is_idle() {
+            if let Some(depth) = self.chaos.take_fork(now) {
+                self.mine_fork(now, depth, queue);
+                let delay = self.next_block_delay();
+                queue.schedule_in(delay, Event::MineTick);
+                return;
+            }
         }
         let (block, height) = {
             let master = &mut self.hosts[0];
@@ -1377,6 +2106,61 @@ impl World {
         let delay = self.next_block_delay();
         queue.schedule_in(delay, Event::MineTick);
     }
+
+    /// Mines `depth + 1` empty blocks on top of the block `depth` below
+    /// the master's tip, overtaking the main chain and triggering a
+    /// reorg everywhere. The master's own mempool repair re-pools the
+    /// orphaned transactions, so settlements re-confirm on the new
+    /// branch through normal mining.
+    fn mine_fork(&mut self, now: SimTime, depth: u32, queue: &mut EventQueue<Event>) {
+        self.registry.inc(self.chaos.meters().forks);
+        let (params, height) = {
+            let master = &self.hosts[0];
+            (
+                master.daemon.chain.params().clone(),
+                master.daemon.chain.height(),
+            )
+        };
+        let depth = (depth as u64).min(height) as u32;
+        let fork_height = height - depth as u64;
+        let mut parent = self.hosts[0]
+            .daemon
+            .chain
+            .block_at(fork_height)
+            .expect("fork point on main chain")
+            .hash();
+        for i in 0..=depth as u64 {
+            let block_height = fork_height + 1 + i;
+            let coinbase = Transaction::coinbase(
+                block_height,
+                b"fork",
+                vec![TxOut {
+                    value: params.coinbase_reward,
+                    script_pubkey: self.hosts[0].wallet.locking_script(),
+                }],
+            );
+            let block = Block::mine(
+                parent,
+                now.as_micros() + i,
+                params.difficulty_bits,
+                vec![coinbase],
+            );
+            parent = block.hash();
+            let (done, action) = {
+                let master = &mut self.hosts[0];
+                let mut rng = master.rng.fork(0xf04c);
+                master.daemon.accept_block(now, block.clone(), &mut rng)
+            };
+            if action.is_err() {
+                return;
+            }
+            self.blocks_mined += 1;
+            self.hosts[0].daemon.relay.mark_seen(block.hash().0);
+            self.apply_settlements(done, 0, queue);
+            let msg = WanMessage::Chain(ChainMessage::Block(block));
+            self.flood(queue, done, 0, &msg);
+        }
+    }
 }
 
 /// Rebuilds an identical chain for another host (shared bootstrap).
@@ -1409,6 +2193,10 @@ impl Actor<Event> for World {
             }
             Event::Wan(delivery) => self.handle_wan(now, delivery, queue),
             Event::MineTick => self.handle_mine_tick(now, queue),
+            Event::FsmDeadline { exchange, seq } => {
+                self.handle_fsm_deadline(now, exchange, seq, queue)
+            }
+            Event::ChaosRestart { host } => self.handle_chaos_restart(now, host, queue),
         }
     }
 }

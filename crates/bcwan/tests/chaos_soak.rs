@@ -1,0 +1,165 @@
+//! Chaos soak: seeded fault schedules against the full testbed world.
+//!
+//! Three focused scenarios pin the recovery paths the fair exchange must
+//! survive (ISSUE 4 acceptance): a gateway that crashes after Deliver, a
+//! claim orphaned by a chain reorganization, and a gateway that withholds
+//! its claim until the `OP_CHECKLOCKTIMEVERIFY` refund branch fires. The
+//! soak then runs generated [`ChaosPlan`]s and asserts the global
+//! invariants: no coin created or destroyed, every escrow terminates in
+//! exactly one of Claimed/Refunded, and the final UTXO set is identical
+//! across reruns of the same seed.
+
+use bcwan::world::{WorkloadConfig, World};
+use bcwan_sim::{ChaosFault, ChaosPlan, ChaosProfile, SimDuration, SimRng, SimTime};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+fn counter(result: &bcwan::ExperimentResult, name: &str) -> u64 {
+    result
+        .metrics
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("missing counter {name}"))
+}
+
+#[test]
+fn gateway_crash_after_deliver_recovers() {
+    // Host 2 (the gateway for host 1's sensors) crashes shortly after
+    // the first exchanges deliver, missing the escrow gossip, and
+    // restarts cold 40 s later. The late-claim path must settle every
+    // escrow once the gateway has resynced the chain.
+    let plan = ChaosPlan {
+        faults: vec![ChaosFault::HostCrash {
+            host: 2,
+            from: secs(3),
+            until: secs(43),
+        }],
+    };
+    let mut cfg = WorkloadConfig::tiny(6, 91).with_chaos(plan);
+    cfg.refund_delta = 12; // if even the late claim fails, refund quickly
+    let result = World::new(cfg).run();
+
+    assert!(counter(&result, "chaos.crash_drops_total") > 0, "crash bit");
+    assert!(result.completed >= 1, "exchanges outside the crash window");
+    assert_eq!(result.escrows_open, 0, "every escrow settled");
+    assert_eq!(result.invariant_violations, 0);
+    assert_eq!(
+        counter(&result, "chaos.invariant.violation_total"),
+        0,
+        "registry mirrors the result field"
+    );
+}
+
+#[test]
+fn claim_orphaned_by_reorg_reconfirms() {
+    // A depth-3 fork at t=50s orphans the blocks holding the early
+    // escrows and claims. Mempool repair re-pools them, the settlement
+    // watchdog re-broadcasts anything the miner lost, and every claim
+    // must re-confirm on the winning branch.
+    let plan = ChaosPlan {
+        faults: vec![ChaosFault::Fork {
+            at: secs(50),
+            depth: 3,
+        }],
+    };
+    let cfg = WorkloadConfig::tiny(5, 17).with_chaos(plan);
+    let result = World::new(cfg).run();
+
+    assert_eq!(counter(&result, "chaos.forks_total"), 1, "fork fired");
+    assert_eq!(result.completed, 5, "reorg does not lose readings");
+    assert_eq!(result.escrows_open, 0);
+    assert!(result.escrows_claimed >= 1, "claims settled on new branch");
+    assert_eq!(result.escrows_refunded, 0, "no CLTV branch needed");
+    assert_eq!(result.invariant_violations, 0);
+}
+
+#[test]
+fn withheld_claim_falls_back_to_cltv_refund() {
+    // Both gateways withhold every claim for the whole run: the
+    // recipient's refund driver must reclaim each escrow through the
+    // CLTV branch once the chain passes the refund height.
+    let forever = secs(1_000_000);
+    let plan = ChaosPlan {
+        faults: vec![
+            ChaosFault::ClaimWithhold {
+                host: 1,
+                from: SimTime::ZERO,
+                until: forever,
+            },
+            ChaosFault::ClaimWithhold {
+                host: 2,
+                from: SimTime::ZERO,
+                until: forever,
+            },
+        ],
+    };
+    let mut cfg = WorkloadConfig::tiny(4, 23).with_chaos(plan);
+    cfg.refund_delta = 8;
+    let result = World::new(cfg).run();
+
+    assert!(counter(&result, "chaos.claims_withheld_total") > 0);
+    assert_eq!(result.completed, 0, "no key disclosed, no reading");
+    assert!(result.escrows_refunded >= 1, "CLTV branch exercised");
+    assert_eq!(result.escrows_claimed, 0, "withheld means withheld");
+    assert_eq!(result.escrows_open, 0);
+    assert_eq!(result.invariant_violations, 0);
+    assert!(counter(&result, "fsm.refunds_submitted_total") >= result.escrows_refunded as u64);
+}
+
+#[test]
+fn soak_generated_plans_keep_invariants() {
+    for seed in [101u64, 202] {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xc4a0_5eed);
+        let plan = ChaosPlan::generate(
+            &mut rng,
+            &ChaosProfile::soak(),
+            SimDuration::from_secs(240),
+            2,
+        );
+        assert!(!plan.is_empty());
+        let mut cfg = WorkloadConfig::tiny(10, seed).with_chaos(plan);
+        cfg.refund_delta = 12;
+        let result = World::new(cfg).run();
+
+        assert_eq!(result.invariant_violations, 0, "seed {seed}");
+        assert_eq!(
+            result.escrows_open, 0,
+            "seed {seed}: every escrow must end Claimed or Refunded"
+        );
+        assert_eq!(
+            result.escrows_claimed + result.escrows_refunded,
+            counter(&result, "world.escrows_claimed_total") as usize
+                + counter(&result, "world.escrows_refunded_total") as usize,
+            "seed {seed}: registry mirrors the census"
+        );
+    }
+}
+
+#[test]
+fn soak_same_seed_same_final_utxo() {
+    let run = || {
+        let mut rng = SimRng::seed_from_u64(0x50a0);
+        let plan = ChaosPlan::generate(
+            &mut rng,
+            &ChaosProfile::soak(),
+            SimDuration::from_secs(240),
+            2,
+        );
+        let mut cfg = WorkloadConfig::tiny(8, 77).with_chaos(plan);
+        cfg.refund_delta = 12;
+        World::new(cfg).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.utxo_fingerprint, b.utxo_fingerprint, "UTXO set differs");
+    assert_eq!(a.utxo_total, b.utxo_total);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.failed, b.failed);
+    assert_eq!(a.escrows_claimed, b.escrows_claimed);
+    assert_eq!(a.escrows_refunded, b.escrows_refunded);
+    assert_eq!(a.blocks_mined, b.blocks_mined);
+}

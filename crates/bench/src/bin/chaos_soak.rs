@@ -1,0 +1,117 @@
+//! Chaos soak CI gate: generated fault plans against the full testbed,
+//! failing the process if any fairness invariant breaks.
+//!
+//! Runs the same seeded scenarios as `crates/bcwan/tests/chaos_soak.rs`
+//! (ISSUE 4): for each seed, a `ChaosPlan` drawn from the soak profile —
+//! LoRa bursts, crash/restart windows, connection kills, block delays,
+//! partitions, claim withholding, forks — over a 10-exchange tiny world.
+//! After each run the exit gate checks:
+//!
+//! - `chaos.invariant.violation_total == 0` (value conserved, exactly
+//!   one settlement per escrow, FSM/chain agreement);
+//! - no escrow left open (every one ended Claimed or Refunded).
+//!
+//! Usage: `chaos_soak [SEED...] [--json PATH]`. With no positional
+//! seeds, the two CI seeds 101 and 202 run. Exit status 1 on any
+//! violation, so CI can gate on it directly.
+
+use bcwan::world::{WorkloadConfig, World};
+use bcwan_bench::BenchReport;
+use bcwan_sim::{ChaosPlan, ChaosProfile, Json, SimDuration, SimRng};
+
+fn main() {
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            json = args.next();
+        } else if let Ok(seed) = arg.parse::<u64>() {
+            seeds.push(seed);
+        }
+    }
+    if seeds.is_empty() {
+        seeds = vec![101, 202];
+    }
+
+    let mut rows = Vec::new();
+    let mut failures = 0u32;
+    let mut last_metrics = None;
+    for &seed in &seeds {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xc4a0_5eed);
+        let plan = ChaosPlan::generate(
+            &mut rng,
+            &ChaosProfile::soak(),
+            SimDuration::from_secs(240),
+            2,
+        );
+        let faults = plan.faults.len();
+        let mut cfg = WorkloadConfig::tiny(10, seed).with_chaos(plan);
+        cfg.refund_delta = 12;
+        eprintln!("seed {seed}: {faults} faults scheduled, 10 exchanges…");
+        let result = World::new(cfg).run();
+
+        let ok = result.invariant_violations == 0 && result.escrows_open == 0;
+        if !ok {
+            failures += 1;
+        }
+        eprintln!(
+            "seed {seed}: {} — completed={} failed={} claimed={} refunded={} open={} \
+             violations={} blocks={} sim_time={:.0}s",
+            if ok { "OK" } else { "VIOLATION" },
+            result.completed,
+            result.failed,
+            result.escrows_claimed,
+            result.escrows_refunded,
+            result.escrows_open,
+            result.invariant_violations,
+            result.blocks_mined,
+            result.sim_time.as_secs_f64(),
+        );
+        rows.push(
+            Json::object()
+                .with("seed", Json::uint(seed))
+                .with("faults", Json::size(faults))
+                .with("completed", Json::size(result.completed))
+                .with("failed", Json::size(result.failed))
+                .with("escrows_claimed", Json::size(result.escrows_claimed))
+                .with("escrows_refunded", Json::size(result.escrows_refunded))
+                .with("escrows_open", Json::size(result.escrows_open))
+                .with(
+                    "invariant_violations",
+                    Json::uint(result.invariant_violations),
+                )
+                .with("utxo_fingerprint", Json::uint(result.utxo_fingerprint))
+                .with("blocks_mined", Json::uint(result.blocks_mined))
+                .with("sim_time_s", Json::num(result.sim_time.as_secs_f64())),
+        );
+        last_metrics = Some(result.metrics);
+    }
+
+    let report = BenchReport::new("chaos_soak")
+        .config(
+            "workload",
+            Json::object()
+                .with(
+                    "seeds",
+                    Json::Array(seeds.iter().map(|&s| Json::uint(s)).collect()),
+                )
+                .with("target_exchanges", Json::size(10))
+                .with("refund_delta", Json::uint(12)),
+        )
+        .rows(Json::Array(rows))
+        .metrics(last_metrics.expect("at least one seed"));
+    if let Some(path) = json {
+        report.write(&path).expect("write json");
+        eprintln!("wrote {path}");
+    }
+
+    if failures > 0 {
+        eprintln!("chaos soak FAILED: {failures} seed(s) violated invariants");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "chaos soak passed: {} seed(s), all invariants held",
+        seeds.len()
+    );
+}

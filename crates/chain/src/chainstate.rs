@@ -58,6 +58,21 @@ struct StoredBlock {
     height: u64,
 }
 
+/// The transactions moved by a reorganization, in connect order, so the
+/// caller (a daemon) can repair its mempool: re-admit `disconnected_txs`
+/// that the new branch did not confirm, and evict pool entries that
+/// conflict with `connected_txs` — the discipline Bitcoin Core applies in
+/// its `DisconnectedBlockTransactions` / `removeForReorg` path.
+#[derive(Debug, Clone, Default)]
+pub struct ReorgInfo {
+    /// Non-coinbase transactions from disconnected blocks, oldest block
+    /// first (valid resubmission order: parents before children).
+    pub disconnected_txs: Vec<Transaction>,
+    /// Non-coinbase transactions confirmed by the new branch, oldest
+    /// block first.
+    pub connected_txs: Vec<Transaction>,
+}
+
 /// Lifetime counters of chain activity, read back into the metrics
 /// registry at the end of a run (`chain.*` rows in bench reports).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,6 +115,8 @@ pub struct Chain {
     undo: HashMap<BlockHash, UndoData>,
     utxo: UtxoSet,
     stats: ChainStats,
+    /// Transactions moved by the most recent reorg, until taken.
+    last_reorg: Option<ReorgInfo>,
     /// Signature cache shared with mempools (see [`Mempool::with_cache`])
     /// so block connect skips scripts verified at admission.
     ///
@@ -145,8 +162,16 @@ impl Chain {
             undo,
             utxo,
             stats: ChainStats::default(),
+            last_reorg: None,
             sig_cache: Arc::new(SigCache::default()),
         }
+    }
+
+    /// Takes the transactions moved by the most recent reorganization.
+    /// Returns `None` when no reorg happened since the last call — each
+    /// reorg's info is handed out exactly once.
+    pub fn take_last_reorg(&mut self) -> Option<ReorgInfo> {
+        self.last_reorg.take()
     }
 
     /// The chain's signature cache. Hand a clone to [`Mempool::with_cache`]
@@ -381,6 +406,22 @@ impl Chain {
             }
         }
         self.stats.reorgs += 1;
+        let non_coinbase = |hashes: &[BlockHash]| -> Vec<Transaction> {
+            hashes
+                .iter()
+                .flat_map(|h| &self.blocks.get(h).expect("stored").block.transactions)
+                .filter(|tx| !tx.is_coinbase())
+                .cloned()
+                .collect()
+        };
+        let disconnected_oldest_first: Vec<BlockHash> =
+            disconnected.iter().rev().copied().collect();
+        let disconnected_txs = non_coinbase(&disconnected_oldest_first);
+        let connected_txs = non_coinbase(&branch);
+        self.last_reorg = Some(ReorgInfo {
+            disconnected_txs,
+            connected_txs,
+        });
         Ok(BlockAction::Reorganized {
             disconnected: disconnected.len(),
             connected,

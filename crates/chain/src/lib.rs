@@ -51,7 +51,7 @@ pub mod validate;
 pub mod wallet;
 
 pub use block::{Block, BlockHash, BlockHeader};
-pub use chainstate::{BlockAction, Chain, ChainError, ChainStats};
+pub use chainstate::{BlockAction, Chain, ChainError, ChainStats, ReorgInfo};
 pub use mempool::{Mempool, MempoolError, MempoolStats};
 pub use params::{ChainParams, StallModel};
 pub use tx::{OutPoint, Transaction, TxId, TxIn, TxOut, SEQUENCE_FINAL};

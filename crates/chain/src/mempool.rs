@@ -328,6 +328,64 @@ impl Mempool {
         }
     }
 
+    /// Re-validates every pooled transaction against `utxo` (which may
+    /// just have been rewritten by a reorganization) and drops entries
+    /// that no longer validate — inputs re-spent by the new branch,
+    /// locktimes no longer satisfied at `height`, or parents that were
+    /// themselves dropped. Returns how many left the pool.
+    ///
+    /// Bitcoin Core runs the same sweep (`removeForReorg`) after every
+    /// reorg; without it the pool can hold transactions that can never
+    /// be mined and block conflicting re-broadcasts forever.
+    pub fn evict_invalid(&mut self, utxo: &UtxoSet, height: u64, params: &ChainParams) -> usize {
+        let before = self.entries.len();
+        if before == 0 {
+            return 0;
+        }
+        let mut pending: Vec<Transaction> = self.entries.values().map(|e| e.tx.clone()).collect();
+        pending.sort_by_key(|t| t.txid());
+        // Rebuild the pool by re-admission: survivors re-validate against
+        // the new UTXO view (cheap — the shared sig cache still holds
+        // their script verdicts), everything else stays out.
+        let saved_stats = self.stats;
+        let cache = self.sig_cache.take();
+        *self = Mempool {
+            sig_cache: cache,
+            ..Mempool::default()
+        };
+        // Fixpoint over dependency order: a child only re-admits after
+        // its pooled parent, so loop until no transaction makes it in.
+        let mut progressed = true;
+        while progressed && !pending.is_empty() {
+            progressed = false;
+            let mut still_out = Vec::new();
+            for tx in pending {
+                let retry = tx.clone();
+                if self.insert(tx, utxo, height, params).is_ok() {
+                    progressed = true;
+                } else {
+                    still_out.push(retry);
+                }
+            }
+            pending = still_out;
+        }
+        let dropped = before - self.entries.len();
+        self.stats = saved_stats;
+        self.stats.evicted += dropped as u64;
+        dropped
+    }
+
+    /// Drops every pooled transaction — a crash restart losing volatile
+    /// state. Returns how many were dropped. Lifetime stats survive (the
+    /// metrics layer reads them at end of run).
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        self.by_outpoint.clear();
+        self.created.clear();
+        n
+    }
+
     /// Iterates over pooled transactions (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
         self.entries.values().map(|e| &e.tx)

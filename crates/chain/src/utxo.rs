@@ -192,17 +192,26 @@ impl UtxoSet {
     }
 
     fn undo_transactions(&mut self, transactions: &[Transaction], undo: &UndoData) {
-        // Remove created outputs.
+        // Per transaction, newest first: drop its created outputs, then
+        // restore what it spent. The interleaving matters when a block
+        // contains an intra-block spend chain (escrow created and claimed
+        // in the same block): restoring the claim's inputs resurrects the
+        // escrow output, and only the escrow's own undo step — which runs
+        // *after* under reverse order — removes it again. Undoing all
+        // creates first and all spends second leaves such outputs behind.
+        let mut tail = undo.spent.len();
         for tx in transactions.iter().rev() {
             let txid = tx.txid();
             for vout in 0..tx.outputs.len() as u32 {
                 self.map.remove(&OutPoint { txid, vout });
             }
+            let spent = if tx.is_coinbase() { 0 } else { tx.inputs.len() };
+            for (outpoint, entry) in undo.spent[tail - spent..tail].iter().rev() {
+                self.map.insert(*outpoint, entry.clone());
+            }
+            tail -= spent;
         }
-        // Restore spent entries.
-        for (outpoint, entry) in undo.spent.iter().rev() {
-            self.map.insert(*outpoint, entry.clone());
-        }
+        debug_assert_eq!(tail, 0, "undo data covers exactly these transactions");
     }
 }
 
@@ -346,6 +355,45 @@ mod tests {
             txid: cb.txid(),
             vout: 0
         }));
+    }
+
+    #[test]
+    fn undo_block_with_intra_block_spend_chain() {
+        // Regression: a block holding both a transaction and a spend of
+        // its output (escrow + claim mined together). Disconnecting the
+        // block must not leave the intermediate output behind: the
+        // claim's undo resurrects it, and the escrow's own undo step must
+        // then remove it again.
+        let mut set = UtxoSet::new();
+        let cb = coinbase(0, 100);
+        set.apply_block(std::slice::from_ref(&cb), 0).unwrap();
+        let snapshot_len = set.len();
+        let snapshot_value = set.total_value();
+
+        let escrow = spend(
+            OutPoint {
+                txid: cb.txid(),
+                vout: 0,
+            },
+            &[100],
+        );
+        let escrow_out = OutPoint {
+            txid: escrow.txid(),
+            vout: 0,
+        };
+        let claim = spend(escrow_out, &[100]);
+        let txs = vec![escrow, claim.clone()];
+        let undo = set.apply_block(&txs, 1).unwrap();
+        assert!(!set.contains(&escrow_out), "claimed inside the block");
+
+        set.undo_block(&txs, &undo);
+        assert!(!set.contains(&escrow_out), "must not resurrect");
+        assert!(!set.contains(&OutPoint {
+            txid: claim.txid(),
+            vout: 0
+        }));
+        assert_eq!(set.len(), snapshot_len);
+        assert_eq!(set.total_value(), snapshot_value);
     }
 
     #[test]

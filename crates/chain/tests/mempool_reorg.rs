@@ -1,0 +1,228 @@
+//! Regression tests for mempool behaviour across reorganizations.
+//!
+//! A reorg can invalidate pooled transactions two ways: the new branch
+//! re-spends their inputs (a confirmed conflict), or it orphans the
+//! confirmed parent a pooled child depends on. Before this sweep
+//! existed, such entries sat in the pool forever — unminable, and
+//! blocking re-broadcast of the transaction that actually won. These
+//! tests pin [`Chain::take_last_reorg`] + [`Mempool::evict_invalid`]
+//! and the re-admission path an orphaned claim takes after re-broadcast.
+
+use bcwan_chain::{
+    Block, BlockAction, Chain, ChainParams, Mempool, OutPoint, Transaction, TxOut, Wallet,
+};
+use bcwan_script::Script;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mines a block containing `txs` (after the coinbase) on top of `parent`.
+fn mine_on(
+    chain: &Chain,
+    parent: bcwan_chain::BlockHash,
+    height: u64,
+    txs: Vec<Transaction>,
+) -> Block {
+    let fees: u64 = 0; // test txs burn fees to keep coinbase simple
+    let mut transactions = vec![Transaction::coinbase(
+        height,
+        &height.to_le_bytes(),
+        vec![TxOut {
+            value: chain.params().coinbase_reward + fees,
+            script_pubkey: Script::new(),
+        }],
+    )];
+    transactions.extend(txs);
+    Block::mine(parent, height, chain.params().difficulty_bits, transactions)
+}
+
+/// A chain whose genesis funds `wallet` with two mature coins.
+fn setup() -> (Chain, Wallet, Vec<(OutPoint, Script)>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let wallet = Wallet::generate(&mut rng);
+    let mut params = ChainParams::fast_test();
+    // These tests spend the genesis allocation right away.
+    params.coinbase_maturity = 0;
+    let genesis = Chain::make_genesis(
+        &params,
+        &[(wallet.address(), 1_000), (wallet.address(), 1_000)],
+    );
+    let cb = genesis.transactions[0].txid();
+    let chain = Chain::new(params, genesis);
+    let coins = (0..2)
+        .map(|vout| (OutPoint { txid: cb, vout }, wallet.locking_script()))
+        .collect();
+    (chain, wallet, coins)
+}
+
+fn pay(wallet: &Wallet, coin: (OutPoint, Script), value: u64, to_self: bool) -> Transaction {
+    let script = if to_self {
+        wallet.locking_script()
+    } else {
+        Script::new()
+    };
+    wallet.build_payment(
+        vec![coin],
+        vec![TxOut {
+            value,
+            script_pubkey: script,
+        }],
+        0,
+    )
+}
+
+/// The new branch re-spends a pooled transaction's input: the pool entry
+/// is a confirmed conflict and must be evicted, not linger unminable.
+#[test]
+fn reorg_confirming_conflict_evicts_pooled_double_spend() {
+    let (mut chain, wallet, coins) = setup();
+    let mut pool = Mempool::with_cache(chain.sig_cache().clone());
+
+    // Pool a spend of coin 0.
+    let pooled = pay(&wallet, coins[0].clone(), 900, false);
+    pool.insert(pooled.clone(), chain.utxo(), 1, chain.params())
+        .unwrap();
+
+    // Main chain grows one empty block...
+    let g = chain.tip();
+    let b1 = mine_on(&chain, g, 1, vec![]);
+    assert_eq!(chain.add_block(b1).unwrap(), BlockAction::Extended(1));
+    assert!(
+        chain.take_last_reorg().is_none(),
+        "extension is not a reorg"
+    );
+
+    // ...but a two-block side branch confirms a *conflicting* spend of
+    // the same coin and wins.
+    let conflict = pay(&wallet, coins[0].clone(), 800, false);
+    let a1 = mine_on(&chain, g, 1, vec![conflict.clone()]);
+    assert_eq!(chain.add_block(a1.clone()).unwrap(), BlockAction::SideChain);
+    let a2 = mine_on(&chain, a1.hash(), 2, vec![]);
+    assert!(matches!(
+        chain.add_block(a2).unwrap(),
+        BlockAction::Reorganized {
+            disconnected: 1,
+            connected: 2
+        }
+    ));
+
+    let info = chain.take_last_reorg().expect("reorg recorded");
+    assert!(info.disconnected_txs.is_empty(), "old branch was empty");
+    assert_eq!(info.connected_txs.len(), 1);
+    assert_eq!(info.connected_txs[0].txid(), conflict.txid());
+    assert!(chain.take_last_reorg().is_none(), "handed out once");
+
+    // Daemon discipline: evict what the branch confirmed/conflicted…
+    pool.remove_confirmed(&info.connected_txs);
+    // …then sweep anything the new UTXO view no longer supports.
+    let dropped = pool.evict_invalid(chain.utxo(), chain.height() + 1, chain.params());
+    assert!(pool.is_empty(), "conflicted entry must not linger");
+    assert_eq!(dropped, 0, "remove_confirmed already took it");
+    // And the winner is of course not re-admittable.
+    assert!(pool
+        .insert(pooled, chain.utxo(), chain.height() + 1, chain.params())
+        .is_err());
+}
+
+/// A reorg orphans a confirmed parent; the pooled child (the claim
+/// spending an escrow, in BcWAN terms) is invalidated and swept — then
+/// becomes admissible again once the parent is re-broadcast.
+#[test]
+fn reorg_orphaning_parent_sweeps_child_and_allows_readmission() {
+    let (mut chain, wallet, coins) = setup();
+    let mut pool = Mempool::with_cache(chain.sig_cache().clone());
+
+    // Block 1 confirms `parent` (pays the wallet back so the child can
+    // spend it); the child sits in the pool — the claim-before-confirm
+    // pattern of the paper's §6.
+    let parent = pay(&wallet, coins[0].clone(), 900, true);
+    let g = chain.tip();
+    let b1 = mine_on(&chain, g, 1, vec![parent.clone()]);
+    chain.add_block(b1).unwrap();
+    let child = pay(
+        &wallet,
+        (
+            OutPoint {
+                txid: parent.txid(),
+                vout: 0,
+            },
+            wallet.locking_script(),
+        ),
+        850,
+        false,
+    );
+    pool.insert(child.clone(), chain.utxo(), 2, chain.params())
+        .unwrap();
+
+    // An empty two-block branch orphans block 1 (and `parent` with it).
+    let a1 = mine_on(&chain, g, 1, vec![]);
+    chain.add_block(a1.clone()).unwrap();
+    let a2 = mine_on(&chain, a1.hash(), 2, vec![]);
+    assert!(matches!(
+        chain.add_block(a2).unwrap(),
+        BlockAction::Reorganized { .. }
+    ));
+    let info = chain.take_last_reorg().unwrap();
+    assert_eq!(info.disconnected_txs.len(), 1);
+    assert_eq!(info.disconnected_txs[0].txid(), parent.txid());
+
+    // The child's input no longer exists: the sweep must drop it.
+    pool.remove_confirmed(&info.connected_txs);
+    let dropped = pool.evict_invalid(chain.utxo(), chain.height() + 1, chain.params());
+    assert_eq!(dropped, 1);
+    assert!(pool.is_empty());
+
+    // Recovery: the disconnected parent is resubmitted (what a daemon
+    // does on reorg), after which the re-broadcast child re-admits on
+    // top of it — nothing was permanently lost.
+    pool.insert(
+        parent.clone(),
+        chain.utxo(),
+        chain.height() + 1,
+        chain.params(),
+    )
+    .unwrap();
+    pool.insert(
+        child.clone(),
+        chain.utxo(),
+        chain.height() + 1,
+        chain.params(),
+    )
+    .expect("orphaned claim re-admits after re-broadcast");
+    // And the pair can be mined together again.
+    let tip = chain.tip();
+    let b3 = mine_on(&chain, tip, 3, pool.block_template(1 << 20));
+    assert!(matches!(
+        chain.add_block(b3).unwrap(),
+        BlockAction::Extended(3)
+    ));
+}
+
+/// `evict_invalid` keeps dependent chains whose ancestors survive: only
+/// entries actually invalidated go.
+#[test]
+fn evict_invalid_keeps_valid_unconfirmed_chains() {
+    let (chain, wallet, coins) = setup();
+    let mut pool = Mempool::with_cache(chain.sig_cache().clone());
+    let parent = pay(&wallet, coins[0].clone(), 900, true);
+    let child = pay(
+        &wallet,
+        (
+            OutPoint {
+                txid: parent.txid(),
+                vout: 0,
+            },
+            wallet.locking_script(),
+        ),
+        850,
+        false,
+    );
+    let other = pay(&wallet, coins[1].clone(), 990, false);
+    for tx in [&parent, &child, &other] {
+        pool.insert(tx.clone(), chain.utxo(), 1, chain.params())
+            .unwrap();
+    }
+    let dropped = pool.evict_invalid(chain.utxo(), 1, chain.params());
+    assert_eq!(dropped, 0, "everything still valid");
+    assert_eq!(pool.len(), 3);
+    assert!(pool.contains(&child.txid()), "unconfirmed chain survives");
+}

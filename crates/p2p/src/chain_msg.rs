@@ -71,6 +71,12 @@ impl RelayState {
     pub fn saw_tx(&mut self, txid: &TxId) -> bool {
         !self.seen.first_sighting(txid.0)
     }
+
+    /// Forgets an id so a future re-broadcast relays again — required
+    /// when a reorg orphans a transaction that must propagate anew.
+    pub fn forget(&mut self, id: &[u8; 32]) -> bool {
+        self.seen.forget(id)
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +127,18 @@ mod tests {
         let mut relay = RelayState::new();
         assert!(relay.mark_seen(block.hash().0));
         assert!(!relay.should_relay(&ChainMessage::Block(block)));
+    }
+
+    #[test]
+    fn forget_reopens_relay() {
+        let block = sample_block();
+        let msg = ChainMessage::Block(block.clone());
+        let mut relay = RelayState::new();
+        assert!(relay.should_relay(&msg));
+        assert!(!relay.should_relay(&msg));
+        assert!(relay.forget(&block.hash().0));
+        assert!(relay.should_relay(&msg), "re-broadcast relays again");
+        assert!(!relay.forget(&[9; 32]), "unknown id");
     }
 
     #[test]

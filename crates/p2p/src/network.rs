@@ -205,6 +205,14 @@ impl SeenFilter {
         self.seen.insert(id)
     }
 
+    /// Forgets `id`, so its next sighting counts as the first again.
+    /// Returns whether it was known. Used when a reorg orphans a
+    /// transaction: the owner will re-broadcast it, and relays that
+    /// remembered the txid would otherwise drop the recovery flood.
+    pub fn forget(&mut self, id: &[u8; 32]) -> bool {
+        self.seen.remove(id)
+    }
+
     /// Number of distinct ids seen.
     pub fn len(&self) -> usize {
         self.seen.len()

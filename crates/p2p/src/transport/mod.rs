@@ -153,6 +153,11 @@ pub struct TransportStats {
     pub frames_rejected: AtomicU64,
     /// Sends that ultimately failed after all retries.
     pub send_failures: AtomicU64,
+    /// Injected send-side faults fired (frames torn mid-write).
+    pub faults_send: AtomicU64,
+    /// Injected receive-side faults fired (reader threads killed
+    /// mid-frame).
+    pub faults_recv: AtomicU64,
     /// Frames sent, by codec kind index.
     pub frames_sent: Vec<AtomicU64>,
     /// Frames received intact, by codec kind index.

@@ -16,6 +16,12 @@
 //! then a hard shutdown). The torn frame is rejected by the receiver's
 //! checksum/length validation and the sender's retry path re-dials and
 //! re-sends — the failure drill the live loopback test runs.
+//! [`TcpHost::inject_recv_faults`] is the mirror image on the receiving
+//! end: the next N frames offered to this host's reader threads are
+//! truncated mid-read and the reader dies with a hard shutdown, so
+//! sender-side recovery against a crashing *receiver* is testable too.
+//! Both knobs count into `transport.fault.send_total` /
+//! `transport.fault.recv_total`.
 
 use super::frame::{encode_frame, read_frame, MAX_FRAME_PAYLOAD};
 use super::{Codec, TransportError, TransportStats};
@@ -94,6 +100,8 @@ struct Inner<C> {
     running: Arc<AtomicBool>,
     inbox_depth: Arc<AtomicU64>,
     fault_sends: AtomicU64,
+    /// Shared with every reader thread; armed by `inject_recv_faults`.
+    fault_recvs: Arc<AtomicU64>,
 }
 
 impl<C> Drop for Inner<C> {
@@ -151,9 +159,11 @@ impl<M: Send + 'static, C: Codec<M>> TcpHost<M, C> {
         let (tx, inbox) = inbox_channel();
         let inbox_depth = tx.depth_handle();
 
+        let fault_recvs = Arc::new(AtomicU64::new(0));
         let accept_codec = Arc::clone(&codec);
         let accept_stats = Arc::clone(&stats);
         let accept_running = Arc::clone(&running);
+        let accept_faults = Arc::clone(&fault_recvs);
         let read_timeout = cfg.read_timeout;
         std::thread::Builder::new()
             .name(format!("bcwan-accept-{node}"))
@@ -165,6 +175,7 @@ impl<M: Send + 'static, C: Codec<M>> TcpHost<M, C> {
                     accept_running,
                     tx,
                     read_timeout,
+                    accept_faults,
                 )
             })?;
 
@@ -179,6 +190,7 @@ impl<M: Send + 'static, C: Codec<M>> TcpHost<M, C> {
                 running,
                 inbox_depth,
                 fault_sends: AtomicU64::new(0),
+                fault_recvs,
             }),
             _msg: PhantomData,
         };
@@ -205,6 +217,16 @@ impl<M: Send + 'static, C: Codec<M>> TcpHost<M, C> {
     /// chaos knob the fault-injection tests turn.
     pub fn inject_send_faults(&self, n: u64) {
         self.inner.fault_sends.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Arms this host's *readers* to die on the next `n` inbound frames:
+    /// the reader consumes a few bytes (a mid-frame truncation from the
+    /// peer's perspective), hard-closes the connection, and its thread
+    /// exits — the receive-side mirror of [`inject_send_faults`].
+    ///
+    /// [`inject_send_faults`]: TcpHost::inject_send_faults
+    pub fn inject_recv_faults(&self, n: u64) {
+        self.inner.fault_recvs.fetch_add(n, Ordering::SeqCst);
     }
 
     /// Sends one message to `to`, reusing a pooled connection when one
@@ -254,6 +276,7 @@ impl<M: Send + 'static, C: Codec<M>> TcpHost<M, C> {
             if self.take_fault() {
                 // Tear the frame: half the bytes, then a hard close. The
                 // receiver sees a truncated frame; we see a failed send.
+                TransportStats::bump(&inner.stats.faults_send);
                 let torn = frame.len() / 2;
                 let _ = stream.write_all(&frame[..torn]);
                 let _ = stream.flush();
@@ -301,10 +324,7 @@ impl<M: Send + 'static, C: Codec<M>> TcpHost<M, C> {
     }
 
     fn take_fault(&self) -> bool {
-        self.inner
-            .fault_sends
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-            .is_ok()
+        take_one(&self.inner.fault_sends)
     }
 
     /// Drops every pooled outbound connection (peers relocated, test
@@ -342,6 +362,8 @@ impl<M: Send + 'static, C: Codec<M>> TcpHost<M, C> {
             get(&stats.frames_rejected),
         );
         reg.set_counter("transport.send_failures_total", get(&stats.send_failures));
+        reg.set_counter("transport.fault.send_total", get(&stats.faults_send));
+        reg.set_counter("transport.fault.recv_total", get(&stats.faults_recv));
         for i in 0..self.inner.codec.kind_count() {
             let label = self.inner.codec.kind_label(i);
             reg.set_counter(
@@ -366,6 +388,13 @@ impl<M: Send + 'static, C: Codec<M>> super::Transport<SocketAddr, M> for TcpHost
     }
 }
 
+/// Atomically consumes one unit from an injected-fault budget.
+fn take_one(budget: &AtomicU64) -> bool {
+    budget
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
+
 fn is_timeout(e: &io::Error) -> bool {
     matches!(
         e.kind(),
@@ -382,6 +411,7 @@ fn classify_io(stats: &TransportStats, to: SocketAddr, e: io::Error) -> Transpor
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop<M: Send + 'static, C: Codec<M>>(
     listener: TcpListener,
     codec: Arc<C>,
@@ -389,6 +419,7 @@ fn accept_loop<M: Send + 'static, C: Codec<M>>(
     running: Arc<AtomicBool>,
     sender: InboxSender<M>,
     read_timeout: Option<Duration>,
+    fault_recvs: Arc<AtomicU64>,
 ) {
     for conn in listener.incoming() {
         if !running.load(Ordering::SeqCst) {
@@ -401,9 +432,10 @@ fn accept_loop<M: Send + 'static, C: Codec<M>>(
         let stats = Arc::clone(&stats);
         let running = Arc::clone(&running);
         let sender = sender.clone();
+        let fault_recvs = Arc::clone(&fault_recvs);
         let spawned = std::thread::Builder::new()
             .name("bcwan-reader".to_string())
-            .spawn(move || reader_loop(stream, codec, stats, running, sender));
+            .spawn(move || reader_loop(stream, codec, stats, running, sender, fault_recvs));
         if spawned.is_err() {
             // Out of threads: drop the connection; the peer will retry.
             continue;
@@ -417,8 +449,19 @@ fn reader_loop<M, C: Codec<M>>(
     stats: Arc<TransportStats>,
     running: Arc<AtomicBool>,
     sender: InboxSender<M>,
+    fault_recvs: Arc<AtomicU64>,
 ) {
     while running.load(Ordering::SeqCst) {
+        if take_one(&fault_recvs) {
+            // Injected receive fault: swallow a few bytes of whatever the
+            // peer sends next (a mid-frame truncation from its point of
+            // view), hard-close, and let this reader thread die.
+            TransportStats::bump(&stats.faults_recv);
+            let mut chunk = [0u8; 8];
+            let _ = io::Read::read(&mut stream, &mut chunk);
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
         match read_frame(&mut stream) {
             Ok(frame) => {
                 TransportStats::bump_by(&stats.bytes_received, frame.wire_len() as u64);
@@ -677,5 +720,75 @@ mod tests {
         assert!(!host.take_fault());
         assert_eq!(host.inner.fault_sends.load(Ordering::SeqCst), 0);
         host.shutdown();
+    }
+
+    #[test]
+    fn injected_recv_fault_kills_reader_and_sender_recovers() {
+        let (alice, _alice_inbox) = bind(1);
+        let (bob, bob_inbox) = bind(2);
+        // Arm bob's next reader to die mid-frame.
+        bob.inject_recv_faults(1);
+        // This send may "succeed" from alice's perspective (the bytes
+        // land in the socket buffer before bob tears the connection), but
+        // bob must never deliver it.
+        let _ = alice.send(bob.local_addr(), &13);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while TransportStats::get(&bob.stats().faults_recv) < 1
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            TransportStats::get(&bob.stats().faults_recv),
+            1,
+            "reader consumed the injected fault"
+        );
+        // The pooled connection is now dead on bob's side. A fresh dial
+        // (what the retry path does after the write error surfaces)
+        // reaches a new, unarmed reader.
+        alice.drop_pool();
+        alice.send(bob.local_addr(), &14).unwrap();
+        let env = bob_inbox.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(env.msg, 14);
+        // The torn first message was truncated, never delivered.
+        assert!(bob_inbox.try_recv().message().is_none());
+        alice.shutdown();
+        bob.shutdown();
+    }
+
+    #[test]
+    fn recv_fault_counters_exported() {
+        let (alice, _ai) = bind(1);
+        let (bob, bob_inbox) = bind(2);
+        bob.inject_recv_faults(1);
+        alice.inject_send_faults(1);
+        let _ = alice.send(bob.local_addr(), &21);
+        // The send-side fault burns the first attempt; the retry lands on
+        // bob's armed reader; the next retry gets through.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while bob_inbox.try_recv().message().is_none() && std::time::Instant::now() < deadline {
+            alice.drop_pool();
+            let _ = alice.send(bob.local_addr(), &21);
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut reg = Registry::new();
+        alice.export_metrics(&mut reg);
+        let snap = reg.snapshot();
+        let counter = |snap: &bcwan_sim::Snapshot, name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(counter(&snap, "transport.fault.send_total"), 1);
+        assert_eq!(counter(&snap, "transport.fault.recv_total"), 0);
+        let mut reg = Registry::new();
+        bob.export_metrics(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(counter(&snap, "transport.fault.send_total"), 0);
+        assert_eq!(counter(&snap, "transport.fault.recv_total"), 1);
+        alice.shutdown();
+        bob.shutdown();
     }
 }

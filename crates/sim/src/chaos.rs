@@ -1,0 +1,539 @@
+//! Deterministic chaos scheduling: seeded fault plans for simulations.
+//!
+//! A [`ChaosPlan`] is a list of fault windows and one-shot faults drawn
+//! from the experiment's [`SimRng`], so a chaotic run is exactly as
+//! reproducible as a clean one — rerunning the same seed replays the
+//! same crashes, partitions, bursts, and forks at the same simulated
+//! instants. The [`ChaosEngine`] answers point-in-time queries ("is host
+//! 3 down now?", "what extra LoRa loss applies?") and hands out one-shot
+//! faults (connection kills, chain forks) exactly once.
+//!
+//! The engine is deliberately layer-agnostic: it knows about hosts,
+//! links, radio loss, and block propagation as *categories*, and the
+//! layer that owns each mechanism (the world simulation, the overlay,
+//! the miner) interprets the fault. Activations are counted through the
+//! [`ChaosMeters`] handles as `chaos.*` rows in the metrics registry.
+
+use crate::metrics::{CounterId, Registry};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosFault {
+    /// Extra LoRa frame loss applied to every radio frame in the window
+    /// (collision storm / interference burst).
+    LoraBurst {
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Loss probability while the burst is active (overrides the
+        /// configured base loss when larger).
+        loss: f64,
+    },
+    /// A host crashes at `from` and restarts at `until`: messages to or
+    /// from it are dropped and its radio does not answer. Durable state
+    /// (chain, provisioning) survives; volatile state (mempool, relay
+    /// filters) is lost at restart.
+    HostCrash {
+        /// The crashed host (never the master in generated plans).
+        host: u32,
+        /// Crash instant.
+        from: SimTime,
+        /// Restart instant.
+        until: SimTime,
+    },
+    /// Kills the next `kills` overlay messages involving `host` (either
+    /// as sender or receiver) after `from` — the event-level analogue of
+    /// tearing down a TCP connection mid-frame on either side.
+    ConnKill {
+        /// The host whose connections die.
+        host: u32,
+        /// First instant at which kills apply.
+        from: SimTime,
+        /// How many messages to kill.
+        kills: u32,
+    },
+    /// Delays every block broadcast leaving the miner inside the window
+    /// (withheld / slow block propagation).
+    BlockDelay {
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Extra propagation delay per block.
+        delay: SimDuration,
+    },
+    /// Splits hosts `0..=boundary` from hosts `> boundary` for the
+    /// window: messages across the cut are dropped.
+    Partition {
+        /// Highest host id in the first group.
+        boundary: u32,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// The gateway on `host` withholds escrow claims during the window —
+    /// the misbehaving-gateway case whose backstop is the escrow's
+    /// `OP_CHECKLOCKTIMEVERIFY` refund branch.
+    ClaimWithhold {
+        /// The withholding gateway host.
+        host: u32,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive; `SimTime::MAX`-like values model a
+        /// gateway that vanished for good).
+        until: SimTime,
+    },
+    /// One-shot: at the first mining opportunity after `at`, the miner
+    /// abandons the top `depth` blocks and mines a longer empty branch,
+    /// reorganizing every node and orphaning the transactions in the
+    /// abandoned blocks.
+    Fork {
+        /// Earliest instant the fork fires.
+        at: SimTime,
+        /// How many tip blocks to orphan.
+        depth: u32,
+    },
+}
+
+/// A deterministic schedule of faults for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    /// The scheduled faults, in no particular order.
+    pub faults: Vec<ChaosFault>,
+}
+
+/// Knobs for [`ChaosPlan::generate`]: how many of each fault to draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosProfile {
+    /// Number of LoRa loss bursts.
+    pub lora_bursts: u32,
+    /// Loss probability inside a burst.
+    pub lora_burst_loss: f64,
+    /// Length of each burst.
+    pub lora_burst_len: SimDuration,
+    /// Number of host crash-and-restart windows.
+    pub host_crashes: u32,
+    /// Length of each crash window.
+    pub crash_len: SimDuration,
+    /// Number of connection-kill one-shots (each kills 1–3 messages).
+    pub conn_kills: u32,
+    /// Number of block-propagation delay windows.
+    pub block_delays: u32,
+    /// Extra delay per block inside a window.
+    pub block_delay: SimDuration,
+    /// Length of each delay window.
+    pub block_delay_len: SimDuration,
+    /// Number of network partitions.
+    pub partitions: u32,
+    /// Length of each partition.
+    pub partition_len: SimDuration,
+    /// Number of claim-withhold windows (misbehaving gateways).
+    pub claim_withholds: u32,
+    /// Length of each withhold window.
+    pub withhold_len: SimDuration,
+    /// Number of one-shot chain forks.
+    pub forks: u32,
+}
+
+impl ChaosProfile {
+    /// A mixed soak profile: every fault category represented.
+    pub fn soak() -> Self {
+        ChaosProfile {
+            lora_bursts: 2,
+            lora_burst_loss: 0.5,
+            lora_burst_len: SimDuration::from_secs(20),
+            host_crashes: 2,
+            crash_len: SimDuration::from_secs(25),
+            conn_kills: 3,
+            block_delays: 1,
+            block_delay: SimDuration::from_secs(6),
+            block_delay_len: SimDuration::from_secs(30),
+            partitions: 1,
+            partition_len: SimDuration::from_secs(15),
+            claim_withholds: 1,
+            withhold_len: SimDuration::from_secs(100_000),
+            forks: 2,
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// The empty plan: no faults, zero overhead.
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Draws a plan from `rng`. Fault windows start inside the first 60%
+    /// of `horizon` so recovery has room to finish before the run ends;
+    /// hosts are drawn from `1..=actor_hosts` (the master, host 0, never
+    /// crashes — it is the experiment's AWS anchor).
+    pub fn generate(
+        rng: &mut SimRng,
+        profile: &ChaosProfile,
+        horizon: SimDuration,
+        actor_hosts: u32,
+    ) -> Self {
+        assert!(actor_hosts > 0, "need at least one actor host");
+        let mut faults = Vec::new();
+        let start = |rng: &mut SimRng| {
+            SimTime::ZERO
+                + SimDuration::from_secs_f64(rng.uniform_range(0.05, 0.60) * horizon.as_secs_f64())
+        };
+        let actor = |rng: &mut SimRng| rng.index(actor_hosts as usize) as u32 + 1;
+        for _ in 0..profile.lora_bursts {
+            let from = start(rng);
+            faults.push(ChaosFault::LoraBurst {
+                from,
+                until: from + profile.lora_burst_len,
+                loss: profile.lora_burst_loss,
+            });
+        }
+        for _ in 0..profile.host_crashes {
+            let from = start(rng);
+            faults.push(ChaosFault::HostCrash {
+                host: actor(rng),
+                from,
+                until: from + profile.crash_len,
+            });
+        }
+        for _ in 0..profile.conn_kills {
+            faults.push(ChaosFault::ConnKill {
+                host: actor(rng),
+                from: start(rng),
+                kills: rng.index(3) as u32 + 1,
+            });
+        }
+        for _ in 0..profile.block_delays {
+            let from = start(rng);
+            faults.push(ChaosFault::BlockDelay {
+                from,
+                until: from + profile.block_delay_len,
+                delay: profile.block_delay,
+            });
+        }
+        for _ in 0..profile.partitions {
+            let from = start(rng);
+            faults.push(ChaosFault::Partition {
+                boundary: rng.index(actor_hosts as usize) as u32,
+                from,
+                until: from + profile.partition_len,
+            });
+        }
+        for _ in 0..profile.claim_withholds {
+            let from = start(rng);
+            faults.push(ChaosFault::ClaimWithhold {
+                host: actor(rng),
+                from,
+                until: from + profile.withhold_len,
+            });
+        }
+        for _ in 0..profile.forks {
+            faults.push(ChaosFault::Fork {
+                at: start(rng),
+                depth: rng.index(2) as u32 + 1,
+            });
+        }
+        ChaosPlan { faults }
+    }
+}
+
+/// Counter handles for chaos activations (`chaos.*` registry rows).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosMeters {
+    /// Radio frames lost to a LoRa burst.
+    pub lora_drops: CounterId,
+    /// Messages dropped because an endpoint was crashed.
+    pub crash_drops: CounterId,
+    /// Messages killed by a connection-kill fault.
+    pub conn_kills: CounterId,
+    /// Messages dropped across a partition cut.
+    pub partition_drops: CounterId,
+    /// Block broadcasts that left late.
+    pub blocks_delayed: CounterId,
+    /// Escrow claims a misbehaving gateway withheld.
+    pub claims_withheld: CounterId,
+    /// One-shot chain forks fired.
+    pub forks: CounterId,
+}
+
+impl ChaosMeters {
+    fn register(reg: &mut Registry) -> Self {
+        ChaosMeters {
+            lora_drops: reg.counter("chaos.lora_burst_drops_total"),
+            crash_drops: reg.counter("chaos.crash_drops_total"),
+            conn_kills: reg.counter("chaos.conn_kills_total"),
+            partition_drops: reg.counter("chaos.partition_drops_total"),
+            blocks_delayed: reg.counter("chaos.blocks_delayed_total"),
+            claims_withheld: reg.counter("chaos.claims_withheld_total"),
+            forks: reg.counter("chaos.forks_total"),
+        }
+    }
+}
+
+/// Executes a [`ChaosPlan`]: point-in-time queries plus one-shot
+/// consumption, all deterministic.
+#[derive(Debug)]
+pub struct ChaosEngine {
+    plan: ChaosPlan,
+    /// Remaining kills per `ConnKill` fault (parallel to plan order).
+    conn_kills_left: Vec<u32>,
+    /// Whether each `Fork` fault fired yet (parallel to plan order).
+    forks_fired: Vec<bool>,
+    meters: ChaosMeters,
+}
+
+impl ChaosEngine {
+    /// Builds an engine over `plan`, registering the `chaos.*` counters
+    /// (and recording how many faults were scheduled).
+    pub fn new(plan: ChaosPlan, reg: &mut Registry) -> Self {
+        let meters = ChaosMeters::register(reg);
+        reg.set_counter("chaos.faults_scheduled_total", plan.faults.len() as u64);
+        let conn_kills_left = plan
+            .faults
+            .iter()
+            .map(|f| match f {
+                ChaosFault::ConnKill { kills, .. } => *kills,
+                _ => 0,
+            })
+            .collect();
+        let forks_fired = vec![false; plan.faults.len()];
+        ChaosEngine {
+            plan,
+            conn_kills_left,
+            forks_fired,
+            meters,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// Whether the plan schedules nothing (fast-path guard).
+    pub fn is_idle(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// Counter handles for chaos-attributed drops.
+    pub fn meters(&self) -> ChaosMeters {
+        self.meters
+    }
+
+    /// Extra LoRa loss probability active at `now` (0.0 when no burst).
+    pub fn lora_loss_boost(&self, now: SimTime) -> f64 {
+        self.plan
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                ChaosFault::LoraBurst { from, until, loss } if *from <= now && now < *until => {
+                    Some(*loss)
+                }
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether `host` is crashed at `now`.
+    pub fn host_down(&self, host: u32, now: SimTime) -> bool {
+        self.plan.faults.iter().any(|f| {
+            matches!(f, ChaosFault::HostCrash { host: h, from, until }
+                if *h == host && *from <= now && now < *until)
+        })
+    }
+
+    /// Whether the link `a`↔`b` crosses an active partition cut.
+    pub fn partitioned(&self, a: u32, b: u32, now: SimTime) -> bool {
+        self.plan.faults.iter().any(|f| {
+            matches!(f, ChaosFault::Partition { boundary, from, until }
+                if *from <= now && now < *until && ((a <= *boundary) != (b <= *boundary)))
+        })
+    }
+
+    /// Whether the gateway on `host` is withholding claims at `now`.
+    pub fn withhold_claim(&self, host: u32, now: SimTime) -> bool {
+        self.plan.faults.iter().any(|f| {
+            matches!(f, ChaosFault::ClaimWithhold { host: h, from, until }
+                if *h == host && *from <= now && now < *until)
+        })
+    }
+
+    /// Extra block propagation delay at `now` (zero outside windows).
+    pub fn block_delay(&self, now: SimTime) -> SimDuration {
+        self.plan
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                ChaosFault::BlockDelay { from, until, delay } if *from <= now && now < *until => {
+                    Some(*delay)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Consumes one connection kill involving `a` or `b`, if armed.
+    pub fn take_conn_kill(&mut self, a: u32, b: u32, now: SimTime) -> bool {
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            if let ChaosFault::ConnKill { host, from, .. } = fault {
+                if (*host == a || *host == b) && *from <= now && self.conn_kills_left[i] > 0 {
+                    self.conn_kills_left[i] -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Consumes the next unfired fork due at `now`, returning its depth.
+    pub fn take_fork(&mut self, now: SimTime) -> Option<u32> {
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            if let ChaosFault::Fork { at, depth } = fault {
+                if *at <= now && !self.forks_fired[i] {
+                    self.forks_fired[i] = true;
+                    return Some(*depth);
+                }
+            }
+        }
+        None
+    }
+
+    /// The restart instants of every crash window, for scheduling
+    /// restart events: `(host, restart_at)` pairs.
+    pub fn restarts(&self) -> Vec<(u32, SimTime)> {
+        self.plan
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                ChaosFault::HostCrash { host, until, .. } => Some((*host, *until)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn engine(faults: Vec<ChaosFault>) -> ChaosEngine {
+        let mut reg = Registry::new();
+        ChaosEngine::new(ChaosPlan { faults }, &mut reg)
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let e = engine(vec![ChaosFault::HostCrash {
+            host: 2,
+            from: t(10),
+            until: t(20),
+        }]);
+        assert!(!e.host_down(2, t(9)));
+        assert!(e.host_down(2, t(10)));
+        assert!(e.host_down(2, t(19)));
+        assert!(!e.host_down(2, t(20)));
+        assert!(!e.host_down(1, t(15)));
+    }
+
+    #[test]
+    fn lora_boost_takes_strongest_burst() {
+        let e = engine(vec![
+            ChaosFault::LoraBurst {
+                from: t(0),
+                until: t(50),
+                loss: 0.3,
+            },
+            ChaosFault::LoraBurst {
+                from: t(10),
+                until: t(20),
+                loss: 0.9,
+            },
+        ]);
+        assert_eq!(e.lora_loss_boost(t(5)), 0.3);
+        assert_eq!(e.lora_loss_boost(t(15)), 0.9);
+        assert_eq!(e.lora_loss_boost(t(60)), 0.0);
+    }
+
+    #[test]
+    fn partition_splits_groups() {
+        let e = engine(vec![ChaosFault::Partition {
+            boundary: 1,
+            from: t(0),
+            until: t(10),
+        }]);
+        assert!(e.partitioned(0, 2, t(5)));
+        assert!(e.partitioned(3, 1, t(5)));
+        assert!(!e.partitioned(0, 1, t(5)), "same side of the cut");
+        assert!(!e.partitioned(2, 3, t(5)), "same side of the cut");
+        assert!(!e.partitioned(0, 2, t(10)), "window over");
+    }
+
+    #[test]
+    fn conn_kills_consume_exactly_n() {
+        let mut e = engine(vec![ChaosFault::ConnKill {
+            host: 1,
+            from: t(5),
+            kills: 2,
+        }]);
+        assert!(!e.take_conn_kill(1, 2, t(0)), "not armed yet");
+        assert!(e.take_conn_kill(1, 2, t(5)));
+        assert!(e.take_conn_kill(3, 1, t(6)), "receive side counts too");
+        assert!(!e.take_conn_kill(1, 2, t(7)), "budget spent");
+        assert!(!e.take_conn_kill(0, 2, t(6)), "other hosts unaffected");
+    }
+
+    #[test]
+    fn forks_fire_once() {
+        let mut e = engine(vec![ChaosFault::Fork { at: t(5), depth: 2 }]);
+        assert_eq!(e.take_fork(t(4)), None);
+        assert_eq!(e.take_fork(t(5)), Some(2));
+        assert_eq!(e.take_fork(t(6)), None);
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_spares_the_master() {
+        let horizon = SimDuration::from_secs(600);
+        let mut rng_a = SimRng::seed_from_u64(7);
+        let mut rng_b = SimRng::seed_from_u64(7);
+        let a = ChaosPlan::generate(&mut rng_a, &ChaosProfile::soak(), horizon, 3);
+        let b = ChaosPlan::generate(&mut rng_b, &ChaosProfile::soak(), horizon, 3);
+        assert_eq!(a, b, "same seed, same plan");
+        assert!(!a.is_empty());
+        for fault in &a.faults {
+            if let ChaosFault::HostCrash { host, .. } = fault {
+                assert!((1..=3).contains(host), "master never crashes");
+            }
+        }
+    }
+
+    #[test]
+    fn restarts_report_crash_ends() {
+        let e = engine(vec![
+            ChaosFault::HostCrash {
+                host: 1,
+                from: t(5),
+                until: t(9),
+            },
+            ChaosFault::Partition {
+                boundary: 0,
+                from: t(0),
+                until: t(1),
+            },
+        ]);
+        assert_eq!(e.restarts(), vec![(1, t(9))]);
+    }
+}

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod json;
 pub mod latency;
 pub mod metrics;
@@ -46,6 +47,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use chaos::{ChaosEngine, ChaosFault, ChaosMeters, ChaosPlan, ChaosProfile};
 pub use json::Json;
 pub use latency::LatencyModel;
 pub use metrics::{
