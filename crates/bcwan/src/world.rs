@@ -182,6 +182,9 @@ pub struct ExperimentResult {
     pub sim_time: SimDuration,
     /// Blocks mined by the master.
     pub blocks_mined: u64,
+    /// Blocks mined by a standby host while the master was crashed
+    /// (miner failover; zero unless the chaos plan crashes host 0).
+    pub standby_blocks_mined: u64,
     /// Verification stalls across all actor daemons.
     pub stalls: u64,
     /// Total stalled time across all actor daemons.
@@ -413,6 +416,7 @@ pub struct World {
     failed: usize,
     started: usize,
     blocks_mined: u64,
+    standby_blocks_mined: u64,
     /// Mean inter-send interval per sensor.
     send_interval: SimDuration,
     registry: Registry,
@@ -572,6 +576,7 @@ impl World {
             failed: 0,
             started: 0,
             blocks_mined: 0,
+            standby_blocks_mined: 0,
             send_interval,
             registry,
             meters,
@@ -627,6 +632,10 @@ impl World {
         reg.set_counter("world.exchanges_completed_total", self.completed as u64);
         reg.set_counter("world.exchanges_failed_total", self.failed as u64);
         reg.set_counter("world.blocks_mined_total", self.blocks_mined);
+        reg.set_counter(
+            "world.standby_blocks_mined_total",
+            self.standby_blocks_mined,
+        );
         reg.set_gauge("world.sim_time_seconds", sim_time.as_secs_f64());
 
         let daemon_totals = self
@@ -668,6 +677,25 @@ impl World {
         reg.set_counter("mempool.rejected_conflict_total", pool.rejected_conflict);
         reg.set_counter("mempool.rejected_invalid_total", pool.rejected_invalid);
         reg.set_counter("mempool.evicted_total", pool.evicted);
+
+        // Fleet-wide sigcache totals (mempool admission warms block
+        // connect): ECDSA spends under validate.sigcache.*, escrow
+        // OP_CHECKRSA512PAIR spends under validate.sigcache.rsa.*.
+        let sig = self.hosts.iter().map(|h| h.daemon.chain.sig_cache()).fold(
+            (0u64, 0u64, 0u64, 0u64),
+            |acc, c| {
+                (
+                    acc.0 + c.hits(),
+                    acc.1 + c.misses(),
+                    acc.2 + c.rsa_hits(),
+                    acc.3 + c.rsa_misses(),
+                )
+            },
+        );
+        reg.set_counter("validate.sigcache.hit", sig.0);
+        reg.set_counter("validate.sigcache.miss", sig.1);
+        reg.set_counter("validate.sigcache.rsa.hit", sig.2);
+        reg.set_counter("validate.sigcache.rsa.miss", sig.3);
 
         let net = self.network.stats();
         reg.set_counter("net.sent_total", net.sent);
@@ -727,6 +755,7 @@ impl World {
             latencies: self.latencies,
             sim_time,
             blocks_mined: self.blocks_mined,
+            standby_blocks_mined: self.standby_blocks_mined,
             stalls,
             total_stall,
             confirmed_txs,
@@ -821,36 +850,43 @@ impl World {
         let mut claimed = 0usize;
         let mut refunded = 0usize;
         let mut open = 0usize;
+        let mut double_settlements = 0u64;
+        let mut fsm_mismatches = 0u64;
         for (i, ex) in self.exchanges.iter().enumerate() {
             if ex.escrow.is_none() {
                 continue;
             }
             let (claims, refunds) = spends.get(&i).copied().unwrap_or((0, 0));
             if claims + refunds > 1 {
-                violations += 1; // double settlement: impossible on a valid chain
+                double_settlements += 1; // impossible on a valid chain
             }
             let phase = ex.fsm.phase();
             match (claims, refunds) {
                 (1, 0) => {
                     claimed += 1;
                     if phase != Phase::Claimed {
-                        violations += 1;
+                        fsm_mismatches += 1;
                     }
                 }
                 (0, 1) => {
                     refunded += 1;
                     if phase != Phase::Refunded {
-                        violations += 1;
+                        fsm_mismatches += 1;
                     }
                 }
                 _ => {
                     open += 1;
                     if ex.fsm.is_settled() {
-                        violations += 1; // FSM settled but chain disagrees
+                        fsm_mismatches += 1; // FSM settled but chain disagrees
                     }
                 }
             }
         }
+        violations += double_settlements + fsm_mismatches;
+        self.registry
+            .set_counter("invariant.double_settlement_violations", double_settlements);
+        self.registry
+            .set_counter("invariant.fsm_chain_mismatch_violations", fsm_mismatches);
         (claimed, refunded, open, violations)
     }
 
@@ -1743,11 +1779,13 @@ impl World {
         self.hosts[to as usize].awaiting_conf.extend(still_waiting);
     }
 
-    /// Rate-limited catch-up request to the master (host 0).
+    /// Rate-limited catch-up request to the best sync source — the
+    /// master (host 0) in the common case; after a miner failover the
+    /// restarted master itself catches up from the tallest standby.
     fn request_sync(&mut self, now: SimTime, to: u32, queue: &mut EventQueue<Event>) {
-        if to == 0 {
-            return; // the master is the sync source
-        }
+        let Some(source) = self.sync_source(now, to) else {
+            return; // nobody live is ahead of us
+        };
         let sync_cooldown = SimDuration::from_secs(5);
         let host = &mut self.hosts[to as usize];
         if let Some(last) = host.last_sync_req {
@@ -1757,7 +1795,7 @@ impl World {
         }
         let height = host.daemon.chain.height();
         if host.last_sync_req.is_some() && height == host.last_sync_height {
-            // The previous catch-up did not move the tip: the master must
+            // The previous catch-up did not move the tip: the source must
             // have reorganized past our fork point, so back up further.
             host.sync_back = (host.sync_back * 2).clamp(1, height);
         } else {
@@ -1770,9 +1808,34 @@ impl World {
             queue,
             now,
             to,
-            0,
+            source,
             WanMessage::Chain(ChainMessage::GetBlocksFrom(from_height)),
         );
+    }
+
+    /// The best catch-up peer for `to`: the master (host 0) while it is
+    /// up — the §5.1 topology — otherwise the live host with the
+    /// tallest chain, which is exactly what a restarted master needs
+    /// after a standby mined past it. `None` when the requester is the
+    /// master and no live peer is strictly ahead (nothing to fetch).
+    fn sync_source(&self, now: SimTime, to: u32) -> Option<u32> {
+        let master_up = self.chaos.is_idle() || !self.chaos.host_down(0, now);
+        if to != 0 && master_up {
+            return Some(0);
+        }
+        let my_height = self.hosts[to as usize].daemon.chain.height();
+        let mut best: Option<(u64, u32)> = None;
+        for (i, h) in self.hosts.iter().enumerate() {
+            let id = i as u32;
+            if id == to || self.chaos.host_down(id, now) {
+                continue;
+            }
+            let height = h.daemon.chain.height();
+            if best.is_none_or(|(best_h, _)| height > best_h) {
+                best = Some((height, id));
+            }
+        }
+        best.filter(|&(h, _)| h > my_height).map(|(_, id)| id)
     }
 
     /// Drives FSM settlement from host `to`'s last main-chain change:
@@ -1931,9 +1994,9 @@ impl World {
         // (a) Recipient: the miner lost track of the escrow (reorg +
         // eviction, a crash wiped a pool, or the gossip never got
         // through) — re-admit and re-flood it. Visibility is judged at
-        // the *master*: a transaction only the home pool knows about
-        // will never be mined.
-        if !self.chaos.host_down(home, now) && self.miner_lacks(&escrow_txid) {
+        // the *acting miner*: a transaction only the home pool knows
+        // about will never be mined.
+        if !self.chaos.host_down(home, now) && self.miner_lacks(now, &escrow_txid) {
             self.rebroadcast(now, home, escrow_obj.tx.clone(), queue);
         }
 
@@ -1944,7 +2007,7 @@ impl World {
         let withholding = !self.chaos.is_idle() && self.chaos.withhold_claim(gateway, now);
         if !self.chaos.host_down(gateway, now) && !withholding {
             if let Some(claim) = self.exchanges[exchange].claim.clone() {
-                if self.miner_lacks(&claim.txid()) {
+                if self.miner_lacks(now, &claim.txid()) {
                     self.rebroadcast(now, gateway, claim, queue);
                 }
             } else if let Some(e_pk) = self.exchanges[exchange].e_pk.clone() {
@@ -1999,19 +2062,45 @@ impl World {
                         r
                     }
                 };
-                if self.miner_lacks(&refund.txid()) {
+                if self.miner_lacks(now, &refund.txid()) {
                     self.rebroadcast(now, home, refund, queue);
                 }
             }
         }
     }
 
-    /// True when the mining master has `txid` in neither its mempool nor
+    /// Who mines right now: the master (host 0) in every clean run, and
+    /// under chaos the live host with the tallest chain — ties break
+    /// toward the lowest id, so the master takes back over once it has
+    /// caught up after a failover. `None` while every host is crashed.
+    fn active_miner(&self, now: SimTime) -> Option<u32> {
+        if self.chaos.is_idle() {
+            return Some(0);
+        }
+        let mut best: Option<(u64, u32)> = None;
+        for (i, h) in self.hosts.iter().enumerate() {
+            let id = i as u32;
+            if self.chaos.host_down(id, now) {
+                continue;
+            }
+            let height = h.daemon.chain.height();
+            if best.is_none_or(|(best_h, _)| height > best_h) {
+                best = Some((height, id));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// True when the acting miner has `txid` in neither its mempool nor
     /// its main chain — i.e. the transaction will never confirm without
-    /// another broadcast.
-    fn miner_lacks(&self, txid: &TxId) -> bool {
-        let master = &self.hosts[0].daemon;
-        !master.mempool.contains(txid) && master.chain.find_transaction(txid).is_none()
+    /// another broadcast. With every host down there is no miner to
+    /// judge by, so nothing is re-broadcast until the next sweep.
+    fn miner_lacks(&self, now: SimTime, txid: &TxId) -> bool {
+        let Some(miner) = self.active_miner(now) else {
+            return false;
+        };
+        let miner = &self.hosts[miner as usize].daemon;
+        !miner.mempool.contains(txid) && miner.chain.find_transaction(txid).is_none()
     }
 
     /// Re-admits `tx` on `host` (if its pool lost it), forgets the relay
@@ -2057,73 +2146,95 @@ impl World {
         if !work_left {
             return;
         }
+        // Miner failover: the master mines unless it is crashed, in
+        // which case the tallest live standby takes over until the
+        // master catches back up. With every host down the tick just
+        // reschedules — a block nobody could gossip helps no one.
+        let Some(miner) = self.active_miner(now) else {
+            let delay = self.next_block_delay();
+            queue.schedule_in(delay, Event::MineTick);
+            return;
+        };
         // Scheduled fork injection: mine a heavier side branch instead
         // of extending the tip, forcing every host through a reorg.
         if !self.chaos.is_idle() {
             if let Some(depth) = self.chaos.take_fork(now) {
-                self.mine_fork(now, depth, queue);
+                self.mine_fork(now, miner, depth, queue);
                 let delay = self.next_block_delay();
                 queue.schedule_in(delay, Event::MineTick);
                 return;
             }
         }
-        let (block, height) = {
-            let master = &mut self.hosts[0];
-            let params = master.daemon.chain.params().clone();
-            let height = master.daemon.chain.height() + 1;
+        let block = {
+            let host = &mut self.hosts[miner as usize];
+            let params = host.daemon.chain.params().clone();
+            let height = host.daemon.chain.height() + 1;
+            let tag: &[u8] = if miner == 0 { b"master" } else { b"standby" };
             let mut txs = vec![Transaction::coinbase(
                 height,
-                b"master",
+                tag,
                 vec![TxOut {
                     value: params.coinbase_reward,
-                    script_pubkey: master.wallet.locking_script(),
+                    script_pubkey: host.wallet.locking_script(),
                 }],
             )];
             let budget = params.max_block_size.saturating_sub(txs[0].size() + 88);
-            txs.extend(master.daemon.mempool.block_template(budget));
+            txs.extend(host.daemon.mempool.block_template(budget));
             // Fees go unclaimed (coinbase pays subsidy only) — simpler and
             // valid (coinbase may pay less than allowed).
-            let block = Block::mine(
-                master.daemon.chain.tip(),
+            Block::mine(
+                host.daemon.chain.tip(),
                 now.as_micros(),
                 params.difficulty_bits,
                 txs,
-            );
-            (block, height)
+            )
         };
-        let _ = height;
         let (done, action) = {
-            let master = &mut self.hosts[0];
-            let mut rng = master.rng.fork(0x113e);
-            master.daemon.accept_block(now, block.clone(), &mut rng)
+            let host = &mut self.hosts[miner as usize];
+            let mut rng = host.rng.fork(0x113e);
+            host.daemon.accept_block(now, block.clone(), &mut rng)
         };
         if matches!(action, Ok(BlockAction::Extended(_))) {
             self.blocks_mined += 1;
-            self.hosts[0].daemon.relay.mark_seen(block.hash().0);
+            if miner != 0 {
+                self.standby_blocks_mined += 1;
+            }
+            self.hosts[miner as usize]
+                .daemon
+                .relay
+                .mark_seen(block.hash().0);
             let msg = WanMessage::Chain(ChainMessage::Block(block));
-            self.flood(queue, done, 0, &msg);
+            self.flood(queue, done, miner, &msg);
+            if miner != 0 {
+                // A standby miner is also a protocol actor (recipient or
+                // gateway). Its own blocks never echo back through the
+                // relay, so the settlement bookkeeping that normally runs
+                // on block receipt must run here.
+                self.apply_settlements(done, miner, queue);
+                self.gateway_check_confirmations(done, miner, queue);
+            }
         }
         let delay = self.next_block_delay();
         queue.schedule_in(delay, Event::MineTick);
     }
 
     /// Mines `depth + 1` empty blocks on top of the block `depth` below
-    /// the master's tip, overtaking the main chain and triggering a
-    /// reorg everywhere. The master's own mempool repair re-pools the
+    /// the acting miner's tip, overtaking the main chain and triggering
+    /// a reorg everywhere. The miner's own mempool repair re-pools the
     /// orphaned transactions, so settlements re-confirm on the new
     /// branch through normal mining.
-    fn mine_fork(&mut self, now: SimTime, depth: u32, queue: &mut EventQueue<Event>) {
+    fn mine_fork(&mut self, now: SimTime, miner: u32, depth: u32, queue: &mut EventQueue<Event>) {
         self.registry.inc(self.chaos.meters().forks);
         let (params, height) = {
-            let master = &self.hosts[0];
+            let host = &self.hosts[miner as usize];
             (
-                master.daemon.chain.params().clone(),
-                master.daemon.chain.height(),
+                host.daemon.chain.params().clone(),
+                host.daemon.chain.height(),
             )
         };
         let depth = (depth as u64).min(height) as u32;
         let fork_height = height - depth as u64;
-        let mut parent = self.hosts[0]
+        let mut parent = self.hosts[miner as usize]
             .daemon
             .chain
             .block_at(fork_height)
@@ -2136,7 +2247,7 @@ impl World {
                 b"fork",
                 vec![TxOut {
                     value: params.coinbase_reward,
-                    script_pubkey: self.hosts[0].wallet.locking_script(),
+                    script_pubkey: self.hosts[miner as usize].wallet.locking_script(),
                 }],
             );
             let block = Block::mine(
@@ -2147,18 +2258,24 @@ impl World {
             );
             parent = block.hash();
             let (done, action) = {
-                let master = &mut self.hosts[0];
-                let mut rng = master.rng.fork(0xf04c);
-                master.daemon.accept_block(now, block.clone(), &mut rng)
+                let host = &mut self.hosts[miner as usize];
+                let mut rng = host.rng.fork(0xf04c);
+                host.daemon.accept_block(now, block.clone(), &mut rng)
             };
             if action.is_err() {
                 return;
             }
             self.blocks_mined += 1;
-            self.hosts[0].daemon.relay.mark_seen(block.hash().0);
-            self.apply_settlements(done, 0, queue);
+            if miner != 0 {
+                self.standby_blocks_mined += 1;
+            }
+            self.hosts[miner as usize]
+                .daemon
+                .relay
+                .mark_seen(block.hash().0);
+            self.apply_settlements(done, miner, queue);
             let msg = WanMessage::Chain(ChainMessage::Block(block));
-            self.flood(queue, done, 0, &msg);
+            self.flood(queue, done, miner, &msg);
         }
     }
 }

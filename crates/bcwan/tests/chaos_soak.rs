@@ -140,6 +140,47 @@ fn soak_generated_plans_keep_invariants() {
 }
 
 #[test]
+fn master_crash_fails_over_to_standby_miner() {
+    // A generated master-failover plan: host 0 (the miner) crashes
+    // mid-run, the tallest live standby must take over block
+    // production, and the restarted master must catch back up from a
+    // standby and finish the run with every invariant intact.
+    let mut rng = SimRng::seed_from_u64(0xfa11);
+    let plan = ChaosPlan::generate(
+        &mut rng,
+        &ChaosProfile::master_failover(),
+        SimDuration::from_secs(240),
+        2,
+    );
+    assert!(
+        plan.faults
+            .iter()
+            .any(|f| matches!(f, ChaosFault::HostCrash { host: 0, .. })),
+        "the profile must schedule a master crash"
+    );
+    let mut cfg = WorkloadConfig::tiny(10, 314).with_chaos(plan);
+    cfg.refund_delta = 12;
+    let result = World::new(cfg).run();
+
+    assert!(
+        result.standby_blocks_mined > 0,
+        "a standby mined during the master outage"
+    );
+    assert_eq!(
+        counter(&result, "world.standby_blocks_mined_total"),
+        result.standby_blocks_mined,
+        "registry mirrors the failover census"
+    );
+    assert!(
+        result.blocks_mined > result.standby_blocks_mined,
+        "the master still mines outside its crash window"
+    );
+    assert!(result.completed >= 1, "exchanges survive the failover");
+    assert_eq!(result.escrows_open, 0, "every escrow settled");
+    assert_eq!(result.invariant_violations, 0);
+}
+
+#[test]
 fn soak_same_seed_same_final_utxo() {
     let run = || {
         let mut rng = SimRng::seed_from_u64(0x50a0);

@@ -5,8 +5,11 @@
 use bcwan_bench::bench_fn;
 use bcwan_crypto::aes::{cbc_decrypt, cbc_encrypt};
 use bcwan_crypto::ecdsa::EcdsaPrivateKey;
+use bcwan_crypto::field::FieldElement;
 use bcwan_crypto::rsa::{generate_keypair, RsaKeySize};
 use bcwan_crypto::{hash160, sha256d};
+use bcwan_script::interpreter::{verify_spend, DigestChecker, ExecContext};
+use bcwan_script::templates;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -60,5 +63,32 @@ fn main() {
     let public = ec.public_key();
     bench_fn("ecdsa_verify_digest", 100, || {
         public.verify_digest(black_box(&digest), black_box(&sig))
+    });
+
+    // The fixed-limb field primitives under every EC point operation.
+    let fa = FieldElement::from_u64(0xdead_beef_1234_5678)
+        .mul(&FieldElement::from_u64(0x9e37_79b9))
+        .add(&FieldElement::ONE);
+    let fb = fa.sqr().sub(&FieldElement::from_u64(977));
+    bench_fn("fe_mul", 100_000, || black_box(&fa).mul(black_box(&fb)));
+    bench_fn("fe_sqr", 100_000, || black_box(&fa).sqr());
+    bench_fn("fe_invert", 10_000, || black_box(&fa).invert());
+
+    // Full escrow spend check: the Listing 1 reveal path — ePk/eSk pair
+    // check (OP_CHECKRSA512PAIR), P2PKH hash check, and the final
+    // OP_CHECKSIG over the sighash digest. This is the per-input cost a
+    // validator pays for a claim transaction on a sigcache miss.
+    let gateway_hash = hash160(&public.to_bytes());
+    let buyer_hash = [0x33u8; 20];
+    let escrow = templates::ephemeral_key_release(&pk, &gateway_hash, &buyer_hash, 100);
+    let reveal = templates::key_reveal_sig(&sig.to_bytes(), &public.to_bytes(), &sk);
+    let checker = DigestChecker { digest };
+    let ctx = ExecContext {
+        checker: &checker,
+        lock_time: 0,
+        input_final: true,
+    };
+    bench_fn("escrow_verify (reveal path, cache miss)", 100, || {
+        verify_spend(black_box(&reveal), black_box(&escrow), &ctx).unwrap()
     });
 }

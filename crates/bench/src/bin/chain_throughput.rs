@@ -9,8 +9,9 @@
 //!
 //! Usage: `chain_throughput [N_TXS] [--json PATH]`.
 
-use bcwan_bench::{parse_harness_args, BenchReport};
+use bcwan_bench::{bench_fn_stats, parse_harness_args, BenchReport};
 use bcwan_chain::{Block, Chain, ChainParams, Mempool, OutPoint, Transaction, TxOut, Wallet};
+use bcwan_crypto::ecdsa::EcdsaPrivateKey;
 use bcwan_script::Script;
 use bcwan_sim::{Json, Registry};
 use rand::rngs::StdRng;
@@ -110,6 +111,19 @@ fn main() {
     registry.set(connect_gauge, connect_rate);
     chain.sig_cache().export(&mut registry);
 
+    // Hot-path microbench: one ECDSA verify over a fixed digest — the
+    // dominant per-transaction cost at admission. Exported with its
+    // bootstrap CI bounds so the compare job can hold the fixed-limb
+    // field arithmetic to a tight threshold without tripping on noise.
+    let ec = EcdsaPrivateKey::generate(&mut rng);
+    let digest = [0x5au8; 32];
+    let sig = ec.sign_digest(&digest);
+    let public = ec.public_key();
+    let verify = bench_fn_stats(200, || public.verify_digest(&digest, &sig));
+    registry.set_gauge("bench.ecdsa_verify_digest_s", verify.mean_s);
+    registry.set_gauge("bench.ecdsa_verify_digest_ci95_lo_s", verify.ci95_lo_s);
+    registry.set_gauge("bench.ecdsa_verify_digest_ci95_hi_s", verify.ci95_hi_s);
+
     println!("transactions:              {n}");
     println!("mempool admission:         {admit_rate:9.0} tx/s");
     println!("block connection:          {connect_rate:9.0} tx/s");
@@ -117,6 +131,12 @@ fn main() {
         "sigcache:                  {} hits / {} misses",
         chain.sig_cache().hits(),
         chain.sig_cache().misses()
+    );
+    println!(
+        "ecdsa verify:              {:9.1} µs  ci95 [{:.1}, {:.1}] µs",
+        verify.mean_s * 1e6,
+        verify.ci95_lo_s * 1e6,
+        verify.ci95_hi_s * 1e6
     );
     println!("multichain's §5.2 claim:        1000 tx/s (advertised)");
     println!();

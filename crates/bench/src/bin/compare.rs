@@ -1,7 +1,7 @@
 //! Compares two schema-v1 bench reports metric by metric.
 //!
 //! ```text
-//! Usage: compare BASELINE.json CURRENT.json [--threshold PCT]
+//! Usage: compare BASELINE.json CURRENT.json [--threshold PCT] [--metric PATTERN:PCT]...
 //! ```
 //!
 //! Prints one line per shared counter, gauge and phase mean with its
@@ -9,11 +9,16 @@
 //! against the rest of the report, and exits non-zero when any
 //! direction-aware metric (`*_per_s` higher-is-better, `*_s`
 //! lower-is-better) regressed by more than the threshold (default 20%).
+//! `--metric PATTERN:PCT` overrides the threshold for metrics whose name
+//! contains `PATTERN` (repeatable; last match wins), so CI can hold one
+//! hot metric to a tighter bar. When both reports carry bootstrap CI
+//! gauges (`*_ci95_lo_s`/`*_ci95_hi_s`), an over-threshold delta whose
+//! intervals overlap is reported as `[within CI]` and does not fail.
 //!
 //! Exit codes: `0` no regression, `1` regression past the threshold,
 //! `2` structural problem (unreadable file, schema or experiment mismatch).
 
-use bcwan_bench::{bench_compare, MetricDelta, MetricDirection};
+use bcwan_bench::{bench_compare_with, MetricDelta, MetricDirection};
 
 fn load(path: &str) -> Result<bcwan_sim::Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -30,6 +35,9 @@ fn print_delta(d: &MetricDelta) {
     if d.regression {
         flags.push_str("  REGRESSION");
     }
+    if d.within_noise {
+        flags.push_str("  [within CI]");
+    }
     if d.outlier {
         flags.push_str("  [outlier]");
     }
@@ -42,6 +50,7 @@ fn print_delta(d: &MetricDelta) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threshold = 20.0f64;
+    let mut overrides: Vec<(String, f64)> = Vec::new();
     let mut paths: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -53,12 +62,26 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--metric" {
+            let parsed = iter.next().and_then(|v| {
+                let (pattern, pct) = v.rsplit_once(':')?;
+                Some((pattern.to_string(), pct.parse::<f64>().ok()?))
+            });
+            match parsed {
+                Some(pair) => overrides.push(pair),
+                None => {
+                    eprintln!("--metric requires PATTERN:PCT (e.g. ecdsa_verify_digest:10)");
+                    std::process::exit(2);
+                }
+            }
         } else {
             paths.push(arg);
         }
     }
     let [baseline_path, current_path] = paths[..] else {
-        eprintln!("Usage: compare BASELINE.json CURRENT.json [--threshold PCT]");
+        eprintln!(
+            "Usage: compare BASELINE.json CURRENT.json [--threshold PCT] [--metric PATTERN:PCT]..."
+        );
         std::process::exit(2);
     };
 
@@ -69,7 +92,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let deltas = match bench_compare(&baseline, &current, threshold) {
+    let deltas = match bench_compare_with(&baseline, &current, threshold, &overrides) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");

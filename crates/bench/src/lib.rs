@@ -319,7 +319,15 @@ pub struct BenchStats {
     /// σ under normality). A noisy machine shows up here instead of
     /// silently skewing the mean.
     pub outliers: usize,
+    /// Lower bound of the 95% bootstrap confidence interval for the mean
+    /// (percentile method over [`BOOTSTRAP_RESAMPLES`] resamples).
+    pub ci95_lo_s: f64,
+    /// Upper bound of the 95% bootstrap confidence interval for the mean.
+    pub ci95_hi_s: f64,
 }
+
+/// Resamples drawn by [`bootstrap_ci_mean`] inside [`bench_fn_stats`].
+pub const BOOTSTRAP_RESAMPLES: usize = 200;
 
 impl BenchStats {
     /// Whether the mean is trustworthy: no outlier among the samples and
@@ -327,6 +335,38 @@ impl BenchStats {
     pub fn is_stable(&self) -> bool {
         self.outliers == 0 && (self.mean_s - self.median_s).abs() <= 0.2 * self.median_s.max(1e-12)
     }
+}
+
+/// 95% bootstrap confidence interval for the mean of `samples`
+/// (percentile method): draw `resamples` same-size resamples with
+/// replacement, take each resample's mean, and return the 2.5th and
+/// 97.5th percentiles of those means. The resampler is a seeded
+/// xorshift64, so reruns over the same samples return the same interval.
+/// Degenerate inputs (empty, single sample, or `resamples == 0`)
+/// collapse to `(mean, mean)`.
+pub fn bootstrap_ci_mean(samples: &[f64], resamples: usize, seed: u64) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n == 1 || resamples == 0 {
+        return (mean, mean);
+    }
+    let mut state = seed.max(1);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            sum += samples[(state % n as u64) as usize];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.total_cmp(b));
+    (percentile(&means, 0.025), percentile(&means, 0.975))
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -362,18 +402,23 @@ pub fn bench_fn_stats<R>(iters: u32, mut f: impl FnMut() -> R) -> BenchStats {
         .into_iter()
         .filter(|flagged| *flagged)
         .count();
+    let (ci95_lo_s, ci95_hi_s) =
+        bootstrap_ci_mean(&samples, BOOTSTRAP_RESAMPLES, 0x9e37_79b9_7f4a_7c15);
     BenchStats {
         mean_s,
         median_s,
         p95_s,
         iters,
         outliers,
+        ci95_lo_s,
+        ci95_hi_s,
     }
 }
 
 /// Times `f` over `iters` iterations, prints one table line
-/// (mean/median/p95 plus an outlier flag when the MAD rule fires), and
-/// returns the per-iteration mean in seconds.
+/// (mean with its 95% bootstrap CI, median, p95, plus an outlier flag
+/// when the MAD rule fires), and returns the per-iteration mean in
+/// seconds.
 pub fn bench_fn<R>(name: &str, iters: u32, f: impl FnMut() -> R) -> f64 {
     let stats = bench_fn_stats(iters, f);
     let (scale, unit) = if stats.median_s < 1e-3 {
@@ -387,8 +432,10 @@ pub fn bench_fn<R>(name: &str, iters: u32, f: impl FnMut() -> R) -> f64 {
         String::new()
     };
     println!(
-        "{name:<48} mean {:>9.2} {unit}  p50 {:>9.2} {unit}  p95 {:>9.2} {unit}  ({} iters){flag}",
+        "{name:<48} mean {:>9.2} {unit}  ci95 [{:>8.2}, {:>8.2}] {unit}  p50 {:>9.2} {unit}  p95 {:>9.2} {unit}  ({} iters){flag}",
         stats.mean_s * scale,
+        stats.ci95_lo_s * scale,
+        stats.ci95_hi_s * scale,
         stats.median_s * scale,
         stats.p95_s * scale,
         stats.iters,
@@ -432,9 +479,13 @@ pub enum MetricDirection {
     Informational,
 }
 
-/// Classifies a metric name by the report's naming conventions.
+/// Classifies a metric name by the report's naming conventions. CI-bound
+/// gauges (`*_ci95_lo_s`/`*_ci95_hi_s`) describe measurement noise, not
+/// performance, so they are never gated on.
 pub fn metric_direction(name: &str) -> MetricDirection {
-    if name.contains("per_s") || name.contains("throughput") {
+    if name.contains("_ci95_") {
+        MetricDirection::Informational
+    } else if name.contains("per_s") || name.contains("throughput") {
         MetricDirection::HigherIsBetter
     } else if name.ends_with("_s") || name.contains("latency") {
         MetricDirection::LowerIsBetter
@@ -457,8 +508,14 @@ pub struct MetricDelta {
     pub delta_pct: f64,
     /// How this metric is judged.
     pub direction: MetricDirection,
-    /// Whether the change exceeds the threshold in the bad direction.
+    /// Whether the change exceeds the threshold in the bad direction
+    /// (and, when both reports carry CI bounds, the intervals separate).
     pub regression: bool,
+    /// Both reports carried 95% CI bounds for this metric
+    /// (`<stem>_ci95_lo_s`/`_hi_s` gauges) and the intervals overlap:
+    /// an over-threshold delta is then measurement noise, and
+    /// `regression` stays false.
+    pub within_noise: bool,
     /// Scaled-MAD flag over all delta percentages: this metric moved very
     /// differently from the rest of the report (see [`mad_outlier_flags`]).
     pub outlier: bool,
@@ -487,13 +544,32 @@ fn collect_comparables(doc: &Json) -> Vec<(String, f64)> {
     out
 }
 
+/// The 95% CI bounds that accompany metric `name`, if the report emitted
+/// them: for a metric `<stem>_s` the companions are `<stem>_ci95_lo_s`
+/// and `<stem>_ci95_hi_s` in the same section.
+fn ci_bounds(metrics: &[(String, f64)], name: &str) -> Option<(f64, f64)> {
+    let stem = name.strip_suffix("_s")?;
+    let lo = metrics
+        .iter()
+        .find(|(n, _)| *n == format!("{stem}_ci95_lo_s"))?
+        .1;
+    let hi = metrics
+        .iter()
+        .find(|(n, _)| *n == format!("{stem}_ci95_hi_s"))?
+        .1;
+    (lo <= hi).then_some((lo, hi))
+}
+
 /// Compares two schema-v1 bench report documents metric by metric.
 ///
 /// Both documents must carry the current [`SCHEMA_VERSION`] and name the
 /// same experiment. Every counter, gauge and phase mean present in *both*
 /// reports produces one [`MetricDelta`]; a delta counts as a regression
 /// when a `HigherIsBetter` metric drops, or a `LowerIsBetter` metric
-/// rises, by more than `threshold_pct` percent.
+/// rises, by more than `threshold_pct` percent. When both reports also
+/// carry bootstrap CI gauges for a metric, an over-threshold delta whose
+/// intervals still overlap is reported as `within_noise`, not a
+/// regression — two noisy runs straddling the threshold don't fail CI.
 ///
 /// # Errors
 ///
@@ -503,6 +579,24 @@ pub fn bench_compare(
     baseline: &Json,
     current: &Json,
     threshold_pct: f64,
+) -> Result<Vec<MetricDelta>, String> {
+    bench_compare_with(baseline, current, threshold_pct, &[])
+}
+
+/// [`bench_compare`] with per-metric threshold overrides: each
+/// `(pattern, pct)` pair replaces `threshold_pct` for every metric whose
+/// qualified name contains `pattern` (last match wins). This is how CI
+/// holds one hot metric to a tighter bar — e.g.
+/// `("ecdsa_verify_digest", 10.0)` — without squeezing the whole report.
+///
+/// # Errors
+///
+/// Same structural errors as [`bench_compare`].
+pub fn bench_compare_with(
+    baseline: &Json,
+    current: &Json,
+    threshold_pct: f64,
+    overrides: &[(String, f64)],
 ) -> Result<Vec<MetricDelta>, String> {
     for (label, doc) in [("baseline", baseline), ("current", current)] {
         match doc.get("schema_version").and_then(Json::as_f64) {
@@ -541,18 +635,35 @@ pub fn bench_compare(
             f64::INFINITY
         };
         let direction = metric_direction(name);
-        let regression = match direction {
-            MetricDirection::HigherIsBetter => delta_pct < -threshold_pct,
-            MetricDirection::LowerIsBetter => delta_pct > threshold_pct,
+        let threshold = overrides
+            .iter()
+            .rev()
+            .find(|(pattern, _)| name.contains(pattern.as_str()))
+            .map_or(threshold_pct, |(_, pct)| *pct);
+        let over_threshold = match direction {
+            MetricDirection::HigherIsBetter => delta_pct < -threshold,
+            MetricDirection::LowerIsBetter => delta_pct > threshold,
             MetricDirection::Informational => false,
         };
+        // CI-overlap gate: if both reports bound this metric's mean and
+        // the intervals overlap, the delta is indistinguishable from
+        // run-to-run noise.
+        let within_noise = over_threshold
+            && match (
+                ci_bounds(&base_metrics, name),
+                ci_bounds(&cur_metrics, name),
+            ) {
+                (Some((b_lo, b_hi)), Some((c_lo, c_hi))) => b_lo <= c_hi && c_lo <= b_hi,
+                _ => false,
+            };
         deltas.push(MetricDelta {
             name: name.clone(),
             baseline: *base_value,
             current: *cur_value,
             delta_pct,
             direction,
-            regression,
+            regression: over_threshold && !within_noise,
+            within_noise,
             outlier: false,
         });
     }
@@ -664,6 +775,103 @@ mod tests {
         assert_eq!(stats.iters, 50);
         assert!(stats.median_s <= stats.p95_s);
         assert!(stats.mean_s > 0.0);
+        assert!(stats.ci95_lo_s <= stats.ci95_hi_s);
+        assert!(stats.ci95_lo_s > 0.0, "timings are positive: {stats:?}");
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean_and_is_deterministic() {
+        let samples: Vec<f64> = (0..40).map(|i| 1.0 + f64::from(i % 5) * 0.1).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let (lo, hi) = bootstrap_ci_mean(&samples, 200, 42);
+        assert!(
+            lo <= mean && mean <= hi,
+            "CI [{lo}, {hi}] misses mean {mean}"
+        );
+        assert!(hi - lo < 0.2, "CI absurdly wide for tight samples");
+        assert_eq!(
+            bootstrap_ci_mean(&samples, 200, 42),
+            (lo, hi),
+            "same seed, same CI"
+        );
+        // Degenerate inputs collapse to the mean.
+        assert_eq!(bootstrap_ci_mean(&[], 200, 1), (0.0, 0.0));
+        assert_eq!(bootstrap_ci_mean(&[3.0], 200, 1), (3.0, 3.0));
+        assert_eq!(bootstrap_ci_mean(&samples, 0, 1), (mean, mean));
+    }
+
+    #[test]
+    fn ci_gauges_are_informational() {
+        assert_eq!(
+            metric_direction("gauges.bench.ecdsa_verify_digest_ci95_lo_s"),
+            MetricDirection::Informational
+        );
+        assert_eq!(
+            metric_direction("gauges.bench.ecdsa_verify_digest_ci95_hi_s"),
+            MetricDirection::Informational
+        );
+        assert_eq!(
+            metric_direction("gauges.bench.ecdsa_verify_digest_s"),
+            MetricDirection::LowerIsBetter
+        );
+    }
+
+    fn latency_report_with_ci(mean: f64, lo: f64, hi: f64) -> Json {
+        let mut registry = Registry::new();
+        registry.set_gauge("bench.verify_s", mean);
+        registry.set_gauge("bench.verify_ci95_lo_s", lo);
+        registry.set_gauge("bench.verify_ci95_hi_s", hi);
+        BenchReport::new("micro")
+            .metrics(registry.snapshot())
+            .to_json()
+    }
+
+    #[test]
+    fn overlapping_cis_suppress_a_regression() {
+        // +30% mean shift past a 20% threshold, but the intervals overlap:
+        // noise, not a regression.
+        let baseline = latency_report_with_ci(1.0, 0.7, 1.4);
+        let noisy = latency_report_with_ci(1.3, 1.1, 1.6);
+        let deltas = bench_compare(&baseline, &noisy, 20.0).unwrap();
+        let verify = deltas
+            .iter()
+            .find(|d| d.name == "gauges.bench.verify_s")
+            .unwrap();
+        assert!(verify.within_noise, "overlapping CIs: {verify:?}");
+        assert!(!verify.regression);
+
+        // Separated intervals: the same shift is a real regression.
+        let clearly_worse = latency_report_with_ci(1.3, 1.28, 1.32);
+        let tight_base = latency_report_with_ci(1.0, 0.98, 1.02);
+        let deltas = bench_compare(&tight_base, &clearly_worse, 20.0).unwrap();
+        let verify = deltas
+            .iter()
+            .find(|d| d.name == "gauges.bench.verify_s")
+            .unwrap();
+        assert!(verify.regression, "separated CIs must gate: {verify:?}");
+        assert!(!verify.within_noise);
+    }
+
+    #[test]
+    fn per_metric_threshold_overrides_apply_by_substring() {
+        let baseline = latency_report_with_ci(1.0, 0.98, 1.02);
+        // Current is +15%: passes the default 20% threshold.
+        let current = latency_report_with_ci(1.15, 1.13, 1.17);
+        let deltas = bench_compare(&baseline, &current, 20.0).unwrap();
+        assert!(deltas.iter().all(|d| !d.regression));
+        // A 10% override on the verify metric: fails.
+        let overrides = vec![("verify_s".to_string(), 10.0)];
+        let deltas = bench_compare_with(&baseline, &current, 20.0, &overrides).unwrap();
+        let verify = deltas
+            .iter()
+            .find(|d| d.name == "gauges.bench.verify_s")
+            .unwrap();
+        assert!(verify.regression, "10% override must trip on +15%");
+        // The override never touches unrelated metrics.
+        assert!(deltas
+            .iter()
+            .filter(|d| d.name != "gauges.bench.verify_s")
+            .all(|d| !d.regression));
     }
 
     #[test]

@@ -58,6 +58,6 @@ pub use tx::{OutPoint, Transaction, TxId, TxIn, TxOut, SEQUENCE_FINAL};
 pub use utxo::{UtxoEntry, UtxoSet};
 pub use validate::{
     validate_block, validate_block_with, validate_transaction, validate_transaction_cached,
-    BlockError, BlockValidationOptions, SigCache, TxError,
+    BlockError, BlockValidationOptions, SigCache, SigKind, TxError,
 };
 pub use wallet::{Address, Wallet};

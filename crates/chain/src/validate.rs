@@ -7,7 +7,7 @@ use crate::tx::Transaction;
 use crate::utxo::{UtxoEntry, UtxoSet, UtxoView};
 use bcwan_crypto::sha256;
 use bcwan_script::interpreter::{verify_spend, DigestChecker, ExecContext};
-use bcwan_script::{Script, ScriptError};
+use bcwan_script::{Opcode, Script, ScriptError};
 use bcwan_sim::metrics::Registry;
 use std::collections::HashSet;
 use std::fmt;
@@ -165,6 +165,32 @@ impl std::error::Error for BlockError {}
 /// scan over prior inputs (no allocation) to a `HashSet`.
 const DUP_LINEAR_MAX: usize = 32;
 
+/// Which verifier dominates a spend, for [`SigCache`] accounting.
+///
+/// The cache itself is agnostic — a key is a key — but hits and misses are
+/// counted per kind so the escrow paths are observable on their own
+/// (`validate.sigcache.rsa.*` vs the ECDSA `validate.sigcache.*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigKind {
+    /// Ordinary ECDSA spends (P2PKH-style `OP_CHECKSIGVERIFY`).
+    Ecdsa,
+    /// Escrow spends whose locking script runs `OP_CHECKRSA512PAIR`
+    /// (the paper's session-key reveal / CLTV refund branches).
+    Rsa,
+}
+
+impl SigKind {
+    /// Classifies a spend by its locking script: anything carrying the
+    /// RSA pair-check opcode counts as an escrow verification.
+    pub fn of(script_pubkey: &Script) -> Self {
+        if script_pubkey.contains_op(Opcode::CheckRsa512Pair) {
+            SigKind::Rsa
+        } else {
+            SigKind::Ecdsa
+        }
+    }
+}
+
 /// A shared cache of script verifications that already succeeded.
 ///
 /// Keyed on `sha256(sighash digest || script_sig || script_pubkey)` — the
@@ -183,6 +209,8 @@ pub struct SigCache {
     inner: Mutex<SigCacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    rsa_hits: AtomicU64,
+    rsa_misses: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -207,6 +235,8 @@ impl SigCache {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            rsa_hits: AtomicU64::new(0),
+            rsa_misses: AtomicU64::new(0),
         }
     }
 
@@ -224,9 +254,10 @@ impl SigCache {
         sha256(&buf)
     }
 
-    /// Whether this spend already verified successfully. Counts a hit or a
-    /// miss; a previous-generation hit is promoted to the current one.
-    pub fn contains(&self, key: &[u8; 32]) -> bool {
+    /// Whether this spend already verified successfully, counted against
+    /// the counters for `kind`; a previous-generation hit is promoted to
+    /// the current one.
+    pub fn contains(&self, key: &[u8; 32], kind: SigKind) -> bool {
         let mut inner = self.lock();
         let found = if inner.current.contains(key) {
             true
@@ -237,11 +268,13 @@ impl SigCache {
             false
         };
         drop(inner);
-        if found {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        }
+        let counter = match (kind, found) {
+            (SigKind::Ecdsa, true) => &self.hits,
+            (SigKind::Ecdsa, false) => &self.misses,
+            (SigKind::Rsa, true) => &self.rsa_hits,
+            (SigKind::Rsa, false) => &self.rsa_misses,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
         found
     }
 
@@ -263,14 +296,24 @@ impl SigCache {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Total lookup hits so far.
+    /// ECDSA-classified lookup hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Total lookup misses so far.
+    /// ECDSA-classified lookup misses so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `OP_CHECKRSA512PAIR`-classified lookup hits so far.
+    pub fn rsa_hits(&self) -> u64 {
+        self.rsa_hits.load(Ordering::Relaxed)
+    }
+
+    /// `OP_CHECKRSA512PAIR`-classified lookup misses so far.
+    pub fn rsa_misses(&self) -> u64 {
+        self.rsa_misses.load(Ordering::Relaxed)
     }
 
     /// Entries currently cached (both generations).
@@ -284,10 +327,14 @@ impl SigCache {
         self.len() == 0
     }
 
-    /// Exports `validate.sigcache.hit|miss` counters into a metrics registry.
+    /// Exports `validate.sigcache.hit|miss` (ECDSA spends) and
+    /// `validate.sigcache.rsa.hit|miss` (escrow pair-check spends) into a
+    /// metrics registry.
     pub fn export(&self, registry: &mut Registry) {
         registry.set_counter("validate.sigcache.hit", self.hits());
         registry.set_counter("validate.sigcache.miss", self.misses());
+        registry.set_counter("validate.sigcache.rsa.hit", self.rsa_hits());
+        registry.set_counter("validate.sigcache.rsa.miss", self.rsa_misses());
     }
 }
 
@@ -373,7 +420,7 @@ fn verify_script_with_cache(
 ) -> Result<(), TxError> {
     let key = cache.map(|_| SigCache::key(digest, script_sig, script_pubkey));
     if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
-        if cache.contains(key) {
+        if cache.contains(key, SigKind::of(script_pubkey)) {
             return Ok(());
         }
     }
@@ -654,7 +701,7 @@ pub fn validate_block_with(
                         SigCache::key(&digest, &input.script_sig, &entry.output.script_pubkey)
                     });
                     if let (Some(cache), Some(key)) = (opts.cache, key.as_ref()) {
-                        if cache.contains(key) {
+                        if cache.contains(key, SigKind::of(&entry.output.script_pubkey)) {
                             continue; // verified at mempool admission
                         }
                     }
@@ -741,6 +788,39 @@ mod tests {
 
     fn spend_height(f: &Fixture) -> u64 {
         f.params.coinbase_maturity // first height the coin is mature
+    }
+
+    #[test]
+    fn sigcache_counts_rsa_escrow_lookups_separately() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (epk, _esk) =
+            bcwan_crypto::generate_keypair(&mut rng, bcwan_crypto::RsaKeySize::Rsa512);
+        let escrow =
+            bcwan_script::templates::ephemeral_key_release(&epk, &[1u8; 20], &[2u8; 20], 100);
+        let p2pkh = bcwan_script::templates::p2pkh(&[3u8; 20]);
+        assert_eq!(SigKind::of(&escrow), SigKind::Rsa);
+        assert_eq!(SigKind::of(&p2pkh), SigKind::Ecdsa);
+
+        let cache = SigCache::default();
+        let digest = [9u8; 32];
+        let rsa_key = SigCache::key(&digest, &Script::new(), &escrow);
+        let ecdsa_key = SigCache::key(&digest, &Script::new(), &p2pkh);
+        // Miss, insert, hit — per kind, without cross-talk.
+        assert!(!cache.contains(&rsa_key, SigKind::of(&escrow)));
+        cache.insert(rsa_key);
+        assert!(cache.contains(&rsa_key, SigKind::of(&escrow)));
+        assert!(!cache.contains(&ecdsa_key, SigKind::of(&p2pkh)));
+        assert_eq!((cache.rsa_hits(), cache.rsa_misses()), (1, 1));
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let mut registry = Registry::new();
+        cache.export(&mut registry);
+        let counters: std::collections::HashMap<_, _> =
+            registry.snapshot().counters.into_iter().collect();
+        assert_eq!(counters["validate.sigcache.rsa.hit"], 1);
+        assert_eq!(counters["validate.sigcache.rsa.miss"], 1);
+        assert_eq!(counters["validate.sigcache.hit"], 0);
+        assert_eq!(counters["validate.sigcache.miss"], 1);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Dedicated secp256k1 field element: fixed 4×u64 limbs, pseudo-Mersenne
+//! reduction, no heap.
+//!
+//! [`FieldElement`] wraps the raw-limb `const fn` core in
+//! [`crate::field_core`] with an ergonomic, always-reduced value type. It
+//! replaces [`BigUint`] inside the elliptic-curve hot paths
+//! ([`crate::secp256k1`]): point doubling/addition and affine normalization
+//! run entirely on these limbs, converting to/from `BigUint` only at the
+//! ECDSA scalar layer (scalar arithmetic mod `n` stays on the Montgomery
+//! path in [`crate::bignum`]).
+//!
+//! `BigUint` is deliberately retained as the *oracle*: every operation here
+//! is fuzz-checked against the generic implementation in
+//! `tests/field_fuzz.rs`, the same pattern `fastpath_fuzz.rs` uses for the
+//! Montgomery layer.
+
+use crate::bignum::BigUint;
+use crate::field_core as fc;
+
+/// An element of the secp256k1 base field, always fully reduced modulo
+/// `p = 2^256 − 2^32 − 977`.
+///
+/// Limbs are little-endian `u64`s. The type is `Copy` and heap-free; all
+/// arithmetic lowers to the `const fn` core shared with the build-time
+/// base-point table generator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FieldElement([u64; 4]);
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0]);
+
+    /// Wrap raw little-endian limbs. The caller must guarantee the value is
+    /// already reduced (`< p`); the const-baked base table and curve
+    /// constants are the intended users.
+    pub const fn from_raw_limbs(limbs: [u64; 4]) -> Self {
+        FieldElement(limbs)
+    }
+
+    /// A small scalar as a field element.
+    pub const fn from_u64(v: u64) -> Self {
+        FieldElement([v, 0, 0, 0])
+    }
+
+    /// Parse a 32-byte big-endian encoding. Returns `None` when the value
+    /// is not reduced (`≥ p`), matching the strictness of compressed-point
+    /// parsing.
+    pub fn from_bytes_be(bytes: &[u8; 32]) -> Option<Self> {
+        let mut limbs = [0u64; 4];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            limbs[3 - i] = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if ge_p(&limbs) {
+            return None;
+        }
+        Some(FieldElement(limbs))
+    }
+
+    /// The canonical 32-byte big-endian encoding.
+    pub fn to_bytes_be(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[8 * i..8 * i + 8].copy_from_slice(&self.0[3 - i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Convert from the generic big integer. Returns `None` when `v ≥ p`.
+    pub fn from_biguint(v: &BigUint) -> Option<Self> {
+        if v.bit_len() > 256 {
+            return None;
+        }
+        let bytes = v.to_bytes_be_padded(32).expect("≤256 bits fits 32 bytes");
+        let arr: [u8; 32] = bytes.as_slice().try_into().expect("padded to 32 bytes");
+        Self::from_bytes_be(&arr)
+    }
+
+    /// Convert to the generic big integer (the oracle type).
+    pub fn to_biguint(&self) -> BigUint {
+        BigUint::from_bytes_be(&self.to_bytes_be())
+    }
+
+    /// True iff this is the additive identity.
+    pub fn is_zero(&self) -> bool {
+        fc::fe_is_zero(&self.0)
+    }
+
+    /// True iff the canonical representative is odd (used for compressed
+    /// point parity).
+    pub fn is_odd(&self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// Field addition.
+    #[must_use]
+    pub fn add(&self, rhs: &FieldElement) -> FieldElement {
+        FieldElement(fc::fe_add(&self.0, &rhs.0))
+    }
+
+    /// Field subtraction.
+    #[must_use]
+    pub fn sub(&self, rhs: &FieldElement) -> FieldElement {
+        FieldElement(fc::fe_sub(&self.0, &rhs.0))
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(&self, rhs: &FieldElement) -> FieldElement {
+        FieldElement(fc::fe_mul(&self.0, &rhs.0))
+    }
+
+    /// Field squaring (cheaper than `self.mul(self)`).
+    #[must_use]
+    pub fn sqr(&self) -> FieldElement {
+        FieldElement(fc::fe_sqr(&self.0))
+    }
+
+    /// Doubling, `2·self`.
+    #[must_use]
+    pub fn double(&self) -> FieldElement {
+        FieldElement(fc::fe_add(&self.0, &self.0))
+    }
+
+    /// Additive inverse, `p − self` (zero maps to zero).
+    #[must_use]
+    pub fn negate(&self) -> FieldElement {
+        FieldElement(fc::fe_neg(&self.0))
+    }
+
+    /// Multiplicative inverse by Fermat's little theorem (`a^(p−2)`), via a
+    /// fixed 255-squaring addition chain. Zero maps to zero; callers guard
+    /// the projective point-at-infinity case before inverting `Z`.
+    #[must_use]
+    pub fn invert(&self) -> FieldElement {
+        FieldElement(fc::fe_inv(&self.0))
+    }
+
+    /// Modular square root: `Some(r)` with `r² = self` when `self` is a
+    /// quadratic residue (via the `(p+1)/4` exponent chain, `p ≡ 3 mod 4`),
+    /// `None` otherwise.
+    pub fn sqrt(&self) -> Option<FieldElement> {
+        let r = FieldElement(fc::fe_sqrt_candidate(&self.0));
+        if r.sqr() == *self {
+            Some(r)
+        } else {
+            None
+        }
+    }
+}
+
+/// True iff `limbs ≥ p` (big-endian limb comparison).
+fn ge_p(limbs: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if limbs[i] > fc::P[i] {
+            return true;
+        }
+        if limbs[i] < fc::P[i] {
+            return false;
+        }
+    }
+    true // equal to p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> BigUint {
+        BigUint::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap()
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        assert_eq!(FieldElement::ZERO.to_biguint(), BigUint::zero());
+        assert_eq!(FieldElement::ONE.to_biguint(), BigUint::one());
+        assert!(FieldElement::ZERO.is_zero());
+        assert!(!FieldElement::ONE.is_zero());
+        assert!(FieldElement::ONE.is_odd());
+    }
+
+    #[test]
+    fn p_is_rejected_and_p_minus_one_accepted() {
+        assert!(FieldElement::from_biguint(&p()).is_none());
+        let pm1 = p().sub(&BigUint::one());
+        let fe = FieldElement::from_biguint(&pm1).unwrap();
+        assert_eq!(fe.to_biguint(), pm1);
+        // (p−1) + 1 ≡ 0
+        assert!(fe.add(&FieldElement::ONE).is_zero());
+        // (p−1)² ≡ 1
+        assert_eq!(fe.sqr(), FieldElement::ONE);
+    }
+
+    #[test]
+    fn invert_matches_oracle() {
+        let fe = FieldElement::from_u64(0xdead_beef);
+        let inv = fe.invert();
+        assert_eq!(fe.mul(&inv), FieldElement::ONE);
+        let oracle = BigUint::from_u64(0xdead_beef).mod_inverse(&p()).unwrap();
+        assert_eq!(inv.to_biguint(), oracle);
+    }
+
+    #[test]
+    fn sqrt_of_four_is_two_up_to_sign() {
+        let r = FieldElement::from_u64(4).sqrt().expect("4 is a QR");
+        assert_eq!(r.sqr(), FieldElement::from_u64(4));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let v =
+            BigUint::from_hex("c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5")
+                .unwrap();
+        let fe = FieldElement::from_biguint(&v).unwrap();
+        assert_eq!(FieldElement::from_bytes_be(&fe.to_bytes_be()), Some(fe));
+        assert_eq!(fe.to_biguint(), v);
+    }
+}

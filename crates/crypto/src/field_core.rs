@@ -1,0 +1,253 @@
+// Raw 4×u64-limb arithmetic over the secp256k1 base field.
+//
+// The prime is pseudo-Mersenne: `p = 2^256 − 2^32 − 977`, so
+// `2^256 ≡ C (mod p)` with `C = 2^32 + 977 = 0x1000003D1`. Reduction is a
+// carry fold — multiply the high half by `C` and add it back in — with no
+// division anywhere. Every function here is a `const fn` over little-endian
+// `[u64; 4]` limbs so the same code path drives both the runtime
+// `field::FieldElement` wrapper and the `build.rs` generator that
+// const-bakes the fixed-window base-point table (which is why this file
+// uses plain `//` comments: build.rs splices it in with `include!`).
+//
+// Representation invariant: inputs and outputs are fully reduced (`< p`).
+// The fuzz suite (`tests/field_fuzz.rs`) checks every operation against the
+// retained `bignum::BigUint` implementation as oracle.
+
+/// The secp256k1 field prime `p = 2^256 − 2^32 − 977`, little-endian limbs.
+pub const P: [u64; 4] = [
+    0xFFFF_FFFE_FFFF_FC2F,
+    0xFFFF_FFFF_FFFF_FFFF,
+    0xFFFF_FFFF_FFFF_FFFF,
+    0xFFFF_FFFF_FFFF_FFFF,
+];
+
+/// `2^256 mod p = 2^32 + 977`. Fits well inside one limb (33 bits), which is
+/// what makes the two-stage carry fold in [`reduce_wide`] terminate.
+pub const FOLD: u64 = 0x1_0000_03D1;
+
+/// Add with carry: returns `(sum, carry_out)` for `a + b + carry`.
+const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Subtract with borrow: returns `(diff, borrow_out)` for `a − b − borrow`.
+const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let (d, b1) = a.overflowing_sub(b);
+    let (d, b2) = d.overflowing_sub(borrow);
+    (d, (b1 | b2) as u64)
+}
+
+/// True iff all limbs are zero.
+pub const fn fe_is_zero(a: &[u64; 4]) -> bool {
+    a[0] | a[1] | a[2] | a[3] == 0
+}
+
+/// Subtract `p` once if the value is `≥ p` (the value must be `< 2p`).
+const fn cond_sub_p(r: [u64; 4]) -> [u64; 4] {
+    let (d0, borrow) = sbb(r[0], P[0], 0);
+    let (d1, borrow) = sbb(r[1], P[1], borrow);
+    let (d2, borrow) = sbb(r[2], P[2], borrow);
+    let (d3, borrow) = sbb(r[3], P[3], borrow);
+    if borrow == 0 {
+        [d0, d1, d2, d3]
+    } else {
+        r
+    }
+}
+
+/// Field addition: `(a + b) mod p` for reduced inputs.
+pub const fn fe_add(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let (r0, carry) = adc(a[0], b[0], 0);
+    let (r1, carry) = adc(a[1], b[1], carry);
+    let (r2, carry) = adc(a[2], b[2], carry);
+    let (r3, carry) = adc(a[3], b[3], carry);
+    // a + b < 2p, so the 2^256 overflow bit folds to +FOLD and leaves the
+    // value < p already (a + b − 2^256 + FOLD = a + b − p); no carry-out.
+    let t = r0 as u128 + carry as u128 * FOLD as u128;
+    let (r0, c) = (t as u64, (t >> 64) as u64);
+    let (r1, c) = adc(r1, 0, c);
+    let (r2, c) = adc(r2, 0, c);
+    let (r3, _) = adc(r3, 0, c);
+    cond_sub_p([r0, r1, r2, r3])
+}
+
+/// Field subtraction: `(a − b) mod p` for reduced inputs.
+pub const fn fe_sub(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let (r0, borrow) = sbb(a[0], b[0], 0);
+    let (r1, borrow) = sbb(a[1], b[1], borrow);
+    let (r2, borrow) = sbb(a[2], b[2], borrow);
+    let (r3, borrow) = sbb(a[3], b[3], borrow);
+    // On underflow the wrapped value is a − b + 2^256; subtracting FOLD turns
+    // it into a − b + p. Since a − b ≥ −(p − 1), the wrapped value is at
+    // least FOLD + 1, so this never underflows again.
+    let (r0, c) = sbb(r0, borrow * FOLD, 0);
+    let (r1, c) = sbb(r1, 0, c);
+    let (r2, c) = sbb(r2, 0, c);
+    let (r3, _) = sbb(r3, 0, c);
+    [r0, r1, r2, r3]
+}
+
+/// Field negation: `(p − a) mod p`, mapping zero to zero.
+pub const fn fe_neg(a: &[u64; 4]) -> [u64; 4] {
+    fe_sub(&[0, 0, 0, 0], a)
+}
+
+/// Schoolbook 4×4 multiply into a 512-bit product (8 limbs, little-endian).
+const fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
+    let mut t = [0u64; 8];
+    let mut i = 0;
+    while i < 4 {
+        let mut carry = 0u128;
+        let mut j = 0;
+        while j < 4 {
+            let cur = t[i + j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+            t[i + j] = cur as u64;
+            carry = cur >> 64;
+            j += 1;
+        }
+        t[i + 4] = carry as u64;
+        i += 1;
+    }
+    t
+}
+
+/// Squaring into a 512-bit product: off-diagonal products computed once and
+/// doubled, diagonals added afterwards (≈40% fewer 64×64 multiplies).
+const fn sqr_wide(a: &[u64; 4]) -> [u64; 8] {
+    let mut t = [0u64; 8];
+    // Off-diagonal terms a_i·a_j for i < j, accumulated at position i + j.
+    let mut i = 0;
+    while i < 4 {
+        let mut carry = 0u128;
+        let mut j = i + 1;
+        while j < 4 {
+            let cur = t[i + j] as u128 + a[i] as u128 * a[j] as u128 + carry;
+            t[i + j] = cur as u64;
+            carry = cur >> 64;
+            j += 1;
+        }
+        if i < 3 {
+            t[i + 4] = carry as u64;
+        }
+        i += 1;
+    }
+    // Double (top limb is still free: the cross sum fits 2^511).
+    let mut carry = 0u64;
+    let mut k = 0;
+    while k < 8 {
+        let cur = ((t[k] as u128) << 1) | carry as u128;
+        t[k] = cur as u64;
+        carry = (cur >> 64) as u64;
+        k += 1;
+    }
+    // Add the diagonal squares a_k² at positions 2k, 2k+1.
+    let mut carry = 0u64;
+    let mut k = 0;
+    while k < 4 {
+        let sq = a[k] as u128 * a[k] as u128;
+        let (d0, c) = adc(t[2 * k], sq as u64, carry);
+        let (d1, c) = adc(t[2 * k + 1], (sq >> 64) as u64, c);
+        t[2 * k] = d0;
+        t[2 * k + 1] = d1;
+        carry = c;
+        k += 1;
+    }
+    t
+}
+
+/// Reduce a 512-bit product modulo `p` with the pseudo-Mersenne fold.
+///
+/// Stage 1 folds the high 256 bits down (`r = lo + hi·FOLD`, a 5-limb
+/// value whose top limb is ≤ 2^33). Stage 2 folds that top limb the same
+/// way, leaving at most a single overflow bit, which stage 3 folds once
+/// more (it cannot carry again because stage 2 only overflows when the low
+/// limbs wrapped to a tiny value). One conditional subtract finishes.
+const fn reduce_wide(t: &[u64; 8]) -> [u64; 4] {
+    // Stage 1: r = lo + hi·FOLD.
+    let mut r = [0u64; 5];
+    let mut carry = 0u128;
+    let mut i = 0;
+    while i < 4 {
+        let cur = t[i] as u128 + t[i + 4] as u128 * FOLD as u128 + carry;
+        r[i] = cur as u64;
+        carry = cur >> 64;
+        i += 1;
+    }
+    r[4] = carry as u64;
+    // Stage 2: fold the 33-bit top limb.
+    let cur = r[0] as u128 + r[4] as u128 * FOLD as u128;
+    let (r0, c) = (cur as u64, (cur >> 64) as u64);
+    let (r1, c) = adc(r[1], 0, c);
+    let (r2, c) = adc(r[2], 0, c);
+    let (r3, c) = adc(r[3], 0, c);
+    // Stage 3: at most one overflow bit left.
+    let cur = r0 as u128 + c as u128 * FOLD as u128;
+    let (r0, c) = (cur as u64, (cur >> 64) as u64);
+    let (r1, c) = adc(r1, 0, c);
+    let (r2, c) = adc(r2, 0, c);
+    let (r3, _) = adc(r3, 0, c);
+    cond_sub_p([r0, r1, r2, r3])
+}
+
+/// Field multiplication: `(a · b) mod p`.
+pub const fn fe_mul(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    reduce_wide(&mul_wide(a, b))
+}
+
+/// Field squaring: `a² mod p`.
+pub const fn fe_sqr(a: &[u64; 4]) -> [u64; 4] {
+    reduce_wide(&sqr_wide(a))
+}
+
+/// `n` squarings followed by a multiply — the building block of the
+/// addition chains below.
+const fn fe_sqrn_mul(a: &[u64; 4], n: u32, b: &[u64; 4]) -> [u64; 4] {
+    let mut t = *a;
+    let mut i = 0;
+    while i < n {
+        t = fe_sqr(&t);
+        i += 1;
+    }
+    fe_mul(&t, b)
+}
+
+/// Shared prefix of the inversion and square-root addition chains:
+/// returns `(x2, x3, x22, x223)` where `xk = a^(2^k − 1)`.
+const fn fe_chain_prefix(a: &[u64; 4]) -> ([u64; 4], [u64; 4], [u64; 4], [u64; 4]) {
+    let x2 = fe_sqrn_mul(a, 1, a);
+    let x3 = fe_sqrn_mul(&x2, 1, a);
+    let x6 = fe_sqrn_mul(&x3, 3, &x3);
+    let x9 = fe_sqrn_mul(&x6, 3, &x3);
+    let x11 = fe_sqrn_mul(&x9, 2, &x2);
+    let x22 = fe_sqrn_mul(&x11, 11, &x11);
+    let x44 = fe_sqrn_mul(&x22, 22, &x22);
+    let x88 = fe_sqrn_mul(&x44, 44, &x44);
+    let x176 = fe_sqrn_mul(&x88, 88, &x88);
+    let x220 = fe_sqrn_mul(&x176, 44, &x44);
+    let x223 = fe_sqrn_mul(&x220, 3, &x3);
+    (x2, x3, x22, x223)
+}
+
+/// Field inversion by Fermat's little theorem: `a^(p−2) mod p` via the
+/// 255-squaring/15-multiply addition chain from libsecp256k1. Maps zero
+/// to zero (callers guard the projective `Z = 0` case explicitly).
+pub const fn fe_inv(a: &[u64; 4]) -> [u64; 4] {
+    let (x2, _x3, x22, x223) = fe_chain_prefix(a);
+    // p − 2 = 2^256 − 2^32 − 979: tail bits 11111111 11111111 11111100 0010 1101.
+    let t = fe_sqrn_mul(&x223, 23, &x22);
+    let t = fe_sqrn_mul(&t, 5, a);
+    let t = fe_sqrn_mul(&t, 3, &x2);
+    fe_sqrn_mul(&t, 2, a)
+}
+
+/// Square-root candidate `a^((p+1)/4) mod p` (valid because `p ≡ 3 mod 4`).
+/// The result only squares back to `a` when `a` is a quadratic residue —
+/// callers must check `r² == a`.
+pub const fn fe_sqrt_candidate(a: &[u64; 4]) -> [u64; 4] {
+    let (x2, _x3, x22, x223) = fe_chain_prefix(a);
+    // (p + 1) / 4 = 2^254 − 2^30 − 244: tail bits 111111 1111111111 1111110000 1100.
+    let t = fe_sqrn_mul(&x223, 23, &x22);
+    let t = fe_sqrn_mul(&t, 6, &x2);
+    fe_sqr(&fe_sqr(&t))
+}

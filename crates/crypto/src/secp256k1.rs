@@ -4,10 +4,26 @@
 //! exactly as Bitcoin (and therefore Multichain, the paper's blockchain)
 //! does. Points use Jacobian projective coordinates internally so scalar
 //! multiplication needs a single field inversion at the end.
+//!
+//! Field arithmetic runs on the dedicated fixed-limb
+//! [`FieldElement`](crate::field::FieldElement) type (pseudo-Mersenne
+//! reduction, Fermat-chain inversion) — `BigUint` appears only at the API
+//! boundary (affine coordinates, scalars). The fixed-window base-point
+//! table is const-baked by `build.rs` into `.rodata`, so processes pay
+//! nothing to build it and `k·G` uses mixed addition against affine
+//! entries.
 
 use crate::bignum::BigUint;
+use crate::field::FieldElement;
 use std::fmt;
 use std::sync::OnceLock;
+
+// `BASE_TABLE[w][d-1] = (d · 16^w) · G` as affine (x, y) pairs, generated
+// at build time from the same `field_core` limb arithmetic (see build.rs).
+include!(concat!(env!("OUT_DIR"), "/base_table.rs"));
+
+/// The curve coefficient `b = 7` in `y² = x³ + 7`.
+const CURVE_B: FieldElement = FieldElement::from_u64(7);
 
 /// Curve parameters, computed once.
 pub struct CurveParams {
@@ -58,17 +74,25 @@ pub enum AffinePoint {
     },
 }
 
+/// Lower a (possibly unreduced) affine coordinate into the field.
+fn coord_to_fe(v: &BigUint) -> FieldElement {
+    FieldElement::from_biguint(v).unwrap_or_else(|| {
+        // Callers normally hold reduced coordinates; `AffinePoint` is a
+        // public enum though, so reduce defensively rather than panic.
+        let reduced = v.add_mod(&BigUint::zero(), &curve().p);
+        FieldElement::from_biguint(&reduced).expect("reduced mod p")
+    })
+}
+
 impl AffinePoint {
     /// Whether the point satisfies the curve equation (or is infinity).
     pub fn is_on_curve(&self) -> bool {
         match self {
             AffinePoint::Infinity => true,
             AffinePoint::Coords { x, y } => {
-                let p = &curve().p;
-                let y2 = y.mul_mod(y, p);
-                let x3 = x.mul_mod(x, p).mul_mod(x, p);
-                let rhs = x3.add_mod(&BigUint::from_u64(7), p);
-                y2 == rhs
+                let x = coord_to_fe(x);
+                let y = coord_to_fe(y);
+                y.sqr() == x.sqr().mul(&x).add(&CURVE_B)
             }
         }
     }
@@ -96,46 +120,43 @@ impl AffinePoint {
         if bytes.len() != 33 || (bytes[0] != 0x02 && bytes[0] != 0x03) {
             return None;
         }
-        let p = &curve().p;
-        let x = BigUint::from_bytes_be(&bytes[1..]);
-        if x >= *p {
-            return None;
-        }
+        let xb: [u8; 32] = bytes[1..].try_into().expect("33-byte input");
+        // Rejects x ≥ p.
+        let x = FieldElement::from_bytes_be(&xb)?;
         // y² = x³ + 7; sqrt via exponent (p+1)/4 since p ≡ 3 (mod 4).
-        let rhs = x
-            .mul_mod(&x, p)
-            .mul_mod(&x, p)
-            .add_mod(&BigUint::from_u64(7), p);
-        let exp = p.add(&BigUint::one()).shr(2);
-        let mut y = rhs.mod_pow(&exp, p);
-        if y.mul_mod(&y, p) != rhs {
-            return None; // x not on curve
-        }
+        let rhs = x.sqr().mul(&x).add(&CURVE_B);
+        let mut y = rhs.sqrt()?; // None when x is not on the curve
         let want_odd = bytes[0] == 0x03;
         if y.is_odd() != want_odd {
-            y = p.sub(&y);
+            y = y.negate();
         }
-        let point = AffinePoint::Coords { x, y };
+        let point = AffinePoint::Coords {
+            x: x.to_biguint(),
+            y: y.to_biguint(),
+        };
         debug_assert!(point.is_on_curve());
         Some(point)
     }
 }
 
 /// Jacobian-coordinate point: `(X, Y, Z)` with `x = X/Z²`, `y = Y/Z³`.
+///
+/// Coordinates are fixed-limb [`FieldElement`]s; the point-at-infinity is
+/// encoded as `Z = 0`.
 #[derive(Debug, Clone)]
 pub struct JacobianPoint {
-    x: BigUint,
-    y: BigUint,
-    z: BigUint,
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
 }
 
 impl JacobianPoint {
     /// The identity element.
     pub fn infinity() -> Self {
         JacobianPoint {
-            x: BigUint::one(),
-            y: BigUint::one(),
-            z: BigUint::zero(),
+            x: FieldElement::ONE,
+            y: FieldElement::ONE,
+            z: FieldElement::ZERO,
         }
     }
 
@@ -149,9 +170,9 @@ impl JacobianPoint {
         match p {
             AffinePoint::Infinity => Self::infinity(),
             AffinePoint::Coords { x, y } => JacobianPoint {
-                x: x.clone(),
-                y: y.clone(),
-                z: BigUint::one(),
+                x: coord_to_fe(x),
+                y: coord_to_fe(y),
+                z: FieldElement::ONE,
             },
         }
     }
@@ -161,38 +182,30 @@ impl JacobianPoint {
         if self.is_infinity() {
             return AffinePoint::Infinity;
         }
-        let p = &curve().p;
-        let z_inv = self.z.mod_inverse(p).expect("z != 0 invertible mod prime");
-        let z2 = z_inv.mul_mod(&z_inv, p);
-        let z3 = z2.mul_mod(&z_inv, p);
+        let z_inv = self.z.invert();
+        let z2 = z_inv.sqr();
+        let z3 = z2.mul(&z_inv);
         AffinePoint::Coords {
-            x: self.x.mul_mod(&z2, p),
-            y: self.y.mul_mod(&z3, p),
+            x: self.x.mul(&z2).to_biguint(),
+            y: self.y.mul(&z3).to_biguint(),
         }
     }
 
     /// Point doubling (handles the identity and 2-torsion edge cases).
     pub fn double(&self) -> Self {
-        let p = &curve().p;
         if self.is_infinity() || self.y.is_zero() {
             return Self::infinity();
         }
         // Standard dbl-2007-bl-style formulas for a = 0.
-        let xx = self.x.mul_mod(&self.x, p); // X²
-        let yy = self.y.mul_mod(&self.y, p); // Y²
-        let yyyy = yy.mul_mod(&yy, p); // Y⁴
-                                       // S = 4·X·Y²
-        let s = self.x.mul_mod(&yy, p).mul_mod(&BigUint::from_u64(4), p);
-        // M = 3·X²
-        let m = xx.mul_mod(&BigUint::from_u64(3), p);
-        // X' = M² − 2·S
-        let two_s = s.add_mod(&s, p);
-        let x3 = m.mul_mod(&m, p).sub_mod(&two_s, p);
-        // Y' = M·(S − X') − 8·Y⁴
-        let eight_yyyy = yyyy.mul_mod(&BigUint::from_u64(8), p);
-        let y3 = m.mul_mod(&s.sub_mod(&x3, p), p).sub_mod(&eight_yyyy, p);
-        // Z' = 2·Y·Z
-        let z3 = self.y.mul_mod(&self.z, p).mul_mod(&BigUint::from_u64(2), p);
+        let xx = self.x.sqr(); // X²
+        let yy = self.y.sqr(); // Y²
+        let yyyy = yy.sqr(); // Y⁴
+        let s = self.x.mul(&yy).double().double(); // S = 4·X·Y²
+        let m = xx.double().add(&xx); // M = 3·X²
+        let x3 = m.sqr().sub(&s.double()); // X' = M² − 2·S
+        let eight_yyyy = yyyy.double().double().double();
+        let y3 = m.mul(&s.sub(&x3)).sub(&eight_yyyy); // Y' = M·(S − X') − 8·Y⁴
+        let z3 = self.y.mul(&self.z).double(); // Z' = 2·Y·Z
         JacobianPoint {
             x: x3,
             y: y3,
@@ -202,7 +215,6 @@ impl JacobianPoint {
 
     /// Point addition.
     pub fn add(&self, other: &Self) -> Self {
-        let p = &curve().p;
         if self.is_infinity() {
             return other.clone();
         }
@@ -210,42 +222,66 @@ impl JacobianPoint {
             return self.clone();
         }
         // add-2007-bl
-        let z1z1 = self.z.mul_mod(&self.z, p);
-        let z2z2 = other.z.mul_mod(&other.z, p);
-        let u1 = self.x.mul_mod(&z2z2, p);
-        let u2 = other.x.mul_mod(&z1z1, p);
-        let s1 = self.y.mul_mod(&other.z, p).mul_mod(&z2z2, p);
-        let s2 = other.y.mul_mod(&self.z, p).mul_mod(&z1z1, p);
+        let z1z1 = self.z.sqr();
+        let z2z2 = other.z.sqr();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = other.x.mul(&z1z1);
+        let s1 = self.y.mul(&other.z).mul(&z2z2);
+        let s2 = other.y.mul(&self.z).mul(&z1z1);
         if u1 == u2 {
             if s1 == s2 {
                 return self.double();
             }
             return Self::infinity(); // P + (−P)
         }
-        let h = u2.sub_mod(&u1, p);
-        let i = h.add_mod(&h, p);
-        let i = i.mul_mod(&i, p);
-        let j = h.mul_mod(&i, p);
-        let r = s2.sub_mod(&s1, p);
-        let r = r.add_mod(&r, p);
-        let v = u1.mul_mod(&i, p);
+        let h = u2.sub(&u1);
+        let i = h.double().sqr();
+        let j = h.mul(&i);
+        let r = s2.sub(&s1).double();
+        let v = u1.mul(&i);
         // X3 = r² − J − 2·V
-        let x3 = r
-            .mul_mod(&r, p)
-            .sub_mod(&j, p)
-            .sub_mod(&v.add_mod(&v, p), p);
+        let x3 = r.sqr().sub(&j).sub(&v.double());
         // Y3 = r·(V − X3) − 2·S1·J
-        let s1j = s1.mul_mod(&j, p);
-        let y3 = r
-            .mul_mod(&v.sub_mod(&x3, p), p)
-            .sub_mod(&s1j.add_mod(&s1j, p), p);
+        let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
         // Z3 = ((Z1+Z2)² − Z1Z1 − Z2Z2)·H
-        let z_sum = self.z.add_mod(&other.z, p);
-        let z3 = z_sum
-            .mul_mod(&z_sum, p)
-            .sub_mod(&z1z1, p)
-            .sub_mod(&z2z2, p)
-            .mul_mod(&h, p);
+        let z3 = self.z.add(&other.z).sqr().sub(&z1z1).sub(&z2z2).mul(&h);
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed addition with an affine point (`Z2 = 1`): 7M + 4S instead of
+    /// the 11M + 5S of the general formula. This is what makes walking the
+    /// const-baked affine [`BASE_TABLE`] cheaper than the old Jacobian one.
+    fn add_mixed(&self, x2: &FieldElement, y2: &FieldElement) -> Self {
+        if self.is_infinity() {
+            return JacobianPoint {
+                x: *x2,
+                y: *y2,
+                z: FieldElement::ONE,
+            };
+        }
+        // madd-2007-bl
+        let z1z1 = self.z.sqr();
+        let u2 = x2.mul(&z1z1);
+        let s2 = y2.mul(&self.z).mul(&z1z1);
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double();
+            }
+            return Self::infinity(); // P + (−P)
+        }
+        let h = u2.sub(&self.x);
+        let hh = h.sqr();
+        let i = hh.double().double();
+        let j = h.mul(&i);
+        let r = s2.sub(&self.y).double();
+        let v = self.x.mul(&i);
+        let x3 = r.sqr().sub(&j).sub(&v.double());
+        let y3 = r.mul(&v.sub(&x3)).sub(&self.y.mul(&j).double());
+        let z3 = self.z.add(&h).sqr().sub(&z1z1).sub(&hh);
         JacobianPoint {
             x: x3,
             y: y3,
@@ -275,37 +311,9 @@ impl fmt::Display for AffinePoint {
     }
 }
 
-/// Precomputed odd multiples per 4-bit window of the scalar:
-/// `BASE_TABLE[w][d-1] = (d · 16^w) · G` for `w ∈ 0..64`, `d ∈ 1..=15`.
-///
-/// With the table in hand, `k·G` is just one point addition per non-zero
-/// nibble of `k` (≤ 64 additions, no doublings at all) instead of 256
-/// doublings plus ~128 additions for plain double-and-add. Built lazily on
-/// first use — the simulator's deterministic runs never pay for it unless
-/// they sign or verify.
-static BASE_TABLE: OnceLock<Vec<[JacobianPoint; 15]>> = OnceLock::new();
-
-fn base_table() -> &'static [[JacobianPoint; 15]] {
-    BASE_TABLE.get_or_init(|| {
-        let mut window_base = JacobianPoint::from_affine(&curve().g);
-        let mut table = Vec::with_capacity(64);
-        for _ in 0..64 {
-            let mut multiples = Vec::with_capacity(15);
-            let mut acc = window_base.clone();
-            for _ in 0..15 {
-                multiples.push(acc.clone());
-                acc = acc.add(&window_base);
-            }
-            // After the loop `acc = 16·window_base`, the next window's base.
-            let row: [JacobianPoint; 15] = multiples.try_into().expect("exactly 15 entries");
-            table.push(row);
-            window_base = acc;
-        }
-        table
-    })
-}
-
-/// `k·G` for the curve generator, via the fixed-window [`BASE_TABLE`].
+/// `k·G` for the curve generator, via the const-baked fixed-window
+/// [`BASE_TABLE`]: one mixed addition per non-zero nibble of `k` (≤ 64
+/// additions, no doublings, no table build at runtime).
 ///
 /// Scalars wider than 256 bits (wider than the table) fall back to generic
 /// double-and-add; callers normally reduce mod `n` first anyway.
@@ -318,12 +326,12 @@ pub fn scalar_mul_base(k: &BigUint) -> AffinePoint {
             .scalar_mul(k)
             .to_affine();
     }
-    let table = base_table();
     let mut acc = JacobianPoint::infinity();
-    for (w, row) in table.iter().enumerate().take(k.bit_len().div_ceil(4)) {
+    for (w, row) in BASE_TABLE.iter().enumerate().take(k.bit_len().div_ceil(4)) {
         let d = k.nibble(w) as usize;
         if d != 0 {
-            acc = acc.add(&row[d - 1]);
+            let (x, y) = &row[d - 1];
+            acc = acc.add_mixed(x, y);
         }
     }
     acc.to_affine()
@@ -399,11 +407,59 @@ mod tests {
     }
 
     #[test]
+    fn const_table_matches_runtime() {
+        // The build-script table must agree with runtime point arithmetic:
+        // BASE_TABLE[w][d-1] == (d · 16^w) · G. Sample windows across the
+        // whole range (including both ends) rather than all 960 entries.
+        let g = JacobianPoint::from_affine(&curve().g);
+        for w in [0usize, 1, 7, 31, 63] {
+            for d in [1u64, 2, 15] {
+                let k = BigUint::from_u64(d).shl(4 * w);
+                let want = g.scalar_mul(&k).to_affine();
+                let (x, y) = &BASE_TABLE[w][d as usize - 1];
+                let got = AffinePoint::Coords {
+                    x: x.to_biguint(),
+                    y: y.to_biguint(),
+                };
+                assert_eq!(got, want, "window {w}, digit {d}");
+                assert!(got.is_on_curve(), "window {w}, digit {d} off-curve");
+            }
+        }
+    }
+
+    #[test]
     fn add_matches_scalar_mul() {
         let g = JacobianPoint::from_affine(&curve().g);
         let three_by_add = g.add(&g).add(&g).to_affine();
         let three_by_mul = scalar_mul_base(&BigUint::from_u64(3));
         assert_eq!(three_by_add, three_by_mul);
+    }
+
+    #[test]
+    fn mixed_add_matches_general_add() {
+        let g = JacobianPoint::from_affine(&curve().g);
+        let q = g.double().add(&g); // 3G, Z ≠ 1
+        let (gx, gy) = match &curve().g {
+            AffinePoint::Coords { x, y } => (
+                FieldElement::from_biguint(x).unwrap(),
+                FieldElement::from_biguint(y).unwrap(),
+            ),
+            _ => unreachable!(),
+        };
+        assert_eq!(q.add_mixed(&gx, &gy).to_affine(), q.add(&g).to_affine());
+        // Identity and inverse edge cases.
+        assert_eq!(
+            JacobianPoint::infinity().add_mixed(&gx, &gy).to_affine(),
+            curve().g
+        );
+        assert_eq!(
+            g.add_mixed(&gx, &gy.negate()).to_affine(),
+            AffinePoint::Infinity
+        );
+        assert_eq!(
+            g.add_mixed(&gx, &gy).to_affine(),
+            scalar_mul_base(&BigUint::from_u64(2))
+        );
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Randomized equivalence tests for the fixed-limb secp256k1 field.
+//!
+//! [`FieldElement`] is a pure speedup over the generic `BigUint` modular
+//! arithmetic it replaced inside point operations: for every input, every
+//! operation must produce bit-identical results to the schoolbook oracle.
+//! These tests drive add/sub/mul/sqr/invert/sqrt over seeded random
+//! elements plus the edge cases that break carry-fold reductions — 0, 1,
+//! `p−1`, values just below `p`, and limb-boundary patterns like
+//! `2^64 − 1` / `2^192` — mirroring the `fastpath_fuzz.rs` pattern used
+//! for the Montgomery layer. A fixed-vector test pins known secp256k1
+//! points (G, 2G, 3G) through the new arithmetic end to end.
+
+use bcwan_crypto::field::FieldElement;
+use bcwan_crypto::secp256k1::{curve, scalar_mul_base, AffinePoint};
+use bcwan_crypto::BigUint;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn p() -> BigUint {
+    curve().p.clone()
+}
+
+fn random_element(rng: &mut StdRng) -> BigUint {
+    let mut buf = [0u8; 32];
+    rng.fill_bytes(&mut buf);
+    // Reduce into the field; the explicit edge list covers values near p.
+    BigUint::from_bytes_be(&buf).add_mod(&BigUint::zero(), &p())
+}
+
+/// Edge values that stress the reduction: identities, the top of the
+/// field, and every limb boundary (the carry fold crosses 64-bit lanes).
+fn edge_elements() -> Vec<BigUint> {
+    let p = p();
+    let mut edges = vec![
+        BigUint::zero(),
+        BigUint::one(),
+        BigUint::from_u64(2),
+        p.sub(&BigUint::one()),           // p − 1
+        p.sub(&BigUint::from_u64(2)),     // p − 2
+        p.sub(&BigUint::from_u64(0x3d1)), // p − 977: folds to ±2^32 territory
+        BigUint::from_u64(u64::MAX),      // limb 0 saturated
+        BigUint::from_u64(0x1_0000_03D1), // the fold constant itself
+    ];
+    for limb in 1..4usize {
+        edges.push(BigUint::one().shl(64 * limb)); // 2^64, 2^128, 2^192
+        edges.push(BigUint::one().shl(64 * limb).sub(&BigUint::one()));
+    }
+    edges
+}
+
+fn fe(v: &BigUint) -> FieldElement {
+    FieldElement::from_biguint(v).expect("value < p")
+}
+
+/// Pairs to fuzz: random ⨯ random, plus every edge against randoms and
+/// every edge against every edge.
+fn operand_pairs(rng: &mut StdRng, rounds: usize) -> Vec<(BigUint, BigUint)> {
+    let mut pairs = Vec::new();
+    for _ in 0..rounds {
+        pairs.push((random_element(rng), random_element(rng)));
+    }
+    let edges = edge_elements();
+    for a in &edges {
+        pairs.push((a.clone(), random_element(rng)));
+        for b in &edges {
+            pairs.push((a.clone(), b.clone()));
+        }
+    }
+    pairs
+}
+
+#[test]
+fn add_sub_mul_match_oracle() {
+    let p = p();
+    let mut rng = StdRng::seed_from_u64(0xf1e1d);
+    for (i, (a, b)) in operand_pairs(&mut rng, 300).into_iter().enumerate() {
+        let (fa, fb) = (fe(&a), fe(&b));
+        assert_eq!(
+            fa.add(&fb).to_biguint(),
+            a.add_mod(&b, &p),
+            "case {i}: add diverged for a={} b={}",
+            a.to_hex(),
+            b.to_hex()
+        );
+        assert_eq!(
+            fa.sub(&fb).to_biguint(),
+            a.sub_mod(&b, &p),
+            "case {i}: sub diverged for a={} b={}",
+            a.to_hex(),
+            b.to_hex()
+        );
+        assert_eq!(
+            fa.mul(&fb).to_biguint(),
+            a.mul_mod(&b, &p),
+            "case {i}: mul diverged for a={} b={}",
+            a.to_hex(),
+            b.to_hex()
+        );
+    }
+}
+
+#[test]
+fn sqr_double_negate_match_oracle() {
+    let p = p();
+    let mut rng = StdRng::seed_from_u64(0x5c0a);
+    let mut cases = edge_elements();
+    for _ in 0..300 {
+        cases.push(random_element(&mut rng));
+    }
+    for a in cases {
+        let fa = fe(&a);
+        assert_eq!(
+            fa.sqr().to_biguint(),
+            a.mul_mod(&a, &p),
+            "sqr diverged for {}",
+            a.to_hex()
+        );
+        assert_eq!(
+            fa.double().to_biguint(),
+            a.add_mod(&a, &p),
+            "double diverged for {}",
+            a.to_hex()
+        );
+        assert_eq!(
+            fa.negate().to_biguint(),
+            BigUint::zero().sub_mod(&a, &p),
+            "negate diverged for {}",
+            a.to_hex()
+        );
+    }
+}
+
+#[test]
+fn invert_matches_oracle() {
+    let p = p();
+    let mut rng = StdRng::seed_from_u64(0x1af);
+    let mut cases = edge_elements();
+    for _ in 0..60 {
+        cases.push(random_element(&mut rng));
+    }
+    for a in cases {
+        let fa = fe(&a);
+        let inv = fa.invert();
+        match a.mod_inverse(&p) {
+            Some(oracle) => {
+                assert_eq!(
+                    inv.to_biguint(),
+                    oracle,
+                    "invert diverged for {}",
+                    a.to_hex()
+                );
+                assert_eq!(fa.mul(&inv), FieldElement::ONE);
+            }
+            // Only zero is non-invertible mod a prime; the chain maps it to
+            // zero and callers guard it.
+            None => {
+                assert!(a.is_zero());
+                assert!(inv.is_zero());
+            }
+        }
+    }
+}
+
+#[test]
+fn sqrt_matches_oracle() {
+    let p = p();
+    // (p + 1) / 4 — the oracle exponent.
+    let exp = p.add(&BigUint::one()).shr(2);
+    let mut rng = StdRng::seed_from_u64(0x5a11);
+    let mut cases = edge_elements();
+    for _ in 0..60 {
+        cases.push(random_element(&mut rng));
+    }
+    for a in cases {
+        let candidate = a.mod_pow(&exp, &p);
+        let is_qr = candidate.mul_mod(&candidate, &p) == a;
+        match fe(&a).sqrt() {
+            Some(r) => {
+                assert!(
+                    is_qr,
+                    "sqrt returned a root for a non-residue {}",
+                    a.to_hex()
+                );
+                assert_eq!(
+                    r.to_biguint(),
+                    candidate,
+                    "sqrt diverged for {}",
+                    a.to_hex()
+                );
+                assert_eq!(r.sqr(), fe(&a));
+            }
+            None => assert!(!is_qr, "sqrt missed a residue {}", a.to_hex()),
+        }
+    }
+}
+
+#[test]
+fn mixed_expression_matches_oracle() {
+    // A composite expression exercising carry interactions between ops:
+    // r = (a·b + a² − b)⁻¹ · a, checked against the oracle step by step.
+    let p = p();
+    let mut rng = StdRng::seed_from_u64(0xc0ffee);
+    for round in 0..80 {
+        let a = random_element(&mut rng);
+        let b = random_element(&mut rng);
+        let (fa, fb) = (fe(&a), fe(&b));
+        let t = fa.mul(&fb).add(&fa.sqr()).sub(&fb);
+        let t_oracle = a
+            .mul_mod(&b, &p)
+            .add_mod(&a.mul_mod(&a, &p), &p)
+            .sub_mod(&b, &p);
+        assert_eq!(
+            t.to_biguint(),
+            t_oracle,
+            "round {round}: expression diverged"
+        );
+        if let Some(inv_oracle) = t_oracle.mod_inverse(&p) {
+            assert_eq!(
+                t.invert().mul(&fa).to_biguint(),
+                inv_oracle.mul_mod(&a, &p),
+                "round {round}: inverse expression diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn byte_round_trip_rejects_unreduced() {
+    // p itself and p + k must be rejected by the strict parser.
+    let p = p();
+    for k in [0u64, 1, 977] {
+        let v = p.add(&BigUint::from_u64(k));
+        if let Some(bytes) = v.to_bytes_be_padded(32) {
+            let arr: [u8; 32] = bytes.as_slice().try_into().unwrap();
+            assert!(
+                FieldElement::from_bytes_be(&arr).is_none(),
+                "accepted unreduced value p+{k}"
+            );
+        }
+    }
+    // Canonical values round-trip bit-identically.
+    let mut rng = StdRng::seed_from_u64(0xbe5);
+    for _ in 0..50 {
+        let a = random_element(&mut rng);
+        let fa = fe(&a);
+        assert_eq!(FieldElement::from_bytes_be(&fa.to_bytes_be()), Some(fa));
+    }
+}
+
+#[test]
+fn fixed_vectors_pin_known_points() {
+    // Standard secp256k1 small multiples, as published in the curve's
+    // reference test vectors. These pin the whole pipeline — const-baked
+    // table, mixed addition, field inversion at normalization.
+    let vectors = [
+        (
+            1u64,
+            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+            "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
+        ),
+        (
+            2,
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5",
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a",
+        ),
+        (
+            3,
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9",
+            "388f7b0f632de8140fe337e62a37f3566500a99934c2231b6cb9fd7584b8e672",
+        ),
+    ];
+    for (k, want_x, want_y) in vectors {
+        match scalar_mul_base(&BigUint::from_u64(k)) {
+            AffinePoint::Coords { x, y } => {
+                assert_eq!(x.to_hex(), want_x, "{k}G x");
+                assert_eq!(y.to_hex(), want_y, "{k}G y");
+            }
+            AffinePoint::Infinity => panic!("{k}G must be finite"),
+        }
+    }
+}

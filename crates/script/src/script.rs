@@ -112,6 +112,16 @@ impl Script {
         )
     }
 
+    /// Whether any instruction is the given opcode. Push data is not
+    /// decoded — only literal opcodes match — which is what validation
+    /// wants when classifying a locking script (e.g. spotting the
+    /// `OP_CHECKRSA512PAIR` escrow branches for sigcache accounting).
+    pub fn contains_op(&self, op: Opcode) -> bool {
+        self.instructions
+            .iter()
+            .any(|i| matches!(i, Instruction::Op(o) if *o == op))
+    }
+
     /// Extracts the data payload of an `OP_RETURN` script, if it is one.
     pub fn op_return_data(&self) -> Option<&[u8]> {
         match self.instructions.as_slice() {

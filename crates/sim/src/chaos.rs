@@ -37,7 +37,9 @@ pub enum ChaosFault {
     /// (chain, provisioning) survives; volatile state (mempool, relay
     /// filters) is lost at restart.
     HostCrash {
-        /// The crashed host (never the master in generated plans).
+        /// The crashed host. Generated plans draw from `1..=actor_hosts`
+        /// and only target the master (host 0) when the profile's
+        /// `master_crashes` knob explicitly schedules a failover drill.
         host: u32,
         /// Crash instant.
         from: SimTime,
@@ -137,6 +139,13 @@ pub struct ChaosProfile {
     pub withhold_len: SimDuration,
     /// Number of one-shot chain forks.
     pub forks: u32,
+    /// Number of crash windows aimed at the master (host 0) itself.
+    /// Zero in every profile that models the paper's AWS anchor staying
+    /// up; non-zero profiles exercise miner failover, where a standby
+    /// host must take over block production.
+    pub master_crashes: u32,
+    /// Length of each master crash window.
+    pub master_crash_len: SimDuration,
 }
 
 impl ChaosProfile {
@@ -157,6 +166,33 @@ impl ChaosProfile {
             claim_withholds: 1,
             withhold_len: SimDuration::from_secs(100_000),
             forks: 2,
+            master_crashes: 0,
+            master_crash_len: SimDuration::ZERO,
+        }
+    }
+
+    /// A miner-failover drill: the master (host 0) crashes mid-run, so
+    /// a standby host must take over mining until the master restarts
+    /// and catches back up. Light background faults keep the drill
+    /// honest without drowning the failover signal.
+    pub fn master_failover() -> Self {
+        ChaosProfile {
+            lora_bursts: 1,
+            lora_burst_loss: 0.4,
+            lora_burst_len: SimDuration::from_secs(15),
+            host_crashes: 1,
+            crash_len: SimDuration::from_secs(20),
+            conn_kills: 1,
+            block_delays: 0,
+            block_delay: SimDuration::ZERO,
+            block_delay_len: SimDuration::ZERO,
+            partitions: 0,
+            partition_len: SimDuration::ZERO,
+            claim_withholds: 0,
+            withhold_len: SimDuration::ZERO,
+            forks: 0,
+            master_crashes: 1,
+            master_crash_len: SimDuration::from_secs(60),
         }
     }
 }
@@ -174,8 +210,9 @@ impl ChaosPlan {
 
     /// Draws a plan from `rng`. Fault windows start inside the first 60%
     /// of `horizon` so recovery has room to finish before the run ends;
-    /// hosts are drawn from `1..=actor_hosts` (the master, host 0, never
-    /// crashes — it is the experiment's AWS anchor).
+    /// hosts are drawn from `1..=actor_hosts` — the master, host 0, is
+    /// the experiment's AWS anchor and crashes only when the profile's
+    /// `master_crashes` knob schedules a failover drill.
     pub fn generate(
         rng: &mut SimRng,
         profile: &ChaosProfile,
@@ -203,6 +240,14 @@ impl ChaosPlan {
                 host: actor(rng),
                 from,
                 until: from + profile.crash_len,
+            });
+        }
+        for _ in 0..profile.master_crashes {
+            let from = start(rng);
+            faults.push(ChaosFault::HostCrash {
+                host: 0,
+                from,
+                until: from + profile.master_crash_len,
             });
         }
         for _ in 0..profile.conn_kills {
@@ -516,6 +561,25 @@ mod tests {
         for fault in &a.faults {
             if let ChaosFault::HostCrash { host, .. } = fault {
                 assert!((1..=3).contains(host), "master never crashes");
+            }
+        }
+    }
+
+    #[test]
+    fn master_failover_profile_schedules_a_host_zero_crash() {
+        let horizon = SimDuration::from_secs(600);
+        let mut rng = SimRng::seed_from_u64(11);
+        let plan = ChaosPlan::generate(&mut rng, &ChaosProfile::master_failover(), horizon, 3);
+        let master_windows: Vec<_> = plan
+            .faults
+            .iter()
+            .filter(|f| matches!(f, ChaosFault::HostCrash { host: 0, .. }))
+            .collect();
+        assert_eq!(master_windows.len(), 1, "exactly one master crash window");
+        for fault in &plan.faults {
+            if let ChaosFault::HostCrash { host, from, until } = fault {
+                assert!(*host <= 3, "crash hosts stay inside the fleet");
+                assert!(until > from, "crash windows are non-empty");
             }
         }
     }
