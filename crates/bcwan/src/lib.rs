@@ -32,7 +32,10 @@
 //! - [`wire`] — the host-to-host message vocabulary and its binary
 //!   wire encoding,
 //! - [`net`] — the §4.3 delivery glue: the wire codec packaged for the
-//!   `bcwan-p2p` TCP transport, and directory-driven dialing.
+//!   `bcwan-p2p` TCP transport, and directory-driven dialing,
+//! - [`fleet`] — one transport, two worlds: the transport-generic
+//!   daemon loop that runs the same scenario over the in-process bus or
+//!   real TCP sockets.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub mod directory;
 pub mod election;
 pub mod escrow;
 pub mod exchange;
+pub mod fleet;
 pub mod fsm;
 pub mod net;
 pub mod provisioning;
@@ -67,6 +71,9 @@ pub use daemon::{Daemon, DaemonStats};
 pub use directory::{Directory, IpAnnouncement, NetAddr};
 pub use escrow::{build_claim, build_escrow, build_escrow_with_delta, build_refund, Escrow};
 pub use exchange::{open_reading, seal_reading, verify_uplink, ExchangeError, SealedUplink};
+pub use fleet::{
+    fig3_partition_recovery, BusFleet, Fleet, FleetNode, FleetOutcome, FleetTransport, TcpFleet,
+};
 pub use fsm::{ExchangeFsm, FsmConfig, FsmEvent, Phase, RetryPolicy};
 pub use net::{DialError, OverlayDialer, WanCodec};
 pub use provisioning::{DeviceCredentials, DeviceId, DeviceRecord, DeviceRegistry};

@@ -12,9 +12,20 @@ use bcwan_chain::{Block, BlockAction, Chain};
 /// Serves a `GetBlocksFrom(height)` request: all main-chain blocks
 /// strictly above `height`, in order.
 pub fn serve_blocks_from(chain: &Chain, height: u64) -> Vec<Block> {
+    serve_blocks_from_bounded(chain, height, usize::MAX)
+}
+
+/// Like [`serve_blocks_from`], but returns at most `max` blocks — the
+/// batched form a live daemon answers with, so one lagging peer cannot
+/// make it serialize the whole chain into a single response. The
+/// requester re-asks from its new tip until it stops making progress.
+pub fn serve_blocks_from_bounded(chain: &Chain, height: u64, max: usize) -> Vec<Block> {
     let mut out = Vec::new();
     let mut h = height + 1;
-    while let Some(block) = chain.block_at(h) {
+    while out.len() < max {
+        let Some(block) = chain.block_at(h) else {
+            break;
+        };
         out.push(block.clone());
         h += 1;
     }

@@ -5,11 +5,27 @@
 //! the transport layer frames (see `bcwan-p2p`'s `transport` module): a
 //! one-byte variant tag followed by the variant's fields, every integer
 //! little-endian, every variable-length field `u32`-length-prefixed.
-//! Transactions and blocks reuse the chain's canonical `serialize()`
-//! layout byte-for-byte, so a decoded transaction re-hashes to the same
-//! txid it had on the sending host. Decoding is total: any byte slice
-//! either yields a message or a [`WireError`] — never a panic, and never
-//! an allocation larger than the input it was handed.
+//!
+//! ```text
+//! offset  size  field
+//!      0     1  message tag (0 Tx, 1 Block, 2 GetBlock, 3 GetBlocksFrom,
+//!               4 TipAnnounce, 5 Deliver)
+//!      1     …  tag-specific fields, in declaration order:
+//!               integers u32/u64 LE; hashes raw 32 bytes; variable
+//!               fields (scripts, ePk, Em, Sig) u32-length-prefixed
+//! ```
+//!
+//! This is the *payload* layout only. Integrity and authenticity are
+//! deliberately **not** here: the CRC-32 and the 16-byte HMAC tag live
+//! in the 38-byte transport frame header (`bcwan-p2p`'s
+//! `transport::frame`) that wraps this payload on the byte stream —
+//! earlier revisions of this doc implied the checksum was part of the
+//! payload, which it never was. Transactions and blocks reuse the
+//! chain's canonical `serialize()` layout byte-for-byte, so a decoded
+//! transaction re-hashes to the same txid it had on the sending host.
+//! Decoding is total: any byte slice either yields a message or a
+//! [`WireError`] — never a panic, and never an allocation larger than
+//! the input it was handed.
 
 use crate::exchange::SealedUplink;
 use crate::provisioning::DeviceId;

@@ -11,9 +11,13 @@
 //!   one settlement per escrow, FSM/chain agreement);
 //! - no escrow left open (every one ended Claimed or Refunded).
 //!
-//! Usage: `chaos_soak [SEED...] [--json PATH]`. With no positional
-//! seeds, the two CI seeds 101 and 202 run. Exit status 1 on any
-//! violation, so CI can gate on it directly.
+//! Usage: `chaos_soak [SEED...] [--hosts N] [--exchanges N]
+//! [--json PATH]`. With no positional seeds, the two CI seeds 101 and
+//! 202 run. `--hosts` switches from the 2-actor tiny world to the
+//! fleet preset ([`WorkloadConfig::fleet`]): N gateways on a degree-6
+//! ring lattice, the configuration the CI fleet-soak job drives to
+//! 1 000 hosts. Exit status 1 on any violation, so CI can gate on it
+//! directly.
 
 use bcwan::world::{WorkloadConfig, World};
 use bcwan_bench::BenchReport;
@@ -22,10 +26,26 @@ use bcwan_sim::{ChaosPlan, ChaosProfile, Json, SimDuration, SimRng};
 fn main() {
     let mut seeds: Vec<u64> = Vec::new();
     let mut json = None;
+    let mut hosts: Option<u32> = None;
+    let mut exchanges: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--json" {
             json = args.next();
+        } else if arg == "--hosts" {
+            hosts = Some(
+                args.next()
+                    .expect("--hosts takes a count")
+                    .parse()
+                    .expect("host count"),
+            );
+        } else if arg == "--exchanges" {
+            exchanges = Some(
+                args.next()
+                    .expect("--exchanges takes a count")
+                    .parse()
+                    .expect("exchange count"),
+            );
         } else if let Ok(seed) = arg.parse::<u64>() {
             seeds.push(seed);
         }
@@ -33,22 +53,35 @@ fn main() {
     if seeds.is_empty() {
         seeds = vec![101, 202];
     }
+    // Default target: 10 exchanges in the tiny world, one per five
+    // hosts (min 10) in fleet mode so the workload scales with N.
+    let target = exchanges.unwrap_or_else(|| match hosts {
+        Some(n) => (n as usize / 5).max(10),
+        None => 10,
+    });
 
     let mut rows = Vec::new();
     let mut failures = 0u32;
     let mut last_metrics = None;
     for &seed in &seeds {
         let mut rng = SimRng::seed_from_u64(seed ^ 0xc4a0_5eed);
+        let actor_hosts = hosts.unwrap_or(2);
         let plan = ChaosPlan::generate(
             &mut rng,
             &ChaosProfile::soak(),
             SimDuration::from_secs(240),
-            2,
+            actor_hosts,
         );
         let faults = plan.faults.len();
-        let mut cfg = WorkloadConfig::tiny(10, seed).with_chaos(plan);
+        let mut cfg = match hosts {
+            Some(n) => WorkloadConfig::fleet(n, target, seed),
+            None => WorkloadConfig::tiny(target, seed),
+        }
+        .with_chaos(plan);
         cfg.refund_delta = 12;
-        eprintln!("seed {seed}: {faults} faults scheduled, 10 exchanges…");
+        eprintln!(
+            "seed {seed}: {faults} faults scheduled, {actor_hosts} hosts, {target} exchanges…"
+        );
         let result = World::new(cfg).run();
 
         let ok = result.invariant_violations == 0 && result.escrows_open == 0;
@@ -96,7 +129,8 @@ fn main() {
                     "seeds",
                     Json::Array(seeds.iter().map(|&s| Json::uint(s)).collect()),
                 )
-                .with("target_exchanges", Json::size(10))
+                .with("hosts", Json::uint(u64::from(hosts.unwrap_or(2))))
+                .with("target_exchanges", Json::size(target))
                 .with("refund_delta", Json::uint(12)),
         )
         .rows(Json::Array(rows))

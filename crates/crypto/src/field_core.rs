@@ -22,7 +22,7 @@ pub const P: [u64; 4] = [
 ];
 
 /// `2^256 mod p = 2^32 + 977`. Fits well inside one limb (33 bits), which is
-/// what makes the two-stage carry fold in [`reduce_wide`] terminate.
+/// what makes the two-stage carry fold in `reduce_wide` terminate.
 pub const FOLD: u64 = 0x1_0000_03D1;
 
 /// Add with carry: returns `(sum, carry_out)` for `a + b + carry`.

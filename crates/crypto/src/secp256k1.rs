@@ -6,7 +6,7 @@
 //! multiplication needs a single field inversion at the end.
 //!
 //! Field arithmetic runs on the dedicated fixed-limb
-//! [`FieldElement`](crate::field::FieldElement) type (pseudo-Mersenne
+//! [`FieldElement`] type (pseudo-Mersenne
 //! reduction, Fermat-chain inversion) — `BigUint` appears only at the API
 //! boundary (affine coordinates, scalars). The fixed-window base-point
 //! table is const-baked by `build.rs` into `.rodata`, so processes pay
@@ -312,7 +312,7 @@ impl fmt::Display for AffinePoint {
 }
 
 /// `k·G` for the curve generator, via the const-baked fixed-window
-/// [`BASE_TABLE`]: one mixed addition per non-zero nibble of `k` (≤ 64
+/// `BASE_TABLE`: one mixed addition per non-zero nibble of `k` (≤ 64
 /// additions, no doublings, no table build at runtime).
 ///
 /// Scalars wider than 256 bits (wider than the table) fall back to generic

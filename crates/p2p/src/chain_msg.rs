@@ -17,7 +17,10 @@ pub enum ChainMessage {
     Block(Block),
     /// Request a block by hash (orphan-parent fetch or initial sync).
     GetBlock(BlockHash),
-    /// Request all main-chain blocks above a height (initial sync).
+    /// Request main-chain blocks *strictly above* a height (initial
+    /// sync and partition catch-up). Servers answer with a bounded
+    /// batch of `Block` messages; a still-behind requester re-asks from
+    /// its new tip.
     GetBlocksFrom(u64),
     /// Inventory announcement of the sender's tip.
     TipAnnounce {

@@ -16,7 +16,7 @@
 //! - a **real TCP/IP transport** ([`transport`]): a framed, checksummed
 //!   wire format and a per-host runtime on `std::net` (accept loop,
 //!   connection pool, timeouts, retry with backoff), behind a common
-//!   [`Transport`](transport::Transport) trait the live bus also
+//!   [`Transport`] trait the live bus also
 //!   implements — so protocol code is pluggable between channels and
 //!   sockets.
 //!

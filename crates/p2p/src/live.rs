@@ -7,6 +7,33 @@
 //! the same [`Transport`](crate::transport::Transport) trait as the real
 //! TCP runtime in [`crate::transport::tcp`], so protocol code can swap
 //! between the two.
+//!
+//! # Inbox disconnect semantics
+//!
+//! [`Inbox::try_recv`] is deliberately three-state ([`TryRecv`]):
+//! `Message` / `Empty` / `Disconnected`. The distinction carries the
+//! shutdown protocol. A polling daemon loop treats `Empty` as "idle
+//! tick, keep polling" but `Disconnected` as "every sender handle is
+//! dropped — no message can ever arrive again", its cue to exit
+//! instead of spinning forever on a dead channel. Both transports share
+//! the same depth-tracked inbox (`inbox_channel`), so `Disconnected`
+//! means the same thing over mpsc channels and over real sockets, and
+//! the `inbox_depth` gauge is comparable across them. A two-state API
+//! (`Option`) was rejected in review of the original transport PR
+//! because it forced daemons to choose between busy-waiting on a dead
+//! peer and racy out-of-band liveness checks; that rationale lives here
+//! now rather than in commit prose.
+//!
+//! # Where the retry/backoff constants live
+//!
+//! The bus has no retries — an mpsc send either lands or the peer is
+//! [`BusError::Unreachable`], which is exactly the at-most-once shape
+//! in-process channels give. The dial/write retry and exponential
+//! backoff constants (25 ms base, 400 ms cap, 5 attempts, and why those
+//! numbers) belong to the socket world and are documented on
+//! [`crate::transport::tcp`]'s module docs and
+//! [`TcpConfig`](crate::transport::TcpConfig) — tune them there, not
+//! here.
 
 use crate::topology::NodeId;
 use bcwan_sim::Registry;

@@ -172,6 +172,25 @@ impl Network {
         Some((delay, Delivery { from, to, msg }))
     }
 
+    /// A directory-driven direct dial: like [`Network::transmit_reliable`]
+    /// but independent of the static gossip adjacency — the sender
+    /// looked the peer's IP up (on chain, §4.3) and opens a TCP
+    /// connection straight to it, so the overlay graph that shapes
+    /// flood fan-out does not constrain it. Chaos-level cuts are the
+    /// caller's concern (they model live failures, not graph shape).
+    pub fn dial<M>(
+        &self,
+        rng: &mut SimRng,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    ) -> Option<(SimDuration, Delivery<M>)> {
+        self.count(|s| s.sent += 1);
+        let delay = self.latency.sample(rng);
+        self.count(|s| s.delivered += 1);
+        Some((delay, Delivery { from, to, msg }))
+    }
+
     /// Computes deliveries for a broadcast to every peer of `from`.
     pub fn broadcast<M: Clone>(
         &self,

@@ -5,11 +5,16 @@
 //! a first-class, failure-prone subsystem instead of an in-process
 //! stand-in:
 //!
-//! - [`frame`] — the versioned, checksummed, length-prefixed frame every
-//!   byte stream carries,
-//! - [`tcp`] — a per-host runtime on `std::net`: accept loop, per-peer
-//!   connection pool, connect/read/write timeouts, bounded
-//!   exponential-backoff retry, and full counter instrumentation,
+//! - [`frame`] — the versioned, checksummed, *authenticated*
+//!   length-prefixed frame every byte stream carries (HMAC tag over
+//!   header and payload under the federation's provisioned
+//!   [`FrameKey`]),
+//! - [`tcp`] — an event-driven runtime on `std::net`: one non-blocking
+//!   accept poller plus a bounded worker pool multiplex *all* of a
+//!   host's connections, so a fleet of hosts costs a handful of threads
+//!   instead of one per connection; per-peer connection pooling,
+//!   connect/write deadlines, and bounded exponential-backoff retry on
+//!   the send side,
 //! - [`bus`] — the in-process [`LiveBus`](crate::live::LiveBus) adapted
 //!   to the same [`Transport`] trait, so protocol code is pluggable
 //!   between the two.
@@ -149,8 +154,14 @@ pub struct TransportStats {
     /// Inbound connections accepted.
     pub conns_accepted: AtomicU64,
     /// Frames rejected by the reader (bad magic/version/checksum,
-    /// truncation, undecodable payload).
+    /// truncation, undecodable payload, failed authentication).
     pub frames_rejected: AtomicU64,
+    /// Frames whose authentication tag did not verify (forged `from`
+    /// header, corrupted tag, or a peer holding a different
+    /// [`FrameKey`]). Exported as
+    /// `transport.auth.fail_total`; always a subset of
+    /// `frames_rejected`.
+    pub auth_failures: AtomicU64,
     /// Sends that ultimately failed after all retries.
     pub send_failures: AtomicU64,
     /// Injected send-side faults fired (frames torn mid-write).
@@ -194,4 +205,5 @@ impl TransportStats {
 }
 
 pub use bus::BusTransport;
-pub use tcp::{TcpConfig, TcpHost};
+pub use frame::FrameKey;
+pub use tcp::{TcpConfig, TcpHost, TcpRuntime};

@@ -1,0 +1,68 @@
+//! One scenario, two transports: the acceptance test for the unified
+//! fleet layer.
+//!
+//! `fig3_partition_recovery` — the full Fig. 3 fair exchange plus a
+//! §5.1 partition-recovery sync — runs here twice, byte-for-byte the
+//! same scenario function, selected only by the transport value: once
+//! over the in-process [`BusFleet`] and once over real loopback TCP
+//! sockets ([`TcpFleet`]). A third, `#[ignore]`d test scales the live
+//! TCP fleet to 64 hosts for the CI fleet-soak job.
+
+use bcwan::fleet::{
+    fig3_partition_recovery, BusFleet, Fleet, FleetOutcome, TcpFleet, FLEET_READING,
+};
+use bcwan_p2p::transport::TcpConfig;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn assert_outcome(outcome: &FleetOutcome, hosts: usize) {
+    assert_eq!(
+        outcome.decrypted.as_deref(),
+        Some(FLEET_READING),
+        "recipient decrypted the reading from the revealed eSk"
+    );
+    assert!(outcome.gateway_claimed, "gateway claimed the escrow");
+    assert_eq!(outcome.heights.len(), hosts);
+    assert!(
+        outcome.heights.iter().all(|&h| h == 2),
+        "every node (straggler included) converged at height 2: {:?}",
+        outcome.heights
+    );
+    assert!(
+        outcome.partitioned_caught_up,
+        "the straggler's synced chain carries the claim transaction"
+    );
+    assert!(
+        outcome.sync_batches_served >= 1,
+        "catch-up went through the GetBlocksFrom serving path"
+    );
+}
+
+#[test]
+fn fig3_partition_recovery_on_simulated_bus() {
+    let mut fleet = Fleet::new(BusFleet::new(5), 5, 42);
+    let outcome = fig3_partition_recovery(&mut fleet, TIMEOUT);
+    assert_outcome(&outcome, 5);
+}
+
+#[test]
+fn fig3_partition_recovery_on_live_tcp() {
+    let transport = TcpFleet::new(5, 2, TcpConfig::fast_test()).expect("bind fleet");
+    let mut fleet = Fleet::new(transport, 5, 42);
+    let outcome = fig3_partition_recovery(&mut fleet, TIMEOUT);
+    assert_outcome(&outcome, 5);
+}
+
+/// CI fleet-soak smoke: the same scenario with 64 real sockets on one
+/// shared runtime. Run with `cargo test --test unified_scenario --
+/// --ignored`.
+#[test]
+#[ignore = "64 real sockets; run in the fleet-soak CI job"]
+fn fig3_partition_recovery_on_64_live_tcp_hosts() {
+    const HOSTS: usize = 64;
+    let transport = TcpFleet::new(HOSTS, 4, TcpConfig::fast_test()).expect("bind fleet");
+    let mut fleet = Fleet::new(transport, HOSTS, 7);
+    let outcome = fig3_partition_recovery(&mut fleet, Duration::from_secs(120));
+    assert_outcome(&outcome, HOSTS);
+}
