@@ -245,6 +245,10 @@ pub struct FleetNode {
     pub decrypted: Option<Vec<u8>>,
     /// How many `GetBlocksFrom` batches this node served.
     pub sync_batches_served: u64,
+    /// How many `GetHeadersFrom` batches this node served.
+    pub header_batches_served: u64,
+    /// In-progress headers-first catch-up, if any.
+    header_sync: Option<sync::HeaderSync>,
     /// Every peer's wallet address, indexed by node id (out-of-band
     /// here; the on-chain directory's job in the full system).
     address_book: Vec<Address>,
@@ -274,6 +278,8 @@ impl FleetNode {
             claim_txid: None,
             decrypted: None,
             sync_batches_served: 0,
+            header_batches_served: 0,
+            header_sync: None,
             address_book,
             pending_uplink: None,
             escrow_outpoint: None,
@@ -347,16 +353,91 @@ impl FleetNode {
                     ));
                 }
             }
+            WanMessage::Chain(ChainMessage::GetHeadersFrom(height)) => {
+                self.header_batches_served += 1;
+                let headers =
+                    sync::serve_headers_from(&self.daemon.chain, height, sync::HEADER_BATCH);
+                out.push(Outbound::To(
+                    env.from,
+                    WanMessage::Chain(ChainMessage::Headers {
+                        start_height: height,
+                        headers,
+                    }),
+                ));
+            }
+            WanMessage::Chain(ChainMessage::Headers {
+                start_height,
+                headers,
+            }) => {
+                if let Some(hs) = self.header_sync.as_mut() {
+                    let reqs = hs.on_headers(&self.daemon.chain, start_height, &headers);
+                    if !hs.is_active() {
+                        self.header_sync = None;
+                    }
+                    self.push_sync_requests(reqs, &mut out);
+                }
+            }
             WanMessage::Chain(ChainMessage::TipAnnounce { height, .. }) => {
                 if height > self.daemon.chain.height() {
-                    out.push(Outbound::To(
-                        env.from,
-                        WanMessage::Chain(ChainMessage::GetBlocksFrom(self.daemon.chain.height())),
-                    ));
+                    match self.header_sync.as_mut() {
+                        Some(hs) => {
+                            // Already syncing: raise the target and top
+                            // up the body window.
+                            hs.on_tip(height);
+                            let reqs = hs.on_progress(&self.daemon.chain);
+                            if !hs.is_active() {
+                                self.header_sync = None;
+                            }
+                            self.push_sync_requests(reqs, &mut out);
+                        }
+                        None => {
+                            // Headers-first catch-up (§5.1): locate the
+                            // fork with cheap header batches before any
+                            // bodies move, instead of blindly walking
+                            // blocks from our own height.
+                            let peers = self.sync_peers(env.from);
+                            let (hs, reqs) =
+                                sync::HeaderSync::start(peers, self.daemon.chain.height(), height);
+                            self.header_sync = Some(hs);
+                            self.push_sync_requests(reqs, &mut out);
+                        }
+                    }
                 }
             }
         }
         out
+    }
+
+    /// Peers to stripe body batches across: the announcing peer first,
+    /// then the next node ids round-robin, at most three total. (Ids
+    /// map to every fleet member; a cut link just drops that stripe and
+    /// the orphan-fallback `GetBlocksFrom` recovers.)
+    fn sync_peers(&self, primary: NodeId) -> Vec<NodeId> {
+        let n = self.address_book.len() as u32;
+        let mut peers = vec![primary];
+        let mut next = primary.0.wrapping_add(1) % n.max(1);
+        while peers.len() < 3 && peers.len() + 1 < n as usize {
+            let candidate = NodeId(next);
+            if candidate != self.id && !peers.contains(&candidate) {
+                peers.push(candidate);
+            }
+            next = (next + 1) % n;
+        }
+        peers
+    }
+
+    fn push_sync_requests(&self, reqs: Vec<sync::SyncRequest>, out: &mut Vec<Outbound>) {
+        for req in reqs {
+            let (peer, msg) = match req {
+                sync::SyncRequest::Headers { peer, from } => {
+                    (peer, ChainMessage::GetHeadersFrom(from))
+                }
+                sync::SyncRequest::Bodies { peer, from } => {
+                    (peer, ChainMessage::GetBlocksFrom(from))
+                }
+            };
+            out.push(Outbound::To(peer, WanMessage::Chain(msg)));
+        }
     }
 
     /// Fig. 3 steps 8–9 at the recipient: verify the uplink, fund the
@@ -436,6 +517,15 @@ impl FleetNode {
                 // claim re-flood — so confirmation is the trigger.
                 self.try_claim_connected(out);
                 self.try_decrypt_connected();
+                // Keep the headers-first body window full as batches
+                // land and retire.
+                if let Some(hs) = self.header_sync.as_mut() {
+                    let reqs = hs.on_progress(&self.daemon.chain);
+                    if !hs.is_active() {
+                        self.header_sync = None;
+                    }
+                    self.push_sync_requests(reqs, out);
+                }
             }
             Ok(BlockAction::SideChain) | Ok(BlockAction::AlreadyKnown) => {}
             Err(_) => {

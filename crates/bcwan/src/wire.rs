@@ -9,10 +9,11 @@
 //! ```text
 //! offset  size  field
 //!      0     1  message tag (0 Tx, 1 Block, 2 GetBlock, 3 GetBlocksFrom,
-//!               4 TipAnnounce, 5 Deliver)
+//!               4 TipAnnounce, 5 Deliver, 6 GetHeadersFrom, 7 Headers)
 //!      1     …  tag-specific fields, in declaration order:
-//!               integers u32/u64 LE; hashes raw 32 bytes; variable
-//!               fields (scripts, ePk, Em, Sig) u32-length-prefixed
+//!               integers u32/u64 LE; hashes raw 32 bytes; headers raw
+//!               88 bytes; variable fields (scripts, ePk, Em, Sig)
+//!               u32-length-prefixed
 //! ```
 //!
 //! This is the *payload* layout only. Integrity and authenticity are
@@ -20,18 +21,19 @@
 //! in the 38-byte transport frame header (`bcwan-p2p`'s
 //! `transport::frame`) that wraps this payload on the byte stream —
 //! earlier revisions of this doc implied the checksum was part of the
-//! payload, which it never was. Transactions and blocks reuse the
-//! chain's canonical `serialize()` layout byte-for-byte, so a decoded
-//! transaction re-hashes to the same txid it had on the sending host.
-//! Decoding is total: any byte slice either yields a message or a
-//! [`WireError`] — never a panic, and never an allocation larger than
-//! the input it was handed.
+//! payload, which it never was. Transactions, blocks, and headers reuse
+//! the chain's canonical `serialize()` layout byte-for-byte and decode
+//! through the shared [`bcwan_chain::codec`] readers (the same ones the
+//! persistent store uses), so a decoded transaction re-hashes to the
+//! same txid it had on the sending host. Decoding is total: any byte
+//! slice either yields a message or a [`WireError`] — never a panic,
+//! and never an allocation larger than the input it was handed.
 
 use crate::exchange::SealedUplink;
 use crate::provisioning::DeviceId;
-use bcwan_chain::{Block, BlockHash, BlockHeader, OutPoint, Transaction, TxId, TxIn, TxOut};
+use bcwan_chain::codec::{decode_block, decode_header, decode_transaction, CodecError, Reader};
+use bcwan_chain::BlockHash;
 use bcwan_p2p::ChainMessage;
-use bcwan_script::Script;
 use std::fmt;
 
 /// A wide-area message between BcWAN hosts.
@@ -84,7 +86,11 @@ impl WanMessage {
         match self {
             WanMessage::Chain(ChainMessage::Tx(tx)) => 1 + tx.size(),
             WanMessage::Chain(ChainMessage::Block(block)) => 1 + block.size(),
-            // Sync requests/announces carry at most a hash and a height.
+            WanMessage::Chain(ChainMessage::Headers { headers, .. }) => {
+                1 + 8 + 4 + 88 * headers.len()
+            }
+            // Remaining sync requests/announces carry at most a hash
+            // and a height.
             WanMessage::Chain(_) => 1 + 32 + 8,
             WanMessage::Deliver {
                 e_pk_bytes, uplink, ..
@@ -104,6 +110,16 @@ pub enum WireError {
     UnknownTag(u8),
     /// An embedded script failed to parse.
     BadScript(String),
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated => WireError::Truncated,
+            CodecError::TrailingBytes(n) => WireError::TrailingBytes(n),
+            CodecError::BadScript(why) => WireError::BadScript(why),
+        }
+    }
 }
 
 impl fmt::Display for WireError {
@@ -126,6 +142,8 @@ const TAG_GET_BLOCK: u8 = 2;
 const TAG_GET_BLOCKS_FROM: u8 = 3;
 const TAG_TIP_ANNOUNCE: u8 = 4;
 const TAG_DELIVER: u8 = 5;
+const TAG_GET_HEADERS_FROM: u8 = 6;
+const TAG_HEADERS: u8 = 7;
 
 impl WanMessage {
     /// Deterministic binary encoding: one tag byte, then the variant's
@@ -159,6 +177,21 @@ impl WanMessage {
                 out.extend_from_slice(&hash.0);
                 out.extend_from_slice(&height.to_le_bytes());
             }
+            WanMessage::Chain(ChainMessage::GetHeadersFrom(height)) => {
+                out.push(TAG_GET_HEADERS_FROM);
+                out.extend_from_slice(&height.to_le_bytes());
+            }
+            WanMessage::Chain(ChainMessage::Headers {
+                start_height,
+                headers,
+            }) => {
+                out.push(TAG_HEADERS);
+                out.extend_from_slice(&start_height.to_le_bytes());
+                out.extend_from_slice(&(headers.len() as u32).to_le_bytes());
+                for header in headers {
+                    out.extend_from_slice(&header.serialize());
+                }
+            }
             WanMessage::Deliver {
                 device_id,
                 e_pk_bytes,
@@ -183,7 +216,7 @@ impl WanMessage {
     pub fn decode(bytes: &[u8]) -> Result<WanMessage, WireError> {
         let mut r = Reader::new(bytes);
         let msg = match r.u8()? {
-            TAG_TX => WanMessage::Chain(ChainMessage::Tx(decode_tx(&mut r)?)),
+            TAG_TX => WanMessage::Chain(ChainMessage::Tx(decode_transaction(&mut r)?)),
             TAG_BLOCK => WanMessage::Chain(ChainMessage::Block(decode_block(&mut r)?)),
             TAG_GET_BLOCK => WanMessage::Chain(ChainMessage::GetBlock(BlockHash(r.array32()?))),
             TAG_GET_BLOCKS_FROM => WanMessage::Chain(ChainMessage::GetBlocksFrom(r.u64()?)),
@@ -199,6 +232,19 @@ impl WanMessage {
                     sig: r.vec()?,
                 },
             },
+            TAG_GET_HEADERS_FROM => WanMessage::Chain(ChainMessage::GetHeadersFrom(r.u64()?)),
+            TAG_HEADERS => {
+                let start_height = r.u64()?;
+                let count = r.u32()?;
+                let mut headers = Vec::new();
+                for _ in 0..count {
+                    headers.push(decode_header(&mut r)?);
+                }
+                WanMessage::Chain(ChainMessage::Headers {
+                    start_height,
+                    headers,
+                })
+            }
             tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -207,125 +253,7 @@ impl WanMessage {
 }
 
 fn push_vec(out: &mut Vec<u8>, bytes: &[u8]) {
-    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-    out.extend_from_slice(bytes);
-}
-
-/// Bounds-checked cursor over the input. Every `take` verifies length
-/// before touching (or allocating for) the bytes, so hostile length
-/// prefixes cannot trigger oversized allocations.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Reader { bytes, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
-        if end > self.bytes.len() {
-            return Err(WireError::Truncated);
-        }
-        let slice = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    fn array32(&mut self) -> Result<[u8; 32], WireError> {
-        Ok(self.take(32)?.try_into().expect("32 bytes"))
-    }
-
-    fn vec(&mut self) -> Result<Vec<u8>, WireError> {
-        let len = self.u32()? as usize;
-        Ok(self.take(len)?.to_vec())
-    }
-
-    fn script(&mut self) -> Result<Script, WireError> {
-        let bytes = self.vec()?;
-        Script::from_bytes(&bytes).map_err(|e| WireError::BadScript(e.to_string()))
-    }
-
-    fn finish(&self) -> Result<(), WireError> {
-        match self.bytes.len() - self.pos {
-            0 => Ok(()),
-            n => Err(WireError::TrailingBytes(n)),
-        }
-    }
-}
-
-// The chain's canonical transaction layout (`Transaction::serialize`),
-// read back field by field. Counts are not trusted: each element read is
-// bounds-checked, so a hostile count fails with `Truncated` instead of
-// reserving memory.
-fn decode_tx(r: &mut Reader<'_>) -> Result<Transaction, WireError> {
-    let version = r.u32()?;
-    let input_count = r.u32()?;
-    let mut inputs = Vec::new();
-    for _ in 0..input_count {
-        inputs.push(TxIn {
-            prevout: OutPoint {
-                txid: TxId(r.array32()?),
-                vout: r.u32()?,
-            },
-            script_sig: r.script()?,
-            sequence: r.u32()?,
-        });
-    }
-    let output_count = r.u32()?;
-    let mut outputs = Vec::new();
-    for _ in 0..output_count {
-        outputs.push(TxOut {
-            value: r.u64()?,
-            script_pubkey: r.script()?,
-        });
-    }
-    let lock_time = r.u64()?;
-    Ok(Transaction {
-        version,
-        inputs,
-        outputs,
-        lock_time,
-    })
-}
-
-fn decode_block(r: &mut Reader<'_>) -> Result<Block, WireError> {
-    let header_bytes = r.take(88)?;
-    let header = BlockHeader {
-        version: u32::from_le_bytes(header_bytes[0..4].try_into().expect("4 bytes")),
-        prev_hash: BlockHash(header_bytes[4..36].try_into().expect("32 bytes")),
-        merkle_root: header_bytes[36..68].try_into().expect("32 bytes"),
-        time_us: u64::from_le_bytes(header_bytes[68..76].try_into().expect("8 bytes")),
-        bits: u32::from_le_bytes(header_bytes[76..80].try_into().expect("4 bytes")),
-        nonce: u64::from_le_bytes(header_bytes[80..88].try_into().expect("8 bytes")),
-    };
-    let tx_count = r.u32()?;
-    let mut transactions = Vec::new();
-    for _ in 0..tx_count {
-        transactions.push(decode_tx(r)?);
-    }
-    Ok(Block {
-        header,
-        transactions,
-    })
+    bcwan_chain::codec::push_vec(out, bytes);
 }
 
 #[cfg(test)]
@@ -390,6 +318,15 @@ mod tests {
         round_trip(WanMessage::Chain(ChainMessage::TipAnnounce {
             hash: block.hash(),
             height: 12,
+        }));
+        round_trip(WanMessage::Chain(ChainMessage::GetHeadersFrom(3)));
+        round_trip(WanMessage::Chain(ChainMessage::Headers {
+            start_height: 0,
+            headers: vec![block.header.clone(), block.header.clone()],
+        }));
+        round_trip(WanMessage::Chain(ChainMessage::Headers {
+            start_height: 9,
+            headers: vec![],
         }));
         round_trip(WanMessage::Deliver {
             device_id: DeviceId(77),

@@ -31,7 +31,7 @@ use bcwan_p2p::{ChainMessage, Delivery, FaultModel, Network, NodeId, Topology};
 use bcwan_script::Script;
 use bcwan_sim::{
     run, Actor, ChaosEngine, ChaosPlan, CounterId, EventQueue, HistogramId, LatencyModel, Registry,
-    Series, SimDuration, SimRng, SimTime, Snapshot, Tracer,
+    Series, SimDuration, SimRng, SimTime, Snapshot, SnapshotSeries, Tracer,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -104,6 +104,18 @@ pub struct WorkloadConfig {
     /// headroom is the knob that decides whether a big fleet fits in
     /// memory.
     pub escrow_coin_headroom: u64,
+    /// Root directory for persistent chain stores. `None` (all presets)
+    /// keeps every chain in memory. `Some(dir)` gives each host an
+    /// append-only block/undo/coins store under `dir/host-<i>`, and
+    /// chaos restarts become **warm**: the restarted host reopens its
+    /// chain from disk (`Chain::open_store`) instead of keeping the
+    /// in-memory copy, then catches up headers-first. The caller owns
+    /// the directory's lifetime.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Sample a full metrics [`Snapshot`] every interval of sim time
+    /// into [`ExperimentResult::timeline`]. `None` (default) records
+    /// nothing — end-of-run totals only.
+    pub metrics_interval: Option<SimDuration>,
 }
 
 impl WorkloadConfig {
@@ -133,6 +145,8 @@ impl WorkloadConfig {
             fsm: FsmConfig::default(),
             refund_delta: escrow::REFUND_DELTA,
             escrow_coin_headroom: 64,
+            store_dir: None,
+            metrics_interval: None,
         }
     }
 
@@ -171,6 +185,8 @@ impl WorkloadConfig {
             fsm: FsmConfig::default(),
             refund_delta: escrow::REFUND_DELTA,
             escrow_coin_headroom: 64,
+            store_dir: None,
+            metrics_interval: None,
         }
     }
 
@@ -199,6 +215,20 @@ impl WorkloadConfig {
     /// Installs a chaos plan (builder style).
     pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
         self.chaos = plan;
+        self
+    }
+
+    /// Gives every host a persistent chain store under `dir` (builder
+    /// style; see [`WorkloadConfig::store_dir`]).
+    pub fn with_store_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Samples a metrics snapshot every `every` of sim time (builder
+    /// style; see [`WorkloadConfig::metrics_interval`]).
+    pub fn with_metrics_interval(mut self, every: SimDuration) -> Self {
+        self.metrics_interval = Some(every);
         self
     }
 }
@@ -257,6 +287,14 @@ pub struct ExperimentResult {
     /// Order-independent FNV fingerprint of the master's final UTXO set;
     /// equal across same-seed reruns (determinism invariant).
     pub utxo_fingerprint: u64,
+    /// Chaos restarts that reopened a persistent store from disk.
+    pub restarts_warm: u64,
+    /// Chaos restarts that kept the in-memory chain (no store attached,
+    /// or the store failed to reopen).
+    pub restarts_cold: u64,
+    /// Interval-sampled metrics frames; `None` unless
+    /// [`WorkloadConfig::metrics_interval`] was set.
+    pub timeline: Option<SnapshotSeries>,
 }
 
 /// Retransmission budget per radio frame before the exchange aborts.
@@ -343,18 +381,17 @@ struct Host {
     settle_watch: HashMap<OutPoint, usize>,
     /// Blocks whose parent has not arrived yet, keyed by parent hash.
     orphans: HashMap<bcwan_chain::BlockHash, Vec<Block>>,
-    /// When this host last asked the master for missing blocks
+    /// When this host last asked a peer for missing blocks
     /// (rate-limits orphan-triggered sync requests).
     last_sync_req: Option<SimTime>,
-    /// How far below the local tip the next catch-up request starts.
-    /// Doubles each time a request fails to advance the tip: after a
-    /// reorg on the master, the local tip may sit past the fork point,
-    /// so asking from `height + 1` forever would never fetch the other
-    /// branch's ancestors (a cheap stand-in for block locators).
-    sync_back: u64,
     /// Tip height when the last catch-up request was sent, to detect
     /// requests that made no progress.
     last_sync_height: u64,
+    /// In-progress headers-first catch-up (§5.1): locate the fork with
+    /// header batches, then stripe body batches across live peers. The
+    /// machine's doubling look-behind replaces the old blind
+    /// `sync_back` rewind of `GetBlocksFrom` requests.
+    header_sync: Option<crate::sync::HeaderSync>,
     /// The recipient's application servers (final hop, Figs. 1–2).
     apps: AppRouter,
     /// Host CPU (node-facing work: keygen, verification) — the radio side
@@ -457,6 +494,10 @@ pub struct World {
     meters: Meters,
     tracer: Tracer,
     chaos: ChaosEngine,
+    /// Chaos restarts that reopened a store from disk vs kept memory.
+    restarts_warm: u64,
+    restarts_cold: u64,
+    timeline: Option<SnapshotSeries>,
 }
 
 impl World {
@@ -532,7 +573,14 @@ impl World {
         // Hosts share the bootstrapped chain.
         let mut hosts: Vec<Host> = Vec::with_capacity(n_hosts);
         for (i, wallet) in wallets.into_iter().enumerate() {
-            let chain = clone_chain(&cfg.chain_params, &genesis_chain);
+            let chain = match &cfg.store_dir {
+                Some(root) => clone_chain_with_store(
+                    &cfg.chain_params,
+                    &genesis_chain,
+                    &root.join(format!("host-{i}")),
+                ),
+                None => clone_chain(&cfg.chain_params, &genesis_chain),
+            };
             let directory = Directory::from_chain(&chain);
             hosts.push(Host {
                 wallet,
@@ -546,8 +594,8 @@ impl World {
                 settle_watch: HashMap::new(),
                 orphans: HashMap::new(),
                 last_sync_req: None,
-                sync_back: 0,
                 last_sync_height: 0,
+                header_sync: None,
                 apps: {
                     let mut router = AppRouter::new();
                     router.register(AppServerId(0), AppServer::new("default"));
@@ -600,6 +648,8 @@ impl World {
         let tracer = Tracer::new(cfg.tracing);
         let chaos = ChaosEngine::new(cfg.chaos.clone(), &mut registry);
 
+        let timeline = cfg.metrics_interval.map(SnapshotSeries::new);
+
         World {
             rng,
             hosts,
@@ -620,6 +670,9 @@ impl World {
             meters,
             tracer,
             chaos,
+            restarts_warm: 0,
+            restarts_cold: 0,
+            timeline,
             cfg,
         }
     }
@@ -742,6 +795,54 @@ impl World {
         reg.set_counter("net.dropped_partition_total", net.dropped_partition);
         reg.set_counter("net.duplicated_total", net.duplicated);
 
+        // Persistent-store activity: flush what remains dirty, then fold
+        // per-host summaries into `store.*` counters — fleet-wide
+        // totals, plus per-host labeled rows for fleets small enough
+        // that the extra rows stay readable.
+        let mut store_rows: Vec<(usize, bcwan_chain::StoreSummary)> = Vec::new();
+        for (i, h) in self.hosts.iter_mut().enumerate() {
+            h.daemon.chain.flush();
+            if let Some(s) = h.daemon.chain.store_summary() {
+                store_rows.push((i, s));
+            }
+        }
+        let reg = &mut self.registry;
+        let label_hosts = !store_rows.is_empty() && store_rows.len() <= 32;
+        let mut totals = bcwan_chain::StoreSummary::default();
+        for (i, s) in &store_rows {
+            totals.store.flush_total += s.store.flush_total;
+            totals.store.reindex_total += s.store.reindex_total;
+            totals.store.bytes_written += s.store.bytes_written;
+            totals.store.blocks_appended += s.store.blocks_appended;
+            totals.store.undo_appended += s.store.undo_appended;
+            totals.store.compact_total += s.store.compact_total;
+            totals.cache_hit += s.cache_hit;
+            totals.cache_miss += s.cache_miss;
+            if label_hosts {
+                let set = [
+                    ("store.flush_total", s.store.flush_total),
+                    ("store.cache_hit_total", s.cache_hit),
+                    ("store.cache_miss_total", s.cache_miss),
+                    ("store.bytes_written_total", s.store.bytes_written),
+                ];
+                for (base, value) in set {
+                    reg.set_counter(&bcwan_sim::labeled(base, "host", i), value);
+                }
+            }
+        }
+        if !store_rows.is_empty() {
+            reg.set_counter("store.flush_total", totals.store.flush_total);
+            reg.set_counter("store.reindex_total", totals.store.reindex_total);
+            reg.set_counter("store.bytes_written_total", totals.store.bytes_written);
+            reg.set_counter("store.blocks_appended_total", totals.store.blocks_appended);
+            reg.set_counter("store.undo_appended_total", totals.store.undo_appended);
+            reg.set_counter("store.compact_total", totals.store.compact_total);
+            reg.set_counter("store.cache_hit_total", totals.cache_hit);
+            reg.set_counter("store.cache_miss_total", totals.cache_miss);
+        }
+        reg.set_counter("world.restart.warm_total", self.restarts_warm);
+        reg.set_counter("world.restart.cold_total", self.restarts_cold);
+
         if self.tracer.is_enabled() {
             reg.set_counter("trace.unmatched_ends_total", self.tracer.unmatched_ends());
             reg.set_gauge("trace.open_spans", self.tracer.open_spans() as f64);
@@ -787,6 +888,12 @@ impl World {
         reg.set_counter("world.escrows_open_total", escrows_open as u64);
         reg.set_counter("chaos.invariant.violation_total", invariant_violations);
 
+        // Close the timeline with a frame that includes the end-of-run
+        // folds above.
+        if let Some(timeline) = self.timeline.as_mut() {
+            timeline.maybe_sample(queue.now(), &self.registry);
+        }
+
         ExperimentResult {
             completed: self.completed,
             failed: self.failed,
@@ -809,6 +916,9 @@ impl World {
             invariant_violations,
             utxo_total,
             utxo_fingerprint,
+            restarts_warm: self.restarts_warm,
+            restarts_cold: self.restarts_cold,
+            timeline: self.timeline,
         }
     }
 
@@ -1361,6 +1471,13 @@ impl World {
             WanMessage::Chain(ChainMessage::GetBlocksFrom(height)) => {
                 self.serve_blocks_from(now, to, delivery.from.0, height, queue)
             }
+            WanMessage::Chain(ChainMessage::GetHeadersFrom(height)) => {
+                self.serve_headers_from(now, to, delivery.from.0, height, queue)
+            }
+            WanMessage::Chain(ChainMessage::Headers {
+                start_height,
+                headers,
+            }) => self.handle_headers(now, to, start_height, headers, queue),
             WanMessage::Chain(_) => { /* GetBlock/TipAnnounce unused here */ }
         }
     }
@@ -1389,6 +1506,77 @@ impl World {
                 requester,
                 WanMessage::Chain(ChainMessage::Block(block)),
             );
+        }
+    }
+
+    /// Serves a headers-first locate request with one bounded batch of
+    /// main-chain headers (88 bytes each, no bodies).
+    fn serve_headers_from(
+        &mut self,
+        now: SimTime,
+        to: u32,
+        requester: u32,
+        height: u64,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let headers = crate::sync::serve_headers_from(
+            &self.hosts[to as usize].daemon.chain,
+            height,
+            crate::sync::HEADER_BATCH,
+        );
+        self.unicast(
+            queue,
+            now,
+            to,
+            requester,
+            WanMessage::Chain(ChainMessage::Headers {
+                start_height: height,
+                headers,
+            }),
+        );
+    }
+
+    /// Feeds a received header batch into the host's catch-up machine
+    /// and transmits whatever it asks for next (a further locate probe,
+    /// or the first striped body batches).
+    fn handle_headers(
+        &mut self,
+        now: SimTime,
+        to: u32,
+        start_height: u64,
+        headers: Vec<bcwan_chain::BlockHeader>,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let host = &mut self.hosts[to as usize];
+        let Some(hs) = host.header_sync.as_mut() else {
+            return; // stale batch from a finished or restarted sync
+        };
+        let reqs = hs.on_headers(&host.daemon.chain, start_height, &headers);
+        if !hs.is_active() {
+            host.header_sync = None;
+        }
+        self.send_sync_requests(now, to, reqs, queue);
+    }
+
+    /// Transmits a batch of requests produced by a host's
+    /// [`HeaderSync`](crate::sync::HeaderSync) machine.
+    fn send_sync_requests(
+        &mut self,
+        now: SimTime,
+        to: u32,
+        reqs: Vec<crate::sync::SyncRequest>,
+        queue: &mut EventQueue<Event>,
+    ) {
+        for req in reqs {
+            let (peer, msg) = match req {
+                crate::sync::SyncRequest::Headers { peer, from } => {
+                    (peer.0, ChainMessage::GetHeadersFrom(from))
+                }
+                crate::sync::SyncRequest::Bodies { peer, from } => {
+                    (peer.0, ChainMessage::GetBlocksFrom(from))
+                }
+            };
+            self.unicast(queue, now, to, peer, WanMessage::Chain(msg));
         }
     }
 
@@ -1769,6 +1957,16 @@ impl World {
                 pending.extend(children);
             }
         }
+        // Keep an in-progress headers-first sync's body window full as
+        // batches land and retire.
+        let host = &mut self.hosts[to as usize];
+        if let Some(hs) = host.header_sync.as_mut() {
+            let reqs = hs.on_progress(&host.daemon.chain);
+            if !hs.is_active() {
+                host.header_sync = None;
+            }
+            self.send_sync_requests(at, to, reqs, queue);
+        }
     }
 
     fn gateway_check_confirmations(
@@ -1816,41 +2014,77 @@ impl World {
         self.hosts[to as usize].awaiting_conf.extend(still_waiting);
     }
 
-    /// Rate-limited catch-up request to the best sync source — the
-    /// master (host 0) in the common case; after a miner failover the
-    /// restarted master itself catches up from the tallest standby.
+    /// Rate-limited headers-first catch-up toward the best sync source —
+    /// the master (host 0) in the common case; after a miner failover
+    /// the restarted master itself catches up from the tallest standby.
+    ///
+    /// The source answers the locate probes (`GetHeadersFrom`); once the
+    /// fork is found, body batches are striped across up to three live
+    /// peers that are ahead of us. A machine still making progress keeps
+    /// running with a raised target; a stalled one (lost responses, a
+    /// source that reorganized mid-sync) is restarted — re-locating the
+    /// fork costs a few 22 KiB header batches, not block bodies.
     fn request_sync(&mut self, now: SimTime, to: u32, queue: &mut EventQueue<Event>) {
         let Some(source) = self.sync_source(now, to) else {
             return; // nobody live is ahead of us
         };
         let sync_cooldown = SimDuration::from_secs(5);
-        let host = &mut self.hosts[to as usize];
-        if let Some(last) = host.last_sync_req {
+        if let Some(last) = self.hosts[to as usize].last_sync_req {
             if now < last + sync_cooldown {
                 return;
             }
         }
+        let target = self.hosts[source as usize].daemon.chain.height();
+        let peers = self.sync_peers(now, to, source);
+        let host = &mut self.hosts[to as usize];
         let height = host.daemon.chain.height();
-        if host.last_sync_req.is_some() && height == host.last_sync_height {
-            // The previous catch-up did not move the tip: the source must
-            // have reorganized past our fork point, so back up further.
-            host.sync_back = (host.sync_back * 2).clamp(1, height);
-        } else {
-            host.sync_back = 0;
-        }
+        let progressed = host.last_sync_req.is_some() && height > host.last_sync_height;
         host.last_sync_height = height;
         host.last_sync_req = Some(now);
-        // `GetBlocksFrom` is strictly-above: asking from our tip height
-        // fetches our missing suffix; `sync_back` rewinds the start to
-        // reach past a fork point.
-        let from_height = height.saturating_sub(host.sync_back);
-        self.unicast(
-            queue,
-            now,
-            to,
-            source,
-            WanMessage::Chain(ChainMessage::GetBlocksFrom(from_height)),
-        );
+        let reqs = match host.header_sync.as_mut() {
+            Some(hs) if progressed && hs.is_active() => {
+                hs.on_tip(target);
+                let reqs = hs.on_progress(&host.daemon.chain);
+                if !hs.is_active() {
+                    host.header_sync = None;
+                }
+                reqs
+            }
+            _ => {
+                let (hs, reqs) = crate::sync::HeaderSync::start(peers, height, target);
+                host.header_sync = Some(hs);
+                reqs
+            }
+        };
+        self.send_sync_requests(now, to, reqs, queue);
+    }
+
+    /// Peers to stripe body batches across: the locate source first,
+    /// then the tallest other live hosts strictly ahead of us, at most
+    /// three total.
+    fn sync_peers(&self, now: SimTime, to: u32, primary: u32) -> Vec<NodeId> {
+        let my_height = self.hosts[to as usize].daemon.chain.height();
+        let mut peers = vec![NodeId(primary)];
+        let mut candidates: Vec<(u64, u32)> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| {
+                let id = i as u32;
+                if id == to || id == primary {
+                    return None;
+                }
+                if !self.chaos.is_idle() && self.chaos.host_down(id, now) {
+                    return None;
+                }
+                let height = h.daemon.chain.height();
+                (height > my_height).then_some((height, id))
+            })
+            .collect();
+        // Tallest first; ties broken by id for determinism.
+        candidates.sort_by(|a, b| b.cmp(a));
+        peers.extend(candidates.into_iter().take(2).map(|(_, id)| NodeId(id)));
+        peers
     }
 
     /// The best catch-up peer for `to`: the master (host 0) while it is
@@ -1966,14 +2200,52 @@ impl World {
         }
     }
 
-    /// A crashed host restarts: volatile state is gone, the chain
-    /// survives, and the host asks the master for what it missed.
+    /// A crashed host restarts. Volatile state (mempool, relay filters,
+    /// in-flight syncs) is always gone. What happens to the chain
+    /// depends on durability:
+    ///
+    /// - **Warm** (a store is attached): the in-memory chain is
+    ///   discarded — a killed process keeps nothing — and the host
+    ///   reopens whatever its store committed before the crash
+    ///   (`Chain::open_store`), rolling the coins snapshot forward from
+    ///   undo/block records without re-validating scripts. It then
+    ///   catches up to the fleet tip headers-first.
+    /// - **Cold** (memory-only, or the store failed to reopen): the old
+    ///   model — the in-memory chain survives by fiat.
     fn handle_chaos_restart(&mut self, now: SimTime, host: u32, queue: &mut EventQueue<Event>) {
+        let mut warm = false;
+        if let Some(root) = self.cfg.store_dir.clone() {
+            let h = &mut self.hosts[host as usize];
+            if h.daemon.chain.has_store() {
+                let dir = root.join(format!("host-{host}"));
+                match Chain::open_store(
+                    self.cfg.chain_params.clone(),
+                    &dir,
+                    bcwan_chain::StoreConfig::default(),
+                ) {
+                    Ok(opened) => {
+                        h.daemon.chain = opened.chain;
+                        h.directory = Directory::from_chain(&h.daemon.chain);
+                        warm = true;
+                    }
+                    Err(_) => {
+                        // Unopenable store: fall back to the in-memory
+                        // chain rather than losing the host entirely.
+                    }
+                }
+            }
+        }
+        if warm {
+            self.restarts_warm += 1;
+        } else {
+            self.restarts_cold += 1;
+        }
         let h = &mut self.hosts[host as usize];
         h.daemon.crash_restart(now);
         h.orphans.clear();
         h.cpu_busy_until = now;
         h.last_sync_req = None;
+        h.header_sync = None;
         self.request_sync(now, host, queue);
     }
 
@@ -2187,6 +2459,12 @@ impl World {
     }
 
     fn handle_mine_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        // Interval metrics ride the mining heartbeat — the one periodic
+        // event every run has. Edge-triggered, so a slow block interval
+        // just lowers the effective sampling rate.
+        if let Some(timeline) = self.timeline.as_mut() {
+            timeline.maybe_sample(now, &self.registry);
+        }
         // Stop mining when work is done and nothing is pending anywhere.
         let work_left = self.completed + self.failed < self.started
             || self.started < self.cfg.target_exchanges
@@ -2357,6 +2635,24 @@ fn ring_lattice(n: u32, degree: u32) -> Topology {
 fn clone_chain(params: &ChainParams, source: &Chain) -> Chain {
     let blocks: Vec<Block> = source.iter_main().cloned().collect();
     let mut chain = Chain::new(params.clone(), blocks[0].clone());
+    for block in blocks.into_iter().skip(1) {
+        chain.add_block(block).expect("bootstrap blocks valid");
+    }
+    chain
+}
+
+/// Like [`clone_chain`] but backed by a fresh persistent store at `dir`:
+/// the genesis and warm-up blocks are written through to disk, so a
+/// later crash-restart can reopen the chain instead of keeping memory.
+fn clone_chain_with_store(params: &ChainParams, source: &Chain, dir: &std::path::Path) -> Chain {
+    let blocks: Vec<Block> = source.iter_main().cloned().collect();
+    let mut chain = Chain::create_with_store(
+        params.clone(),
+        blocks[0].clone(),
+        dir,
+        bcwan_chain::StoreConfig::default(),
+    )
+    .expect("host store directory writable");
     for block in blocks.into_iter().skip(1) {
         chain.add_block(block).expect("bootstrap blocks valid");
     }

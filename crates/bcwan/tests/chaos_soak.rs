@@ -181,6 +181,91 @@ fn master_crash_fails_over_to_standby_miner() {
 }
 
 #[test]
+fn crashed_gateway_restarts_warm_from_its_store() {
+    // Same crash schedule as `gateway_crash_after_deliver_recovers`, but
+    // every host persists its chain. The restarted gateway must reopen
+    // its block files instead of rebuilding from genesis (a *warm*
+    // restart), then catch up to the fleet tip headers-first and settle
+    // every escrow with the invariants intact.
+    let dir = std::env::temp_dir().join(format!(
+        "bcwan-warm-restart-{}-{:x}",
+        std::process::id(),
+        0x5704u32
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = ChaosPlan {
+        faults: vec![ChaosFault::HostCrash {
+            host: 2,
+            from: secs(3),
+            until: secs(43),
+        }],
+    };
+    let mut cfg = WorkloadConfig::tiny(6, 91)
+        .with_chaos(plan)
+        .with_store_dir(&dir);
+    cfg.refund_delta = 12;
+    let result = World::new(cfg).run();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(result.restarts_warm > 0, "restart must reload from disk");
+    assert_eq!(result.restarts_cold, 0, "no store fell back to cold");
+    assert_eq!(
+        counter(&result, "world.restart.warm_total"),
+        result.restarts_warm,
+        "registry mirrors the restart census"
+    );
+    assert!(counter(&result, "store.flush_total") > 0, "stores flushed");
+    assert!(
+        counter(&result, "store.blocks_appended_total") > 0,
+        "blocks hit the block files"
+    );
+    assert!(result.completed >= 1, "exchanges outside the crash window");
+    assert_eq!(result.escrows_open, 0, "every escrow settled");
+    assert_eq!(result.invariant_violations, 0);
+}
+
+#[test]
+fn stored_soak_matches_in_memory_soak() {
+    // A persisted run must be byte-identical (in outcome) to the same
+    // seed run purely in memory: the store is a durability layer, not a
+    // consensus participant.
+    let plan = || {
+        let mut rng = SimRng::seed_from_u64(0x570a);
+        ChaosPlan::generate(
+            &mut rng,
+            &ChaosProfile::soak(),
+            SimDuration::from_secs(240),
+            2,
+        )
+    };
+    let mut mem_cfg = WorkloadConfig::tiny(8, 55).with_chaos(plan());
+    mem_cfg.refund_delta = 12;
+    let mem = World::new(mem_cfg).run();
+
+    let dir = std::env::temp_dir().join(format!("bcwan-stored-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut disk_cfg = WorkloadConfig::tiny(8, 55)
+        .with_chaos(plan())
+        .with_store_dir(&dir);
+    disk_cfg.refund_delta = 12;
+    let disk = World::new(disk_cfg).run();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(mem.utxo_fingerprint, disk.utxo_fingerprint);
+    assert_eq!(mem.utxo_total, disk.utxo_total);
+    assert_eq!(mem.completed, disk.completed);
+    assert_eq!(mem.escrows_claimed, disk.escrows_claimed);
+    assert_eq!(mem.escrows_refunded, disk.escrows_refunded);
+    assert_eq!(mem.blocks_mined, disk.blocks_mined);
+    assert_eq!(disk.invariant_violations, 0);
+    assert!(
+        disk.restarts_warm + disk.restarts_cold > 0,
+        "soak restarted hosts"
+    );
+    assert_eq!(disk.restarts_cold, 0, "every restart reopened its store");
+}
+
+#[test]
 fn soak_same_seed_same_final_utxo() {
     let run = || {
         let mut rng = SimRng::seed_from_u64(0x50a0);

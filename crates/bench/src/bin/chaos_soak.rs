@@ -11,27 +11,34 @@
 //!   one settlement per escrow, FSM/chain agreement);
 //! - no escrow left open (every one ended Claimed or Refunded).
 //!
-//! Usage: `chaos_soak [SEED...] [--hosts N] [--exchanges N]
+//! Usage: `chaos_soak [SEED...] [--hosts N] [--exchanges N] [--store]
 //! [--json PATH]`. With no positional seeds, the two CI seeds 101 and
 //! 202 run. `--hosts` switches from the 2-actor tiny world to the
 //! fleet preset ([`WorkloadConfig::fleet`]): N gateways on a degree-6
 //! ring lattice, the configuration the CI fleet-soak job drives to
-//! 1 000 hosts. Exit status 1 on any violation, so CI can gate on it
-//! directly.
+//! 1 000 hosts. `--store` gives every host a persistent chain store
+//! (ISSUE 7): chaos-crashed hosts must restart *warm* — reopening
+//! their block files instead of rebuilding from genesis — and the gate
+//! additionally fails on any cold fallback, or on zero warm restarts
+//! when the plan scheduled a crash. Exit status 1 on any violation, so
+//! CI can gate on it directly.
 
 use bcwan::world::{WorkloadConfig, World};
 use bcwan_bench::BenchReport;
-use bcwan_sim::{ChaosPlan, ChaosProfile, Json, SimDuration, SimRng};
+use bcwan_sim::{ChaosFault, ChaosPlan, ChaosProfile, Json, SimDuration, SimRng};
 
 fn main() {
     let mut seeds: Vec<u64> = Vec::new();
     let mut json = None;
     let mut hosts: Option<u32> = None;
     let mut exchanges: Option<usize> = None;
+    let mut store = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--json" {
             json = args.next();
+        } else if arg == "--store" {
+            store = true;
         } else if arg == "--hosts" {
             hosts = Some(
                 args.next()
@@ -73,24 +80,55 @@ fn main() {
             actor_hosts,
         );
         let faults = plan.faults.len();
+        let crashes_scheduled = plan
+            .faults
+            .iter()
+            .any(|f| matches!(f, ChaosFault::HostCrash { .. }));
         let mut cfg = match hosts {
             Some(n) => WorkloadConfig::fleet(n, target, seed),
             None => WorkloadConfig::tiny(target, seed),
         }
         .with_chaos(plan);
         cfg.refund_delta = 12;
+        let store_root = store.then(|| {
+            std::env::temp_dir().join(format!("chaos-soak-store-{}-{seed}", std::process::id()))
+        });
+        if let Some(root) = &store_root {
+            let _ = std::fs::remove_dir_all(root);
+            cfg = cfg.with_store_dir(root);
+        }
         eprintln!(
-            "seed {seed}: {faults} faults scheduled, {actor_hosts} hosts, {target} exchanges…"
+            "seed {seed}: {faults} faults scheduled, {actor_hosts} hosts, {target} exchanges{}…",
+            if store { ", persistent stores" } else { "" }
         );
         let result = World::new(cfg).run();
+        if let Some(root) = &store_root {
+            let _ = std::fs::remove_dir_all(root);
+        }
 
-        let ok = result.invariant_violations == 0 && result.escrows_open == 0;
+        let mut ok = result.invariant_violations == 0 && result.escrows_open == 0;
+        if store {
+            // Store mode gate: every restart must have reopened its
+            // store (no cold fallback), and a plan that scheduled a
+            // crash must actually have exercised the warm path.
+            if result.restarts_cold > 0 {
+                eprintln!(
+                    "seed {seed}: {} restart(s) fell back to cold rebuild",
+                    result.restarts_cold
+                );
+                ok = false;
+            }
+            if crashes_scheduled && result.restarts_warm == 0 {
+                eprintln!("seed {seed}: crashes scheduled but no warm restart happened");
+                ok = false;
+            }
+        }
         if !ok {
             failures += 1;
         }
         eprintln!(
             "seed {seed}: {} — completed={} failed={} claimed={} refunded={} open={} \
-             violations={} blocks={} sim_time={:.0}s",
+             violations={} blocks={} warm={} cold={} sim_time={:.0}s",
             if ok { "OK" } else { "VIOLATION" },
             result.completed,
             result.failed,
@@ -99,6 +137,8 @@ fn main() {
             result.escrows_open,
             result.invariant_violations,
             result.blocks_mined,
+            result.restarts_warm,
+            result.restarts_cold,
             result.sim_time.as_secs_f64(),
         );
         rows.push(
@@ -116,6 +156,8 @@ fn main() {
                 )
                 .with("utxo_fingerprint", Json::uint(result.utxo_fingerprint))
                 .with("blocks_mined", Json::uint(result.blocks_mined))
+                .with("restarts_warm", Json::uint(result.restarts_warm))
+                .with("restarts_cold", Json::uint(result.restarts_cold))
                 .with("sim_time_s", Json::num(result.sim_time.as_secs_f64())),
         );
         last_metrics = Some(result.metrics);
@@ -131,6 +173,7 @@ fn main() {
                 )
                 .with("hosts", Json::uint(u64::from(hosts.unwrap_or(2))))
                 .with("target_exchanges", Json::size(target))
+                .with("store", Json::Bool(store))
                 .with("refund_delta", Json::uint(12)),
         )
         .rows(Json::Array(rows))

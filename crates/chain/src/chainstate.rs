@@ -2,6 +2,7 @@
 
 use crate::block::{Block, BlockHash};
 use crate::params::ChainParams;
+use crate::store::{ChainStore, CoinsCache, Probe, StoreConfig, StoreError, StoreStats};
 use crate::tx::{Transaction, TxOut};
 use crate::utxo::{UndoData, UtxoSet};
 use crate::validate::{validate_block_with, BlockError, BlockValidationOptions, SigCache};
@@ -9,6 +10,7 @@ use crate::wallet::Address;
 use bcwan_script::templates::p2pkh;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 /// What happened when a block was submitted.
@@ -105,6 +107,33 @@ impl ChainStats {
     }
 }
 
+/// What [`Chain::open_store`] recovered, beyond the chain itself.
+pub struct OpenedChain {
+    /// The reopened chain, tip and UTXO set restored from disk.
+    pub chain: Chain,
+    /// The coins table was missing/corrupt and was rebuilt by replaying
+    /// the block file.
+    pub reindexed: bool,
+    /// Blocks re-applied (without script re-validation) to advance the
+    /// coins snapshot to the committed tip.
+    pub rolled_forward: u64,
+    /// Blocks undone to walk a stale coins snapshot back to the fork.
+    pub undone: u64,
+}
+
+/// Store activity plus cache behaviour, for `store.*` metrics export.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreSummary {
+    /// The store's lifetime counters.
+    pub store: StoreStats,
+    /// Coins-cache hits counted while connecting blocks.
+    pub cache_hit: u64,
+    /// Coins-cache misses (disk read-throughs).
+    pub cache_miss: u64,
+    /// Dirty (unflushed) cache entries right now.
+    pub dirty: u64,
+}
+
 /// The chain state: all known blocks, the best chain, and its UTXO set.
 pub struct Chain {
     params: ChainParams,
@@ -113,7 +142,9 @@ pub struct Chain {
     main: Vec<BlockHash>,
     /// Undo data for connected main-chain blocks.
     undo: HashMap<BlockHash, UndoData>,
-    utxo: UtxoSet,
+    coins: CoinsCache,
+    /// Persistent backing; `None` for a memory-only chain.
+    store: Option<ChainStore>,
     stats: ChainStats,
     /// Transactions moved by the most recent reorg, until taken.
     last_reorg: Option<ReorgInfo>,
@@ -129,7 +160,7 @@ impl fmt::Debug for Chain {
         f.debug_struct("Chain")
             .field("height", &self.height())
             .field("blocks", &self.blocks.len())
-            .field("utxos", &self.utxo.len())
+            .field("utxos", &self.coins.set().len())
             .finish()
     }
 }
@@ -141,8 +172,8 @@ impl Chain {
     /// in Bitcoin, where genesis is hard-coded).
     pub fn new(params: ChainParams, genesis: Block) -> Self {
         let hash = genesis.hash();
-        let mut utxo = UtxoSet::new();
-        let undo_data = utxo
+        let mut coins = CoinsCache::new();
+        let undo_data = coins
             .apply_block(&genesis.transactions, 0)
             .expect("genesis applies to empty set");
         let mut blocks = HashMap::new();
@@ -160,11 +191,225 @@ impl Chain {
             blocks,
             main: vec![hash],
             undo,
-            utxo,
+            coins,
+            store: None,
             stats: ChainStats::default(),
             last_reorg: None,
             sig_cache: Arc::new(SigCache::default()),
         }
+    }
+
+    /// Creates a chain from a genesis block with a fresh persistent
+    /// store in `dir` (wiping any previous store there). Every connected
+    /// block is appended to disk; [`Chain::open_store`] reopens it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory or initial records cannot be
+    /// written.
+    pub fn create_with_store(
+        params: ChainParams,
+        genesis: Block,
+        dir: impl AsRef<Path>,
+        cfg: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let mut chain = Chain::new(params, genesis);
+        let mut store = ChainStore::create(dir.as_ref(), cfg)?;
+        let tip = chain.tip();
+        let genesis_block = &chain.blocks.get(&tip).expect("genesis stored").block;
+        store.append_block(genesis_block)?;
+        store.append_undo(tip, chain.undo.get(&tip).expect("genesis undo"))?;
+        store.commit(tip, 0)?;
+        chain.store = Some(store);
+        chain.flush();
+        Ok(chain)
+    }
+
+    /// Reopens a chain from a persistent store, recovering the last
+    /// durable commit. The UTXO set is restored from the coins snapshot
+    /// and advanced to the committed tip by re-applying block bodies —
+    /// **without** re-running script validation (those blocks were
+    /// validated when first connected). If the snapshot sits on a
+    /// branch that was reorged away, the on-disk undo records walk it
+    /// back to the fork first. A missing or corrupt coins table falls
+    /// back to a full reindex from the block file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Empty`] when no commit survives (caller should
+    /// rebuild from genesis), [`StoreError::Corrupt`] when committed
+    /// data is unusable, [`StoreError::Io`] on filesystem failure.
+    pub fn open_store(
+        params: ChainParams,
+        dir: impl AsRef<Path>,
+        cfg: StoreConfig,
+    ) -> Result<OpenedChain, StoreError> {
+        let (mut store, loaded) = ChainStore::open(dir.as_ref(), cfg)?;
+
+        // Rebuild the block index; parents precede children on disk.
+        let mut blocks: HashMap<BlockHash, StoredBlock> = HashMap::new();
+        for block in loaded.blocks {
+            let hash = block.hash();
+            let height = if block.header.prev_hash == BlockHash::GENESIS_PREV {
+                0
+            } else {
+                blocks
+                    .get(&block.header.prev_hash)
+                    .ok_or_else(|| {
+                        StoreError::Corrupt(format!("block {hash} precedes its parent"))
+                    })?
+                    .height
+                    + 1
+            };
+            blocks.insert(hash, StoredBlock { block, height });
+        }
+
+        // Main chain: walk back from the committed tip.
+        let mut main = Vec::new();
+        let mut cursor = loaded.tip;
+        loop {
+            let stored = blocks
+                .get(&cursor)
+                .ok_or_else(|| StoreError::Corrupt(format!("main ancestor {cursor} missing")))?;
+            main.push(cursor);
+            if stored.height == 0 {
+                break;
+            }
+            cursor = stored.block.header.prev_hash;
+        }
+        main.reverse();
+        if main.len() as u64 != loaded.height + 1 {
+            return Err(StoreError::Corrupt(format!(
+                "committed height {} but main chain has {} blocks",
+                loaded.height,
+                main.len()
+            )));
+        }
+
+        // Restore the UTXO set from the coins snapshot, repairing its
+        // position relative to the committed main chain.
+        let mut rolled_forward = 0u64;
+        let mut undone = 0u64;
+        let restored = loaded.coins.and_then(|(ctip, cheight, entries)| {
+            let mut cache = CoinsCache::from_backed(entries);
+            let mut h = cheight;
+            if main.get(h as usize) != Some(&ctip) {
+                // Snapshot taken on a branch since reorged away: undo
+                // back to the fork using the persisted undo records.
+                let mut cur = ctip;
+                while main.get(h as usize) != Some(&cur) {
+                    let stored = blocks.get(&cur)?;
+                    let u = loaded.undo.get(&cur)?;
+                    cache.undo_block(&stored.block.transactions, u);
+                    undone += 1;
+                    cur = stored.block.header.prev_hash;
+                    h = h.checked_sub(1)?;
+                }
+            }
+            // Roll forward to the committed tip, no script validation.
+            for hash in &main[(h + 1) as usize..] {
+                let stored = blocks.get(hash).expect("main block indexed");
+                cache
+                    .apply_block(&stored.block.transactions, stored.height)
+                    .ok()?;
+                rolled_forward += 1;
+            }
+            Some(cache)
+        });
+
+        let (coins, reindexed) = match restored {
+            Some(cache) => (cache, false),
+            None => {
+                // Reindex: replay every main-chain block onto an empty
+                // cache and restart the coins log.
+                store.reset_coins()?;
+                let mut cache = CoinsCache::new();
+                for hash in &main {
+                    let stored = blocks.get(hash).expect("main block indexed");
+                    cache
+                        .apply_block(&stored.block.transactions, stored.height)
+                        .map_err(|e| {
+                            StoreError::Corrupt(format!("reindex failed at {hash}: {e}"))
+                        })?;
+                }
+                rolled_forward = 0;
+                undone = 0;
+                (cache, true)
+            }
+        };
+
+        // Undo data the chain keeps resident: main-chain blocks only
+        // (stale-branch records stay on disk, already consumed above).
+        let main_set: std::collections::HashSet<BlockHash> = main.iter().copied().collect();
+        let undo = loaded
+            .undo
+            .into_iter()
+            .filter(|(h, _)| main_set.contains(h))
+            .collect();
+
+        let mut chain = Chain {
+            params,
+            blocks,
+            main,
+            undo,
+            coins,
+            store: Some(store),
+            stats: ChainStats::default(),
+            last_reorg: None,
+            sig_cache: Arc::new(SigCache::default()),
+        };
+        if reindexed {
+            // The rebuilt set is entirely fresh; write the new coins
+            // generation out now so the next crash reopens warm.
+            chain.coins.mark_all_fresh();
+            chain.flush();
+        }
+        Ok(OpenedChain {
+            chain,
+            reindexed,
+            rolled_forward,
+            undone,
+        })
+    }
+
+    /// Whether this chain has a persistent store attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Flushes the dirty coins-cache entries to the store and marks the
+    /// snapshot at the current tip. No-op for memory-only chains.
+    pub fn flush(&mut self) {
+        let tip = self.tip();
+        let height = self.height();
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        let ops = self.coins.flush_ops();
+        store
+            .flush_coins(&ops, tip, height)
+            .expect("chain store: coins flush failed");
+    }
+
+    /// Evicts clean, disk-backed coins entries from memory; they read
+    /// back through the store on demand. Returns the eviction count.
+    /// No-op (0) for memory-only chains.
+    pub fn trim_coins(&mut self) -> usize {
+        if self.store.is_none() {
+            return 0;
+        }
+        self.coins.trim_clean()
+    }
+
+    /// Store activity and cache counters, if a store is attached.
+    pub fn store_summary(&self) -> Option<StoreSummary> {
+        let store = self.store.as_ref()?;
+        Some(StoreSummary {
+            store: *store.stats(),
+            cache_hit: self.coins.hits(),
+            cache_miss: self.coins.misses(),
+            dirty: self.coins.dirty_len() as u64,
+        })
     }
 
     /// Takes the transactions moved by the most recent reorganization.
@@ -230,9 +475,11 @@ impl Chain {
         *self.main.last().expect("chain never empty")
     }
 
-    /// The UTXO set of the best chain.
+    /// The UTXO set of the best chain (the coins cache's resident view;
+    /// with a store attached, trimmed entries fault back in during
+    /// block connect, not through this accessor).
     pub fn utxo(&self) -> &UtxoSet {
-        &self.utxo
+        self.coins.set()
     }
 
     /// Fetches a block by hash.
@@ -298,22 +545,24 @@ impl Chain {
 
         if parent_hash == self.tip() {
             // Fast path: extending the best chain.
+            self.prefetch_inputs(&block);
             validate_block_with(
                 &block,
-                &self.utxo,
+                self.coins.set(),
                 height,
                 &self.params,
                 &self.validation_options(),
             )
             .map_err(ChainError::Invalid)?;
             let undo = self
-                .utxo
+                .coins
                 .apply_block(&block.transactions, height)
                 .expect("validated block applies");
             self.undo.insert(hash, undo);
             self.main.push(hash);
             self.stats.connect(&block);
             self.blocks.insert(hash, StoredBlock { block, height });
+            self.persist_connected(&[hash]);
             return Ok(BlockAction::Extended(height));
         }
 
@@ -352,7 +601,7 @@ impl Chain {
             let hash = self.main.pop().expect("non-empty");
             let stored = self.blocks.get(&hash).expect("stored");
             let undo = self.undo.remove(&hash).expect("undo kept for main blocks");
-            self.utxo.undo_block(&stored.block.transactions, &undo);
+            self.coins.undo_block(&stored.block.transactions, &undo);
             self.stats.blocks_disconnected += 1;
             disconnected.push(hash);
         }
@@ -362,9 +611,10 @@ impl Chain {
         for (i, hash) in branch.iter().enumerate() {
             let height = fork_height + 1 + i as u64;
             let block = self.blocks.get(hash).expect("stored").block.clone();
+            self.prefetch_inputs(&block);
             let validated = validate_block_with(
                 &block,
-                &self.utxo,
+                self.coins.set(),
                 height,
                 &self.params,
                 &self.validation_options(),
@@ -372,7 +622,7 @@ impl Chain {
             match validated {
                 Ok(()) => {
                     let undo = self
-                        .utxo
+                        .coins
                         .apply_block(&block.transactions, height)
                         .expect("validated block applies");
                     self.undo.insert(*hash, undo);
@@ -386,14 +636,14 @@ impl Chain {
                         let h = self.main.pop().expect("non-empty");
                         let stored = self.blocks.get(&h).expect("stored");
                         let undo = self.undo.remove(&h).expect("undo");
-                        self.utxo.undo_block(&stored.block.transactions, &undo);
+                        self.coins.undo_block(&stored.block.transactions, &undo);
                     }
                     for hash in disconnected.iter().rev() {
                         let stored = self.blocks.get(hash).expect("stored");
                         let block = stored.block.clone();
                         let height = stored.height;
                         let undo = self
-                            .utxo
+                            .coins
                             .apply_block(&block.transactions, height)
                             .expect("previously valid block re-applies");
                         self.undo.insert(*hash, undo);
@@ -406,6 +656,7 @@ impl Chain {
             }
         }
         self.stats.reorgs += 1;
+        self.persist_connected(&branch);
         let non_coinbase = |hashes: &[BlockHash]| -> Vec<Transaction> {
             hashes
                 .iter()
@@ -426,6 +677,59 @@ impl Chain {
             disconnected: disconnected.len(),
             connected,
         })
+    }
+
+    /// Persists freshly connected main-chain blocks: block and undo
+    /// records first, then the manifest commit that makes them durable.
+    /// Runs only after the in-memory connect succeeded, so disk never
+    /// gets ahead of a state we could not reach. Store I/O failure is
+    /// fatal — a gateway that cannot write its chain must not pretend
+    /// it did.
+    fn persist_connected(&mut self, hashes: &[BlockHash]) {
+        if self.store.is_none() {
+            return;
+        }
+        let tip = self.tip();
+        let height = self.height();
+        {
+            let store = self.store.as_mut().expect("checked above");
+            for hash in hashes {
+                let stored = self.blocks.get(hash).expect("connected block stored");
+                store
+                    .append_block(&stored.block)
+                    .expect("chain store: block append failed");
+                let undo = self.undo.get(hash).expect("undo kept for main blocks");
+                store
+                    .append_undo(*hash, undo)
+                    .expect("chain store: undo append failed");
+            }
+            store
+                .commit(tip, height)
+                .expect("chain store: commit failed");
+        }
+        if self.store.as_ref().expect("checked above").flush_due() {
+            self.flush();
+        }
+    }
+
+    /// Faults trimmed coins entries back in from the store before a
+    /// block's inputs are validated, counting cache hits and misses.
+    fn prefetch_inputs(&mut self, block: &Block) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        for tx in &block.transactions {
+            if tx.is_coinbase() {
+                continue;
+            }
+            for input in &tx.inputs {
+                if self.coins.probe(&input.prevout) == Probe::OnDisk {
+                    if let Some(entry) = store.read_coin(&input.prevout) {
+                        self.coins.insert_clean(input.prevout, entry);
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -17,6 +17,12 @@
 //!   verification, BIP-65 lock-time finality, coinbase maturity),
 //! - [`mempool`] — first-seen transaction pool with fee-ordered templates,
 //! - [`chainstate`] — best-chain selection and reorganization,
+//! - [`codec`] — canonical binary decoding shared by the wire layer and
+//!   the store (txids survive every round-trip),
+//! - [`store`] — persistent chain storage: append-only block/undo
+//!   files, a write-back coins cache over a flat on-disk table, and a
+//!   crash-safe manifest (see `Chain::create_with_store` /
+//!   `Chain::open_store`),
 //! - [`pos`] — stake-weighted leader election for the §6 consensus
 //!   ablation.
 //!
@@ -41,19 +47,25 @@
 
 pub mod block;
 pub mod chainstate;
+pub mod codec;
 pub mod mempool;
 pub mod merkle;
 pub mod params;
 pub mod pos;
+pub mod store;
 pub mod tx;
 pub mod utxo;
 pub mod validate;
 pub mod wallet;
 
 pub use block::{Block, BlockHash, BlockHeader};
-pub use chainstate::{BlockAction, Chain, ChainError, ChainStats, ReorgInfo};
+pub use chainstate::{
+    BlockAction, Chain, ChainError, ChainStats, OpenedChain, ReorgInfo, StoreSummary,
+};
+pub use codec::CodecError;
 pub use mempool::{Mempool, MempoolError, MempoolStats};
 pub use params::{ChainParams, StallModel};
+pub use store::{CoinsCache, StoreConfig, StoreError};
 pub use tx::{OutPoint, Transaction, TxId, TxIn, TxOut, SEQUENCE_FINAL};
 pub use utxo::{UtxoEntry, UtxoSet};
 pub use validate::{

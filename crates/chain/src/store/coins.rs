@@ -1,0 +1,398 @@
+//! Write-back UTXO cache layered over the on-disk coins table.
+//!
+//! [`CoinsCache`] wraps the in-memory [`UtxoSet`] and tracks, per
+//! outpoint, how the cached view diverges from the flat coins file
+//! underneath (the *backing*):
+//!
+//! - **Fresh** — created since the last flush and never flushed; if it
+//!   is spent again before the next flush the entry vanishes without
+//!   ever touching disk (the common case for short-lived escrow
+//!   outputs).
+//! - **Write** — present in the backing but the cached value differs
+//!   (created over an erased slot, or restored by a reorg undo).
+//! - **Erase** — present in the backing but spent in the cache; the
+//!   flush must delete it.
+//!
+//! [`CoinsCache::flush_ops`] drains the dirty map into a deterministic
+//! (outpoint-sorted) list of put/delete operations for the store to
+//! append, and re-labels everything clean. Clean entries can be
+//! evicted with [`CoinsCache::trim_clean`] and read back through
+//! [`CoinsCache::insert_clean`] on a miss — the `backed` key set
+//! remembers what the coins file holds so a miss is distinguishable
+//! from a genuinely absent output.
+
+use crate::tx::{OutPoint, Transaction};
+use crate::utxo::{UndoData, UtxoEntry, UtxoError, UtxoSet};
+use std::collections::{HashMap, HashSet};
+
+/// How a cached entry diverges from the on-disk backing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dirty {
+    /// Created since the last flush; the backing has never seen it.
+    Fresh,
+    /// In the backing, but the cached value supersedes it.
+    Write,
+    /// In the backing, but spent in the cache; flush must delete it.
+    Erase,
+}
+
+/// One operation a flush hands to the store, in outpoint order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlushOp {
+    /// Write (or overwrite) this entry in the coins table.
+    Put(OutPoint, UtxoEntry),
+    /// Delete this outpoint from the coins table.
+    Del(OutPoint),
+}
+
+/// Write-back cache over the UTXO set (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct CoinsCache {
+    set: UtxoSet,
+    dirty: HashMap<OutPoint, Dirty>,
+    backed: HashSet<OutPoint>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Result of probing the cache for an outpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Resident in the cache (counted as a hit).
+    InCache,
+    /// Not resident, but the coins file holds it (counted as a miss —
+    /// the caller should read it back and [`CoinsCache::insert_clean`]).
+    OnDisk,
+    /// Unknown to both cache and backing.
+    Absent,
+}
+
+impl CoinsCache {
+    /// An empty, memory-only cache (no backing yet).
+    pub fn new() -> Self {
+        CoinsCache::default()
+    }
+
+    /// A cache warmed from a loaded coins snapshot: every entry is
+    /// resident, clean, and known to be in the backing.
+    pub fn from_backed(entries: HashMap<OutPoint, UtxoEntry>) -> Self {
+        let mut set = UtxoSet::new();
+        let mut backed = HashSet::with_capacity(entries.len());
+        for (op, entry) in entries {
+            backed.insert(op);
+            set.insert_loaded(op, entry);
+        }
+        CoinsCache {
+            set,
+            dirty: HashMap::new(),
+            backed,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The resident UTXO set. Callers that only read (validation,
+    /// wallets, coin selection) keep working against this view.
+    pub fn set(&self) -> &UtxoSet {
+        &self.set
+    }
+
+    /// Number of dirty (unflushed) entries.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Number of keys the on-disk backing holds.
+    pub fn backed_len(&self) -> usize {
+        self.backed.len()
+    }
+
+    /// Cache hits counted by [`CoinsCache::probe`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses counted by [`CoinsCache::probe`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Where an outpoint lives, bumping the hit/miss counters.
+    pub fn probe(&mut self, op: &OutPoint) -> Probe {
+        if self.set.contains(op) {
+            self.hits += 1;
+            Probe::InCache
+        } else if self.backed.contains(op) && self.dirty.get(op) != Some(&Dirty::Erase) {
+            self.misses += 1;
+            Probe::OnDisk
+        } else {
+            Probe::Absent
+        }
+    }
+
+    /// Re-inserts an entry read back from the coins file after a
+    /// [`Probe::OnDisk`] miss. The entry is clean (it matches disk).
+    pub fn insert_clean(&mut self, op: OutPoint, entry: UtxoEntry) {
+        debug_assert!(self.backed.contains(&op), "insert_clean without backing");
+        self.set.insert_loaded(op, entry);
+    }
+
+    /// Applies a block through the cache, maintaining dirty flags.
+    ///
+    /// # Errors
+    ///
+    /// As [`UtxoSet::apply_block`]; the cache (set and flags) is
+    /// unchanged on error.
+    pub fn apply_block(
+        &mut self,
+        transactions: &[Transaction],
+        height: u64,
+    ) -> Result<UndoData, UtxoError> {
+        let undo = self.set.apply_block(transactions, height)?;
+        for tx in transactions {
+            if !tx.is_coinbase() {
+                for input in &tx.inputs {
+                    self.note_remove(input.prevout);
+                }
+            }
+            let txid = tx.txid();
+            for vout in 0..tx.outputs.len() as u32 {
+                self.note_write(OutPoint { txid, vout });
+            }
+        }
+        Ok(undo)
+    }
+
+    /// Disconnects a block through the cache, maintaining dirty flags.
+    pub fn undo_block(&mut self, transactions: &[Transaction], undo: &UndoData) {
+        self.set.undo_block(transactions, undo);
+        // Mirror the per-transaction reverse order of the set's undo so
+        // intra-block spend chains end with the right final flag.
+        for tx in transactions.iter().rev() {
+            let txid = tx.txid();
+            for vout in 0..tx.outputs.len() as u32 {
+                self.note_remove(OutPoint { txid, vout });
+            }
+            if !tx.is_coinbase() {
+                for input in tx.inputs.iter().rev() {
+                    self.note_write(input.prevout);
+                }
+            }
+        }
+    }
+
+    /// An outpoint was (re)written into the set.
+    fn note_write(&mut self, op: OutPoint) {
+        let flag = match self.dirty.get(&op) {
+            Some(Dirty::Fresh) => Dirty::Fresh,
+            Some(Dirty::Write) | Some(Dirty::Erase) => Dirty::Write,
+            None => {
+                if self.backed.contains(&op) {
+                    Dirty::Write
+                } else {
+                    Dirty::Fresh
+                }
+            }
+        };
+        self.dirty.insert(op, flag);
+    }
+
+    /// An outpoint was removed from the set.
+    fn note_remove(&mut self, op: OutPoint) {
+        match self.dirty.get(&op) {
+            // Never hit disk: spending a fresh entry cancels it outright.
+            Some(Dirty::Fresh) => {
+                self.dirty.remove(&op);
+            }
+            _ => {
+                if self.backed.contains(&op) {
+                    self.dirty.insert(op, Dirty::Erase);
+                } else {
+                    self.dirty.remove(&op);
+                }
+            }
+        }
+    }
+
+    /// Drains the dirty map into a deterministic, outpoint-sorted list
+    /// of flush operations and marks everything clean. The `backed` key
+    /// set is updated to reflect the coins file after these operations
+    /// are applied.
+    pub fn flush_ops(&mut self) -> Vec<FlushOp> {
+        let mut keys: Vec<(OutPoint, Dirty)> = self.dirty.drain().collect();
+        keys.sort_unstable_by_key(|(op, _)| *op);
+        let mut ops = Vec::with_capacity(keys.len());
+        for (op, flag) in keys {
+            match flag {
+                Dirty::Fresh | Dirty::Write => {
+                    let entry = self
+                        .set
+                        .get(&op)
+                        .expect("dirty put entry resident in cache")
+                        .clone();
+                    self.backed.insert(op);
+                    ops.push(FlushOp::Put(op, entry));
+                }
+                Dirty::Erase => {
+                    self.backed.remove(&op);
+                    ops.push(FlushOp::Del(op));
+                }
+            }
+        }
+        ops
+    }
+
+    /// Marks every resident entry fresh-dirty, as after a reindex: the
+    /// coins file is being rebuilt from scratch, so the next flush must
+    /// write the full set into a new generation.
+    pub fn mark_all_fresh(&mut self) {
+        self.backed.clear();
+        self.dirty.clear();
+        let keys: Vec<OutPoint> = self.set.iter().map(|(op, _)| *op).collect();
+        for op in keys {
+            self.dirty.insert(op, Dirty::Fresh);
+        }
+    }
+
+    /// Evicts clean, backed entries from the resident set (they can be
+    /// read back through [`CoinsCache::probe`] / `insert_clean`).
+    /// Returns how many were evicted.
+    pub fn trim_clean(&mut self) -> usize {
+        let evict: Vec<OutPoint> = self
+            .set
+            .iter()
+            .map(|(op, _)| *op)
+            .filter(|op| self.backed.contains(op) && !self.dirty.contains_key(op))
+            .collect();
+        for op in &evict {
+            self.set.remove_loaded(op);
+        }
+        evict.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{TxIn, TxOut, SEQUENCE_FINAL};
+    use crate::Transaction;
+    use bcwan_script::Script;
+
+    fn coinbase(height: u64, value: u64) -> Transaction {
+        Transaction::coinbase(
+            height,
+            b"c",
+            vec![TxOut {
+                value,
+                script_pubkey: Script::new(),
+            }],
+        )
+    }
+
+    fn spend(prev: OutPoint, value: u64) -> Transaction {
+        Transaction {
+            version: 1,
+            inputs: vec![TxIn {
+                prevout: prev,
+                script_sig: Script::new(),
+                sequence: SEQUENCE_FINAL,
+            }],
+            outputs: vec![TxOut {
+                value,
+                script_pubkey: Script::new(),
+            }],
+            lock_time: 0,
+        }
+    }
+
+    #[test]
+    fn fresh_spent_before_flush_never_reaches_disk() {
+        let mut cache = CoinsCache::new();
+        let cb = coinbase(1, 50);
+        let op = OutPoint {
+            txid: cb.txid(),
+            vout: 0,
+        };
+        cache.apply_block(std::slice::from_ref(&cb), 1).unwrap();
+        assert_eq!(cache.dirty_len(), 1);
+        let sp = spend(op, 50);
+        let cb2 = coinbase(2, 50);
+        cache.apply_block(&[cb2, sp], 2).unwrap();
+        let ops = cache.flush_ops();
+        // The spent-then-created chain flushes only the survivors: the
+        // spender's output and block 2's coinbase — never `op`.
+        assert_eq!(ops.len(), 2);
+        assert!(ops
+            .iter()
+            .all(|o| !matches!(o, FlushOp::Put(p, _) if *p == op)));
+        assert!(!ops.iter().any(|o| matches!(o, FlushOp::Del(_))));
+    }
+
+    #[test]
+    fn backed_spend_erases_and_undo_restores() {
+        let mut cache = CoinsCache::new();
+        let cb = coinbase(1, 50);
+        let op = OutPoint {
+            txid: cb.txid(),
+            vout: 0,
+        };
+        cache.apply_block(std::slice::from_ref(&cb), 1).unwrap();
+        cache.flush_ops();
+        assert_eq!(cache.backed_len(), 1);
+
+        // Spend the backed coin: flush must delete it.
+        let sp = spend(op, 49);
+        let txs = [coinbase(2, 50), sp];
+        let undo = cache.apply_block(&txs, 2).unwrap();
+        assert!(cache
+            .dirty
+            .iter()
+            .any(|(k, f)| *k == op && *f == Dirty::Erase));
+
+        // Undo before flushing: the coin is back and clean-equivalent
+        // (flag Write — the backing still holds the same value, a
+        // redundant but safe re-put).
+        cache.undo_block(&txs, &undo);
+        let ops = cache.flush_ops();
+        assert!(ops
+            .iter()
+            .all(|o| !matches!(o, FlushOp::Del(d) if *d == op)));
+        assert!(cache.set().contains(&op));
+    }
+
+    #[test]
+    fn trim_and_readthrough_counts_hits_and_misses() {
+        let mut cache = CoinsCache::new();
+        let cb = coinbase(1, 50);
+        let op = OutPoint {
+            txid: cb.txid(),
+            vout: 0,
+        };
+        cache.apply_block(&[cb], 1).unwrap();
+        cache.flush_ops();
+        assert_eq!(cache.probe(&op), Probe::InCache);
+        assert_eq!(cache.hits(), 1);
+
+        assert_eq!(cache.trim_clean(), 1);
+        assert!(!cache.set().contains(&op));
+        assert_eq!(cache.probe(&op), Probe::OnDisk);
+        assert_eq!(cache.misses(), 1);
+
+        let entry = UtxoEntry {
+            output: TxOut {
+                value: 50,
+                script_pubkey: Script::new(),
+            },
+            height: 1,
+            coinbase: true,
+        };
+        cache.insert_clean(op, entry);
+        assert_eq!(cache.probe(&op), Probe::InCache);
+
+        let absent = OutPoint {
+            txid: crate::TxId([9; 32]),
+            vout: 0,
+        };
+        assert_eq!(cache.probe(&absent), Probe::Absent);
+    }
+}

@@ -1,0 +1,625 @@
+//! Persistent chain storage: append-only block/undo files, a flat
+//! coins table, and a crash-safe manifest.
+//!
+//! A store directory holds four kinds of files, all built from the CRC'd
+//! record framing in the private `files` module:
+//!
+//! ```text
+//! blocks.dat      kind 'B' records — whole blocks, canonical layout
+//! undo.dat        kind 'U' records — block hash ‖ spent-entry list
+//! coins-<g>.log   kind 'P' (outpoint ‖ entry) / 'D' (outpoint) records
+//! manifest.log    kind 'C' commit    (tip ‖ height ‖ blocks_len ‖ undo_len)
+//!                 kind 'F' coins mark (gen ‖ coins_len ‖ tip ‖ height)
+//! ```
+//!
+//! The **manifest is the commit point**: block and undo bytes are
+//! appended first, then a `C` record naming the file lengths they end
+//! at. On reopen the store takes the *last `C` record whose lengths are
+//! covered by CRC-valid data* and truncates everything past it — a torn
+//! write anywhere rolls the chain back to the last durable commit, never
+//! to an inconsistent hybrid. Coins flushes work the same way: `P`/`D`
+//! records first, then an `F` mark naming the generation and length
+//! that are now meaningful. fsync is configurable
+//! ([`StoreConfig::fsync`]) and applied at commit/flush boundaries only;
+//! with it off the store is still proof against process crashes (the
+//! sim's chaos model), just not against power loss.
+//!
+//! The coins log is append-only per generation and compacts by
+//! rewriting live entries into generation `g+1`, marking it with an `F`
+//! record, and deleting the old file.
+
+mod coins;
+mod files;
+
+pub use coins::{CoinsCache, FlushOp, Probe};
+
+use crate::block::{Block, BlockHash};
+use crate::codec::{
+    decode_block, decode_outpoint, decode_undo, decode_utxo_entry, encode_block, encode_outpoint,
+    encode_undo, encode_utxo_entry, Reader,
+};
+use crate::tx::OutPoint;
+use crate::utxo::{UndoData, UtxoEntry};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const KIND_BLOCK: u8 = b'B';
+const KIND_UNDO: u8 = b'U';
+const KIND_PUT: u8 = b'P';
+const KIND_DEL: u8 = b'D';
+const KIND_COMMIT: u8 = b'C';
+const KIND_COINS_MARK: u8 = b'F';
+
+/// Compaction floor: a coins log smaller than this is never rewritten.
+const COMPACT_MIN_BYTES: u64 = 64 * 1024;
+
+/// Tuning knobs for a [`ChainStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// fsync at commit/flush boundaries (durability against power loss,
+    /// not just process crash). Off by default: the sim's chaos model
+    /// kills processes, not power, and a 1000-host soak cannot afford
+    /// a million fsyncs.
+    pub fsync: bool,
+    /// Connect this many blocks between automatic coins flushes.
+    pub coins_flush_interval: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            fsync: false,
+            coins_flush_interval: 8,
+        }
+    }
+}
+
+/// Counters a store accumulates over its lifetime (exported as
+/// `store.*` metrics by the sim).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Coins flushes performed (manual or interval-driven).
+    pub flush_total: u64,
+    /// Full rebuilds of the coins table from the block file (missing or
+    /// corrupt coins data at open).
+    pub reindex_total: u64,
+    /// Bytes appended across all files, framing included.
+    pub bytes_written: u64,
+    /// Block records appended.
+    pub blocks_appended: u64,
+    /// Undo records appended.
+    pub undo_appended: u64,
+    /// Coins-log compactions (generation rewrites).
+    pub compact_total: u64,
+}
+
+/// Why a store failed to open or load.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// The directory holds no usable commit — nothing to reopen.
+    Empty,
+    /// Data was present but unusable (e.g. committed tip unresolvable).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o: {e}"),
+            StoreError::Empty => write!(f, "store holds no usable commit"),
+            StoreError::Corrupt(why) => write!(f, "store corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// What [`ChainStore::open`] recovered from disk, for the chain to
+/// rebuild its in-memory state from.
+pub struct LoadedChain {
+    /// Every committed block, in append (= first-connect) order. Parents
+    /// always precede children; stale branch blocks are included.
+    pub blocks: Vec<Block>,
+    /// Undo data per stored block.
+    pub undo: HashMap<BlockHash, UndoData>,
+    /// The committed tip.
+    pub tip: BlockHash,
+    /// The committed tip height.
+    pub height: u64,
+    /// The last durable coins snapshot: the tip/height it was flushed
+    /// at and the live entries. `None` means the coins data was missing
+    /// or corrupt and the chain must reindex from the block file.
+    pub coins: Option<(BlockHash, u64, HashMap<OutPoint, UtxoEntry>)>,
+}
+
+/// A chain's persistent backing: one directory of record-framed files
+/// (see module docs). Holds paths, never open descriptors.
+#[derive(Debug, Clone)]
+pub struct ChainStore {
+    dir: PathBuf,
+    cfg: StoreConfig,
+    blocks_len: u64,
+    undo_len: u64,
+    coins_gen: u32,
+    coins_len: u64,
+    coins_live_bytes: u64,
+    coins_index: HashMap<OutPoint, (u64, u32)>,
+    stored_blocks: HashSet<BlockHash>,
+    stored_undo: HashSet<BlockHash>,
+    connects_since_flush: u64,
+    stats: StoreStats,
+}
+
+impl ChainStore {
+    /// Creates a fresh store in `dir`, wiping any previous contents of
+    /// the directory's store files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the directory.
+    pub fn create(dir: impl Into<PathBuf>, cfg: StoreConfig) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        for name in ["blocks.dat", "undo.dat", "manifest.log"] {
+            let _ = std::fs::remove_file(dir.join(name));
+        }
+        remove_coins_logs(&dir, None);
+        Ok(ChainStore {
+            dir,
+            cfg,
+            blocks_len: 0,
+            undo_len: 0,
+            coins_gen: 0,
+            coins_len: 0,
+            coins_live_bytes: 0,
+            coins_index: HashMap::new(),
+            stored_blocks: HashSet::new(),
+            stored_undo: HashSet::new(),
+            connects_since_flush: 0,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// Reopens an existing store, recovering the last durable commit
+    /// (see module docs for the truncate-back discipline).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Empty`] if no commit survives, [`StoreError::Corrupt`]
+    /// if a commit names a tip the block data cannot resolve, or
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        cfg: StoreConfig,
+    ) -> Result<(Self, LoadedChain), StoreError> {
+        let dir = dir.into();
+        let (manifest, manifest_valid) = files::read_valid_prefix(&dir.join("manifest.log"))?;
+        let (block_records, blocks_valid) = files::read_valid_prefix(&dir.join("blocks.dat"))?;
+        let (undo_records, undo_valid) = files::read_valid_prefix(&dir.join("undo.dat"))?;
+
+        // Decode blocks/undo up front, tracking the byte length each
+        // record prefix ends at so a commit can be checked against it.
+        let mut blocks = Vec::new();
+        let mut block_ends = Vec::new();
+        let mut pos = 0u64;
+        for rec in &block_records {
+            pos += files::RECORD_HEADER + rec.payload.len() as u64;
+            if rec.kind != KIND_BLOCK {
+                break;
+            }
+            let mut r = Reader::new(&rec.payload);
+            let Ok(block) = decode_block(&mut r) else {
+                break;
+            };
+            if r.finish().is_err() {
+                break;
+            }
+            blocks.push(block);
+            block_ends.push(pos);
+        }
+        let mut undo_list = Vec::new();
+        let mut undo_ends = Vec::new();
+        pos = 0;
+        for rec in &undo_records {
+            pos += files::RECORD_HEADER + rec.payload.len() as u64;
+            if rec.kind != KIND_UNDO {
+                break;
+            }
+            let mut r = Reader::new(&rec.payload);
+            let Ok(hash) = r.array32() else { break };
+            let Ok(data) = decode_undo(&mut r) else { break };
+            if r.finish().is_err() {
+                break;
+            }
+            undo_list.push((BlockHash(hash), data));
+            undo_ends.push(pos);
+        }
+
+        // Last commit whose named lengths are fully covered by valid,
+        // decodable data.
+        let mut commit = None;
+        for rec in manifest.iter().rev() {
+            if rec.kind != KIND_COMMIT {
+                continue;
+            }
+            let mut r = Reader::new(&rec.payload);
+            let (Ok(tip), Ok(height), Ok(blocks_len), Ok(undo_len)) =
+                (r.array32(), r.u64(), r.u64(), r.u64())
+            else {
+                continue;
+            };
+            let blocks_ok = blocks_len == 0 || block_ends.contains(&blocks_len);
+            let undo_ok = undo_len == 0 || undo_ends.contains(&undo_len);
+            if blocks_ok && undo_ok && blocks_len <= blocks_valid && undo_len <= undo_valid {
+                commit = Some((BlockHash(tip), height, blocks_len, undo_len));
+                break;
+            }
+        }
+        let Some((tip, height, blocks_len, undo_len)) = commit else {
+            return Err(StoreError::Empty);
+        };
+
+        // Discard everything past the commit point.
+        files::truncate(&dir.join("blocks.dat"), blocks_len)?;
+        files::truncate(&dir.join("undo.dat"), undo_len)?;
+        files::truncate(&dir.join("manifest.log"), manifest_valid)?;
+        let committed_blocks = block_ends.iter().filter(|&&e| e <= blocks_len).count();
+        blocks.truncate(committed_blocks);
+        let committed_undo = undo_ends.iter().filter(|&&e| e <= undo_len).count();
+        let committed_hashes: HashSet<BlockHash> = blocks.iter().map(|b| b.hash()).collect();
+        if !committed_hashes.contains(&tip) {
+            return Err(StoreError::Corrupt(format!(
+                "committed tip {tip} not in block file"
+            )));
+        }
+        // Only undo records the commit covers are meaningful; drop the
+        // truncated tail and anything for a block we no longer hold.
+        undo_list.truncate(committed_undo);
+        let mut undo: HashMap<BlockHash, UndoData> = undo_list
+            .into_iter()
+            .filter(|(h, _)| committed_hashes.contains(h))
+            .collect();
+
+        // Best coins mark whose generation file covers its length and
+        // whose tip is a committed block.
+        let mut coins = None;
+        let mut coins_gen = 0u32;
+        let mut coins_len = 0u64;
+        for rec in manifest.iter().rev() {
+            if rec.kind != KIND_COINS_MARK {
+                continue;
+            }
+            let mut r = Reader::new(&rec.payload);
+            let (Ok(gen), Ok(len), Ok(mark_tip), Ok(mark_height)) =
+                (r.u32(), r.u64(), r.array32(), r.u64())
+            else {
+                continue;
+            };
+            let mark_tip = BlockHash(mark_tip);
+            if !committed_hashes.contains(&mark_tip) {
+                continue;
+            }
+            let path = coins_path(&dir, gen);
+            let Ok((records, valid)) = files::read_valid_prefix(&path) else {
+                continue;
+            };
+            if len > valid {
+                continue;
+            }
+            if let Some((entries, index, live_bytes)) = replay_coins(&records, len) {
+                files::truncate(&path, len)?;
+                coins = Some((mark_tip, mark_height, entries, index, live_bytes));
+                coins_gen = gen;
+                coins_len = len;
+                break;
+            }
+        }
+        remove_coins_logs(&dir, coins.as_ref().map(|_| coins_gen));
+
+        let (loaded_coins, coins_index, coins_live_bytes) = match coins {
+            Some((t, h, entries, index, live)) => (Some((t, h, entries)), index, live),
+            None => (None, HashMap::new(), 0),
+        };
+
+        // Undo map the chain gets; the store keeps the hash set.
+        let stored_undo: HashSet<BlockHash> = undo.keys().copied().collect();
+        let loaded = LoadedChain {
+            blocks: blocks.clone(),
+            undo: std::mem::take(&mut undo),
+            tip,
+            height,
+            coins: loaded_coins,
+        };
+        let store = ChainStore {
+            dir,
+            cfg,
+            blocks_len,
+            undo_len,
+            coins_gen,
+            coins_len,
+            coins_live_bytes,
+            coins_index,
+            stored_blocks: committed_hashes,
+            stored_undo,
+            connects_since_flush: 0,
+            stats: StoreStats::default(),
+        };
+        Ok((store, loaded))
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Appends a block record (idempotent per hash).
+    pub(crate) fn append_block(&mut self, block: &Block) -> io::Result<()> {
+        let hash = block.hash();
+        if self.stored_blocks.contains(&hash) {
+            return Ok(());
+        }
+        let mut framed = Vec::new();
+        files::frame(&mut framed, KIND_BLOCK, &encode_block(block));
+        self.blocks_len = files::append(&self.dir.join("blocks.dat"), &framed, false)?;
+        self.stats.bytes_written += framed.len() as u64;
+        self.stats.blocks_appended += 1;
+        self.stored_blocks.insert(hash);
+        Ok(())
+    }
+
+    /// Appends a block's undo record (idempotent per hash).
+    pub(crate) fn append_undo(&mut self, hash: BlockHash, undo: &UndoData) -> io::Result<()> {
+        if self.stored_undo.contains(&hash) {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(32 + 4);
+        payload.extend_from_slice(&hash.0);
+        payload.extend_from_slice(&encode_undo(undo));
+        let mut framed = Vec::new();
+        files::frame(&mut framed, KIND_UNDO, &payload);
+        self.undo_len = files::append(&self.dir.join("undo.dat"), &framed, false)?;
+        self.stats.bytes_written += framed.len() as u64;
+        self.stats.undo_appended += 1;
+        self.stored_undo.insert(hash);
+        Ok(())
+    }
+
+    /// Commits the current file lengths under `tip`/`height`: after this
+    /// record is durable, reopen recovers exactly this state.
+    pub(crate) fn commit(&mut self, tip: BlockHash, height: u64) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(32 + 24);
+        payload.extend_from_slice(&tip.0);
+        payload.extend_from_slice(&height.to_le_bytes());
+        payload.extend_from_slice(&self.blocks_len.to_le_bytes());
+        payload.extend_from_slice(&self.undo_len.to_le_bytes());
+        let mut framed = Vec::new();
+        files::frame(&mut framed, KIND_COMMIT, &payload);
+        files::append(&self.dir.join("manifest.log"), &framed, self.cfg.fsync)?;
+        self.stats.bytes_written += framed.len() as u64;
+        self.connects_since_flush += 1;
+        Ok(())
+    }
+
+    /// Whether enough blocks have connected since the last coins flush
+    /// for the interval policy to trigger another.
+    pub(crate) fn flush_due(&self) -> bool {
+        self.connects_since_flush >= self.cfg.coins_flush_interval
+    }
+
+    /// Applies a drained dirty set to the coins log and marks it with an
+    /// `F` record; compacts the log first when it has bloated.
+    pub(crate) fn flush_coins(
+        &mut self,
+        ops: &[FlushOp],
+        tip: BlockHash,
+        height: u64,
+    ) -> io::Result<()> {
+        self.maybe_compact()?;
+        let mut framed = Vec::new();
+        for op in ops {
+            // Where this record's payload will land in the log: current
+            // file length + what the batch holds so far + the frame.
+            let before = framed.len() as u64;
+            match op {
+                FlushOp::Put(outpoint, entry) => {
+                    let mut payload = Vec::with_capacity(70);
+                    encode_outpoint(&mut payload, outpoint);
+                    encode_utxo_entry(&mut payload, entry);
+                    files::frame(&mut framed, KIND_PUT, &payload);
+                    let len = payload.len() as u32;
+                    let offset = self.coins_len + before + files::RECORD_HEADER;
+                    if let Some((_, old)) = self.coins_index.insert(*outpoint, (offset, len)) {
+                        self.coins_live_bytes -= old as u64;
+                    }
+                    self.coins_live_bytes += len as u64;
+                }
+                FlushOp::Del(outpoint) => {
+                    let mut payload = Vec::with_capacity(36);
+                    encode_outpoint(&mut payload, outpoint);
+                    files::frame(&mut framed, KIND_DEL, &payload);
+                    if let Some((_, old)) = self.coins_index.remove(outpoint) {
+                        self.coins_live_bytes -= old as u64;
+                    }
+                }
+            }
+        }
+        let path = coins_path(&self.dir, self.coins_gen);
+        self.coins_len = files::append(&path, &framed, self.cfg.fsync)?;
+        self.stats.bytes_written += framed.len() as u64;
+        self.append_coins_mark(tip, height)?;
+        self.stats.flush_total += 1;
+        self.connects_since_flush = 0;
+        Ok(())
+    }
+
+    /// Abandons the coins log entirely (reindex path): starts an empty
+    /// new generation so the next flush writes the full rebuilt set.
+    pub(crate) fn reset_coins(&mut self) -> io::Result<()> {
+        let old = self.coins_gen;
+        self.coins_gen += 1;
+        self.coins_len = 0;
+        self.coins_live_bytes = 0;
+        self.coins_index.clear();
+        let _ = std::fs::remove_file(coins_path(&self.dir, old));
+        self.stats.reindex_total += 1;
+        Ok(())
+    }
+
+    /// Random-access read of a single coin for a cache miss.
+    pub(crate) fn read_coin(&self, op: &OutPoint) -> Option<UtxoEntry> {
+        let (offset, len) = *self.coins_index.get(op)?;
+        let path = coins_path(&self.dir, self.coins_gen);
+        let payload = files::read_payload_at(&path, offset, len as usize).ok()?;
+        let mut r = Reader::new(&payload);
+        let read_back = decode_outpoint(&mut r).ok()?;
+        debug_assert_eq!(read_back, *op, "coins index points at the right record");
+        decode_utxo_entry(&mut r).ok()
+    }
+
+    fn append_coins_mark(&mut self, tip: BlockHash, height: u64) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(4 + 8 + 32 + 8);
+        payload.extend_from_slice(&self.coins_gen.to_le_bytes());
+        payload.extend_from_slice(&self.coins_len.to_le_bytes());
+        payload.extend_from_slice(&tip.0);
+        payload.extend_from_slice(&height.to_le_bytes());
+        let mut framed = Vec::new();
+        files::frame(&mut framed, KIND_COINS_MARK, &payload);
+        files::append(&self.dir.join("manifest.log"), &framed, self.cfg.fsync)?;
+        self.stats.bytes_written += framed.len() as u64;
+        Ok(())
+    }
+
+    /// Rewrites the coins log into a new generation containing only live
+    /// entries, when dead records dominate the file.
+    fn maybe_compact(&mut self) -> io::Result<()> {
+        let framing = self.coins_index.len() as u64 * files::RECORD_HEADER;
+        if self.coins_len < COMPACT_MIN_BYTES
+            || self.coins_len < 3 * (self.coins_live_bytes + framing)
+        {
+            return Ok(());
+        }
+        let old_path = coins_path(&self.dir, self.coins_gen);
+        let (records, _) = files::read_valid_prefix(&old_path)?;
+        let Some((entries, _, _)) = replay_coins(&records, self.coins_len) else {
+            return Ok(());
+        };
+        let mut live: Vec<(OutPoint, UtxoEntry)> = entries.into_iter().collect();
+        live.sort_unstable_by_key(|(op, _)| *op);
+        let mut framed = Vec::new();
+        let mut index = HashMap::with_capacity(live.len());
+        let mut live_bytes = 0u64;
+        for (op, entry) in &live {
+            let mut payload = Vec::with_capacity(70);
+            encode_outpoint(&mut payload, op);
+            encode_utxo_entry(&mut payload, entry);
+            let offset = framed.len() as u64 + files::RECORD_HEADER;
+            index.insert(*op, (offset, payload.len() as u32));
+            live_bytes += payload.len() as u64;
+            files::frame(&mut framed, KIND_PUT, &payload);
+        }
+        let new_gen = self.coins_gen + 1;
+        let new_path = coins_path(&self.dir, new_gen);
+        let _ = std::fs::remove_file(&new_path);
+        let new_len = files::append(&new_path, &framed, self.cfg.fsync)?;
+        self.stats.bytes_written += framed.len() as u64;
+        self.coins_gen = new_gen;
+        self.coins_len = new_len;
+        self.coins_live_bytes = live_bytes;
+        self.coins_index = index;
+        self.stats.compact_total += 1;
+        // The mark making the new generation authoritative is appended
+        // by the flush that follows; until then reopen uses the old
+        // generation, which is only deleted after the mark is written.
+        let _ = std::fs::remove_file(&old_path);
+        Ok(())
+    }
+}
+
+fn coins_path(dir: &Path, gen: u32) -> PathBuf {
+    dir.join(format!("coins-{gen}.log"))
+}
+
+fn remove_coins_logs(dir: &Path, keep: Option<u32>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(gen) = name
+            .strip_prefix("coins-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if Some(gen) != keep {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Replays `P`/`D` records up to `limit` bytes into a live-entry map,
+/// also building the random-access index and live-byte total. `None` if
+/// a record fails to decode.
+#[allow(clippy::type_complexity)]
+fn replay_coins(
+    records: &[files::Record],
+    limit: u64,
+) -> Option<(
+    HashMap<OutPoint, UtxoEntry>,
+    HashMap<OutPoint, (u64, u32)>,
+    u64,
+)> {
+    let mut entries = HashMap::new();
+    let mut index = HashMap::new();
+    let mut live_bytes = 0u64;
+    let mut pos = 0u64;
+    for rec in records {
+        let payload_offset = pos + files::RECORD_HEADER;
+        let end = payload_offset + rec.payload.len() as u64;
+        if end > limit {
+            break;
+        }
+        pos = end;
+        let mut r = Reader::new(&rec.payload);
+        match rec.kind {
+            KIND_PUT => {
+                let op = decode_outpoint(&mut r).ok()?;
+                let entry = decode_utxo_entry(&mut r).ok()?;
+                r.finish().ok()?;
+                let len = rec.payload.len() as u32;
+                if let Some((_, old)) = index.insert(op, (payload_offset, len)) {
+                    live_bytes -= old as u64;
+                }
+                live_bytes += len as u64;
+                entries.insert(op, entry);
+            }
+            KIND_DEL => {
+                let op = decode_outpoint(&mut r).ok()?;
+                r.finish().ok()?;
+                if let Some((_, old)) = index.remove(&op) {
+                    live_bytes -= old as u64;
+                }
+                entries.remove(&op);
+            }
+            _ => return None,
+        }
+    }
+    Some((entries, index, live_bytes))
+}

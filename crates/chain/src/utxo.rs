@@ -22,6 +22,19 @@ pub struct UndoData {
     spent: Vec<(OutPoint, UtxoEntry)>,
 }
 
+impl UndoData {
+    /// Rebuilds undo data from a spent-entry list, as read back from a
+    /// persistent undo record (see [`crate::codec::decode_undo`]).
+    pub fn from_spent(spent: Vec<(OutPoint, UtxoEntry)>) -> Self {
+        UndoData { spent }
+    }
+
+    /// The entries this block's transactions spent, in spend order.
+    pub fn spent_entries(&self) -> &[(OutPoint, UtxoEntry)] {
+        &self.spent
+    }
+}
+
 /// Read access to an unspent-output state: the concrete [`UtxoSet`] or a
 /// cheap overlay such as the mempool's pool-extended view.
 pub trait UtxoView {
@@ -182,6 +195,18 @@ impl UtxoSet {
             }
         }
         Ok(undo)
+    }
+
+    /// Inserts an entry as loaded from persistent storage — bypasses
+    /// spend/create bookkeeping, for the store's cache layer only.
+    pub(crate) fn insert_loaded(&mut self, op: OutPoint, entry: UtxoEntry) {
+        self.map.insert(op, entry);
+    }
+
+    /// Evicts an entry without spending it — the store's cache layer
+    /// trimming a clean, disk-backed entry from memory.
+    pub(crate) fn remove_loaded(&mut self, op: &OutPoint) {
+        self.map.remove(op);
     }
 
     /// Disconnects a block previously applied with [`UtxoSet::apply_block`].

@@ -1,0 +1,310 @@
+//! Persistence round-trips for the chain store (ISSUE 7 acceptance).
+//!
+//! Each test builds a store-backed [`Chain`], kills it (drops it, the
+//! sim's process-crash model), reopens the directory with
+//! [`Chain::open_store`], and asserts the recovered tip and UTXO set
+//! are exactly what the live chain held. The scenarios pin the three
+//! recovery paths separately: a fresh snapshot (no work), a stale
+//! snapshot rolled forward without script re-validation, and a snapshot
+//! stranded on a reorged-away branch that must be walked back through
+//! the on-disk undo records first.
+
+use bcwan_chain::{
+    Block, BlockAction, Chain, ChainParams, OutPoint, StoreConfig, Transaction, TxOut, UtxoEntry,
+    Wallet,
+};
+use bcwan_script::Script;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Fast-test consensus with maturity 0 (the tests spend genesis coins
+/// right away). Must match what `setup` baked into the store.
+fn params() -> ChainParams {
+    let mut p = ChainParams::fast_test();
+    p.coinbase_maturity = 0;
+    p
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bcwan-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Mines a block containing `txs` (after the coinbase) on top of `parent`.
+fn mine_on(
+    chain: &Chain,
+    parent: bcwan_chain::BlockHash,
+    height: u64,
+    txs: Vec<Transaction>,
+) -> Block {
+    let mut transactions = vec![Transaction::coinbase(
+        height,
+        &height.to_le_bytes(),
+        vec![TxOut {
+            value: chain.params().coinbase_reward,
+            script_pubkey: Script::new(),
+        }],
+    )];
+    transactions.extend(txs);
+    Block::mine(parent, height, chain.params().difficulty_bits, transactions)
+}
+
+/// A store-backed chain whose genesis funds `wallet` with two coins.
+fn setup(dir: &PathBuf, cfg: StoreConfig) -> (Chain, Wallet, Vec<(OutPoint, Script)>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let wallet = Wallet::generate(&mut rng);
+    let genesis = Chain::make_genesis(
+        &params(),
+        &[(wallet.address(), 1_000), (wallet.address(), 1_000)],
+    );
+    let cb = genesis.transactions[0].txid();
+    let chain = Chain::create_with_store(params(), genesis, dir, cfg).expect("store creates");
+    let coins = (0..2)
+        .map(|vout| (OutPoint { txid: cb, vout }, wallet.locking_script()))
+        .collect();
+    (chain, wallet, coins)
+}
+
+/// Spends `coin` back to the wallet, returning the tx and the new coin.
+fn churn(wallet: &Wallet, coin: (OutPoint, Script)) -> (Transaction, (OutPoint, Script)) {
+    let value = 1_000;
+    let tx = wallet.build_payment(
+        vec![coin],
+        vec![TxOut {
+            value,
+            script_pubkey: wallet.locking_script(),
+        }],
+        0,
+    );
+    let next = (
+        OutPoint {
+            txid: tx.txid(),
+            vout: 0,
+        },
+        wallet.locking_script(),
+    );
+    (tx, next)
+}
+
+/// The full UTXO set as a sorted list for bit-exact comparison.
+fn utxo_pairs(chain: &Chain) -> Vec<(OutPoint, UtxoEntry)> {
+    let mut pairs: Vec<(OutPoint, UtxoEntry)> = chain
+        .utxo()
+        .iter()
+        .map(|(op, e)| (*op, e.clone()))
+        .collect();
+    pairs.sort_unstable_by_key(|(op, _)| *op);
+    pairs
+}
+
+/// Mines `n` blocks of wallet churn onto `chain`, threading the coin.
+fn grow(
+    chain: &mut Chain,
+    wallet: &Wallet,
+    mut coin: (OutPoint, Script),
+    n: u64,
+) -> (OutPoint, Script) {
+    for _ in 0..n {
+        let (tx, next) = churn(wallet, coin);
+        coin = next;
+        let height = chain.height() + 1;
+        let block = mine_on(chain, chain.tip(), height, vec![tx]);
+        assert!(matches!(
+            chain.add_block(block).unwrap(),
+            BlockAction::Extended(_)
+        ));
+    }
+    coin
+}
+
+#[test]
+fn reopen_restores_tip_and_utxo_exactly() {
+    let dir = temp_dir("reopen");
+    let (mut chain, wallet, coins) = setup(&dir, StoreConfig::default());
+    grow(&mut chain, &wallet, coins[0].clone(), 12);
+    chain.flush();
+    let tip = chain.tip();
+    let height = chain.height();
+    let utxo = utxo_pairs(&chain);
+    drop(chain); // the crash: no shutdown hook runs
+
+    let opened = Chain::open_store(params(), &dir, StoreConfig::default()).expect("store reopens");
+    assert!(!opened.reindexed, "snapshot was fresh, no reindex");
+    assert_eq!(opened.rolled_forward, 0, "flush left nothing to replay");
+    assert_eq!(opened.undone, 0);
+    assert_eq!(opened.chain.tip(), tip);
+    assert_eq!(opened.chain.height(), height);
+    assert_eq!(utxo_pairs(&opened.chain), utxo, "UTXO set bit-identical");
+
+    // The reopened chain is live: it extends.
+    let mut chain = opened.chain;
+    let block = mine_on(&chain, chain.tip(), height + 1, vec![]);
+    assert!(matches!(
+        chain.add_block(block).unwrap(),
+        BlockAction::Extended(_)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_snapshot_rolls_forward_without_revalidation() {
+    let dir = temp_dir("rollfwd");
+    // A flush interval the run never reaches: the only durable coins
+    // snapshot is the one create_with_store wrote at genesis.
+    let cfg = StoreConfig {
+        fsync: false,
+        coins_flush_interval: 1_000,
+    };
+    let (mut chain, wallet, coins) = setup(&dir, cfg.clone());
+    grow(&mut chain, &wallet, coins[0].clone(), 6);
+    let tip = chain.tip();
+    let utxo = utxo_pairs(&chain);
+    drop(chain);
+
+    let opened = Chain::open_store(params(), &dir, cfg).expect("reopens");
+    assert!(!opened.reindexed);
+    assert_eq!(
+        opened.rolled_forward, 6,
+        "every block past the genesis snapshot re-applies"
+    );
+    assert_eq!(opened.chain.tip(), tip);
+    assert_eq!(utxo_pairs(&opened.chain), utxo);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reorg_across_restart_consumes_undo_records() {
+    let dir = temp_dir("reorg");
+    let cfg = StoreConfig {
+        fsync: false,
+        coins_flush_interval: 1_000,
+    };
+    let (mut chain, wallet, coins) = setup(&dir, cfg.clone());
+    let g = chain.tip();
+
+    // Branch A: one block of churn, then pin the coins snapshot to it.
+    let (tx_a, _) = churn(&wallet, coins[0].clone());
+    let a1 = mine_on(&chain, g, 1, vec![tx_a]);
+    let a1_hash = a1.hash();
+    chain.add_block(a1).unwrap();
+    chain.flush(); // durable snapshot now sits on A1
+
+    // Branch B (empty blocks) overtakes: A1 is reorged away, but the
+    // on-disk snapshot still points at it.
+    let b1 = mine_on(&chain, g, 1, vec![]);
+    assert_eq!(chain.add_block(b1.clone()).unwrap(), BlockAction::SideChain);
+    let b2 = mine_on(&chain, b1.hash(), 2, vec![]);
+    assert!(matches!(
+        chain.add_block(b2).unwrap(),
+        BlockAction::Reorganized { .. }
+    ));
+    assert_ne!(chain.tip(), a1_hash);
+    let tip = chain.tip();
+    let utxo = utxo_pairs(&chain);
+    drop(chain); // crash before any post-reorg flush
+
+    let opened = Chain::open_store(params(), &dir, cfg).expect("reopens");
+    assert!(!opened.reindexed);
+    assert_eq!(
+        opened.undone, 1,
+        "the stale A1 snapshot walks back through its undo record"
+    );
+    assert_eq!(
+        opened.rolled_forward, 2,
+        "then rolls forward along the winning branch"
+    );
+    assert_eq!(opened.chain.tip(), tip);
+    assert_eq!(utxo_pairs(&opened.chain), utxo);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_coins_log_forces_reindex_once() {
+    let dir = temp_dir("reindex");
+    let (mut chain, wallet, coins) = setup(&dir, StoreConfig::default());
+    grow(&mut chain, &wallet, coins[0].clone(), 10);
+    chain.flush();
+    let tip = chain.tip();
+    let utxo = utxo_pairs(&chain);
+    drop(chain);
+
+    // Lose the coins table entirely; blocks and manifest survive.
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        let name = entry.file_name();
+        if name.to_string_lossy().starts_with("coins-") {
+            std::fs::remove_file(entry.path()).unwrap();
+        }
+    }
+
+    let opened =
+        Chain::open_store(params(), &dir, StoreConfig::default()).expect("reindex recovers");
+    assert!(opened.reindexed, "coins table was gone");
+    assert_eq!(opened.chain.tip(), tip);
+    assert_eq!(utxo_pairs(&opened.chain), utxo);
+    drop(opened);
+
+    // The reindex flushed a new generation: the next open is warm.
+    let opened = Chain::open_store(params(), &dir, StoreConfig::default()).expect("second reopen");
+    assert!(!opened.reindexed, "reindex wrote a durable snapshot");
+    assert_eq!(utxo_pairs(&opened.chain), utxo);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_rolls_back_to_last_commit() {
+    let dir = temp_dir("torntail");
+    let (mut chain, wallet, coins) = setup(&dir, StoreConfig::default());
+    grow(&mut chain, &wallet, coins[0].clone(), 8);
+    chain.flush();
+    let tip = chain.tip();
+    let utxo = utxo_pairs(&chain);
+    drop(chain);
+
+    // A torn write: garbage appended past the last commit on both the
+    // block file and the manifest must be discarded, not trip recovery.
+    for name in ["blocks.dat", "manifest.log"] {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(name))
+            .unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe, 0xef, 0x00, 0x11]).unwrap();
+    }
+
+    let opened =
+        Chain::open_store(params(), &dir, StoreConfig::default()).expect("torn tail recovers");
+    assert_eq!(opened.chain.tip(), tip);
+    assert_eq!(utxo_pairs(&opened.chain), utxo);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trimmed_coins_read_back_through_the_store() {
+    let dir = temp_dir("trim");
+    let (mut chain, wallet, coins) = setup(&dir, StoreConfig::default());
+    // Leave coin[1] untouched while churning coin[0] long enough for
+    // several flushes, then evict the clean residents.
+    grow(&mut chain, &wallet, coins[0].clone(), 10);
+    chain.flush();
+    let full = utxo_pairs(&chain);
+    let trimmed = chain.trim_coins();
+    assert!(trimmed > 0, "clean backed entries were evicted");
+    assert!(
+        chain.utxo().len() < full.len(),
+        "resident set shrank after trim"
+    );
+
+    // Spending the evicted coin[1] faults it back in from disk.
+    let (tx, _) = churn(&wallet, coins[1].clone());
+    let height = chain.height() + 1;
+    let block = mine_on(&chain, chain.tip(), height, vec![tx]);
+    assert!(matches!(
+        chain.add_block(block).unwrap(),
+        BlockAction::Extended(_)
+    ));
+    let summary = chain.store_summary().expect("store attached");
+    assert!(summary.cache_miss > 0, "the spend read through the store");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,7 +6,7 @@
 //! vocabulary; [`RelayState`] decides what to re-flood.
 
 use crate::network::SeenFilter;
-use bcwan_chain::{Block, BlockHash, Transaction, TxId};
+use bcwan_chain::{Block, BlockHash, BlockHeader, Transaction, TxId};
 
 /// Messages gateways exchange about the chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +28,25 @@ pub enum ChainMessage {
         hash: BlockHash,
         /// Sender's best height.
         height: u64,
+    },
+    /// Headers-first sync, step 1: request main-chain headers *strictly
+    /// above* a height. Servers answer with one bounded [`Headers`]
+    /// batch; the requester walks back (doubling its look-behind) until
+    /// a batch connects to its own chain, locating the fork without
+    /// transferring bodies.
+    ///
+    /// [`Headers`]: ChainMessage::Headers
+    GetHeadersFrom(u64),
+    /// Headers-first sync, step 2: a bounded batch of main-chain
+    /// headers answering [`GetHeadersFrom`].
+    ///
+    /// [`GetHeadersFrom`]: ChainMessage::GetHeadersFrom
+    Headers {
+        /// Height the batch starts above: `headers[i]` sits at
+        /// `start_height + 1 + i` on the sender's main chain.
+        start_height: u64,
+        /// The headers, parent before child.
+        headers: Vec<BlockHeader>,
     },
 }
 
@@ -106,6 +125,16 @@ mod tests {
         );
         assert_eq!(ChainMessage::GetBlock(block.hash()).flood_id(), None);
         assert_eq!(ChainMessage::GetBlocksFrom(0).flood_id(), None);
+        assert_eq!(ChainMessage::GetHeadersFrom(0).flood_id(), None);
+        assert_eq!(
+            ChainMessage::Headers {
+                start_height: 0,
+                headers: vec![block.header],
+            }
+            .flood_id(),
+            None,
+            "headers batches are request/response, never flooded"
+        );
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub use chaos::{ChaosEngine, ChaosFault, ChaosMeters, ChaosPlan, ChaosProfile};
 pub use json::Json;
 pub use latency::LatencyModel;
 pub use metrics::{
-    Bucket, CounterId, GaugeId, HistogramId, HistogramSummary, LogHistogram, Registry, Series,
-    Snapshot, Summary,
+    labeled, split_label, Bucket, CounterId, GaugeId, HistogramId, HistogramSummary, LogHistogram,
+    Registry, Series, Snapshot, SnapshotSeries, Summary,
 };
 pub use queue::{run, Actor, EventQueue};
 pub use rng::SimRng;

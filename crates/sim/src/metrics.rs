@@ -13,8 +13,38 @@
 //! [`Snapshot::to_json`] / [`Snapshot::from_json`]).
 
 use crate::json::Json;
+use crate::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Formats a labeled metric name, `base{key="value"}` — the convention
+/// for per-host (or otherwise dimensioned) rows, so exporters can split
+/// the dimension back out with [`split_label`]. The value must not
+/// contain `"`.
+pub fn labeled(base: &str, key: &str, value: impl fmt::Display) -> String {
+    format!("{base}{{{key}=\"{value}\"}}")
+}
+
+/// Splits a [`labeled`] name into `(base, Some((key, value)))`; plain
+/// names (or anything not matching the shape) come back `(name, None)`.
+pub fn split_label(name: &str) -> (&str, Option<(&str, &str)>) {
+    let Some(open) = name.find('{') else {
+        return (name, None);
+    };
+    let Some(rest) = name[open..].strip_prefix('{') else {
+        return (name, None);
+    };
+    let Some(body) = rest.strip_suffix('}') else {
+        return (name, None);
+    };
+    let Some(eq) = body.find("=\"") else {
+        return (name, None);
+    };
+    let Some(value) = body[eq + 2..].strip_suffix('"') else {
+        return (name, None);
+    };
+    (&name[..open], Some((&body[..eq], value)))
+}
 
 /// An append-only series of `f64` samples with summary statistics.
 #[derive(Debug, Clone, Default)]
@@ -449,6 +479,23 @@ impl Registry {
         &self.histograms[id.0].1
     }
 
+    /// Registers (or finds) a per-dimension counter row, e.g.
+    /// `reg.counter_labeled("store.flush_total", "host", 3)` →
+    /// `store.flush_total{host="3"}`.
+    pub fn counter_labeled(
+        &mut self,
+        base: &str,
+        key: &str,
+        value: impl fmt::Display,
+    ) -> CounterId {
+        self.counter(&labeled(base, key, value))
+    }
+
+    /// Registers (or finds) a per-dimension gauge row.
+    pub fn gauge_labeled(&mut self, base: &str, key: &str, value: impl fmt::Display) -> GaugeId {
+        self.gauge(&labeled(base, key, value))
+    }
+
     /// Freezes the registry into sorted rows.
     pub fn snapshot(&self) -> Snapshot {
         let mut counters: Vec<(String, u64)> = self.counters.clone();
@@ -577,6 +624,27 @@ impl Snapshot {
             .with("histograms", histograms)
     }
 
+    /// Counter rows whose [`labeled`] base equals `base`, as
+    /// `(label value, count)` pairs in name order — e.g. every host's
+    /// `store.flush_total{host="…"}` row.
+    pub fn counters_with_base<'a>(&'a self, base: &str) -> Vec<(&'a str, u64)> {
+        self.counters
+            .iter()
+            .filter_map(|(name, v)| {
+                let (b, label) = split_label(name);
+                (b == base).then_some((label?.1, *v))
+            })
+            .collect()
+    }
+
+    /// Looks up a counter row by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
     /// Rebuilds a snapshot from [`Snapshot::to_json`] output (round-trip
     /// schema check; also lets tooling diff `results/*.json` files).
     ///
@@ -636,6 +704,82 @@ impl Snapshot {
     }
 }
 
+/// A time series of [`Snapshot`]s sampled on a fixed sim-time interval —
+/// the export mode that turns end-of-run totals into a timeline (e.g.
+/// cache hit rate *during* a partition vs after it heals).
+///
+/// Drive it from any periodic hook with [`maybe_sample`]; sampling is
+/// edge-triggered (at most one frame per call), so a hook that fires
+/// more often than `every` samples on the interval and a hook that
+/// fires less often degrades to the hook's own cadence.
+///
+/// [`maybe_sample`]: SnapshotSeries::maybe_sample
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotSeries {
+    every: SimDuration,
+    next: Option<SimTime>,
+    frames: Vec<(SimTime, Snapshot)>,
+}
+
+impl SnapshotSeries {
+    /// A series sampling every `every` of sim time. The first
+    /// `maybe_sample` call always records a frame.
+    pub fn new(every: SimDuration) -> Self {
+        SnapshotSeries {
+            every,
+            next: None,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Records a frame if one is due; returns whether it sampled.
+    pub fn maybe_sample(&mut self, now: SimTime, reg: &Registry) -> bool {
+        if self.next.is_some_and(|next| now < next) {
+            return false;
+        }
+        self.frames.push((now, reg.snapshot()));
+        self.next = Some(now + self.every);
+        true
+    }
+
+    /// The recorded `(time, snapshot)` frames, oldest first.
+    pub fn frames(&self) -> &[(SimTime, Snapshot)] {
+        &self.frames
+    }
+
+    /// Number of frames recorded.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Serializes as `{"interval_seconds": …, "frames": [{"t": seconds,
+    /// "counters": …, "gauges": …, "histograms": …}, …]}` — each frame
+    /// is a full [`Snapshot::to_json`] document plus its timestamp.
+    pub fn to_json(&self) -> Json {
+        let frames = Json::Array(
+            self.frames
+                .iter()
+                .map(|(t, snap)| {
+                    let secs = t.saturating_duration_since(SimTime::ZERO).as_secs_f64();
+                    let Json::Object(mut fields) = snap.to_json() else {
+                        unreachable!("Snapshot::to_json returns an object");
+                    };
+                    fields.insert(0, ("t".to_string(), Json::Num(secs)));
+                    Json::Object(fields)
+                })
+                .collect(),
+        );
+        Json::object()
+            .with("interval_seconds", Json::Num(self.every.as_secs_f64()))
+            .with("frames", frames)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,6 +788,65 @@ mod tests {
     fn empty_series_has_no_summary() {
         assert!(Series::new().summary().is_none());
         assert!(Series::new().is_empty());
+    }
+
+    #[test]
+    fn labeled_round_trips_through_split() {
+        let name = labeled("store.flush_total", "host", 42);
+        assert_eq!(name, "store.flush_total{host=\"42\"}");
+        assert_eq!(
+            split_label(&name),
+            ("store.flush_total", Some(("host", "42")))
+        );
+        assert_eq!(split_label("plain_total"), ("plain_total", None));
+        assert_eq!(split_label("odd{shape"), ("odd{shape", None));
+    }
+
+    #[test]
+    fn labeled_counters_group_in_snapshots() {
+        let mut reg = Registry::new();
+        for host in 0..3u32 {
+            let id = reg.counter_labeled("store.flush_total", "host", host);
+            reg.add(id, u64::from(host) + 1);
+        }
+        reg.set_counter("store.flush_total", 6); // the unlabeled sum
+        let snap = reg.snapshot();
+        let rows = snap.counters_with_base("store.flush_total");
+        assert_eq!(rows, vec![("0", 1), ("1", 2), ("2", 3)]);
+        assert_eq!(snap.counter("store.flush_total"), Some(6));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_series_samples_on_interval() {
+        let mut reg = Registry::new();
+        let c = reg.counter("ticks_total");
+        let mut series = SnapshotSeries::new(SimDuration::from_secs(10));
+        let t0 = SimTime::ZERO;
+        assert!(series.maybe_sample(t0, &reg), "first call always samples");
+        reg.inc(c);
+        assert!(
+            !series.maybe_sample(t0 + SimDuration::from_secs(5), &reg),
+            "not due yet"
+        );
+        assert!(series.maybe_sample(t0 + SimDuration::from_secs(10), &reg));
+        reg.inc(c);
+        assert!(series.maybe_sample(t0 + SimDuration::from_secs(25), &reg));
+        assert_eq!(series.len(), 3);
+        let counts: Vec<u64> = series
+            .frames()
+            .iter()
+            .map(|(_, s)| s.counter("ticks_total").unwrap())
+            .collect();
+        assert_eq!(counts, vec![0, 1, 2], "frames freeze point-in-time values");
+        let json = series.to_json();
+        let frames = json.get("frames").unwrap().as_array().unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[1].get("t").unwrap().as_f64(), Some(10.0));
+        assert!(
+            Snapshot::from_json(frames.last().unwrap()).is_some(),
+            "each frame is a full snapshot document (plus its timestamp)"
+        );
     }
 
     #[test]
