@@ -25,6 +25,7 @@ use bcwan_chain::{
 };
 use bcwan_crypto::rsa::{generate_keypair, RsaKeySize, RsaPrivateKey, RsaPublicKey};
 use bcwan_lora::airtime::time_on_air;
+use bcwan_lora::collision::{workload_success_probability, LoadKey, OfferedLoads};
 use bcwan_lora::frame::{LoraFrame, ADDRESS_LEN};
 use bcwan_lora::params::RadioConfig;
 use bcwan_p2p::{ChainMessage, Delivery, FaultModel, Network, NodeId, Topology};
@@ -79,6 +80,12 @@ pub struct WorkloadConfig {
     /// trigger node-side timeouts and retransmissions (up to
     /// [`MAX_RADIO_RETRIES`]).
     pub lora_loss_probability: f64,
+    /// Derive an *additional* per-gateway loss probability from the
+    /// analytic ALOHA contention model: each gateway's sensors offer
+    /// load on their `(channel, SF)` key, and frames fail with
+    /// `1 − e^(−2G)` on top of `lora_loss_probability`. Off by default
+    /// so existing experiments keep their calibrated loss rates.
+    pub lora_contention: bool,
     /// Experiment seed.
     pub seed: u64,
     /// Hard wall on simulated time (guards against stalls starving the
@@ -138,6 +145,7 @@ impl WorkloadConfig {
             rsa_size: RsaKeySize::Rsa512,
             faults: FaultModel::none(),
             lora_loss_probability: 0.0,
+            lora_contention: false,
             seed: 2018,
             max_sim_time: SimDuration::from_secs(24 * 3600),
             tracing: false,
@@ -178,6 +186,7 @@ impl WorkloadConfig {
             rsa_size: RsaKeySize::Rsa512,
             faults: FaultModel::none(),
             lora_loss_probability: 0.0,
+            lora_contention: false,
             seed,
             max_sim_time: SimDuration::from_secs(24 * 3600),
             tracing: false,
@@ -229,6 +238,13 @@ impl WorkloadConfig {
     /// style; see [`WorkloadConfig::metrics_interval`]).
     pub fn with_metrics_interval(mut self, every: SimDuration) -> Self {
         self.metrics_interval = Some(every);
+        self
+    }
+
+    /// Adds analytic ALOHA contention loss on top of the flat rate
+    /// (builder style; see [`WorkloadConfig::lora_contention`]).
+    pub fn with_lora_contention(mut self) -> Self {
+        self.lora_contention = true;
         self
     }
 }
@@ -490,6 +506,13 @@ pub struct World {
     standby_blocks_mined: u64,
     /// Mean inter-send interval per sensor.
     send_interval: SimDuration,
+    /// Analytic per-gateway ALOHA success probability (1.0 when
+    /// `lora_contention` is off).
+    lora_success: f64,
+    /// Per-gateway frame-loss / retry tallies (index = actor host − 1),
+    /// folded into labeled `world.lora_*` rows at snapshot time.
+    frames_lost_by_gw: Vec<u64>,
+    retries_by_gw: Vec<u64>,
     registry: Registry,
     meters: Meters,
     tracer: Tracer,
@@ -637,6 +660,24 @@ impl World {
         let send_interval =
             SimDuration::from_secs_f64(min_interval.as_secs_f64() * cfg.load_factor);
 
+        // Analytic contention: each gateway's sensors share one
+        // `(channel, SF)` collision domain; frames at the paced send
+        // rate offer G = sensors × rate × airtime on it.
+        let lora_success = if cfg.lora_contention {
+            let key = LoadKey::new(0, cfg.radio.spreading_factor);
+            let mut loads = OfferedLoads::new();
+            loads.add_population(
+                key,
+                &cfg.radio,
+                160,
+                cfg.sensors_per_host,
+                1.0 / send_interval.as_secs_f64(),
+            );
+            workload_success_probability(&loads, key)
+        } else {
+            1.0
+        };
+
         let topology = match cfg.gossip_degree {
             Some(degree) => ring_lattice(n_hosts as u32, degree),
             None => Topology::full_mesh(n_hosts as u32),
@@ -666,6 +707,9 @@ impl World {
             blocks_mined: 0,
             standby_blocks_mined: 0,
             send_interval,
+            lora_success,
+            frames_lost_by_gw: vec![0; cfg.actor_hosts as usize],
+            retries_by_gw: vec![0; cfg.actor_hosts as usize],
             registry,
             meters,
             tracer,
@@ -842,6 +886,28 @@ impl World {
         }
         reg.set_counter("world.restart.warm_total", self.restarts_warm);
         reg.set_counter("world.restart.cold_total", self.restarts_cold);
+
+        // Per-gateway radio rows, same label scheme and ≤32-host gate as
+        // the `store.*` fold above (host index 1..=actor_hosts; the
+        // unlabeled totals were counted on the hot path).
+        if !self.frames_lost_by_gw.is_empty() && self.frames_lost_by_gw.len() <= 32 {
+            for (i, (&lost, &retries)) in self
+                .frames_lost_by_gw
+                .iter()
+                .zip(&self.retries_by_gw)
+                .enumerate()
+            {
+                let host = i + 1;
+                reg.set_counter(
+                    &bcwan_sim::labeled("world.lora_frames_lost_total", "host", host),
+                    lost,
+                );
+                reg.set_counter(
+                    &bcwan_sim::labeled("world.lora_retries_total", "host", host),
+                    retries,
+                );
+            }
+        }
 
         if self.tracer.is_enabled() {
             reg.set_counter("trace.unmatched_ends_total", self.tracer.unmatched_ends());
@@ -1132,18 +1198,32 @@ impl World {
         }
     }
 
-    /// Samples LoRa frame loss (chaos bursts override the base rate when
-    /// stronger).
-    fn frame_lost(&mut self, now: SimTime) -> bool {
+    /// Samples LoRa frame loss on `gateway`'s radio (chaos bursts
+    /// override the base rate when stronger; analytic ALOHA contention
+    /// compounds with it when enabled). Always consumes exactly one
+    /// draw, so enabling contention does not shift the RNG stream.
+    fn frame_lost(&mut self, now: SimTime, gateway: u32) -> bool {
         let base = self.cfg.lora_loss_probability;
         let boost = if self.chaos.is_idle() {
             0.0
         } else {
             self.chaos.lora_loss_boost(now)
         };
-        let lost = self.rng.chance(base.max(boost));
+        let flat = base.max(boost);
+        let p = if self.lora_success < 1.0 {
+            1.0 - (1.0 - flat) * self.lora_success
+        } else {
+            flat
+        };
+        let lost = self.rng.chance(p);
         if lost {
             self.registry.inc(self.meters.frames_lost);
+            if let Some(slot) = self
+                .frames_lost_by_gw
+                .get_mut((gateway as usize).wrapping_sub(1))
+            {
+                *slot += 1;
+            }
             if boost > base {
                 self.registry.inc(self.chaos.meters().lora_drops);
             }
@@ -1160,9 +1240,10 @@ impl World {
         queue: &mut EventQueue<Event>,
     ) {
         let request_air = self.airtime(28);
+        let gateway = self.exchanges[exchange].gateway;
         self.tracer
             .span_start("request_uplink", exchange as u64, now);
-        if !self.frame_lost(now) {
+        if !self.frame_lost(now, gateway) {
             queue.schedule_at(now + request_air, Event::RequestArrived { exchange });
         }
         // Retry timer: downlink should be back within a couple of seconds.
@@ -1181,7 +1262,8 @@ impl World {
         queue: &mut EventQueue<Event>,
     ) {
         let data_air = self.airtime(160);
-        if !self.frame_lost(now) {
+        let gateway = self.exchanges[exchange].gateway;
+        if !self.frame_lost(now, gateway) {
             queue.schedule_at(now + data_air, Event::DataArrived { exchange });
         }
         queue.schedule_at(
@@ -1209,6 +1291,7 @@ impl World {
             return;
         }
         self.registry.inc(self.meters.radio_retries);
+        self.count_gateway_retry(exchange);
         self.send_request(now, exchange, attempt + 1, queue);
     }
 
@@ -1229,7 +1312,20 @@ impl World {
             return;
         }
         self.registry.inc(self.meters.radio_retries);
+        self.count_gateway_retry(exchange);
         self.send_data(now, exchange, attempt + 1, queue);
+    }
+
+    /// Tallies a radio retransmission against the exchange's gateway for
+    /// the per-gateway labeled `world.lora_retries_total` rows.
+    fn count_gateway_retry(&mut self, exchange: usize) {
+        let gateway = self.exchanges[exchange].gateway;
+        if let Some(slot) = self
+            .retries_by_gw
+            .get_mut((gateway as usize).wrapping_sub(1))
+        {
+            *slot += 1;
+        }
     }
 
     /// Gives up on an exchange before money moved: `Abort` is only legal
@@ -1361,7 +1457,8 @@ impl World {
             public_key: e_pk.to_bytes(),
         };
         let air = self.airtime(frame.phy_len());
-        if !self.frame_lost(now) {
+        let gateway = self.exchanges[exchange].gateway;
+        if !self.frame_lost(now, gateway) {
             queue.schedule_at(now + air, Event::KeyArrived { exchange });
         }
         // A lost downlink surfaces as the node's request timeout, which
@@ -2810,6 +2907,66 @@ mod tests {
         let result = World::new(cfg).run();
         assert_eq!(result.completed, 0);
         assert_eq!(result.failed, 3, "every exchange aborts after retries");
+    }
+
+    #[test]
+    fn per_gateway_radio_rows_sum_to_totals() {
+        let mut cfg = WorkloadConfig::tiny(10, 35).with_lora_contention();
+        cfg.lora_loss_probability = 0.3;
+        let result = World::new(cfg).run();
+        let counter = |name: &str| {
+            result
+                .metrics
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let sum_labeled = |base: &str| {
+            let prefix = format!("{base}{{");
+            result
+                .metrics
+                .counters
+                .iter()
+                .filter(|(n, _)| n.starts_with(&prefix))
+                .map(|(_, v)| *v)
+                .sum::<u64>()
+        };
+        let lost = counter("world.lora_frames_lost_total");
+        let retries = counter("world.lora_retries_total");
+        assert!(lost > 0, "30% loss must lose frames");
+        assert!(retries > 0, "lost frames must trigger retries");
+        assert_eq!(
+            sum_labeled("world.lora_frames_lost_total"),
+            lost,
+            "per-gateway rows must partition the total"
+        );
+        assert_eq!(sum_labeled("world.lora_retries_total"), retries);
+    }
+
+    #[test]
+    fn analytic_contention_adds_loss_over_flat_rate() {
+        // Same seed with and without the ALOHA term: the contention run
+        // must lose at least as many frames (strictly more under load).
+        let flat = World::new(WorkloadConfig::tiny(10, 36)).run();
+        let mut cfg = WorkloadConfig::tiny(10, 36).with_lora_contention();
+        // Crank the population so the offered load G is non-trivial.
+        cfg.sensors_per_host = 400;
+        let contended = World::new(cfg).run();
+        let lost = |r: &ExperimentResult| {
+            r.metrics
+                .counters
+                .iter()
+                .find(|(n, _)| n == "world.lora_frames_lost_total")
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(lost(&flat), 0, "flat run has no loss configured");
+        assert!(
+            lost(&contended) > 0,
+            "a 800-sensor cell at full duty must see ALOHA collisions"
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Compares two schema-v1 bench reports metric by metric.
+//! Compares two bench reports metric by metric (any schema version the
+//! library still accepts — see `MIN_SCHEMA_VERSION`).
 //!
 //! ```text
 //! Usage: compare BASELINE.json CURRENT.json [--threshold PCT] [--metric PATTERN:PCT]...

@@ -3,17 +3,23 @@
 //! SF7, 1 % duty cycle, 128-byte payload + 4-byte header, AWS master
 //! mining, 2000 exchanges. Paper result: **mean 1.604 s**.
 //!
-//! Usage: `fig5_latency [N] [--json PATH]` (N overrides 2000 exchanges).
+//! Usage: `fig5_latency [N] [--json PATH] [--timeline SECS]`
+//! (N overrides 2000 exchanges; `--timeline` samples the full metrics
+//! registry every SECS of sim time into the report's `timeline`
+//! section — see EXPERIMENTS.md, "Reading the metrics").
 
 use bcwan::world::{WorkloadConfig, World};
-use bcwan_bench::{parse_harness_args, BenchReport, LatencyReport};
-use bcwan_sim::Json;
+use bcwan_bench::{harness_args, BenchReport, LatencyReport};
+use bcwan_sim::{Json, SimDuration};
 
 fn main() {
-    let (target, json) = parse_harness_args();
+    let args = harness_args();
     let mut cfg = WorkloadConfig::paper_fig5().with_tracing();
-    if let Some(n) = target {
+    if let Some(n) = args.target {
         cfg.target_exchanges = n;
+    }
+    if let Some(every) = args.timeline_s {
+        cfg = cfg.with_metrics_interval(SimDuration::from_secs_f64(every));
     }
     eprintln!(
         "running Fig. 5: {} exchanges, {} hosts × {} sensors, SF7, 1% duty…",
@@ -47,10 +53,11 @@ fn main() {
         .config("workload", config)
         .rows(Json::Array(vec![latency.to_json()]))
         .metrics(result.metrics.clone())
-        .phases(&result.phases);
+        .phases(&result.phases)
+        .timeline(result.timeline);
     // Phase decomposition: where the latency lives, span by span.
     report.print_phases();
-    if let Some(path) = json {
+    if let Some(path) = args.json {
         report.write(&path).expect("write json");
         eprintln!("wrote {path}");
     }

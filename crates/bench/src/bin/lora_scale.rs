@@ -1,0 +1,411 @@
+//! T-CAP: the sharded LoRa world at scale — goodput vs offered load,
+//! step throughput from 10³ to 10⁶ sensors, and the columnar-vs-scalar
+//! speedup gate.
+//!
+//! Three phases:
+//!
+//! 1. **Goodput curve** (skip with `--no-curve`): one gateway, one
+//!    channel, fixed SF7, pure-ALOHA MAC, the paper's 132 B data frame.
+//!    Sweeps the offered load `G` from 0.1 up to the per-sensor
+//!    duty-cycle ceiling (the paper's §5.2 cap of ~183 messages per
+//!    sensor per hour; with the full explicit-header + CRC time on air
+//!    the ceiling lands at ~163) and checks the measured goodput curve
+//!    against `G·e^(−2G)`: the peak must land near the textbook
+//!    `G = 0.5`. Exits 1 if it doesn't.
+//! 2. **Scale sweep**: for each population in `--nodes`, steps the
+//!    sharded world (1000 sensors per gateway shard, CSMA MAC) through
+//!    `--sim-secs` of simulated time in 12 segments, reporting seconds
+//!    per node-tick with a 95 % bootstrap CI over the segments. The
+//!    largest population also records a per-segment metric timeline into
+//!    the report's `timeline` section.
+//! 3. **Speedup**: at `--scalar-nodes` sensors on a 6-hour metering
+//!    cadence, steps the per-`Radio` scalar reference and the columnar
+//!    world (both single-threaded, best of three runs each) over the
+//!    same 1800 s window, asserts their counters are bit-identical, and
+//!    reports the wall-clock ratio. With `--check-speedup X`, exits 1
+//!    below `X×`.
+//!
+//! Usage: `lora_scale [--nodes N,N,…] [--sim-secs S] [--threads T]
+//! [--seed S] [--no-curve] [--scalar-nodes N] [--check-speedup X]
+//! [--json PATH]`. Defaults: nodes 1000,10000,100000,1000000;
+//! sim-secs 3600 (one simulated hour); threads = available cores.
+//!
+//! The headline gauge `bench.shard_step_s` (seconds per node-tick at the
+//! largest population, with `bench.shard_step_ci95_lo_s`/`_hi_s`
+//! bootstrap bounds) is what CI gates with `compare --metric
+//! shard_step_s:10` against `results/lora_scale.baseline.json`.
+
+use bcwan_bench::{bootstrap_ci_mean, BenchReport, BOOTSTRAP_RESAMPLES};
+use bcwan_lora::mac::MacConfig;
+use bcwan_lora::params::{RadioConfig, SpreadingFactor};
+use bcwan_lora::shard::{ScalarFleet, ShardConfig, ShardCounters, ShardedLora};
+use bcwan_lora::time_on_air;
+use bcwan_sim::{Json, Registry, SimDuration, SimTime, SnapshotSeries};
+
+/// Sensors per gateway shard in the scale sweep.
+const NODES_PER_SHARD: u64 = 1000;
+/// Wall-clock samples per scale-sweep run (one per sim segment).
+const SEGMENTS: u64 = 12;
+/// Simulated window for the speedup phase, seconds. Long enough that
+/// the columnar wall time (a few ms at 10⁵ nodes) sits well above
+/// timer/scheduler noise.
+const SPEEDUP_SIM_S: u64 = 1800;
+
+struct Args {
+    nodes: Vec<u64>,
+    sim_secs: u64,
+    threads: usize,
+    seed: u64,
+    curve: bool,
+    scalar_nodes: u64,
+    check_speedup: Option<f64>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        nodes: vec![1_000, 10_000, 100_000, 1_000_000],
+        sim_secs: 3600,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        seed: 42,
+        curve: true,
+        scalar_nodes: 100_000,
+        check_speedup: None,
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                let list = args.next().expect("--nodes takes a comma-separated list");
+                parsed.nodes = list
+                    .split(',')
+                    .map(|n| n.trim().parse().expect("node count"))
+                    .collect();
+            }
+            "--sim-secs" => {
+                parsed.sim_secs = args
+                    .next()
+                    .expect("--sim-secs takes seconds")
+                    .parse()
+                    .expect("seconds");
+            }
+            "--threads" => {
+                parsed.threads = args
+                    .next()
+                    .expect("--threads takes a count")
+                    .parse()
+                    .expect("thread count");
+            }
+            "--seed" => {
+                parsed.seed = args
+                    .next()
+                    .expect("--seed takes a value")
+                    .parse()
+                    .expect("seed");
+            }
+            "--no-curve" => parsed.curve = false,
+            "--scalar-nodes" => {
+                parsed.scalar_nodes = args
+                    .next()
+                    .expect("--scalar-nodes takes a count")
+                    .parse()
+                    .expect("node count");
+            }
+            "--check-speedup" => {
+                parsed.check_speedup = Some(
+                    args.next()
+                        .expect("--check-speedup takes a ratio")
+                        .parse()
+                        .expect("ratio"),
+                );
+            }
+            "--json" => parsed.json = args.next(),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(
+        !parsed.nodes.is_empty(),
+        "--nodes must name at least one population"
+    );
+    parsed
+}
+
+/// The scale-sweep world: `n` sensors split into 1000-sensor gateway
+/// shards (one shard when `n < 1000`), dense-deployment defaults.
+fn scale_cfg(n: u64, seed: u64) -> ShardConfig {
+    let shards = (n / NODES_PER_SHARD).max(1) as u32;
+    let per_shard = (n / u64::from(shards)) as u32;
+    ShardConfig::dense(shards, per_shard, seed)
+}
+
+/// Phase 1 — the ALOHA goodput curve on a single `(channel, SF)` key.
+/// Returns `(rows, peak_measured_g)`.
+fn goodput_curve(seed: u64) -> (Vec<Json>, f64) {
+    let nodes: u32 = 2000;
+    let sim_s: u64 = 7200;
+    let base = ShardConfig {
+        channels: 1,
+        sf_fixed: Some(SpreadingFactor::Sf7),
+        mac: MacConfig::pure_aloha(),
+        // The paper's data frame: 128 B payload + 4 B header. At SF7
+        // this puts the 1 % duty ceiling at ~183 msg/sensor/h (§5.2).
+        frame_len: 132,
+        // Small cell: the link budget clears for everyone, so the curve
+        // isolates contention loss.
+        region_radius_m: 500.0,
+        ..ShardConfig::dense(1, nodes, seed)
+    };
+    let airtime_s = time_on_air(
+        &RadioConfig {
+            spreading_factor: SpreadingFactor::Sf7,
+            ..base.radio
+        },
+        base.frame_len,
+    )
+    .as_secs_f64();
+    // Per-sensor duty ceiling: at 1 % duty a sensor may send at most
+    // duty/airtime frames per second (~183/h at the paper's SF7 frame).
+    let ceiling_per_h = base.duty / airtime_s * 3600.0;
+    let ceiling_g = f64::from(nodes) * (ceiling_per_h / 3600.0) * airtime_s;
+    let mut targets = vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0, 1.5];
+    targets.push(ceiling_g);
+
+    println!("== goodput vs offered load (1 channel, SF7, pure ALOHA, {nodes} sensors) ==");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "G", "msg/h", "meas G", "goodput", "G·e^-2G", "delivered"
+    );
+    let mut rows = Vec::new();
+    let mut peak = (0.0f64, 0.0f64); // (goodput, measured_g)
+    for &g in &targets {
+        let mean_interval_s = f64::from(nodes) * airtime_s / g;
+        let cfg = ShardConfig {
+            mean_interval: SimDuration::from_secs_f64(mean_interval_s),
+            ..base.clone()
+        };
+        let mut world = ShardedLora::new(&cfg);
+        world.step_until(SimTime::from_micros(sim_s * 1_000_000), 1);
+        let c = world.counters();
+        let sim = sim_s as f64;
+        let measured_g = c.airtime_s / sim;
+        let goodput = c.delivered_airtime_s / sim;
+        let analytic = g * (-2.0 * g).exp();
+        let msg_per_h = 3600.0 / mean_interval_s;
+        println!(
+            "{g:>8.2} {msg_per_h:>10.1} {measured_g:>10.4} {goodput:>10.4} {analytic:>10.4} {:>12}",
+            c.delivered
+        );
+        if goodput > peak.0 {
+            peak = (goodput, measured_g);
+        }
+        rows.push(
+            Json::object()
+                .with("target_g", Json::num(g))
+                .with("msg_per_sensor_h", Json::num(msg_per_h))
+                .with("measured_g", Json::num(measured_g))
+                .with("goodput", Json::num(goodput))
+                .with("analytic_goodput", Json::num(analytic))
+                .with("fired", Json::uint(c.fired))
+                .with("delivered", Json::uint(c.delivered))
+                .with("lost_collision", Json::uint(c.lost_collision)),
+        );
+    }
+    println!(
+        "peak goodput {:.4} at measured G {:.3} (theory: 1/(2e) ≈ 0.184 at G = 0.5)",
+        peak.0, peak.1
+    );
+    (rows, peak.1)
+}
+
+/// Publishes one world's counters into the registry (the names EXPERIMENTS.md
+/// documents for the timeline frames).
+fn publish_counters(reg: &mut Registry, c: &ShardCounters) {
+    reg.set_counter("world.lora_fired_total", c.fired);
+    reg.set_counter("world.lora_attempted_total", c.attempted);
+    reg.set_counter("world.lora_delivered_total", c.delivered);
+    reg.set_counter("world.lora_lost_link_total", c.lost_link);
+    reg.set_counter("world.lora_lost_collision_total", c.lost_collision);
+    reg.set_counter("world.lora_captured_total", c.captured);
+    reg.set_counter("world.lora_demod_dropped_total", c.demod_dropped);
+    reg.set_counter("world.lora_cca_busy_total", c.cca_busy);
+    reg.set_gauge("world.lora_airtime_s", c.airtime_s);
+    reg.set_gauge("world.lora_goodput_airtime_s", c.delivered_airtime_s);
+    reg.set_gauge("world.lora_energy_j", c.energy_j);
+}
+
+fn main() {
+    let args = parse_args();
+    let mut gate_failed = false;
+
+    // Phase 1 — goodput curve.
+    let (curve_rows, curve_peak_g) = if args.curve {
+        let (rows, peak_g) = goodput_curve(args.seed);
+        if !(0.3..=0.7).contains(&peak_g) {
+            eprintln!("CURVE GATE FAILED: peak at G {peak_g:.3}, expected near 0.5");
+            gate_failed = true;
+        }
+        (rows, Some(peak_g))
+    } else {
+        (Vec::new(), None)
+    };
+
+    // Phase 2 — scale sweep with per-segment wall samples.
+    println!("\n== shard step throughput (CSMA MAC, {NODES_PER_SHARD} sensors/shard) ==");
+    println!(
+        "{:>9} {:>7} {:>10} {:>14} {:>26} {:>12}",
+        "sensors", "shards", "wall(s)", "node-ticks/s", "s/node-tick [95% CI]", "delivered"
+    );
+    let mut scale_rows = Vec::new();
+    let mut registry = Registry::new();
+    let mut timeline = None;
+    let mut headline: Option<(f64, f64, f64)> = None; // (mean, ci_lo, ci_hi) s/node-tick
+    let largest = *args.nodes.iter().max().expect("non-empty nodes");
+    for &n in &args.nodes {
+        let cfg = scale_cfg(n, args.seed);
+        let total_nodes = cfg.total_nodes();
+        let seg_sim = (args.sim_secs / SEGMENTS).max(1);
+        let mut world = ShardedLora::new(&cfg);
+        let mut samples = Vec::new();
+        let mut series =
+            (n == largest).then(|| SnapshotSeries::new(SimDuration::from_secs(seg_sim)));
+        let t_total = std::time::Instant::now();
+        let mut sim_done = 0u64;
+        while sim_done < args.sim_secs {
+            sim_done = (sim_done + seg_sim).min(args.sim_secs);
+            let t0 = std::time::Instant::now();
+            world.step_until(SimTime::from_micros(sim_done * 1_000_000), args.threads);
+            let wall = t0.elapsed().as_secs_f64();
+            samples.push(wall / (total_nodes as f64 * seg_sim as f64));
+            if let Some(series) = series.as_mut() {
+                publish_counters(&mut registry, &world.counters());
+                series.maybe_sample(world.now(), &registry);
+            }
+        }
+        let wall_total = t_total.elapsed().as_secs_f64();
+        let c = world.counters();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let (ci_lo, ci_hi) = bootstrap_ci_mean(&samples, BOOTSTRAP_RESAMPLES, 0x10a5 ^ n);
+        let ticks_per_s = total_nodes as f64 * args.sim_secs as f64 / wall_total.max(1e-12);
+        println!(
+            "{n:>9} {:>7} {wall_total:>10.2} {ticks_per_s:>14.3e} {:>26} {:>12}",
+            cfg.shards,
+            format!("{mean:.3e} [{ci_lo:.3e}, {ci_hi:.3e}]"),
+            c.delivered
+        );
+        scale_rows.push(
+            Json::object()
+                .with("sensors", Json::uint(n))
+                .with("shards", Json::uint(u64::from(cfg.shards)))
+                .with("sim_secs", Json::uint(args.sim_secs))
+                .with("wall_s", Json::num(wall_total))
+                .with("node_ticks_per_s", Json::num(ticks_per_s))
+                .with("s_per_node_tick", Json::num(mean))
+                .with("s_per_node_tick_ci_lo", Json::num(ci_lo))
+                .with("s_per_node_tick_ci_hi", Json::num(ci_hi))
+                .with("fired", Json::uint(c.fired))
+                .with("delivered", Json::uint(c.delivered))
+                .with("lost_collision", Json::uint(c.lost_collision))
+                .with("demod_dropped", Json::uint(c.demod_dropped))
+                .with("cca_busy", Json::uint(c.cca_busy))
+                .with("energy_j", Json::num(c.energy_j)),
+        );
+        if n == largest {
+            headline = Some((mean, ci_lo, ci_hi));
+            timeline = series;
+            publish_counters(&mut registry, &c);
+        }
+    }
+
+    // Phase 3 — columnar vs scalar speedup + embedded equivalence check.
+    // Both paths single-threaded: the ratio measures the data layout and
+    // the wake-heap, not the core count. The workload is a metering
+    // fleet — one report per sensor every 6 h, the cadence of smart
+    // water/gas meters — so almost every per-node visit the scalar path
+    // makes is an idle scan. That scan is exactly the cost the columnar
+    // wake-heap eliminates; denser traffic shifts both paths towards the
+    // shared per-event math and shrinks the ratio.
+    let speedup_cfg = ShardConfig {
+        mean_interval: SimDuration::from_secs(21_600),
+        ..scale_cfg(args.scalar_nodes, args.seed)
+    };
+    let until = SimTime::from_micros(SPEEDUP_SIM_S * 1_000_000);
+    // Best of three runs per path: at these wall times (tens of ms) a
+    // single scheduler hiccup would swing the ratio.
+    let mut scalar_wall = f64::MAX;
+    let mut columnar_wall = f64::MAX;
+    for _ in 0..3 {
+        let mut scalar = ScalarFleet::new(&speedup_cfg);
+        let t0 = std::time::Instant::now();
+        scalar.step_until(until);
+        scalar_wall = scalar_wall.min(t0.elapsed().as_secs_f64());
+        let mut columnar = ShardedLora::new(&speedup_cfg);
+        let t0 = std::time::Instant::now();
+        columnar.step_until(until, 1);
+        columnar_wall = columnar_wall.min(t0.elapsed().as_secs_f64());
+        if scalar.counters() != columnar.counters() {
+            eprintln!(
+                "EQUIVALENCE FAILED at {} sensors:\n  scalar   {:?}\n  columnar {:?}",
+                args.scalar_nodes,
+                scalar.counters(),
+                columnar.counters()
+            );
+            gate_failed = true;
+        }
+    }
+    let speedup = scalar_wall / columnar_wall.max(1e-12);
+    println!(
+        "\n== speedup vs per-Radio scalar ({} sensors, {SPEEDUP_SIM_S} sim-s, 1 thread) ==",
+        args.scalar_nodes
+    );
+    println!(
+        "scalar {scalar_wall:.3}s, columnar {columnar_wall:.3}s → {speedup:.1}× (counters bit-identical)"
+    );
+    if let Some(min) = args.check_speedup {
+        if speedup < min {
+            eprintln!("SPEEDUP GATE FAILED: {speedup:.1}× < required {min}×");
+            gate_failed = true;
+        }
+    }
+
+    // Report.
+    let (step_mean, step_lo, step_hi) = headline.expect("at least one population");
+    registry.set_gauge("bench.shard_step_s", step_mean);
+    registry.set_gauge("bench.shard_step_ci95_lo_s", step_lo);
+    registry.set_gauge("bench.shard_step_ci95_hi_s", step_hi);
+    registry.set_gauge("bench.speedup_vs_scalar", speedup);
+    if let Some(peak_g) = curve_peak_g {
+        registry.set_gauge("bench.curve_peak_g", peak_g);
+    }
+    let report = BenchReport::new("lora_scale")
+        .config(
+            "sweep",
+            Json::object()
+                .with(
+                    "nodes",
+                    Json::Array(args.nodes.iter().map(|&n| Json::uint(n)).collect()),
+                )
+                .with("sim_secs", Json::uint(args.sim_secs))
+                .with("threads", Json::uint(args.threads as u64))
+                .with("seed", Json::uint(args.seed))
+                .with("nodes_per_shard", Json::uint(NODES_PER_SHARD))
+                .with("scalar_nodes", Json::uint(args.scalar_nodes)),
+        )
+        .rows(
+            Json::object()
+                .with("curve", Json::Array(curve_rows))
+                .with("scale", Json::Array(scale_rows)),
+        )
+        .metrics(registry.snapshot())
+        .timeline(timeline);
+    if let Some(path) = &args.json {
+        report.write(path).expect("write json");
+        eprintln!("wrote {path}");
+    }
+
+    if gate_failed {
+        eprintln!("lora_scale FAILED (see gate messages above)");
+        std::process::exit(1);
+    }
+    eprintln!("lora_scale passed");
+}

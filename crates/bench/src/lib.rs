@@ -23,24 +23,35 @@
 
 #![warn(missing_docs)]
 
-use bcwan_sim::{Bucket, Json, Registry, Series, Snapshot, Summary};
+use bcwan_sim::{Bucket, Json, Registry, Series, Snapshot, SnapshotSeries, Summary};
 
 /// Version stamp every bench JSON document carries as `schema_version`.
 ///
 /// Bump when the shape of [`BenchReport::to_json`] changes incompatibly
 /// (renamed keys, moved sections). Adding new keys is not a bump.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v2 added the optional `timeline` section (periodic metric
+/// snapshots over sim time); v1 documents carry everything else and
+/// remain comparable, so [`bench_compare`] accepts any version in
+/// `[`[`MIN_SCHEMA_VERSION`]`, `[`SCHEMA_VERSION`]`]`.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest document version [`bench_compare`] still accepts. Baselines
+/// recorded before the `timeline` section exist at v1 and stay valid:
+/// every section the comparison reads is unchanged since then.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// The one machine-readable document shape all bench binaries emit.
 ///
 /// ```json
 /// {
-///   "schema_version": 1,
+///   "schema_version": 2,
 ///   "experiment": "fig5_latency",
 ///   "config": { "target_exchanges": 2000, ... },
 ///   "rows": [ ... experiment-specific rows ... ],
 ///   "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} },
-///   "phases": { "request_uplink": { "count": ..., "mean_s": ..., ... }, ... }
+///   "phases": { "request_uplink": { "count": ..., "mean_s": ..., ... }, ... },
+///   "timeline": { "interval_seconds": ..., "frames": [ { "t": ..., ... } ] }
 /// }
 /// ```
 ///
@@ -61,6 +72,9 @@ pub struct BenchReport {
     pub metrics: Snapshot,
     /// Phase-latency summaries, `(phase name, summary)` per traced span.
     pub phases: Vec<(String, Summary)>,
+    /// Periodic metric snapshots over sim time (schema v2). `None` — the
+    /// run recorded no timeline — omits the `timeline` key entirely.
+    pub timeline: Option<SnapshotSeries>,
 }
 
 impl BenchReport {
@@ -72,6 +86,7 @@ impl BenchReport {
             rows: Json::Array(Vec::new()),
             metrics: Registry::new().snapshot(),
             phases: Vec::new(),
+            timeline: None,
         }
     }
 
@@ -107,6 +122,15 @@ impl BenchReport {
         self
     }
 
+    /// Attaches the run's periodic metric timeline (schema v2 section;
+    /// see EXPERIMENTS.md, "Reading the metrics"). Empty series are
+    /// dropped so an unused `--timeline` flag doesn't emit `[]`.
+    #[must_use]
+    pub fn timeline(mut self, series: Option<SnapshotSeries>) -> Self {
+        self.timeline = series.filter(|s| !s.is_empty());
+        self
+    }
+
     /// Renders the schema-versioned document.
     pub fn to_json(&self) -> Json {
         let phases = Json::Object(
@@ -115,13 +139,17 @@ impl BenchReport {
                 .map(|(name, s)| (name.clone(), summary_json(s)))
                 .collect(),
         );
-        Json::object()
+        let mut doc = Json::object()
             .with("schema_version", Json::uint(SCHEMA_VERSION))
             .with("experiment", Json::str(&self.experiment))
             .with("config", self.config.clone())
             .with("rows", self.rows.clone())
             .with("metrics", self.metrics.to_json())
-            .with("phases", phases)
+            .with("phases", phases);
+        if let Some(timeline) = &self.timeline {
+            doc = doc.with("timeline", timeline.to_json());
+        }
+        doc
     }
 
     /// Writes the pretty-rendered document to `path`.
@@ -521,7 +549,7 @@ pub struct MetricDelta {
     pub outlier: bool,
 }
 
-/// Extracts every comparable scalar from a schema-v1 report document:
+/// Extracts every comparable scalar from a bench report document:
 /// metrics counters and gauges, plus each phase's `mean_s`.
 fn collect_comparables(doc: &Json) -> Vec<(String, f64)> {
     let mut out = Vec::new();
@@ -560,10 +588,12 @@ fn ci_bounds(metrics: &[(String, f64)], name: &str) -> Option<(f64, f64)> {
     (lo <= hi).then_some((lo, hi))
 }
 
-/// Compares two schema-v1 bench report documents metric by metric.
+/// Compares two bench report documents metric by metric.
 ///
-/// Both documents must carry the current [`SCHEMA_VERSION`] and name the
-/// same experiment. Every counter, gauge and phase mean present in *both*
+/// Both documents must carry a schema version in
+/// [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`] and name the same
+/// experiment (the `timeline` section added in v2 is ignored here, so
+/// v1 baselines stay comparable). Every counter, gauge and phase mean present in *both*
 /// reports produces one [`MetricDelta`]; a delta counts as a regression
 /// when a `HigherIsBetter` metric drops, or a `LowerIsBetter` metric
 /// rises, by more than `threshold_pct` percent. When both reports also
@@ -600,10 +630,10 @@ pub fn bench_compare_with(
 ) -> Result<Vec<MetricDelta>, String> {
     for (label, doc) in [("baseline", baseline), ("current", current)] {
         match doc.get("schema_version").and_then(Json::as_f64) {
-            Some(v) if v == SCHEMA_VERSION as f64 => {}
+            Some(v) if v >= MIN_SCHEMA_VERSION as f64 && v <= SCHEMA_VERSION as f64 => {}
             Some(v) => {
                 return Err(format!(
-                    "{label}: schema_version {v}, expected {SCHEMA_VERSION}"
+                    "{label}: schema_version {v}, expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
                 ))
             }
             None => {
@@ -677,20 +707,46 @@ pub fn bench_compare_with(
     Ok(deltas)
 }
 
-/// Parses `--json PATH` and `N` (positional count override) from
-/// `std::env::args`. Returns `(target_override, json_path)`.
-pub fn parse_harness_args() -> (Option<usize>, Option<String>) {
-    let mut target = None;
-    let mut json = None;
+/// Flags shared by the figure harnesses.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// Positional count override (`N`).
+    pub target: Option<usize>,
+    /// `--json PATH` — write the [`BenchReport`] document here.
+    pub json: Option<String>,
+    /// `--timeline SECS` — sample the metrics registry every `SECS` of
+    /// sim time into the report's `timeline` section (schema v2).
+    pub timeline_s: Option<f64>,
+}
+
+/// Parses the shared harness flags (`N`, `--json PATH`,
+/// `--timeline SECS`) from `std::env::args`.
+pub fn harness_args() -> HarnessArgs {
+    let mut parsed = HarnessArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--json" {
-            json = args.next();
+            parsed.json = args.next();
+        } else if arg == "--timeline" {
+            parsed.timeline_s = args.next().and_then(|v| v.parse().ok());
+            assert!(
+                parsed.timeline_s.is_some_and(|s| s > 0.0),
+                "--timeline requires a positive interval in seconds"
+            );
         } else if let Ok(n) = arg.parse::<usize>() {
-            target = Some(n);
+            parsed.target = Some(n);
         }
     }
-    (target, json)
+    parsed
+}
+
+/// Parses `--json PATH` and `N` (positional count override) from
+/// `std::env::args`. Returns `(target_override, json_path)`.
+/// A `--timeline` flag is consumed (so it never misparses as `N`) but
+/// ignored; harnesses that emit timelines use [`harness_args`].
+pub fn parse_harness_args() -> (Option<usize>, Option<String>) {
+    let args = harness_args();
+    (args.target, args.json)
 }
 
 #[cfg(test)]
@@ -937,6 +993,67 @@ mod tests {
             .unwrap();
         assert_eq!(accepted.direction, MetricDirection::Informational);
         assert!(!accepted.regression);
+    }
+
+    #[test]
+    fn compare_accepts_v1_baselines_rejects_future_schemas() {
+        let current = throughput_report(100.0, 500);
+        // A v1 baseline (recorded before the timeline section existed).
+        let v1 = {
+            let Json::Object(mut fields) = throughput_report(90.0, 500) else {
+                unreachable!()
+            };
+            fields.retain(|(k, _)| k != "schema_version");
+            fields.insert(0, ("schema_version".to_string(), Json::uint(1)));
+            Json::Object(fields)
+        };
+        let deltas = bench_compare(&v1, &current, 20.0).expect("v1 baseline still compares");
+        assert!(deltas.iter().all(|d| !d.regression));
+        // A document from a future schema is refused, not misread.
+        let future = {
+            let Json::Object(mut fields) = throughput_report(90.0, 500) else {
+                unreachable!()
+            };
+            fields.retain(|(k, _)| k != "schema_version");
+            fields.insert(0, ("schema_version".to_string(), Json::uint(99)));
+            Json::Object(fields)
+        };
+        assert!(bench_compare(&future, &current, 20.0)
+            .unwrap_err()
+            .contains("schema_version"));
+    }
+
+    #[test]
+    fn timeline_section_is_optional_and_round_trips() {
+        // No timeline: the key is absent, not null/empty.
+        let bare = BenchReport::new("x").to_json();
+        assert_eq!(bare.get("timeline"), None);
+
+        let mut series = bcwan_sim::SnapshotSeries::new(bcwan_sim::SimDuration::from_secs(10));
+        let mut registry = Registry::new();
+        registry.set_counter("world.lora_frames_lost_total", 1);
+        series.maybe_sample(bcwan_sim::SimTime::ZERO, &registry);
+        registry.set_counter("world.lora_frames_lost_total", 4);
+        series.maybe_sample(bcwan_sim::SimTime::from_micros(10_000_000), &registry);
+        let doc = BenchReport::new("x").timeline(Some(series)).to_json();
+        let timeline = doc.get("timeline").expect("timeline section");
+        assert_eq!(
+            timeline.get("interval_seconds").and_then(Json::as_f64),
+            Some(10.0)
+        );
+        let Some(Json::Array(frames)) = timeline.get("frames") else {
+            panic!("frames array");
+        };
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].get("t").and_then(Json::as_f64), Some(10.0));
+        // And the whole document still parses back.
+        let parsed = bcwan_sim::json::parse(&doc.render_pretty()).expect("parses");
+        assert_eq!(parsed, doc);
+
+        // An empty series is dropped like None.
+        let empty = bcwan_sim::SnapshotSeries::new(bcwan_sim::SimDuration::from_secs(1));
+        let doc = BenchReport::new("x").timeline(Some(empty)).to_json();
+        assert_eq!(doc.get("timeline"), None);
     }
 
     #[test]

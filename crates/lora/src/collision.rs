@@ -1,15 +1,115 @@
-//! ALOHA-style collision model for the shared radio channel.
+//! ALOHA-style collision model for the shared radio channel, keyed by
+//! `(channel, spreading factor)`.
 //!
 //! LoRaWAN uplinks are unslotted ALOHA: two frames overlapping in time on
-//! the same channel and spreading factor destroy each other (ignoring
-//! capture). The §5.2 workload — 150 sensors pushing towards their duty
-//! limit through 5 gateways — makes channel contention a real effect the
+//! the same channel **and** the same spreading factor destroy each other
+//! (ignoring capture). Different spreading factors are quasi-orthogonal —
+//! an SF7 frame and an SF12 frame on the same channel demodulate
+//! independently — so the offered load that matters for any one frame is
+//! the load on *its* `(channel, SF)` key, not the aggregate over the
+//! band. The §5.2 workload — 150 sensors pushing towards their duty limit
+//! through 5 gateways — makes channel contention a real effect the
 //! paper's small testbed glosses over; this module supplies the standard
-//! analytic model and a sampling helper for the simulator.
+//! analytic model, a per-key offered-load table, and a sampling helper
+//! for the simulator.
 
 use crate::airtime::time_on_air;
-use crate::params::RadioConfig;
+use crate::params::{RadioConfig, SpreadingFactor};
 use bcwan_sim::SimRng;
+
+/// The collision domain of one frame: uplink channel index plus
+/// spreading factor. Frames collide only with frames sharing their key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoadKey {
+    /// Uplink channel index (EU868 mandates 3, gateways commonly run 8).
+    pub channel: u8,
+    /// Spreading factor (quasi-orthogonal between factors).
+    pub sf: SpreadingFactor,
+}
+
+impl LoadKey {
+    /// Builds a key.
+    pub fn new(channel: u8, sf: SpreadingFactor) -> Self {
+        LoadKey { channel, sf }
+    }
+}
+
+/// Normalized offered load `G` per collision-domain key.
+///
+/// `G` for a key is the mean number of frame-airtimes' worth of traffic
+/// offered per airtime on that `(channel, SF)`. The table is built by
+/// accumulating each frame's contribution (`airtime / window`) in frame
+/// order, which keeps the floating-point sum identical between the
+/// scalar and columnar simulation paths.
+///
+/// Backed by a small sorted vector rather than a map: the sharded
+/// simulator clears and refills one table per tick, and a vector's
+/// capacity survives [`clear`](OfferedLoads::clear), so the steady-state
+/// tick loop allocates nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OfferedLoads {
+    /// `(key, G)` pairs, sorted by key.
+    loads: Vec<(LoadKey, f64)>,
+}
+
+impl OfferedLoads {
+    /// An empty (zero-load) table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `g` frame-airtimes of offered load to `key`.
+    pub fn add(&mut self, key: LoadKey, g: f64) {
+        assert!(g >= 0.0, "negative load contribution");
+        match self.loads.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.loads[i].1 += g,
+            Err(i) => self.loads.insert(i, (key, g)),
+        }
+    }
+
+    /// Convenience: the §5.2-style population load — `senders` nodes each
+    /// sending `rate_per_s` frames of `frame_len` PHY bytes at `key`'s
+    /// spreading factor under `config`'s bandwidth/coding parameters.
+    pub fn add_population(
+        &mut self,
+        key: LoadKey,
+        config: &RadioConfig,
+        frame_len: usize,
+        senders: u32,
+        rate_per_s: f64,
+    ) {
+        let cfg = RadioConfig {
+            spreading_factor: key.sf,
+            ..*config
+        };
+        let airtime = time_on_air(&cfg, frame_len).as_secs_f64();
+        self.add(key, offered_load(senders, rate_per_s, airtime));
+    }
+
+    /// Total offered load `G` on `key`.
+    pub fn g(&self, key: LoadKey) -> f64 {
+        self.loads
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .map_or(0.0, |i| self.loads[i].1)
+    }
+
+    /// Offered load on `key` seen by one frame that itself contributes
+    /// `own_g` — i.e. the *competing* load (clamped at zero).
+    pub fn g_excluding(&self, key: LoadKey, own_g: f64) -> f64 {
+        (self.g(key) - own_g).max(0.0)
+    }
+
+    /// Clears all keys, keeping the allocation (reused tick-to-tick by
+    /// the sharded simulator).
+    pub fn clear(&mut self) {
+        self.loads.clear();
+    }
+
+    /// Iterates `(key, G)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (LoadKey, f64)> + '_ {
+        self.loads.iter().copied()
+    }
+}
 
 /// Normalized offered load `G`: mean number of frame-airtimes' worth of
 /// traffic offered per airtime, for `senders` nodes each sending
@@ -35,31 +135,34 @@ pub fn aloha_goodput(g: f64) -> f64 {
     g * aloha_success_probability(g)
 }
 
-/// Convenience: success probability for the §5.2-style workload.
-pub fn workload_success_probability(
-    config: &RadioConfig,
-    frame_len: usize,
-    senders: u32,
-    per_sender_rate_per_s: f64,
-) -> f64 {
-    let airtime = time_on_air(config, frame_len).as_secs_f64();
-    aloha_success_probability(offered_load(senders, per_sender_rate_per_s, airtime))
+/// Success probability for a frame on `key` given the per-key load
+/// table: `e^(−2·G(key))`. Loads on other channels or spreading factors
+/// do not interfere.
+pub fn workload_success_probability(loads: &OfferedLoads, key: LoadKey) -> f64 {
+    aloha_success_probability(loads.g(key))
 }
 
-/// Samples whether a single frame survives contention at load `g`.
-pub fn frame_survives(g: f64, rng: &mut SimRng) -> bool {
-    rng.chance(aloha_success_probability(g))
+/// Samples whether a single frame on `key`, itself contributing `own_g`
+/// to the table, survives contention from the *other* traffic on its
+/// collision domain. Always consumes exactly one draw.
+pub fn frame_survives(loads: &OfferedLoads, key: LoadKey, own_g: f64, rng: &mut SimRng) -> bool {
+    rng.chance(aloha_success_probability(loads.g_excluding(key, own_g)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn sf7_key() -> LoadKey {
+        LoadKey::new(0, SpreadingFactor::Sf7)
+    }
+
     #[test]
     fn zero_load_always_succeeds() {
         assert_eq!(aloha_success_probability(0.0), 1.0);
         let mut rng = SimRng::seed_from_u64(1);
-        assert!(frame_survives(0.0, &mut rng));
+        let loads = OfferedLoads::new();
+        assert!(frame_survives(&loads, sf7_key(), 0.0, &mut rng));
     }
 
     #[test]
@@ -86,19 +189,55 @@ mod tests {
         // 30 sensors per gateway sending the 160 B data frame at the
         // (throttled) Fig. 5 rate of ~1 frame/50 s each.
         let cfg = RadioConfig::paper_sf7();
-        let p = workload_success_probability(&cfg, 160, 30, 1.0 / 50.0);
+        let mut per_gw = OfferedLoads::new();
+        per_gw.add_population(sf7_key(), &cfg, 160, 30, 1.0 / 50.0);
+        let p = workload_success_probability(&per_gw, sf7_key());
         assert!(p > 0.6, "per-gateway success {p:.3}");
         // All 150 sensors sharing ONE channel/gateway would hurt badly.
-        let p_all = workload_success_probability(&cfg, 160, 150, 1.0 / 50.0);
+        let mut all = OfferedLoads::new();
+        all.add_population(sf7_key(), &cfg, 160, 150, 1.0 / 50.0);
+        let p_all = workload_success_probability(&all, sf7_key());
         assert!(p_all < p - 0.2, "{p_all} vs {p}");
+    }
+
+    #[test]
+    fn spreading_factors_are_orthogonal() {
+        // Saturate SF12 on channel 0; SF7 frames on the same channel are
+        // untouched, as are SF12 frames on another channel.
+        let cfg = RadioConfig::paper_sf7();
+        let sf12 = LoadKey::new(0, SpreadingFactor::Sf12);
+        let mut loads = OfferedLoads::new();
+        loads.add_population(sf12, &cfg, 51, 500, 1.0 / 20.0);
+        assert!(workload_success_probability(&loads, sf12) < 0.01);
+        assert_eq!(workload_success_probability(&loads, sf7_key()), 1.0);
+        let sf12_ch1 = LoadKey::new(1, SpreadingFactor::Sf12);
+        assert_eq!(workload_success_probability(&loads, sf12_ch1), 1.0);
+    }
+
+    #[test]
+    fn own_contribution_excluded_from_competing_load() {
+        let mut loads = OfferedLoads::new();
+        let key = sf7_key();
+        loads.add(key, 0.3);
+        // A frame that IS the whole 0.3 load competes against nothing.
+        assert_eq!(loads.g_excluding(key, 0.3), 0.0);
+        assert!((loads.g_excluding(key, 0.1) - 0.2).abs() < 1e-15);
+        // Rounding can't push the competing load negative.
+        assert_eq!(loads.g_excluding(key, 0.4), 0.0);
+        let mut rng = SimRng::seed_from_u64(5);
+        assert!(frame_survives(&loads, key, 0.3, &mut rng));
     }
 
     #[test]
     fn sampling_matches_analytic_rate() {
         let mut rng = SimRng::seed_from_u64(2);
         let g = 0.35;
+        let mut loads = OfferedLoads::new();
+        loads.add(sf7_key(), g);
         let n = 20_000;
-        let survived = (0..n).filter(|_| frame_survives(g, &mut rng)).count();
+        let survived = (0..n)
+            .filter(|_| frame_survives(&loads, sf7_key(), 0.0, &mut rng))
+            .count();
         let rate = survived as f64 / n as f64;
         let expect = aloha_success_probability(g);
         assert!((rate - expect).abs() < 0.02, "{rate} vs {expect}");
@@ -108,5 +247,18 @@ mod tests {
     fn offered_load_math() {
         assert_eq!(offered_load(10, 0.1, 0.25), 0.25);
         assert_eq!(offered_load(0, 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn table_clear_and_iter() {
+        let mut loads = OfferedLoads::new();
+        loads.add(LoadKey::new(1, SpreadingFactor::Sf8), 0.25);
+        loads.add(sf7_key(), 0.5);
+        let pairs: Vec<_> = loads.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        // Key-sorted iteration: channel 0 before channel 1.
+        assert_eq!(pairs[0].0, sf7_key());
+        loads.clear();
+        assert_eq!(loads.g(sf7_key()), 0.0);
     }
 }

@@ -14,7 +14,10 @@
 //! - [`link`] — log-distance path loss with shadowing, for roaming
 //!   scenarios with physical gateway placement,
 //! - [`radio`] — a per-device front-end tying it all together,
-//! - [`collision`] — unslotted-ALOHA channel contention,
+//! - [`collision`] — unslotted-ALOHA contention per `(channel, SF)` key,
+//! - [`mac`] — CSMA backoff, capture effect and demodulator saturation,
+//! - [`shard`] — the sharded, columnar million-sensor world (plus the
+//!   per-`Radio` scalar reference it is benchmarked against),
 //! - [`energy`] — node energy costs and coin-cell battery projections.
 //!
 //! ## Example
@@ -36,12 +39,17 @@ pub mod duty_cycle;
 pub mod energy;
 pub mod frame;
 pub mod link;
+pub mod mac;
 pub mod params;
 pub mod radio;
+pub mod shard;
 
 pub use airtime::{max_messages_per_hour, time_on_air};
+pub use collision::{LoadKey, OfferedLoads};
 pub use duty_cycle::DutyCycleGovernor;
 pub use frame::{EncryptedReading, FrameError, LoraFrame, ADDRESS_LEN};
 pub use link::{LinkModel, Position};
+pub use mac::MacConfig;
 pub use params::{Bandwidth, CodingRate, RadioConfig, SpreadingFactor};
 pub use radio::{Radio, RadioError, Transmission};
+pub use shard::{ScalarFleet, Shard, ShardConfig, ShardCounters, ShardedLora};

@@ -143,9 +143,27 @@ impl Radio {
         link: &LinkModel,
         rng: &mut SimRng,
     ) -> Result<(), RadioError> {
+        self.try_deliver_rssi(receiver_pos, link, rng).map(|_| ())
+    }
+
+    /// Like [`Radio::try_deliver`], but reports the sampled RSSI (dBm) on
+    /// success so callers can apply capture-effect logic: a frame that
+    /// later loses an ALOHA collision still survives if its margin over
+    /// sensitivity exceeds the capture threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`RadioError::LinkLost`] when the sampled RSSI is under sensitivity.
+    pub fn try_deliver_rssi(
+        &self,
+        receiver_pos: Position,
+        link: &LinkModel,
+        rng: &mut SimRng,
+    ) -> Result<f64, RadioError> {
         let distance_m = self.position.distance_to(&receiver_pos);
-        if link.frame_received(distance_m, self.config.spreading_factor, rng) {
-            Ok(())
+        let rssi = link.sample_rssi_dbm(distance_m, rng);
+        if rssi >= self.config.spreading_factor.sensitivity_dbm() {
+            Ok(rssi)
         } else {
             Err(RadioError::LinkLost { distance_m })
         }

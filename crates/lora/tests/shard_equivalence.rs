@@ -1,0 +1,136 @@
+//! Pins the two radio-path implementations to each other and to the
+//! thread count:
+//!
+//! - **Scalar ≡ columnar**: for the same seed, the struct-of-arrays
+//!   sharded world must produce bit-identical aggregate counters to the
+//!   per-`Radio` reference — including the f64 airtime/energy sums,
+//!   which only works if both paths consume RNG draws and accumulate
+//!   floats in exactly the documented order.
+//! - **Thread invariance**: stepping the sharded world with 1, 4 or 8
+//!   worker threads must not change a single counter (per-shard
+//!   `SimRng::stream`s plus merge-in-shard-order).
+//! - **Determinism**: same seed ⇒ same counters; different seed ⇒
+//!   different counters.
+
+use bcwan_lora::mac::MacConfig;
+use bcwan_lora::params::SpreadingFactor;
+use bcwan_lora::shard::{ScalarFleet, ShardConfig, ShardCounters, ShardedLora};
+use bcwan_sim::{SimDuration, SimTime};
+
+fn run_columnar(cfg: &ShardConfig, until_s: u64, threads: usize) -> ShardCounters {
+    let mut world = ShardedLora::new(cfg);
+    world.step_until(SimTime::from_micros(until_s * 1_000_000), threads);
+    world.counters()
+}
+
+fn run_scalar(cfg: &ShardConfig, until_s: u64) -> ShardCounters {
+    let mut fleet = ScalarFleet::new(cfg);
+    fleet.step_until(SimTime::from_micros(until_s * 1_000_000));
+    fleet.counters()
+}
+
+/// Busy enough that every mechanism (arrivals, duty blocking, CCA,
+/// collisions, capture, demod saturation) fires within the horizon.
+fn busy_cfg(seed: u64, mac: MacConfig, sf_fixed: Option<SpreadingFactor>) -> ShardConfig {
+    ShardConfig {
+        mac,
+        sf_fixed,
+        mean_interval: SimDuration::from_secs(20),
+        channels: 2,
+        ..ShardConfig::dense(3, 150, seed)
+    }
+}
+
+#[test]
+fn scalar_and_columnar_agree_pure_aloha() {
+    let cfg = busy_cfg(101, MacConfig::pure_aloha(), None);
+    let columnar = run_columnar(&cfg, 300, 1);
+    let scalar = run_scalar(&cfg, 300);
+    assert_eq!(columnar, scalar);
+    assert!(columnar.fired > 100, "{columnar:?}");
+    assert!(columnar.lost_collision > 0, "{columnar:?}");
+}
+
+#[test]
+fn scalar_and_columnar_agree_full_csma() {
+    let cfg = busy_cfg(202, MacConfig::csma(), None);
+    let columnar = run_columnar(&cfg, 300, 1);
+    let scalar = run_scalar(&cfg, 300);
+    assert_eq!(columnar, scalar);
+    assert!(columnar.cca_busy > 0, "{columnar:?}");
+    assert!(columnar.delivered > 0, "{columnar:?}");
+}
+
+#[test]
+fn scalar_and_columnar_agree_fixed_sf_saturated_gateway() {
+    let mac = MacConfig {
+        cca: true,
+        backoff_base_s: 0.5,
+        capture_threshold_db: 6.0,
+        demod_slots: 1,
+    };
+    let cfg = ShardConfig {
+        mean_interval: SimDuration::from_secs(4),
+        ..busy_cfg(303, mac, Some(SpreadingFactor::Sf7))
+    };
+    let columnar = run_columnar(&cfg, 300, 1);
+    let scalar = run_scalar(&cfg, 300);
+    assert_eq!(columnar, scalar);
+    assert!(columnar.demod_dropped > 0, "{columnar:?}");
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let cfg = ShardConfig {
+        mean_interval: SimDuration::from_secs(30),
+        ..ShardConfig::dense(8, 100, 404)
+    };
+    let t1 = run_columnar(&cfg, 600, 1);
+    let t4 = run_columnar(&cfg, 600, 4);
+    let t8 = run_columnar(&cfg, 600, 8);
+    assert_eq!(t1, t4, "4 threads diverged from 1");
+    assert_eq!(t1, t8, "8 threads diverged from 1");
+    assert!(t1.delivered > 0, "{t1:?}");
+    // More workers than shards is clamped, not an error.
+    let t99 = run_columnar(&cfg, 600, 99);
+    assert_eq!(t1, t99);
+}
+
+#[test]
+fn same_seed_reproduces_different_seed_diverges() {
+    let cfg = busy_cfg(7, MacConfig::csma(), None);
+    let a = run_columnar(&cfg, 200, 2);
+    let b = run_columnar(&cfg, 200, 3);
+    assert_eq!(a, b);
+    let other = busy_cfg(8, MacConfig::csma(), None);
+    let c = run_columnar(&other, 200, 2);
+    assert_ne!(a, c, "different seeds produced identical worlds");
+}
+
+#[test]
+fn aggregate_airtime_stays_under_duty_budget() {
+    // World-level restatement of the governor invariant: with saturated
+    // queues, total granted airtime tracks duty × elapsed × nodes.
+    let cfg = ShardConfig {
+        mean_interval: SimDuration::from_secs(1),
+        mac: MacConfig::pure_aloha(),
+        ..ShardConfig::dense(4, 64, 505)
+    };
+    let horizon_s = 900u64;
+    let c = run_columnar(&cfg, horizon_s, 2);
+    let budget = cfg.duty * horizon_s as f64 * cfg.total_nodes() as f64;
+    // Slack: one worst-case (SF12) frame per node.
+    let sf12 = bcwan_lora::airtime::time_on_air(
+        &bcwan_lora::params::RadioConfig {
+            spreading_factor: SpreadingFactor::Sf12,
+            ..cfg.radio
+        },
+        cfg.frame_len,
+    )
+    .as_secs_f64();
+    assert!(
+        c.airtime_s <= budget + cfg.total_nodes() as f64 * sf12,
+        "airtime {} vs budget {budget}",
+        c.airtime_s
+    );
+}
