@@ -1,0 +1,542 @@
+//! The always-on settlement auditor.
+//!
+//! The chaos soak used to check its fairness invariants once, at the end
+//! of the run — a violation that appeared at block 40 and was masked by
+//! block 90 would never be seen, and a failing run gave no hint *where*
+//! the books first stopped balancing. [`SettlementAuditor`] replaces
+//! that with per-block incremental auditing of the master's main chain:
+//! every block that connects (or disconnects, in a reorg) updates the
+//! minted/fee ledger and the settlement census, and every reconcile
+//! re-checks value conservation at the new tip. Violations are counted
+//! the moment the offending block lands, so they appear in the schema-v2
+//! timeline frame of the interval where they occurred, not just in the
+//! final snapshot.
+//!
+//! The auditor also keeps the Byzantine scorecard: each watched escrow
+//! carries its gateway and whether the chaos plan marks that gateway
+//! adversarial, so claim revenue splits into
+//! `byzantine.honest_revenue_total` vs `byzantine.adversarial_revenue_total`
+//! — the soak's headline gate is that honest revenue strictly dominates.
+//!
+//! All `invariant.*` and `byzantine.*` counters are registered at
+//! construction, so a clean run exports explicit zeros in every snapshot
+//! and timeline frame rather than omitting the rows.
+
+use std::collections::HashMap;
+
+use bcwan_chain::{Block, BlockHash, Chain, OutPoint};
+use bcwan_sim::{CounterId, Registry};
+
+use crate::escrow;
+use crate::fsm::Phase;
+
+/// Which branch of the Listing 1 script a confirmed spend took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettleKind {
+    /// The gateway's key-revealing claim.
+    Claim,
+    /// The recipient's CLTV refund.
+    Refund,
+}
+
+/// An escrow outpoint under audit.
+#[derive(Debug, Clone, Copy)]
+struct WatchedEscrow {
+    /// Index of the exchange that published the escrow.
+    exchange: usize,
+    /// The gateway host the escrow pays.
+    gateway: u32,
+    /// Whether the chaos plan marks that gateway adversarial.
+    adversarial: bool,
+}
+
+/// The live main-chain settlement of a watched escrow.
+#[derive(Debug, Clone, Copy)]
+struct Settlement {
+    kind: SettleKind,
+    /// Output value the settlement paid (claim revenue to the gateway;
+    /// zero relevance for refunds, recorded anyway for the ledger).
+    value: u64,
+}
+
+/// Per-block audit delta, kept so a reorg can be rolled back exactly.
+#[derive(Debug, Clone)]
+struct AuditedBlock {
+    hash: BlockHash,
+    minted: u64,
+    fees: u64,
+    /// Watched escrow outpoints this block spent.
+    spends: Vec<OutPoint>,
+}
+
+/// End-of-run census returned by [`SettlementAuditor::final_audit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinalAudit {
+    /// Escrows settled through the claim branch.
+    pub claimed: usize,
+    /// Escrows settled through the refund branch.
+    pub refunded: usize,
+    /// Escrows published but not settled on the main chain.
+    pub open: usize,
+    /// Total invariant violations (conservation + double settlement +
+    /// FSM/chain mismatches).
+    pub violations: u64,
+}
+
+/// Per-gateway observed settlement behavior, the input the reputation
+/// baseline scores instead of its pure-RNG defection model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayOutcome {
+    /// The gateway host.
+    pub gateway: u32,
+    /// Escrows the gateway settled through its claim.
+    pub settled: u64,
+    /// Escrows that fell through to the recipient's CLTV refund.
+    pub refunded: u64,
+    /// Whether the chaos plan marked the gateway adversarial.
+    pub adversarial: bool,
+}
+
+/// Incremental, reorg-aware auditor over the master's main chain.
+///
+/// Feed it every tip change via [`SettlementAuditor::reconcile`]; it
+/// maintains the audited prefix (popping disconnected blocks and
+/// replaying their deltas backwards), checks value conservation at each
+/// new tip, detects double settlements the moment the second spend
+/// connects, and keeps the honest-vs-adversarial revenue split current.
+#[derive(Debug)]
+pub struct SettlementAuditor {
+    /// Audited main-chain prefix; index = height.
+    blocks: Vec<AuditedBlock>,
+    /// Output values of every transaction ever audited, for fee
+    /// computation. Never rolled back: values are immutable per txid,
+    /// and a reconnected transaction overwrites identically.
+    out_values: HashMap<bcwan_chain::TxId, Vec<u64>>,
+    minted: u64,
+    fees: u64,
+    watched: HashMap<OutPoint, WatchedEscrow>,
+    settled: HashMap<OutPoint, Settlement>,
+    /// Claim revenue per gateway on the current main chain.
+    revenue: HashMap<u32, u64>,
+    value_violations: u64,
+    double_violations: u64,
+    fsm_violations: u64,
+    /// Blocks audited, add-only (the other rows publish by name because
+    /// a reorg can lower the revenue split, which the id-based add-only
+    /// API cannot express).
+    c_blocks: CounterId,
+}
+
+impl SettlementAuditor {
+    /// Builds an auditor, registering the `invariant.*`, `audit.*`, and
+    /// `byzantine.*` revenue counters with explicit zeros so they appear
+    /// in every snapshot and timeline frame from the start of the run.
+    pub fn new(reg: &mut Registry) -> Self {
+        reg.counter("invariant.value_conservation_violations");
+        reg.counter("invariant.double_settlement_violations");
+        reg.counter("invariant.fsm_chain_mismatch_violations");
+        reg.counter("chaos.invariant.violation_total");
+        reg.counter("byzantine.honest_revenue_total");
+        reg.counter("byzantine.adversarial_revenue_total");
+        SettlementAuditor {
+            blocks: Vec::new(),
+            out_values: HashMap::new(),
+            minted: 0,
+            fees: 0,
+            watched: HashMap::new(),
+            settled: HashMap::new(),
+            revenue: HashMap::new(),
+            value_violations: 0,
+            double_violations: 0,
+            fsm_violations: 0,
+            c_blocks: reg.counter("audit.blocks_audited_total"),
+        }
+    }
+
+    /// Starts auditing an escrow outpoint for `exchange`, paying
+    /// `gateway`. Call once when the escrow transaction is built.
+    pub fn watch(&mut self, outpoint: OutPoint, exchange: usize, gateway: u32, adversarial: bool) {
+        self.watched.insert(
+            outpoint,
+            WatchedEscrow {
+                exchange,
+                gateway,
+                adversarial,
+            },
+        );
+    }
+
+    /// Invariant violations found so far (conservation + double
+    /// settlement; FSM mismatches only exist after [`Self::final_audit`]).
+    pub fn violations(&self) -> u64 {
+        self.value_violations + self.double_violations + self.fsm_violations
+    }
+
+    /// Claim revenue earned by gateways the plan marks honest.
+    pub fn honest_revenue(&self) -> u64 {
+        self.split_revenue().0
+    }
+
+    /// Claim revenue earned by gateways the plan marks adversarial.
+    pub fn adversarial_revenue(&self) -> u64 {
+        self.split_revenue().1
+    }
+
+    fn split_revenue(&self) -> (u64, u64) {
+        let adversarial: std::collections::HashSet<u32> = self
+            .watched
+            .values()
+            .filter(|w| w.adversarial)
+            .map(|w| w.gateway)
+            .collect();
+        let mut honest = 0;
+        let mut adv = 0;
+        for (gateway, value) in &self.revenue {
+            if adversarial.contains(gateway) {
+                adv += value;
+            } else {
+                honest += value;
+            }
+        }
+        (honest, adv)
+    }
+
+    /// Per-gateway settled/refunded counts on the current main chain,
+    /// sorted by gateway id — the observed-behavior feed for
+    /// [`crate::reputation::score_observed`].
+    pub fn gateway_outcomes(&self) -> Vec<GatewayOutcome> {
+        let mut by_gateway: HashMap<u32, GatewayOutcome> = HashMap::new();
+        for (outpoint, watched) in &self.watched {
+            let entry = by_gateway.entry(watched.gateway).or_insert(GatewayOutcome {
+                gateway: watched.gateway,
+                settled: 0,
+                refunded: 0,
+                adversarial: false,
+            });
+            entry.adversarial |= watched.adversarial;
+            match self.settled.get(outpoint).map(|s| s.kind) {
+                Some(SettleKind::Claim) => entry.settled += 1,
+                Some(SettleKind::Refund) => entry.refunded += 1,
+                None => {}
+            }
+        }
+        let mut out: Vec<GatewayOutcome> = by_gateway.into_values().collect();
+        out.sort_by_key(|o| o.gateway);
+        out
+    }
+
+    /// Brings the audited prefix in line with `chain`'s main branch:
+    /// pops blocks a reorg (or a warm restart onto a shorter durable
+    /// chain) disconnected, audits every new block, and re-checks value
+    /// conservation at the new tip. Cheap no-op when the tip is
+    /// unchanged.
+    pub fn reconcile(&mut self, chain: &Chain, reg: &mut Registry) {
+        let tip_height = chain.height();
+        if self.blocks.len() as u64 == tip_height + 1
+            && self.blocks.last().map(|b| b.hash) == Some(chain.tip())
+        {
+            return;
+        }
+        // Pop audited blocks no longer on the main chain.
+        while let Some(last) = self.blocks.last() {
+            let height = self.blocks.len() as u64 - 1;
+            if height <= tip_height && chain.block_at(height).map(|b| b.hash()) == Some(last.hash) {
+                break;
+            }
+            self.disconnect_top();
+        }
+        // Audit the new main-chain blocks above the common prefix.
+        let mut audited = 0u64;
+        for height in self.blocks.len() as u64..=tip_height {
+            let block = chain.block_at(height).expect("main-chain block").clone();
+            self.connect(&block, height);
+            audited += 1;
+        }
+        // Value conservation at the tip: every coin in the UTXO set was
+        // minted by a coinbase and nothing else, minus burned fees.
+        if chain.utxo().total_value() != self.minted.saturating_sub(self.fees) {
+            self.value_violations += 1;
+        }
+        reg.add(self.c_blocks, audited);
+        self.publish(reg);
+    }
+
+    fn connect(&mut self, block: &Block, height: u64) {
+        let mut minted = 0u64;
+        let mut fees = 0u64;
+        let mut spends = Vec::new();
+        for (i, tx) in block.transactions.iter().enumerate() {
+            let out_sum: u64 = tx.outputs.iter().map(|o| o.value).sum();
+            if i == 0 {
+                minted += out_sum;
+            } else {
+                let in_sum: u64 = tx
+                    .inputs
+                    .iter()
+                    .map(|inp| {
+                        self.out_values
+                            .get(&inp.prevout.txid)
+                            .and_then(|v| v.get(inp.prevout.vout as usize))
+                            .copied()
+                            .unwrap_or(0)
+                    })
+                    .sum();
+                fees += in_sum.saturating_sub(out_sum);
+                for input in &tx.inputs {
+                    if let Some(watched) = self.watched.get(&input.prevout).copied() {
+                        // A second live settlement of the same escrow is
+                        // the double-settlement violation, caught at the
+                        // exact block where it lands.
+                        if self.settled.contains_key(&input.prevout) {
+                            self.double_violations += 1;
+                        }
+                        let kind = if escrow::extract_key_from_claim(tx, &input.prevout).is_some() {
+                            SettleKind::Claim
+                        } else {
+                            SettleKind::Refund
+                        };
+                        if kind == SettleKind::Claim {
+                            *self.revenue.entry(watched.gateway).or_insert(0) += out_sum;
+                        }
+                        self.settled.insert(
+                            input.prevout,
+                            Settlement {
+                                kind,
+                                value: out_sum,
+                            },
+                        );
+                        spends.push(input.prevout);
+                    }
+                }
+            }
+            self.out_values
+                .insert(tx.txid(), tx.outputs.iter().map(|o| o.value).collect());
+        }
+        debug_assert_eq!(self.blocks.len() as u64, height);
+        self.minted += minted;
+        self.fees += fees;
+        self.blocks.push(AuditedBlock {
+            hash: block.hash(),
+            minted,
+            fees,
+            spends,
+        });
+    }
+
+    fn disconnect_top(&mut self) {
+        let Some(block) = self.blocks.pop() else {
+            return;
+        };
+        self.minted -= block.minted;
+        self.fees -= block.fees;
+        for outpoint in &block.spends {
+            if let Some(settlement) = self.settled.remove(outpoint) {
+                if settlement.kind == SettleKind::Claim {
+                    if let Some(watched) = self.watched.get(outpoint) {
+                        if let Some(rev) = self.revenue.get_mut(&watched.gateway) {
+                            *rev = rev.saturating_sub(settlement.value);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn publish(&self, reg: &mut Registry) {
+        reg.set_counter(
+            "invariant.value_conservation_violations",
+            self.value_violations,
+        );
+        reg.set_counter(
+            "invariant.double_settlement_violations",
+            self.double_violations,
+        );
+        reg.set_counter(
+            "invariant.fsm_chain_mismatch_violations",
+            self.fsm_violations,
+        );
+        reg.set_counter("chaos.invariant.violation_total", self.violations());
+        let (honest, adversarial) = self.split_revenue();
+        reg.set_counter("byzantine.honest_revenue_total", honest);
+        reg.set_counter("byzantine.adversarial_revenue_total", adversarial);
+    }
+
+    /// Final census: reconciles one last time, then checks FSM↔chain
+    /// agreement for every escrowed exchange. `phases` lists
+    /// `(exchange, phase, is_settled)` for each exchange that published
+    /// an escrow. Returns the settlement census plus total violations —
+    /// the same quadruple the old end-of-run `check_invariants`
+    /// produced, now derived from the incremental ledger.
+    pub fn final_audit(
+        &mut self,
+        chain: &Chain,
+        phases: &[(usize, Phase, bool)],
+        reg: &mut Registry,
+    ) -> FinalAudit {
+        self.reconcile(chain, reg);
+        // exchange → (claims, refunds) live on the main chain.
+        let mut spends: HashMap<usize, (u32, u32)> = HashMap::new();
+        for (outpoint, watched) in &self.watched {
+            if let Some(settlement) = self.settled.get(outpoint) {
+                let entry = spends.entry(watched.exchange).or_default();
+                match settlement.kind {
+                    SettleKind::Claim => entry.0 += 1,
+                    SettleKind::Refund => entry.1 += 1,
+                }
+            }
+        }
+        let mut claimed = 0usize;
+        let mut refunded = 0usize;
+        let mut open = 0usize;
+        for &(exchange, phase, is_settled) in phases {
+            let (claims, refunds) = spends.get(&exchange).copied().unwrap_or((0, 0));
+            match (claims, refunds) {
+                (1, 0) => {
+                    claimed += 1;
+                    if phase != Phase::Claimed {
+                        self.fsm_violations += 1;
+                    }
+                }
+                (0, 1) => {
+                    refunded += 1;
+                    if phase != Phase::Refunded {
+                        self.fsm_violations += 1;
+                    }
+                }
+                _ => {
+                    open += 1;
+                    if is_settled {
+                        self.fsm_violations += 1; // FSM settled, chain disagrees
+                    }
+                }
+            }
+        }
+        self.publish(reg);
+        FinalAudit {
+            claimed,
+            refunded,
+            open,
+            violations: self.violations(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcwan_chain::{Block, Chain, ChainParams, Transaction, TxOut, Wallet};
+    use bcwan_sim::SimRng;
+
+    fn chain_with_wallet() -> (Chain, Wallet) {
+        let params = ChainParams::fast_test();
+        let mut rng = SimRng::seed_from_u64(7);
+        let wallet = Wallet::generate(&mut rng);
+        let genesis = Chain::make_genesis(&params, &[(wallet.address(), 5_000)]);
+        (Chain::new(params, genesis), wallet)
+    }
+
+    fn mine(chain: &mut Chain, wallet: &Wallet) {
+        let height = chain.height() + 1;
+        let cb = Transaction::coinbase(
+            height,
+            b"audit-test",
+            vec![TxOut {
+                value: chain.params().coinbase_reward,
+                script_pubkey: wallet.locking_script(),
+            }],
+        );
+        let block = Block::mine(
+            chain.tip(),
+            height,
+            chain.params().difficulty_bits,
+            vec![cb],
+        );
+        chain.add_block(block).expect("block connects");
+    }
+
+    #[test]
+    fn clean_chain_audits_without_violations() {
+        let (mut chain, wallet) = chain_with_wallet();
+        let mut reg = Registry::new();
+        let mut auditor = SettlementAuditor::new(&mut reg);
+        auditor.reconcile(&chain, &mut reg);
+        mine(&mut chain, &wallet);
+        mine(&mut chain, &wallet);
+        auditor.reconcile(&chain, &mut reg);
+        assert_eq!(auditor.violations(), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("audit.blocks_audited_total"), Some(3));
+        assert_eq!(
+            snap.counter("invariant.value_conservation_violations"),
+            Some(0),
+            "clean runs export explicit zeros"
+        );
+        assert_eq!(snap.counter("chaos.invariant.violation_total"), Some(0));
+    }
+
+    #[test]
+    fn reorg_rolls_the_ledger_back_and_forward() {
+        let (mut chain, wallet) = chain_with_wallet();
+        let mut reg = Registry::new();
+        let mut auditor = SettlementAuditor::new(&mut reg);
+        mine(&mut chain, &wallet);
+        auditor.reconcile(&chain, &mut reg);
+        let fork_point = chain.tip();
+        mine(&mut chain, &wallet);
+        auditor.reconcile(&chain, &mut reg);
+        let minted_before = auditor.minted;
+
+        // A longer private branch (distinct coinbase times → distinct
+        // hashes) reorganizes the audited tip away.
+        let bits = chain.params().difficulty_bits;
+        let reward = chain.params().coinbase_reward;
+        let mut prev = fork_point;
+        for (height, time_us) in [(2u64, 1_000_000), (3, 2_000_000), (4, 3_000_000)] {
+            let cb = Transaction::coinbase(
+                height,
+                b"private-branch",
+                vec![TxOut {
+                    value: reward,
+                    script_pubkey: wallet.locking_script(),
+                }],
+            );
+            let block = Block::mine(prev, time_us, bits, vec![cb]);
+            prev = block.hash();
+            chain.add_block(block).expect("branch connects");
+        }
+        auditor.reconcile(&chain, &mut reg);
+        assert_eq!(auditor.violations(), 0, "reorg balances the books");
+        assert!(
+            auditor.minted != minted_before,
+            "ledger followed the reorg ({minted_before} → {})",
+            auditor.minted
+        );
+        assert_eq!(
+            auditor.blocks.len() as u64,
+            chain.height() + 1,
+            "audited prefix tracks the tip"
+        );
+    }
+
+    #[test]
+    fn hidden_inflation_is_caught_at_reconcile() {
+        let (mut chain, wallet) = chain_with_wallet();
+        let mut reg = Registry::new();
+        let mut auditor = SettlementAuditor::new(&mut reg);
+        mine(&mut chain, &wallet);
+        auditor.reconcile(&chain, &mut reg);
+        assert_eq!(auditor.violations(), 0);
+        // Simulate corrupt accounting: the auditor's ledger says less
+        // was minted than the chain's UTXO set actually holds.
+        auditor.minted -= 1;
+        mine(&mut chain, &wallet);
+        auditor.reconcile(&chain, &mut reg);
+        assert!(auditor.violations() > 0, "conservation break detected");
+        assert!(
+            reg.snapshot()
+                .counter("chaos.invariant.violation_total")
+                .unwrap()
+                > 0
+        );
+    }
+}

@@ -243,6 +243,13 @@ pub struct FleetNode {
     pub claim_txid: Option<TxId>,
     /// Recipient role: the reading recovered from the claim.
     pub decrypted: Option<Vec<u8>>,
+    /// Recipient role: set when two *distinct* key-revealing claims
+    /// were seen spending our escrow — the gateway equivocated. The
+    /// reading is never at risk (every valid claim reveals the true
+    /// eSk); the flag is the detection signal fair exchange promises.
+    pub equivocation_detected: bool,
+    /// Recipient role: first key-revealing claim seen for our escrow.
+    seen_claim_txid: Option<TxId>,
     /// How many `GetBlocksFrom` batches this node served.
     pub sync_batches_served: u64,
     /// How many `GetHeadersFrom` batches this node served.
@@ -277,6 +284,8 @@ impl FleetNode {
             claimed: false,
             claim_txid: None,
             decrypted: None,
+            equivocation_detected: false,
+            seen_claim_txid: None,
             sync_batches_served: 0,
             header_batches_served: 0,
             header_sync: None,
@@ -496,7 +505,10 @@ impl FleetNode {
             ))));
         }
         // Recipient role, step 10→11: a claim spending our escrow output
-        // reveals eSk; decrypt the pending uplink with it.
+        // reveals eSk; decrypt the pending uplink with it. Detection
+        // runs even when admission failed — a rival claim is exactly
+        // the tx the pool rejects as a conflict.
+        self.note_claim(&tx);
         self.try_decrypt_from(&tx);
     }
 
@@ -575,12 +587,33 @@ impl FleetNode {
     /// Recipient role: the claim may first be seen inside a block rather
     /// than as loose gossip (e.g. after a partition heals).
     fn try_decrypt_connected(&mut self) {
+        let connected = self.daemon.last_connected_txs().to_vec();
+        for tx in &connected {
+            self.note_claim(tx);
+        }
         if self.decrypted.is_some() {
             return;
         }
-        let connected = self.daemon.last_connected_txs().to_vec();
         for tx in &connected {
             self.try_decrypt_from(tx);
+        }
+    }
+
+    /// Recipient role: remembers which key-revealing claim spent our
+    /// escrow; a second distinct one flips [`Self::equivocation_detected`].
+    /// Runs after decryption too — the rival usually arrives later.
+    fn note_claim(&mut self, tx: &Transaction) {
+        let Some(outpoint) = self.escrow_outpoint else {
+            return;
+        };
+        if extract_key_from_claim(tx, &outpoint).is_none() {
+            return; // refund-branch spends are legal, not equivocation
+        }
+        let txid = tx.txid();
+        match self.seen_claim_txid {
+            None => self.seen_claim_txid = Some(txid),
+            Some(seen) if seen != txid => self.equivocation_detected = true,
+            Some(_) => {}
         }
     }
 
@@ -953,6 +986,57 @@ mod tests {
         }));
         while fleet.step() > 0 {}
         assert!(fleet.nodes.iter().all(|n| n.height() == 1));
+    }
+
+    #[test]
+    fn recipient_flags_equivocating_claims() {
+        let mut fleet = Fleet::new(BusFleet::new(3), 3, 12);
+        let mut rng = StdRng::seed_from_u64(77);
+        let gateway_wallet = Wallet::generate(&mut rng);
+        let recipient_wallet = Wallet::generate(&mut rng);
+        let (e_pk, e_sk) = generate_keypair(&mut rng, RsaKeySize::Rsa512);
+        // A synthetic escrow (never mined — detection is chain-independent).
+        let coin = (
+            OutPoint {
+                txid: TxId([9u8; 32]),
+                vout: 0,
+            },
+            recipient_wallet.locking_script(),
+            ESCROW_VALUE + ESCROW_FEE,
+        );
+        let escrow = build_escrow(
+            &recipient_wallet,
+            &[coin],
+            &e_pk,
+            &gateway_wallet.address(),
+            ESCROW_VALUE,
+            ESCROW_FEE,
+            0,
+        );
+        let node = &mut fleet.nodes[0];
+        node.escrow_outpoint = Some(escrow.outpoint());
+        let claim_a = build_claim(
+            &gateway_wallet,
+            escrow.outpoint(),
+            &escrow.script,
+            ESCROW_VALUE,
+            &e_sk,
+            CLAIM_FEE,
+        );
+        let claim_b = build_claim(
+            &gateway_wallet,
+            escrow.outpoint(),
+            &escrow.script,
+            ESCROW_VALUE,
+            &e_sk,
+            CLAIM_FEE + 1,
+        );
+        assert_ne!(claim_a.txid(), claim_b.txid(), "fee skew forks the txid");
+        node.note_claim(&claim_a);
+        node.note_claim(&claim_a); // duplicate of the same claim: fine
+        assert!(!node.equivocation_detected);
+        node.note_claim(&claim_b);
+        assert!(node.equivocation_detected, "second distinct claim flags");
     }
 
     #[test]

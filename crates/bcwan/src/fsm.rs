@@ -128,6 +128,13 @@ pub struct FsmConfig {
     /// escrow/claim transactions and drives the CLTV refund. Unbounded —
     /// escrowed money must terminate on chain.
     pub settle_check: RetryPolicy,
+    /// Consecutive settlement sweeps that find our claim/refund pooled
+    /// at the acting miner yet still unconfirmed before that miner is
+    /// suspected of censorship and routed around. The default backoff
+    /// (10+20+40+60 s) spans several block intervals, so an honest miner
+    /// essentially never trips it — and a spurious trip only rotates
+    /// mining duty, it never loses money.
+    pub censor_suspect_sweeps: u32,
 }
 
 impl Default for FsmConfig {
@@ -143,6 +150,7 @@ impl Default for FsmConfig {
                 max: SimDuration::from_secs(60),
                 max_retries: u32::MAX,
             },
+            censor_suspect_sweeps: 4,
         }
     }
 }

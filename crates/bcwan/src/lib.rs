@@ -23,6 +23,9 @@
 //!   block-verification **stall model** (§5.2),
 //! - [`costs`] — CPU cost table for Nucleo/Pi/VM-class hardware,
 //! - [`world`] — the full §5.2 testbed simulation (Figs. 5 and 6),
+//! - [`audit`] — the always-on settlement auditor: per-block value
+//!   conservation, at-most-one settlement per escrow, and the
+//!   honest-vs-adversarial revenue split,
 //! - [`reputation`] — the §4.4 reputation-only baseline,
 //! - [`attack`] — the §6 double-spend attack and the confirmation-depth
 //!   counter-measure,
@@ -51,6 +54,7 @@
 
 pub mod app_server;
 pub mod attack;
+pub mod audit;
 pub mod costs;
 pub mod daemon;
 pub mod directory;
@@ -66,6 +70,7 @@ pub mod sync;
 pub mod wire;
 pub mod world;
 
+pub use audit::{FinalAudit, GatewayOutcome, SettleKind, SettlementAuditor};
 pub use costs::CostModel;
 pub use daemon::{Daemon, DaemonStats};
 pub use directory::{Directory, IpAnnouncement, NetAddr};

@@ -10,6 +10,7 @@
 //! or not. Recipients keep per-gateway scores, stop using gateways below
 //! a threshold, and malicious gateways defect with a fixed probability.
 
+use crate::audit::GatewayOutcome;
 use bcwan_sim::SimRng;
 use std::collections::HashMap;
 
@@ -125,6 +126,78 @@ pub fn run_reputation_baseline(
     outcome
 }
 
+/// Replays *observed* settlement behavior through the baseline scoring
+/// rules — the A3 ablation against real chaos-soak outcomes (the
+/// auditor's [`GatewayOutcome`] rows) instead of the RNG defection
+/// model. Each settled escrow scores as an honest delivery; each CLTV
+/// refund as a defection — under pay-first the recipient's money would
+/// have been gone, so the refund count is exactly the loss fair
+/// exchange turned into a harmless timeout.
+///
+/// Events interleave deterministically — one event per gateway per
+/// round, gateways in id order, alternating settled/refunded within a
+/// gateway — so reruns are bit-identical without an RNG. Events landing
+/// after a gateway crosses the ban threshold count as `starved`: under
+/// pure reputation that recipient would have refused the exchange.
+pub fn score_observed(cfg: &ReputationConfig, outcomes: &[GatewayOutcome]) -> ReputationOutcome {
+    let mut scores: HashMap<u32, f64> = outcomes.iter().map(|o| (o.gateway, 0.0)).collect();
+    let mut queues: Vec<(u32, Vec<bool>)> = outcomes
+        .iter()
+        .map(|o| {
+            let mut events = Vec::with_capacity((o.settled + o.refunded) as usize);
+            let (mut s, mut r) = (o.settled, o.refunded);
+            while s > 0 || r > 0 {
+                if s > 0 {
+                    events.push(true);
+                    s -= 1;
+                }
+                if r > 0 {
+                    events.push(false);
+                    r -= 1;
+                }
+            }
+            (o.gateway, events)
+        })
+        .collect();
+    queues.sort_by_key(|(g, _)| *g);
+
+    let mut outcome = ReputationOutcome {
+        attempted: 0,
+        delivered: 0,
+        stolen: 0,
+        stolen_value: 0,
+        starved: 0,
+        banned_gateways: 0,
+    };
+    let mut cursor = vec![0usize; queues.len()];
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for (i, (gateway, events)) in queues.iter().enumerate() {
+            let Some(&delivered) = events.get(cursor[i]) else {
+                continue;
+            };
+            cursor[i] += 1;
+            progressed = true;
+            outcome.attempted += 1;
+            if scores[gateway] <= cfg.ban_threshold {
+                outcome.starved += 1;
+                continue;
+            }
+            if delivered {
+                outcome.delivered += 1;
+                *scores.get_mut(gateway).expect("known") += cfg.reward_delta;
+            } else {
+                outcome.stolen += 1;
+                outcome.stolen_value += cfg.payment;
+                *scores.get_mut(gateway).expect("known") -= cfg.penalty_delta;
+            }
+        }
+    }
+    outcome.banned_gateways = scores.values().filter(|&&s| s <= cfg.ban_threshold).count();
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +270,51 @@ mod tests {
         assert_eq!(out.banned_gateways, 4);
         assert!(out.starved > 0, "recipients end up with no usable gateway");
         assert_eq!(out.delivered, 0);
+    }
+
+    #[test]
+    fn observed_refunds_score_as_defections_and_ban() {
+        let cfg = ReputationConfig::default();
+        let outcomes = vec![
+            GatewayOutcome {
+                gateway: 1,
+                settled: 10,
+                refunded: 0,
+                adversarial: false,
+            },
+            GatewayOutcome {
+                gateway: 2,
+                settled: 1,
+                refunded: 6,
+                adversarial: true,
+            },
+        ];
+        let out = score_observed(&cfg, &outcomes);
+        assert_eq!(out.attempted, 17, "every observed event is replayed");
+        assert_eq!(out.banned_gateways, 1, "the refunding gateway is banned");
+        assert_eq!(out.stolen, 3, "pay-first loses until the ban lands");
+        assert_eq!(out.stolen_value, 3 * cfg.payment);
+        assert_eq!(out.starved, 3, "post-ban events are refused");
+        assert_eq!(out.delivered, 11);
+        // Deterministic without an RNG: bit-identical on replay.
+        assert_eq!(score_observed(&cfg, &outcomes), out);
+    }
+
+    #[test]
+    fn observed_honest_fleet_never_banned() {
+        let cfg = ReputationConfig::default();
+        let outcomes: Vec<GatewayOutcome> = (1..=5)
+            .map(|g| GatewayOutcome {
+                gateway: g,
+                settled: 40,
+                refunded: 0,
+                adversarial: false,
+            })
+            .collect();
+        let out = score_observed(&cfg, &outcomes);
+        assert_eq!(out.delivered, 200);
+        assert_eq!(out.stolen, 0);
+        assert_eq!(out.banned_gateways, 0);
     }
 
     #[test]

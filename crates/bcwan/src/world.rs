@@ -12,6 +12,7 @@
 //! recipient".
 
 use crate::app_server::{AppRouter, AppServer, AppServerId};
+use crate::audit::{GatewayOutcome, SettlementAuditor};
 use crate::costs::CostModel;
 use crate::daemon::Daemon;
 use crate::directory::{Directory, IpAnnouncement, NetAddr};
@@ -262,8 +263,9 @@ pub struct ExperimentResult {
     pub sim_time: SimDuration,
     /// Blocks mined by the master.
     pub blocks_mined: u64,
-    /// Blocks mined by a standby host while the master was crashed
-    /// (miner failover; zero unless the chaos plan crashes host 0).
+    /// Blocks mined by a standby host while the master was crashed or
+    /// demoted as a censorship suspect (miner failover; zero unless the
+    /// chaos plan crashes host 0 or host 0 censors settlements).
     pub standby_blocks_mined: u64,
     /// Verification stalls across all actor daemons.
     pub stalls: u64,
@@ -303,6 +305,15 @@ pub struct ExperimentResult {
     /// Order-independent FNV fingerprint of the master's final UTXO set;
     /// equal across same-seed reruns (determinism invariant).
     pub utxo_fingerprint: u64,
+    /// Claim revenue confirmed to gateways the chaos plan marks honest.
+    pub honest_revenue: u64,
+    /// Claim revenue confirmed to gateways the chaos plan marks
+    /// Byzantine (equivocators, withholders, censoring miners). Fair
+    /// exchange predicts honest revenue strictly dominates.
+    pub adversarial_revenue: u64,
+    /// Per-gateway settled/refunded escrow counts from the auditor —
+    /// the observed-behavior feed for the reputation baseline (A3).
+    pub gateway_settlements: Vec<GatewayOutcome>,
     /// Chaos restarts that reopened a persistent store from disk.
     pub restarts_warm: u64,
     /// Chaos restarts that kept the in-memory chain (no store attached,
@@ -367,6 +378,14 @@ struct ExchangeState {
     claim: Option<Transaction>,
     /// The recipient's signed CLTV refund, once built.
     refund: Option<Transaction>,
+    /// First key-revealing claim txid the recipient saw spend this
+    /// escrow; a second *distinct* one is an equivocation.
+    seen_claim_txid: Option<TxId>,
+    /// Whether this exchange's equivocation was already counted.
+    equivocation_detected: bool,
+    /// Consecutive settlement sweeps with our claim/refund pooled at
+    /// the acting miner but unconfirmed (censorship suspicion).
+    censor_sweeps: u32,
     /// The lifecycle machine driving deadlines and settlement.
     fsm: ExchangeFsm,
     done: bool,
@@ -467,6 +486,12 @@ struct Meters {
     rebroadcasts: CounterId,
     /// CLTV refunds the recipient submitted.
     refunds_submitted: CounterId,
+    /// Recipients that saw two distinct key-revealing claims spend the
+    /// same escrow (one per victimized exchange).
+    equivocations_detected: CounterId,
+    /// Miners the settlement watchdog demoted on suspicion of claim
+    /// censorship (one per suspecting exchange crossing the threshold).
+    censorship_suspected: CounterId,
 }
 
 impl Meters {
@@ -483,6 +508,8 @@ impl Meters {
             deliver_retries: reg.counter("fsm.deliver_retries_total"),
             rebroadcasts: reg.counter("fsm.rebroadcasts_total"),
             refunds_submitted: reg.counter("fsm.refunds_submitted_total"),
+            equivocations_detected: reg.counter("byzantine.equivocation_detected_total"),
+            censorship_suspected: reg.counter("byzantine.censorship_suspected_total"),
         }
     }
 }
@@ -517,6 +544,17 @@ pub struct World {
     meters: Meters,
     tracer: Tracer,
     chaos: ChaosEngine,
+    /// Always-on settlement auditor tracking the master's main chain
+    /// block by block (value conservation, one settlement per escrow,
+    /// honest/adversarial revenue split).
+    auditor: SettlementAuditor,
+    /// Hosts the chaos plan marks Byzantine (equivocators, withholders,
+    /// censoring miners) — the auditor's revenue-split key.
+    adversarial: HashSet<u32>,
+    /// Miners the settlement watchdog demoted on censorship suspicion.
+    /// Sticky for the rest of the run: mining duty and catch-up sync
+    /// route around them while any other live host can serve.
+    censor_suspects: HashSet<u32>,
     /// Chaos restarts that reopened a store from disk vs kept memory.
     restarts_warm: u64,
     restarts_cold: u64,
@@ -688,6 +726,11 @@ impl World {
         let meters = Meters::register(&mut registry);
         let tracer = Tracer::new(cfg.tracing);
         let chaos = ChaosEngine::new(cfg.chaos.clone(), &mut registry);
+        // Registering the auditor here (not at end-of-run) means every
+        // snapshot and timeline frame carries explicit `invariant.*`
+        // zeros, so a clean run *proves* it was audited.
+        let auditor = SettlementAuditor::new(&mut registry);
+        let adversarial: HashSet<u32> = cfg.chaos.adversarial_hosts().into_iter().collect();
 
         let timeline = cfg.metrics_interval.map(SnapshotSeries::new);
 
@@ -714,6 +757,9 @@ impl World {
             meters,
             tracer,
             chaos,
+            auditor,
+            adversarial,
+            censor_suspects: HashSet::new(),
             restarts_warm: 0,
             restarts_cold: 0,
             timeline,
@@ -925,9 +971,21 @@ impl World {
             })
             .collect();
 
-        // Settlement census + global invariants over the master's chain.
+        // Final settlement census from the always-on auditor: one last
+        // reconcile plus the FSM↔chain agreement check over every
+        // exchange that published an escrow.
+        let fsm_census: Vec<(usize, Phase, bool)> = self
+            .exchanges
+            .iter()
+            .enumerate()
+            .filter(|(_, ex)| ex.escrow.is_some())
+            .map(|(i, ex)| (i, ex.fsm.phase(), ex.fsm.is_settled()))
+            .collect();
+        let audit =
+            self.auditor
+                .final_audit(&self.hosts[0].daemon.chain, &fsm_census, &mut self.registry);
         let (escrows_claimed, escrows_refunded, escrows_open, invariant_violations) =
-            self.check_invariants();
+            (audit.claimed, audit.refunded, audit.open, audit.violations);
         let (utxo_total, utxo_fingerprint) = {
             let utxo = self.hosts[0].daemon.chain.utxo();
             let total = utxo.iter().map(|(_, e)| e.output.value).sum();
@@ -952,7 +1010,8 @@ impl World {
         reg.set_counter("world.escrows_claimed_total", escrows_claimed as u64);
         reg.set_counter("world.escrows_refunded_total", escrows_refunded as u64);
         reg.set_counter("world.escrows_open_total", escrows_open as u64);
-        reg.set_counter("chaos.invariant.violation_total", invariant_violations);
+        // `chaos.invariant.violation_total` and the per-class
+        // `invariant.*` rows were published by the auditor above.
 
         // Close the timeline with a frame that includes the end-of-run
         // folds above.
@@ -982,126 +1041,23 @@ impl World {
             invariant_violations,
             utxo_total,
             utxo_fingerprint,
+            honest_revenue: self.auditor.honest_revenue(),
+            adversarial_revenue: self.auditor.adversarial_revenue(),
+            gateway_settlements: self.auditor.gateway_outcomes(),
             restarts_warm: self.restarts_warm,
             restarts_cold: self.restarts_cold,
             timeline: self.timeline,
         }
     }
 
-    /// End-of-run audit of the master's main chain against the FSMs:
-    ///
-    /// 1. **Conservation** — total UTXO value equals coinbase value
-    ///    minted minus fees burned (no coin created or destroyed).
-    /// 2. **Single settlement** — each escrow output is spent at most
-    ///    once, and the spender is either the claim (key-revealing) or
-    ///    the refund branch, never both (no double spend).
-    /// 3. **FSM/chain agreement** — a machine in `Claimed`/`Refunded`
-    ///    has the matching spend confirmed; a confirmed spend has its
-    ///    machine settled the same way.
-    ///
-    /// Returns `(claimed, refunded, open, violations)`.
-    fn check_invariants(&mut self) -> (usize, usize, usize, u64) {
-        let mut violations = 0u64;
-        let chain = &self.hosts[0].daemon.chain;
-
-        // Pass 1: minted vs burned, plus output values for fee lookups.
-        let mut out_values: HashMap<TxId, Vec<u64>> = HashMap::new();
-        let mut minted = 0u64;
-        let mut fees = 0u64;
-        for block in chain.iter_main() {
-            for (i, tx) in block.transactions.iter().enumerate() {
-                let out_sum: u64 = tx.outputs.iter().map(|o| o.value).sum();
-                if i == 0 {
-                    minted += out_sum;
-                } else {
-                    let in_sum: u64 = tx
-                        .inputs
-                        .iter()
-                        .map(|inp| {
-                            out_values
-                                .get(&inp.prevout.txid)
-                                .and_then(|v| v.get(inp.prevout.vout as usize))
-                                .copied()
-                                .unwrap_or(0)
-                        })
-                        .sum();
-                    fees += in_sum.saturating_sub(out_sum);
-                }
-                out_values.insert(tx.txid(), tx.outputs.iter().map(|o| o.value).collect());
-            }
-        }
-        let utxo_total: u64 = chain.utxo().iter().map(|(_, e)| e.output.value).sum();
-        if utxo_total != minted.saturating_sub(fees) {
-            violations += 1;
-            self.registry
-                .set_counter("invariant.value_conservation_violations", 1);
-        }
-
-        // Pass 2: classify every confirmed spend of an escrow outpoint.
-        let watched: HashMap<OutPoint, usize> = self
-            .exchanges
-            .iter()
-            .enumerate()
-            .filter_map(|(i, ex)| ex.escrow.as_ref().map(|e| (e.outpoint(), i)))
-            .collect();
-        // exchange → (claim spends, refund spends) seen on the main chain.
-        let mut spends: HashMap<usize, (u32, u32)> = HashMap::new();
-        for block in chain.iter_main() {
-            for tx in block.transactions.iter().skip(1) {
-                for input in &tx.inputs {
-                    if let Some(&exchange) = watched.get(&input.prevout) {
-                        let entry = spends.entry(exchange).or_default();
-                        if escrow::extract_key_from_claim(tx, &input.prevout).is_some() {
-                            entry.0 += 1;
-                        } else {
-                            entry.1 += 1;
-                        }
-                    }
-                }
-            }
-        }
-
-        let mut claimed = 0usize;
-        let mut refunded = 0usize;
-        let mut open = 0usize;
-        let mut double_settlements = 0u64;
-        let mut fsm_mismatches = 0u64;
-        for (i, ex) in self.exchanges.iter().enumerate() {
-            if ex.escrow.is_none() {
-                continue;
-            }
-            let (claims, refunds) = spends.get(&i).copied().unwrap_or((0, 0));
-            if claims + refunds > 1 {
-                double_settlements += 1; // impossible on a valid chain
-            }
-            let phase = ex.fsm.phase();
-            match (claims, refunds) {
-                (1, 0) => {
-                    claimed += 1;
-                    if phase != Phase::Claimed {
-                        fsm_mismatches += 1;
-                    }
-                }
-                (0, 1) => {
-                    refunded += 1;
-                    if phase != Phase::Refunded {
-                        fsm_mismatches += 1;
-                    }
-                }
-                _ => {
-                    open += 1;
-                    if ex.fsm.is_settled() {
-                        fsm_mismatches += 1; // FSM settled but chain disagrees
-                    }
-                }
-            }
-        }
-        violations += double_settlements + fsm_mismatches;
-        self.registry
-            .set_counter("invariant.double_settlement_violations", double_settlements);
-        self.registry
-            .set_counter("invariant.fsm_chain_mismatch_violations", fsm_mismatches);
-        (claimed, refunded, open, violations)
+    /// Brings the always-on auditor in line with the master's chain.
+    /// Called after every event that can move host 0's tip, so a
+    /// violation is attributed to the block where it lands — visible in
+    /// the very next timeline frame — instead of surfacing at end of
+    /// run.
+    fn audit_master(&mut self) {
+        self.auditor
+            .reconcile(&self.hosts[0].daemon.chain, &mut self.registry);
     }
 
     fn next_block_delay(&mut self) -> SimDuration {
@@ -1135,6 +1091,34 @@ impl World {
             }
             copies += 1;
             queue.schedule_at(at + delay + extra, Event::Wan(delivery));
+        }
+        self.count_wan(msg, copies);
+    }
+
+    /// Broadcasts `msg` to the peers whose host id has the given parity
+    /// only — the equivocator's tool for showing each half of the
+    /// overlay a different claim. Draws the same per-delivery latency
+    /// samples as a full [`Self::flood`], so the RNG stream (and with
+    /// it same-seed determinism) is unaffected by the filtering.
+    fn flood_parity(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        at: SimTime,
+        from: u32,
+        msg: &WanMessage,
+        parity: u32,
+    ) {
+        let deliveries = self.network.broadcast(&mut self.rng, NodeId(from), msg);
+        let mut copies = 0;
+        for (delay, delivery) in deliveries {
+            if delivery.to.0 % 2 != parity {
+                continue;
+            }
+            if self.chaos_drops(at, from, delivery.to.0) {
+                continue;
+            }
+            copies += 1;
+            queue.schedule_at(at + delay, Event::Wan(delivery));
         }
         self.count_wan(msg, copies);
     }
@@ -1383,6 +1367,9 @@ impl World {
                     escrow: None,
                     claim: None,
                     refund: None,
+                    seen_claim_txid: None,
+                    equivocation_detected: false,
+                    censor_sweeps: 0,
                     fsm: ExchangeFsm::new(now),
                     done: false,
                 });
@@ -1776,6 +1763,15 @@ impl World {
             .span_start("confirmation_wait", exchange as u64, admitted_at);
         self.exchanges[exchange].uplink = Some(uplink);
         self.exchanges[exchange].escrow = Some(escrow_obj.clone());
+        // The auditor watches the escrow from birth: any main-chain
+        // spend of it is now classified and revenue-attributed.
+        let gateway = self.exchanges[exchange].gateway;
+        self.auditor.watch(
+            escrow_obj.outpoint(),
+            exchange,
+            gateway,
+            self.adversarial.contains(&gateway),
+        );
         let _ = self.exchanges[exchange]
             .fsm
             .apply(FsmEvent::EscrowPublished, admitted_at);
@@ -1808,6 +1804,11 @@ impl World {
                 return; // genuine duplicate
             }
         }
+        // Byzantine detection runs *before* mempool admission: a rival
+        // claim is exactly the transaction the pool rejects as a
+        // conflict, and the recipient must still see it to know its
+        // gateway equivocated.
+        self.detect_equivocation(to, &tx, queue);
         let (done, result) = {
             let host = &mut self.hosts[to as usize];
             host.daemon
@@ -1824,6 +1825,48 @@ impl World {
         self.gateway_check_escrow(done, to, &tx, queue);
         // Recipient reaction: is this a claim revealing a key I await?
         self.recipient_check_claim(done, to, &tx);
+    }
+
+    /// The recipient's equivocation detector: a second *distinct*
+    /// key-revealing claim spending a watched escrow means the gateway
+    /// double-claimed. Only the recipient owns `settle_watch` entries,
+    /// so each equivocation is counted exactly once — and the reaction
+    /// is to keep the settlement watchdog hot, so the exchange still
+    /// terminates through whichever claim confirms or, failing both,
+    /// the CLTV refund.
+    fn detect_equivocation(&mut self, to: u32, tx: &Transaction, queue: &mut EventQueue<Event>) {
+        if self.hosts[to as usize].settle_watch.is_empty() {
+            return;
+        }
+        let txid = tx.txid();
+        for input in &tx.inputs {
+            let Some(&exchange) = self.hosts[to as usize].settle_watch.get(&input.prevout) else {
+                continue;
+            };
+            if escrow::extract_key_from_claim(tx, &input.prevout).is_none() {
+                continue; // refund-branch spend: a claim/refund race is legal
+            }
+            let newly_detected = {
+                let ex = &mut self.exchanges[exchange];
+                match ex.seen_claim_txid {
+                    None => {
+                        ex.seen_claim_txid = Some(txid);
+                        false
+                    }
+                    Some(seen) if seen != txid && !ex.equivocation_detected => {
+                        ex.equivocation_detected = true;
+                        true
+                    }
+                    Some(_) => false,
+                }
+            };
+            if newly_detected {
+                self.registry.inc(self.meters.equivocations_detected);
+                if self.exchanges[exchange].fsm.phase() == Phase::Escrowed {
+                    self.arm_deadline(exchange, queue);
+                }
+            }
+        }
     }
 
     fn gateway_check_escrow(
@@ -1903,23 +1946,68 @@ impl World {
                 }
             }
         };
+        let outpoint = OutPoint {
+            txid: escrow_txid,
+            vout,
+        };
         let host = &mut self.hosts[to as usize];
-        let claim = escrow::build_claim(
-            &host.wallet,
-            OutPoint {
-                txid: escrow_txid,
-                vout,
-            },
-            &escrow_script,
-            value,
-            &e_sk,
-            fee,
-        );
+        let claim = escrow::build_claim(&host.wallet, outpoint, &escrow_script, value, &e_sk, fee);
         let built = host.daemon.occupy(now, tx_build);
         // Keep the signed claim: it stays valid as long as the escrow
         // output exists, so the settlement watchdog can re-broadcast it
         // after a crash or a reorg that orphans it.
         self.exchanges[exchange].claim = Some(claim.clone());
+
+        // Byzantine equivocation: the gateway signs a *second* claim
+        // against the same escrow (higher fee → different output value →
+        // different txid) and shows each half of the overlay a different
+        // one. Both claims necessarily reveal the true eSk — the script's
+        // OP_CHECKRSA512PAIR forces it — so the reading is never stolen;
+        // the attack creates settlement ambiguity, which first-seen
+        // mempools, the recipient's detector and the auditor resolve.
+        let equivocate =
+            !self.chaos.is_idle() && self.chaos.equivocate_claim(to, now) && fee + 1 < value;
+        if equivocate {
+            let rival = {
+                let host = &self.hosts[to as usize];
+                escrow::build_claim(
+                    &host.wallet,
+                    outpoint,
+                    &escrow_script,
+                    value,
+                    &e_sk,
+                    fee + 1,
+                )
+            };
+            let host = &mut self.hosts[to as usize];
+            let (admitted, result) =
+                host.daemon
+                    .accept_transaction(built, claim.clone(), &self.cfg.costs);
+            if result.is_err() {
+                return;
+            }
+            host.daemon.relay.mark_seen(claim.txid().0);
+            host.daemon.relay.mark_seen(rival.txid().0);
+            // Counted only once both conflicting claims are live: the
+            // session is gone, so this path runs once per exchange.
+            self.registry.inc(self.chaos.meters().equivocations);
+            self.flood_parity(
+                queue,
+                admitted,
+                to,
+                &WanMessage::Chain(ChainMessage::Tx(claim)),
+                0,
+            );
+            self.flood_parity(
+                queue,
+                admitted,
+                to,
+                &WanMessage::Chain(ChainMessage::Tx(rival)),
+                1,
+            );
+            return;
+        }
+
         let host = &mut self.hosts[to as usize];
         let (admitted, result) =
             host.daemon
@@ -2064,6 +2152,9 @@ impl World {
             }
             self.send_sync_requests(at, to, reqs, queue);
         }
+        if to == 0 {
+            self.audit_master();
+        }
     }
 
     fn gateway_check_confirmations(
@@ -2191,35 +2282,57 @@ impl World {
     /// master needs after a standby mined past it. When no linked live
     /// peer is ahead (deep partition, tiny neighbourhood), falls back
     /// to the tallest live host anywhere — sync dials directly by IP,
-    /// so linkage is a preference, not a constraint. `None` when nobody
-    /// live is strictly ahead.
+    /// so linkage is a preference, not a constraint. Censorship
+    /// suspects rank below every clean source (a censor serving our
+    /// catch-up could keep feeding us its claim-free branch), but still
+    /// beat syncing from nobody. `None` when nobody live is strictly
+    /// ahead.
     fn sync_source(&self, now: SimTime, to: u32) -> Option<u32> {
         let topology = self.network.topology();
         let master_up = self.chaos.is_idle() || !self.chaos.host_down(0, now);
-        if to != 0 && master_up && topology.linked(NodeId(to), NodeId(0)) {
+        if to != 0
+            && master_up
+            && !self.censor_suspects.contains(&0)
+            && topology.linked(NodeId(to), NodeId(0))
+        {
             return Some(0);
         }
         let my_height = self.hosts[to as usize].daemon.chain.height();
+        // (linked, any) × (clean, all): clean sources win, linked breaks
+        // the tie among them — preserving the old order exactly when no
+        // host is suspected.
         let mut best_linked: Option<(u64, u32)> = None;
         let mut best_any: Option<(u64, u32)> = None;
+        let mut best_linked_clean: Option<(u64, u32)> = None;
+        let mut best_any_clean: Option<(u64, u32)> = None;
         for (i, h) in self.hosts.iter().enumerate() {
             let id = i as u32;
             if id == to || self.chaos.host_down(id, now) {
                 continue;
             }
             let height = h.daemon.chain.height();
+            let clean = !self.censor_suspects.contains(&id);
+            let linked = topology.linked(NodeId(to), NodeId(id));
             if best_any.is_none_or(|(best_h, _)| height > best_h) {
                 best_any = Some((height, id));
             }
-            if topology.linked(NodeId(to), NodeId(id))
-                && best_linked.is_none_or(|(best_h, _)| height > best_h)
-            {
+            if linked && best_linked.is_none_or(|(best_h, _)| height > best_h) {
                 best_linked = Some((height, id));
             }
+            if clean {
+                if best_any_clean.is_none_or(|(best_h, _)| height > best_h) {
+                    best_any_clean = Some((height, id));
+                }
+                if linked && best_linked_clean.is_none_or(|(best_h, _)| height > best_h) {
+                    best_linked_clean = Some((height, id));
+                }
+            }
         }
-        best_linked
-            .filter(|&(h, _)| h > my_height)
-            .or(best_any.filter(|&(h, _)| h > my_height))
+        let ahead = |o: Option<(u64, u32)>| o.filter(|&(h, _)| h > my_height);
+        ahead(best_linked_clean)
+            .or(ahead(best_any_clean))
+            .or(ahead(best_linked))
+            .or(ahead(best_any))
             .map(|(_, id)| id)
     }
 
@@ -2290,8 +2403,11 @@ impl World {
             }
         }
         // Crash recovery: the block may be the first (and only) place
-        // this host sees an escrow or claim it missed as gossip.
+        // this host sees an escrow or claim it missed as gossip — and
+        // the first place a rival claim surfaces, if the equivocator
+        // only ever showed it to the other side of the overlay.
         for tx in &connected {
+            self.detect_equivocation(to, tx, queue);
             self.gateway_check_escrow(now, to, tx, queue);
             self.recipient_check_claim(now, to, tx);
         }
@@ -2343,6 +2459,11 @@ impl World {
         h.cpu_busy_until = now;
         h.last_sync_req = None;
         h.header_sync = None;
+        if host == 0 {
+            // A warm restart can reopen a shorter durable chain: the
+            // auditor must roll its ledger back with it.
+            self.audit_master();
+        }
         self.request_sync(now, host, queue);
     }
 
@@ -2490,17 +2611,57 @@ impl World {
                 }
             }
         }
+
+        // (d) Censorship suspicion: our settlement sits in the acting
+        // miner's *own pool* sweep after sweep without confirming. An
+        // honest miner includes pooled transactions within a block or
+        // two, and the sweep backoff (10+20+40+60 s) spans several block
+        // intervals — so crossing the threshold means the miner keeps
+        // building templates around our money. Demote it: mining duty
+        // and catch-up sync route around suspects for the rest of the
+        // run (a false positive only rotates the miner, it loses
+        // nothing).
+        if !self.chaos.host_down(home, now) {
+            if let Some(miner) = self.active_miner(now) {
+                let pending_txid = {
+                    let ex = &self.exchanges[exchange];
+                    ex.claim
+                        .as_ref()
+                        .map(|t| t.txid())
+                        .or_else(|| ex.refund.as_ref().map(|t| t.txid()))
+                };
+                let stuck = pending_txid.is_some_and(|txid| {
+                    let d = &self.hosts[miner as usize].daemon;
+                    d.mempool.contains(&txid) && d.chain.find_transaction(&txid).is_none()
+                });
+                if stuck {
+                    self.exchanges[exchange].censor_sweeps += 1;
+                    if self.exchanges[exchange].censor_sweeps == self.cfg.fsm.censor_suspect_sweeps
+                    {
+                        self.registry.inc(self.meters.censorship_suspected);
+                        self.censor_suspects.insert(miner);
+                    }
+                } else {
+                    self.exchanges[exchange].censor_sweeps = 0;
+                }
+            }
+        }
     }
 
     /// Who mines right now: the master (host 0) in every clean run, and
     /// under chaos the live host with the tallest chain — ties break
     /// toward the lowest id, so the master takes back over once it has
-    /// caught up after a failover. `None` while every host is crashed.
+    /// caught up after a failover. Hosts suspected of claim censorship
+    /// are passed over while any other live host can mine (the
+    /// route-around half of the censorship defence); with nobody else
+    /// up, a suspect still beats no miner at all. `None` while every
+    /// host is crashed.
     fn active_miner(&self, now: SimTime) -> Option<u32> {
-        if self.chaos.is_idle() {
+        if self.chaos.is_idle() && self.censor_suspects.is_empty() {
             return Some(0);
         }
         let mut best: Option<(u64, u32)> = None;
+        let mut best_clean: Option<(u64, u32)> = None;
         for (i, h) in self.hosts.iter().enumerate() {
             let id = i as u32;
             if self.chaos.host_down(id, now) {
@@ -2510,8 +2671,13 @@ impl World {
             if best.is_none_or(|(best_h, _)| height > best_h) {
                 best = Some((height, id));
             }
+            if !self.censor_suspects.contains(&id)
+                && best_clean.is_none_or(|(best_h, _)| height > best_h)
+            {
+                best_clean = Some((height, id));
+            }
         }
-        best.map(|(_, id)| id)
+        best_clean.or(best).map(|(_, id)| id)
     }
 
     /// True when the acting miner has `txid` in neither its mempool nor
@@ -2594,6 +2760,34 @@ impl World {
                 return;
             }
         }
+        // Byzantine censorship: a miner inside its CensorClaims window
+        // silently excludes every settlement transaction — anything
+        // spending a known escrow outpoint, claim and refund alike —
+        // from its template. The pool keeps them (censorship is not
+        // eviction), so an honest miner taking over mines them at once.
+        let censoring = !self.chaos.is_idle() && self.chaos.censoring_miner(miner, now);
+        let escrow_ops: HashSet<OutPoint> = if censoring {
+            self.exchanges
+                .iter()
+                .filter_map(|ex| ex.escrow.as_ref().map(|e| e.outpoint()))
+                .collect()
+        } else {
+            HashSet::new()
+        };
+        if censoring {
+            let withheld = self.hosts[miner as usize]
+                .daemon
+                .mempool
+                .iter()
+                .filter(|tx| tx.inputs.iter().any(|i| escrow_ops.contains(&i.prevout)))
+                .count() as u64;
+            if withheld > 0 {
+                // Per-template exclusion events, not distinct txs: the
+                // same stuck claim counts once per censored block.
+                self.registry
+                    .add(self.chaos.meters().claims_censored, withheld);
+            }
+        }
         let block = {
             let host = &mut self.hosts[miner as usize];
             let params = host.daemon.chain.params().clone();
@@ -2608,7 +2802,13 @@ impl World {
                 }],
             )];
             let budget = params.max_block_size.saturating_sub(txs[0].size() + 88);
-            txs.extend(host.daemon.mempool.block_template(budget));
+            if censoring {
+                txs.extend(host.daemon.mempool.block_template_excluding(budget, |tx| {
+                    tx.inputs.iter().any(|i| escrow_ops.contains(&i.prevout))
+                }));
+            } else {
+                txs.extend(host.daemon.mempool.block_template(budget));
+            }
             // Fees go unclaimed (coinbase pays subsidy only) — simpler and
             // valid (coinbase may pay less than allowed).
             Block::mine(
@@ -2641,6 +2841,8 @@ impl World {
                 // on block receipt must run here.
                 self.apply_settlements(done, miner, queue);
                 self.gateway_check_confirmations(done, miner, queue);
+            } else {
+                self.audit_master();
             }
         }
         let delay = self.next_block_delay();
@@ -2705,6 +2907,9 @@ impl World {
             self.apply_settlements(done, miner, queue);
             let msg = WanMessage::Chain(ChainMessage::Block(block));
             self.flood(queue, done, miner, &msg);
+        }
+        if miner == 0 {
+            self.audit_master();
         }
     }
 }

@@ -7,11 +7,18 @@
 //! BcWAN's structural loss is zero by construction (the escrow releases
 //! only against the key).
 //!
+//! A second, *observed* section replays real settlement behavior —
+//! the auditor's per-gateway claim/refund counts from a Byzantine
+//! chaos run — through the same scoring rules: every CLTV refund that
+//! fair exchange turned into a harmless timeout would have been a
+//! stolen payment under pay-first.
+//!
 //! Usage: `baseline_reputation [MESSAGES] [--json PATH]`.
 
-use bcwan::reputation::{run_reputation_baseline, ReputationConfig};
+use bcwan::reputation::{run_reputation_baseline, score_observed, ReputationConfig};
+use bcwan::world::{WorkloadConfig, World};
 use bcwan_bench::{parse_harness_args, BenchReport};
-use bcwan_sim::{Json, Registry, SimRng};
+use bcwan_sim::{ChaosFault, ChaosPlan, Json, Registry, SimRng, SimTime};
 
 fn main() {
     let (messages, json) = parse_harness_args();
@@ -58,10 +65,58 @@ fn main() {
     println!();
     println!("BcWAN column is structural: the Listing 1 escrow cannot pay without");
     println!("revealing the key, so pay-without-delivery is impossible (§4.4).");
+
+    // Observed mode: a small Byzantine world (one gateway withholding
+    // its claims forever — all its escrows refund via CLTV) feeds the
+    // auditor's per-gateway outcomes into the same scoring rules.
+    let forever = SimTime::from_micros(u64::MAX / 2);
+    let plan = ChaosPlan {
+        faults: vec![ChaosFault::ClaimWithhold {
+            host: 2,
+            from: SimTime::ZERO,
+            until: forever,
+        }],
+    };
+    let mut cfg = WorkloadConfig::fleet(5, 40, 7).with_chaos(plan);
+    cfg.refund_delta = 12;
+    let result = World::new(cfg).run();
+    let observed = score_observed(&ReputationConfig::default(), &result.gateway_settlements);
+    println!();
+    println!("Observed replay (Byzantine world, 5 gateways, host 2 withholds):");
+    println!(
+        "  settled={} refunded={} -> pay-first would have: delivered={} stolen={} \
+         value-lost={} starved={} banned={}",
+        result.escrows_claimed,
+        result.escrows_refunded,
+        observed.delivered,
+        observed.stolen,
+        observed.stolen_value,
+        observed.starved,
+        observed.banned_gateways,
+    );
+    println!("Under fair exchange the same run lost nothing: every refund returned");
+    println!("the recipient's coin instead of paying the withholding gateway.");
+    registry.set_counter("reputation.observed_stolen_total", observed.stolen as u64);
+    registry.set_counter(
+        "reputation.observed_banned_gateways_total",
+        observed.banned_gateways as u64,
+    );
+
     if let Some(path) = json {
         BenchReport::new("baseline_reputation")
             .config("messages_per_fraction", Json::size(messages))
             .rows(Json::Array(rows))
+            .config(
+                "observed",
+                Json::object()
+                    .with("escrows_claimed", Json::size(result.escrows_claimed))
+                    .with("escrows_refunded", Json::size(result.escrows_refunded))
+                    .with("delivered", Json::size(observed.delivered))
+                    .with("stolen", Json::size(observed.stolen))
+                    .with("stolen_value", Json::uint(observed.stolen_value))
+                    .with("starved", Json::size(observed.starved))
+                    .with("banned_gateways", Json::size(observed.banned_gateways)),
+            )
             .metrics(registry.snapshot())
             .write(&path)
             .expect("write json");

@@ -1,0 +1,315 @@
+//! Byzantine soak CI gate: hand-built adversary plans — equivocating
+//! gateways, a claim-withholding gateway, a censoring master miner, and
+//! a three-way partition — against the full testbed, failing the
+//! process unless fair exchange holds *and* misbehavior is both
+//! detected and unprofitable.
+//!
+//! Per seed, the Byzantine gateway fraction sweeps over 1 then 2 of
+//! the 5 gateways (20 % and 40 %): the first adversary equivocates
+//! (two conflicting claims per escrow, different fee → different
+//! txid), the second withholds its claims forever (its escrows must
+//! all refund via CLTV). In every run host 0 — the acting miner —
+//! censors claim/refund transactions from its block templates for a
+//! long window, so settlement only survives if the censorship detector
+//! demotes it and mining rotates to a standby. A three-way
+//! `PartitionGroups` window stresses the sync failover on top.
+//!
+//! The exit gate checks, per (seed, fraction) run:
+//!
+//! - `chaos.invariant.violation_total == 0` — value conserved, at most
+//!   one settlement per escrow, FSM/chain agreement (the always-on
+//!   auditor, not an end-of-run sweep);
+//! - no escrow left open: every victimized recipient was made whole by
+//!   a claim or a CLTV refund;
+//! - `byzantine.equivocation_detected_total` equals
+//!   `chaos.equivocations_injected_total`, and both are nonzero —
+//!   every injected double-claim was caught;
+//! - `chaos.claims_censored_total > 0` and
+//!   `byzantine.censorship_suspected_total >= 1` — the censor actually
+//!   suppressed templates and was caught doing it;
+//! - honest claim revenue strictly exceeds adversarial claim revenue —
+//!   misbehavior must not pay;
+//! - rerunning the first seed reproduces the identical
+//!   `utxo_fingerprint` and counters (bit-identical determinism).
+//!
+//! Usage: `byzantine_soak [SEED...] [--exchanges N] [--json PATH]`.
+//! With no positional seeds, the three CI seeds 11, 22 and 33 run.
+//! Exit status 1 on any gate failure, so CI can gate on it directly.
+
+use bcwan::world::{ExperimentResult, WorkloadConfig, World};
+use bcwan_bench::BenchReport;
+use bcwan_sim::{ChaosFault, ChaosPlan, Json, SimDuration, SimRng, SimTime};
+
+const ACTOR_HOSTS: u32 = 5;
+
+/// Builds the adversary schedule for one `(seed, adversaries)` run.
+/// The Byzantine gateway hosts are drawn from the seed so different
+/// seeds exercise different victim/adversary layouts, but a rerun of
+/// the same seed rebuilds the identical plan. The first adversary
+/// always equivocates (so the detection gate has work at every
+/// fraction); the second, when present, withholds.
+fn byzantine_plan(seed: u64, adversaries: u32) -> ChaosPlan {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xb12a_4713);
+    let forever = SimTime::from_micros(u64::MAX / 2);
+    let equivocator = rng.index(ACTOR_HOSTS as usize) as u32 + 1;
+    let withholder = loop {
+        let h = rng.index(ACTOR_HOSTS as usize) as u32 + 1;
+        if h != equivocator {
+            break h;
+        }
+    };
+    // Three-way split in the middle of the censorship window: master
+    // and two actors per cell, pairing drawn from the seed.
+    let mut cells: Vec<Vec<u32>> = vec![vec![0], vec![], vec![]];
+    let mut actors: Vec<u32> = (1..=ACTOR_HOSTS).collect();
+    while !actors.is_empty() {
+        let pick = actors.remove(rng.index(actors.len()));
+        let cell = rng.index(3);
+        cells[cell].push(pick);
+    }
+    cells.retain(|c| !c.is_empty());
+    let partition_from = SimTime::ZERO + SimDuration::from_secs(150);
+    let mut faults = vec![
+        ChaosFault::Equivocate {
+            host: equivocator,
+            from: SimTime::ZERO,
+            until: forever,
+        },
+        ChaosFault::CensorClaims {
+            miner: 0,
+            from: SimTime::ZERO + SimDuration::from_secs(30),
+            until: SimTime::ZERO + SimDuration::from_secs(230),
+        },
+        ChaosFault::PartitionGroups {
+            groups: cells,
+            from: partition_from,
+            until: partition_from + SimDuration::from_secs(12),
+        },
+    ];
+    if adversaries >= 2 {
+        faults.push(ChaosFault::ClaimWithhold {
+            host: withholder,
+            from: SimTime::ZERO,
+            until: forever,
+        });
+    }
+    ChaosPlan { faults }
+}
+
+fn run_seed(seed: u64, adversaries: u32, target: usize) -> ExperimentResult {
+    let plan = byzantine_plan(seed, adversaries);
+    let mut cfg = WorkloadConfig::fleet(ACTOR_HOSTS, target, seed).with_chaos(plan);
+    cfg.refund_delta = 12;
+    World::new(cfg).run()
+}
+
+fn counter(result: &ExperimentResult, name: &str) -> u64 {
+    result.metrics.counter(name).unwrap_or(0)
+}
+
+fn check_gates(seed: u64, result: &ExperimentResult) -> bool {
+    let injected = counter(result, "chaos.equivocations_injected_total");
+    let detected = counter(result, "byzantine.equivocation_detected_total");
+    let censored = counter(result, "chaos.claims_censored_total");
+    let suspected = counter(result, "byzantine.censorship_suspected_total");
+    let mut ok = true;
+    let mut fail = |msg: String| {
+        eprintln!("seed {seed}: GATE FAILED — {msg}");
+        ok = false;
+    };
+    if result.invariant_violations != 0 {
+        fail(format!(
+            "{} invariant violation(s)",
+            result.invariant_violations
+        ));
+    }
+    if result.escrows_open != 0 {
+        fail(format!(
+            "{} escrow(s) left open — a recipient was not made whole",
+            result.escrows_open
+        ));
+    }
+    if injected == 0 {
+        fail("no equivocation was injected (plan never activated)".into());
+    }
+    if detected != injected {
+        fail(format!(
+            "equivocations detected {detected} != injected {injected}"
+        ));
+    }
+    if censored == 0 {
+        fail("censoring miner never suppressed a settlement".into());
+    }
+    if suspected == 0 {
+        fail("censorship was never suspected — detector asleep".into());
+    }
+    if result.honest_revenue <= result.adversarial_revenue {
+        fail(format!(
+            "honest revenue {} does not dominate adversarial {}",
+            result.honest_revenue, result.adversarial_revenue
+        ));
+    }
+    ok
+}
+
+fn main() {
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut json = None;
+    let mut exchanges = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            json = args.next();
+        } else if arg == "--exchanges" {
+            exchanges = Some(
+                args.next()
+                    .expect("--exchanges takes a count")
+                    .parse()
+                    .expect("exchange count"),
+            );
+        } else if let Ok(seed) = arg.parse::<u64>() {
+            seeds.push(seed);
+        }
+    }
+    if seeds.is_empty() {
+        seeds = vec![11, 22, 33];
+    }
+    let target = exchanges.unwrap_or(40);
+
+    let mut rows = Vec::new();
+    let mut failures = 0u32;
+    let mut last_metrics = None;
+    for &seed in &seeds {
+        for adversaries in [1u32, 2] {
+            let plan = byzantine_plan(seed, adversaries);
+            let fraction = f64::from(adversaries) / f64::from(ACTOR_HOSTS);
+            eprintln!(
+                "seed {seed} ({:.0}% Byzantine): adversaries on hosts {:?}, \
+                 {ACTOR_HOSTS} gateways, {target} exchanges…",
+                fraction * 100.0,
+                plan.adversarial_hosts()
+            );
+            let result = run_seed(seed, adversaries, target);
+            let ok = check_gates(seed, &result);
+            if !ok {
+                failures += 1;
+            }
+            eprintln!(
+                "seed {seed}: {} — completed={} claimed={} refunded={} open={} violations={} \
+                 equivocations={}/{} censored={} suspected={} honest={} adversarial={} \
+                 standby_blocks={} sim_time={:.0}s",
+                if ok { "OK" } else { "VIOLATION" },
+                result.completed,
+                result.escrows_claimed,
+                result.escrows_refunded,
+                result.escrows_open,
+                result.invariant_violations,
+                counter(&result, "byzantine.equivocation_detected_total"),
+                counter(&result, "chaos.equivocations_injected_total"),
+                counter(&result, "chaos.claims_censored_total"),
+                counter(&result, "byzantine.censorship_suspected_total"),
+                result.honest_revenue,
+                result.adversarial_revenue,
+                result.standby_blocks_mined,
+                result.sim_time.as_secs_f64(),
+            );
+            rows.push(
+                Json::object()
+                    .with("seed", Json::uint(seed))
+                    .with("adversarial_fraction", Json::num(fraction))
+                    .with("completed", Json::size(result.completed))
+                    .with("escrows_claimed", Json::size(result.escrows_claimed))
+                    .with("escrows_refunded", Json::size(result.escrows_refunded))
+                    .with("escrows_open", Json::size(result.escrows_open))
+                    .with(
+                        "invariant_violations",
+                        Json::uint(result.invariant_violations),
+                    )
+                    .with(
+                        "equivocations_injected",
+                        Json::uint(counter(&result, "chaos.equivocations_injected_total")),
+                    )
+                    .with(
+                        "equivocations_detected",
+                        Json::uint(counter(&result, "byzantine.equivocation_detected_total")),
+                    )
+                    .with(
+                        "claims_censored",
+                        Json::uint(counter(&result, "chaos.claims_censored_total")),
+                    )
+                    .with(
+                        "censorship_suspected",
+                        Json::uint(counter(&result, "byzantine.censorship_suspected_total")),
+                    )
+                    .with("honest_revenue", Json::uint(result.honest_revenue))
+                    .with(
+                        "adversarial_revenue",
+                        Json::uint(result.adversarial_revenue),
+                    )
+                    .with(
+                        "standby_blocks_mined",
+                        Json::uint(result.standby_blocks_mined),
+                    )
+                    .with("utxo_fingerprint", Json::uint(result.utxo_fingerprint))
+                    .with("sim_time_s", Json::num(result.sim_time.as_secs_f64())),
+            );
+            last_metrics = Some(result.metrics);
+        }
+    }
+
+    // Determinism gate: the first seed at the full adversary fraction,
+    // rerun from scratch, must land on the identical final UTXO set and
+    // identical Byzantine counters.
+    let first = seeds[0];
+    eprintln!("seed {first}: determinism rerun…");
+    let a = run_seed(first, 2, target);
+    let b = run_seed(first, 2, target);
+    let fingerprint_ok = a.utxo_fingerprint == b.utxo_fingerprint;
+    let counters_ok = [
+        "chaos.equivocations_injected_total",
+        "byzantine.equivocation_detected_total",
+        "chaos.claims_censored_total",
+        "byzantine.censorship_suspected_total",
+    ]
+    .iter()
+    .all(|name| counter(&a, name) == counter(&b, name));
+    if !fingerprint_ok || !counters_ok {
+        eprintln!(
+            "seed {first}: GATE FAILED — rerun diverged (fingerprint {:#x} vs {:#x})",
+            a.utxo_fingerprint, b.utxo_fingerprint
+        );
+        failures += 1;
+    }
+
+    let report = BenchReport::new("byzantine_soak")
+        .config(
+            "workload",
+            Json::object()
+                .with(
+                    "seeds",
+                    Json::Array(seeds.iter().map(|&s| Json::uint(s)).collect()),
+                )
+                .with("hosts", Json::uint(u64::from(ACTOR_HOSTS)))
+                .with(
+                    "adversarial_fractions",
+                    Json::Array(vec![Json::num(0.2), Json::num(0.4)]),
+                )
+                .with("target_exchanges", Json::size(target))
+                .with("refund_delta", Json::uint(12)),
+        )
+        .rows(Json::Array(rows))
+        .metrics(last_metrics.expect("at least one seed"));
+    if let Some(path) = json {
+        report.write(&path).expect("write json");
+        eprintln!("wrote {path}");
+    }
+
+    if failures > 0 {
+        eprintln!("byzantine soak FAILED: {failures} gate failure(s)");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "byzantine soak passed: {} seed(s), misbehavior detected, contained, and unprofitable",
+        seeds.len()
+    );
+}

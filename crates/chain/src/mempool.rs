@@ -224,7 +224,23 @@ impl Mempool {
     /// A dependent transaction is only selected once its pooled parents
     /// are, keeping the template topologically valid.
     pub fn block_template(&self, max_bytes: usize) -> Vec<Transaction> {
-        let mut candidates: Vec<&PoolEntry> = self.entries.values().collect();
+        self.block_template_excluding(max_bytes, |_| false)
+    }
+
+    /// [`Mempool::block_template`] with a censorship predicate: pooled
+    /// transactions for which `exclude` returns true are silently left
+    /// out of the template, as are (automatically, via the dependency
+    /// rule) any pooled descendants spending their outputs. This is the
+    /// hook a Byzantine miner uses to censor settlement transactions —
+    /// the censored entries stay pooled and are *not* announced as
+    /// rejected, which is exactly what makes censorship hard to observe
+    /// directly and worth detecting statistically.
+    pub fn block_template_excluding<F>(&self, max_bytes: usize, exclude: F) -> Vec<Transaction>
+    where
+        F: Fn(&Transaction) -> bool,
+    {
+        let mut candidates: Vec<&PoolEntry> =
+            self.entries.values().filter(|e| !exclude(&e.tx)).collect();
         candidates.sort_by(|a, b| {
             let rate_a = a.fee as f64 / a.tx.size() as f64;
             let rate_b = b.fee as f64 / b.tx.size() as f64;
@@ -535,6 +551,47 @@ mod tests {
         let one_tx_size = pool.iter().next().unwrap().size();
         let template = pool.block_template(one_tx_size + 10);
         assert_eq!(template.len(), 1);
+    }
+
+    #[test]
+    fn excluding_template_censors_tx_and_its_descendants() {
+        let f = fixture(2);
+        let mut pool = Mempool::new();
+        let honest = payment(&f, 1, 10);
+        let censored = f.wallet.build_payment(
+            vec![f.coins[0].clone()],
+            vec![TxOut {
+                value: 900,
+                script_pubkey: f.wallet.locking_script(),
+            }],
+            0,
+        );
+        let child = f.wallet.build_payment(
+            vec![(
+                OutPoint {
+                    txid: censored.txid(),
+                    vout: 0,
+                },
+                f.wallet.locking_script(),
+            )],
+            vec![TxOut {
+                value: 800,
+                script_pubkey: Script::new(),
+            }],
+            0,
+        );
+        for tx in [&honest, &censored, &child] {
+            pool.insert(tx.clone(), &f.utxo, f.height, &f.params)
+                .unwrap();
+        }
+        let victim = censored.txid();
+        let template = pool.block_template_excluding(1 << 20, |tx| tx.txid() == victim);
+        // The censored parent is gone and the dependency rule silently
+        // drags its pooled child out with it; the honest payment stays.
+        assert_eq!(template.len(), 1);
+        assert_eq!(template[0].txid(), honest.txid());
+        // Censorship is not eviction: all three stay pooled.
+        assert_eq!(pool.len(), 3);
     }
 
     #[test]

@@ -99,6 +99,46 @@ pub enum ChaosFault {
         /// How many tip blocks to orphan.
         depth: u32,
     },
+    /// N-way network partition: each listed group can only talk to
+    /// itself for the window; a link is cut iff its endpoints sit in
+    /// *different* listed groups. Hosts in no group keep all their
+    /// links — the generalization of the single [`ChaosFault::Partition`]
+    /// boundary cut.
+    PartitionGroups {
+        /// The disjoint host groups. Two groups reproduce a boundary
+        /// cut; three or more model the multi-way splits a federated
+        /// WAN across several carriers can suffer.
+        groups: Vec<Vec<u32>>,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Byzantine gateway: inside the window the gateway on `host` signs
+    /// *two* conflicting claims against each escrow it settles (forked
+    /// session state, different fee → different txid, both revealing the
+    /// true `eSk` — the Listing 1 script makes lying about the key
+    /// impossible) and broadcasts them to disjoint peer sets.
+    Equivocate {
+        /// The equivocating gateway host.
+        host: u32,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Byzantine miner: while active as block producer inside the
+    /// window, `miner` silently excludes claim and refund transactions
+    /// from its block templates (escrows still confirm — the censor
+    /// wants the timeout, not an empty chain).
+    CensorClaims {
+        /// The censoring miner host.
+        miner: u32,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
 }
 
 /// A deterministic schedule of faults for one run.
@@ -146,6 +186,23 @@ pub struct ChaosProfile {
     pub master_crashes: u32,
     /// Length of each master crash window.
     pub master_crash_len: SimDuration,
+    /// Number of N-way group-partition windows. Consecutive windows
+    /// overlap (each starts halfway into the previous one), so plans
+    /// exercise partitions that split while another is still healing.
+    pub group_partitions: u32,
+    /// How many groups each group partition splits the fleet into.
+    pub partition_groups: u32,
+    /// Length of each group-partition window.
+    pub group_partition_len: SimDuration,
+    /// Number of equivocation windows (Byzantine double-claiming
+    /// gateways).
+    pub equivocations: u32,
+    /// Length of each equivocation window.
+    pub equivocate_len: SimDuration,
+    /// Number of claim-censorship windows aimed at the master miner.
+    pub censorships: u32,
+    /// Length of each censorship window.
+    pub censor_len: SimDuration,
 }
 
 impl ChaosProfile {
@@ -168,6 +225,13 @@ impl ChaosProfile {
             forks: 2,
             master_crashes: 0,
             master_crash_len: SimDuration::ZERO,
+            group_partitions: 0,
+            partition_groups: 0,
+            group_partition_len: SimDuration::ZERO,
+            equivocations: 0,
+            equivocate_len: SimDuration::ZERO,
+            censorships: 0,
+            censor_len: SimDuration::ZERO,
         }
     }
 
@@ -193,6 +257,46 @@ impl ChaosProfile {
             forks: 0,
             master_crashes: 1,
             master_crash_len: SimDuration::from_secs(60),
+            group_partitions: 0,
+            partition_groups: 0,
+            group_partition_len: SimDuration::ZERO,
+            equivocations: 0,
+            equivocate_len: SimDuration::ZERO,
+            censorships: 0,
+            censor_len: SimDuration::ZERO,
+        }
+    }
+
+    /// A Byzantine soak: active adversaries instead of passive faults —
+    /// equivocating and withholding gateways, a censoring master miner,
+    /// and overlapping three-way partitions. No crash windows: the
+    /// adversaries are *up* and misbehaving, which is the harder case
+    /// for the fairness argument.
+    pub fn byzantine() -> Self {
+        ChaosProfile {
+            lora_bursts: 1,
+            lora_burst_loss: 0.4,
+            lora_burst_len: SimDuration::from_secs(15),
+            host_crashes: 0,
+            crash_len: SimDuration::ZERO,
+            conn_kills: 2,
+            block_delays: 0,
+            block_delay: SimDuration::ZERO,
+            block_delay_len: SimDuration::ZERO,
+            partitions: 0,
+            partition_len: SimDuration::ZERO,
+            claim_withholds: 1,
+            withhold_len: SimDuration::from_secs(100_000),
+            forks: 1,
+            master_crashes: 0,
+            master_crash_len: SimDuration::ZERO,
+            group_partitions: 2,
+            partition_groups: 3,
+            group_partition_len: SimDuration::from_secs(12),
+            equivocations: 1,
+            equivocate_len: SimDuration::from_secs(100_000),
+            censorships: 1,
+            censor_len: SimDuration::from_secs(90),
         }
     }
 }
@@ -287,7 +391,64 @@ impl ChaosPlan {
                 depth: rng.index(2) as u32 + 1,
             });
         }
+        // Group partitions split the *whole* fleet — master included —
+        // into `partition_groups` round-robin groups from a rotated
+        // start, so which hosts share a side varies per window.
+        // Consecutive windows start halfway into the previous one:
+        // overlapping multi-way splits, not a single clean cut.
+        if profile.group_partitions > 0 {
+            let n_groups = profile.partition_groups.max(2) as usize;
+            let mut from = start(rng);
+            for _ in 0..profile.group_partitions {
+                let offset = rng.index(n_groups);
+                let mut groups = vec![Vec::new(); n_groups];
+                for host in 0..=actor_hosts {
+                    groups[(host as usize + offset) % n_groups].push(host);
+                }
+                faults.push(ChaosFault::PartitionGroups {
+                    groups,
+                    from,
+                    until: from + profile.group_partition_len,
+                });
+                from += SimDuration::from_secs_f64(profile.group_partition_len.as_secs_f64() / 2.0);
+            }
+        }
+        for _ in 0..profile.equivocations {
+            let from = start(rng);
+            faults.push(ChaosFault::Equivocate {
+                host: actor(rng),
+                from,
+                until: from + profile.equivocate_len,
+            });
+        }
+        for _ in 0..profile.censorships {
+            let from = start(rng);
+            faults.push(ChaosFault::CensorClaims {
+                miner: 0,
+                from,
+                until: from + profile.censor_len,
+            });
+        }
         ChaosPlan { faults }
+    }
+
+    /// The hosts the plan marks adversarial — gateways scheduled to
+    /// equivocate, withhold claims, or censor settlements. Crashes and
+    /// network faults are *failures*, not misbehavior, and don't count.
+    pub fn adversarial_hosts(&self) -> Vec<u32> {
+        let mut hosts: Vec<u32> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                ChaosFault::Equivocate { host, .. } => Some(*host),
+                ChaosFault::ClaimWithhold { host, .. } => Some(*host),
+                ChaosFault::CensorClaims { miner, .. } => Some(*miner),
+                _ => None,
+            })
+            .collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        hosts
     }
 }
 
@@ -308,6 +469,11 @@ pub struct ChaosMeters {
     pub claims_withheld: CounterId,
     /// One-shot chain forks fired.
     pub forks: CounterId,
+    /// Conflicting claim pairs an equivocating gateway injected.
+    pub equivocations: CounterId,
+    /// Settlement transactions a censoring miner excluded from a block
+    /// template it produced.
+    pub claims_censored: CounterId,
 }
 
 impl ChaosMeters {
@@ -320,6 +486,8 @@ impl ChaosMeters {
             blocks_delayed: reg.counter("chaos.blocks_delayed_total"),
             claims_withheld: reg.counter("chaos.claims_withheld_total"),
             forks: reg.counter("chaos.forks_total"),
+            equivocations: reg.counter("chaos.equivocations_injected_total"),
+            claims_censored: reg.counter("chaos.claims_censored_total"),
         }
     }
 }
@@ -396,11 +564,50 @@ impl ChaosEngine {
         })
     }
 
-    /// Whether the link `a`↔`b` crosses an active partition cut.
+    /// Whether the link `a`↔`b` crosses an active partition cut —
+    /// either side of a boundary [`ChaosFault::Partition`], or
+    /// different groups of a [`ChaosFault::PartitionGroups`] window
+    /// (hosts listed in no group keep all their links).
     pub fn partitioned(&self, a: u32, b: u32, now: SimTime) -> bool {
+        self.plan.faults.iter().any(|f| match f {
+            ChaosFault::Partition {
+                boundary,
+                from,
+                until,
+            } => *from <= now && now < *until && ((a <= *boundary) != (b <= *boundary)),
+            ChaosFault::PartitionGroups {
+                groups,
+                from,
+                until,
+            } => {
+                if !(*from <= now && now < *until) {
+                    return false;
+                }
+                let side = |h: u32| groups.iter().position(|g| g.contains(&h));
+                match (side(a), side(b)) {
+                    (Some(ga), Some(gb)) => ga != gb,
+                    _ => false,
+                }
+            }
+            _ => false,
+        })
+    }
+
+    /// Whether the gateway on `host` equivocates (double-claims) at
+    /// `now`.
+    pub fn equivocate_claim(&self, host: u32, now: SimTime) -> bool {
         self.plan.faults.iter().any(|f| {
-            matches!(f, ChaosFault::Partition { boundary, from, until }
-                if *from <= now && now < *until && ((a <= *boundary) != (b <= *boundary)))
+            matches!(f, ChaosFault::Equivocate { host: h, from, until }
+                if *h == host && *from <= now && now < *until)
+        })
+    }
+
+    /// Whether `miner` censors settlement transactions from its block
+    /// templates at `now`.
+    pub fn censoring_miner(&self, miner: u32, now: SimTime) -> bool {
+        self.plan.faults.iter().any(|f| {
+            matches!(f, ChaosFault::CensorClaims { miner: m, from, until }
+                if *m == miner && *from <= now && now < *until)
         })
     }
 
@@ -582,6 +789,121 @@ mod tests {
                 assert!(until > from, "crash windows are non-empty");
             }
         }
+    }
+
+    #[test]
+    fn group_partition_cuts_only_cross_group_links() {
+        let e = engine(vec![ChaosFault::PartitionGroups {
+            groups: vec![vec![0, 3], vec![1, 4], vec![2]],
+            from: t(0),
+            until: t(10),
+        }]);
+        assert!(e.partitioned(0, 1, t(5)), "different groups");
+        assert!(e.partitioned(3, 2, t(5)), "different groups");
+        assert!(!e.partitioned(0, 3, t(5)), "same group");
+        assert!(!e.partitioned(1, 4, t(5)), "same group");
+        assert!(!e.partitioned(0, 5, t(5)), "host 5 in no group keeps links");
+        assert!(!e.partitioned(0, 1, t(10)), "window over");
+    }
+
+    #[test]
+    fn byzantine_profile_generates_overlapping_three_way_partitions() {
+        let horizon = SimDuration::from_secs(600);
+        let mut rng = SimRng::seed_from_u64(5);
+        let plan = ChaosPlan::generate(&mut rng, &ChaosProfile::byzantine(), horizon, 4);
+        let windows: Vec<(SimTime, SimTime)> = plan
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                ChaosFault::PartitionGroups {
+                    groups,
+                    from,
+                    until,
+                } => {
+                    assert_eq!(groups.len(), 3, "three-way split");
+                    let total: usize = groups.iter().map(Vec::len).sum();
+                    assert_eq!(total, 5, "every host (master included) in a group");
+                    assert!(groups.iter().all(|g| !g.is_empty()));
+                    Some((*from, *until))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(windows.len(), 2);
+        assert!(
+            windows[1].0 < windows[0].1,
+            "second window starts inside the first"
+        );
+        assert!(
+            plan.faults
+                .iter()
+                .any(|f| matches!(f, ChaosFault::Equivocate { .. })),
+            "byzantine profile schedules an equivocation"
+        );
+        assert!(
+            plan.faults
+                .iter()
+                .any(|f| matches!(f, ChaosFault::CensorClaims { miner: 0, .. })),
+            "byzantine profile aims censorship at the master miner"
+        );
+    }
+
+    #[test]
+    fn equivocate_and_censor_windows_are_half_open() {
+        let e = engine(vec![
+            ChaosFault::Equivocate {
+                host: 2,
+                from: t(10),
+                until: t(20),
+            },
+            ChaosFault::CensorClaims {
+                miner: 0,
+                from: t(5),
+                until: t(15),
+            },
+        ]);
+        assert!(!e.equivocate_claim(2, t(9)));
+        assert!(e.equivocate_claim(2, t(10)));
+        assert!(!e.equivocate_claim(2, t(20)));
+        assert!(!e.equivocate_claim(1, t(15)), "other hosts honest");
+        assert!(!e.censoring_miner(0, t(4)));
+        assert!(e.censoring_miner(0, t(5)));
+        assert!(!e.censoring_miner(0, t(15)));
+        assert!(!e.censoring_miner(1, t(10)), "other miners honest");
+    }
+
+    #[test]
+    fn adversarial_hosts_lists_byzantine_actors_only() {
+        let plan = ChaosPlan {
+            faults: vec![
+                ChaosFault::Equivocate {
+                    host: 3,
+                    from: t(0),
+                    until: t(10),
+                },
+                ChaosFault::ClaimWithhold {
+                    host: 1,
+                    from: t(0),
+                    until: t(10),
+                },
+                ChaosFault::CensorClaims {
+                    miner: 0,
+                    from: t(0),
+                    until: t(10),
+                },
+                ChaosFault::HostCrash {
+                    host: 2,
+                    from: t(0),
+                    until: t(10),
+                },
+                ChaosFault::Equivocate {
+                    host: 3,
+                    from: t(20),
+                    until: t(30),
+                },
+            ],
+        };
+        assert_eq!(plan.adversarial_hosts(), vec![0, 1, 3]);
     }
 
     #[test]
