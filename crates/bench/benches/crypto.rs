@@ -65,6 +65,51 @@ fn main() {
         public.verify_digest(black_box(&digest), black_box(&sig))
     });
 
+    // Batch verification across block-shaped workloads. "grouped" mimics a
+    // real block — a handful of wallets each spending several outputs — so
+    // the verifier's pubkey coalescing folds repeated keys into one
+    // multi-scalar term; "distinct" is the adversarial shape where every
+    // signature carries a fresh key. Compare per-signature cost against
+    // `ecdsa_verify_digest` above.
+    let make_batch = |wallets: usize, count: usize| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let keys: Vec<EcdsaPrivateKey> = (0..wallets)
+            .map(|_| EcdsaPrivateKey::generate(&mut rng))
+            .collect();
+        let per_key = count / wallets;
+        let mut digests = Vec::new();
+        let mut sigs = Vec::new();
+        let mut pubs = Vec::new();
+        for i in 0..count {
+            let mut d = [0u8; 32];
+            d[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            let key = &keys[(i / per_key.max(1)).min(wallets - 1)];
+            sigs.push(key.sign_digest(&d));
+            pubs.push(key.public_key());
+            digests.push(d);
+        }
+        (digests, sigs, pubs)
+    };
+    for (name, wallets, count, iters) in [
+        ("ecdsa_batch_verify4_distinct", 4, 4, 60),
+        ("ecdsa_batch_verify16_distinct", 16, 16, 30),
+        ("ecdsa_batch_verify64_distinct", 64, 64, 10),
+        ("ecdsa_batch_verify64_grouped (8 wallets)", 8, 64, 10),
+        ("ecdsa_batch_verify256_grouped (8 wallets)", 8, 256, 5),
+    ] {
+        let (digests, sigs, pubs) = make_batch(wallets, count);
+        let items: Vec<(
+            &[u8; 32],
+            &bcwan_crypto::Signature,
+            &bcwan_crypto::EcdsaPublicKey,
+        )> = (0..count)
+            .map(|i| (&digests[i], &sigs[i], &pubs[i]))
+            .collect();
+        bench_fn(name, iters, || {
+            bcwan_crypto::batch_verify(black_box(&items)).unwrap()
+        });
+    }
+
     // The fixed-limb field primitives under every EC point operation.
     let fa = FieldElement::from_u64(0xdead_beef_1234_5678)
         .mul(&FieldElement::from_u64(0x9e37_79b9))

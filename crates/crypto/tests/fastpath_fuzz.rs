@@ -7,8 +7,8 @@
 //! break fixed-window ladders (zero, one, exponent zero, scalars at and
 //! past the group order).
 
-use bcwan_crypto::secp256k1::{curve, double_scalar_mul, JacobianPoint};
-use bcwan_crypto::{BigUint, MontgomeryCtx};
+use bcwan_crypto::secp256k1::{double_scalar_mul, scalar_mul_base, JacobianPoint, GENERATOR};
+use bcwan_crypto::{BigUint, MontgomeryCtx, Scalar};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -104,41 +104,53 @@ fn montgomery_mod_pow_edge_cases() {
     assert!(MontgomeryCtx::new(&even).is_none());
 }
 
-/// Reference scalar multiplication: plain MSB-first double-and-add,
-/// independent of both the windowed base table and Shamir's trick.
-fn scalar_mul_reference(k: &BigUint, p: &JacobianPoint) -> JacobianPoint {
+/// Reference scalar multiplication: plain MSB-first double-and-add over
+/// the canonical bits, independent of the windowed base table, the GLV
+/// path, and Shamir's trick.
+fn scalar_mul_reference(k: &Scalar, p: &JacobianPoint) -> JacobianPoint {
+    let limbs = k.to_canonical_limbs();
     let mut acc = JacobianPoint::infinity();
-    for i in (0..k.bit_len()).rev() {
+    for i in (0..256).rev() {
         acc = acc.double();
-        if k.bit(i) {
+        if (limbs[i / 64] >> (i % 64)) & 1 == 1 {
             acc = acc.add(p);
         }
     }
     acc
 }
 
+/// A scalar with roughly `bits` random bits (reduced mod `n`).
+fn random_scalar(rng: &mut StdRng, bits: usize) -> Scalar {
+    let mut buf = [0u8; 32];
+    let bytes = bits.div_ceil(8);
+    rng.fill_bytes(&mut buf[32 - bytes..]);
+    let extra = bytes * 8 - bits;
+    if extra > 0 {
+        buf[32 - bytes] &= 0xff >> extra;
+    }
+    Scalar::reduce_bytes_be(&buf)
+}
+
 #[test]
 fn windowed_base_mul_matches_double_and_add() {
-    let c = curve();
-    let g = JacobianPoint::from_affine(&c.g);
+    let g = JacobianPoint::from_affine(&GENERATOR);
     let mut rng = StdRng::seed_from_u64(0xecc);
 
-    let mut cases: Vec<BigUint> = vec![
-        BigUint::zero(),
-        BigUint::one(),
-        BigUint::from_u64(2),
-        BigUint::from_u64(15),
-        BigUint::from_u64(16),
-        c.n.sub(&BigUint::one()),
-        c.n.clone(),
-        c.n.add(&BigUint::from_u64(7)),
-        c.n.add(&c.n),
+    let n_minus_1 = Scalar::ZERO.sub(&Scalar::ONE);
+    let mut cases: Vec<Scalar> = vec![
+        Scalar::ZERO,
+        Scalar::ONE,
+        Scalar::from_u64(2),
+        Scalar::from_u64(15),
+        Scalar::from_u64(16),
+        n_minus_1,
+        n_minus_1.sub(&Scalar::from_u64(16)),
     ];
     for bits in [1, 4, 5, 63, 64, 65, 128, 255, 256] {
-        cases.push(random_biguint(&mut rng, bits));
+        cases.push(random_scalar(&mut rng, bits));
     }
     for k in &cases {
-        let fast = bcwan_crypto::secp256k1::scalar_mul_base(k);
+        let fast = scalar_mul_base(k);
         let slow = scalar_mul_reference(k, &g).to_affine();
         assert_eq!(fast, slow, "scalar_mul_base diverged for k={k:?}");
     }
@@ -146,27 +158,40 @@ fn windowed_base_mul_matches_double_and_add() {
 
 #[test]
 fn shamir_double_mul_matches_separate_muls() {
-    let c = curve();
-    let g = JacobianPoint::from_affine(&c.g);
+    let g = JacobianPoint::from_affine(&GENERATOR);
     let mut rng = StdRng::seed_from_u64(0x54a3);
 
     for round in 0..24 {
         // A random second point: q = d·G for random d.
-        let d = random_biguint(&mut rng, 256);
-        let q = JacobianPoint::from_affine(&c.g).scalar_mul(&d);
+        let d = random_scalar(&mut rng, 256);
+        let q = g.scalar_mul(&d);
         let k1 = match round % 4 {
-            0 => BigUint::zero(),
-            1 => random_biguint(&mut rng, 1 + round * 10),
-            _ => random_biguint(&mut rng, 256),
+            0 => Scalar::ZERO,
+            1 => random_scalar(&mut rng, 1 + (round % 25) * 10),
+            _ => random_scalar(&mut rng, 256),
         };
         let k2 = match round % 3 {
-            0 => BigUint::zero(),
-            _ => random_biguint(&mut rng, 256),
+            0 => Scalar::ZERO,
+            _ => random_scalar(&mut rng, 256),
         };
         let fast = double_scalar_mul(&k1, &g, &k2, &q).to_affine();
         let slow = scalar_mul_reference(&k1, &g)
             .add(&scalar_mul_reference(&k2, &q))
             .to_affine();
         assert_eq!(fast, slow, "round {round}: double_scalar_mul diverged");
+    }
+}
+
+#[test]
+fn glv_mul_matches_reference_across_widths() {
+    let g = JacobianPoint::from_affine(&GENERATOR);
+    let mut rng = StdRng::seed_from_u64(0x61f);
+    for round in 0..16 {
+        let d = random_scalar(&mut rng, 256);
+        let q = g.scalar_mul(&d);
+        let k = random_scalar(&mut rng, 1 + (round * 16) % 256);
+        let fast = bcwan_crypto::msm::glv_mul(&k, &q).to_affine();
+        let slow = scalar_mul_reference(&k, &q).to_affine();
+        assert_eq!(fast, slow, "round {round}: glv_mul diverged");
     }
 }

@@ -11,13 +11,13 @@
 //! points (G, 2G, 3G) through the new arithmetic end to end.
 
 use bcwan_crypto::field::FieldElement;
-use bcwan_crypto::secp256k1::{curve, scalar_mul_base, AffinePoint};
-use bcwan_crypto::BigUint;
+use bcwan_crypto::secp256k1::{scalar_mul_base, AffinePoint};
+use bcwan_crypto::{BigUint, Scalar};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 fn p() -> BigUint {
-    curve().p.clone()
+    BigUint::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f").unwrap()
 }
 
 fn random_element(rng: &mut StdRng) -> BigUint {
@@ -248,6 +248,64 @@ fn byte_round_trip_rejects_unreduced() {
 }
 
 #[test]
+fn branchless_cond_sub_matches_branchy_reference() {
+    use bcwan_crypto::field_core::{cond_sub_p, sbb, P};
+
+    // The obvious branchy normalization the constant-time mask-select
+    // version replaced. Valid for any input < 2p.
+    fn branchy(r: [u64; 4]) -> [u64; 4] {
+        let (d0, borrow) = sbb(r[0], P[0], 0);
+        let (d1, borrow) = sbb(r[1], P[1], borrow);
+        let (d2, borrow) = sbb(r[2], P[2], borrow);
+        let (d3, borrow) = sbb(r[3], P[3], borrow);
+        if borrow == 0 {
+            [d0, d1, d2, d3]
+        } else {
+            r
+        }
+    }
+
+    // Limb patterns straddling every decision boundary: p − 1 (keep), p
+    // (subtract to zero), p + k (subtract), values that differ from p only
+    // in one limb, and saturated limbs that force borrows to ripple the
+    // whole width.
+    let mut cases: Vec<[u64; 4]> = vec![
+        [0, 0, 0, 0],
+        [1, 0, 0, 0],
+        P,
+        [P[0] - 1, P[1], P[2], P[3]], // p − 1: borrow decided by limb 0
+        [P[0] + 1, P[1], P[2], P[3]], // p + 1
+        [P[0], P[1] - 1, P[2], P[3]], // below p via limb 1
+        [P[0], P[1], P[2], P[3] - 1], // below p via the top limb
+        [u64::MAX; 4],                // 2^256 − 1 ≈ p + 2^32 + 976
+        [0, u64::MAX, u64::MAX, u64::MAX],
+        [u64::MAX, 0, u64::MAX, u64::MAX],
+        [u64::MAX, u64::MAX, 0, u64::MAX],
+    ];
+    let mut rng = StdRng::seed_from_u64(0xcd5);
+    for _ in 0..500 {
+        let mut limbs = [0u64; 4];
+        for l in &mut limbs {
+            let mut b = [0u8; 8];
+            rng.fill_bytes(&mut b);
+            *l = u64::from_le_bytes(b);
+        }
+        cases.push(limbs);
+        // Bias toward the boundary: same value with the top limbs pinned
+        // to p's (all-ones), so only the low limbs decide.
+        cases.push([limbs[0], limbs[1], P[2], P[3]]);
+        cases.push([limbs[0], P[1], P[2], P[3]]);
+    }
+    for r in cases {
+        assert_eq!(
+            cond_sub_p(r),
+            branchy(r),
+            "cond_sub_p diverged for limbs {r:x?}"
+        );
+    }
+}
+
+#[test]
 fn fixed_vectors_pin_known_points() {
     // Standard secp256k1 small multiples, as published in the curve's
     // reference test vectors. These pin the whole pipeline — const-baked
@@ -270,10 +328,18 @@ fn fixed_vectors_pin_known_points() {
         ),
     ];
     for (k, want_x, want_y) in vectors {
-        match scalar_mul_base(&BigUint::from_u64(k)) {
+        match scalar_mul_base(&Scalar::from_u64(k)) {
             AffinePoint::Coords { x, y } => {
-                assert_eq!(x.to_hex(), want_x, "{k}G x");
-                assert_eq!(y.to_hex(), want_y, "{k}G y");
+                assert_eq!(
+                    bcwan_crypto::hex::encode(&x.to_bytes_be()),
+                    want_x,
+                    "{k}G x"
+                );
+                assert_eq!(
+                    bcwan_crypto::hex::encode(&y.to_bytes_be()),
+                    want_y,
+                    "{k}G y"
+                );
             }
             AffinePoint::Infinity => panic!("{k}G must be finite"),
         }

@@ -11,7 +11,8 @@ use bcwan_crypto::aes::{cbc_decrypt, cbc_encrypt};
 use bcwan_crypto::bignum::BigUint;
 use bcwan_crypto::ecdsa::EcdsaPrivateKey;
 use bcwan_crypto::hex;
-use bcwan_crypto::secp256k1::{curve, scalar_mul_base, JacobianPoint};
+use bcwan_crypto::secp256k1::{scalar_mul_base, JacobianPoint, GENERATOR};
+use bcwan_crypto::Scalar;
 use proptest::prelude::*;
 
 fn arb_biguint(max_bytes: usize) -> impl Strategy<Value = BigUint> {
@@ -128,9 +129,9 @@ proptest! {
 
     #[test]
     fn ec_group_associativity(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
-        let pa = JacobianPoint::from_affine(&scalar_mul_base(&BigUint::from_u64(a)));
-        let pb = JacobianPoint::from_affine(&scalar_mul_base(&BigUint::from_u64(b)));
-        let g = JacobianPoint::from_affine(&curve().g);
+        let pa = JacobianPoint::from_affine(&scalar_mul_base(&Scalar::from_u64(a)));
+        let pb = JacobianPoint::from_affine(&scalar_mul_base(&Scalar::from_u64(b)));
+        let g = JacobianPoint::from_affine(&GENERATOR);
         let left = pa.add(&pb).add(&g).to_affine();
         let right = pa.add(&pb.add(&g)).to_affine();
         prop_assert_eq!(left, right);

@@ -1,0 +1,212 @@
+//! Randomized equivalence tests for the Montgomery `Scalar` type and for
+//! batch signature verification.
+//!
+//! `Scalar` replaced `BigUint` arithmetic mod `n` on the ECDSA hot path;
+//! like the field layer it is a pure speedup, so every operation must be
+//! bit-identical to the generic big-integer oracle — including at the
+//! awkward spots: values adjacent to `n`, to `n/2` (the low-S boundary)
+//! and around limb carries. Batch verification likewise must agree with
+//! the per-signature verdicts on every input, and name the first bad
+//! index when it rejects.
+
+use bcwan_crypto::ecdsa::{batch_verify, EcdsaPrivateKey, EcdsaPublicKey, Signature};
+use bcwan_crypto::sha256::sha256;
+use bcwan_crypto::{BigUint, Scalar};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+fn n() -> BigUint {
+    BigUint::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141").unwrap()
+}
+
+fn to_big(s: &Scalar) -> BigUint {
+    BigUint::from_bytes_be(&s.to_bytes_be())
+}
+
+fn from_big(v: &BigUint) -> Scalar {
+    let bytes: [u8; 32] = v
+        .to_bytes_be_padded(32)
+        .expect("256-bit value")
+        .try_into()
+        .expect("32 bytes");
+    Scalar::reduce_bytes_be(&bytes)
+}
+
+/// Random 256-bit values, biased toward the interesting boundaries: near
+/// `n`, near `n/2`, near powers of two (limb carries), tiny, and huge.
+fn interesting_values(rng: &mut StdRng, rounds: usize) -> Vec<BigUint> {
+    let n = n();
+    let half = n.shr(1);
+    let mut out = vec![
+        BigUint::zero(),
+        BigUint::one(),
+        n.sub(&BigUint::one()),
+        n.clone(),
+        n.add(&BigUint::one()),
+        half.clone(),
+        half.add(&BigUint::one()),
+    ];
+    // Limb boundaries: 2^64k ± small.
+    for k in 1..4usize {
+        let pow = BigUint::one().shl(64 * k);
+        out.push(pow.sub(&BigUint::one()));
+        out.push(pow.clone());
+        out.push(pow.add(&BigUint::one()));
+    }
+    for _ in 0..rounds {
+        let mut buf = [0u8; 32];
+        rng.fill_bytes(&mut buf);
+        let v = BigUint::from_bytes_be(&buf);
+        // Half the time, squeeze the value into a ±4 window around n.
+        if rng.gen_bool(0.5) {
+            let delta = BigUint::from_u64(rng.gen_range(0..8));
+            let near = if rng.gen_bool(0.5) {
+                n.add(&delta)
+            } else {
+                n.sub(&delta)
+            };
+            out.push(near);
+        }
+        out.push(v);
+    }
+    out
+}
+
+#[test]
+fn add_sub_mul_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x5ca1a);
+    let n = n();
+    let values = interesting_values(&mut rng, 60);
+    for (i, a_big) in values.iter().enumerate() {
+        let b_big = &values[(i * 7 + 3) % values.len()];
+        let a_red = a_big.rem(&n);
+        let b_red = b_big.rem(&n);
+        let a = from_big(a_big);
+        let b = from_big(b_big);
+        assert_eq!(to_big(&a), a_red, "reduce diverged for case {i}");
+        assert_eq!(to_big(&a.add(&b)), a_red.add_mod(&b_red, &n), "add {i}");
+        assert_eq!(to_big(&a.sub(&b)), a_red.sub_mod(&b_red, &n), "sub {i}");
+        assert_eq!(to_big(&a.mul(&b)), a_red.mul_mod(&b_red, &n), "mul {i}");
+        assert_eq!(to_big(&a.sqr()), a_red.mul_mod(&a_red, &n), "sqr {i}");
+        assert_eq!(
+            to_big(&a.negate()),
+            BigUint::zero().sub_mod(&a_red, &n),
+            "negate {i}"
+        );
+    }
+}
+
+#[test]
+fn invert_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x1d1d);
+    let n = n();
+    for (i, v) in interesting_values(&mut rng, 30).iter().enumerate() {
+        let red = v.rem(&n);
+        let s = from_big(v);
+        if red.is_zero() {
+            assert!(s.invert().is_zero(), "0⁻¹ convention, case {i}");
+            continue;
+        }
+        let oracle = red.mod_inverse(&n).expect("n prime, value non-zero");
+        assert_eq!(to_big(&s.invert()), oracle, "invert {i}");
+        assert_eq!(s.mul(&s.invert()), Scalar::ONE, "invert round-trip {i}");
+    }
+}
+
+#[test]
+fn strict_parse_and_is_high_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xb0b);
+    let n = n();
+    let half = n.sub(&BigUint::one()).shr(1);
+    for (i, v) in interesting_values(&mut rng, 40).iter().enumerate() {
+        let bytes: [u8; 32] = match v.to_bytes_be_padded(32) {
+            Some(b) => b.try_into().unwrap(),
+            None => continue, // > 256 bits cannot occur here
+        };
+        let parsed = Scalar::from_bytes_be(&bytes);
+        assert_eq!(parsed.is_some(), *v < n, "strict parse {i}");
+        if let Some(s) = parsed {
+            assert_eq!(s.is_high(), *v > half, "is_high {i} ({v:?})");
+            assert_eq!(s.to_bytes_be(), bytes, "round trip {i}");
+        }
+    }
+}
+
+/// Builds `count` valid `(digest, signature, pubkey)` triples from a few
+/// wallets (repeated keys exercise the batch path's pubkey coalescing).
+fn valid_batch(
+    rng: &mut StdRng,
+    count: usize,
+    wallets: usize,
+) -> (Vec<[u8; 32]>, Vec<Signature>, Vec<EcdsaPublicKey>) {
+    let keys: Vec<EcdsaPrivateKey> = (0..wallets)
+        .map(|_| EcdsaPrivateKey::generate(rng))
+        .collect();
+    let mut digests = Vec::with_capacity(count);
+    let mut sigs = Vec::with_capacity(count);
+    let mut pubs = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut msg = [0u8; 16];
+        rng.fill_bytes(&mut msg);
+        let digest = sha256(&msg);
+        let key = &keys[i % wallets];
+        sigs.push(key.sign_digest(&digest));
+        pubs.push(key.public_key());
+        digests.push(digest);
+    }
+    (digests, sigs, pubs)
+}
+
+#[test]
+fn batch_agrees_with_sequential_verdicts() {
+    let mut rng = StdRng::seed_from_u64(0xba7c);
+    for round in 0..12 {
+        let count = 1 + (round * 5) % 23; // 1..23, crosses sub-batch sizes
+        let wallets = 1 + round % 4;
+        let (digests, mut sigs, pubs) = valid_batch(&mut rng, count, wallets);
+
+        // Corrupt 0–3 signatures: replace with a signature over a different
+        // digest (valid encoding, invalid for its slot).
+        let corruptions = round % 4;
+        let mut corrupted = Vec::new();
+        for c in 0..corruptions {
+            let idx = rng.gen_range(0..count);
+            if !corrupted.contains(&idx) {
+                let other = EcdsaPrivateKey::generate(&mut rng);
+                sigs[idx] = other.sign_digest(&sha256(&[c as u8, 0xfe]));
+                corrupted.push(idx);
+            }
+        }
+        corrupted.sort_unstable();
+
+        let items: Vec<(&[u8; 32], &Signature, &EcdsaPublicKey)> = (0..count)
+            .map(|i| (&digests[i], &sigs[i], &pubs[i]))
+            .collect();
+
+        // The reference verdict: sequential per-signature verification.
+        let first_bad = items.iter().position(|(d, s, p)| !p.verify_digest(d, s));
+
+        let got = batch_verify(&items);
+        match first_bad {
+            None => assert_eq!(got, Ok(()), "round {round}: all valid"),
+            Some(i) => assert_eq!(
+                got,
+                Err(i),
+                "round {round}: first bad index (corrupted {corrupted:?})"
+            ),
+        }
+    }
+}
+
+#[test]
+fn batch_rejects_swapped_digests() {
+    // Two valid signatures with their digests exchanged: each signature is
+    // individually valid for the *other* slot, so naive (unblinded)
+    // cancellation is the classic attack shape. The first slot must fail.
+    let mut rng = StdRng::seed_from_u64(0x5a5a);
+    let (digests, mut sigs, pubs) = valid_batch(&mut rng, 8, 1);
+    sigs.swap(2, 3);
+    let items: Vec<(&[u8; 32], &Signature, &EcdsaPublicKey)> =
+        (0..8).map(|i| (&digests[i], &sigs[i], &pubs[i])).collect();
+    assert_eq!(batch_verify(&items), Err(2));
+}

@@ -58,6 +58,55 @@ impl SignatureChecker for DigestChecker {
     }
 }
 
+/// A [`SignatureChecker`] that *defers* ECDSA verification for batching.
+///
+/// Parseable `(pubkey, signature)` pairs are recorded and optimistically
+/// reported valid; malformed bytes are rejected exactly as
+/// [`DigestChecker`] would (parsing needs no elliptic-curve work, so that
+/// verdict is exact). After the run, [`into_recorded`] yields the pairs
+/// for bulk verification — the chain crate feeds them to
+/// `bcwan_crypto::batch_verify` across many spends at once.
+///
+/// An optimistic run is only authoritative when *every* recorded
+/// signature later proves valid: a deferred `true` may have steered
+/// execution down a different branch than the real verdict would (e.g. a
+/// `CHECKSIG` result consumed by `OP_NOT`), so on any batch failure the
+/// script must be re-executed with a real checker.
+///
+/// [`into_recorded`]: DeferringChecker::into_recorded
+#[derive(Debug, Default)]
+pub struct DeferringChecker {
+    recorded: std::cell::RefCell<Vec<(EcdsaPublicKey, Signature)>>,
+}
+
+impl DeferringChecker {
+    /// A fresh checker with nothing recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `(pubkey, signature)` pairs recorded during execution, in
+    /// evaluation order.
+    pub fn into_recorded(self) -> Vec<(EcdsaPublicKey, Signature)> {
+        self.recorded.into_inner()
+    }
+}
+
+impl SignatureChecker for DeferringChecker {
+    fn check_signature(&self, pubkey: &[u8], sig: &[u8]) -> bool {
+        match (
+            EcdsaPublicKey::from_bytes(pubkey),
+            Signature::from_bytes(sig),
+        ) {
+            (Ok(pk), Ok(sig)) => {
+                self.recorded.borrow_mut().push((pk, sig));
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
 /// A checker that rejects everything (for scripts without signatures).
 #[derive(Debug, Clone, Default)]
 pub struct RejectAllChecker;

@@ -45,8 +45,8 @@ pub mod script;
 pub mod templates;
 
 pub use interpreter::{
-    run_script, verify_spend, DigestChecker, ExecContext, RejectAllChecker, ScriptError,
-    SignatureChecker,
+    run_script, verify_spend, DeferringChecker, DigestChecker, ExecContext, RejectAllChecker,
+    ScriptError, SignatureChecker,
 };
 pub use opcode::Opcode;
 pub use script::{decode_num, encode_num, Instruction, ParseScriptError, Script, ScriptBuilder};
